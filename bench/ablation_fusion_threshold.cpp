@@ -1,0 +1,59 @@
+// Ablation: Horovod tensor-fusion bucket size vs simulated training-step
+// time. The design choice behind the paper's combined backward+gradient
+// model (Sec. 3.3) is that gradient synchronization overlaps the backward
+// pass; the bucket size controls how well that overlap works.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "models/zoo.hpp"
+#include "sim/training_sim.hpp"
+
+using namespace convmeter;
+
+int main() {
+  std::cout << "Ablation -- tensor-fusion bucket size vs distributed "
+               "training-step time (4 nodes x 4 A100, batch 64, image 128)\n";
+
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  TrainConfig base;
+  base.num_nodes = 4;
+  base.num_devices = 16;
+  const Shape shape = Shape::nchw(64, 3, 128, 128);
+
+  for (const char* name : {"alexnet", "resnet50", "vgg16"}) {
+    const Graph g = models::build(name);
+    ConsoleTable table({"Bucket", "bwd (ms)", "exposed grad (ms)",
+                        "step (ms)", "vs best"});
+    double best = 1e300;
+    struct Row {
+      double bucket;
+      TrainStepTimes t;
+    };
+    std::vector<Row> rows;
+    for (const double mib : {0.25, 1.0, 4.0, 16.0, 64.0, 256.0}) {
+      TrainConfig cfg = base;
+      cfg.fusion_threshold_bytes = mib * (1 << 20);
+      const TrainStepTimes t = sim.expected_step(g, shape, cfg);
+      rows.push_back({mib, t});
+      best = std::min(best, t.step);
+    }
+    for (const Row& r : rows) {
+      table.add_row({ConsoleTable::fmt(r.bucket, 2) + " MiB",
+                     ConsoleTable::fmt(r.t.bwd * 1e3, 2),
+                     ConsoleTable::fmt(r.t.grad * 1e3, 2),
+                     ConsoleTable::fmt(r.t.step * 1e3, 2),
+                     "+" + ConsoleTable::fmt(
+                               100.0 * (r.t.step / best - 1.0), 1) +
+                         "%"});
+    }
+    std::cout << "\n-- " << name << " --\n";
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: tiny buckets pay per-tensor overhead many "
+               "times; huge buckets destroy overlap by delaying the first "
+               "all-reduce. Horovod's 64 MiB default sits near the "
+               "minimum for weight-heavy models.\n";
+  return 0;
+}

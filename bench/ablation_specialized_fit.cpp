@@ -1,0 +1,86 @@
+// Ablation: generalized vs specialized coefficients. Sec. 4.3: "Suppose we
+// are interested in the scalability of known models ... we can tune the
+// coefficients based on a specific ConvNet of interest to predict its
+// scalability more accurately", reusing the same measurements.
+//
+// Protocol: for each model, compare (a) the leave-one-out generalized fit
+// (the model is unseen) with (b) a specialized fit on that model's own
+// samples, evaluated on held-out repetitions of the same model.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "collect/campaign.hpp"
+#include "common/table.hpp"
+#include "core/convmeter.hpp"
+#include "core/evaluate.hpp"
+
+using namespace convmeter;
+
+namespace {
+
+double mape_of(const ConvMeter& model,
+               const std::vector<RuntimeSample>& test) {
+  std::vector<double> pred;
+  std::vector<double> meas;
+  for (const auto& s : test) {
+    QueryPoint q;
+    q.metrics_b1.flops = s.flops1;
+    q.metrics_b1.conv_inputs = s.inputs1;
+    q.metrics_b1.conv_outputs = s.outputs1;
+    q.metrics_b1.weights = s.weights;
+    q.metrics_b1.layers = s.layers;
+    q.per_device_batch = s.mini_batch();
+    q.num_devices = s.num_devices;
+    q.num_nodes = s.num_nodes;
+    pred.push_back(model.predict_train_step(q).step);
+    meas.push_back(s.t_step);
+  }
+  return compute_errors(pred, meas).mape;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation -- generalized (unseen-model) vs specialized "
+               "(per-ConvNet) coefficients for distributed training-step "
+               "prediction\n\n";
+
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  TrainingSweep sweep =
+      TrainingSweep::paper_distributed(bench::paper_model_set());
+  sweep.repetitions = 4;
+  const auto samples = run_training_campaign(sim, sweep);
+
+  ConsoleTable table({"Model", "Generalized MAPE", "Specialized MAPE",
+                      "Improvement"});
+  for (const std::string& name : bench::scalability_model_set()) {
+    std::vector<RuntimeSample> own;
+    std::vector<RuntimeSample> others;
+    for (const auto& s : samples) {
+      (s.model == name ? own : others).push_back(s);
+    }
+    if (own.size() < 8) continue;
+
+    // Even/odd repetition split of the model's own data: fit on half,
+    // evaluate both variants on the other half.
+    std::vector<RuntimeSample> own_fit;
+    std::vector<RuntimeSample> own_test;
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      (i % 2 == 0 ? own_fit : own_test).push_back(own[i]);
+    }
+
+    const ConvMeter generalized = ConvMeter::fit_training(others);
+    const ConvMeter specialized = ConvMeter::fit_training(own_fit);
+
+    const double g = mape_of(generalized, own_test);
+    const double s = mape_of(specialized, own_test);
+    table.add_row({name, ConsoleTable::fmt(g, 3), ConsoleTable::fmt(s, 3),
+                   ConsoleTable::fmt(100.0 * (1.0 - s / g), 1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: specializing the coefficients to a known "
+               "ConvNet reduces its prediction error, without rerunning "
+               "any benchmarks — the data is simply re-fit.\n";
+  return 0;
+}

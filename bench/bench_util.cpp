@@ -1,0 +1,135 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace convmeter::bench {
+
+std::vector<std::string> paper_model_set() {
+  return {"alexnet",        "vgg16",
+          "resnet18",       "resnet50",
+          "wide_resnet50_2", "resnext50_32x4d",
+          "squeezenet1_0",  "densenet121",
+          "mobilenet_v2",   "mobilenet_v3_large",
+          "efficientnet_b0", "regnet_x_8gf"};
+}
+
+std::vector<std::string> scalability_model_set() {
+  return {"alexnet",       "resnet18",        "resnet50",
+          "vgg16",         "squeezenet1_0",   "mobilenet_v2",
+          "efficientnet_b0", "regnet_x_8gf"};
+}
+
+void print_error_table(std::ostream& os, const std::string& title,
+                       const LooResult& result, bool show_r2) {
+  os << "\n== " << title << " ==\n";
+  std::vector<std::string> header = {"Model"};
+  if (show_r2) header.push_back("R^2");
+  header.insert(header.end(), {"RMSE", "NRMSE", "MAPE", "n"});
+  ConsoleTable table(header);
+  const auto row = [&](const std::string& name, const ErrorReport& e) {
+    std::vector<std::string> cells = {name};
+    if (show_r2) cells.push_back(ConsoleTable::fmt(e.r2, 3));
+    cells.push_back(format_seconds(e.rmse));
+    cells.push_back(ConsoleTable::fmt(e.nrmse, 3));
+    cells.push_back(ConsoleTable::fmt(e.mape, 3));
+    cells.push_back(std::to_string(e.count));
+    table.add_row(std::move(cells));
+  };
+  for (const auto& g : result.per_group) row(g.group, g.errors);
+  row("== all pooled ==", result.pooled);
+  table.print(os);
+}
+
+void pooled_pairs(const LooResult& result, std::vector<double>* predicted,
+                  std::vector<double>* measured) {
+  for (const auto& g : result.per_group) {
+    predicted->insert(predicted->end(), g.predicted.begin(),
+                      g.predicted.end());
+    measured->insert(measured->end(), g.measured.begin(), g.measured.end());
+  }
+}
+
+void print_scatter(std::ostream& os, const std::string& title,
+                   const std::vector<double>& predicted,
+                   const std::vector<double>& measured,
+                   const std::string& unit) {
+  CM_CHECK(predicted.size() == measured.size() && !predicted.empty(),
+           "scatter requires matching non-empty series");
+  constexpr int kWidth = 64;
+  constexpr int kHeight = 24;
+
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    for (const double v : {predicted[i], measured[i]}) {
+      if (v > 0.0) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  CM_CHECK(lo < hi, "degenerate scatter range");
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, ' '));
+  const auto col = [&](double v) {
+    return std::clamp(static_cast<int>((std::log10(v) - llo) / (lhi - llo) *
+                                       (kWidth - 1)),
+                      0, kWidth - 1);
+  };
+  const auto row = [&](double v) {
+    return std::clamp(kHeight - 1 -
+                          static_cast<int>((std::log10(v) - llo) /
+                                           (lhi - llo) * (kHeight - 1)),
+                      0, kHeight - 1);
+  };
+  // Diagonal (perfect prediction) reference.
+  for (int c = 0; c < kWidth; ++c) {
+    const double v = std::pow(10.0, llo + (lhi - llo) * c / (kWidth - 1));
+    canvas[static_cast<std::size_t>(row(v))][static_cast<std::size_t>(c)] =
+        '.';
+  }
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] <= 0.0 || measured[i] <= 0.0) continue;
+    canvas[static_cast<std::size_t>(row(measured[i]))]
+          [static_cast<std::size_t>(col(predicted[i]))] = '*';
+  }
+
+  os << "\n-- " << title << " --\n";
+  os << "measured (" << unit << ", log) vs predicted (" << unit
+     << ", log); '.' = perfect prediction\n";
+  for (const auto& line : canvas) os << "  |" << line << "|\n";
+  os << "  predicted: " << format_seconds(lo) << " .. " << format_seconds(hi)
+     << "\n";
+}
+
+void print_series_table(std::ostream& os, const std::string& title,
+                        const std::string& x_label,
+                        const std::vector<Series>& series) {
+  CM_CHECK(!series.empty(), "series table requires at least one series");
+  os << "\n== " << title << " ==\n";
+  std::vector<std::string> header = {x_label};
+  for (const auto& s : series) header.push_back(s.label);
+  ConsoleTable table(header);
+  const std::size_t n = series.front().x.size();
+  for (const auto& s : series) {
+    CM_CHECK(s.x.size() == n && s.y.size() == n,
+             "all series must share the x axis");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells = {
+        ConsoleTable::fmt(series.front().x[i], 0)};
+    for (const auto& s : series) cells.push_back(ConsoleTable::fmt(s.y[i], 1));
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+}  // namespace convmeter::bench

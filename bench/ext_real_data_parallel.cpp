@@ -1,0 +1,81 @@
+// Extension: REAL synchronous data-parallel training. Worker threads hold
+// model replicas, compute gradients on their batch shard with real
+// kernels, average them with the real ring all-reduce, and apply identical
+// Adam updates — the Fig. 1 training step executed end to end, no
+// simulator involved. The phase breakdown printed here is the real
+// counterpart of the simulated T_fwd / T_bwd / T_grad decomposition.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "exec/data_parallel.hpp"
+
+using namespace convmeter;
+
+namespace {
+
+Graph small_convnet() {
+  Graph g("bench-net");
+  NodeId x = g.input(3);
+  x = g.conv2d("c1", x, Conv2dAttrs::square(3, 16, 3, 1, 1));
+  x = g.activation("r1", x, ActKind::kReLU);
+  x = g.max_pool("p1", x, Pool2dAttrs::square(2, 2));
+  x = g.conv2d("c2", x, Conv2dAttrs::square(16, 32, 3, 1, 1));
+  x = g.activation("r2", x, ActKind::kReLU);
+  x = g.adaptive_avg_pool("pool", x, 2, 2);
+  x = g.flatten("flat", x);
+  g.linear("fc", x, LinearAttrs{128, 10, true});
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension -- real data-parallel training step "
+               "(worker threads + real ring all-reduce)\n\n";
+
+  constexpr std::int64_t kGlobalBatch = 16;
+  Tensor input(Shape::nchw(kGlobalBatch, 3, 24, 24));
+  input.fill_random(7);
+  std::vector<int> labels;
+  Rng rng(8);
+  for (std::int64_t i = 0; i < kGlobalBatch; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_int(0, 9)));
+  }
+
+  ConsoleTable table({"Workers", "loss", "fwd", "bwd", "all-reduce",
+                      "update", "comm share"});
+  for (const int workers : {1, 2, 4}) {
+    DataParallelTrainer dp(small_convnet(), workers);
+    // Warm-up step, then average three measured steps.
+    dp.step(input, labels);
+    DataParallelStepResult acc;
+    constexpr int kSteps = 3;
+    for (int s = 0; s < kSteps; ++s) {
+      const DataParallelStepResult r = dp.step(input, labels);
+      acc.loss = r.loss;
+      acc.fwd_seconds += r.fwd_seconds / kSteps;
+      acc.bwd_seconds += r.bwd_seconds / kSteps;
+      acc.comm_seconds += r.comm_seconds / kSteps;
+      acc.update_seconds += r.update_seconds / kSteps;
+    }
+    const double total = acc.fwd_seconds + acc.bwd_seconds +
+                         acc.comm_seconds + acc.update_seconds;
+    table.add_row({std::to_string(workers), ConsoleTable::fmt(acc.loss, 4),
+                   format_seconds(acc.fwd_seconds),
+                   format_seconds(acc.bwd_seconds),
+                   format_seconds(acc.comm_seconds),
+                   format_seconds(acc.update_seconds),
+                   ConsoleTable::fmt(100.0 * acc.comm_seconds / total, 1) +
+                       "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the loss is identical across worker "
+               "counts (gradient averaging is exact), and the all-reduce "
+               "share grows with the worker count while per-worker compute "
+               "shrinks — the trade-off ConvMeter's T_grad term models "
+               "analytically.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension: strong-scaling prediction. Sec. 4.3 notes the model "can
+// predict the scaling behavior of nodes for a fixed global batch size"
+// (strong scaling) in addition to the weak scaling of Fig. 8; this bench
+// regenerates that comparison side by side.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "collect/campaign.hpp"
+#include "common/table.hpp"
+#include "core/scalability.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+
+using namespace convmeter;
+
+int main() {
+  std::cout << "Extension -- weak vs strong scaling prediction "
+               "(image 128, 4 GPUs/node)\n";
+
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  TrainingSweep sweep =
+      TrainingSweep::paper_distributed(bench::paper_model_set());
+  const ConvMeter model =
+      ConvMeter::fit_training(run_training_campaign(sim, sweep));
+  const ScalabilityAnalyzer analyzer(model, 4);
+
+  for (const char* name : {"resnet50", "alexnet", "vgg16"}) {
+    const GraphMetrics m = compute_metrics_b1(models::build(name), 128);
+    // Weak: 64 img/GPU forever. Strong: global 1024 images split up.
+    const auto weak = analyzer.node_sweep(m, 64.0, 16);
+    const auto strong = analyzer.strong_node_sweep(m, 1024.0, 16);
+
+    ConsoleTable table({"Nodes", "Weak thr (img/s)", "Weak step",
+                        "Strong thr (img/s)", "Strong step"});
+    for (std::size_t i = 0; i < weak.size(); ++i) {
+      std::string st = "-";
+      std::string sthr = "-";
+      if (i < strong.size()) {
+        st = ConsoleTable::fmt(strong[i].step_seconds * 1e3, 2) + " ms";
+        sthr = ConsoleTable::fmt(strong[i].throughput, 0);
+      }
+      table.add_row({std::to_string(weak[i].num_nodes),
+                     ConsoleTable::fmt(weak[i].throughput, 0),
+                     ConsoleTable::fmt(weak[i].step_seconds * 1e3, 2) + " ms",
+                     sthr, st});
+    }
+    std::cout << "\n-- " << name << " --\n";
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: weak scaling keeps per-step time roughly "
+               "flat while throughput grows; strong scaling shrinks the "
+               "step time but hits diminishing returns sooner because the "
+               "per-device batch (and device utilization) collapses.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 2: inference-time prediction based on FLOPs alone,
+// inputs alone, outputs alone, and the combined metric set. The paper's
+// finding: combining the three metrics is the most accurate; FLOPs alone
+// is an inadequate predictor on memory-bound processors.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "collect/campaign.hpp"
+#include "common/table.hpp"
+#include "core/evaluate.hpp"
+
+using namespace convmeter;
+
+int main() {
+  std::cout << "ConvMeter reproduction -- Figure 2: metric ablation for GPU "
+               "inference prediction\n";
+
+  InferenceSimulator sim(a100_80gb());
+  InferenceSweep sweep =
+      InferenceSweep::paper_default(bench::paper_model_set());
+  const auto samples = run_inference_campaign(sim, sweep);
+  std::cout << "campaign: " << samples.size()
+            << " samples on " << sim.device().name << "\n";
+
+  ConsoleTable table({"Feature set", "R^2", "NRMSE", "MAPE"});
+  for (const FeatureSet fs :
+       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
+        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
+    const LooResult r = evaluate_phase_loo(samples, Phase::kInference, fs);
+    table.add_row({feature_set_name(fs), ConsoleTable::fmt(r.pooled.r2, 3),
+                   ConsoleTable::fmt(r.pooled.nrmse, 3),
+                   ConsoleTable::fmt(r.pooled.mape, 3)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // The four panels of Fig. 2 as scatters.
+  for (const FeatureSet fs :
+       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
+        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
+    const LooResult r = evaluate_phase_loo(samples, Phase::kInference, fs);
+    std::vector<double> pred;
+    std::vector<double> meas;
+    bench::pooled_pairs(r, &pred, &meas);
+    bench::print_scatter(std::cout,
+                         "Fig. 2 panel: " + feature_set_name(fs), pred, meas);
+  }
+
+  std::cout << "\nExpected shape (paper): combined > outputs > inputs > "
+               "flops in prediction quality.\n";
+  return 0;
+}

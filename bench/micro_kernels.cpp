@@ -1,0 +1,142 @@
+// Supporting microbenchmarks (google-benchmark): real GEMM and convolution
+// kernels, metric extraction, regression fitting, and the simulator's
+// all-reduce cost model. Not a paper artifact — these quantify the cost of
+// the building blocks the reproduction rests on.
+#include <benchmark/benchmark.h>
+
+#include "collect/campaign.hpp"
+#include "core/convmeter.hpp"
+#include "exec/executor.hpp"
+#include "exec/kernels.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "sim/comm.hpp"
+#include "sim/cost_model.hpp"
+
+namespace convmeter {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(0);
+  Tensor a(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)});
+  Tensor b(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)});
+  a.fill_random(1);
+  b.fill_random(2);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    gemm(pool, a.data(), b.data(), c, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dIm2col(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  ThreadPool pool(0);
+  const Conv2dAttrs attrs =
+      Conv2dAttrs::square(channels, channels, 3, 1, 1);
+  Tensor input(Shape::nchw(1, channels, 32, 32));
+  Tensor weight(Shape({channels, channels, 3, 3}));
+  input.fill_random(3);
+  weight.fill_random(4);
+  for (auto _ : state) {
+    Tensor out = conv2d_im2col(pool, input, weight, Tensor(), attrs);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dIm2col)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ConvNetForwardPass(benchmark::State& state) {
+  const Graph g = models::build("squeezenet1_1");
+  Executor exec(0);
+  for (auto _ : state) {
+    const ExecutionResult r = exec.run_random(g, Shape::nchw(1, 3, 64, 64));
+    benchmark::DoNotOptimize(r.total_seconds);
+  }
+}
+BENCHMARK(BM_ConvNetForwardPass);
+
+void BM_MetricExtraction(benchmark::State& state) {
+  const Graph g = models::build("densenet121");
+  for (auto _ : state) {
+    const GraphMetrics m = compute_metrics_b1(g, 224);
+    benchmark::DoNotOptimize(m.flops);
+  }
+}
+BENCHMARK(BM_MetricExtraction);
+
+void BM_ModelBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const Graph g = models::build("resnet152");
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_ModelBuild);
+
+void BM_ConvMeterFit(benchmark::State& state) {
+  InferenceSimulator sim(a100_80gb());
+  InferenceSweep sweep;
+  sweep.models = {"alexnet", "resnet18", "resnet50", "mobilenet_v2",
+                  "vgg16"};
+  sweep.image_sizes = {64, 128, 224};
+  sweep.batch_sizes = {1, 16, 64, 256};
+  const auto samples = run_inference_campaign(sim, sweep);
+  for (auto _ : state) {
+    const ConvMeter m = ConvMeter::fit_inference(samples);
+    benchmark::DoNotOptimize(&m);
+  }
+  state.SetLabel(std::to_string(samples.size()) + " samples");
+}
+BENCHMARK(BM_ConvMeterFit);
+
+void BM_ConvMeterPredict(benchmark::State& state) {
+  InferenceSimulator sim(a100_80gb());
+  InferenceSweep sweep;
+  sweep.models = {"alexnet", "resnet18", "resnet50"};
+  sweep.image_sizes = {64, 128};
+  sweep.batch_sizes = {1, 16, 64};
+  const ConvMeter m =
+      ConvMeter::fit_inference(run_inference_campaign(sim, sweep));
+  QueryPoint q;
+  q.metrics_b1 = compute_metrics_b1(models::build("vgg16"), 224);
+  q.per_device_batch = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict_inference(q));
+  }
+}
+BENCHMARK(BM_ConvMeterPredict);
+
+void BM_RingAllreduceModel(benchmark::State& state) {
+  const CommFabric f = nvlink_hdr200_fabric();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int nodes = 1; nodes <= 16; nodes *= 2) {
+      total += f.ring_allreduce_time(256e6, nodes * 4, nodes);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_RingAllreduceModel);
+
+void BM_TrainingStepSimulation(benchmark::State& state) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("resnet50");
+  TrainConfig cfg;
+  cfg.num_devices = 16;
+  cfg.num_nodes = 4;
+  for (auto _ : state) {
+    const TrainStepTimes t =
+        sim.expected_step(g, Shape::nchw(64, 3, 128, 128), cfg);
+    benchmark::DoNotOptimize(t.step);
+  }
+}
+BENCHMARK(BM_TrainingStepSimulation);
+
+}  // namespace
+}  // namespace convmeter
+
+BENCHMARK_MAIN();

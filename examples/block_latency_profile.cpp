@@ -1,0 +1,95 @@
+// Predicted layer-stage profile: what a profiler would tell you about a
+// model — without running the model. Uses the paper's block-wise
+// prediction (Sec. 4.1.2) to price every residual stage of a ConvNet and
+// prints a profile table plus the relative-time histogram, then checks the
+// story against the device simulator.
+#include <iostream>
+
+#include "collect/campaign.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/convmeter.hpp"
+#include "graph/shape_inference.hpp"
+#include "graph/subgraph.hpp"
+#include "metrics/metrics.hpp"
+#include "models/blocks.hpp"
+#include "models/zoo.hpp"
+#include "sim/cost_model.hpp"
+
+using namespace convmeter;
+
+int main() {
+  const std::string target = "resnet50";
+  constexpr std::int64_t kImage = 224;
+  constexpr std::int64_t kBatch = 32;
+
+  std::cout << "Predicted stage profile of " << target << " @ " << kImage
+            << "px, batch " << kBatch << " (A100)\n\n";
+
+  // Block-level predictor tuned on the paper's nine reference blocks —
+  // the target model's own blocks are never measured.
+  InferenceSimulator sim(a100_80gb());
+  std::vector<BlockCase> reference;
+  for (const auto& nb : models::paper_blocks()) {
+    if (nb.model == target) continue;  // keep the target unseen
+    models::BlockExtraction ex = models::extract_paper_block(nb);
+    reference.push_back(
+        {nb.label, std::move(ex.block), std::move(ex.input_shape)});
+  }
+  const ConvMeter predictor = ConvMeter::fit_inference(run_block_campaign(
+      sim, reference, {1, 4, 16, 64, 256}, 3, 0xb10c));
+
+  const Graph model = models::build(target);
+  const Shape input = Shape::nchw(kBatch, 3, kImage, kImage);
+  const ShapeMap shapes = infer_shapes(model, input);
+
+  // Profile unit: each residual block (layerX.Y), identified by prefix.
+  struct Row {
+    std::string name;
+    double predicted;
+    double simulated;
+  };
+  std::vector<Row> rows;
+  double total_pred = 0.0;
+  double total_sim = 0.0;
+  for (int stage = 1; stage <= 4; ++stage) {
+    for (int block = 0;; ++block) {
+      const std::string prefix =
+          "layer" + std::to_string(stage) + "." + std::to_string(block);
+      double predicted = 0.0;
+      double simulated = 0.0;
+      try {
+        const models::BlockExtraction ex =
+            models::extract_named_block(model, prefix, input);
+        QueryPoint q;
+        q.metrics_b1 =
+            compute_metrics(ex.block, ex.input_shape.with_batch(1));
+        q.per_device_batch = static_cast<double>(kBatch);
+        predicted = predictor.predict_inference(q);
+        simulated = forward_time(sim.device(), ex.block, ex.input_shape);
+      } catch (const InvalidArgument&) {
+        break;  // no more blocks in this stage
+      }
+      rows.push_back({prefix, predicted, simulated});
+      total_pred += predicted;
+      total_sim += simulated;
+    }
+  }
+
+  ConsoleTable table({"Block", "Predicted", "share", "Simulator", "bar"});
+  for (const Row& r : rows) {
+    const double share = r.predicted / total_pred;
+    table.add_row({r.name, format_seconds(r.predicted),
+                   ConsoleTable::fmt(100.0 * share, 1) + "%",
+                   format_seconds(r.simulated),
+                   std::string(static_cast<std::size_t>(60.0 * share), '#')});
+  }
+  table.print(std::cout);
+  std::cout << "\nresidual blocks total: predicted "
+            << format_seconds(total_pred) << ", simulator "
+            << format_seconds(total_sim) << " (ratio "
+            << ConsoleTable::fmt(total_pred / total_sim, 2) << "x)\n";
+  std::cout << "A NAS or pruning tool reads this table to find where the "
+               "time goes — no execution of " << target << " required.\n";
+  return 0;
+}

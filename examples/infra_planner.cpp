@@ -1,0 +1,80 @@
+// Infrastructure planner: "how many 4xA100 nodes should I rent to train
+// this model?" — the paper's motivating use case (Sec. 1: choosing training
+// parameters and computing infrastructure without running the workload).
+//
+// Fits ConvMeter on a distributed-training campaign, then reports, for a
+// target model and dataset, the predicted epoch time / throughput over the
+// node count, the scaling turning point, and a cost-efficiency view.
+#include <iostream>
+
+#include "collect/campaign.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/scalability.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+
+using namespace convmeter;
+
+int main() {
+  // The workload to plan for: ResNet-50 on an ImageNet-sized dataset.
+  const std::string target = "resnet50";
+  constexpr double kDatasetImages = 1.281e6;  // ImageNet-1k train split
+  constexpr double kPerDeviceBatch = 64.0;
+  constexpr std::int64_t kImage = 224;
+  constexpr int kEpochs = 90;
+  constexpr double kNodeHourCost = 12.0;  // USD per 4xA100 node-hour
+
+  std::cout << "Infrastructure planning for " << target << " ("
+            << kEpochs << " epochs over " << kDatasetImages / 1e6
+            << "M images, batch " << kPerDeviceBatch << "/GPU)\n\n";
+
+  // Tune ConvMeter on every zoo model except the target (it is "new").
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  std::vector<std::string> fit_models = {
+      "alexnet",       "vgg16",           "resnet18",        "resnet101",
+      "squeezenet1_0", "mobilenet_v2",    "efficientnet_b0", "regnet_x_8gf",
+      "densenet121",   "resnext50_32x4d"};
+  TrainingSweep sweep = TrainingSweep::paper_distributed(fit_models);
+  sweep.repetitions = 2;
+  const ConvMeter model =
+      ConvMeter::fit_training(run_training_campaign(sim, sweep));
+  const ScalabilityAnalyzer analyzer(model, /*devices_per_node=*/4);
+
+  const GraphMetrics metrics =
+      compute_metrics_b1(models::build(target), kImage);
+
+  ConsoleTable table({"Nodes", "GPUs", "Step", "Epoch", "Full training",
+                      "Throughput", "Cost (USD)", "Scaling eff."});
+  double throughput_1 = 0.0;
+  for (const int nodes : {1, 2, 4, 8, 16, 32}) {
+    QueryPoint q;
+    q.metrics_b1 = metrics;
+    q.per_device_batch = kPerDeviceBatch;
+    q.num_nodes = nodes;
+    q.num_devices = 4 * nodes;
+    const double step = model.predict_train_step(q).step;
+    const double epoch = model.predict_epoch_seconds(q, kDatasetImages);
+    const double total = epoch * kEpochs;
+    const double throughput = model.predict_throughput(q);
+    if (nodes == 1) throughput_1 = throughput;
+    const double eff = throughput / (throughput_1 * nodes);
+    const double cost = total / 3600.0 * kNodeHourCost * nodes;
+    table.add_row({std::to_string(nodes), std::to_string(4 * nodes),
+                   format_seconds(step), format_seconds(epoch),
+                   format_seconds(total),
+                   ConsoleTable::fmt(throughput, 0) + " img/s",
+                   ConsoleTable::fmt(cost, 0),
+                   ConsoleTable::fmt(100.0 * eff, 1) + "%"});
+  }
+  table.print(std::cout);
+
+  const int turning = analyzer.turning_point(metrics, kPerDeviceBatch, 32);
+  std::cout << "\nRecommendation: scaling efficiency drops below the "
+               "doubling threshold after "
+            << turning << " node(s).\n";
+  std::cout << "Pick the smallest node count whose total training time "
+               "meets your deadline; beyond the turning point you mostly "
+               "pay for communication.\n";
+  return 0;
+}

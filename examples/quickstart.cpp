@@ -1,0 +1,68 @@
+// Quickstart: the five-minute tour of ConvMeter.
+//
+//  1. build a ConvNet graph from the zoo,
+//  2. extract its inherent metrics (FLOPs, Inputs, Outputs, Weights, Layers),
+//  3. collect a small benchmark campaign on the simulated A100,
+//  4. fit the performance model (one linear regression),
+//  5. predict the inference time of a model the fit never saw.
+#include <iostream>
+
+#include "collect/campaign.hpp"
+#include "common/units.hpp"
+#include "core/convmeter.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+
+using namespace convmeter;
+
+int main() {
+  // -- 1. build a model ------------------------------------------------------
+  const Graph resnet = models::build("resnet50");
+  std::cout << "built " << resnet.name() << ": " << resnet.size()
+            << " nodes, " << format_count(resnet.parameter_count())
+            << " parameters\n";
+
+  // -- 2. inherent metrics (no execution involved) ---------------------------
+  const GraphMetrics m = compute_metrics_b1(resnet, 224);
+  std::cout << "metrics @ 224px, batch 1: F = " << format_flops(m.flops)
+            << ", I = " << format_count(m.conv_inputs)
+            << " elems, O = " << format_count(m.conv_outputs)
+            << " elems, W = " << format_count(m.weights) << ", L = "
+            << m.layers << "\n";
+
+  // -- 3. benchmark campaign on the simulated device -------------------------
+  InferenceSimulator device(a100_80gb());
+  InferenceSweep sweep;
+  sweep.models = {"alexnet",      "vgg16",           "resnet18",
+                  "mobilenet_v2", "efficientnet_b0", "squeezenet1_0",
+                  "densenet121",  "regnet_x_8gf"};
+  sweep.image_sizes = {64, 128, 224};
+  sweep.batch_sizes = {1, 16, 64, 256};
+  const auto samples = run_inference_campaign(device, sweep);
+  std::cout << "campaign: " << samples.size() << " measurements on "
+            << device.device().name << "\n";
+
+  // -- 4. fit ConvMeter (Eq. 2/3: four coefficients) --------------------------
+  const ConvMeter model = ConvMeter::fit_inference(samples);
+  std::cout << "fitted coefficients: " << model.forward_model().to_text()
+            << "\n";
+
+  // -- 5. predict an unseen model --------------------------------------------
+  // resnet50 was NOT in the campaign above. Each prediction carries a
+  // residual-based uncertainty band (+/- 2 sigma of the fit's relative
+  // residuals).
+  for (const double batch : {1.0, 16.0, 64.0, 256.0}) {
+    QueryPoint q;
+    q.metrics_b1 = m;
+    q.per_device_batch = batch;
+    const PredictionInterval p = model.predict_inference_interval(q);
+    const double actual =
+        device.expected(resnet, Shape::nchw(static_cast<std::int64_t>(batch),
+                                            3, 224, 224));
+    std::cout << "resnet50 batch " << batch << ": predicted "
+              << format_seconds(p.value) << " [" << format_seconds(p.low)
+              << " .. " << format_seconds(p.high) << "], simulator says "
+              << format_seconds(actual) << "\n";
+  }
+  return 0;
+}

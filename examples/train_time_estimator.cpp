@@ -1,0 +1,78 @@
+// Training-time estimator across batch sizes — including batch sizes that
+// exceed the device memory, which ConvMeter can still predict (Sec. 4.3:
+// "We can predict the runtime even for batch sizes that would exceed the
+// capacity of the training device").
+//
+// The report answers: what per-GPU batch size maximizes throughput, when
+// does memory run out, and what would a bigger-memory device buy us?
+#include <iostream>
+
+#include "collect/campaign.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/convmeter.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "sim/cost_model.hpp"
+
+using namespace convmeter;
+
+int main() {
+  const std::string target = "efficientnet_b0";
+  constexpr std::int64_t kImage = 224;
+  constexpr double kDatasetImages = 1.281e6;
+
+  std::cout << "Training-time estimate for " << target << " @ " << kImage
+            << "px on one A100-80GB (data-parallel single device)\n\n";
+
+  // Fit on other models so the target is unseen.
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  TrainingSweep sweep = TrainingSweep::paper_single_gpu(
+      {"alexnet", "vgg16", "resnet18", "resnet50", "squeezenet1_0",
+       "mobilenet_v2", "densenet121", "regnet_x_8gf"});
+  sweep.repetitions = 2;
+  const ConvMeter model =
+      ConvMeter::fit_training(run_training_campaign(sim, sweep));
+
+  const Graph graph = models::build(target);
+  const GraphMetrics metrics = compute_metrics_b1(graph, kImage);
+  const DeviceSpec device = a100_80gb();
+
+  ConsoleTable table({"Batch", "Fits 80GB?", "Step", "Epoch", "Throughput",
+                      "Memory est."});
+  double best_fit_throughput = 0.0;
+  double best_any_throughput = 0.0;
+  std::int64_t best_fit_batch = 0;
+  for (const std::int64_t batch : {8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+                                   4096}) {
+    const Shape shape = Shape::nchw(batch, 3, kImage, kImage);
+    const bool fits = fits_in_memory(device, graph, shape, /*training=*/true);
+    QueryPoint q;
+    q.metrics_b1 = metrics;
+    q.per_device_batch = static_cast<double>(batch);
+    const double step = model.predict_train_step(q).step;
+    const double epoch = model.predict_epoch_seconds(q, kDatasetImages);
+    const double throughput = model.predict_throughput(q);
+    if (fits && throughput > best_fit_throughput) {
+      best_fit_throughput = throughput;
+      best_fit_batch = batch;
+    }
+    best_any_throughput = std::max(best_any_throughput, throughput);
+    table.add_row(
+        {std::to_string(batch), fits ? "yes" : "NO (simulated)",
+         format_seconds(step), format_seconds(epoch),
+         ConsoleTable::fmt(throughput, 0) + " img/s",
+         format_bytes(memory_footprint_bytes(graph, shape, true))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBest in-memory batch size: " << best_fit_batch << " ("
+            << ConsoleTable::fmt(best_fit_throughput, 0) << " img/s).\n";
+  const double headroom =
+      (best_any_throughput - best_fit_throughput) / best_fit_throughput;
+  std::cout << "A device with more memory would buy at most "
+            << ConsoleTable::fmt(100.0 * headroom, 1)
+            << "% more throughput — the basis for a hardware-upgrade "
+               "decision without owning the hardware.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "baselines/dippm_like.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace convmeter {
+
+bool DippmLikePredictor::can_parse(const std::string& model_name) {
+  // The concat-heavy Fire-module graph of squeezenet1_0 defeated DIPPM's
+  // parser in the paper's comparison (Sec. 4.1.3); we mirror that contract.
+  return !starts_with(model_name, "squeezenet1_0");
+}
+
+Vector DippmLikePredictor::features(const RuntimeSample& s) {
+  const double b = s.mini_batch();
+  // Log-scaled graph features: the targets span orders of magnitude, and a
+  // learned regressor wants compressed dynamic range.
+  return {std::log(b * s.flops1), std::log(b * s.inputs1),
+          std::log(b * s.outputs1), std::log(s.weights),
+          std::log(s.layers), std::log(b)};
+}
+
+DippmLikePredictor DippmLikePredictor::fit(
+    const std::vector<RuntimeSample>& samples, const MlpConfig& config) {
+  std::vector<const RuntimeSample*> usable;
+  for (const auto& s : samples) {
+    if (can_parse(s.model) && s.t_infer > 0.0) usable.push_back(&s);
+  }
+  CM_CHECK(usable.size() >= 8, "dippm-like baseline needs more samples");
+
+  Matrix x(usable.size(), features(*usable.front()).size());
+  Vector y(usable.size());
+  for (std::size_t r = 0; r < usable.size(); ++r) {
+    const Vector row = features(*usable[r]);
+    for (std::size_t c = 0; c < row.size(); ++c) x(r, c) = row[c];
+    y[r] = usable[r]->t_infer;
+  }
+
+  DippmLikePredictor p;
+  p.mlp_ = MlpPredictor::fit(x, y, config);
+  return p;
+}
+
+double DippmLikePredictor::predict(const RuntimeSample& point) const {
+  CM_CHECK(can_parse(point.model),
+           "dippm-like baseline cannot parse model '" + point.model + "'");
+  return mlp_.predict(features(point));
+}
+
+}  // namespace convmeter

@@ -1,0 +1,37 @@
+// DIPPM-like predictor: the MLP baseline wired to graph features and
+// RuntimeSample sets, with the quirks the paper reports — it needs many
+// training epochs, and it cannot handle squeezenet1_0 ("DIPPM was unable
+// to parse the model graph of squeezenet1_0").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/mlp.hpp"
+#include "collect/sample.hpp"
+
+namespace convmeter {
+
+/// Learned inference-latency predictor over graph-derived features.
+class DippmLikePredictor {
+ public:
+  /// Models the baseline's parser limitation: it rejects this model family.
+  static bool can_parse(const std::string& model_name);
+
+  /// Fits on the samples it can parse (others are dropped, mirroring the
+  /// paper's comparison protocol).
+  static DippmLikePredictor fit(const std::vector<RuntimeSample>& samples,
+                                const MlpConfig& config = {});
+
+  /// Predicted inference time in seconds; throws InvalidArgument for
+  /// models it cannot parse.
+  double predict(const RuntimeSample& point) const;
+
+  /// Feature vector used by the learned model (shared with fit/predict).
+  static Vector features(const RuntimeSample& s);
+
+ private:
+  MlpPredictor mlp_;
+};
+
+}  // namespace convmeter

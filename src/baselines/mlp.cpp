@@ -1,0 +1,199 @@
+#include "baselines/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// Forward pass through one dense layer.
+Vector dense(const Matrix& w, const Vector& b, const Vector& in) {
+  Vector out(w.rows());
+  for (std::size_t o = 0; o < w.rows(); ++o) {
+    double acc = b[o];
+    for (std::size_t i = 0; i < w.cols(); ++i) acc += w(o, i) * in[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+void tanh_inplace(Vector& v) {
+  for (double& x : v) x = std::tanh(x);
+}
+
+}  // namespace
+
+MlpPredictor MlpPredictor::fit(const Matrix& x, const Vector& y,
+                               const MlpConfig& config) {
+  CM_CHECK(x.rows() == y.size() && x.rows() >= 2, "mlp fit: bad sample set");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  MlpPredictor m;
+
+  // ---- standardize features and log targets ------------------------------
+  m.feat_mean_.assign(d, 0.0);
+  m.feat_std_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) m.feat_mean_[c] += x(r, c);
+  }
+  for (double& v : m.feat_mean_) v /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x(r, c) - m.feat_mean_[c];
+      m.feat_std_[c] += diff * diff;
+    }
+  }
+  for (double& v : m.feat_std_) {
+    v = std::sqrt(v / static_cast<double>(n));
+    if (v < 1e-12) v = 1.0;
+  }
+
+  Vector log_y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    CM_CHECK(y[r] > 0.0, "mlp fit: targets must be positive");
+    log_y[r] = std::log(y[r]);
+  }
+  double ym = 0.0;
+  for (const double v : log_y) ym += v;
+  ym /= static_cast<double>(n);
+  double ys = 0.0;
+  for (const double v : log_y) ys += (v - ym) * (v - ym);
+  ys = std::sqrt(ys / static_cast<double>(n));
+  if (ys < 1e-12) ys = 1.0;
+  m.target_mean_ = ym;
+  m.target_std_ = ys;
+
+  // ---- build layers -------------------------------------------------------
+  Rng rng(config.seed);
+  std::vector<std::size_t> widths;
+  widths.push_back(d);
+  for (const std::size_t h : config.hidden) widths.push_back(h);
+  widths.push_back(1);
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+    DenseLayer layer;
+    layer.w = Matrix(widths[l + 1], widths[l]);
+    layer.b.assign(widths[l + 1], 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(widths[l]));
+    for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+      for (std::size_t i = 0; i < layer.w.cols(); ++i) {
+        layer.w(o, i) = rng.normal(0.0, scale);
+      }
+    }
+    m.layers_.push_back(std::move(layer));
+  }
+
+  // ---- SGD training -------------------------------------------------------
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  double lr = config.learning_rate;
+  const std::size_t num_layers = m.layers_.size();
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t stop = std::min(n, start + config.batch_size);
+
+      // Accumulated gradients per layer.
+      std::vector<Matrix> gw;
+      std::vector<Vector> gb;
+      for (const auto& layer : m.layers_) {
+        gw.emplace_back(layer.w.rows(), layer.w.cols());
+        gb.emplace_back(layer.b.size(), 0.0);
+      }
+
+      for (std::size_t idx = start; idx < stop; ++idx) {
+        const std::size_t r = order[idx];
+        // Forward with cached activations.
+        std::vector<Vector> acts;  // acts[l] = input to layer l
+        Vector h(d);
+        for (std::size_t c = 0; c < d; ++c) {
+          h[c] = (x(r, c) - m.feat_mean_[c]) / m.feat_std_[c];
+        }
+        acts.push_back(h);
+        for (std::size_t l = 0; l < num_layers; ++l) {
+          h = dense(m.layers_[l].w, m.layers_[l].b, h);
+          if (l + 1 < num_layers) tanh_inplace(h);
+          acts.push_back(h);
+        }
+        const double target = (log_y[r] - ym) / ys;
+        // d(MSE)/d(out) for one sample.
+        Vector delta = {h[0] - target};
+
+        // Backward.
+        for (std::size_t l = num_layers; l-- > 0;) {
+          const Vector& input = acts[l];
+          for (std::size_t o = 0; o < m.layers_[l].w.rows(); ++o) {
+            gb[l][o] += delta[o];
+            for (std::size_t i = 0; i < m.layers_[l].w.cols(); ++i) {
+              gw[l](o, i) += delta[o] * input[i];
+            }
+          }
+          if (l == 0) break;
+          Vector next(m.layers_[l].w.cols(), 0.0);
+          for (std::size_t i = 0; i < next.size(); ++i) {
+            double acc = 0.0;
+            for (std::size_t o = 0; o < m.layers_[l].w.rows(); ++o) {
+              acc += m.layers_[l].w(o, i) * delta[o];
+            }
+            // Derivative of tanh: 1 - a^2 where a = acts[l][i].
+            next[i] = acc * (1.0 - acts[l][i] * acts[l][i]);
+          }
+          delta = std::move(next);
+        }
+      }
+
+      const double scale = lr / static_cast<double>(stop - start);
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        for (std::size_t o = 0; o < m.layers_[l].w.rows(); ++o) {
+          m.layers_[l].b[o] -= scale * gb[l][o];
+          for (std::size_t i = 0; i < m.layers_[l].w.cols(); ++i) {
+            m.layers_[l].w(o, i) -= scale * gw[l](o, i);
+          }
+        }
+      }
+    }
+    lr *= config.lr_decay;
+  }
+  return m;
+}
+
+Vector MlpPredictor::forward(const Vector& input) const {
+  Vector h(input.size());
+  for (std::size_t c = 0; c < input.size(); ++c) {
+    h[c] = (input[c] - feat_mean_[c]) / feat_std_[c];
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = dense(layers_[l].w, layers_[l].b, h);
+    if (l + 1 < layers_.size()) tanh_inplace(h);
+  }
+  return h;
+}
+
+double MlpPredictor::predict(const Vector& features) const {
+  CM_CHECK(features.size() == feat_mean_.size(),
+           "mlp predict: feature width mismatch");
+  const Vector out = forward(features);
+  return std::exp(out[0] * target_std_ + target_mean_);
+}
+
+double MlpPredictor::loss(const Matrix& x, const Vector& y) const {
+  CM_CHECK(x.rows() == y.size() && x.rows() > 0, "mlp loss: bad inputs");
+  double total = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    Vector row(x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    const Vector out = forward(row);
+    const double target = (std::log(y[r]) - target_mean_) / target_std_;
+    const double err = out[0] - target;
+    total += err * err;
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+}  // namespace convmeter

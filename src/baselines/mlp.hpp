@@ -1,0 +1,61 @@
+// From-scratch multi-layer perceptron regressor — the stand-in for DIPPM
+// (Sec. 4.1.3), the learned graph-feature latency predictor ConvMeter is
+// compared against.
+//
+// Like DIPPM, it is a data-hungry learned model trained for many epochs;
+// unlike ConvMeter it cannot be fitted in closed form. The comparison
+// harness trains it on the same samples ConvMeter sees, which reproduces
+// the paper's finding that the simple linear model wins at this data scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace convmeter {
+
+/// Training hyperparameters of the MLP baseline.
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {32, 32};
+  std::size_t epochs = 500;  ///< DIPPM trains for 500 epochs
+  double learning_rate = 1e-2;
+  double lr_decay = 0.995;   ///< multiplicative per-epoch decay
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 0xd1ff;
+};
+
+/// Dense network with tanh hidden activations trained on
+/// (standardized features -> standardized log target) via mini-batch SGD.
+class MlpPredictor {
+ public:
+  /// Fits the network; `x` rows are raw features, `y` raw (positive)
+  /// targets. Targets are log-transformed internally, as latency spans
+  /// orders of magnitude.
+  static MlpPredictor fit(const Matrix& x, const Vector& y,
+                          const MlpConfig& config = {});
+
+  /// Predicts the (de-transformed) target for one raw feature row.
+  double predict(const Vector& features) const;
+
+  /// Mean squared error on standardized log targets for a held-out set
+  /// (diagnostic).
+  double loss(const Matrix& x, const Vector& y) const;
+
+ private:
+  struct DenseLayer {
+    Matrix w;   // (out, in)
+    Vector b;   // (out)
+  };
+
+  Vector forward(const Vector& input) const;
+
+  std::vector<DenseLayer> layers_;
+  // Feature standardization (per column) and target standardization.
+  Vector feat_mean_;
+  Vector feat_std_;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+};
+
+}  // namespace convmeter

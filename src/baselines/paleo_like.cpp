@@ -1,0 +1,49 @@
+#include "baselines/paleo_like.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "metrics/metrics.hpp"
+
+namespace convmeter {
+
+PaleoDeviceSheet PaleoDeviceSheet::a100_datasheet(double platform_percent) {
+  PaleoDeviceSheet s;
+  s.peak_flops = 156e12;      // TF32 tensor-core peak
+  s.mem_bandwidth = 2.0e12;   // HBM2e
+  s.platform_percent = platform_percent;
+  return s;
+}
+
+PaleoDeviceSheet PaleoDeviceSheet::xeon_core_datasheet(
+    double platform_percent) {
+  PaleoDeviceSheet s;
+  s.peak_flops = 67.2e9;
+  s.mem_bandwidth = 18e9;
+  s.platform_percent = platform_percent;
+  return s;
+}
+
+PaleoLikePredictor::PaleoLikePredictor(PaleoDeviceSheet sheet)
+    : sheet_(sheet) {
+  CM_CHECK(sheet_.peak_flops > 0.0 && sheet_.mem_bandwidth > 0.0,
+           "paleo device sheet requires positive peaks");
+  CM_CHECK(sheet_.platform_percent > 0.0 && sheet_.platform_percent <= 1.0,
+           "platform percent must be in (0, 1]");
+}
+
+double PaleoLikePredictor::predict(const Graph& graph,
+                                   const Shape& input_shape) const {
+  double total = 0.0;
+  for (const LayerWork& w : per_layer_work(graph, input_shape)) {
+    const double bytes = 4.0 * (w.input_elems + w.output_elems + w.param_elems);
+    const double compute =
+        w.flops / (sheet_.peak_flops * sheet_.platform_percent);
+    const double memory =
+        bytes / (sheet_.mem_bandwidth * sheet_.platform_percent);
+    total += std::max(compute, memory);
+  }
+  return total;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,42 @@
+// Paleo-style analytical baseline (Qi et al., ICLR'17 — discussed in the
+// paper's related work): no fitting at all. Each layer's time is its load
+// divided by the device's claimed peak performance, scaled by a single
+// "platform percent of peak" factor:
+//
+//   t_layer = max(flops / (peak_flops * pp), bytes / (bandwidth * pp))
+//
+// The paper's critique — "only using the FLOPs does not reflect the complex
+// structures of modern ConvNets" — shows up as this baseline's missing
+// utilization curve and per-kernel overheads; the ablation bench
+// quantifies the gap against the fitted ConvMeter.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Public device datasheet numbers the analytical baseline works from.
+struct PaleoDeviceSheet {
+  double peak_flops = 0.0;      ///< claimed peak FLOP/s
+  double mem_bandwidth = 0.0;   ///< claimed bytes/s
+  double platform_percent = 1.0;///< Paleo's single fudge factor (0, 1]
+
+  /// Datasheet values for the paper's devices.
+  static PaleoDeviceSheet a100_datasheet(double platform_percent = 0.5);
+  static PaleoDeviceSheet xeon_core_datasheet(double platform_percent = 0.5);
+};
+
+/// Fitting-free analytical runtime prediction.
+class PaleoLikePredictor {
+ public:
+  explicit PaleoLikePredictor(PaleoDeviceSheet sheet);
+
+  /// Predicted forward-pass time for `graph` at `input_shape` (seconds).
+  double predict(const Graph& graph, const Shape& input_shape) const;
+
+ private:
+  PaleoDeviceSheet sheet_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,19 @@
+#include "baselines/simple.hpp"
+
+namespace convmeter {
+
+SimpleBaseline SimpleBaseline::fit(const std::vector<RuntimeSample>& samples,
+                                   FeatureSet fs) {
+  const Design d = build_design(samples, Phase::kInference, fs);
+  SimpleBaseline b;
+  b.name_ = feature_set_name(fs);
+  b.fs_ = fs;
+  b.model_ = LinearModel::fit(d.x, d.y);
+  return b;
+}
+
+double SimpleBaseline::predict(const RuntimeSample& point) const {
+  return model_.predict(forward_features(point, fs_));
+}
+
+}  // namespace convmeter

@@ -1,0 +1,34 @@
+// Single-metric baselines (Fig. 2 of the paper).
+//
+// PALEO-style FLOPs-only prediction, plus inputs-only and outputs-only
+// variants. These are thin wrappers over the core feature machinery so the
+// ablation harness can treat every predictor uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "core/features.hpp"
+#include "regress/linear_model.hpp"
+
+namespace convmeter {
+
+/// A named single-feature-set inference predictor.
+class SimpleBaseline {
+ public:
+  /// Fits on t_infer with the given feature set.
+  static SimpleBaseline fit(const std::vector<RuntimeSample>& samples,
+                            FeatureSet fs);
+
+  double predict(const RuntimeSample& point) const;
+  const std::string& name() const { return name_; }
+  FeatureSet feature_set() const { return fs_; }
+
+ private:
+  std::string name_;
+  FeatureSet fs_ = FeatureSet::kFlopsOnly;
+  LinearModel model_;
+};
+
+}  // namespace convmeter

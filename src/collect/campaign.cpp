@@ -1,0 +1,174 @@
+#include "collect/campaign.hpp"
+
+#include "common/error.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+#include "sim/cost_model.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// Metrics at batch 1 copied into a sample record.
+void fill_metrics(RuntimeSample& s, const Graph& graph, const Shape& b1_shape) {
+  const GraphMetrics m = compute_metrics(graph, b1_shape);
+  s.flops1 = m.flops;
+  s.inputs1 = m.conv_inputs;
+  s.outputs1 = m.conv_outputs;
+  s.weights = m.weights;
+  s.layers = m.layers;
+}
+
+}  // namespace
+
+InferenceSweep InferenceSweep::paper_default(std::vector<std::string> models) {
+  InferenceSweep sweep;
+  sweep.models = std::move(models);
+  sweep.image_sizes = {32, 64, 128, 224};
+  sweep.batch_sizes = {1, 4, 16, 64, 256, 1024, 2048};
+  sweep.repetitions = 3;
+  return sweep;
+}
+
+TrainingSweep TrainingSweep::paper_single_gpu(std::vector<std::string> models) {
+  TrainingSweep sweep;
+  sweep.models = std::move(models);
+  sweep.image_sizes = {32, 64, 128, 224};
+  sweep.per_device_batch_sizes = {16, 64, 256, 1024};
+  sweep.node_counts = {1};
+  sweep.devices_per_node = 1;
+  sweep.repetitions = 3;
+  return sweep;
+}
+
+TrainingSweep TrainingSweep::paper_distributed(std::vector<std::string> models) {
+  TrainingSweep sweep;
+  sweep.models = std::move(models);
+  sweep.image_sizes = {64, 128, 224};
+  sweep.per_device_batch_sizes = {16, 64, 256};
+  sweep.node_counts = {1, 2, 4, 8, 16};
+  sweep.devices_per_node = 4;
+  sweep.repetitions = 3;
+  return sweep;
+}
+
+std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
+                                                  const InferenceSweep& sweep) {
+  CM_CHECK(!sweep.models.empty(), "inference sweep needs at least one model");
+  Rng rng(sweep.seed);
+  std::vector<RuntimeSample> samples;
+
+  for (const std::string& name : sweep.models) {
+    const Graph graph = models::build(name);
+    for (const std::int64_t image : sweep.image_sizes) {
+      const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
+      RuntimeSample base;
+      base.model = name;
+      base.device = sim.device().name;
+      base.image_size = image;
+      // Architectures have a minimum feasible resolution (AlexNet's strided
+      // stem collapses below ~63 px, Inception needs ~75 px); infeasible
+      // (model, image) pairs are skipped exactly as a real benchmark run
+      // would fail and be dropped.
+      try {
+        fill_metrics(base, graph, b1);
+      } catch (const InvalidArgument&) {
+        continue;
+      }
+
+      for (const std::int64_t batch : sweep.batch_sizes) {
+        const Shape shape = b1.with_batch(batch);
+        if (!fits_in_memory(sim.device(), graph, shape, /*training=*/false)) {
+          continue;
+        }
+        for (int rep = 0; rep < sweep.repetitions; ++rep) {
+          RuntimeSample s = base;
+          s.global_batch = batch;
+          s.t_infer = sim.measure(graph, shape, rng);
+          samples.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+std::vector<RuntimeSample> run_training_campaign(const TrainingSimulator& sim,
+                                                 const TrainingSweep& sweep) {
+  CM_CHECK(!sweep.models.empty(), "training sweep needs at least one model");
+  Rng rng(sweep.seed);
+  std::vector<RuntimeSample> samples;
+
+  for (const std::string& name : sweep.models) {
+    const Graph graph = models::build(name);
+    for (const std::int64_t image : sweep.image_sizes) {
+      const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
+      RuntimeSample base;
+      base.model = name;
+      base.device = sim.device().name;
+      base.image_size = image;
+      try {
+        fill_metrics(base, graph, b1);
+      } catch (const InvalidArgument&) {
+        continue;  // resolution infeasible for this architecture
+      }
+
+      for (const std::int64_t batch : sweep.per_device_batch_sizes) {
+        const Shape shape = b1.with_batch(batch);
+        if (!fits_in_memory(sim.device(), graph, shape, /*training=*/true)) {
+          continue;
+        }
+        for (const int nodes : sweep.node_counts) {
+          TrainConfig config;
+          config.num_nodes = nodes;
+          config.num_devices = nodes * sweep.devices_per_node;
+          for (int rep = 0; rep < sweep.repetitions; ++rep) {
+            const TrainStepTimes t =
+                sim.measure_step(graph, shape, config, rng);
+            RuntimeSample s = base;
+            s.global_batch = batch * config.num_devices;
+            s.num_devices = config.num_devices;
+            s.num_nodes = nodes;
+            s.t_fwd = t.fwd;
+            s.t_bwd = t.bwd;
+            s.t_grad = t.grad;
+            s.t_step = t.step;
+            samples.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+std::vector<RuntimeSample> run_block_campaign(
+    const InferenceSimulator& sim, const std::vector<BlockCase>& blocks,
+    const std::vector<std::int64_t>& batch_sizes, int repetitions,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RuntimeSample> samples;
+
+  for (const BlockCase& block : blocks) {
+    const Shape b1 = block.native_shape.with_batch(1);
+    RuntimeSample base;
+    base.model = block.label;
+    base.device = sim.device().name;
+    base.image_size = b1.height();
+    fill_metrics(base, block.graph, b1);
+
+    for (const std::int64_t batch : batch_sizes) {
+      const Shape shape = b1.with_batch(batch);
+      if (!fits_in_memory(sim.device(), block.graph, shape, false)) continue;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        RuntimeSample s = base;
+        s.global_batch = batch;
+        s.t_infer = sim.measure(block.graph, shape, rng);
+        samples.push_back(std::move(s));
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,72 @@
+// Benchmark campaigns (Sec. 3.4 / "Benchmarks" in Sec. 4).
+//
+// A campaign sweeps models x image sizes x batch sizes (x node counts for
+// training) against a simulated device, skipping configurations that do not
+// fit the device memory — the paper's "batch sizes from one to 2048 and
+// image sizes from 32 to 224 pixels, as long as the available memory on the
+// target system allows" — and yields the RuntimeSample set the performance
+// models are fitted on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/inference_sim.hpp"
+#include "sim/training_sim.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Parameters of an inference campaign.
+struct InferenceSweep {
+  std::vector<std::string> models;        ///< zoo model names
+  std::vector<std::int64_t> image_sizes;  ///< e.g. {32, 64, 128, 224}
+  std::vector<std::int64_t> batch_sizes;  ///< e.g. {1, ..., 2048}
+  int repetitions = 1;                    ///< measurements per point
+  std::uint64_t seed = 0x5eed;
+
+  /// The paper's default sweep over the given models.
+  static InferenceSweep paper_default(std::vector<std::string> models);
+};
+
+/// Parameters of a training campaign.
+struct TrainingSweep {
+  std::vector<std::string> models;
+  std::vector<std::int64_t> image_sizes;
+  std::vector<std::int64_t> per_device_batch_sizes;
+  std::vector<int> node_counts;  ///< {1} for single-device experiments
+  int devices_per_node = 4;      ///< the cluster's 4 x A100 per node
+  int repetitions = 1;
+  std::uint64_t seed = 0x5eed;
+
+  static TrainingSweep paper_single_gpu(std::vector<std::string> models);
+  static TrainingSweep paper_distributed(std::vector<std::string> models);
+};
+
+/// Runs an inference campaign on `sim`'s device.
+std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
+                                                  const InferenceSweep& sweep);
+
+/// Runs a training campaign. For node_counts == {1} and devices_per_node
+/// == 1 this is the paper's single-GPU scenario.
+std::vector<RuntimeSample> run_training_campaign(const TrainingSimulator& sim,
+                                                 const TrainingSweep& sweep);
+
+/// Runs an inference campaign over pre-built block graphs. `native_shape`
+/// gives each block's entry shape inside its parent model; the sweep varies
+/// the batch dimension.
+struct BlockCase {
+  std::string label;
+  Graph graph;
+  Shape native_shape;
+};
+std::vector<RuntimeSample> run_block_campaign(
+    const InferenceSimulator& sim, const std::vector<BlockCase>& blocks,
+    const std::vector<std::int64_t>& batch_sizes, int repetitions,
+    std::uint64_t seed);
+
+}  // namespace convmeter

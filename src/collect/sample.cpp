@@ -1,0 +1,67 @@
+#include "collect/sample.hpp"
+
+#include <sstream>
+
+namespace convmeter {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+CsvTable samples_to_csv(const std::vector<RuntimeSample>& samples) {
+  CsvTable t({"model", "device", "image_size", "global_batch", "num_devices",
+              "num_nodes", "flops1", "inputs1", "outputs1", "weights",
+              "layers", "t_infer", "t_fwd", "t_bwd", "t_grad", "t_step"});
+  for (const auto& s : samples) {
+    t.add_row({s.model, s.device, std::to_string(s.image_size),
+               std::to_string(s.global_batch), std::to_string(s.num_devices),
+               std::to_string(s.num_nodes), num(s.flops1), num(s.inputs1),
+               num(s.outputs1), num(s.weights), num(s.layers), num(s.t_infer),
+               num(s.t_fwd), num(s.t_bwd), num(s.t_grad), num(s.t_step)});
+  }
+  return t;
+}
+
+std::vector<RuntimeSample> samples_from_csv(const CsvTable& t) {
+  std::vector<RuntimeSample> samples;
+  samples.reserve(t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    RuntimeSample s;
+    s.model = t.cell(r, "model");
+    s.device = t.cell(r, "device");
+    s.image_size = t.cell_int(r, "image_size");
+    s.global_batch = t.cell_int(r, "global_batch");
+    s.num_devices = static_cast<int>(t.cell_int(r, "num_devices"));
+    s.num_nodes = static_cast<int>(t.cell_int(r, "num_nodes"));
+    s.flops1 = t.cell_double(r, "flops1");
+    s.inputs1 = t.cell_double(r, "inputs1");
+    s.outputs1 = t.cell_double(r, "outputs1");
+    s.weights = t.cell_double(r, "weights");
+    s.layers = t.cell_double(r, "layers");
+    s.t_infer = t.cell_double(r, "t_infer");
+    s.t_fwd = t.cell_double(r, "t_fwd");
+    s.t_bwd = t.cell_double(r, "t_bwd");
+    s.t_grad = t.cell_double(r, "t_grad");
+    s.t_step = t.cell_double(r, "t_step");
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void save_samples(const std::vector<RuntimeSample>& samples,
+                  const std::string& path) {
+  samples_to_csv(samples).write_file(path);
+}
+
+std::vector<RuntimeSample> load_samples(const std::string& path) {
+  return samples_from_csv(CsvTable::read_file(path));
+}
+
+}  // namespace convmeter

@@ -1,0 +1,53 @@
+// Runtime samples: one benchmark observation, the unit of data ConvMeter's
+// regression is fitted on. A campaign (src/collect/campaign.hpp) produces a
+// vector of these; CSV persistence keeps campaigns reusable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace convmeter {
+
+/// One measured operating point of one ConvNet (or block).
+struct RuntimeSample {
+  std::string model;   ///< ConvNet or block label — the LOO group key
+  std::string device;  ///< device preset name
+
+  std::int64_t image_size = 0;   ///< square input resolution
+  std::int64_t global_batch = 0; ///< B: images per training step (all devices)
+  int num_devices = 1;           ///< N
+  int num_nodes = 1;
+
+  // Inherent metrics at batch size 1 (per image), Sec. 3.
+  double flops1 = 0.0;
+  double inputs1 = 0.0;
+  double outputs1 = 0.0;
+  double weights = 0.0;
+  double layers = 0.0;
+
+  // Measured times in seconds; inference samples fill t_infer, training
+  // samples fill the phase times.
+  double t_infer = 0.0;
+  double t_fwd = 0.0;
+  double t_bwd = 0.0;
+  double t_grad = 0.0;
+  double t_step = 0.0;
+
+  /// Mini-batch per device, b = B / N (Eq. 3).
+  double mini_batch() const {
+    return static_cast<double>(global_batch) / num_devices;
+  }
+};
+
+/// CSV round trip for sample sets.
+CsvTable samples_to_csv(const std::vector<RuntimeSample>& samples);
+std::vector<RuntimeSample> samples_from_csv(const CsvTable& table);
+
+void save_samples(const std::vector<RuntimeSample>& samples,
+                  const std::string& path);
+std::vector<RuntimeSample> load_samples(const std::string& path);
+
+}  // namespace convmeter

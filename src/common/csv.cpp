@@ -1,0 +1,75 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace convmeter {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CM_CHECK(!header_.empty(), "CSV header must not be empty");
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  CM_CHECK(row.size() == header_.size(),
+           "CSV row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  CM_CHECK(i < rows_.size(), "CSV row index out of range");
+  return rows_[i];
+}
+
+std::size_t CsvTable::col(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw ParseError("CSV column not found: " + name);
+}
+
+const std::string& CsvTable::cell(std::size_t r, const std::string& name) const {
+  return row(r)[col(name)];
+}
+
+double CsvTable::cell_double(std::size_t r, const std::string& name) const {
+  return parse_double(cell(r, name));
+}
+
+long long CsvTable::cell_int(std::size_t r, const std::string& name) const {
+  return parse_int(cell(r, name));
+}
+
+void CsvTable::write(std::ostream& os) const {
+  os << join(header_, ",") << '\n';
+  for (const auto& r : rows_) os << join(r, ",") << '\n';
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open file for writing: " + path);
+  write(f);
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw ParseError("CSV stream is empty");
+  CsvTable table(split(line, ','));
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;
+    table.add_row(split(line, ','));
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open file for reading: " + path);
+  return read(f);
+}
+
+}  // namespace convmeter

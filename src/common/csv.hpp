@@ -1,0 +1,49 @@
+// Minimal CSV reader/writer used to persist benchmark campaigns.
+//
+// The dialect is deliberately simple: comma-separated, first row is the
+// header, no quoting (field values produced by this library never contain
+// commas). This keeps round trips exact and the parser trivially auditable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace convmeter {
+
+/// In-memory CSV document: a header plus data rows of equal width.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Column index for `name`; throws ParseError when absent.
+  std::size_t col(const std::string& name) const;
+
+  /// Typed cell accessors (row index, column name).
+  const std::string& cell(std::size_t row, const std::string& name) const;
+  double cell_double(std::size_t row, const std::string& name) const;
+  long long cell_int(std::size_t row, const std::string& name) const;
+
+  void write(std::ostream& os) const;
+  void write_file(const std::string& path) const;
+
+  static CsvTable read(std::istream& is);
+  static CsvTable read_file(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace convmeter::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check `" << expr << "` failed: " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace convmeter::detail

@@ -1,0 +1,53 @@
+// Error handling primitives for the ConvMeter library.
+//
+// Following the C++ Core Guidelines we report unrecoverable API misuse and
+// invariant violations with exceptions carrying a formatted message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace convmeter {
+
+/// Base exception for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument violates its documented contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when parsing external data (CSV, serialized graphs) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numerical routine cannot produce a result
+/// (e.g. rank-deficient least squares without regularization).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace convmeter
+
+/// Checks a runtime condition and throws convmeter::InvalidArgument with
+/// location information when it does not hold. Active in all build types:
+/// these guard public API contracts, not internal debugging assertions.
+#define CM_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::convmeter::detail::throw_check_failure(#cond, __FILE__, __LINE__,    \
+                                               (msg));                       \
+    }                                                                        \
+  } while (false)

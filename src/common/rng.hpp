@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (measurement-noise injection,
+// baseline MLP initialization, synthetic workload generators) draw from this
+// engine so that every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace convmeter {
+
+/// xoshiro256** PRNG seeded via splitmix64.
+///
+/// Chosen over std::mt19937 because its stream is identical across standard
+/// library implementations, which keeps the regenerated paper tables stable
+/// across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive bounds).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal multiplicative factor with median 1 and the given sigma of
+  /// the underlying normal. Used to model run-to-run timing jitter.
+  double lognormal_factor(double sigma);
+
+  /// Derive an independent child generator; used to give each simulated
+  /// device / phase its own stream.
+  Rng fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,33 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace convmeter {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a double, throwing ParseError with context on failure.
+double parse_double(std::string_view s);
+
+/// Parses a signed 64-bit integer, throwing ParseError with context on
+/// failure.
+long long parse_int(std::string_view s);
+
+}  // namespace convmeter

@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header,
+                           std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  CM_CHECK(!header_.empty(), "table header must not be empty");
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  CM_CHECK(aligns_.size() == header_.size(),
+           "alignment list must match header width");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  CM_CHECK(row.size() == header_.size(), "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 < row.size())
+        os << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,39 @@
+// Fixed-width console table printer used by the benchmark harnesses to
+// regenerate the paper's tables in a readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace convmeter {
+
+/// Column alignment for ConsoleTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and prints them with aligned columns and a
+/// header rule, e.g.:
+///
+///   Model        R^2    RMSE     MAPE
+///   -----------  -----  -------  -----
+///   resnet50     0.97   6.1 ms   0.14
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header,
+                        std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed numeric rows: formats doubles with `precision`
+  /// significant decimal digits.
+  static std::string fmt(double value, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,70 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace convmeter {
+
+namespace {
+
+std::string with_unit(double value, const char* unit) {
+  std::ostringstream os;
+  if (value != 0.0 && std::fabs(value) < 10.0) {
+    os << std::fixed << std::setprecision(2);
+  } else if (std::fabs(value) < 100.0) {
+    os << std::fixed << std::setprecision(1);
+  } else {
+    os << std::fixed << std::setprecision(0);
+  }
+  os << value << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_seconds(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0 || a == 0.0) return with_unit(seconds, "s");
+  if (a >= 1e-3) return with_unit(seconds * 1e3, "ms");
+  if (a >= 1e-6) return with_unit(seconds * 1e6, "us");
+  return with_unit(seconds * 1e9, "ns");
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB",
+                                                       "GiB", "TiB"};
+  double v = bytes;
+  std::size_t u = 0;
+  while (std::fabs(v) >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  return with_unit(v, units[u]);
+}
+
+std::string format_flops(double flops) {
+  static constexpr std::array<const char*, 5> units = {
+      "FLOPs", "KFLOPs", "MFLOPs", "GFLOPs", "TFLOPs"};
+  double v = flops;
+  std::size_t u = 0;
+  while (std::fabs(v) >= 1000.0 && u + 1 < units.size()) {
+    v /= 1000.0;
+    ++u;
+  }
+  return with_unit(v, units[u]);
+}
+
+std::string format_count(double count) {
+  static constexpr std::array<const char*, 4> units = {"", "K", "M", "G"};
+  double v = count;
+  std::size_t u = 0;
+  while (std::fabs(v) >= 1000.0 && u + 1 < units.size()) {
+    v /= 1000.0;
+    ++u;
+  }
+  return with_unit(v, units[u]);
+}
+
+}  // namespace convmeter

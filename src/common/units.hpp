@@ -1,0 +1,21 @@
+// Human-readable formatting of physical quantities (time, bytes, FLOPs).
+#pragma once
+
+#include <string>
+
+namespace convmeter {
+
+/// Formats seconds with an auto-selected unit: "1.23 s", "45.6 ms",
+/// "789 us", "12.3 ns".
+std::string format_seconds(double seconds);
+
+/// Formats a byte count: "1.50 GiB", "640 KiB", ...
+std::string format_bytes(double bytes);
+
+/// Formats an operation count: "4.09 GFLOPs", "71.4 MFLOPs", ...
+std::string format_flops(double flops);
+
+/// Formats a plain count with K/M/G suffixes: "25.6 M".
+std::string format_count(double count);
+
+}  // namespace convmeter

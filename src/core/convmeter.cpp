@@ -1,0 +1,188 @@
+#include "core/convmeter.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "linalg/stats.hpp"
+
+namespace convmeter {
+
+RuntimeSample QueryPoint::as_sample() const {
+  CM_CHECK(per_device_batch > 0.0, "per-device batch must be positive");
+  CM_CHECK(num_devices >= 1 && num_nodes >= 1, "devices/nodes must be >= 1");
+  RuntimeSample s;
+  s.flops1 = metrics_b1.flops;
+  s.inputs1 = metrics_b1.conv_inputs;
+  s.outputs1 = metrics_b1.conv_outputs;
+  s.weights = metrics_b1.weights;
+  s.layers = metrics_b1.layers;
+  s.num_devices = num_devices;
+  s.num_nodes = num_nodes;
+  s.global_batch =
+      static_cast<std::int64_t>(per_device_batch * num_devices);
+  return s;
+}
+
+namespace {
+
+/// Standard deviation of relative residuals of `model` on (x, y).
+double relative_residual_sigma(const LinearModel& model, const Matrix& x,
+                               const Vector& y) {
+  const Vector pred = model.predict_all(x);
+  std::vector<double> rel;
+  rel.reserve(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (pred[i] > 0.0) rel.push_back((y[i] - pred[i]) / pred[i]);
+  }
+  return rel.size() >= 2 ? stddev(rel) : 0.0;
+}
+
+}  // namespace
+
+ConvMeter ConvMeter::fit_inference(const std::vector<RuntimeSample>& samples,
+                                   FeatureSet fs) {
+  const Design d = build_design(samples, Phase::kInference, fs);
+  ConvMeter m;
+  m.feature_set_ = fs;
+  m.fwd_ = LinearModel::fit(d.x, d.y);
+  m.fwd_rel_sigma_ = relative_residual_sigma(*m.fwd_, d.x, d.y);
+  return m;
+}
+
+ConvMeter ConvMeter::fit_training(const std::vector<RuntimeSample>& samples) {
+  ConvMeter m;
+  m.feature_set_ = FeatureSet::kCombined;
+  m.multi_node_ = any_multi_device(samples);
+  {
+    const Design d = build_design(samples, Phase::kForward, m.feature_set_);
+    m.fwd_ = LinearModel::fit(d.x, d.y);
+    m.fwd_rel_sigma_ = relative_residual_sigma(*m.fwd_, d.x, d.y);
+  }
+  {
+    const Design d = build_design(samples, Phase::kBackward, m.feature_set_);
+    m.bwd_ = LinearModel::fit(d.x, d.y);
+  }
+  {
+    const Design d =
+        build_design(samples, Phase::kGradUpdate, m.feature_set_);
+    m.grad_ = LinearModel::fit(d.x, d.y);
+  }
+  {
+    const Design d = build_design(samples, Phase::kBwdGrad, m.feature_set_);
+    m.bwd_grad_ = LinearModel::fit(d.x, d.y);
+  }
+  return m;
+}
+
+double ConvMeter::predict_inference(const QueryPoint& q) const {
+  CM_CHECK(fwd_.has_value(), "no forward model fitted");
+  const RuntimeSample s = q.as_sample();
+  return fwd_->predict(forward_features(s, feature_set_));
+}
+
+TrainPrediction ConvMeter::predict_train_step(const QueryPoint& q) const {
+  CM_CHECK(has_training_model(),
+           "predict_train_step requires a model from fit_training()");
+  const RuntimeSample s = q.as_sample();
+  TrainPrediction p;
+  p.fwd = fwd_->predict(forward_features(s, feature_set_));
+  p.bwd = bwd_->predict(forward_features(s, feature_set_));
+  p.grad = grad_->predict(grad_features(s, multi_node_));
+  p.bwd_grad = bwd_grad_->predict(bwd_grad_features(s));
+  p.step = p.fwd + p.bwd_grad;
+  return p;
+}
+
+double ConvMeter::predict_epoch_seconds(const QueryPoint& q,
+                                        double dataset_size) const {
+  CM_CHECK(dataset_size > 0.0, "dataset size must be positive");
+  const double steps =
+      dataset_size / (q.per_device_batch * q.num_devices);
+  return steps * predict_train_step(q).step;
+}
+
+double ConvMeter::predict_throughput(const QueryPoint& q) const {
+  const double step = predict_train_step(q).step;
+  CM_CHECK(step > 0.0, "predicted step time must be positive");
+  return q.per_device_batch * q.num_devices / step;
+}
+
+PredictionInterval ConvMeter::predict_inference_interval(
+    const QueryPoint& q) const {
+  PredictionInterval p;
+  p.value = predict_inference(q);
+  p.relative_sigma = fwd_rel_sigma_;
+  p.low = std::max(0.0, p.value * (1.0 - 2.0 * fwd_rel_sigma_));
+  p.high = p.value * (1.0 + 2.0 * fwd_rel_sigma_);
+  return p;
+}
+
+const LinearModel& ConvMeter::forward_model() const {
+  CM_CHECK(fwd_.has_value(), "no forward model fitted");
+  return *fwd_;
+}
+
+std::string ConvMeter::to_text() const {
+  std::ostringstream os;
+  os << "convmeter " << feature_set_name(feature_set_) << ' '
+     << (multi_node_ ? 1 : 0) << '\n';
+  const auto emit = [&](const char* tag,
+                        const std::optional<LinearModel>& m) {
+    if (m.has_value()) os << tag << ' ' << m->to_text() << '\n';
+  };
+  emit("fwd", fwd_);
+  emit("bwd", bwd_);
+  emit("grad", grad_);
+  emit("bwd_grad", bwd_grad_);
+  return os.str();
+}
+
+ConvMeter ConvMeter::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) throw ParseError("empty convmeter text");
+  const auto head = split(std::string(trim(line)), ' ');
+  if (head.size() != 3 || head[0] != "convmeter") {
+    throw ParseError("malformed convmeter header: " + line);
+  }
+  ConvMeter m;
+  bool found_fs = false;
+  for (const FeatureSet fs :
+       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
+        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
+    if (feature_set_name(fs) == head[1]) {
+      m.feature_set_ = fs;
+      found_fs = true;
+    }
+  }
+  if (!found_fs) throw ParseError("unknown feature set: " + head[1]);
+  m.multi_node_ = parse_int(head[2]) != 0;
+
+  while (std::getline(is, line)) {
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    const auto space = t.find(' ');
+    if (space == std::string_view::npos) {
+      throw ParseError("malformed convmeter line: " + line);
+    }
+    const std::string tag(t.substr(0, space));
+    const std::string body(t.substr(space + 1));
+    const LinearModel lm = LinearModel::from_text(body);
+    if (tag == "fwd") {
+      m.fwd_ = lm;
+    } else if (tag == "bwd") {
+      m.bwd_ = lm;
+    } else if (tag == "grad") {
+      m.grad_ = lm;
+    } else if (tag == "bwd_grad") {
+      m.bwd_grad_ = lm;
+    } else {
+      throw ParseError("unknown convmeter section: " + tag);
+    }
+  }
+  if (!m.fwd_.has_value()) throw ParseError("convmeter text lacks fwd model");
+  return m;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,109 @@
+// ConvMeter: the paper's performance model (Sec. 3).
+//
+//   T_fwd  = b (c1 F1 + c2 I1 + c3 O1) + c4                       (Eq. 3)
+//   T_bwd  = same functional form, separate coefficients
+//   T_grad = c1 L            (N = 1)   |   c1 L + c2 W + c3 N     (N > 1)
+//   T_iter = T_fwd + T_bwd + T_grad                               (Eq. 1)
+//
+// Because T_grad overlaps the backward pass in practice, the training
+// predictor additionally fits the combined backward+gradient model with
+// seven coefficients (Sec. 3.3) and uses it for step predictions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "core/features.hpp"
+#include "metrics/metrics.hpp"
+#include "regress/linear_model.hpp"
+
+namespace convmeter {
+
+/// A workload operating point to predict, described entirely by inherent
+/// metrics — no execution involved.
+struct QueryPoint {
+  GraphMetrics metrics_b1;       ///< metrics at batch size 1
+  double per_device_batch = 1.0; ///< b = B / N
+  int num_devices = 1;           ///< N
+  int num_nodes = 1;
+
+  /// Repackages the query as a (measurement-free) sample so it can flow
+  /// through the shared feature builders.
+  RuntimeSample as_sample() const;
+};
+
+/// Times predicted for one training step, mirroring sim::TrainStepTimes.
+struct TrainPrediction {
+  double fwd = 0.0;
+  double bwd = 0.0;       ///< backward alone (diagnostic)
+  double grad = 0.0;      ///< gradient update alone (diagnostic)
+  double bwd_grad = 0.0;  ///< combined overlapped phases (used for `step`)
+  double step = 0.0;      ///< fwd + bwd_grad
+};
+
+/// A point prediction with a residual-based uncertainty band.
+///
+/// The band is +/- 2 s_rel, where s_rel is the standard deviation of the
+/// fit's *relative* residuals ((measured - predicted) / predicted) over
+/// the tuning set — a pragmatic interval for infrastructure planning
+/// ("the epoch will take 42 s, give or take 15%").
+struct PredictionInterval {
+  double value = 0.0;  ///< point prediction (seconds)
+  double low = 0.0;    ///< value * (1 - 2 s_rel), floored at 0
+  double high = 0.0;   ///< value * (1 + 2 s_rel)
+  double relative_sigma = 0.0;  ///< s_rel
+};
+
+/// The fitted performance model for one target platform.
+class ConvMeter {
+ public:
+  /// Fits an inference predictor on samples carrying t_infer.
+  static ConvMeter fit_inference(const std::vector<RuntimeSample>& samples,
+                                 FeatureSet fs = FeatureSet::kCombined);
+
+  /// Fits a training predictor (forward, backward, gradient-update and
+  /// combined models) on samples carrying phase times.
+  static ConvMeter fit_training(const std::vector<RuntimeSample>& samples);
+
+  bool has_training_model() const { return bwd_grad_.has_value(); }
+  bool multi_node() const { return multi_node_; }
+
+  /// Predicted inference (forward-pass) time in seconds.
+  double predict_inference(const QueryPoint& q) const;
+
+  /// Inference prediction with the tuning-residual uncertainty band.
+  PredictionInterval predict_inference_interval(const QueryPoint& q) const;
+
+  /// Relative residual sigma of the forward fit on its tuning set.
+  double forward_relative_sigma() const { return fwd_rel_sigma_; }
+
+  /// Predicted phase times of one training step.
+  TrainPrediction predict_train_step(const QueryPoint& q) const;
+
+  /// Predicted epoch time: D / (b * N) training steps (Sec. 2).
+  double predict_epoch_seconds(const QueryPoint& q,
+                               double dataset_size) const;
+
+  /// Predicted training throughput in images per second.
+  double predict_throughput(const QueryPoint& q) const;
+
+  /// Access to the fitted coefficient vectors (for reports/tests).
+  const LinearModel& forward_model() const;
+
+  /// Serialization of the tuned platform coefficients.
+  std::string to_text() const;
+  static ConvMeter from_text(const std::string& text);
+
+ private:
+  FeatureSet feature_set_ = FeatureSet::kCombined;
+  bool multi_node_ = false;
+  std::optional<LinearModel> fwd_;
+  std::optional<LinearModel> bwd_;
+  std::optional<LinearModel> grad_;
+  std::optional<LinearModel> bwd_grad_;
+  double fwd_rel_sigma_ = 0.0;
+};
+
+}  // namespace convmeter

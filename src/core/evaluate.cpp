@@ -1,0 +1,67 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/convmeter.hpp"
+
+namespace convmeter {
+
+LooResult evaluate_phase_loo(const std::vector<RuntimeSample>& samples,
+                             Phase phase, FeatureSet fs) {
+  const Design d = build_design(samples, phase, fs);
+  return leave_one_group_out(d.x, d.y, d.groups);
+}
+
+LooResult evaluate_train_step_loo(const std::vector<RuntimeSample>& samples) {
+  CM_CHECK(!samples.empty(), "evaluate_train_step_loo: empty sample set");
+  std::set<std::string> labels;
+  for (const auto& s : samples) labels.insert(s.model);
+  CM_CHECK(labels.size() >= 2, "need at least two ConvNets for LOO");
+
+  LooResult result;
+  std::vector<double> pooled_pred;
+  std::vector<double> pooled_meas;
+
+  for (const std::string& label : labels) {
+    std::vector<RuntimeSample> train;
+    std::vector<RuntimeSample> test;
+    for (const auto& s : samples) {
+      (s.model == label ? test : train).push_back(s);
+    }
+    const ConvMeter model = ConvMeter::fit_training(train);
+
+    GroupEvaluation eval;
+    eval.group = label;
+    for (const auto& s : test) {
+      QueryPoint q;
+      q.metrics_b1.flops = s.flops1;
+      q.metrics_b1.conv_inputs = s.inputs1;
+      q.metrics_b1.conv_outputs = s.outputs1;
+      q.metrics_b1.weights = s.weights;
+      q.metrics_b1.layers = s.layers;
+      q.per_device_batch = s.mini_batch();
+      q.num_devices = s.num_devices;
+      q.num_nodes = s.num_nodes;
+      const double pred = model.predict_train_step(q).step;
+      eval.predicted.push_back(pred);
+      eval.measured.push_back(s.t_step);
+      pooled_pred.push_back(pred);
+      pooled_meas.push_back(s.t_step);
+    }
+    if (eval.measured.size() >= 2) {
+      eval.errors = compute_errors(eval.predicted, eval.measured);
+    }
+    result.per_group.push_back(std::move(eval));
+  }
+
+  std::sort(result.per_group.begin(), result.per_group.end(),
+            [](const GroupEvaluation& a, const GroupEvaluation& b) {
+              return a.group < b.group;
+            });
+  result.pooled = compute_errors(pooled_pred, pooled_meas);
+  return result;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,25 @@
+// Leave-one-ConvNet-out evaluation, the paper's protocol for every error
+// table: "we develop a performance model for each ConvNet, excluding its
+// own data from the training set" (Sec. 4, Benchmarks).
+#pragma once
+
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "core/features.hpp"
+#include "regress/loo.hpp"
+
+namespace convmeter {
+
+/// LOO evaluation of a single phase model (used for Table 1/2, Fig. 2-4).
+LooResult evaluate_phase_loo(const std::vector<RuntimeSample>& samples,
+                             Phase phase,
+                             FeatureSet fs = FeatureSet::kCombined);
+
+/// LOO evaluation of the *composed* training-step prediction: for every
+/// held-out ConvNet, fit the forward and the combined backward+gradient
+/// models on the remaining ConvNets and predict t_step = fwd + bwd_grad
+/// (used for Table 3 / Fig. 5 / Fig. 7 "entire training step").
+LooResult evaluate_train_step_loo(const std::vector<RuntimeSample>& samples);
+
+}  // namespace convmeter

@@ -1,0 +1,106 @@
+#include "core/features.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+std::string feature_set_name(FeatureSet fs) {
+  switch (fs) {
+    case FeatureSet::kFlopsOnly: return "flops";
+    case FeatureSet::kInputsOnly: return "inputs";
+    case FeatureSet::kOutputsOnly: return "outputs";
+    case FeatureSet::kCombined: return "combined";
+  }
+  throw InvalidArgument("unknown FeatureSet");
+}
+
+std::string phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kInference: return "inference";
+    case Phase::kForward: return "forward";
+    case Phase::kBackward: return "backward";
+    case Phase::kGradUpdate: return "grad_update";
+    case Phase::kBwdGrad: return "bwd_grad";
+    case Phase::kTrainStep: return "train_step";
+  }
+  throw InvalidArgument("unknown Phase");
+}
+
+double target_value(const RuntimeSample& s, Phase phase) {
+  switch (phase) {
+    case Phase::kInference: return s.t_infer;
+    case Phase::kForward: return s.t_fwd;
+    case Phase::kBackward: return s.t_bwd;
+    case Phase::kGradUpdate: return s.t_grad;
+    case Phase::kBwdGrad: return s.t_bwd + s.t_grad;
+    case Phase::kTrainStep: return s.t_step;
+  }
+  throw InvalidArgument("unknown Phase");
+}
+
+Vector forward_features(const RuntimeSample& s, FeatureSet fs) {
+  const double b = s.mini_batch();
+  switch (fs) {
+    case FeatureSet::kFlopsOnly: return {b * s.flops1, 1.0};
+    case FeatureSet::kInputsOnly: return {b * s.inputs1, 1.0};
+    case FeatureSet::kOutputsOnly: return {b * s.outputs1, 1.0};
+    case FeatureSet::kCombined:
+      return {b * s.flops1, b * s.inputs1, b * s.outputs1, 1.0};
+  }
+  throw InvalidArgument("unknown FeatureSet");
+}
+
+Vector grad_features(const RuntimeSample& s, bool multi_node) {
+  if (!multi_node) return {s.layers};
+  return {s.layers, s.weights, static_cast<double>(s.num_devices)};
+}
+
+Vector bwd_grad_features(const RuntimeSample& s) {
+  const double b = s.mini_batch();
+  return {b * s.flops1, b * s.inputs1,  b * s.outputs1, 1.0,
+          s.layers,     s.weights,      static_cast<double>(s.num_devices)};
+}
+
+bool any_multi_device(const std::vector<RuntimeSample>& samples) {
+  for (const auto& s : samples) {
+    if (s.num_devices > 1) return true;
+  }
+  return false;
+}
+
+Design build_design(const std::vector<RuntimeSample>& samples, Phase phase,
+                    FeatureSet fs) {
+  CM_CHECK(!samples.empty(), "build_design: empty sample set");
+  const bool multi = any_multi_device(samples);
+
+  const auto features = [&](const RuntimeSample& s) -> Vector {
+    switch (phase) {
+      case Phase::kInference:
+      case Phase::kForward:
+      case Phase::kBackward:
+        return forward_features(s, fs);
+      case Phase::kGradUpdate:
+        return grad_features(s, multi);
+      case Phase::kBwdGrad:
+      case Phase::kTrainStep:
+        return bwd_grad_features(s);
+    }
+    throw InvalidArgument("unknown Phase");
+  };
+
+  const Vector first = features(samples.front());
+  Design d;
+  d.x = Matrix(samples.size(), first.size());
+  d.y.resize(samples.size());
+  d.groups.reserve(samples.size());
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const Vector row = features(samples[r]);
+    CM_CHECK(row.size() == first.size(), "inconsistent feature width");
+    for (std::size_t c = 0; c < row.size(); ++c) d.x(r, c) = row[c];
+    d.y[r] = target_value(samples[r], phase);
+    d.groups.push_back(samples[r].model);
+  }
+  return d;
+}
+
+}  // namespace convmeter

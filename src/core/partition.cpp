@@ -1,0 +1,149 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+#include "graph/subgraph.hpp"
+#include "metrics/metrics.hpp"
+
+namespace convmeter {
+
+double PipelinePlan::time_for_microbatches(int microbatches,
+                                           double link_bandwidth) const {
+  CM_CHECK(microbatches >= 1, "need at least one microbatch");
+  CM_CHECK(!stages.empty(), "empty pipeline plan");
+  double slot = bottleneck_seconds;
+  if (link_bandwidth > 0.0) {
+    double worst_comm = 0.0;
+    for (const auto& s : stages) {
+      worst_comm = std::max(worst_comm, 4.0 * s.boundary_elems / link_bandwidth);
+    }
+    // Synchronous pipeline: each slot covers the slowest stage's compute
+    // plus its boundary transfer.
+    slot += worst_comm;
+  }
+  return (microbatches + static_cast<int>(stages.size()) - 1) * slot;
+}
+
+std::vector<NodeId> pipeline_cut_points(const Graph& graph,
+                                        const Shape& input_shape) {
+  const ShapeMap shapes = infer_shapes(graph, input_shape);
+  // last_consumer[u]: the highest node id consuming u.
+  std::vector<NodeId> last_consumer(graph.size(), -1);
+  for (const auto& n : graph.nodes()) {
+    for (const NodeId in : n.inputs) {
+      last_consumer[static_cast<std::size_t>(in)] =
+          std::max(last_consumer[static_cast<std::size_t>(in)], n.id);
+    }
+  }
+  std::vector<NodeId> cuts;
+  NodeId max_pending = -1;  // highest last_consumer among nodes < n
+  const NodeId sink = graph.output_id();
+  for (const auto& n : graph.nodes()) {
+    // Valid cut after n: nothing produced strictly before n is consumed
+    // after n — then exactly one tensor (n's output) crosses the boundary.
+    const bool single_value = max_pending <= n.id;
+    max_pending = std::max(max_pending,
+                           last_consumer[static_cast<std::size_t>(n.id)]);
+    if (n.id == sink || n.id == 0 || !single_value) continue;
+    // The crossing tensor must be an image tensor (stages are ConvNets).
+    if (shapes[static_cast<std::size_t>(n.id)].rank() == 4) {
+      cuts.push_back(n.id);
+    }
+  }
+  return cuts;
+}
+
+namespace {
+
+/// Predicted time of the segment (entry, exit] under `model`.
+double segment_time(const Graph& graph, const ShapeMap& shapes,
+                    const ConvMeter& model, NodeId entry, NodeId exit,
+                    double batch) {
+  const Shape& entry_shape = shapes[static_cast<std::size_t>(entry)];
+  const Graph block =
+      extract_block(graph, entry, exit, entry_shape.channels(),
+                    graph.name() + "/stage");
+  QueryPoint q;
+  q.metrics_b1 = compute_metrics(block, entry_shape.with_batch(1));
+  q.per_device_batch = batch;
+  return model.predict_inference(q);
+}
+
+}  // namespace
+
+PipelinePlan partition_pipeline(const Graph& graph, const Shape& input_shape,
+                                const ConvMeter& model, int num_stages) {
+  CM_CHECK(num_stages >= 1, "need at least one stage");
+  const ShapeMap shapes = infer_shapes(graph, input_shape);
+  const double batch = static_cast<double>(input_shape.batch());
+
+  // Boundary candidates: input node, the legal cuts, then the sink.
+  std::vector<NodeId> bounds;
+  bounds.push_back(0);
+  for (const NodeId c : pipeline_cut_points(graph, input_shape)) {
+    bounds.push_back(c);
+  }
+  bounds.push_back(graph.output_id());
+  const std::size_t b = bounds.size();
+  CM_CHECK(static_cast<std::size_t>(num_stages) <= b - 1,
+           "graph has too few cut points for " + std::to_string(num_stages) +
+               " stages");
+
+  // seg[i][j]: predicted time of the segment (bounds[i], bounds[j]].
+  std::vector<std::vector<double>> seg(b, std::vector<double>(b, 0.0));
+  for (std::size_t i = 0; i + 1 < b; ++i) {
+    for (std::size_t j = i + 1; j < b; ++j) {
+      seg[i][j] =
+          segment_time(graph, shapes, model, bounds[i], bounds[j], batch);
+    }
+  }
+
+  // DP: best[s][j] = minimal bottleneck using s stages to cover up to
+  // boundary j. choice[s][j] remembers the previous boundary.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto stages = static_cast<std::size_t>(num_stages);
+  std::vector<std::vector<double>> best(
+      stages + 1, std::vector<double>(b, kInf));
+  std::vector<std::vector<std::size_t>> choice(
+      stages + 1, std::vector<std::size_t>(b, 0));
+  best[0][0] = 0.0;
+  for (std::size_t s = 1; s <= stages; ++s) {
+    for (std::size_t j = s; j < b; ++j) {
+      for (std::size_t i = s - 1; i < j; ++i) {
+        if (best[s - 1][i] == kInf) continue;
+        const double bottleneck = std::max(best[s - 1][i], seg[i][j]);
+        if (bottleneck < best[s][j]) {
+          best[s][j] = bottleneck;
+          choice[s][j] = i;
+        }
+      }
+    }
+  }
+  CM_CHECK(best[stages][b - 1] != kInf, "pipeline partitioning failed");
+
+  // Reconstruct.
+  PipelinePlan plan;
+  plan.bottleneck_seconds = best[stages][b - 1];
+  std::vector<std::size_t> path(stages + 1);
+  path[stages] = b - 1;
+  for (std::size_t s = stages; s > 0; --s) {
+    path[s - 1] = choice[s][path[s]];
+  }
+  for (std::size_t s = 0; s < stages; ++s) {
+    PipelineStage stage;
+    stage.entry = bounds[path[s]];
+    stage.exit = bounds[path[s + 1]];
+    stage.predicted_seconds = seg[path[s]][path[s + 1]];
+    if (s + 1 < stages) {
+      stage.boundary_elems = static_cast<double>(
+          shapes[static_cast<std::size_t>(stage.exit)].numel());
+    }
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,53 @@
+// Pipeline (model-parallel) partitioning on top of block-wise prediction.
+//
+// Sec. 3 of the paper: "ConvMeter can be extended to support other
+// parallelization strategies, such as model parallelism, by leveraging
+// ConvMeter's capability to predict subgraphs or blocks". This module does
+// exactly that: it finds the graph's single-tensor cut points, predicts
+// every candidate segment's time with the fitted block model, and balances
+// the segments across pipeline stages so the bottleneck stage is minimal.
+#pragma once
+
+#include <vector>
+
+#include "core/convmeter.hpp"
+#include "graph/graph.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// One pipeline stage: the contiguous node range (entry, exit] plus its
+/// predicted compute time and the activation volume it ships downstream.
+struct PipelineStage {
+  NodeId entry = -1;  ///< producer feeding the stage (input node for stage 0)
+  NodeId exit = -1;   ///< last node of the stage
+  double predicted_seconds = 0.0;
+  double boundary_elems = 0.0;  ///< activation elements crossing to the next stage
+};
+
+/// A balanced pipeline plan.
+struct PipelinePlan {
+  std::vector<PipelineStage> stages;
+  double bottleneck_seconds = 0.0;  ///< slowest stage
+
+  /// Ideal synchronous-pipeline time to push `microbatches` through:
+  /// (M + S - 1) x bottleneck (fill + steady state + drain), plus the
+  /// per-microbatch activation transfer over `link_bandwidth` bytes/s when
+  /// given (0 disables the communication term).
+  double time_for_microbatches(int microbatches,
+                               double link_bandwidth = 0.0) const;
+};
+
+/// Node ids after which the live state of `graph` is exactly one tensor
+/// (rank-4 under `input_shape`) — the legal pipeline cut points.
+std::vector<NodeId> pipeline_cut_points(const Graph& graph,
+                                        const Shape& input_shape);
+
+/// Balances `graph` into `num_stages` pipeline stages, minimizing the
+/// bottleneck stage time as predicted by `model` (a fitted inference
+/// ConvMeter) at the given input shape. Throws InvalidArgument when the
+/// graph has fewer cut points than stages require.
+PipelinePlan partition_pipeline(const Graph& graph, const Shape& input_shape,
+                                const ConvMeter& model, int num_stages);
+
+}  // namespace convmeter

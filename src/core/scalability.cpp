@@ -1,0 +1,86 @@
+#include "core/scalability.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+ScalabilityAnalyzer::ScalabilityAnalyzer(const ConvMeter& model,
+                                         int devices_per_node)
+    : model_(&model), devices_per_node_(devices_per_node) {
+  CM_CHECK(devices_per_node >= 1, "devices_per_node must be >= 1");
+  CM_CHECK(model.has_training_model(),
+           "scalability analysis requires a training model");
+}
+
+ScalabilityPoint ScalabilityAnalyzer::eval(const GraphMetrics& metrics_b1,
+                                           double batch, int nodes) const {
+  QueryPoint q;
+  q.metrics_b1 = metrics_b1;
+  q.per_device_batch = batch;
+  q.num_nodes = nodes;
+  q.num_devices = nodes * devices_per_node_;
+  ScalabilityPoint p;
+  p.num_nodes = nodes;
+  p.per_device_batch = batch;
+  p.step_seconds = model_->predict_train_step(q).step;
+  p.throughput = q.per_device_batch * q.num_devices / p.step_seconds;
+  return p;
+}
+
+std::vector<ScalabilityPoint> ScalabilityAnalyzer::node_sweep(
+    const GraphMetrics& metrics_b1, double per_device_batch,
+    int max_nodes) const {
+  CM_CHECK(max_nodes >= 1, "max_nodes must be >= 1");
+  std::vector<ScalabilityPoint> out;
+  for (int n = 1; n <= max_nodes; ++n) {
+    out.push_back(eval(metrics_b1, per_device_batch, n));
+  }
+  return out;
+}
+
+std::vector<ScalabilityPoint> ScalabilityAnalyzer::strong_node_sweep(
+    const GraphMetrics& metrics_b1, double global_batch,
+    int max_nodes) const {
+  CM_CHECK(global_batch >= 1.0 && max_nodes >= 1,
+           "strong scaling needs a positive global batch and node count");
+  std::vector<ScalabilityPoint> out;
+  for (int n = 1; n <= max_nodes; ++n) {
+    const double per_device = global_batch / (n * devices_per_node_);
+    if (per_device < 1.0) break;
+    out.push_back(eval(metrics_b1, per_device, n));
+  }
+  return out;
+}
+
+std::vector<ScalabilityPoint> ScalabilityAnalyzer::batch_sweep(
+    const GraphMetrics& metrics_b1,
+    const std::vector<double>& per_device_batches, int num_nodes) const {
+  std::vector<ScalabilityPoint> out;
+  out.reserve(per_device_batches.size());
+  for (const double b : per_device_batches) {
+    CM_CHECK(b > 0.0, "batch sizes must be positive");
+    out.push_back(eval(metrics_b1, b, num_nodes));
+  }
+  return out;
+}
+
+int ScalabilityAnalyzer::turning_point(const GraphMetrics& metrics_b1,
+                                       double per_device_batch, int max_nodes,
+                                       double min_doubling_speedup) const {
+  CM_CHECK(min_doubling_speedup > 1.0,
+           "min_doubling_speedup must exceed 1.0");
+  int nodes = 1;
+  ScalabilityPoint current = eval(metrics_b1, per_device_batch, nodes);
+  while (nodes * 2 <= max_nodes) {
+    const ScalabilityPoint next =
+        eval(metrics_b1, per_device_batch, nodes * 2);
+    if (next.throughput < current.throughput * min_doubling_speedup) {
+      return nodes;
+    }
+    nodes *= 2;
+    current = next;
+  }
+  return max_nodes;
+}
+
+}  // namespace convmeter

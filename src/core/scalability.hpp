@@ -1,0 +1,64 @@
+// Scalability analysis (Sec. 4.3): predicted training throughput as a
+// function of the node count or the batch size, and detection of the
+// "turning point" after which adding nodes stops paying off.
+#pragma once
+
+#include <vector>
+
+#include "core/convmeter.hpp"
+
+namespace convmeter {
+
+/// One point of a scalability curve.
+struct ScalabilityPoint {
+  int num_nodes = 1;
+  double per_device_batch = 0.0;
+  double step_seconds = 0.0;
+  double throughput = 0.0;  ///< images per second
+};
+
+/// Drives a fitted training ConvMeter over node/batch sweeps.
+class ScalabilityAnalyzer {
+ public:
+  /// `devices_per_node` mirrors the cluster layout (4 x A100 per node).
+  ScalabilityAnalyzer(const ConvMeter& model, int devices_per_node);
+
+  /// Throughput for node counts 1..max_nodes at a fixed per-device batch
+  /// (weak scaling: the global batch grows with the node count).
+  std::vector<ScalabilityPoint> node_sweep(const GraphMetrics& metrics_b1,
+                                           double per_device_batch,
+                                           int max_nodes) const;
+
+  /// Strong scaling: the *global* batch is fixed and split across all
+  /// devices, so the per-device batch shrinks as nodes are added (Sec. 4.3:
+  /// the model "can predict both weak scaling and strong scaling").
+  /// Node counts whose per-device share would fall below one image are
+  /// omitted.
+  std::vector<ScalabilityPoint> strong_node_sweep(
+      const GraphMetrics& metrics_b1, double global_batch,
+      int max_nodes) const;
+
+  /// Throughput over the given per-device batch sizes at a fixed node
+  /// count. Batch sizes beyond device memory are legitimate inputs — the
+  /// model extrapolates, which is the paper's "simulating larger batch
+  /// sizes" use case.
+  std::vector<ScalabilityPoint> batch_sweep(
+      const GraphMetrics& metrics_b1,
+      const std::vector<double>& per_device_batches, int num_nodes) const;
+
+  /// Smallest node count at which doubling the nodes yields a speedup
+  /// below `min_doubling_speedup` (default: < 1.5x for 2x nodes, i.e.
+  /// scaling efficiency under 75%). Returns max_nodes when the model keeps
+  /// scaling through the whole range.
+  int turning_point(const GraphMetrics& metrics_b1, double per_device_batch,
+                    int max_nodes, double min_doubling_speedup = 1.5) const;
+
+ private:
+  ScalabilityPoint eval(const GraphMetrics& metrics_b1, double batch,
+                        int nodes) const;
+
+  const ConvMeter* model_;
+  int devices_per_node_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,361 @@
+#include "exec/backward.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+
+namespace {
+
+float act_grad(float x, ActKind kind) {
+  switch (kind) {
+    case ActKind::kReLU:
+      return x > 0.0f ? 1.0f : 0.0f;
+    case ActKind::kReLU6:
+      return x > 0.0f && x < 6.0f ? 1.0f : 0.0f;
+    case ActKind::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f - s);
+    }
+    case ActKind::kSiLU: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f + x * (1.0f - s));
+    }
+    case ActKind::kHardSwish:
+      if (x <= -3.0f) return 0.0f;
+      if (x >= 3.0f) return 1.0f;
+      return x / 3.0f + 0.5f;
+    case ActKind::kHardSigmoid:
+      return x > -3.0f && x < 3.0f ? 1.0f / 6.0f : 0.0f;
+    case ActKind::kTanh: {
+      const float t = std::tanh(x);
+      return 1.0f - t * t;
+    }
+    case ActKind::kGELU: {
+      const float c = 0.7978845608f;
+      const float u = c * (x + 0.044715f * x * x * x);
+      const float t = std::tanh(u);
+      const float du = c * (1.0f + 3.0f * 0.044715f * x * x);
+      return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+    }
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+ConvGradients conv2d_backward(ThreadPool& pool, const Tensor& input,
+                              const Tensor& weight, const Tensor& grad_output,
+                              const Conv2dAttrs& a) {
+  const Shape out_shape = conv2d_output_shape(a, input.shape());
+  CM_CHECK(grad_output.shape() == out_shape,
+           "conv2d_backward: grad_output shape mismatch");
+  const auto& in = input.shape();
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::int64_t cout_g = a.out_channels / a.groups;
+
+  ConvGradients g;
+  g.grad_input = Tensor(in);
+  g.grad_weight = Tensor(weight.shape());
+  if (a.bias) g.grad_bias = Tensor(Shape{a.out_channels});
+
+  // dL/db: sum the output gradient over batch and spatial dims.
+  if (a.bias) {
+    for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+      for (std::int64_t oc = 0; oc < a.out_channels; ++oc) {
+        float acc = 0.0f;
+        for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+          for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+            acc += grad_output.at4(nn, oc, oh, ow);
+          }
+        }
+        g.grad_bias.at(static_cast<std::size_t>(oc)) += acc;
+      }
+    }
+  }
+
+  // dL/dx and dL/dw via direct loops (parallel over output channels for
+  // grad_weight, batches for grad_input). Each output position (oc, oh,
+  // ow) contributes grad_output * w to grad_input and grad_output * x to
+  // grad_weight over its receptive field.
+  pool.parallel_for(
+      static_cast<std::size_t>(a.out_channels),
+      [&](std::size_t oc0, std::size_t oc1) {
+        for (std::size_t oc_i = oc0; oc_i < oc1; ++oc_i) {
+          const auto oc = static_cast<std::int64_t>(oc_i);
+          const std::int64_t grp = oc / cout_g;
+          for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+            for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+              for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+                const float go = grad_output.at4(nn, oc, oh, ow);
+                if (go == 0.0f) continue;
+                for (std::int64_t ic = 0; ic < cin_g; ++ic) {
+                  for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+                    const std::int64_t ih =
+                        oh * a.stride_h - a.pad_h + kh * a.dilation_h;
+                    if (ih < 0 || ih >= in.height()) continue;
+                    for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+                      const std::int64_t iw =
+                          ow * a.stride_w - a.pad_w + kw * a.dilation_w;
+                      if (iw < 0 || iw >= in.width()) continue;
+                      g.grad_weight.at4(oc, ic, kh, kw) +=
+                          go * input.at4(nn, grp * cin_g + ic, ih, iw);
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+
+  // grad_input: parallel over batches; threads touch disjoint batches.
+  pool.parallel_for(
+      static_cast<std::size_t>(out_shape.batch()),
+      [&](std::size_t n0, std::size_t n1) {
+        for (std::size_t n_i = n0; n_i < n1; ++n_i) {
+          const auto nn = static_cast<std::int64_t>(n_i);
+          for (std::int64_t oc = 0; oc < a.out_channels; ++oc) {
+            const std::int64_t grp = oc / cout_g;
+            for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+              for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+                const float go = grad_output.at4(nn, oc, oh, ow);
+                if (go == 0.0f) continue;
+                for (std::int64_t ic = 0; ic < cin_g; ++ic) {
+                  for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+                    const std::int64_t ih =
+                        oh * a.stride_h - a.pad_h + kh * a.dilation_h;
+                    if (ih < 0 || ih >= in.height()) continue;
+                    for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+                      const std::int64_t iw =
+                          ow * a.stride_w - a.pad_w + kw * a.dilation_w;
+                      if (iw < 0 || iw >= in.width()) continue;
+                      g.grad_input.at4(nn, grp * cin_g + ic, ih, iw) +=
+                          go * weight.at4(oc, ic, kh, kw);
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+  return g;
+}
+
+LinearGradients linear_backward(ThreadPool& pool, const Tensor& input,
+                                const Tensor& weight,
+                                const Tensor& grad_output,
+                                const LinearAttrs& a) {
+  const auto& in = input.shape();
+  CM_CHECK(in.rank() == 2 && in.dim(1) == a.in_features,
+           "linear_backward: input shape mismatch");
+  CM_CHECK(grad_output.shape() == Shape({in.dim(0), a.out_features}),
+           "linear_backward: grad_output shape mismatch");
+  const auto batch = static_cast<std::size_t>(in.dim(0));
+  const auto in_f = static_cast<std::size_t>(a.in_features);
+  const auto out_f = static_cast<std::size_t>(a.out_features);
+
+  LinearGradients g;
+  g.grad_input = Tensor(in);
+  g.grad_weight = Tensor(weight.shape());
+  if (a.bias) g.grad_bias = Tensor(Shape{a.out_features});
+
+  // grad_input = grad_output * W ; parallel over batch rows.
+  pool.parallel_for(batch, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t o = 0; o < out_f; ++o) {
+        const float go = grad_output.at(b * out_f + o);
+        if (go == 0.0f) continue;
+        const auto w = weight.data().subspan(o * in_f, in_f);
+        for (std::size_t i = 0; i < in_f; ++i) {
+          g.grad_input.at(b * in_f + i) += go * w[i];
+        }
+      }
+    }
+  });
+  // grad_weight = grad_output^T * x ; parallel over output features.
+  pool.parallel_for(out_f, [&](std::size_t o0, std::size_t o1) {
+    for (std::size_t o = o0; o < o1; ++o) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float go = grad_output.at(b * out_f + o);
+        if (go == 0.0f) continue;
+        const auto x = input.data().subspan(b * in_f, in_f);
+        for (std::size_t i = 0; i < in_f; ++i) {
+          g.grad_weight.at(o * in_f + i) += go * x[i];
+        }
+      }
+    }
+  });
+  if (a.bias) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t o = 0; o < out_f; ++o) {
+        g.grad_bias.at(o) += grad_output.at(b * out_f + o);
+      }
+    }
+  }
+  return g;
+}
+
+Tensor activation_backward(const Tensor& input, const Tensor& grad_output,
+                           ActKind kind) {
+  CM_CHECK(input.shape() == grad_output.shape(),
+           "activation_backward: shape mismatch");
+  Tensor out(input.shape());
+  const auto x = input.data();
+  const auto go = grad_output.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    o[i] = go[i] * act_grad(x[i], kind);
+  }
+  return out;
+}
+
+Tensor max_pool2d_backward(const Tensor& input, const Tensor& grad_output,
+                           const Pool2dAttrs& a) {
+  const Shape out_shape = pool2d_output_shape(a, input.shape());
+  CM_CHECK(grad_output.shape() == out_shape,
+           "max_pool2d_backward: grad_output shape mismatch");
+  const auto& in = input.shape();
+  Tensor g(in);
+  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < out_shape.channels(); ++cc) {
+      for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+        for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+          float best = std::numeric_limits<float>::lowest();
+          std::int64_t bh = -1;
+          std::int64_t bw = -1;
+          for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+            const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
+            if (ih < 0 || ih >= in.height()) continue;
+            for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
+              if (iw < 0 || iw >= in.width()) continue;
+              const float v = input.at4(nn, cc, ih, iw);
+              if (v > best) {
+                best = v;
+                bh = ih;
+                bw = iw;
+              }
+            }
+          }
+          if (bh >= 0) {
+            g.at4(nn, cc, bh, bw) += grad_output.at4(nn, cc, oh, ow);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Tensor avg_pool2d_backward(const Tensor& input, const Tensor& grad_output,
+                           const Pool2dAttrs& a) {
+  const Shape out_shape = pool2d_output_shape(a, input.shape());
+  CM_CHECK(grad_output.shape() == out_shape,
+           "avg_pool2d_backward: grad_output shape mismatch");
+  const auto& in = input.shape();
+  Tensor g(in);
+  const float denom = static_cast<float>(a.kernel_h * a.kernel_w);
+  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < out_shape.channels(); ++cc) {
+      for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+        for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+          const float share = grad_output.at4(nn, cc, oh, ow) / denom;
+          for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+            const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
+            if (ih < 0 || ih >= in.height()) continue;
+            for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
+              if (iw < 0 || iw >= in.width()) continue;
+              g.at4(nn, cc, ih, iw) += share;
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Tensor adaptive_avg_pool2d_backward(const Tensor& input,
+                                    const Tensor& grad_output) {
+  const auto& in = input.shape();
+  const auto& out = grad_output.shape();
+  CM_CHECK(in.rank() == 4 && out.rank() == 4 && in.batch() == out.batch() &&
+               in.channels() == out.channels(),
+           "adaptive_avg_pool2d_backward: shape mismatch");
+  Tensor g(in);
+  for (std::int64_t nn = 0; nn < in.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < in.channels(); ++cc) {
+      for (std::int64_t oh = 0; oh < out.height(); ++oh) {
+        const std::int64_t h0 = oh * in.height() / out.height();
+        const std::int64_t h1 =
+            (oh + 1) * in.height() / out.height() +
+            ((oh + 1) * in.height() % out.height() != 0 ? 1 : 0);
+        for (std::int64_t ow = 0; ow < out.width(); ++ow) {
+          const std::int64_t w0 = ow * in.width() / out.width();
+          const std::int64_t w1 =
+              (ow + 1) * in.width() / out.width() +
+              ((ow + 1) * in.width() % out.width() != 0 ? 1 : 0);
+          const float share = grad_output.at4(nn, cc, oh, ow) /
+                              static_cast<float>((h1 - h0) * (w1 - w0));
+          for (std::int64_t ih = h0; ih < h1; ++ih) {
+            for (std::int64_t iw = w0; iw < w1; ++iw) {
+              g.at4(nn, cc, ih, iw) += share;
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+BatchNormGradients batch_norm2d_backward(const Tensor& input,
+                                         const Tensor& gamma,
+                                         const Tensor& running_mean,
+                                         const Tensor& running_var,
+                                         const Tensor& grad_output,
+                                         double eps) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 4 && grad_output.shape() == s,
+           "batch_norm2d_backward: shape mismatch");
+  BatchNormGradients g;
+  g.grad_input = Tensor(s);
+  g.grad_gamma = Tensor(Shape{s.channels()});
+  g.grad_beta = Tensor(Shape{s.channels()});
+  for (std::int64_t cc = 0; cc < s.channels(); ++cc) {
+    const auto ci = static_cast<std::size_t>(cc);
+    const float inv_std =
+        1.0f / std::sqrt(running_var.at(ci) + static_cast<float>(eps));
+    const float scale = gamma.at(ci) * inv_std;
+    for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
+      for (std::int64_t hh = 0; hh < s.height(); ++hh) {
+        for (std::int64_t ww = 0; ww < s.width(); ++ww) {
+          const float go = grad_output.at4(nn, cc, hh, ww);
+          g.grad_input.at4(nn, cc, hh, ww) = go * scale;
+          g.grad_beta.at(ci) += go;
+          g.grad_gamma.at(ci) +=
+              go * (input.at4(nn, cc, hh, ww) - running_mean.at(ci)) * inv_std;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Tensor flatten_backward(const Shape& input_shape, const Tensor& grad_output) {
+  CM_CHECK(grad_output.numel() == input_shape.numel(),
+           "flatten_backward: element count mismatch");
+  Tensor g(input_shape);
+  std::copy(grad_output.data().begin(), grad_output.data().end(),
+            g.data().begin());
+  return g;
+}
+
+}  // namespace convmeter

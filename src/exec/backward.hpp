@@ -1,0 +1,77 @@
+// Real backward-pass kernels (reverse-mode gradients) for the layer
+// vocabulary. Together with exec/trainer.hpp this gives the project an
+// actually runnable training step on the CPU, complementing the device
+// simulator used for the large campaigns.
+//
+// Only the gradients needed by ConvNet training are implemented; each
+// kernel is the straightforward transpose of its forward counterpart and
+// is validated against finite differences in tests/backward_test.cpp.
+#pragma once
+
+#include "exec/thread_pool.hpp"
+#include "graph/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter {
+
+/// Gradients produced by a convolution backward pass.
+struct ConvGradients {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;  ///< empty when attrs.bias is false
+};
+
+/// Backward of conv2d: given x, w and dL/dy, produces dL/dx, dL/dw, dL/db.
+ConvGradients conv2d_backward(ThreadPool& pool, const Tensor& input,
+                              const Tensor& weight, const Tensor& grad_output,
+                              const Conv2dAttrs& attrs);
+
+/// Gradients of a fully connected layer.
+struct LinearGradients {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;  ///< empty when attrs.bias is false
+};
+
+LinearGradients linear_backward(ThreadPool& pool, const Tensor& input,
+                                const Tensor& weight,
+                                const Tensor& grad_output,
+                                const LinearAttrs& attrs);
+
+/// Backward of an elementwise activation: dL/dx = dL/dy * f'(x).
+Tensor activation_backward(const Tensor& input, const Tensor& grad_output,
+                           ActKind kind);
+
+/// Backward of max pooling: routes each output gradient to the argmax
+/// input position (ties broken toward the first occurrence, as PyTorch).
+Tensor max_pool2d_backward(const Tensor& input, const Tensor& grad_output,
+                           const Pool2dAttrs& attrs);
+
+/// Backward of average pooling: spreads each output gradient uniformly
+/// over its window.
+Tensor avg_pool2d_backward(const Tensor& input, const Tensor& grad_output,
+                           const Pool2dAttrs& attrs);
+
+/// Backward of adaptive average pooling.
+Tensor adaptive_avg_pool2d_backward(const Tensor& input,
+                                    const Tensor& grad_output);
+
+/// Backward of inference-mode batch norm (affine transform with frozen
+/// statistics): dL/dx = dL/dy * gamma / sqrt(var + eps); also returns the
+/// gamma/beta gradients.
+struct BatchNormGradients {
+  Tensor grad_input;
+  Tensor grad_gamma;
+  Tensor grad_beta;
+};
+BatchNormGradients batch_norm2d_backward(const Tensor& input,
+                                         const Tensor& gamma,
+                                         const Tensor& running_mean,
+                                         const Tensor& running_var,
+                                         const Tensor& grad_output,
+                                         double eps = 1e-5);
+
+/// Backward of flatten: reshape the gradient back to the input shape.
+Tensor flatten_backward(const Shape& input_shape, const Tensor& grad_output);
+
+}  // namespace convmeter

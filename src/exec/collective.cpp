@@ -1,0 +1,87 @@
+#include "exec/collective.hpp"
+
+#include <barrier>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// Chunk [begin, end) of rank `c` when a buffer of `n` elements is split
+/// into `parts` near-equal pieces.
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+ChunkRange chunk_range(std::size_t n, std::size_t parts, std::size_t c) {
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin = c * base + std::min(c, extra);
+  const std::size_t size = base + (c < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace
+
+void ring_allreduce_sum(std::vector<std::span<float>>& replicas) {
+  const std::size_t ranks = replicas.size();
+  CM_CHECK(ranks >= 1, "all-reduce needs at least one replica");
+  const std::size_t n = replicas[0].size();
+  for (const auto& r : replicas) {
+    CM_CHECK(r.size() == n, "all replicas must have equal length");
+  }
+  if (ranks == 1 || n == 0) return;
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(ranks));
+
+  const auto worker = [&](std::size_t rank) {
+    // Phase 1: reduce-scatter. In step s, rank r accumulates its receive
+    // chunk (r - s - 1 mod R) from its left neighbour's buffer. After
+    // R-1 steps, chunk c is fully summed on rank (c + 1) mod R.
+    for (std::size_t step = 0; step + 1 < ranks; ++step) {
+      const std::size_t src = (rank + ranks - 1) % ranks;
+      const std::size_t c = (rank + ranks - step - 1) % ranks;
+      const ChunkRange range = chunk_range(n, ranks, c);
+      sync.arrive_and_wait();  // neighbour's previous step is complete
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        replicas[rank][i] += replicas[src][i];
+      }
+      sync.arrive_and_wait();  // everyone finished accumulating this step
+    }
+    // Phase 2: all-gather. The owner of each summed chunk circulates it;
+    // in step s, rank r copies chunk (r - s mod R) from its left
+    // neighbour, which already holds the final value of that chunk.
+    for (std::size_t step = 0; step + 1 < ranks; ++step) {
+      const std::size_t src = (rank + ranks - 1) % ranks;
+      const std::size_t c = (rank + ranks - step) % ranks;
+      const ChunkRange range = chunk_range(n, ranks, c);
+      sync.arrive_and_wait();
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        replicas[rank][i] = replicas[src][i];
+      }
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks - 1);
+  for (std::size_t rank = 1; rank < ranks; ++rank) {
+    threads.emplace_back(worker, rank);
+  }
+  worker(0);
+  for (auto& t : threads) t.join();
+}
+
+void ring_allreduce_average(std::vector<std::span<float>>& replicas) {
+  ring_allreduce_sum(replicas);
+  if (replicas.empty()) return;
+  const float inv = 1.0f / static_cast<float>(replicas.size());
+  for (auto& r : replicas) {
+    for (float& v : r) v *= inv;
+  }
+}
+
+}  // namespace convmeter

@@ -1,0 +1,29 @@
+// Real collective operations over in-process replicas.
+//
+// ring_allreduce_sum implements the classic two-phase ring algorithm
+// (reduce-scatter, then all-gather) the NCCL/Horovod stack uses — here
+// across worker threads instead of GPUs, with std::barrier as the rank
+// synchronization. It is the runnable counterpart of the analytical
+// CommFabric::ring_allreduce_time cost model in src/sim.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace convmeter {
+
+/// Sums `replicas` element-wise in place: afterwards every replica holds
+/// the sum over all replicas. All replicas must have equal length.
+///
+/// Ranks run on their own threads; with R replicas the buffer is split
+/// into R chunks and each rank forwards one chunk per step around the
+/// ring, so every rank sends/receives 2(R-1)/R of the buffer — exactly the
+/// traffic term of the simulator's cost model.
+void ring_allreduce_sum(std::vector<std::span<float>>& replicas);
+
+/// Convenience: all-reduce then divide by the replica count (gradient
+/// averaging in data-parallel training).
+void ring_allreduce_average(std::vector<std::span<float>>& replicas);
+
+}  // namespace convmeter

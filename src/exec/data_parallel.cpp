@@ -1,0 +1,124 @@
+#include "exec/data_parallel.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "exec/collective.hpp"
+
+namespace convmeter {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point from) {
+  return std::chrono::duration<double>(Clock::now() - from).count();
+}
+
+/// Copies batch rows [begin, end) of a rank-4 tensor.
+Tensor slice_batch(const Tensor& t, std::int64_t begin, std::int64_t end) {
+  const Shape& s = t.shape();
+  CM_CHECK(s.rank() == 4, "data-parallel input must be rank-4");
+  Tensor out(Shape::nchw(end - begin, s.channels(), s.height(), s.width()));
+  const std::size_t row =
+      static_cast<std::size_t>(s.channels() * s.height() * s.width());
+  std::copy(t.data().begin() + static_cast<std::ptrdiff_t>(begin * row),
+            t.data().begin() + static_cast<std::ptrdiff_t>(end * row),
+            out.data().begin());
+  return out;
+}
+
+}  // namespace
+
+DataParallelTrainer::DataParallelTrainer(const Graph& graph, int num_workers,
+                                         TrainerConfig config) {
+  CM_CHECK(num_workers >= 1, "need at least one worker");
+  // Workers run on their own threads; keep each replica single-threaded so
+  // the workers, not the kernels, carry the parallelism.
+  config.num_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.push_back(std::make_unique<Trainer>(graph, config));
+  }
+}
+
+const Trainer& DataParallelTrainer::replica(int worker) const {
+  CM_CHECK(worker >= 0 && worker < num_workers(), "worker index out of range");
+  return *workers_[static_cast<std::size_t>(worker)];
+}
+
+DataParallelStepResult DataParallelTrainer::step(
+    const Tensor& global_input, const std::vector<int>& global_labels) {
+  const std::int64_t batch = global_input.shape().batch();
+  const auto workers = static_cast<std::int64_t>(workers_.size());
+  CM_CHECK(batch % workers == 0,
+           "global batch must divide evenly across workers");
+  CM_CHECK(global_labels.size() == static_cast<std::size_t>(batch),
+           "one label per batch element required");
+  const std::int64_t shard = batch / workers;
+
+  DataParallelStepResult result;
+
+  // ---- parallel forward + backward per worker -----------------------------
+  std::vector<Trainer::GradientMap> grads(workers_.size());
+  std::vector<RealStepResult> partials(workers_.size());
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      threads.emplace_back([&, w] {
+        const auto begin = static_cast<std::int64_t>(w) * shard;
+        const Tensor input = slice_batch(global_input, begin, begin + shard);
+        const std::vector<int> labels(
+            global_labels.begin() + begin,
+            global_labels.begin() + begin + shard);
+        partials[w] = workers_[w]->compute_gradients(input, labels, &grads[w]);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double compute_seconds = elapsed(t0);
+  double fwd = 0.0;
+  double bwd = 0.0;
+  for (const auto& p : partials) {
+    result.loss += p.loss / static_cast<double>(workers_.size());
+    fwd = std::max(fwd, p.fwd_seconds);
+    bwd = std::max(bwd, p.bwd_seconds);
+  }
+  // Attribute the joint wall time proportionally to the slowest worker's
+  // phase split (the phases interleave across threads).
+  const double split = fwd + bwd > 0.0 ? fwd / (fwd + bwd) : 0.5;
+  result.fwd_seconds = compute_seconds * split;
+  result.bwd_seconds = compute_seconds * (1.0 - split);
+
+  // ---- ring all-reduce of every gradient tensor -----------------------------
+  const auto t1 = Clock::now();
+  // All replicas share the graph, so gradient maps have identical keys and
+  // tensor arities.
+  for (auto& [node, tensors] : grads[0]) {
+    for (std::size_t p = 0; p < tensors.size(); ++p) {
+      std::vector<std::span<float>> views;
+      views.reserve(workers_.size());
+      for (auto& g : grads) {
+        auto it = g.find(node);
+        CM_CHECK(it != g.end() && it->second.size() == tensors.size(),
+                 "replica gradient maps diverged");
+        views.push_back(it->second[p].data());
+      }
+      ring_allreduce_average(views);
+    }
+  }
+  result.comm_seconds = elapsed(t1);
+
+  // ---- identical optimizer step on every replica ------------------------------
+  const auto t2 = Clock::now();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->apply_gradients(grads[w]);
+  }
+  result.update_seconds = elapsed(t2);
+  return result;
+}
+
+}  // namespace convmeter

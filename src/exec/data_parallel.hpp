@@ -1,0 +1,55 @@
+// Real data-parallel training across in-process worker replicas.
+//
+// Each worker holds a full model replica (identical initialization) and
+// processes its share of the global batch; gradients are averaged with the
+// real ring all-reduce (exec/collective.hpp) before every replica applies
+// the same optimizer step — the synchronous scheme of the paper's Fig. 1,
+// executed with real kernels on worker threads instead of GPUs.
+//
+// Because replicas see identical averaged gradients and identical
+// optimizer state, they remain bit-identical across steps — an invariant
+// the tests assert.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/trainer.hpp"
+
+namespace convmeter {
+
+/// Timing/quality result of one data-parallel step, mirroring the three
+/// phases the paper measures plus the communication share.
+struct DataParallelStepResult {
+  double loss = 0.0;       ///< mean loss over the global batch
+  double fwd_seconds = 0.0;
+  double bwd_seconds = 0.0;
+  double comm_seconds = 0.0;    ///< ring all-reduce wall time
+  double update_seconds = 0.0;  ///< optimizer step (all replicas)
+};
+
+/// Synchronous data-parallel trainer over `num_workers` replicas.
+class DataParallelTrainer {
+ public:
+  /// Every replica is constructed from the same graph and config, so
+  /// parameters start identical.
+  DataParallelTrainer(const Graph& graph, int num_workers,
+                      TrainerConfig config = {});
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs one synchronous step on a global batch. The batch dimension
+  /// must be divisible by the worker count; each worker gets a contiguous
+  /// shard.
+  DataParallelStepResult step(const Tensor& global_input,
+                              const std::vector<int>& global_labels);
+
+  /// Read access to replica `worker`'s trainer (tests check replica
+  /// consistency through this).
+  const Trainer& replica(int worker) const;
+
+ private:
+  std::vector<std::unique_ptr<Trainer>> workers_;
+};
+
+}  // namespace convmeter

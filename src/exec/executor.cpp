@@ -1,0 +1,158 @@
+#include "exec/executor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "exec/kernels.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic per-node weight tensor. Values are scaled down so deep
+/// networks do not overflow float32 during an un-normalized forward pass.
+Tensor make_weight(const Shape& shape, std::uint64_t seed, float scale) {
+  Tensor t(shape);
+  t.fill_random(seed);
+  for (float& v : t.data()) v *= scale;
+  return t;
+}
+
+}  // namespace
+
+Executor::Executor(std::size_t num_threads) : pool_(num_threads) {}
+
+ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
+                              std::uint64_t weight_seed) {
+  graph.validate();
+  const ShapeMap shapes = infer_shapes(graph, input.shape());
+  std::vector<Tensor> outputs(graph.size());
+  ExecutionResult result;
+  result.layers.reserve(graph.size());
+
+  const auto start_all = Clock::now();
+  for (const auto& n : graph.nodes()) {
+    const auto in = [&](std::size_t i) -> const Tensor& {
+      return outputs[static_cast<std::size_t>(n.inputs.at(i))];
+    };
+    const std::uint64_t seed =
+        weight_seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(n.id) + 1));
+    const auto start = Clock::now();
+    Tensor out;
+    switch (n.kind) {
+      case OpKind::kInput:
+        out = input;
+        break;
+      case OpKind::kConv2d: {
+        const auto& a = n.as<Conv2dAttrs>();
+        const double fan_in =
+            static_cast<double>(a.in_channels / a.groups * a.kernel_h *
+                                a.kernel_w);
+        const float scale = static_cast<float>(1.0 / std::sqrt(fan_in));
+        const Tensor weight = make_weight(
+            Shape({a.out_channels, a.in_channels / a.groups, a.kernel_h,
+                   a.kernel_w}),
+            seed, scale);
+        const Tensor bias =
+            a.bias ? make_weight(Shape{a.out_channels}, seed + 1, scale)
+                   : Tensor();
+        out = conv2d_im2col(pool_, in(0), weight, bias, a);
+        break;
+      }
+      case OpKind::kBatchNorm2d: {
+        const auto c = n.as<BatchNorm2dAttrs>().channels;
+        Tensor gamma(Shape{c}, 1.0f);
+        Tensor beta(Shape{c}, 0.0f);
+        Tensor mean(Shape{c}, 0.0f);
+        Tensor var(Shape{c}, 1.0f);
+        out = batch_norm2d(in(0), gamma, beta, mean, var);
+        break;
+      }
+      case OpKind::kActivation:
+        out = activation(in(0), n.as<ActivationAttrs>().kind);
+        break;
+      case OpKind::kMaxPool2d:
+        out = max_pool2d(in(0), n.as<Pool2dAttrs>());
+        break;
+      case OpKind::kAvgPool2d:
+        out = avg_pool2d(in(0), n.as<Pool2dAttrs>());
+        break;
+      case OpKind::kAdaptiveAvgPool2d: {
+        const auto& a = n.as<AdaptiveAvgPool2dAttrs>();
+        out = adaptive_avg_pool2d(in(0), a.out_h, a.out_w);
+        break;
+      }
+      case OpKind::kLinear: {
+        const auto& a = n.as<LinearAttrs>();
+        const float scale =
+            static_cast<float>(1.0 / std::sqrt(static_cast<double>(a.in_features)));
+        const Tensor weight =
+            make_weight(Shape({a.out_features, a.in_features}), seed, scale);
+        const Tensor bias =
+            a.bias ? make_weight(Shape{a.out_features}, seed + 1, scale)
+                   : Tensor();
+        out = linear(pool_, in(0), weight, bias, a);
+        break;
+      }
+      case OpKind::kFlatten:
+        out = flatten(in(0));
+        break;
+      case OpKind::kAdd:
+        out = add(in(0), in(1));
+        break;
+      case OpKind::kMultiply:
+        out = multiply(in(0), in(1));
+        break;
+      case OpKind::kConcat: {
+        std::vector<Tensor> ins;
+        ins.reserve(n.inputs.size());
+        for (std::size_t i = 0; i < n.inputs.size(); ++i) ins.push_back(in(i));
+        out = concat(ins);
+        break;
+      }
+      case OpKind::kDropout:
+        out = in(0);  // inference mode: identity
+        break;
+      case OpKind::kSliceChannels: {
+        const auto& a = n.as<SliceChannelsAttrs>();
+        out = slice_channels(in(0), a.begin, a.end);
+        break;
+      }
+      case OpKind::kChannelShuffle:
+        out = channel_shuffle(in(0), n.as<ChannelShuffleAttrs>().groups);
+        break;
+      case OpKind::kToTokens:
+      case OpKind::kLayerNorm:
+      case OpKind::kSelfAttention:
+      case OpKind::kSelectToken:
+        throw InvalidArgument(
+            "transformer ops are modeled for prediction but not implemented "
+            "by the CPU executor (node '" + n.name + "')");
+    }
+    const auto end = Clock::now();
+    CM_CHECK(out.shape() == shapes[static_cast<std::size_t>(n.id)],
+             "executor produced an unexpected shape at node '" + n.name + "'");
+    outputs[static_cast<std::size_t>(n.id)] = std::move(out);
+    result.layers.push_back(
+        {n.id, std::chrono::duration<double>(end - start).count()});
+  }
+  const auto end_all = Clock::now();
+
+  result.total_seconds =
+      std::chrono::duration<double>(end_all - start_all).count();
+  result.output = outputs[static_cast<std::size_t>(graph.output_id())];
+  return result;
+}
+
+ExecutionResult Executor::run_random(const Graph& graph,
+                                     const Shape& input_shape,
+                                     std::uint64_t seed) {
+  Tensor input(input_shape);
+  input.fill_random(seed);
+  return run(graph, input, seed);
+}
+
+}  // namespace convmeter

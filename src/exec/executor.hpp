@@ -1,0 +1,52 @@
+// Graph executor: runs a real forward pass of a ConvNet graph on the CPU.
+//
+// Weights are generated deterministically per node (the library models
+// performance, not accuracy — values only need to be realistic, not
+// trained). The executor doubles as a wall-clock measurement source: it
+// records per-layer and total times, giving the project a genuinely
+// *runnable* benchmarking pipeline next to the device simulator.
+#pragma once
+
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter {
+
+/// Wall-clock timing of one node during a forward pass.
+struct LayerTiming {
+  NodeId node = -1;
+  double seconds = 0.0;
+};
+
+/// Result of Executor::run.
+struct ExecutionResult {
+  Tensor output;                    ///< the sink node's output
+  double total_seconds = 0.0;       ///< wall-clock forward time
+  std::vector<LayerTiming> layers;  ///< per-node times, topological order
+};
+
+/// Executes graphs with real kernels (src/exec/kernels.hpp).
+class Executor {
+ public:
+  /// `num_threads` == 0 selects hardware concurrency.
+  explicit Executor(std::size_t num_threads = 0);
+
+  /// Runs a forward pass on `input`. Weights are derived from `weight_seed`
+  /// so repeated runs (and tests) are deterministic.
+  ExecutionResult run(const Graph& graph, const Tensor& input,
+                      std::uint64_t weight_seed = 0xc0ffee);
+
+  /// Convenience: random input of the given shape.
+  ExecutionResult run_random(const Graph& graph, const Shape& input_shape,
+                             std::uint64_t seed = 0xc0ffee);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,458 @@
+#include "exec/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// Cache-blocking tile sizes for the GEMM micro-kernel. Sized so that one
+/// (MC x KC) A-panel plus a (KC x NC) B-panel fit comfortably in L2.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockN = 256;
+
+float act_apply(float x, ActKind kind) {
+  switch (kind) {
+    case ActKind::kReLU:
+      return x > 0.0f ? x : 0.0f;
+    case ActKind::kReLU6:
+      return std::clamp(x, 0.0f, 6.0f);
+    case ActKind::kSiLU:
+      return x / (1.0f + std::exp(-x));
+    case ActKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case ActKind::kHardSwish: {
+      const float r = std::clamp(x + 3.0f, 0.0f, 6.0f);
+      return x * r / 6.0f;
+    }
+    case ActKind::kHardSigmoid:
+      return std::clamp(x / 6.0f + 0.5f, 0.0f, 1.0f);
+    case ActKind::kTanh:
+      return std::tanh(x);
+    case ActKind::kGELU: {
+      // tanh approximation (as PyTorch's gelu(approximate='tanh')).
+      const float c = 0.7978845608f;  // sqrt(2/pi)
+      return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  CM_CHECK(a.size() == m * k && b.size() == k * n && c.size() == m * n,
+           "gemm: span sizes do not match dimensions");
+  // Parallelize over row blocks of C; each thread owns disjoint C rows, so
+  // no synchronization is needed inside the kernel.
+  const std::size_t row_blocks = (m + kBlockM - 1) / kBlockM;
+  pool.parallel_for(row_blocks, [&](std::size_t rb_begin, std::size_t rb_end) {
+    for (std::size_t rb = rb_begin; rb < rb_end; ++rb) {
+      const std::size_t i0 = rb * kBlockM;
+      const std::size_t i1 = std::min(m, i0 + kBlockM);
+      for (std::size_t kk0 = 0; kk0 < k; kk0 += kBlockK) {
+        const std::size_t kk1 = std::min(k, kk0 + kBlockK);
+        for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const std::size_t j1 = std::min(n, j0 + kBlockN);
+          for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t kk = kk0; kk < kk1; ++kk) {
+              const float aik = a[i * k + kk];
+              if (aik == 0.0f) continue;
+              const float* brow = &b[kk * n];
+              float* crow = &c[i * n];
+              for (std::size_t j = j0; j < j1; ++j) {
+                crow[j] += aik * brow[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv2dAttrs& a) {
+  const Shape out_shape = conv2d_output_shape(a, input.shape());
+  CM_CHECK(weight.shape() ==
+               Shape({a.out_channels, a.in_channels / a.groups, a.kernel_h,
+                      a.kernel_w}),
+           "conv2d weight shape mismatch");
+  Tensor out(out_shape);
+  const auto& in = input.shape();
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::int64_t cout_g = a.out_channels / a.groups;
+
+  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+    for (std::int64_t oc = 0; oc < a.out_channels; ++oc) {
+      const std::int64_t g = oc / cout_g;
+      for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+        for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+          float acc = a.bias ? bias.at(static_cast<std::size_t>(oc)) : 0.0f;
+          for (std::int64_t ic = 0; ic < cin_g; ++ic) {
+            for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+              const std::int64_t ih =
+                  oh * a.stride_h - a.pad_h + kh * a.dilation_h;
+              if (ih < 0 || ih >= in.height()) continue;
+              for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+                const std::int64_t iw =
+                    ow * a.stride_w - a.pad_w + kw * a.dilation_w;
+                if (iw < 0 || iw >= in.width()) continue;
+                acc += input.at4(nn, g * cin_g + ic, ih, iw) *
+                       weight.at4(oc, ic, kh, kw);
+              }
+            }
+          }
+          out.at4(nn, oc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
+                     const Tensor& weight, const Tensor& bias,
+                     const Conv2dAttrs& a) {
+  const Shape out_shape = conv2d_output_shape(a, input.shape());
+  Tensor out(out_shape);
+  const auto& in = input.shape();
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::int64_t cout_g = a.out_channels / a.groups;
+  const std::int64_t oh = out_shape.height();
+  const std::int64_t ow = out_shape.width();
+  const std::size_t patch = static_cast<std::size_t>(cin_g) *
+                            static_cast<std::size_t>(a.kernel_h) *
+                            static_cast<std::size_t>(a.kernel_w);
+  const std::size_t cols = static_cast<std::size_t>(oh) *
+                           static_cast<std::size_t>(ow);
+
+  std::vector<float> col(patch * cols);
+  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+    for (std::int64_t g = 0; g < a.groups; ++g) {
+      // im2col: unfold the input window of each output position into a
+      // column; parallel over output rows.
+      pool.parallel_for(static_cast<std::size_t>(oh), [&](std::size_t r0,
+                                                          std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const auto oh_i = static_cast<std::int64_t>(r);
+          for (std::int64_t ow_i = 0; ow_i < ow; ++ow_i) {
+            const std::size_t c_idx =
+                static_cast<std::size_t>(oh_i) * static_cast<std::size_t>(ow) +
+                static_cast<std::size_t>(ow_i);
+            std::size_t p = 0;
+            for (std::int64_t ic = 0; ic < cin_g; ++ic) {
+              for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+                const std::int64_t ih =
+                    oh_i * a.stride_h - a.pad_h + kh * a.dilation_h;
+                for (std::int64_t kw = 0; kw < a.kernel_w; ++kw, ++p) {
+                  const std::int64_t iw =
+                      ow_i * a.stride_w - a.pad_w + kw * a.dilation_w;
+                  float v = 0.0f;
+                  if (ih >= 0 && ih < in.height() && iw >= 0 &&
+                      iw < in.width()) {
+                    v = input.at4(nn, g * cin_g + ic, ih, iw);
+                  }
+                  col[p * cols + c_idx] = v;
+                }
+              }
+            }
+          }
+        }
+      });
+
+      // GEMM: (cout_g x patch) * (patch x cols) -> (cout_g x cols).
+      const std::size_t w_off = static_cast<std::size_t>(g * cout_g) * patch;
+      const std::size_t o_off =
+          (static_cast<std::size_t>(nn) *
+               static_cast<std::size_t>(a.out_channels) +
+           static_cast<std::size_t>(g * cout_g)) *
+          cols;
+      gemm(pool, weight.data().subspan(w_off, static_cast<std::size_t>(cout_g) * patch),
+           std::span<const float>(col),
+           out.data().subspan(o_off, static_cast<std::size_t>(cout_g) * cols),
+           static_cast<std::size_t>(cout_g), patch, cols);
+    }
+  }
+  if (a.bias) {
+    for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+      for (std::int64_t oc = 0; oc < a.out_channels; ++oc) {
+        const float b = bias.at(static_cast<std::size_t>(oc));
+        for (std::int64_t hh = 0; hh < oh; ++hh) {
+          for (std::int64_t ww = 0; ww < ow; ++ww) {
+            out.at4(nn, oc, hh, ww) += b;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor batch_norm2d(const Tensor& input, const Tensor& gamma,
+                    const Tensor& beta, const Tensor& running_mean,
+                    const Tensor& running_var, double eps) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 4, "batch_norm2d expects a rank-4 input");
+  const auto c = static_cast<std::size_t>(s.channels());
+  CM_CHECK(gamma.data().size() == c && beta.data().size() == c &&
+               running_mean.data().size() == c && running_var.data().size() == c,
+           "batch_norm2d parameter size mismatch");
+  Tensor out(s);
+  for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < s.channels(); ++cc) {
+      const auto ci = static_cast<std::size_t>(cc);
+      const float scale =
+          gamma.at(ci) /
+          std::sqrt(running_var.at(ci) + static_cast<float>(eps));
+      const float shift = beta.at(ci) - running_mean.at(ci) * scale;
+      for (std::int64_t hh = 0; hh < s.height(); ++hh) {
+        for (std::int64_t ww = 0; ww < s.width(); ++ww) {
+          out.at4(nn, cc, hh, ww) = input.at4(nn, cc, hh, ww) * scale + shift;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor activation(const Tensor& input, ActKind kind) {
+  Tensor out(input.shape());
+  const auto in = input.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = act_apply(in[i], kind);
+  return out;
+}
+
+namespace {
+
+template <typename Reduce>
+Tensor pool2d_impl(const Tensor& input, const Pool2dAttrs& a, float init,
+                   Reduce reduce, bool average) {
+  const Shape out_shape = pool2d_output_shape(a, input.shape());
+  const auto& in = input.shape();
+  Tensor out(out_shape);
+  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < out_shape.channels(); ++cc) {
+      for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+        for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+          float acc = init;
+          int count = 0;
+          for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+            const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
+            if (ih < 0 || ih >= in.height()) continue;
+            for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
+              if (iw < 0 || iw >= in.width()) continue;
+              acc = reduce(acc, input.at4(nn, cc, ih, iw));
+              ++count;
+            }
+          }
+          if (average) {
+            // PyTorch default (count_include_pad=true) divides by the full
+            // kernel area unless the window is clipped by ceil_mode.
+            const int denom = static_cast<int>(a.kernel_h * a.kernel_w);
+            acc = count > 0 ? acc / static_cast<float>(denom) : 0.0f;
+          }
+          out.at4(nn, cc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor max_pool2d(const Tensor& input, const Pool2dAttrs& attrs) {
+  return pool2d_impl(
+      input, attrs, std::numeric_limits<float>::lowest(),
+      [](float acc, float v) { return std::max(acc, v); }, false);
+}
+
+Tensor avg_pool2d(const Tensor& input, const Pool2dAttrs& attrs) {
+  return pool2d_impl(
+      input, attrs, 0.0f, [](float acc, float v) { return acc + v; }, true);
+}
+
+Tensor adaptive_avg_pool2d(const Tensor& input, std::int64_t out_h,
+                           std::int64_t out_w) {
+  const auto& in = input.shape();
+  CM_CHECK(in.rank() == 4, "adaptive_avg_pool2d expects a rank-4 input");
+  Tensor out(Shape::nchw(in.batch(), in.channels(), out_h, out_w));
+  for (std::int64_t nn = 0; nn < in.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < in.channels(); ++cc) {
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        const std::int64_t h0 = oh * in.height() / out_h;
+        const std::int64_t h1 = (oh + 1) * in.height() / out_h +
+                                ((oh + 1) * in.height() % out_h != 0 ? 1 : 0);
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          const std::int64_t w0 = ow * in.width() / out_w;
+          const std::int64_t w1 = (ow + 1) * in.width() / out_w +
+                                  ((ow + 1) * in.width() % out_w != 0 ? 1 : 0);
+          float acc = 0.0f;
+          for (std::int64_t ih = h0; ih < h1; ++ih) {
+            for (std::int64_t iw = w0; iw < w1; ++iw) {
+              acc += input.at4(nn, cc, ih, iw);
+            }
+          }
+          out.at4(nn, cc, oh, ow) =
+              acc / static_cast<float>((h1 - h0) * (w1 - w0));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
+              const Tensor& bias, const LinearAttrs& a) {
+  const auto& in = input.shape();
+  CM_CHECK(in.rank() == 2 && in.dim(1) == a.in_features,
+           "linear input shape mismatch");
+  CM_CHECK(weight.shape() == Shape({a.out_features, a.in_features}),
+           "linear weight shape mismatch");
+  Tensor out(Shape{in.dim(0), a.out_features});
+  const auto batch = static_cast<std::size_t>(in.dim(0));
+  const auto in_f = static_cast<std::size_t>(a.in_features);
+  const auto out_f = static_cast<std::size_t>(a.out_features);
+  pool.parallel_for(batch, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t o = 0; o < out_f; ++o) {
+        float acc = a.bias ? bias.at(o) : 0.0f;
+        const auto x = input.data().subspan(b * in_f, in_f);
+        const auto w = weight.data().subspan(o * in_f, in_f);
+        for (std::size_t i = 0; i < in_f; ++i) acc += x[i] * w[i];
+        out.at(b * out_f + o) = acc;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor flatten(const Tensor& input) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 4, "flatten expects a rank-4 input");
+  Tensor out(Shape{s.batch(), s.channels() * s.height() * s.width()});
+  std::copy(input.data().begin(), input.data().end(), out.data().begin());
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  CM_CHECK(a.shape() == b.shape(), "add: shape mismatch");
+  Tensor out(a.shape());
+  const auto x = a.data();
+  const auto y = b.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < x.size(); ++i) o[i] = x[i] + y[i];
+  return out;
+}
+
+Tensor multiply(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const auto x = a.data();
+    const auto y = b.data();
+    auto o = out.data();
+    for (std::size_t i = 0; i < x.size(); ++i) o[i] = x[i] * y[i];
+    return out;
+  }
+  const auto& s = a.shape();
+  const auto& g = b.shape();
+  CM_CHECK(s.rank() == 4 && g.rank() == 4 && g.batch() == s.batch() &&
+               g.channels() == s.channels() && g.height() == 1 &&
+               g.width() == 1,
+           "multiply: shapes must match or broadcast (N, C, 1, 1)");
+  Tensor out(s);
+  for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
+    for (std::int64_t cc = 0; cc < s.channels(); ++cc) {
+      const float scale = b.at4(nn, cc, 0, 0);
+      for (std::int64_t hh = 0; hh < s.height(); ++hh) {
+        for (std::int64_t ww = 0; ww < s.width(); ++ww) {
+          out.at4(nn, cc, hh, ww) = a.at4(nn, cc, hh, ww) * scale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat(const std::vector<Tensor>& inputs) {
+  CM_CHECK(inputs.size() >= 2, "concat needs at least two inputs");
+  const auto& first = inputs.front().shape();
+  CM_CHECK(first.rank() == 4, "concat expects rank-4 inputs");
+  std::int64_t channels = 0;
+  for (const auto& t : inputs) {
+    const auto& s = t.shape();
+    CM_CHECK(s.rank() == 4 && s.batch() == first.batch() &&
+                 s.height() == first.height() && s.width() == first.width(),
+             "concat: spatial dims must match");
+    channels += s.channels();
+  }
+  Tensor out(Shape::nchw(first.batch(), channels, first.height(),
+                         first.width()));
+  std::int64_t c_off = 0;
+  for (const auto& t : inputs) {
+    const auto& s = t.shape();
+    for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
+      for (std::int64_t cc = 0; cc < s.channels(); ++cc) {
+        for (std::int64_t hh = 0; hh < s.height(); ++hh) {
+          for (std::int64_t ww = 0; ww < s.width(); ++ww) {
+            out.at4(nn, c_off + cc, hh, ww) = t.at4(nn, cc, hh, ww);
+          }
+        }
+      }
+    }
+    c_off += s.channels();
+  }
+  return out;
+}
+
+Tensor slice_channels(const Tensor& input, std::int64_t begin,
+                      std::int64_t end) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 4 && begin >= 0 && begin < end && end <= s.channels(),
+           "slice_channels: range out of bounds");
+  Tensor out(Shape::nchw(s.batch(), end - begin, s.height(), s.width()));
+  for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
+    for (std::int64_t cc = begin; cc < end; ++cc) {
+      for (std::int64_t hh = 0; hh < s.height(); ++hh) {
+        for (std::int64_t ww = 0; ww < s.width(); ++ww) {
+          out.at4(nn, cc - begin, hh, ww) = input.at4(nn, cc, hh, ww);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor channel_shuffle(const Tensor& input, std::int64_t groups) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 4 && groups >= 1 && s.channels() % groups == 0,
+           "channel_shuffle: groups must divide channels");
+  const std::int64_t per_group = s.channels() / groups;
+  Tensor out(s);
+  for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
+    for (std::int64_t g = 0; g < groups; ++g) {
+      for (std::int64_t k = 0; k < per_group; ++k) {
+        const std::int64_t src = g * per_group + k;
+        const std::int64_t dst = k * groups + g;
+        for (std::int64_t hh = 0; hh < s.height(); ++hh) {
+          for (std::int64_t ww = 0; ww < s.width(); ++ww) {
+            out.at4(nn, dst, hh, ww) = input.at4(nn, src, hh, ww);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace convmeter

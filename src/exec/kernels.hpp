@@ -1,0 +1,63 @@
+// Real CPU compute kernels for the layer vocabulary.
+//
+// Two convolution paths are provided: a direct reference implementation
+// (simple, obviously correct) and the production im2col + blocked-GEMM path
+// the executor uses; tests cross-check them against each other.
+#pragma once
+
+#include "exec/thread_pool.hpp"
+#include "graph/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter {
+
+/// C(m,n) += A(m,k) * B(k,n), row-major, blocked and parallelized over the
+/// rows of C. `c` must be pre-sized and zeroed (or hold an accumulator).
+void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
+
+/// Direct (naive) 2-D convolution; the correctness reference.
+Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv2dAttrs& attrs);
+
+/// im2col + GEMM convolution, parallelized; bit-compatible shapes with
+/// conv2d_direct. `bias` may be an empty tensor when attrs.bias is false.
+Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
+                     const Tensor& weight, const Tensor& bias,
+                     const Conv2dAttrs& attrs);
+
+/// Inference-time batch norm: y = gamma * (x - mean) / sqrt(var + eps) + beta.
+Tensor batch_norm2d(const Tensor& input, const Tensor& gamma,
+                    const Tensor& beta, const Tensor& running_mean,
+                    const Tensor& running_var, double eps = 1e-5);
+
+/// Elementwise activation.
+Tensor activation(const Tensor& input, ActKind kind);
+
+Tensor max_pool2d(const Tensor& input, const Pool2dAttrs& attrs);
+Tensor avg_pool2d(const Tensor& input, const Pool2dAttrs& attrs);
+Tensor adaptive_avg_pool2d(const Tensor& input, std::int64_t out_h,
+                           std::int64_t out_w);
+
+/// Fully connected layer: y = x W^T + b. `weight` is (out, in) like PyTorch.
+Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
+              const Tensor& bias, const LinearAttrs& attrs);
+
+Tensor flatten(const Tensor& input);
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Elementwise product; `b` may be (N, C, 1, 1) broadcasting over HW.
+Tensor multiply(const Tensor& a, const Tensor& b);
+
+/// Channel concatenation of rank-4 tensors.
+Tensor concat(const std::vector<Tensor>& inputs);
+
+/// Keeps channels [begin, end) of a rank-4 tensor.
+Tensor slice_channels(const Tensor& input, std::int64_t begin,
+                      std::int64_t end);
+
+/// ShuffleNet channel shuffle: with G groups and K = C/G channels per
+/// group, output channel k*G+g takes input channel g*K+k.
+Tensor channel_shuffle(const Tensor& input, std::int64_t groups);
+
+}  // namespace convmeter

@@ -1,0 +1,90 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  std::size_t n = num_threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // n - 1 workers; the calling thread is the n-th executor.
+  tasks_.resize(n - 1);
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = tasks_[index];
+    }
+    if (task.body != nullptr && task.begin < task.end) {
+      try {
+        (*task.body)(task.begin, task.end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t threads = num_threads();
+  if (threads == 1 || count == 1) {
+    body(0, count);
+    return;
+  }
+  const std::size_t chunk = (count + threads - 1) / threads;
+
+  std::size_t my_end;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    pending_ = workers_.size();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const std::size_t begin = std::min(count, (i + 1) * chunk);
+      const std::size_t end = std::min(count, (i + 2) * chunk);
+      tasks_[i] = Task{&body, begin, end};
+    }
+    ++generation_;
+    my_end = std::min(count, chunk);
+  }
+  wake_.notify_all();
+
+  body(0, my_end);  // caller's chunk
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace convmeter

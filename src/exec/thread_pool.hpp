@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a parallel_for primitive.
+//
+// The real executor parallelizes its GEMM and convolution loops across
+// worker threads (OpenMP-style static scheduling, implemented with
+// std::thread so the library has no extra dependencies).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace convmeter {
+
+/// A pool of worker threads executing range chunks.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs body(begin, end) over [0, count) split into near-equal chunks,
+  /// one per thread (static schedule). The calling thread executes the
+  /// first chunk; the call returns when every chunk is done. Exceptions
+  /// thrown by `body` are rethrown on the caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> tasks_;         // one slot per worker
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,102 @@
+// Real CPU training: forward pass, reverse-mode backward pass over the
+// graph DAG, softmax cross-entropy loss, and SGD/Adam parameter updates.
+//
+// This is the runnable counterpart of the simulated training pipeline: the
+// same three phases the paper times (forward, backward, gradient update)
+// are executed with real kernels and can be wall-clock measured. It is
+// meant for small-scale validation — the large multi-node campaigns run
+// against src/sim.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "graph/graph.hpp"
+#include "graph/shape_inference.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter {
+
+/// Optimizer selection and hyperparameters.
+struct TrainerConfig {
+  enum class Optimizer { kSgd, kAdam };
+  Optimizer optimizer = Optimizer::kAdam;
+  double learning_rate = 1e-3;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  std::size_t num_threads = 0;   ///< 0 = hardware concurrency
+  std::uint64_t weight_seed = 0xc0ffee;
+};
+
+/// Result of one real training step.
+struct RealStepResult {
+  double loss = 0.0;            ///< mean cross-entropy over the batch
+  double accuracy = 0.0;        ///< batch top-1 accuracy
+  double fwd_seconds = 0.0;     ///< wall-clock forward pass
+  double bwd_seconds = 0.0;     ///< wall-clock backward pass
+  double update_seconds = 0.0;  ///< wall-clock optimizer step
+};
+
+/// Trains a ConvNet graph with real computation.
+class Trainer {
+ public:
+  /// Initializes parameters (He-style scaled uniform) for every
+  /// parameterized node of `graph`. The graph must classify: its sink must
+  /// produce a rank-2 (batch, classes) tensor.
+  Trainer(Graph graph, TrainerConfig config = {});
+
+  const Graph& graph() const { return graph_; }
+
+  /// Runs forward + loss + backward + update on one batch.
+  /// `labels` holds one class index per batch element.
+  RealStepResult step(const Tensor& input, const std::vector<int>& labels);
+
+  /// Forward-only evaluation returning mean loss and accuracy.
+  RealStepResult evaluate(const Tensor& input, const std::vector<int>& labels);
+
+  /// Current parameter tensors of a node (for tests): [weight, bias?] for
+  /// conv/linear, [gamma, beta] for batch norm.
+  const std::vector<Tensor>& parameters(NodeId id) const;
+
+  /// Per-node parameter gradients keyed by node id.
+  using GradientMap = std::unordered_map<NodeId, std::vector<Tensor>>;
+
+  /// Forward + loss + backward WITHOUT the optimizer update; fills `grads`.
+  /// Building block of data-parallel training (exec/data_parallel.hpp),
+  /// where gradients are all-reduced across replicas before the update.
+  RealStepResult compute_gradients(const Tensor& input,
+                                   const std::vector<int>& labels,
+                                   GradientMap* grads);
+
+  /// Applies one optimizer step using externally supplied gradients
+  /// (e.g. the all-reduced average across replicas).
+  void apply_gradients(GradientMap& grads);
+
+ private:
+  struct ParamState {
+    std::vector<Tensor> values;
+    std::vector<Tensor> adam_m;
+    std::vector<Tensor> adam_v;
+  };
+
+  /// Forward pass storing every activation; returns per-node outputs.
+  std::vector<Tensor> forward(const Tensor& input);
+
+
+  Graph graph_;
+  TrainerConfig config_;
+  ThreadPool pool_;
+  std::unordered_map<NodeId, ParamState> params_;
+  std::int64_t step_count_ = 0;
+};
+
+/// Softmax cross-entropy: returns the mean loss and writes dL/dlogits.
+/// Exposed for testing.
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             Tensor* grad_logits);
+
+}  // namespace convmeter

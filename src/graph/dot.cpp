@@ -1,0 +1,101 @@
+#include "graph/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// One-line attribute summary per operator kind.
+std::string attr_summary(const Node& n) {
+  std::ostringstream os;
+  switch (n.kind) {
+    case OpKind::kConv2d: {
+      const auto& a = n.as<Conv2dAttrs>();
+      os << a.in_channels << "→" << a.out_channels << " " << a.kernel_h << "x"
+         << a.kernel_w;
+      if (a.stride_h != 1 || a.stride_w != 1) os << " /" << a.stride_h;
+      if (a.groups != 1) os << " g" << a.groups;
+      break;
+    }
+    case OpKind::kLinear: {
+      const auto& a = n.as<LinearAttrs>();
+      os << a.in_features << "→" << a.out_features;
+      break;
+    }
+    case OpKind::kActivation:
+      os << act_kind_name(n.as<ActivationAttrs>().kind);
+      break;
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d: {
+      const auto& a = n.as<Pool2dAttrs>();
+      os << a.kernel_h << "x" << a.kernel_w << " /" << a.stride_h;
+      break;
+    }
+    case OpKind::kSelfAttention: {
+      const auto& a = n.as<SelfAttentionAttrs>();
+      os << "d" << a.embed_dim << " h" << a.num_heads;
+      break;
+    }
+    default:
+      break;
+  }
+  return os.str();
+}
+
+/// Color per operator family, to make the structure readable at a glance.
+const char* fill_color(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "#d0e6f7";
+    case OpKind::kConv2d: return "#f7d8c4";
+    case OpKind::kLinear: return "#f5e6a8";
+    case OpKind::kSelfAttention: return "#e3c8f0";
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat: return "#d4ecd0";
+    default: return "#eeeeee";
+  }
+}
+
+}  // namespace
+
+std::string graph_to_dot(const Graph& graph,
+                         const std::optional<ShapeMap>& shapes) {
+  if (shapes.has_value()) {
+    CM_CHECK(shapes->size() == graph.size(),
+             "shape map does not match graph size");
+  }
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, style=filled, fontname=\"Helvetica\"];\n";
+  for (const auto& n : graph.nodes()) {
+    os << "  n" << n.id << " [label=\"" << n.name << "\\n"
+       << op_kind_name(n.kind);
+    const std::string attrs = attr_summary(n);
+    if (!attrs.empty()) os << " " << attrs;
+    if (shapes.has_value()) {
+      os << "\\n" << (*shapes)[static_cast<std::size_t>(n.id)].to_string();
+    }
+    os << "\", fillcolor=\"" << fill_color(n.kind) << "\"];\n";
+  }
+  for (const auto& n : graph.nodes()) {
+    for (const NodeId in : n.inputs) {
+      os << "  n" << in << " -> n" << n.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void save_dot(const Graph& graph, const std::string& path,
+              const std::optional<ShapeMap>& shapes) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open file for writing: " + path);
+  f << graph_to_dot(graph, shapes);
+}
+
+}  // namespace convmeter

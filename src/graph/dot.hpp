@@ -1,0 +1,26 @@
+// Graphviz DOT export for ConvNet graphs.
+//
+// Handy for inspecting zoo models and extracted blocks:
+//   dot -Tsvg resnet18.dot -o resnet18.svg
+// Node labels carry the operator kind and its salient attributes; when a
+// shape map is supplied, output shapes are shown too.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+
+/// Renders `graph` in DOT syntax. When `shapes` is provided (from
+/// infer_shapes), each node label includes its output shape.
+std::string graph_to_dot(const Graph& graph,
+                         const std::optional<ShapeMap>& shapes = std::nullopt);
+
+/// Writes the DOT rendering to `path`.
+void save_dot(const Graph& graph, const std::string& path,
+              const std::optional<ShapeMap>& shapes = std::nullopt);
+
+}  // namespace convmeter

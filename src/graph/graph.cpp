@@ -1,0 +1,280 @@
+#include "graph/graph.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+Graph::Graph(std::string name) : name_(std::move(name)) {}
+
+const Node& Graph::node(NodeId id) const {
+  CM_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+           "node id out of range in graph '" + name_ + "'");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId Graph::input_id() const {
+  CM_CHECK(!nodes_.empty() && nodes_.front().kind == OpKind::kInput,
+           "graph '" + name_ + "' has no input node");
+  return 0;
+}
+
+NodeId Graph::output_id() const {
+  std::vector<bool> consumed(nodes_.size(), false);
+  for (const auto& n : nodes_) {
+    for (const NodeId in : n.inputs) consumed[static_cast<std::size_t>(in)] = true;
+  }
+  NodeId sink = -1;
+  for (const auto& n : nodes_) {
+    if (!consumed[static_cast<std::size_t>(n.id)]) {
+      CM_CHECK(sink == -1, "graph '" + name_ + "' has multiple sinks");
+      sink = n.id;
+    }
+  }
+  CM_CHECK(sink != -1, "graph '" + name_ + "' has no sink");
+  return sink;
+}
+
+NodeId Graph::push(std::string name, OpKind kind, OpAttrs attrs,
+                   std::vector<NodeId> inputs) {
+  check_input_ids(inputs);
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.name = std::move(name);
+  n.kind = kind;
+  n.attrs = std::move(attrs);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void Graph::check_input_ids(const std::vector<NodeId>& inputs) const {
+  for (const NodeId in : inputs) {
+    CM_CHECK(in >= 0 && static_cast<std::size_t>(in) < nodes_.size(),
+             "node input id refers to a node that does not exist yet");
+  }
+}
+
+NodeId Graph::input(std::int64_t channels) {
+  CM_CHECK(nodes_.empty(), "input node must be the first node in the graph");
+  CM_CHECK(channels > 0, "input channels must be positive");
+  input_channels_ = channels;
+  return push("input", OpKind::kInput, InputAttrs{}, {});
+}
+
+NodeId Graph::conv2d(std::string name, NodeId in, const Conv2dAttrs& attrs) {
+  CM_CHECK(attrs.in_channels > 0 && attrs.out_channels > 0,
+           "conv2d channels must be positive");
+  CM_CHECK(attrs.groups > 0 && attrs.in_channels % attrs.groups == 0 &&
+               attrs.out_channels % attrs.groups == 0,
+           "conv2d groups must divide both channel counts");
+  CM_CHECK(attrs.kernel_h > 0 && attrs.kernel_w > 0 && attrs.stride_h > 0 &&
+               attrs.stride_w > 0 && attrs.dilation_h > 0 &&
+               attrs.dilation_w > 0,
+           "conv2d kernel/stride/dilation must be positive");
+  return push(std::move(name), OpKind::kConv2d, attrs, {in});
+}
+
+NodeId Graph::batch_norm(std::string name, NodeId in, std::int64_t channels) {
+  CM_CHECK(channels > 0, "batch_norm channels must be positive");
+  return push(std::move(name), OpKind::kBatchNorm2d,
+              BatchNorm2dAttrs{channels}, {in});
+}
+
+NodeId Graph::activation(std::string name, NodeId in, ActKind kind) {
+  return push(std::move(name), OpKind::kActivation, ActivationAttrs{kind},
+              {in});
+}
+
+NodeId Graph::max_pool(std::string name, NodeId in, const Pool2dAttrs& attrs) {
+  return push(std::move(name), OpKind::kMaxPool2d, attrs, {in});
+}
+
+NodeId Graph::avg_pool(std::string name, NodeId in, const Pool2dAttrs& attrs) {
+  return push(std::move(name), OpKind::kAvgPool2d, attrs, {in});
+}
+
+NodeId Graph::adaptive_avg_pool(std::string name, NodeId in, std::int64_t out_h,
+                                std::int64_t out_w) {
+  CM_CHECK(out_h > 0 && out_w > 0, "adaptive pool output size must be positive");
+  return push(std::move(name), OpKind::kAdaptiveAvgPool2d,
+              AdaptiveAvgPool2dAttrs{out_h, out_w}, {in});
+}
+
+NodeId Graph::linear(std::string name, NodeId in, const LinearAttrs& attrs) {
+  CM_CHECK(attrs.in_features > 0 && attrs.out_features > 0,
+           "linear feature counts must be positive");
+  return push(std::move(name), OpKind::kLinear, attrs, {in});
+}
+
+NodeId Graph::flatten(std::string name, NodeId in) {
+  return push(std::move(name), OpKind::kFlatten, FlattenAttrs{}, {in});
+}
+
+NodeId Graph::add(std::string name, NodeId a, NodeId b) {
+  return push(std::move(name), OpKind::kAdd, AddAttrs{}, {a, b});
+}
+
+NodeId Graph::multiply(std::string name, NodeId a, NodeId b) {
+  return push(std::move(name), OpKind::kMultiply, MultiplyAttrs{}, {a, b});
+}
+
+NodeId Graph::concat(std::string name, std::vector<NodeId> inputs) {
+  CM_CHECK(inputs.size() >= 2, "concat requires at least two inputs");
+  return push(std::move(name), OpKind::kConcat, ConcatAttrs{},
+              std::move(inputs));
+}
+
+NodeId Graph::dropout(std::string name, NodeId in, double p) {
+  CM_CHECK(p >= 0.0 && p < 1.0, "dropout probability must be in [0, 1)");
+  return push(std::move(name), OpKind::kDropout, DropoutAttrs{p}, {in});
+}
+
+NodeId Graph::to_tokens(std::string name, NodeId in, bool cls_token) {
+  return push(std::move(name), OpKind::kToTokens, ToTokensAttrs{cls_token},
+              {in});
+}
+
+NodeId Graph::layer_norm(std::string name, NodeId in, std::int64_t dim) {
+  CM_CHECK(dim > 0, "layer_norm dim must be positive");
+  return push(std::move(name), OpKind::kLayerNorm, LayerNormAttrs{dim}, {in});
+}
+
+NodeId Graph::self_attention(std::string name, NodeId in,
+                             std::int64_t embed_dim, std::int64_t num_heads) {
+  CM_CHECK(embed_dim > 0 && num_heads > 0 && embed_dim % num_heads == 0,
+           "self_attention heads must divide the embedding dim");
+  return push(std::move(name), OpKind::kSelfAttention,
+              SelfAttentionAttrs{embed_dim, num_heads}, {in});
+}
+
+NodeId Graph::select_token(std::string name, NodeId in, std::int64_t index) {
+  CM_CHECK(index >= 0, "select_token index must be non-negative");
+  return push(std::move(name), OpKind::kSelectToken, SelectTokenAttrs{index},
+              {in});
+}
+
+NodeId Graph::slice_channels(std::string name, NodeId in, std::int64_t begin,
+                             std::int64_t end) {
+  CM_CHECK(begin >= 0 && end > begin, "slice_channels needs 0 <= begin < end");
+  return push(std::move(name), OpKind::kSliceChannels,
+              SliceChannelsAttrs{begin, end}, {in});
+}
+
+NodeId Graph::channel_shuffle(std::string name, NodeId in,
+                              std::int64_t groups) {
+  CM_CHECK(groups >= 1, "channel_shuffle groups must be >= 1");
+  return push(std::move(name), OpKind::kChannelShuffle,
+              ChannelShuffleAttrs{groups}, {in});
+}
+
+NodeId Graph::add_node(std::string name, OpKind kind, OpAttrs attrs,
+                       std::vector<NodeId> inputs) {
+  if (kind == OpKind::kInput) {
+    CM_CHECK(nodes_.empty(), "input node must be the first node");
+    const auto* in = std::get_if<InputAttrs>(&attrs);
+    CM_CHECK(in != nullptr, "input node requires InputAttrs");
+  }
+  return push(std::move(name), kind, std::move(attrs), std::move(inputs));
+}
+
+namespace {
+
+std::size_t expected_min_arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return 0;
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat: return 2;
+    default: return 1;
+  }
+}
+
+std::size_t expected_max_arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return 0;
+    case OpKind::kAdd:
+    case OpKind::kMultiply: return 2;
+    case OpKind::kConcat: return SIZE_MAX;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+void Graph::validate() const {
+  CM_CHECK(!nodes_.empty(), "graph '" + name_ + "' is empty");
+  CM_CHECK(nodes_.front().kind == OpKind::kInput,
+           "first node must be the graph input");
+  std::unordered_set<std::string> names;
+  for (const auto& n : nodes_) {
+    CM_CHECK(names.insert(n.name).second,
+             "duplicate node name '" + n.name + "' in graph '" + name_ + "'");
+    if (n.id != 0) {
+      CM_CHECK(n.kind != OpKind::kInput,
+               "graph '" + name_ + "' has more than one input node");
+    }
+    CM_CHECK(n.inputs.size() >= expected_min_arity(n.kind) &&
+                 n.inputs.size() <= expected_max_arity(n.kind),
+             "node '" + n.name + "' has wrong arity");
+    for (const NodeId in : n.inputs) {
+      CM_CHECK(in >= 0 && in < n.id,
+               "node '" + n.name + "' consumes a node that does not precede it");
+    }
+  }
+  (void)output_id();  // single-sink check
+}
+
+std::size_t Graph::count_kind(OpKind kind) const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<NodeId> Graph::nodes_of_kind(OpKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node.kind == kind) out.push_back(node.id);
+  }
+  return out;
+}
+
+NodeId Graph::find(const std::string& name) const {
+  for (const auto& node : nodes_) {
+    if (node.name == name) return node.id;
+  }
+  throw InvalidArgument("no node named '" + name + "' in graph '" + name_ +
+                        "'");
+}
+
+std::int64_t Graph::parameter_count() const {
+  std::int64_t total = 0;
+  for (const auto& n : nodes_) {
+    switch (n.kind) {
+      case OpKind::kConv2d:
+        total += n.as<Conv2dAttrs>().parameter_count();
+        break;
+      case OpKind::kLinear:
+        total += n.as<LinearAttrs>().parameter_count();
+        break;
+      case OpKind::kBatchNorm2d:
+        // Affine scale and shift per channel.
+        total += 2 * n.as<BatchNorm2dAttrs>().channels;
+        break;
+      case OpKind::kLayerNorm:
+        total += 2 * n.as<LayerNormAttrs>().dim;
+        break;
+      case OpKind::kSelfAttention:
+        total += n.as<SelfAttentionAttrs>().parameter_count();
+        break;
+      default:
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace convmeter

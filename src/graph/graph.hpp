@@ -1,0 +1,136 @@
+// ConvNet computational graph (DAG of layer nodes).
+//
+// Graphs are built in topological order: every node's inputs must already
+// exist when the node is added. This mirrors how the torchvision reference
+// models are defined and makes a separate scheduling pass unnecessary,
+// while `validate()` still checks the invariants explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "graph/ops.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Index of a node within its graph.
+using NodeId = std::int32_t;
+
+/// A single operator instance in a graph.
+struct Node {
+  NodeId id = -1;
+  std::string name;              ///< unique human-readable name
+  OpKind kind = OpKind::kInput;
+  OpAttrs attrs;
+  std::vector<NodeId> inputs;    ///< producer nodes, in argument order
+
+  /// Typed attribute access; throws InvalidArgument on kind mismatch.
+  template <typename T>
+  const T& as() const {
+    const T* p = std::get_if<T>(&attrs);
+    if (p == nullptr) {
+      throw InvalidArgument("node '" + name +
+                            "' does not hold the requested attribute type");
+    }
+    return *p;
+  }
+};
+
+/// A directed acyclic graph of layer nodes with exactly one input node.
+///
+/// The builder methods return the new node's id so that model definitions
+/// read as straight-line code:
+///
+///   Graph g("example");
+///   NodeId x = g.input(3);
+///   x = g.conv2d("conv1", x, Conv2dAttrs::square(3, 64, 7, 2, 3));
+///   x = g.activation("relu1", x, ActKind::kReLU);
+class Graph {
+ public:
+  explicit Graph(std::string name);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// The single kInput node; throws if the graph is empty.
+  NodeId input_id() const;
+
+  /// The unique sink (node consumed by no other node); throws when the
+  /// graph has zero or multiple sinks.
+  NodeId output_id() const;
+
+  /// Channel count declared by the input node.
+  std::int64_t input_channels() const { return input_channels_; }
+
+  // ---- builder methods -------------------------------------------------
+
+  /// Adds the graph input; must be the first node added.
+  NodeId input(std::int64_t channels);
+
+  NodeId conv2d(std::string name, NodeId in, const Conv2dAttrs& attrs);
+  NodeId batch_norm(std::string name, NodeId in, std::int64_t channels);
+  NodeId activation(std::string name, NodeId in, ActKind kind);
+  NodeId max_pool(std::string name, NodeId in, const Pool2dAttrs& attrs);
+  NodeId avg_pool(std::string name, NodeId in, const Pool2dAttrs& attrs);
+  NodeId adaptive_avg_pool(std::string name, NodeId in, std::int64_t out_h,
+                           std::int64_t out_w);
+  NodeId linear(std::string name, NodeId in, const LinearAttrs& attrs);
+  NodeId flatten(std::string name, NodeId in);
+  NodeId add(std::string name, NodeId a, NodeId b);
+  NodeId multiply(std::string name, NodeId a, NodeId b);
+  NodeId concat(std::string name, std::vector<NodeId> inputs);
+  NodeId dropout(std::string name, NodeId in, double p);
+
+  // Transformer-extension builders (paper future work, Sec. 6).
+  NodeId to_tokens(std::string name, NodeId in, bool cls_token = true);
+  NodeId layer_norm(std::string name, NodeId in, std::int64_t dim);
+  NodeId self_attention(std::string name, NodeId in, std::int64_t embed_dim,
+                        std::int64_t num_heads);
+  NodeId select_token(std::string name, NodeId in, std::int64_t index);
+
+  // Channel-manipulation builders (ShuffleNet family).
+  NodeId slice_channels(std::string name, NodeId in, std::int64_t begin,
+                        std::int64_t end);
+  NodeId channel_shuffle(std::string name, NodeId in, std::int64_t groups);
+
+  /// Generic node insertion used by deserialization.
+  NodeId add_node(std::string name, OpKind kind, OpAttrs attrs,
+                  std::vector<NodeId> inputs);
+
+  // ---- queries ----------------------------------------------------------
+
+  /// Checks structural invariants (single input, unique names, inputs
+  /// precede consumers, arity per operator kind, attribute consistency).
+  /// Throws InvalidArgument describing the first violation.
+  void validate() const;
+
+  /// Number of nodes of the given kind.
+  std::size_t count_kind(OpKind kind) const;
+
+  /// Ids of all nodes of the given kind, in topological order.
+  std::vector<NodeId> nodes_of_kind(OpKind kind) const;
+
+  /// Node id by unique name; throws InvalidArgument when absent.
+  NodeId find(const std::string& name) const;
+
+  /// Total learnable parameter count (conv + linear + batch-norm affine).
+  std::int64_t parameter_count() const;
+
+ private:
+  NodeId push(std::string name, OpKind kind, OpAttrs attrs,
+              std::vector<NodeId> inputs);
+  void check_input_ids(const std::vector<NodeId>& inputs) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::int64_t input_channels_ = 0;
+};
+
+}  // namespace convmeter

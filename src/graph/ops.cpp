@@ -1,0 +1,116 @@
+#include "graph/ops.hpp"
+
+#include <array>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+Conv2dAttrs Conv2dAttrs::square(std::int64_t in_ch, std::int64_t out_ch,
+                                std::int64_t kernel, std::int64_t stride,
+                                std::int64_t pad, std::int64_t groups,
+                                bool bias) {
+  Conv2dAttrs a;
+  a.in_channels = in_ch;
+  a.out_channels = out_ch;
+  a.kernel_h = a.kernel_w = kernel;
+  a.stride_h = a.stride_w = stride;
+  a.pad_h = a.pad_w = pad;
+  a.groups = groups;
+  a.bias = bias;
+  return a;
+}
+
+std::int64_t Conv2dAttrs::parameter_count() const {
+  const std::int64_t weights =
+      out_channels * (in_channels / groups) * kernel_h * kernel_w;
+  return weights + (bias ? out_channels : 0);
+}
+
+Pool2dAttrs Pool2dAttrs::square(std::int64_t kernel, std::int64_t stride,
+                                std::int64_t pad, bool ceil_mode) {
+  Pool2dAttrs a;
+  a.kernel_h = a.kernel_w = kernel;
+  a.stride_h = a.stride_w = stride;
+  a.pad_h = a.pad_w = pad;
+  a.ceil_mode = ceil_mode;
+  return a;
+}
+
+std::int64_t LinearAttrs::parameter_count() const {
+  return in_features * out_features + (bias ? out_features : 0);
+}
+
+std::int64_t SelfAttentionAttrs::parameter_count() const {
+  // Fused qkv projection + output projection, both with biases.
+  return 3 * embed_dim * embed_dim + 3 * embed_dim +
+         embed_dim * embed_dim + embed_dim;
+}
+
+namespace {
+
+constexpr std::array<std::pair<OpKind, const char*>, 19> kOpNames = {{
+    {OpKind::kInput, "input"},
+    {OpKind::kConv2d, "conv2d"},
+    {OpKind::kBatchNorm2d, "batch_norm2d"},
+    {OpKind::kActivation, "activation"},
+    {OpKind::kMaxPool2d, "max_pool2d"},
+    {OpKind::kAvgPool2d, "avg_pool2d"},
+    {OpKind::kAdaptiveAvgPool2d, "adaptive_avg_pool2d"},
+    {OpKind::kLinear, "linear"},
+    {OpKind::kFlatten, "flatten"},
+    {OpKind::kAdd, "add"},
+    {OpKind::kMultiply, "multiply"},
+    {OpKind::kConcat, "concat"},
+    {OpKind::kDropout, "dropout"},
+    {OpKind::kToTokens, "to_tokens"},
+    {OpKind::kLayerNorm, "layer_norm"},
+    {OpKind::kSelfAttention, "self_attention"},
+    {OpKind::kSelectToken, "select_token"},
+    {OpKind::kSliceChannels, "slice_channels"},
+    {OpKind::kChannelShuffle, "channel_shuffle"},
+}};
+
+constexpr std::array<std::pair<ActKind, const char*>, 8> kActNames = {{
+    {ActKind::kReLU, "relu"},
+    {ActKind::kReLU6, "relu6"},
+    {ActKind::kSiLU, "silu"},
+    {ActKind::kSigmoid, "sigmoid"},
+    {ActKind::kHardSwish, "hard_swish"},
+    {ActKind::kHardSigmoid, "hard_sigmoid"},
+    {ActKind::kTanh, "tanh"},
+    {ActKind::kGELU, "gelu"},
+}};
+
+}  // namespace
+
+std::string op_kind_name(OpKind kind) {
+  for (const auto& [k, name] : kOpNames) {
+    if (k == kind) return name;
+  }
+  throw InvalidArgument("unknown OpKind value");
+}
+
+OpKind op_kind_from_name(const std::string& name) {
+  for (const auto& [k, n] : kOpNames) {
+    if (name == n) return k;
+  }
+  throw ParseError("unknown operator name: " + name);
+}
+
+std::string act_kind_name(ActKind kind) {
+  for (const auto& [k, name] : kActNames) {
+    if (k == kind) return name;
+  }
+  throw InvalidArgument("unknown ActKind value");
+}
+
+ActKind act_kind_from_name(const std::string& name) {
+  for (const auto& [k, n] : kActNames) {
+    if (name == n) return k;
+  }
+  throw ParseError("unknown activation name: " + name);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,186 @@
+// Layer operator definitions for the ConvNet graph IR.
+//
+// The IR models the layer vocabulary of the torchvision ConvNets the paper
+// benchmarks (AlexNet ... RegNet). Each operator carries exactly the
+// attributes needed for shape inference and metric counting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace convmeter {
+
+/// Operator kinds supported by the graph IR.
+enum class OpKind {
+  kInput,             ///< graph entry point (one per graph)
+  kConv2d,            ///< 2-D convolution (grouped / depthwise supported)
+  kBatchNorm2d,       ///< batch normalization over channels
+  kActivation,        ///< elementwise activation (see ActKind)
+  kMaxPool2d,         ///< max pooling
+  kAvgPool2d,         ///< average pooling
+  kAdaptiveAvgPool2d, ///< adaptive average pooling to a fixed output size
+  kLinear,            ///< fully connected layer
+  kFlatten,           ///< collapse CHW to a feature vector
+  kAdd,               ///< elementwise sum (residual connections)
+  kMultiply,          ///< elementwise product (squeeze-and-excitation scale)
+  kConcat,            ///< channel concatenation (DenseNet, Inception)
+  kDropout,           ///< dropout (identity for inference-time modeling)
+  // ---- transformer extension (the paper's future work, Sec. 6) ----
+  kToTokens,          ///< (B, C, H, W) -> (B, HW [+1 cls], C) token sequence
+  kLayerNorm,         ///< layer normalization over the embedding dim
+  kSelfAttention,     ///< multi-head self-attention (fused qkv + out proj)
+  kSelectToken,       ///< (B, T, D) -> (B, D), picks one token (cls head)
+  // ---- channel-manipulation ops (ShuffleNet family) ----
+  kSliceChannels,     ///< take channels [begin, end) of a rank-4 tensor
+  kChannelShuffle,    ///< permute channels across groups (ShuffleNetV2)
+};
+
+/// Elementwise activation functions.
+enum class ActKind {
+  kReLU,
+  kReLU6,
+  kSiLU,        ///< x * sigmoid(x) (a.k.a. swish; EfficientNet)
+  kSigmoid,
+  kHardSwish,   ///< MobileNetV3
+  kHardSigmoid, ///< MobileNetV3 squeeze-excite gate
+  kTanh,
+  kGELU,        ///< transformers (ViT MLP blocks)
+};
+
+/// Attributes of a 2-D convolution.
+struct Conv2dAttrs {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel_h = 1;
+  std::int64_t kernel_w = 1;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  std::int64_t dilation_h = 1;
+  std::int64_t dilation_w = 1;
+  std::int64_t groups = 1;
+  bool bias = false;
+
+  /// Square-kernel convenience factory.
+  static Conv2dAttrs square(std::int64_t in_ch, std::int64_t out_ch,
+                            std::int64_t kernel, std::int64_t stride = 1,
+                            std::int64_t pad = 0, std::int64_t groups = 1,
+                            bool bias = false);
+
+  /// Number of learnable parameters (weights + optional bias).
+  std::int64_t parameter_count() const;
+};
+
+/// Attributes of batch normalization.
+struct BatchNorm2dAttrs {
+  std::int64_t channels = 0;
+};
+
+/// Attributes of an elementwise activation.
+struct ActivationAttrs {
+  ActKind kind = ActKind::kReLU;
+};
+
+/// Attributes shared by max and average pooling.
+struct Pool2dAttrs {
+  std::int64_t kernel_h = 1;
+  std::int64_t kernel_w = 1;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  bool ceil_mode = false;
+
+  static Pool2dAttrs square(std::int64_t kernel, std::int64_t stride,
+                            std::int64_t pad = 0, bool ceil_mode = false);
+};
+
+/// Attributes of adaptive average pooling.
+struct AdaptiveAvgPool2dAttrs {
+  std::int64_t out_h = 1;
+  std::int64_t out_w = 1;
+};
+
+/// Attributes of a fully connected layer.
+struct LinearAttrs {
+  std::int64_t in_features = 0;
+  std::int64_t out_features = 0;
+  bool bias = true;
+
+  std::int64_t parameter_count() const;
+};
+
+/// Attributes of dropout (probability kept for fidelity; it does not affect
+/// shapes or inference-time metrics).
+struct DropoutAttrs {
+  double p = 0.5;
+};
+
+/// Attributes of the image-to-token-sequence reshape (ViT patch embed).
+struct ToTokensAttrs {
+  bool cls_token = true;  ///< prepend a learnable classification token
+};
+
+/// Attributes of layer normalization.
+struct LayerNormAttrs {
+  std::int64_t dim = 0;  ///< normalized (last) dimension
+};
+
+/// Attributes of multi-head self-attention. Parameters follow the fused
+/// PyTorch MultiheadAttention layout: in_proj (3D x D + 3D) and out_proj
+/// (D x D + D).
+struct SelfAttentionAttrs {
+  std::int64_t embed_dim = 0;
+  std::int64_t num_heads = 1;
+
+  std::int64_t parameter_count() const;
+};
+
+/// Attributes of token selection.
+struct SelectTokenAttrs {
+  std::int64_t index = 0;
+};
+
+/// Attributes of a channel slice: keeps channels [begin, end).
+struct SliceChannelsAttrs {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+/// Attributes of a channel shuffle: with G groups, channel g*K+k moves to
+/// position k*G+g (K = channels/G) — ShuffleNet's cross-group mixing.
+struct ChannelShuffleAttrs {
+  std::int64_t groups = 1;
+};
+
+/// Marker attribute types for operators without parameters.
+struct FlattenAttrs {};
+struct AddAttrs {};
+struct MultiplyAttrs {};
+struct ConcatAttrs {};
+struct InputAttrs {};
+
+/// Closed set of per-node attribute payloads.
+using OpAttrs =
+    std::variant<InputAttrs, Conv2dAttrs, BatchNorm2dAttrs, ActivationAttrs,
+                 Pool2dAttrs, AdaptiveAvgPool2dAttrs, LinearAttrs,
+                 FlattenAttrs, AddAttrs, MultiplyAttrs, ConcatAttrs,
+                 DropoutAttrs, ToTokensAttrs, LayerNormAttrs,
+                 SelfAttentionAttrs, SelectTokenAttrs, SliceChannelsAttrs,
+                 ChannelShuffleAttrs>;
+
+/// Stable textual name of an operator kind ("conv2d", "max_pool2d", ...).
+std::string op_kind_name(OpKind kind);
+
+/// Inverse of op_kind_name; throws ParseError for unknown names.
+OpKind op_kind_from_name(const std::string& name);
+
+/// Stable textual name of an activation kind ("relu", "silu", ...).
+std::string act_kind_name(ActKind kind);
+
+/// Inverse of act_kind_name; throws ParseError for unknown names.
+ActKind act_kind_from_name(const std::string& name);
+
+}  // namespace convmeter

@@ -1,0 +1,265 @@
+#include "graph/serialize.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace convmeter {
+
+namespace {
+
+using KvMap = std::map<std::string, std::string>;
+
+std::string kv(const KvMap& m, const std::string& key) {
+  const auto it = m.find(key);
+  if (it == m.end()) throw ParseError("missing attribute '" + key + "'");
+  return it->second;
+}
+
+std::int64_t kv_int(const KvMap& m, const std::string& key) {
+  return parse_int(kv(m, key));
+}
+
+std::int64_t kv_int_or(const KvMap& m, const std::string& key,
+                       std::int64_t fallback) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : parse_int(it->second);
+}
+
+void emit_attrs(std::ostream& os, const Node& n) {
+  switch (n.kind) {
+    case OpKind::kInput:
+      break;  // channels are emitted by the caller
+    case OpKind::kConv2d: {
+      const auto& a = n.as<Conv2dAttrs>();
+      os << " in=" << a.in_channels << " out=" << a.out_channels
+         << " kh=" << a.kernel_h << " kw=" << a.kernel_w
+         << " sh=" << a.stride_h << " sw=" << a.stride_w
+         << " ph=" << a.pad_h << " pw=" << a.pad_w
+         << " dh=" << a.dilation_h << " dw=" << a.dilation_w
+         << " groups=" << a.groups << " bias=" << (a.bias ? 1 : 0);
+      break;
+    }
+    case OpKind::kBatchNorm2d:
+      os << " channels=" << n.as<BatchNorm2dAttrs>().channels;
+      break;
+    case OpKind::kActivation:
+      os << " fn=" << act_kind_name(n.as<ActivationAttrs>().kind);
+      break;
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d: {
+      const auto& a = n.as<Pool2dAttrs>();
+      os << " kh=" << a.kernel_h << " kw=" << a.kernel_w
+         << " sh=" << a.stride_h << " sw=" << a.stride_w
+         << " ph=" << a.pad_h << " pw=" << a.pad_w
+         << " ceil=" << (a.ceil_mode ? 1 : 0);
+      break;
+    }
+    case OpKind::kAdaptiveAvgPool2d: {
+      const auto& a = n.as<AdaptiveAvgPool2dAttrs>();
+      os << " oh=" << a.out_h << " ow=" << a.out_w;
+      break;
+    }
+    case OpKind::kLinear: {
+      const auto& a = n.as<LinearAttrs>();
+      os << " in=" << a.in_features << " out=" << a.out_features
+         << " bias=" << (a.bias ? 1 : 0);
+      break;
+    }
+    case OpKind::kDropout:
+      os << " p=" << n.as<DropoutAttrs>().p;
+      break;
+    case OpKind::kToTokens:
+      os << " cls=" << (n.as<ToTokensAttrs>().cls_token ? 1 : 0);
+      break;
+    case OpKind::kLayerNorm:
+      os << " dim=" << n.as<LayerNormAttrs>().dim;
+      break;
+    case OpKind::kSelfAttention: {
+      const auto& a = n.as<SelfAttentionAttrs>();
+      os << " dim=" << a.embed_dim << " heads=" << a.num_heads;
+      break;
+    }
+    case OpKind::kSelectToken:
+      os << " index=" << n.as<SelectTokenAttrs>().index;
+      break;
+    case OpKind::kSliceChannels: {
+      const auto& a = n.as<SliceChannelsAttrs>();
+      os << " begin=" << a.begin << " end=" << a.end;
+      break;
+    }
+    case OpKind::kChannelShuffle:
+      os << " groups=" << n.as<ChannelShuffleAttrs>().groups;
+      break;
+    case OpKind::kFlatten:
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat:
+      break;
+  }
+}
+
+OpAttrs parse_attrs(OpKind kind, const KvMap& m) {
+  switch (kind) {
+    case OpKind::kInput:
+      return InputAttrs{};
+    case OpKind::kConv2d: {
+      Conv2dAttrs a;
+      a.in_channels = kv_int(m, "in");
+      a.out_channels = kv_int(m, "out");
+      a.kernel_h = kv_int(m, "kh");
+      a.kernel_w = kv_int(m, "kw");
+      a.stride_h = kv_int(m, "sh");
+      a.stride_w = kv_int(m, "sw");
+      a.pad_h = kv_int(m, "ph");
+      a.pad_w = kv_int(m, "pw");
+      a.dilation_h = kv_int_or(m, "dh", 1);
+      a.dilation_w = kv_int_or(m, "dw", 1);
+      a.groups = kv_int_or(m, "groups", 1);
+      a.bias = kv_int_or(m, "bias", 0) != 0;
+      return a;
+    }
+    case OpKind::kBatchNorm2d:
+      return BatchNorm2dAttrs{kv_int(m, "channels")};
+    case OpKind::kActivation:
+      return ActivationAttrs{act_kind_from_name(kv(m, "fn"))};
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d: {
+      Pool2dAttrs a;
+      a.kernel_h = kv_int(m, "kh");
+      a.kernel_w = kv_int(m, "kw");
+      a.stride_h = kv_int(m, "sh");
+      a.stride_w = kv_int(m, "sw");
+      a.pad_h = kv_int(m, "ph");
+      a.pad_w = kv_int(m, "pw");
+      a.ceil_mode = kv_int_or(m, "ceil", 0) != 0;
+      return a;
+    }
+    case OpKind::kAdaptiveAvgPool2d:
+      return AdaptiveAvgPool2dAttrs{kv_int(m, "oh"), kv_int(m, "ow")};
+    case OpKind::kLinear: {
+      LinearAttrs a;
+      a.in_features = kv_int(m, "in");
+      a.out_features = kv_int(m, "out");
+      a.bias = kv_int_or(m, "bias", 1) != 0;
+      return a;
+    }
+    case OpKind::kDropout:
+      return DropoutAttrs{parse_double(kv(m, "p"))};
+    case OpKind::kToTokens:
+      return ToTokensAttrs{kv_int(m, "cls") != 0};
+    case OpKind::kLayerNorm:
+      return LayerNormAttrs{kv_int(m, "dim")};
+    case OpKind::kSelfAttention:
+      return SelfAttentionAttrs{kv_int(m, "dim"), kv_int(m, "heads")};
+    case OpKind::kSelectToken:
+      return SelectTokenAttrs{kv_int(m, "index")};
+    case OpKind::kSliceChannels:
+      return SliceChannelsAttrs{kv_int(m, "begin"), kv_int(m, "end")};
+    case OpKind::kChannelShuffle:
+      return ChannelShuffleAttrs{kv_int(m, "groups")};
+    case OpKind::kFlatten:
+      return FlattenAttrs{};
+    case OpKind::kAdd:
+      return AddAttrs{};
+    case OpKind::kMultiply:
+      return MultiplyAttrs{};
+    case OpKind::kConcat:
+      return ConcatAttrs{};
+  }
+  throw ParseError("unhandled operator kind in parse_attrs");
+}
+
+}  // namespace
+
+std::string graph_to_text(const Graph& graph) {
+  std::ostringstream os;
+  os << "graph " << graph.name() << '\n';
+  for (const auto& n : graph.nodes()) {
+    os << "node " << n.id << ' ' << n.name << ' ' << op_kind_name(n.kind);
+    if (!n.inputs.empty()) {
+      os << " inputs=";
+      for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+        if (i > 0) os << ';';
+        os << n.inputs[i];
+      }
+    }
+    if (n.kind == OpKind::kInput) os << " channels=" << graph.input_channels();
+    emit_attrs(os, n);
+    os << '\n';
+  }
+  return os.str();
+}
+
+Graph graph_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) throw ParseError("empty graph text");
+  const auto head = split(std::string(trim(line)), ' ');
+  if (head.size() != 2 || head[0] != "graph") {
+    throw ParseError("graph text must start with 'graph <name>'");
+  }
+  Graph g(head[1]);
+
+  while (std::getline(is, line)) {
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    auto tokens = split(std::string(t), ' ');
+    if (tokens.size() < 4 || tokens[0] != "node") {
+      throw ParseError("malformed node line: " + std::string(t));
+    }
+    const NodeId id = static_cast<NodeId>(parse_int(tokens[1]));
+    const std::string& name = tokens[2];
+    const OpKind kind = op_kind_from_name(tokens[3]);
+
+    std::vector<NodeId> inputs;
+    KvMap attrs;
+    for (std::size_t i = 4; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        throw ParseError("malformed attribute token: " + tokens[i]);
+      }
+      const std::string key = tokens[i].substr(0, eq);
+      const std::string value = tokens[i].substr(eq + 1);
+      if (key == "inputs") {
+        for (const auto& part : split(value, ';')) {
+          inputs.push_back(static_cast<NodeId>(parse_int(part)));
+        }
+      } else {
+        attrs[key] = value;
+      }
+    }
+
+    NodeId got;
+    if (kind == OpKind::kInput) {
+      got = g.input(kv_int(attrs, "channels"));
+    } else {
+      got = g.add_node(name, kind, parse_attrs(kind, attrs), std::move(inputs));
+    }
+    if (got != id) {
+      throw ParseError("node ids must be contiguous and in order; got line id " +
+                       std::to_string(id) + " for node " + std::to_string(got));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+void save_graph(const Graph& graph, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open file for writing: " + path);
+  f << graph_to_text(graph);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open file for reading: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return graph_from_text(os.str());
+}
+
+}  // namespace convmeter

@@ -1,0 +1,32 @@
+// Text serialization of graphs.
+//
+// Line-oriented format, one node per line:
+//
+//   graph resnet18
+//   node 0 input input channels=3
+//   node 1 conv1 conv2d inputs=0 in=3 out=64 kh=7 kw=7 sh=2 sw=2 ph=3 pw=3
+//   ...
+//
+// The format round-trips exactly and is used for golden-file tests and for
+// exchanging model definitions with the benchmark harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace convmeter {
+
+/// Serializes `graph` to the text format.
+std::string graph_to_text(const Graph& graph);
+
+/// Parses a graph from the text format; throws ParseError on malformed
+/// input and runs Graph::validate() on the result.
+Graph graph_from_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_graph(const Graph& graph, const std::string& path);
+Graph load_graph(const std::string& path);
+
+}  // namespace convmeter

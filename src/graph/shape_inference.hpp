@@ -1,0 +1,30 @@
+// Shape inference over ConvNet graphs.
+//
+// Given the shape fed into the input node, computes the output shape of
+// every node. The rules follow the PyTorch operator semantics (floor
+// division for conv, optional ceil mode for pooling) so that the metric
+// counts match the torchvision reference implementations.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Output shape of every node, indexed by NodeId.
+using ShapeMap = std::vector<Shape>;
+
+/// Infers per-node output shapes for `graph` driven by `input_shape`
+/// (rank-4 NCHW). Throws InvalidArgument when an operator's constraints
+/// are violated (channel mismatch, non-positive spatial output, ...).
+ShapeMap infer_shapes(const Graph& graph, const Shape& input_shape);
+
+/// Output shape of a single conv given its input shape.
+Shape conv2d_output_shape(const Conv2dAttrs& attrs, const Shape& in);
+
+/// Output shape of a pooling operator given its input shape.
+Shape pool2d_output_shape(const Pool2dAttrs& attrs, const Shape& in);
+
+}  // namespace convmeter

@@ -1,0 +1,36 @@
+#include "graph/subgraph.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+Graph extract_block(const Graph& graph, NodeId entry, NodeId exit,
+                    std::int64_t entry_channels,
+                    const std::string& block_name) {
+  CM_CHECK(entry >= 0 && exit > entry &&
+               static_cast<std::size_t>(exit) < graph.size(),
+           "extract_block: invalid (entry, exit] range");
+  Graph block(block_name);
+  std::unordered_map<NodeId, NodeId> remap;
+  remap[entry] = block.input(entry_channels);
+
+  for (NodeId id = entry + 1; id <= exit; ++id) {
+    const Node& n = graph.node(id);
+    std::vector<NodeId> inputs;
+    inputs.reserve(n.inputs.size());
+    for (const NodeId in : n.inputs) {
+      const auto it = remap.find(in);
+      CM_CHECK(it != remap.end(),
+               "extract_block: node '" + n.name +
+                   "' consumes a node outside the (entry, exit] region");
+      inputs.push_back(it->second);
+    }
+    remap[id] = block.add_node(n.name, n.kind, n.attrs, std::move(inputs));
+  }
+  block.validate();
+  return block;
+}
+
+}  // namespace convmeter

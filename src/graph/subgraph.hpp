@@ -1,0 +1,26 @@
+// Sub-block extraction.
+//
+// The paper's block-wise prediction (Sec. 4.1.2) treats a ConvNet block as
+// "a small neural network itself". extract_block() cuts a single-entry /
+// single-exit region out of a full model graph and repackages it as a
+// standalone Graph whose input node adopts the region's entry shape.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace convmeter {
+
+/// Extracts the region of `graph` spanning node ids (entry, exit]:
+/// every node with entry < id <= exit becomes part of the block, and each
+/// node's references to `entry` are rewired to the new input node.
+///
+/// Requirements (checked): every consumed node in the region is either in
+/// the region or equal to `entry`; `entry` produces a rank-4 tensor. The
+/// number of channels flowing out of `entry` must be passed by the caller
+/// (shape inference on the parent graph supplies it).
+Graph extract_block(const Graph& graph, NodeId entry, NodeId exit,
+                    std::int64_t entry_channels, const std::string& block_name);
+
+}  // namespace convmeter

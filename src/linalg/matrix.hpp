@@ -1,0 +1,57 @@
+// Dense row-major matrix and least-squares solvers.
+//
+// The regression needs of ConvMeter are modest (design matrices of a few
+// thousand rows and < 10 columns), so a straightforward Householder QR is
+// both adequate and easy to audit. A ridge-regularized normal-equation
+// solver backs it up for rank-deficient designs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace convmeter {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// A^T * A (cols x cols), used by the ridge solver.
+  Matrix gram() const;
+
+  /// A^T * y.
+  Vector transpose_times(const Vector& y) const;
+
+  /// A * x.
+  Vector times(const Vector& x) const;
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves min ||A x - b||_2 via Householder QR. Requires rows >= cols and
+/// full column rank; throws NumericalError otherwise.
+Vector solve_least_squares(const Matrix& a, const Vector& b);
+
+/// Solves (A^T A + lambda I) x = A^T b via Cholesky. With lambda > 0 this
+/// is ridge regression and always succeeds for finite inputs.
+Vector solve_ridge(const Matrix& a, const Vector& b, double lambda);
+
+/// Solves the symmetric positive-definite system S x = rhs in place via
+/// Cholesky decomposition; throws NumericalError when S is not SPD.
+Vector solve_spd(Matrix s, Vector rhs);
+
+}  // namespace convmeter

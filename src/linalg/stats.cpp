@@ -1,0 +1,61 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+double mean(const std::vector<double>& v) {
+  CM_CHECK(!v.empty(), "mean of empty vector");
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  const double m = mean(v);
+  double sum = 0.0;
+  for (const double x : v) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_value(const std::vector<double>& v) {
+  CM_CHECK(!v.empty(), "min of empty vector");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+  CM_CHECK(!v.empty(), "max of empty vector");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double median(std::vector<double> v) {
+  CM_CHECK(!v.empty(), "median of empty vector");
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  CM_CHECK(x.size() == y.size(), "pearson: size mismatch");
+  CM_CHECK(x.size() >= 2, "pearson requires at least two samples");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  CM_CHECK(sxx > 0.0 && syy > 0.0, "pearson: zero-variance input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace convmeter

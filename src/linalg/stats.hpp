@@ -1,0 +1,19 @@
+// Descriptive statistics over sample vectors.
+#pragma once
+
+#include <vector>
+
+namespace convmeter {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  ///< population variance
+double stddev(const std::vector<double>& v);
+double min_value(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+double median(std::vector<double> v);  ///< by copy; averages middle pair
+
+/// Pearson correlation coefficient; throws InvalidArgument on size mismatch
+/// or fewer than two samples.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace convmeter

@@ -1,0 +1,208 @@
+#include "metrics/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// FLOPs per element of an activation function. These are modeling
+/// conventions (a transcendental counts as several elementary operations),
+/// consistent with how profilers like fvcore attribute elementwise cost.
+double act_flops_per_elem(ActKind kind) {
+  switch (kind) {
+    case ActKind::kReLU:
+    case ActKind::kReLU6:
+      return 1.0;
+    case ActKind::kHardSigmoid:
+      return 3.0;
+    case ActKind::kHardSwish:
+      return 4.0;
+    case ActKind::kSigmoid:
+    case ActKind::kTanh:
+      return 4.0;
+    case ActKind::kSiLU:
+      return 5.0;
+    case ActKind::kGELU:
+      return 8.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+GraphMetrics GraphMetrics::scaled_by_batch(double factor) const {
+  CM_CHECK(factor > 0.0, "batch scale factor must be positive");
+  GraphMetrics out = *this;
+  out.flops *= factor;
+  out.conv_inputs *= factor;
+  out.conv_outputs *= factor;
+  out.compute_inputs *= factor;
+  out.compute_outputs *= factor;
+  return out;
+}
+
+double node_flops(const Node& node, const std::vector<Shape>& input_shapes,
+                  const Shape& output_shape) {
+  const auto out_elems = static_cast<double>(output_shape.numel());
+  switch (node.kind) {
+    case OpKind::kInput:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kConcat:
+    case OpKind::kToTokens:
+    case OpKind::kSelectToken:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
+      return 0.0;  // pure data movement; their cost is the byte traffic
+    case OpKind::kConv2d: {
+      const auto& a = node.as<Conv2dAttrs>();
+      // 2 * output elements * (in_channels/groups) * kernel area MACs,
+      // plus one add per output element for the bias.
+      const double macs_per_out =
+          static_cast<double>(a.in_channels / a.groups) *
+          static_cast<double>(a.kernel_h * a.kernel_w);
+      return out_elems * (2.0 * macs_per_out + (a.bias ? 1.0 : 0.0));
+    }
+    case OpKind::kLinear: {
+      const auto& a = node.as<LinearAttrs>();
+      // Rows = batch for rank-2 inputs, batch * tokens for rank-3: the
+      // layer applies once per leading position either way.
+      const double rows = static_cast<double>(output_shape.numel()) /
+                          static_cast<double>(a.out_features);
+      return rows * (2.0 * static_cast<double>(a.in_features) *
+                         static_cast<double>(a.out_features) +
+                     (a.bias ? static_cast<double>(a.out_features) : 0.0));
+    }
+    case OpKind::kBatchNorm2d:
+      // Inference-time affine transform: one multiply + one add per element.
+      return 2.0 * out_elems;
+    case OpKind::kActivation:
+      return out_elems *
+             act_flops_per_elem(node.as<ActivationAttrs>().kind);
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d: {
+      const auto& a = node.as<Pool2dAttrs>();
+      return out_elems * static_cast<double>(a.kernel_h * a.kernel_w);
+    }
+    case OpKind::kAdaptiveAvgPool2d: {
+      // Each input element is accumulated exactly once.
+      CM_CHECK(!input_shapes.empty(), "adaptive pool requires an input shape");
+      return static_cast<double>(input_shapes[0].numel());
+    }
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+      return out_elems;
+    case OpKind::kLayerNorm:
+      // Mean, variance, normalize, affine: ~8 ops per element.
+      return 8.0 * out_elems;
+    case OpKind::kSelfAttention: {
+      const auto& a = node.as<SelfAttentionAttrs>();
+      CM_CHECK(!input_shapes.empty() && input_shapes[0].rank() == 3,
+               "self_attention flops need a rank-3 input shape");
+      const double batch = static_cast<double>(input_shapes[0].dim(0));
+      const double tokens = static_cast<double>(input_shapes[0].dim(1));
+      const double dim = static_cast<double>(a.embed_dim);
+      // qkv projection (3 T D^2 MACs), scores + context (2 T^2 D MACs),
+      // output projection (T D^2 MACs); 2 FLOPs per MAC, plus softmax.
+      const double macs =
+          4.0 * tokens * dim * dim + 2.0 * tokens * tokens * dim;
+      const double softmax = 5.0 * tokens * tokens *
+                             static_cast<double>(a.num_heads);
+      return batch * (2.0 * macs + softmax);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<LayerWork> per_layer_work(const Graph& graph,
+                                      const Shape& input_shape) {
+  const ShapeMap shapes = infer_shapes(graph, input_shape);
+  std::vector<LayerWork> work;
+  work.reserve(graph.size());
+
+  for (const auto& n : graph.nodes()) {
+    LayerWork w;
+    w.node = n.id;
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(n.inputs.size());
+    for (const NodeId in : n.inputs) {
+      const Shape& s = shapes[static_cast<std::size_t>(in)];
+      in_shapes.push_back(s);
+      w.input_elems += static_cast<double>(s.numel());
+    }
+    const Shape& out = shapes[static_cast<std::size_t>(n.id)];
+    w.output_elems = static_cast<double>(out.numel());
+    w.flops = node_flops(n, in_shapes, out);
+    switch (n.kind) {
+      case OpKind::kConv2d:
+        w.param_elems =
+            static_cast<double>(n.as<Conv2dAttrs>().parameter_count());
+        break;
+      case OpKind::kLinear:
+        w.param_elems =
+            static_cast<double>(n.as<LinearAttrs>().parameter_count());
+        break;
+      case OpKind::kBatchNorm2d:
+        w.param_elems =
+            static_cast<double>(2 * n.as<BatchNorm2dAttrs>().channels);
+        break;
+      case OpKind::kLayerNorm:
+        w.param_elems = static_cast<double>(2 * n.as<LayerNormAttrs>().dim);
+        break;
+      case OpKind::kSelfAttention:
+        w.param_elems =
+            static_cast<double>(n.as<SelfAttentionAttrs>().parameter_count());
+        break;
+      default:
+        break;
+    }
+    work.push_back(w);
+  }
+  return work;
+}
+
+GraphMetrics compute_metrics(const Graph& graph, const Shape& input_shape) {
+  const ShapeMap shapes = infer_shapes(graph, input_shape);
+  const std::vector<LayerWork> work = per_layer_work(graph, input_shape);
+
+  GraphMetrics m;
+  m.weights = static_cast<double>(graph.parameter_count());
+  for (const auto& n : graph.nodes()) {
+    const LayerWork& w = work[static_cast<std::size_t>(n.id)];
+    m.flops += w.flops;
+    if (n.kind == OpKind::kConv2d) {
+      // Per the paper, I and O sum over convolutional layers only; the
+      // conv input is the tensor feeding the convolution.
+      m.conv_inputs += static_cast<double>(
+          shapes[static_cast<std::size_t>(n.inputs[0])].numel());
+      m.conv_outputs +=
+          static_cast<double>(shapes[static_cast<std::size_t>(n.id)].numel());
+    }
+    // L counts parameterized layers: gradient updates are synchronized
+    // per weight tensor, and batch-norm scales/shifts are tensors too.
+    if (n.kind == OpKind::kConv2d || n.kind == OpKind::kLinear ||
+        n.kind == OpKind::kBatchNorm2d || n.kind == OpKind::kLayerNorm ||
+        n.kind == OpKind::kSelfAttention) {
+      m.layers += 1.0;
+    }
+    // Generalized I/O over all primary compute layers, used by the
+    // transformer extension (ViTs have almost no convolutions).
+    if (n.kind == OpKind::kConv2d || n.kind == OpKind::kLinear ||
+        n.kind == OpKind::kSelfAttention) {
+      m.compute_inputs += static_cast<double>(
+          shapes[static_cast<std::size_t>(n.inputs[0])].numel());
+      m.compute_outputs +=
+          static_cast<double>(shapes[static_cast<std::size_t>(n.id)].numel());
+    }
+    if (n.kind != OpKind::kInput) m.all_nodes += 1.0;
+  }
+  return m;
+}
+
+GraphMetrics compute_metrics_b1(const Graph& graph, std::int64_t image_size) {
+  return compute_metrics(
+      graph, Shape::nchw(1, graph.input_channels(), image_size, image_size));
+}
+
+}  // namespace convmeter

@@ -1,0 +1,70 @@
+// Inherent ConvNet metrics (Sec. 3 of the paper).
+//
+// ConvMeter's features are computed purely from the graph + input shape,
+// never by running the network:
+//
+//   Inputs  I — sum of the *input* tensor sizes of all convolutional layers
+//   Outputs O — sum of the *output* tensor sizes of all convolutional layers
+//   FLOPs   F — floating-point operations of all layers
+//   Weights W — learnable parameter count
+//   Layers  L — number of layers
+//
+// All of I, O, F scale linearly with the batch size, so the library counts
+// them once at batch size 1 and multiplies by the mini-batch size when
+// evaluating the performance model (Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shape_inference.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Work performed by one node, the unit the device simulator consumes.
+struct LayerWork {
+  NodeId node = -1;
+  double flops = 0.0;        ///< floating point operations
+  double input_elems = 0.0;  ///< elements read (sum over node inputs)
+  double output_elems = 0.0; ///< elements written
+  double param_elems = 0.0;  ///< learnable parameters touched
+};
+
+/// Whole-graph metric vector for a given (image size, batch) operating
+/// point. Units: element counts and FLOPs, batch size included.
+struct GraphMetrics {
+  double flops = 0.0;         ///< F: FLOPs of all layers
+  double conv_inputs = 0.0;   ///< I: conv-layer input tensor elements
+  double conv_outputs = 0.0;  ///< O: conv-layer output tensor elements
+  double weights = 0.0;       ///< W: learnable parameters
+  double layers = 0.0;        ///< L: parameterized layers (conv/linear/bn)
+  double all_nodes = 0.0;     ///< every graph node except the input
+  // Generalized I/O over conv + linear + attention layers — the feature
+  // pair the transformer extension uses where conv-only I and O vanish.
+  double compute_inputs = 0.0;
+  double compute_outputs = 0.0;
+
+  /// Scales the batch-linear components (F, I, O) by `factor`; W and L are
+  /// batch-independent. Implements the Eq. 3 factorization.
+  GraphMetrics scaled_by_batch(double factor) const;  ///< also scales compute_*
+};
+
+/// FLOPs of a single node given its input/output shapes. Multiply-accumulate
+/// counts as two operations (the convention the paper's FLOP numbers use).
+double node_flops(const Node& node, const std::vector<Shape>& input_shapes,
+                  const Shape& output_shape);
+
+/// Per-node work for the device simulator, for `graph` at `input_shape`.
+std::vector<LayerWork> per_layer_work(const Graph& graph,
+                                      const Shape& input_shape);
+
+/// Whole-graph metrics for `graph` at `input_shape` (batch included in the
+/// shape).
+GraphMetrics compute_metrics(const Graph& graph, const Shape& input_shape);
+
+/// Metrics at batch size 1 for a square image of the given size.
+GraphMetrics compute_metrics_b1(const Graph& graph, std::int64_t image_size);
+
+}  // namespace convmeter

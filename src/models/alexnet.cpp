@@ -1,0 +1,38 @@
+// AlexNet (torchvision reference, Krizhevsky 2014 "one weird trick" variant).
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+Graph alexnet() {
+  Graph g("alexnet");
+  NodeId x = g.input(3);
+
+  x = g.conv2d("features.0", x, Conv2dAttrs::square(3, 64, 11, 4, 2, 1, true));
+  x = g.activation("features.1", x, ActKind::kReLU);
+  x = g.max_pool("features.2", x, Pool2dAttrs::square(3, 2));
+  x = g.conv2d("features.3", x, Conv2dAttrs::square(64, 192, 5, 1, 2, 1, true));
+  x = g.activation("features.4", x, ActKind::kReLU);
+  x = g.max_pool("features.5", x, Pool2dAttrs::square(3, 2));
+  x = g.conv2d("features.6", x, Conv2dAttrs::square(192, 384, 3, 1, 1, 1, true));
+  x = g.activation("features.7", x, ActKind::kReLU);
+  x = g.conv2d("features.8", x, Conv2dAttrs::square(384, 256, 3, 1, 1, 1, true));
+  x = g.activation("features.9", x, ActKind::kReLU);
+  x = g.conv2d("features.10", x, Conv2dAttrs::square(256, 256, 3, 1, 1, 1, true));
+  x = g.activation("features.11", x, ActKind::kReLU);
+  x = g.max_pool("features.12", x, Pool2dAttrs::square(3, 2));
+
+  x = g.adaptive_avg_pool("avgpool", x, 6, 6);
+  x = g.flatten("flatten", x);
+  x = g.dropout("classifier.0", x, 0.5);
+  x = g.linear("classifier.1", x, LinearAttrs{256 * 6 * 6, 4096, true});
+  x = g.activation("classifier.2", x, ActKind::kReLU);
+  x = g.dropout("classifier.3", x, 0.5);
+  x = g.linear("classifier.4", x, LinearAttrs{4096, 4096, true});
+  x = g.activation("classifier.5", x, ActKind::kReLU);
+  x = g.linear("classifier.6", x, LinearAttrs{4096, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,77 @@
+#include "models/blocks.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "graph/shape_inference.hpp"
+#include "graph/subgraph.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+const std::vector<NamedBlock>& paper_blocks() {
+  static const std::vector<NamedBlock> blocks = {
+      {"Bottleneck1", "resnext50_32x4d", "layer1.0"},
+      {"Bottleneck4", "resnet50", "layer2.0"},
+      {"Conv2d_3x3", "inception_v3", "Conv2d_2a_3x3"},
+      {"BasicBlock7", "resnet18", "layer4.0"},
+      {"InvertedResidual2", "mobilenet_v3_large", "features.2"},
+      {"ResBottleneckBlock3", "regnet_x_8gf", "trunk.block2-0"},
+      {"Bottleneck9", "wide_resnet50_2", "layer3.2"},
+      {"MBConv", "efficientnet_b0", "features.2.0"},
+      {"InvertedResidual3", "mobilenet_v2", "features.3"},
+  };
+  return blocks;
+}
+
+BlockExtraction extract_named_block(const Graph& model,
+                                    const std::string& prefix,
+                                    const Shape& model_input) {
+  const auto matches = [&](const std::string& name) {
+    return name == prefix || starts_with(name, prefix + ".");
+  };
+
+  NodeId first = -1;
+  NodeId last = -1;
+  for (const auto& n : model.nodes()) {
+    if (matches(n.name)) {
+      if (first == -1) first = n.id;
+      CM_CHECK(last == -1 || n.id == last + 1,
+               "block prefix '" + prefix + "' is not contiguous in model '" +
+                   model.name() + "'");
+      last = n.id;
+    }
+  }
+  CM_CHECK(first != -1, "no nodes with prefix '" + prefix + "' in model '" +
+                            model.name() + "'");
+
+  // All region inputs from outside must be the single entry node.
+  NodeId entry = -1;
+  for (NodeId id = first; id <= last; ++id) {
+    for (const NodeId in : model.node(id).inputs) {
+      if (in < first) {
+        CM_CHECK(entry == -1 || entry == in,
+                 "block '" + prefix + "' has multiple external inputs");
+        entry = in;
+      }
+    }
+  }
+  CM_CHECK(entry != -1, "block '" + prefix + "' has no external input");
+
+  const ShapeMap shapes = infer_shapes(model, model_input);
+  const Shape& entry_shape = shapes[static_cast<std::size_t>(entry)];
+  CM_CHECK(entry_shape.rank() == 4,
+           "block '" + prefix + "' entry must produce a rank-4 tensor");
+
+  Graph block = extract_block(model, entry, last, entry_shape.channels(),
+                              model.name() + "/" + prefix);
+  return BlockExtraction{std::move(block), entry_shape};
+}
+
+BlockExtraction extract_paper_block(const NamedBlock& block) {
+  const Graph model = build(block.model);
+  const std::int64_t image = default_image_size(block.model);
+  return extract_named_block(model, block.prefix,
+                             Shape::nchw(1, 3, image, image));
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,46 @@
+// Named block extraction for the paper's block-wise prediction study
+// (Table 2 / Fig. 4).
+//
+// Blocks are identified by the node-name prefix the model builders assign
+// ("layer2.0", "features.3", ...). extract_named_block() locates the
+// contiguous single-entry region carrying that prefix and repackages it as
+// a standalone Graph (see graph/subgraph.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter::models {
+
+/// A block listed in the paper's Table 2.
+struct NamedBlock {
+  std::string label;   ///< paper name, e.g. "Bottleneck4"
+  std::string model;   ///< zoo model it comes from, e.g. "resnet50"
+  std::string prefix;  ///< node-name prefix inside that model
+};
+
+/// The nine blocks evaluated in Table 2, in paper order.
+const std::vector<NamedBlock>& paper_blocks();
+
+/// Result of cutting a block out of a model.
+struct BlockExtraction {
+  Graph block;        ///< standalone single-input graph
+  Shape input_shape;  ///< shape feeding the block inside the parent model
+};
+
+/// Extracts the block with node-name prefix `prefix` from `model`, using
+/// `model_input` (rank-4 NCHW) to resolve the block's entry shape.
+/// Throws InvalidArgument when the prefix does not identify a contiguous
+/// single-entry region.
+BlockExtraction extract_named_block(const Graph& model,
+                                    const std::string& prefix,
+                                    const Shape& model_input);
+
+/// Convenience: builds the zoo model and extracts `block` at the model's
+/// default image resolution with batch size 1.
+BlockExtraction extract_paper_block(const NamedBlock& block);
+
+}  // namespace convmeter::models

@@ -1,0 +1,78 @@
+// DenseNet-121 (Huang et al. 2017), torchvision reference.
+//
+// DenseNet matters to the paper's Fig. 2 discussion: within a dense block
+// the *input* tensor of each layer grows (concatenated features) while the
+// *output* stays at the growth rate, so inputs-only or outputs-only
+// predictors miss part of its cost.
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// Dense layer: BN-ReLU-Conv1x1(4k) -> BN-ReLU-Conv3x3(k); output is the
+/// concatenation of the input features with the k new ones.
+NodeId dense_layer(Graph& g, const std::string& prefix, NodeId x,
+                   std::int64_t in_ch, std::int64_t growth) {
+  const std::int64_t bottleneck = 4 * growth;
+  NodeId y = g.batch_norm(prefix + ".norm1", x, in_ch);
+  y = g.activation(prefix + ".relu1", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".conv1", y, Conv2dAttrs::square(in_ch, bottleneck, 1));
+  y = g.batch_norm(prefix + ".norm2", y, bottleneck);
+  y = g.activation(prefix + ".relu2", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".conv2", y,
+               Conv2dAttrs::square(bottleneck, growth, 3, 1, 1));
+  return g.concat(prefix + ".concat", {x, y});
+}
+
+/// Transition: BN-ReLU-Conv1x1(half) -> AvgPool2.
+NodeId transition(Graph& g, const std::string& prefix, NodeId x,
+                  std::int64_t in_ch, std::int64_t out_ch) {
+  NodeId y = g.batch_norm(prefix + ".norm", x, in_ch);
+  y = g.activation(prefix + ".relu", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".conv", y, Conv2dAttrs::square(in_ch, out_ch, 1));
+  return g.avg_pool(prefix + ".pool", y, Pool2dAttrs::square(2, 2));
+}
+
+}  // namespace
+
+Graph densenet121() {
+  constexpr std::int64_t kGrowth = 32;
+  const std::vector<int> block_config = {6, 12, 24, 16};
+
+  Graph g("densenet121");
+  NodeId x = g.input(3);
+  x = g.conv2d("features.conv0", x, Conv2dAttrs::square(3, 64, 7, 2, 3));
+  x = g.batch_norm("features.norm0", x, 64);
+  x = g.activation("features.relu0", x, ActKind::kReLU);
+  x = g.max_pool("features.pool0", x, Pool2dAttrs::square(3, 2, 1));
+
+  std::int64_t channels = 64;
+  for (std::size_t b = 0; b < block_config.size(); ++b) {
+    const std::string block_prefix =
+        "features.denseblock" + std::to_string(b + 1);
+    for (int layer = 0; layer < block_config[b]; ++layer) {
+      x = dense_layer(
+          g, block_prefix + ".denselayer" + std::to_string(layer + 1), x,
+          channels, kGrowth);
+      channels += kGrowth;
+    }
+    if (b + 1 < block_config.size()) {
+      const std::int64_t out_ch = channels / 2;
+      x = transition(g, "features.transition" + std::to_string(b + 1), x,
+                     channels, out_ch);
+      channels = out_ch;
+    }
+  }
+
+  x = g.batch_norm("features.norm5", x, channels);
+  x = g.activation("features.relu5", x, ActKind::kReLU);
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  g.linear("classifier", x, LinearAttrs{channels, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,108 @@
+// EfficientNet B0-B2 (Tan & Le 2019), torchvision reference.
+//
+// B1/B2 are derived from the B0 stage table via the compound width/depth
+// multipliers; channels round with make_divisible and repeats round up.
+#include <cmath>
+
+#include "models/mobile_ops.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// One stage row of the EfficientNet-B0 table.
+struct MBConvCfg {
+  std::int64_t expand_ratio;
+  std::int64_t kernel;
+  std::int64_t stride;
+  std::int64_t out;
+  std::int64_t repeats;
+};
+
+/// MBConv block: 1x1 expand -> kxk depthwise -> SE (ratio 0.25 of the
+/// *input* channels) -> 1x1 project, residual when shape-preserving.
+NodeId mbconv(Graph& g, const std::string& prefix, NodeId x, std::int64_t in_ch,
+              std::int64_t out_ch, std::int64_t expand_ratio,
+              std::int64_t kernel, std::int64_t stride) {
+  const std::int64_t hidden = in_ch * expand_ratio;
+  const bool use_residual = stride == 1 && in_ch == out_ch;
+  const NodeId identity = x;
+  NodeId y = x;
+
+  if (expand_ratio != 1) {
+    y = g.conv2d(prefix + ".expand", y, Conv2dAttrs::square(in_ch, hidden, 1));
+    y = g.batch_norm(prefix + ".expand_bn", y, hidden);
+    y = g.activation(prefix + ".expand_act", y, ActKind::kSiLU);
+  }
+  y = g.conv2d(prefix + ".dw", y,
+               Conv2dAttrs::square(hidden, hidden, kernel, stride,
+                                   (kernel - 1) / 2, hidden));
+  y = g.batch_norm(prefix + ".dw_bn", y, hidden);
+  y = g.activation(prefix + ".dw_act", y, ActKind::kSiLU);
+  y = squeeze_excite(g, prefix + ".se", y, hidden,
+                     std::max<std::int64_t>(1, in_ch / 4), ActKind::kSiLU,
+                     ActKind::kSigmoid);
+  y = g.conv2d(prefix + ".project", y, Conv2dAttrs::square(hidden, out_ch, 1));
+  y = g.batch_norm(prefix + ".project_bn", y, out_ch);
+
+  if (use_residual) y = g.add(prefix + ".add", identity, y);
+  return y;
+}
+
+Graph efficientnet(const std::string& name, double width_mult,
+                   double depth_mult) {
+  const MBConvCfg base[] = {{1, 3, 1, 16, 1},  {6, 3, 2, 24, 2},
+                            {6, 5, 2, 40, 2},  {6, 3, 2, 80, 3},
+                            {6, 5, 1, 112, 3}, {6, 5, 2, 192, 4},
+                            {6, 3, 1, 320, 1}};
+  const auto scale_channels = [&](std::int64_t c) {
+    return make_divisible(
+        static_cast<std::int64_t>(std::llround(c * width_mult)));
+  };
+  const auto scale_repeats = [&](std::int64_t r) {
+    return static_cast<std::int64_t>(std::ceil(r * depth_mult));
+  };
+
+  Graph g(name);
+  NodeId x = g.input(3);
+  std::int64_t channels = scale_channels(32);
+  x = g.conv2d("features.0", x, Conv2dAttrs::square(3, channels, 3, 2, 1));
+  x = g.batch_norm("features.0_bn", x, channels);
+  x = g.activation("features.0_act", x, ActKind::kSiLU);
+
+  int stage_index = 1;
+  for (const auto& row : base) {
+    const std::int64_t out = scale_channels(row.out);
+    const std::int64_t repeats = scale_repeats(row.repeats);
+    for (std::int64_t i = 0; i < repeats; ++i) {
+      const std::string prefix = "features." + std::to_string(stage_index) +
+                                 "." + std::to_string(i);
+      const std::int64_t stride = i == 0 ? row.stride : 1;
+      x = mbconv(g, prefix, x, channels, out, row.expand_ratio, row.kernel,
+                 stride);
+      channels = out;
+    }
+    ++stage_index;
+  }
+
+  const std::int64_t head = scale_channels(1280);
+  x = g.conv2d("features.8", x, Conv2dAttrs::square(channels, head, 1));
+  x = g.batch_norm("features.8_bn", x, head);
+  x = g.activation("features.8_act", x, ActKind::kSiLU);
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  x = g.dropout("classifier.0", x, 0.2);
+  g.linear("classifier.1", x, LinearAttrs{head, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph efficientnet_b0() { return efficientnet("efficientnet_b0", 1.0, 1.0); }
+Graph efficientnet_b1() { return efficientnet("efficientnet_b1", 1.0, 1.1); }
+Graph efficientnet_b2() { return efficientnet("efficientnet_b2", 1.1, 1.2); }
+
+}  // namespace convmeter::models

@@ -1,0 +1,71 @@
+// GoogLeNet / Inception-V1 (Szegedy et al. 2015), torchvision reference
+// (batch-norm variant, no auxiliary classifiers at inference time).
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+NodeId basic_conv(Graph& g, const std::string& prefix, NodeId x,
+                  std::int64_t in_ch, std::int64_t out_ch, std::int64_t k,
+                  std::int64_t stride = 1, std::int64_t pad = 0) {
+  NodeId y = g.conv2d(prefix + ".conv", x,
+                      Conv2dAttrs::square(in_ch, out_ch, k, stride, pad));
+  y = g.batch_norm(prefix + ".bn", y, out_ch);
+  return g.activation(prefix + ".relu", y, ActKind::kReLU);
+}
+
+/// Inception module: 1x1 / 1x1-3x3 / 1x1-3x3 ("5x5" branch, implemented as
+/// 3x3 exactly like torchvision) / pool-1x1 branches concatenated.
+NodeId inception(Graph& g, const std::string& p, NodeId x, std::int64_t in,
+                 std::int64_t ch1, std::int64_t ch3red, std::int64_t ch3,
+                 std::int64_t ch5red, std::int64_t ch5,
+                 std::int64_t pool_proj) {
+  const NodeId b1 = basic_conv(g, p + ".branch1", x, in, ch1, 1);
+
+  NodeId b2 = basic_conv(g, p + ".branch2.0", x, in, ch3red, 1);
+  b2 = basic_conv(g, p + ".branch2.1", b2, ch3red, ch3, 3, 1, 1);
+
+  NodeId b3 = basic_conv(g, p + ".branch3.0", x, in, ch5red, 1);
+  b3 = basic_conv(g, p + ".branch3.1", b3, ch5red, ch5, 3, 1, 1);
+
+  NodeId b4 = g.max_pool(p + ".branch4.pool", x,
+                         Pool2dAttrs::square(3, 1, 1, true));
+  b4 = basic_conv(g, p + ".branch4.1", b4, in, pool_proj, 1);
+
+  return g.concat(p + ".concat", {b1, b2, b3, b4});
+}
+
+}  // namespace
+
+Graph googlenet() {
+  Graph g("googlenet");
+  NodeId x = g.input(3);
+  x = basic_conv(g, "conv1", x, 3, 64, 7, 2, 3);
+  x = g.max_pool("maxpool1", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = basic_conv(g, "conv2", x, 64, 64, 1);
+  x = basic_conv(g, "conv3", x, 64, 192, 3, 1, 1);
+  x = g.max_pool("maxpool2", x, Pool2dAttrs::square(3, 2, 0, true));
+
+  x = inception(g, "inception3a", x, 192, 64, 96, 128, 16, 32, 32);    // 256
+  x = inception(g, "inception3b", x, 256, 128, 128, 192, 32, 96, 64);  // 480
+  x = g.max_pool("maxpool3", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = inception(g, "inception4a", x, 480, 192, 96, 208, 16, 48, 64);   // 512
+  x = inception(g, "inception4b", x, 512, 160, 112, 224, 24, 64, 64);  // 512
+  x = inception(g, "inception4c", x, 512, 128, 128, 256, 24, 64, 64);  // 512
+  x = inception(g, "inception4d", x, 512, 112, 144, 288, 32, 64, 64);  // 528
+  x = inception(g, "inception4e", x, 528, 256, 160, 320, 32, 128, 128);// 832
+  x = g.max_pool("maxpool4", x, Pool2dAttrs::square(2, 2, 0, true));
+  x = inception(g, "inception5a", x, 832, 256, 160, 320, 32, 128, 128);// 832
+  x = inception(g, "inception5b", x, 832, 384, 192, 384, 48, 128, 128);// 1024
+
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  x = g.dropout("dropout", x, 0.2);
+  g.linear("fc", x, LinearAttrs{1024, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace convmeter::models

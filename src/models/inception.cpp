@@ -1,0 +1,155 @@
+// Inception V3 (Szegedy et al. 2016), torchvision reference without the
+// auxiliary classifier (which torchvision disables at inference time).
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// BasicConv2d: Conv (no bias) + BatchNorm + ReLU. Supports rectangular
+/// kernels (1x7 / 7x1 factorized convolutions).
+NodeId basic_conv(Graph& g, const std::string& prefix, NodeId x,
+                  std::int64_t in_ch, std::int64_t out_ch, std::int64_t kh,
+                  std::int64_t kw, std::int64_t stride = 1,
+                  std::int64_t pad_h = 0, std::int64_t pad_w = 0) {
+  Conv2dAttrs a;
+  a.in_channels = in_ch;
+  a.out_channels = out_ch;
+  a.kernel_h = kh;
+  a.kernel_w = kw;
+  a.stride_h = a.stride_w = stride;
+  a.pad_h = pad_h;
+  a.pad_w = pad_w;
+  NodeId y = g.conv2d(prefix + ".conv", x, a);
+  y = g.batch_norm(prefix + ".bn", y, out_ch);
+  return g.activation(prefix + ".relu", y, ActKind::kReLU);
+}
+
+NodeId sq(Graph& g, const std::string& prefix, NodeId x, std::int64_t in_ch,
+          std::int64_t out_ch, std::int64_t k, std::int64_t stride = 1,
+          std::int64_t pad = 0) {
+  return basic_conv(g, prefix, x, in_ch, out_ch, k, k, stride, pad, pad);
+}
+
+/// InceptionA: 1x1 / 5x5 / double-3x3 / pooled-1x1 branches.
+NodeId inception_a(Graph& g, const std::string& p, NodeId x, std::int64_t in,
+                   std::int64_t pool_features) {
+  const NodeId b1 = sq(g, p + ".branch1x1", x, in, 64, 1);
+
+  NodeId b5 = sq(g, p + ".branch5x5_1", x, in, 48, 1);
+  b5 = sq(g, p + ".branch5x5_2", b5, 48, 64, 5, 1, 2);
+
+  NodeId b3 = sq(g, p + ".branch3x3dbl_1", x, in, 64, 1);
+  b3 = sq(g, p + ".branch3x3dbl_2", b3, 64, 96, 3, 1, 1);
+  b3 = sq(g, p + ".branch3x3dbl_3", b3, 96, 96, 3, 1, 1);
+
+  NodeId bp = g.avg_pool(p + ".pool", x, Pool2dAttrs::square(3, 1, 1));
+  bp = sq(g, p + ".branch_pool", bp, in, pool_features, 1);
+
+  return g.concat(p + ".concat", {b1, b5, b3, bp});
+}
+
+/// InceptionB: stride-2 grid reduction.
+NodeId inception_b(Graph& g, const std::string& p, NodeId x, std::int64_t in) {
+  const NodeId b3 = sq(g, p + ".branch3x3", x, in, 384, 3, 2);
+
+  NodeId bd = sq(g, p + ".branch3x3dbl_1", x, in, 64, 1);
+  bd = sq(g, p + ".branch3x3dbl_2", bd, 64, 96, 3, 1, 1);
+  bd = sq(g, p + ".branch3x3dbl_3", bd, 96, 96, 3, 2);
+
+  const NodeId bp = g.max_pool(p + ".pool", x, Pool2dAttrs::square(3, 2));
+  return g.concat(p + ".concat", {b3, bd, bp});
+}
+
+/// InceptionC: factorized 7x7 branches.
+NodeId inception_c(Graph& g, const std::string& p, NodeId x, std::int64_t in,
+                   std::int64_t c7) {
+  const NodeId b1 = sq(g, p + ".branch1x1", x, in, 192, 1);
+
+  NodeId b7 = sq(g, p + ".branch7x7_1", x, in, c7, 1);
+  b7 = basic_conv(g, p + ".branch7x7_2", b7, c7, c7, 1, 7, 1, 0, 3);
+  b7 = basic_conv(g, p + ".branch7x7_3", b7, c7, 192, 7, 1, 1, 3, 0);
+
+  NodeId bd = sq(g, p + ".branch7x7dbl_1", x, in, c7, 1);
+  bd = basic_conv(g, p + ".branch7x7dbl_2", bd, c7, c7, 7, 1, 1, 3, 0);
+  bd = basic_conv(g, p + ".branch7x7dbl_3", bd, c7, c7, 1, 7, 1, 0, 3);
+  bd = basic_conv(g, p + ".branch7x7dbl_4", bd, c7, c7, 7, 1, 1, 3, 0);
+  bd = basic_conv(g, p + ".branch7x7dbl_5", bd, c7, 192, 1, 7, 1, 0, 3);
+
+  NodeId bp = g.avg_pool(p + ".pool", x, Pool2dAttrs::square(3, 1, 1));
+  bp = sq(g, p + ".branch_pool", bp, in, 192, 1);
+
+  return g.concat(p + ".concat", {b1, b7, bd, bp});
+}
+
+/// InceptionD: stride-2 grid reduction with factorized 7x7.
+NodeId inception_d(Graph& g, const std::string& p, NodeId x, std::int64_t in) {
+  NodeId b3 = sq(g, p + ".branch3x3_1", x, in, 192, 1);
+  b3 = sq(g, p + ".branch3x3_2", b3, 192, 320, 3, 2);
+
+  NodeId b7 = sq(g, p + ".branch7x7x3_1", x, in, 192, 1);
+  b7 = basic_conv(g, p + ".branch7x7x3_2", b7, 192, 192, 1, 7, 1, 0, 3);
+  b7 = basic_conv(g, p + ".branch7x7x3_3", b7, 192, 192, 7, 1, 1, 3, 0);
+  b7 = sq(g, p + ".branch7x7x3_4", b7, 192, 192, 3, 2);
+
+  const NodeId bp = g.max_pool(p + ".pool", x, Pool2dAttrs::square(3, 2));
+  return g.concat(p + ".concat", {b3, b7, bp});
+}
+
+/// InceptionE: expanded 3x3 branches (1x3 + 3x1 in parallel).
+NodeId inception_e(Graph& g, const std::string& p, NodeId x, std::int64_t in) {
+  const NodeId b1 = sq(g, p + ".branch1x1", x, in, 320, 1);
+
+  NodeId b3 = sq(g, p + ".branch3x3_1", x, in, 384, 1);
+  const NodeId b3a = basic_conv(g, p + ".branch3x3_2a", b3, 384, 384, 1, 3, 1, 0, 1);
+  const NodeId b3b = basic_conv(g, p + ".branch3x3_2b", b3, 384, 384, 3, 1, 1, 1, 0);
+  const NodeId b3cat = g.concat(p + ".branch3x3_cat", {b3a, b3b});
+
+  NodeId bd = sq(g, p + ".branch3x3dbl_1", x, in, 448, 1);
+  bd = sq(g, p + ".branch3x3dbl_2", bd, 448, 384, 3, 1, 1);
+  const NodeId bda = basic_conv(g, p + ".branch3x3dbl_3a", bd, 384, 384, 1, 3, 1, 0, 1);
+  const NodeId bdb = basic_conv(g, p + ".branch3x3dbl_3b", bd, 384, 384, 3, 1, 1, 1, 0);
+  const NodeId bdcat = g.concat(p + ".branch3x3dbl_cat", {bda, bdb});
+
+  NodeId bp = g.avg_pool(p + ".pool", x, Pool2dAttrs::square(3, 1, 1));
+  bp = sq(g, p + ".branch_pool", bp, in, 192, 1);
+
+  return g.concat(p + ".concat", {b1, b3cat, bdcat, bp});
+}
+
+}  // namespace
+
+Graph inception_v3() {
+  Graph g("inception_v3");
+  NodeId x = g.input(3);
+
+  x = sq(g, "Conv2d_1a_3x3", x, 3, 32, 3, 2);
+  x = sq(g, "Conv2d_2a_3x3", x, 32, 32, 3);
+  x = sq(g, "Conv2d_2b_3x3", x, 32, 64, 3, 1, 1);
+  x = g.max_pool("maxpool1", x, Pool2dAttrs::square(3, 2));
+  x = sq(g, "Conv2d_3b_1x1", x, 64, 80, 1);
+  x = sq(g, "Conv2d_4a_3x3", x, 80, 192, 3);
+  x = g.max_pool("maxpool2", x, Pool2dAttrs::square(3, 2));
+
+  x = inception_a(g, "Mixed_5b", x, 192, 32);   // -> 256
+  x = inception_a(g, "Mixed_5c", x, 256, 64);   // -> 288
+  x = inception_a(g, "Mixed_5d", x, 288, 64);   // -> 288
+  x = inception_b(g, "Mixed_6a", x, 288);       // -> 768
+  x = inception_c(g, "Mixed_6b", x, 768, 128);
+  x = inception_c(g, "Mixed_6c", x, 768, 160);
+  x = inception_c(g, "Mixed_6d", x, 768, 160);
+  x = inception_c(g, "Mixed_6e", x, 768, 192);
+  x = inception_d(g, "Mixed_7a", x, 768);       // -> 1280
+  x = inception_e(g, "Mixed_7b", x, 1280);      // -> 2048
+  x = inception_e(g, "Mixed_7c", x, 2048);      // -> 2048
+
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  x = g.dropout("dropout", x, 0.5);
+  g.linear("fc", x, LinearAttrs{2048, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,27 @@
+#include "models/mobile_ops.hpp"
+
+#include <algorithm>
+
+namespace convmeter::models {
+
+std::int64_t make_divisible(std::int64_t value, std::int64_t divisor) {
+  std::int64_t rounded =
+      std::max(divisor, (value + divisor / 2) / divisor * divisor);
+  if (rounded * 10 < value * 9) rounded += divisor;
+  return rounded;
+}
+
+NodeId squeeze_excite(Graph& g, const std::string& prefix, NodeId x,
+                      std::int64_t channels, std::int64_t squeeze_channels,
+                      ActKind inner_act, ActKind gate_act) {
+  NodeId s = g.adaptive_avg_pool(prefix + ".avgpool", x, 1, 1);
+  s = g.conv2d(prefix + ".fc1", s,
+               Conv2dAttrs::square(channels, squeeze_channels, 1, 1, 0, 1, true));
+  s = g.activation(prefix + ".act1", s, inner_act);
+  s = g.conv2d(prefix + ".fc2", s,
+               Conv2dAttrs::square(squeeze_channels, channels, 1, 1, 0, 1, true));
+  s = g.activation(prefix + ".gate", s, gate_act);
+  return g.multiply(prefix + ".scale", x, s);
+}
+
+}  // namespace convmeter::models

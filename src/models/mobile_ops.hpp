@@ -1,0 +1,25 @@
+// Shared building blocks of the mobile-friendly architectures
+// (MobileNetV2/V3, EfficientNet, RegNet-Y): squeeze-and-excitation and the
+// channel-rounding rule used throughout those papers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace convmeter::models {
+
+/// Rounds `value` to the nearest multiple of `divisor`, never going below
+/// 90% of the original (the `_make_divisible` rule from the MobileNet
+/// reference code).
+std::int64_t make_divisible(std::int64_t value, std::int64_t divisor = 8);
+
+/// Squeeze-and-excitation: global average pool -> 1x1 reduce -> act ->
+/// 1x1 expand -> gate -> channel-wise rescale of `x`.
+/// Returns the rescaled feature map.
+NodeId squeeze_excite(Graph& g, const std::string& prefix, NodeId x,
+                      std::int64_t channels, std::int64_t squeeze_channels,
+                      ActKind inner_act, ActKind gate_act);
+
+}  // namespace convmeter::models

@@ -1,0 +1,76 @@
+// MobileNetV2 (Sandler et al. 2018), torchvision reference.
+#include "models/mobile_ops.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// InvertedResidual: 1x1 expand (ratio t) -> 3x3 depthwise -> 1x1 project,
+/// with a residual connection when the block keeps shape.
+NodeId inverted_residual(Graph& g, const std::string& prefix, NodeId x,
+                         std::int64_t in_ch, std::int64_t out_ch,
+                         std::int64_t stride, std::int64_t expand_ratio) {
+  const std::int64_t hidden = in_ch * expand_ratio;
+  const bool use_residual = stride == 1 && in_ch == out_ch;
+  const NodeId identity = x;
+  NodeId y = x;
+
+  if (expand_ratio != 1) {
+    y = g.conv2d(prefix + ".expand", y, Conv2dAttrs::square(in_ch, hidden, 1));
+    y = g.batch_norm(prefix + ".expand_bn", y, hidden);
+    y = g.activation(prefix + ".expand_act", y, ActKind::kReLU6);
+  }
+  y = g.conv2d(prefix + ".dw", y,
+               Conv2dAttrs::square(hidden, hidden, 3, stride, 1, hidden));
+  y = g.batch_norm(prefix + ".dw_bn", y, hidden);
+  y = g.activation(prefix + ".dw_act", y, ActKind::kReLU6);
+  y = g.conv2d(prefix + ".project", y, Conv2dAttrs::square(hidden, out_ch, 1));
+  y = g.batch_norm(prefix + ".project_bn", y, out_ch);
+
+  if (use_residual) y = g.add(prefix + ".add", identity, y);
+  return y;
+}
+
+}  // namespace
+
+Graph mobilenet_v2() {
+  // (expand ratio t, output channels c, repeats n, first stride s)
+  struct StageCfg {
+    std::int64_t t, c, n, s;
+  };
+  const StageCfg cfg[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+
+  Graph g("mobilenet_v2");
+  NodeId x = g.input(3);
+  x = g.conv2d("features.0", x, Conv2dAttrs::square(3, 32, 3, 2, 1));
+  x = g.batch_norm("features.0_bn", x, 32);
+  x = g.activation("features.0_act", x, ActKind::kReLU6);
+
+  std::int64_t channels = 32;
+  int index = 1;
+  for (const auto& stage : cfg) {
+    for (std::int64_t i = 0; i < stage.n; ++i) {
+      const std::int64_t stride = i == 0 ? stage.s : 1;
+      x = inverted_residual(g, "features." + std::to_string(index), x,
+                            channels, stage.c, stride, stage.t);
+      channels = stage.c;
+      ++index;
+    }
+  }
+
+  x = g.conv2d("features.18", x, Conv2dAttrs::square(channels, 1280, 1));
+  x = g.batch_norm("features.18_bn", x, 1280);
+  x = g.activation("features.18_act", x, ActKind::kReLU6);
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  x = g.dropout("classifier.0", x, 0.2);
+  g.linear("classifier.1", x, LinearAttrs{1280, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace convmeter::models

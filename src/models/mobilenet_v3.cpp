@@ -1,0 +1,115 @@
+// MobileNetV3 Large / Small (Howard et al. 2019), torchvision reference.
+#include "models/mobile_ops.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// One bneck row of the MobileNetV3 paper's table.
+struct BneckCfg {
+  std::int64_t kernel;
+  std::int64_t expanded;
+  std::int64_t out;
+  bool use_se;
+  ActKind act;  // kReLU ("RE") or kHardSwish ("HS")
+  std::int64_t stride;
+};
+
+NodeId bneck(Graph& g, const std::string& prefix, NodeId x, std::int64_t in_ch,
+             const BneckCfg& cfg) {
+  const bool use_residual = cfg.stride == 1 && in_ch == cfg.out;
+  const NodeId identity = x;
+  NodeId y = x;
+
+  if (cfg.expanded != in_ch) {
+    y = g.conv2d(prefix + ".expand", y,
+                 Conv2dAttrs::square(in_ch, cfg.expanded, 1));
+    y = g.batch_norm(prefix + ".expand_bn", y, cfg.expanded);
+    y = g.activation(prefix + ".expand_act", y, cfg.act);
+  }
+  y = g.conv2d(prefix + ".dw", y,
+               Conv2dAttrs::square(cfg.expanded, cfg.expanded, cfg.kernel,
+                                   cfg.stride, (cfg.kernel - 1) / 2,
+                                   cfg.expanded));
+  y = g.batch_norm(prefix + ".dw_bn", y, cfg.expanded);
+  y = g.activation(prefix + ".dw_act", y, cfg.act);
+  if (cfg.use_se) {
+    y = squeeze_excite(g, prefix + ".se", y, cfg.expanded,
+                       make_divisible(cfg.expanded / 4), ActKind::kReLU,
+                       ActKind::kHardSigmoid);
+  }
+  y = g.conv2d(prefix + ".project", y,
+               Conv2dAttrs::square(cfg.expanded, cfg.out, 1));
+  y = g.batch_norm(prefix + ".project_bn", y, cfg.out);
+
+  if (use_residual) y = g.add(prefix + ".add", identity, y);
+  return y;
+}
+
+Graph mobilenet_v3(const std::string& name, std::int64_t stem_out,
+                   const std::vector<BneckCfg>& rows,
+                   std::int64_t last_conv_out, std::int64_t classifier_hidden) {
+  Graph g(name);
+  NodeId x = g.input(3);
+  x = g.conv2d("features.0", x, Conv2dAttrs::square(3, stem_out, 3, 2, 1));
+  x = g.batch_norm("features.0_bn", x, stem_out);
+  x = g.activation("features.0_act", x, ActKind::kHardSwish);
+
+  std::int64_t channels = stem_out;
+  int index = 1;
+  for (const auto& row : rows) {
+    x = bneck(g, "features." + std::to_string(index), x, channels, row);
+    channels = row.out;
+    ++index;
+  }
+
+  x = g.conv2d("features.last", x,
+               Conv2dAttrs::square(channels, last_conv_out, 1));
+  x = g.batch_norm("features.last_bn", x, last_conv_out);
+  x = g.activation("features.last_act", x, ActKind::kHardSwish);
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  x = g.linear("classifier.0", x,
+               LinearAttrs{last_conv_out, classifier_hidden, true});
+  x = g.activation("classifier.1", x, ActKind::kHardSwish);
+  x = g.dropout("classifier.2", x, 0.2);
+  g.linear("classifier.3", x, LinearAttrs{classifier_hidden, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph mobilenet_v3_large() {
+  const ActKind RE = ActKind::kReLU;
+  const ActKind HS = ActKind::kHardSwish;
+  const std::vector<BneckCfg> rows = {
+      {3, 16, 16, false, RE, 1},   {3, 64, 24, false, RE, 2},
+      {3, 72, 24, false, RE, 1},   {5, 72, 40, true, RE, 2},
+      {5, 120, 40, true, RE, 1},   {5, 120, 40, true, RE, 1},
+      {3, 240, 80, false, HS, 2},  {3, 200, 80, false, HS, 1},
+      {3, 184, 80, false, HS, 1},  {3, 184, 80, false, HS, 1},
+      {3, 480, 112, true, HS, 1},  {3, 672, 112, true, HS, 1},
+      {5, 672, 160, true, HS, 2},  {5, 960, 160, true, HS, 1},
+      {5, 960, 160, true, HS, 1},
+  };
+  return mobilenet_v3("mobilenet_v3_large", 16, rows, 960, 1280);
+}
+
+Graph mobilenet_v3_small() {
+  const ActKind RE = ActKind::kReLU;
+  const ActKind HS = ActKind::kHardSwish;
+  const std::vector<BneckCfg> rows = {
+      {3, 16, 16, true, RE, 2},   {3, 72, 24, false, RE, 2},
+      {3, 88, 24, false, RE, 1},  {5, 96, 40, true, HS, 2},
+      {5, 240, 40, true, HS, 1},  {5, 240, 40, true, HS, 1},
+      {5, 120, 48, true, HS, 1},  {5, 144, 48, true, HS, 1},
+      {5, 288, 96, true, HS, 2},  {5, 576, 96, true, HS, 1},
+      {5, 576, 96, true, HS, 1},
+  };
+  return mobilenet_v3("mobilenet_v3_small", 16, rows, 576, 1024);
+}
+
+}  // namespace convmeter::models

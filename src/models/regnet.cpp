@@ -1,0 +1,88 @@
+// RegNet-X (Radosavovic et al. 2020), torchvision reference.
+//
+// The X block is a ResNet-style bottleneck with bottleneck ratio 1 and a
+// fixed group width per stage.
+#include <algorithm>
+
+#include "models/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// ResBottleneckBlock: 1x1 -> 3x3 grouped (stride) -> 1x1, projection
+/// shortcut on shape change.
+NodeId res_bottleneck_block(Graph& g, const std::string& prefix, NodeId x,
+                            std::int64_t in_ch, std::int64_t out_ch,
+                            std::int64_t stride, std::int64_t group_width) {
+  // pycls rule: the group width is clamped to the stage width (a stage
+  // narrower than the nominal group width runs as a single group).
+  const std::int64_t effective_gw = std::min(group_width, out_ch);
+  CM_CHECK(out_ch % effective_gw == 0,
+           "regnet: stage width must be divisible by the group width");
+  const std::int64_t groups = out_ch / effective_gw;
+  const NodeId identity = x;
+
+  NodeId y = g.conv2d(prefix + ".f.a", x, Conv2dAttrs::square(in_ch, out_ch, 1));
+  y = g.batch_norm(prefix + ".f.a_bn", y, out_ch);
+  y = g.activation(prefix + ".f.a_act", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".f.b", y,
+               Conv2dAttrs::square(out_ch, out_ch, 3, stride, 1, groups));
+  y = g.batch_norm(prefix + ".f.b_bn", y, out_ch);
+  y = g.activation(prefix + ".f.b_act", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".f.c", y, Conv2dAttrs::square(out_ch, out_ch, 1));
+  y = g.batch_norm(prefix + ".f.c_bn", y, out_ch);
+
+  NodeId shortcut = identity;
+  if (stride != 1 || in_ch != out_ch) {
+    shortcut = g.conv2d(prefix + ".proj", identity,
+                        Conv2dAttrs::square(in_ch, out_ch, 1, stride));
+    shortcut = g.batch_norm(prefix + ".proj_bn", shortcut, out_ch);
+  }
+  y = g.add(prefix + ".add", y, shortcut);
+  return g.activation(prefix + ".relu", y, ActKind::kReLU);
+}
+
+Graph regnet_x(const std::string& name, const std::vector<int>& depths,
+               const std::vector<std::int64_t>& widths,
+               std::int64_t group_width) {
+  CM_CHECK(depths.size() == widths.size(), "regnet: depths/widths mismatch");
+  Graph g(name);
+  NodeId x = g.input(3);
+  x = g.conv2d("stem", x, Conv2dAttrs::square(3, 32, 3, 2, 1));
+  x = g.batch_norm("stem_bn", x, 32);
+  x = g.activation("stem_act", x, ActKind::kReLU);
+
+  std::int64_t channels = 32;
+  for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+    for (int block = 0; block < depths[stage]; ++block) {
+      const std::string prefix = "trunk.block" + std::to_string(stage + 1) +
+                                 "-" + std::to_string(block);
+      const std::int64_t stride = block == 0 ? 2 : 1;
+      x = res_bottleneck_block(g, prefix, x, channels, widths[stage], stride,
+                               group_width);
+      channels = widths[stage];
+    }
+  }
+
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  g.linear("fc", x, LinearAttrs{channels, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph regnet_x_400mf() {
+  return regnet_x("regnet_x_400mf", {1, 2, 7, 12}, {32, 64, 160, 400}, 16);
+}
+
+Graph regnet_x_8gf() {
+  return regnet_x("regnet_x_8gf", {2, 5, 15, 1}, {80, 240, 720, 1920}, 120);
+}
+
+}  // namespace convmeter::models

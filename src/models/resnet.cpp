@@ -1,0 +1,134 @@
+// ResNet family (He et al. 2015) and its grouped/wide variants
+// (ResNeXt, Wide-ResNet), following the torchvision reference.
+//
+// Block naming convention: "layer<stage>.<index>.<op>" — the block-wise
+// prediction harness (Table 2 / Fig. 4) extracts blocks by this prefix.
+#include "models/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+struct ResNetCtx {
+  Graph* g;
+  std::int64_t groups;
+  std::int64_t width_per_group;
+  std::int64_t inplanes = 64;
+};
+
+/// BasicBlock (resnet18/34): 3x3 -> 3x3 with identity/downsample shortcut.
+NodeId basic_block(ResNetCtx& ctx, const std::string& prefix, NodeId x,
+                   std::int64_t planes, std::int64_t stride) {
+  Graph& g = *ctx.g;
+  const NodeId identity = x;
+
+  NodeId y = g.conv2d(prefix + ".conv1", x,
+                      Conv2dAttrs::square(ctx.inplanes, planes, 3, stride, 1));
+  y = g.batch_norm(prefix + ".bn1", y, planes);
+  y = g.activation(prefix + ".relu1", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".conv2", y, Conv2dAttrs::square(planes, planes, 3, 1, 1));
+  y = g.batch_norm(prefix + ".bn2", y, planes);
+
+  NodeId shortcut = identity;
+  if (stride != 1 || ctx.inplanes != planes) {
+    shortcut = g.conv2d(prefix + ".downsample.0", identity,
+                        Conv2dAttrs::square(ctx.inplanes, planes, 1, stride));
+    shortcut = g.batch_norm(prefix + ".downsample.1", shortcut, planes);
+  }
+  y = g.add(prefix + ".add", y, shortcut);
+  y = g.activation(prefix + ".relu2", y, ActKind::kReLU);
+  ctx.inplanes = planes;
+  return y;
+}
+
+/// Bottleneck (resnet50+): 1x1 reduce -> 3x3 (grouped) -> 1x1 expand (x4).
+NodeId bottleneck_block(ResNetCtx& ctx, const std::string& prefix, NodeId x,
+                        std::int64_t planes, std::int64_t stride) {
+  Graph& g = *ctx.g;
+  constexpr std::int64_t kExpansion = 4;
+  const std::int64_t width =
+      planes * ctx.width_per_group / 64 * ctx.groups;
+  const std::int64_t out_planes = planes * kExpansion;
+  const NodeId identity = x;
+
+  NodeId y = g.conv2d(prefix + ".conv1", x,
+                      Conv2dAttrs::square(ctx.inplanes, width, 1));
+  y = g.batch_norm(prefix + ".bn1", y, width);
+  y = g.activation(prefix + ".relu1", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".conv2", y,
+               Conv2dAttrs::square(width, width, 3, stride, 1, ctx.groups));
+  y = g.batch_norm(prefix + ".bn2", y, width);
+  y = g.activation(prefix + ".relu2", y, ActKind::kReLU);
+  y = g.conv2d(prefix + ".conv3", y, Conv2dAttrs::square(width, out_planes, 1));
+  y = g.batch_norm(prefix + ".bn3", y, out_planes);
+
+  NodeId shortcut = identity;
+  if (stride != 1 || ctx.inplanes != out_planes) {
+    shortcut = g.conv2d(prefix + ".downsample.0", identity,
+                        Conv2dAttrs::square(ctx.inplanes, out_planes, 1, stride));
+    shortcut = g.batch_norm(prefix + ".downsample.1", shortcut, out_planes);
+  }
+  y = g.add(prefix + ".add", y, shortcut);
+  y = g.activation(prefix + ".relu3", y, ActKind::kReLU);
+  ctx.inplanes = out_planes;
+  return y;
+}
+
+}  // namespace
+
+Graph resnet(const std::string& name, const std::vector<int>& layers,
+             bool bottleneck, std::int64_t groups,
+             std::int64_t width_per_group) {
+  CM_CHECK(layers.size() == 4, "resnet requires four stage depths");
+  Graph g(name);
+  ResNetCtx ctx{&g, groups, width_per_group};
+
+  NodeId x = g.input(3);
+  x = g.conv2d("conv1", x, Conv2dAttrs::square(3, 64, 7, 2, 3));
+  x = g.batch_norm("bn1", x, 64);
+  x = g.activation("relu", x, ActKind::kReLU);
+  x = g.max_pool("maxpool", x, Pool2dAttrs::square(3, 2, 1));
+
+  const std::int64_t stage_planes[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t stride = stage == 0 ? 1 : 2;
+    for (int block = 0; block < layers[static_cast<std::size_t>(stage)];
+         ++block) {
+      const std::string prefix = "layer" + std::to_string(stage + 1) + "." +
+                                 std::to_string(block);
+      const std::int64_t s = block == 0 ? stride : 1;
+      x = bottleneck ? bottleneck_block(ctx, prefix, x, stage_planes[stage], s)
+                     : basic_block(ctx, prefix, x, stage_planes[stage], s);
+    }
+  }
+
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  const std::int64_t features = bottleneck ? 2048 : 512;
+  x = g.linear("fc", x, LinearAttrs{features, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+Graph resnet18() { return resnet("resnet18", {2, 2, 2, 2}, false); }
+Graph resnet34() { return resnet("resnet34", {3, 4, 6, 3}, false); }
+Graph resnet50() { return resnet("resnet50", {3, 4, 6, 3}, true); }
+Graph resnet101() { return resnet("resnet101", {3, 4, 23, 3}, true); }
+Graph resnet152() { return resnet("resnet152", {3, 8, 36, 3}, true); }
+
+Graph wide_resnet50_2() {
+  return resnet("wide_resnet50_2", {3, 4, 6, 3}, true, 1, 128);
+}
+
+Graph resnext50_32x4d() {
+  return resnet("resnext50_32x4d", {3, 4, 6, 3}, true, 32, 4);
+}
+
+Graph resnext101_32x8d() {
+  return resnet("resnext101_32x8d", {3, 4, 23, 3}, true, 32, 8);
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,97 @@
+// ShuffleNetV2 (Ma et al. 2018), torchvision reference — the mobile family
+// built on channel split + shuffle instead of grouped 1x1 convolutions.
+#include "models/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+NodeId conv_bn_relu(Graph& g, const std::string& p, NodeId x,
+                    std::int64_t in_ch, std::int64_t out_ch, std::int64_t k,
+                    std::int64_t stride, std::int64_t pad,
+                    std::int64_t groups = 1, bool relu = true) {
+  NodeId y = g.conv2d(p + ".conv", x,
+                      Conv2dAttrs::square(in_ch, out_ch, k, stride, pad,
+                                          groups));
+  y = g.batch_norm(p + ".bn", y, out_ch);
+  if (relu) y = g.activation(p + ".relu", y, ActKind::kReLU);
+  return y;
+}
+
+/// Basic unit (stride 1): split channels in half; the right half runs
+/// 1x1 -> dw3x3 -> 1x1; concat; shuffle with 2 groups.
+NodeId unit_stride1(Graph& g, const std::string& p, NodeId x,
+                    std::int64_t channels) {
+  CM_CHECK(channels % 2 == 0, "shufflenet unit needs even channels");
+  const std::int64_t half = channels / 2;
+  const NodeId left = g.slice_channels(p + ".split_l", x, 0, half);
+  NodeId right = g.slice_channels(p + ".split_r", x, half, channels);
+  right = conv_bn_relu(g, p + ".b1", right, half, half, 1, 1, 0);
+  right = conv_bn_relu(g, p + ".dw", right, half, half, 3, 1, 1, half,
+                       /*relu=*/false);
+  right = conv_bn_relu(g, p + ".b2", right, half, half, 1, 1, 0);
+  const NodeId cat = g.concat(p + ".concat", {left, right});
+  return g.channel_shuffle(p + ".shuffle", cat, 2);
+}
+
+/// Down-sampling unit (stride 2): both branches process the full input;
+/// each emits out/2 channels.
+NodeId unit_stride2(Graph& g, const std::string& p, NodeId x,
+                    std::int64_t in_ch, std::int64_t out_ch) {
+  const std::int64_t half = out_ch / 2;
+  NodeId left = conv_bn_relu(g, p + ".l_dw", x, in_ch, in_ch, 3, 2, 1, in_ch,
+                             /*relu=*/false);
+  left = conv_bn_relu(g, p + ".l_pw", left, in_ch, half, 1, 1, 0);
+
+  NodeId right = conv_bn_relu(g, p + ".r_b1", x, in_ch, half, 1, 1, 0);
+  right = conv_bn_relu(g, p + ".r_dw", right, half, half, 3, 2, 1, half,
+                       /*relu=*/false);
+  right = conv_bn_relu(g, p + ".r_b2", right, half, half, 1, 1, 0);
+
+  const NodeId cat = g.concat(p + ".concat", {left, right});
+  return g.channel_shuffle(p + ".shuffle", cat, 2);
+}
+
+Graph shufflenet_v2(const std::string& name,
+                    const std::vector<std::int64_t>& stage_out,
+                    const std::vector<int>& stage_repeats,
+                    std::int64_t final_channels) {
+  CM_CHECK(stage_out.size() == stage_repeats.size(),
+           "shufflenet: stage config mismatch");
+  Graph g(name);
+  NodeId x = g.input(3);
+  x = conv_bn_relu(g, "conv1", x, 3, 24, 3, 2, 1);
+  x = g.max_pool("maxpool", x, Pool2dAttrs::square(3, 2, 1));
+
+  std::int64_t channels = 24;
+  for (std::size_t s = 0; s < stage_out.size(); ++s) {
+    const std::string stage = "stage" + std::to_string(s + 2);
+    x = unit_stride2(g, stage + ".0", x, channels, stage_out[s]);
+    channels = stage_out[s];
+    for (int r = 1; r < stage_repeats[s]; ++r) {
+      x = unit_stride1(g, stage + "." + std::to_string(r), x, channels);
+    }
+  }
+
+  x = conv_bn_relu(g, "conv5", x, channels, final_channels, 1, 1, 0);
+  x = g.adaptive_avg_pool("avgpool", x, 1, 1);
+  x = g.flatten("flatten", x);
+  g.linear("fc", x, LinearAttrs{final_channels, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph shufflenet_v2_x1_0() {
+  return shufflenet_v2("shufflenet_v2_x1_0", {116, 232, 464}, {4, 8, 4}, 1024);
+}
+
+Graph shufflenet_v2_x0_5() {
+  return shufflenet_v2("shufflenet_v2_x0_5", {48, 96, 192}, {4, 8, 4}, 1024);
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,74 @@
+// SqueezeNet 1.0 / 1.1 (Iandola et al. 2016), torchvision reference.
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// Fire module: 1x1 squeeze, then parallel 1x1 and 3x3 expands, concatenated.
+NodeId fire(Graph& g, const std::string& prefix, NodeId x, std::int64_t in_ch,
+            std::int64_t squeeze, std::int64_t expand1, std::int64_t expand3) {
+  NodeId s = g.conv2d(prefix + ".squeeze", x,
+                      Conv2dAttrs::square(in_ch, squeeze, 1, 1, 0, 1, true));
+  s = g.activation(prefix + ".squeeze_relu", s, ActKind::kReLU);
+  NodeId e1 = g.conv2d(prefix + ".expand1x1", s,
+                       Conv2dAttrs::square(squeeze, expand1, 1, 1, 0, 1, true));
+  e1 = g.activation(prefix + ".expand1x1_relu", e1, ActKind::kReLU);
+  NodeId e3 = g.conv2d(prefix + ".expand3x3", s,
+                       Conv2dAttrs::square(squeeze, expand3, 3, 1, 1, 1, true));
+  e3 = g.activation(prefix + ".expand3x3_relu", e3, ActKind::kReLU);
+  return g.concat(prefix + ".concat", {e1, e3});
+}
+
+Graph squeezenet_classifier(Graph g, NodeId x) {
+  x = g.dropout("classifier.0", x, 0.5);
+  x = g.conv2d("classifier.1", x,
+               Conv2dAttrs::square(512, 1000, 1, 1, 0, 1, true));
+  x = g.activation("classifier.2", x, ActKind::kReLU);
+  x = g.adaptive_avg_pool("classifier.3", x, 1, 1);
+  g.flatten("flatten", x);
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph squeezenet1_0() {
+  Graph g("squeezenet1_0");
+  NodeId x = g.input(3);
+  x = g.conv2d("features.0", x, Conv2dAttrs::square(3, 96, 7, 2, 0, 1, true));
+  x = g.activation("features.1", x, ActKind::kReLU);
+  x = g.max_pool("features.2", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = fire(g, "features.3", x, 96, 16, 64, 64);
+  x = fire(g, "features.4", x, 128, 16, 64, 64);
+  x = fire(g, "features.5", x, 128, 32, 128, 128);
+  x = g.max_pool("features.6", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = fire(g, "features.7", x, 256, 32, 128, 128);
+  x = fire(g, "features.8", x, 256, 48, 192, 192);
+  x = fire(g, "features.9", x, 384, 48, 192, 192);
+  x = fire(g, "features.10", x, 384, 64, 256, 256);
+  x = g.max_pool("features.11", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = fire(g, "features.12", x, 512, 64, 256, 256);
+  return squeezenet_classifier(std::move(g), x);
+}
+
+Graph squeezenet1_1() {
+  Graph g("squeezenet1_1");
+  NodeId x = g.input(3);
+  x = g.conv2d("features.0", x, Conv2dAttrs::square(3, 64, 3, 2, 0, 1, true));
+  x = g.activation("features.1", x, ActKind::kReLU);
+  x = g.max_pool("features.2", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = fire(g, "features.3", x, 64, 16, 64, 64);
+  x = fire(g, "features.4", x, 128, 16, 64, 64);
+  x = g.max_pool("features.5", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = fire(g, "features.6", x, 128, 32, 128, 128);
+  x = fire(g, "features.7", x, 256, 32, 128, 128);
+  x = g.max_pool("features.8", x, Pool2dAttrs::square(3, 2, 0, true));
+  x = fire(g, "features.9", x, 256, 48, 192, 192);
+  x = fire(g, "features.10", x, 384, 48, 192, 192);
+  x = fire(g, "features.11", x, 384, 64, 256, 256);
+  x = fire(g, "features.12", x, 512, 64, 256, 256);
+  return squeezenet_classifier(std::move(g), x);
+}
+
+}  // namespace convmeter::models

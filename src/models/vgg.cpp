@@ -1,0 +1,71 @@
+// VGG (Simonyan & Zisserman 2015), torchvision configurations A/B/D/E
+// without batch norm.
+#include "models/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// -1 encodes a max-pool ("M" in the torchvision config tables).
+constexpr int kPool = -1;
+
+std::vector<int> vgg_config(int depth) {
+  switch (depth) {
+    case 11:
+      return {64, kPool, 128, kPool, 256, 256, kPool, 512, 512, kPool,
+              512, 512, kPool};
+    case 13:
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, kPool,
+              512, 512, kPool, 512, 512, kPool};
+    case 16:
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, 256, kPool,
+              512, 512, 512, kPool, 512, 512, 512, kPool};
+    case 19:
+      return {64, 64, kPool, 128, 128, kPool, 256, 256, 256, 256, kPool,
+              512, 512, 512, 512, kPool, 512, 512, 512, 512, kPool};
+    default:
+      throw InvalidArgument("vgg depth must be 11, 13, 16 or 19");
+  }
+}
+
+}  // namespace
+
+Graph vgg(int depth) {
+  Graph g("vgg" + std::to_string(depth));
+  NodeId x = g.input(3);
+  std::int64_t channels = 3;
+  int layer_index = 0;
+
+  for (const int entry : vgg_config(depth)) {
+    const std::string idx = std::to_string(layer_index);
+    if (entry == kPool) {
+      x = g.max_pool("features." + idx, x, Pool2dAttrs::square(2, 2));
+      ++layer_index;
+      continue;
+    }
+    x = g.conv2d("features." + idx, x,
+                 Conv2dAttrs::square(channels, entry, 3, 1, 1, 1, true));
+    ++layer_index;
+    x = g.activation("features." + std::to_string(layer_index), x,
+                     ActKind::kReLU);
+    ++layer_index;
+    channels = entry;
+  }
+
+  x = g.adaptive_avg_pool("avgpool", x, 7, 7);
+  x = g.flatten("flatten", x);
+  x = g.linear("classifier.0", x, LinearAttrs{512 * 7 * 7, 4096, true});
+  x = g.activation("classifier.1", x, ActKind::kReLU);
+  x = g.dropout("classifier.2", x, 0.5);
+  x = g.linear("classifier.3", x, LinearAttrs{4096, 4096, true});
+  x = g.activation("classifier.4", x, ActKind::kReLU);
+  x = g.dropout("classifier.5", x, 0.5);
+  x = g.linear("classifier.6", x, LinearAttrs{4096, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace convmeter::models

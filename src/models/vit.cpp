@@ -1,0 +1,61 @@
+// Vision Transformers (Dosovitskiy et al. 2021) — the paper's future-work
+// extension (Sec. 6: "we aim to analyze other DNNs, such as language models
+// and vision transformers").
+//
+// The graphs use the transformer operators of the extended IR (to_tokens,
+// layer_norm, self_attention, select_token). Parameter counts cover the
+// learnable layers (patch embed, attention, MLPs, heads); the positional
+// embedding and the class-token parameter (~0.15 M for ViT-B) are omitted,
+// as they contribute no compute layer.
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// One pre-norm transformer encoder block.
+NodeId encoder_block(Graph& g, const std::string& p, NodeId x,
+                     std::int64_t dim, std::int64_t heads,
+                     std::int64_t mlp_dim) {
+  NodeId y = g.layer_norm(p + ".ln1", x, dim);
+  y = g.self_attention(p + ".attn", y, dim, heads);
+  NodeId res = g.add(p + ".add1", x, y);
+
+  y = g.layer_norm(p + ".ln2", res, dim);
+  y = g.linear(p + ".mlp.fc1", y, LinearAttrs{dim, mlp_dim, true});
+  y = g.activation(p + ".mlp.gelu", y, ActKind::kGELU);
+  y = g.linear(p + ".mlp.fc2", y, LinearAttrs{mlp_dim, dim, true});
+  return g.add(p + ".add2", res, y);
+}
+
+Graph vit(const std::string& name, std::int64_t patch, std::int64_t dim,
+          std::int64_t depth, std::int64_t heads, std::int64_t mlp_dim) {
+  Graph g(name);
+  NodeId x = g.input(3);
+  // Patch embedding: a patch x patch convolution with stride patch.
+  x = g.conv2d("patch_embed", x,
+               Conv2dAttrs::square(3, dim, patch, patch, 0, 1, true));
+  x = g.to_tokens("to_tokens", x, /*cls_token=*/true);
+
+  for (std::int64_t block = 0; block < depth; ++block) {
+    x = encoder_block(g, "encoder." + std::to_string(block), x, dim, heads,
+                      mlp_dim);
+  }
+
+  x = g.layer_norm("ln_final", x, dim);
+  x = g.select_token("cls", x, 0);
+  g.linear("head", x, LinearAttrs{dim, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph vit_ti_16() { return vit("vit_ti_16", 16, 192, 12, 3, 768); }
+Graph vit_s_16() { return vit("vit_s_16", 16, 384, 12, 6, 1536); }
+Graph vit_b_16() { return vit("vit_b_16", 16, 768, 12, 12, 3072); }
+Graph vit_b_32() { return vit("vit_b_32", 32, 768, 12, 12, 3072); }
+Graph vit_l_16() { return vit("vit_l_16", 16, 1024, 24, 16, 4096); }
+
+}  // namespace convmeter::models

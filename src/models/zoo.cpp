@@ -1,0 +1,88 @@
+#include "models/zoo.hpp"
+
+#include <array>
+#include <functional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+struct ZooEntry {
+  const char* name;
+  Graph (*builder)();
+  std::int64_t image_size;
+};
+
+const std::array<ZooEntry, 33>& registry() {
+  static const std::array<ZooEntry, 33> entries = {{
+      {"alexnet", &alexnet, 224},
+      {"vgg11", [] { return vgg(11); }, 224},
+      {"vgg13", [] { return vgg(13); }, 224},
+      {"vgg16", [] { return vgg(16); }, 224},
+      {"vgg19", [] { return vgg(19); }, 224},
+      {"resnet18", &resnet18, 224},
+      {"resnet34", &resnet34, 224},
+      {"resnet50", &resnet50, 224},
+      {"resnet101", &resnet101, 224},
+      {"resnet152", &resnet152, 224},
+      {"wide_resnet50_2", &wide_resnet50_2, 224},
+      {"resnext50_32x4d", &resnext50_32x4d, 224},
+      {"resnext101_32x8d", &resnext101_32x8d, 224},
+      {"squeezenet1_0", &squeezenet1_0, 224},
+      {"squeezenet1_1", &squeezenet1_1, 224},
+      {"densenet121", &densenet121, 224},
+      {"googlenet", &googlenet, 224},
+      {"inception_v3", &inception_v3, 299},
+      {"mobilenet_v2", &mobilenet_v2, 224},
+      {"mobilenet_v3_large", &mobilenet_v3_large, 224},
+      {"mobilenet_v3_small", &mobilenet_v3_small, 224},
+      {"efficientnet_b0", &efficientnet_b0, 224},
+      {"efficientnet_b1", &efficientnet_b1, 240},
+      {"efficientnet_b2", &efficientnet_b2, 260},
+      {"shufflenet_v2_x0_5", &shufflenet_v2_x0_5, 224},
+      {"shufflenet_v2_x1_0", &shufflenet_v2_x1_0, 224},
+      {"regnet_x_400mf", &regnet_x_400mf, 224},
+      {"regnet_x_8gf", &regnet_x_8gf, 224},
+      {"vit_ti_16", &vit_ti_16, 224},
+      {"vit_s_16", &vit_s_16, 224},
+      {"vit_b_16", &vit_b_16, 224},
+      {"vit_b_32", &vit_b_32, 224},
+      {"vit_l_16", &vit_l_16, 224},
+  }};
+  return entries;
+}
+
+}  // namespace
+
+Graph build(const std::string& name) {
+  for (const auto& e : registry()) {
+    if (name == e.name) return e.builder();
+  }
+  throw InvalidArgument("unknown model: " + name);
+}
+
+std::vector<std::string> available_models() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& e : registry()) names.emplace_back(e.name);
+  return names;
+}
+
+bool is_available(const std::string& name) {
+  for (const auto& e : registry()) {
+    if (name == e.name) return true;
+  }
+  return false;
+}
+
+std::int64_t default_image_size(const std::string& name) {
+  for (const auto& e : registry()) {
+    if (name == e.name) return e.image_size;
+  }
+  throw InvalidArgument("unknown model: " + name);
+}
+
+}  // namespace convmeter::models

@@ -1,0 +1,83 @@
+// Model zoo: from-scratch graph builders for the ConvNets the paper
+// benchmarks (torchvision 0.14 reference architectures).
+//
+// Every builder reproduces the reference model layer-for-layer so that the
+// inherent metrics ConvMeter consumes (Inputs, Outputs, FLOPs, Weights,
+// Layers) match the values the paper's pipeline would compute with PyTorch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace convmeter::models {
+
+/// Builds a zoo model by canonical name (e.g. "resnet50",
+/// "mobilenet_v3_large"). Throws InvalidArgument for unknown names.
+Graph build(const std::string& name);
+
+/// Canonical names of every model in the zoo, in a stable order.
+std::vector<std::string> available_models();
+
+/// True when `name` names a zoo model.
+bool is_available(const std::string& name);
+
+/// The ImageNet input resolution the architecture was designed for
+/// (224 for most, 299 for InceptionV3). Any resolution >= 33 works.
+std::int64_t default_image_size(const std::string& name);
+
+// ---- family builders ----------------------------------------------------
+
+Graph alexnet();
+
+/// VGG-A/B/D/E ("vgg11", "vgg13", "vgg16", "vgg19"), without batch norm.
+Graph vgg(int depth);
+
+/// ResNet family. `layers` is the per-stage block count
+/// ({2,2,2,2} for resnet18, {3,4,6,3} for resnet50, ...).
+Graph resnet(const std::string& name, const std::vector<int>& layers,
+             bool bottleneck, std::int64_t groups = 1,
+             std::int64_t width_per_group = 64);
+
+Graph resnet18();
+Graph resnet34();
+Graph resnet50();
+Graph resnet101();
+Graph resnet152();
+Graph wide_resnet50_2();
+Graph resnext50_32x4d();
+Graph resnext101_32x8d();
+
+Graph squeezenet1_0();
+Graph squeezenet1_1();
+
+Graph densenet121();
+
+Graph googlenet();
+
+Graph inception_v3();
+
+Graph mobilenet_v2();
+Graph mobilenet_v3_large();
+Graph mobilenet_v3_small();
+
+Graph efficientnet_b0();
+Graph efficientnet_b1();
+Graph efficientnet_b2();
+
+Graph shufflenet_v2_x0_5();
+Graph shufflenet_v2_x1_0();
+
+Graph regnet_x_400mf();
+Graph regnet_x_8gf();
+
+// Vision transformers (the paper's future-work extension).
+Graph vit_ti_16();
+Graph vit_s_16();
+Graph vit_b_16();
+Graph vit_b_32();
+Graph vit_l_16();
+
+}  // namespace convmeter::models

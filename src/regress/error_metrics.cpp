@@ -1,0 +1,51 @@
+#include "regress/error_metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "linalg/stats.hpp"
+
+namespace convmeter {
+
+std::string ErrorReport::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "R2=" << r2 << " RMSE=" << rmse << " NRMSE=" << nrmse
+     << " MAPE=" << mape << " n=" << count;
+  return os.str();
+}
+
+ErrorReport compute_errors(const std::vector<double>& predicted,
+                           const std::vector<double>& measured) {
+  CM_CHECK(predicted.size() == measured.size(),
+           "compute_errors: size mismatch");
+  CM_CHECK(predicted.size() >= 2, "compute_errors needs at least two samples");
+
+  const double my = mean(measured);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double abs_pct_sum = 0.0;
+  std::size_t pct_count = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double err = measured[i] - predicted[i];
+    ss_res += err * err;
+    ss_tot += (measured[i] - my) * (measured[i] - my);
+    if (measured[i] != 0.0) {
+      abs_pct_sum += std::fabs(err / measured[i]);
+      ++pct_count;
+    }
+  }
+
+  ErrorReport rep;
+  rep.count = measured.size();
+  rep.rmse = std::sqrt(ss_res / static_cast<double>(measured.size()));
+  rep.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  const double range = max_value(measured) - min_value(measured);
+  rep.nrmse = range > 0.0 ? rep.rmse / range : 0.0;
+  rep.mape =
+      pct_count > 0 ? abs_pct_sum / static_cast<double>(pct_count) : 0.0;
+  return rep;
+}
+
+}  // namespace convmeter

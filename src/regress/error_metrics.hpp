@@ -1,0 +1,27 @@
+// Regression quality metrics the paper reports (Sec. 4, "Metrics"):
+// R^2, RMSE, NRMSE (normalized by the data range) and MAPE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace convmeter {
+
+/// The four accuracy numbers every paper table reports for a model.
+struct ErrorReport {
+  double r2 = 0.0;     ///< coefficient of determination
+  double rmse = 0.0;   ///< root mean square error (same unit as y)
+  double nrmse = 0.0;  ///< RMSE / (max(y) - min(y))
+  double mape = 0.0;   ///< mean absolute percentage error, as a fraction
+  std::size_t count = 0;
+
+  std::string to_string() const;
+};
+
+/// Computes all four metrics for predictions vs. measured values.
+/// Requires at least two samples; y values of exactly zero are excluded
+/// from MAPE (division by zero), matching common practice.
+ErrorReport compute_errors(const std::vector<double>& predicted,
+                           const std::vector<double>& measured);
+
+}  // namespace convmeter

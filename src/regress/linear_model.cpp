@@ -1,0 +1,110 @@
+#include "regress/linear_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// Column-scales `x` by max-abs value; returns the scale factors.
+/// All-zero columns get scale 1 so they stay harmless.
+Vector scale_columns(Matrix& x) {
+  Vector scales(x.cols(), 1.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double mx = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      mx = std::max(mx, std::fabs(x(r, c)));
+    }
+    if (mx > 0.0) scales[c] = mx;
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      x(r, c) /= scales[c];
+    }
+  }
+  return scales;
+}
+
+LinearModel finish(Vector scaled_coeffs, const Vector& scales) {
+  for (std::size_t c = 0; c < scaled_coeffs.size(); ++c) {
+    scaled_coeffs[c] /= scales[c];
+  }
+  LinearModel m;
+  // Friend-free construction via from_text would be clumsy; rebuild through
+  // the serialization path instead of exposing a setter.
+  std::ostringstream os;
+  os << "linear_model " << scaled_coeffs.size();
+  os.precision(17);
+  for (const double c : scaled_coeffs) os << ' ' << c;
+  return LinearModel::from_text(os.str());
+}
+
+}  // namespace
+
+LinearModel LinearModel::fit(const Matrix& x, const Vector& y) {
+  CM_CHECK(x.rows() == y.size(), "fit: row count mismatch");
+  CM_CHECK(x.rows() >= x.cols(),
+           "fit: need at least as many samples as features");
+  Matrix scaled = x;
+  const Vector scales = scale_columns(scaled);
+  try {
+    return finish(solve_least_squares(scaled, y), scales);
+  } catch (const NumericalError&) {
+    // Rank-deficient design (e.g. a constant feature column): a light ridge
+    // penalty picks the minimum-norm-ish solution instead of failing.
+    return finish(solve_ridge(scaled, y, 1e-8), scales);
+  }
+}
+
+LinearModel LinearModel::fit_ridge(const Matrix& x, const Vector& y,
+                                   double lambda) {
+  CM_CHECK(x.rows() == y.size(), "fit_ridge: row count mismatch");
+  Matrix scaled = x;
+  const Vector scales = scale_columns(scaled);
+  return finish(solve_ridge(scaled, y, lambda), scales);
+}
+
+double LinearModel::predict(const Vector& features) const {
+  CM_CHECK(features.size() == coefficients_.size(),
+           "predict: feature width mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    sum += features[i] * coefficients_[i];
+  }
+  return sum;
+}
+
+Vector LinearModel::predict_all(const Matrix& x) const {
+  return x.times(coefficients_);
+}
+
+std::string LinearModel::to_text() const {
+  std::ostringstream os;
+  os << "linear_model " << coefficients_.size();
+  os.precision(17);
+  for (const double c : coefficients_) os << ' ' << c;
+  return os.str();
+}
+
+LinearModel LinearModel::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t n = 0;
+  is >> tag >> n;
+  if (!is || tag != "linear_model") {
+    throw ParseError("malformed linear model text: " + text);
+  }
+  LinearModel m;
+  m.coefficients_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    is >> m.coefficients_[i];
+    if (!is) throw ParseError("linear model text truncated");
+  }
+  return m;
+}
+
+}  // namespace convmeter

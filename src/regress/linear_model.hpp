@@ -1,0 +1,46 @@
+// Ordinary-least-squares linear regression, the modeling core of ConvMeter
+// (Sec. 3.4: "We use linear regression to compute the coefficients for the
+// performance models based on the measurements").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace convmeter {
+
+/// A fitted linear model y ≈ X · coefficients.
+///
+/// Feature scaling: columns are divided by their max absolute value before
+/// the solve and the coefficients rescaled back afterwards. ConvMeter's raw
+/// features span ~12 orders of magnitude (FLOPs vs a constant column), so
+/// without this the QR would be badly conditioned.
+class LinearModel {
+ public:
+  /// Fits with plain OLS (Householder QR); falls back to a lightly
+  /// regularized ridge solve when the design is rank deficient (which
+  /// happens when e.g. every sample has N = 1 and the N column is constant).
+  static LinearModel fit(const Matrix& x, const Vector& y);
+
+  /// Fits with the given ridge penalty (applied in scaled feature space).
+  static LinearModel fit_ridge(const Matrix& x, const Vector& y,
+                               double lambda);
+
+  /// Prediction for one feature row.
+  double predict(const Vector& features) const;
+
+  /// Predictions for every row of `x`.
+  Vector predict_all(const Matrix& x) const;
+
+  const Vector& coefficients() const { return coefficients_; }
+
+  /// Serialization for persisting tuned platform coefficients.
+  std::string to_text() const;
+  static LinearModel from_text(const std::string& text);
+
+ private:
+  Vector coefficients_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,66 @@
+#include "regress/loo.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+LooResult leave_one_group_out(const Matrix& x, const Vector& y,
+                              const std::vector<std::string>& groups) {
+  CM_CHECK(x.rows() == y.size() && y.size() == groups.size(),
+           "leave_one_group_out: size mismatch");
+  const std::set<std::string> labels(groups.begin(), groups.end());
+  CM_CHECK(labels.size() >= 2,
+           "leave_one_group_out needs at least two groups");
+
+  LooResult result;
+  std::vector<double> pooled_pred;
+  std::vector<double> pooled_meas;
+
+  for (const std::string& label : labels) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t r = 0; r < groups.size(); ++r) {
+      (groups[r] == label ? test_rows : train_rows).push_back(r);
+    }
+    CM_CHECK(train_rows.size() >= x.cols(),
+             "too few training rows when holding out group '" + label + "'");
+
+    Matrix xt(train_rows.size(), x.cols());
+    Vector yt(train_rows.size());
+    for (std::size_t i = 0; i < train_rows.size(); ++i) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        xt(i, c) = x(train_rows[i], c);
+      }
+      yt[i] = y[train_rows[i]];
+    }
+    const LinearModel model = LinearModel::fit(xt, yt);
+
+    GroupEvaluation eval;
+    eval.group = label;
+    for (const std::size_t r : test_rows) {
+      Vector features(x.cols());
+      for (std::size_t c = 0; c < x.cols(); ++c) features[c] = x(r, c);
+      const double pred = model.predict(features);
+      eval.predicted.push_back(pred);
+      eval.measured.push_back(y[r]);
+      pooled_pred.push_back(pred);
+      pooled_meas.push_back(y[r]);
+    }
+    if (eval.measured.size() >= 2) {
+      eval.errors = compute_errors(eval.predicted, eval.measured);
+    }
+    result.per_group.push_back(std::move(eval));
+  }
+
+  std::sort(result.per_group.begin(), result.per_group.end(),
+            [](const GroupEvaluation& a, const GroupEvaluation& b) {
+              return a.group < b.group;
+            });
+  result.pooled = compute_errors(pooled_pred, pooled_meas);
+  return result;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,41 @@
+// Leave-one-group-out cross validation.
+//
+// The paper evaluates ConvMeter per ConvNet by fitting the model on every
+// *other* ConvNet's measurements and predicting the held-out one ("we
+// develop a performance model for each ConvNet, excluding its own data
+// from the training set"). Groups here are ConvNet names.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "regress/error_metrics.hpp"
+#include "regress/linear_model.hpp"
+
+namespace convmeter {
+
+/// Per-group evaluation result.
+struct GroupEvaluation {
+  std::string group;
+  ErrorReport errors;
+  std::vector<double> predicted;  ///< per held-out sample
+  std::vector<double> measured;
+};
+
+/// Result of a full leave-one-group-out pass.
+struct LooResult {
+  std::vector<GroupEvaluation> per_group;  ///< sorted by group name
+  ErrorReport pooled;  ///< errors over all held-out predictions pooled
+};
+
+/// Runs leave-one-group-out CV: for every distinct label in `groups`, fits
+/// `LinearModel` on the rows of (x, y) whose label differs and evaluates on
+/// the held-out rows. Groups with fewer than 2 held-out samples are
+/// evaluated but reported with their pooled contribution only.
+LooResult leave_one_group_out(const Matrix& x, const Vector& y,
+                              const std::vector<std::string>& groups);
+
+}  // namespace convmeter

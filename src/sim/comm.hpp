@@ -1,0 +1,38 @@
+// Communication fabric model: NVLink within a node, InfiniBand between
+// nodes, ring-all-reduce gradient synchronization (the NCCL/Horovod path
+// the paper's cluster uses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace convmeter {
+
+/// Bandwidths and latencies of the two-level GPU interconnect.
+struct CommFabric {
+  std::string name;
+  double nvlink_bandwidth = 0.0;   ///< bytes/s between GPUs inside a node
+  double nvlink_latency = 0.0;     ///< seconds per intra-node hop
+  double ib_bandwidth = 0.0;       ///< bytes/s between nodes (per node)
+  double ib_latency = 0.0;         ///< seconds per inter-node hop
+  double per_tensor_overhead = 0.0;///< software cost per all-reduce call
+  double noise_sigma = 0.0;        ///< lognormal sigma of comm jitter
+
+  /// Time for a ring-all-reduce of `bytes` over `num_devices` GPUs spread
+  /// across `num_nodes` nodes (devices per node = num_devices/num_nodes).
+  ///
+  /// Single node: plain NVLink ring, 2(n-1)/n * bytes / bw + hop latencies.
+  /// Multiple nodes: hierarchical (reduce-scatter within nodes, ring across
+  /// nodes over InfiniBand, broadcast within nodes) — the inter-node ring
+  /// dominates, so the time grows with the node count through both the
+  /// (m-1)/m bandwidth factor and the per-hop latency, matching the paper's
+  /// observation that inter-node communication is the bottleneck.
+  double ring_allreduce_time(double bytes, int num_devices,
+                             int num_nodes) const;
+};
+
+/// The paper's cluster fabric: NVLink3 + four HDR-200 InfiniBand cards per
+/// node.
+CommFabric nvlink_hdr200_fabric();
+
+}  // namespace convmeter

@@ -1,0 +1,60 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace convmeter {
+
+namespace {
+
+constexpr double kBytesPerElem = 4.0;  // float32
+
+}  // namespace
+
+double kernel_time(const DeviceSpec& device, const LayerWork& work) {
+  if (work.flops == 0.0 && work.input_elems == 0.0 &&
+      work.output_elems == 0.0) {
+    return 0.0;  // structural node (graph input), no kernel
+  }
+  const double bytes =
+      (work.input_elems + work.output_elems + work.param_elems) *
+      kBytesPerElem;
+  const double compute_time =
+      work.flops > 0.0 ? work.flops / device.effective_flops(work.flops) : 0.0;
+  const double memory_time =
+      bytes > 0.0 ? bytes / device.effective_bandwidth(bytes) : 0.0;
+  return std::max(compute_time, memory_time) + device.launch_overhead;
+}
+
+double forward_time(const DeviceSpec& device, const Graph& graph,
+                    const Shape& input_shape) {
+  double total = 0.0;
+  for (const LayerWork& w : per_layer_work(graph, input_shape)) {
+    total += kernel_time(device, w);
+  }
+  return total;
+}
+
+double memory_footprint_bytes(const Graph& graph, const Shape& input_shape,
+                              bool training) {
+  const auto work = per_layer_work(graph, input_shape);
+  double activations = 0.0;
+  double params = static_cast<double>(graph.parameter_count());
+  for (const LayerWork& w : work) activations += w.output_elems;
+
+  if (!training) {
+    // Inference frees intermediates eagerly; a two-largest-tensors bound
+    // would be tighter, but a fraction of the total is a reasonable proxy.
+    return (params + 0.25 * activations) * kBytesPerElem;
+  }
+  // Training keeps every activation for the backward pass, plus gradients
+  // and two Adam moments per parameter.
+  return (params * 4.0 + activations * 2.0) * kBytesPerElem;
+}
+
+bool fits_in_memory(const DeviceSpec& device, const Graph& graph,
+                    const Shape& input_shape, bool training) {
+  return memory_footprint_bytes(graph, input_shape, training) <=
+         device.memory_bytes;
+}
+
+}  // namespace convmeter

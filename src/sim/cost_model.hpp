@@ -1,0 +1,38 @@
+// Per-kernel roofline cost model.
+//
+// A kernel's time is the larger of its compute time and its memory time
+// (classic roofline), plus the launch overhead. The forward pass of a graph
+// is the sum of its kernels — frameworks execute ConvNet graphs layer by
+// layer, which is exactly the structure ConvMeter's linear model assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/device.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Noise-free execution time of a single kernel on `device`.
+/// `work` describes the kernel (FLOPs and element traffic, float32).
+double kernel_time(const DeviceSpec& device, const LayerWork& work);
+
+/// Noise-free forward-pass (inference) time of `graph` at `input_shape`:
+/// sum of kernel_time over all nodes.
+double forward_time(const DeviceSpec& device, const Graph& graph,
+                    const Shape& input_shape);
+
+/// Estimated device-memory footprint of running `graph` at `input_shape`.
+/// `training` additionally accounts for stored activations, gradients and
+/// Adam optimizer state. Used to honor the paper's "as long as the
+/// available memory on the target system allows" sweep bound.
+double memory_footprint_bytes(const Graph& graph, const Shape& input_shape,
+                              bool training);
+
+/// True when the footprint fits the device's memory.
+bool fits_in_memory(const DeviceSpec& device, const Graph& graph,
+                    const Shape& input_shape, bool training);
+
+}  // namespace convmeter

@@ -1,0 +1,74 @@
+#include "sim/device.hpp"
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+double DeviceSpec::effective_flops(double work) const {
+  CM_CHECK(work >= 0.0, "work must be non-negative");
+  const double eff =
+      max_efficiency * work / (work + saturation_flops);
+  return peak_flops * eff;
+}
+
+double DeviceSpec::effective_bandwidth(double bytes) const {
+  CM_CHECK(bytes >= 0.0, "bytes must be non-negative");
+  const double eff =
+      max_efficiency * bytes / (bytes + saturation_bytes);
+  return mem_bandwidth * eff;
+}
+
+DeviceSpec xeon_gold_5318y_core() {
+  DeviceSpec d;
+  d.name = "xeon_5318y";
+  // 2.1 GHz x 2 FMA ports x 16 fp32 lanes = 67.2 GFLOP/s theoretical.
+  d.peak_flops = 67.2e9;
+  // Single-core share of the 8-channel DDR4-2933 system.
+  d.mem_bandwidth = 18e9;
+  d.max_efficiency = 0.55;       // well-blocked oneDNN convolutions
+  d.saturation_flops = 2e6;      // a core saturates on small kernels quickly
+  d.saturation_bytes = 0.3e6;
+  d.launch_overhead = 8e-6;      // framework op dispatch
+  d.memory_bytes = 256.0 * (1ull << 30);
+  d.noise_sigma = 0.10;
+  return d;
+}
+
+DeviceSpec a100_80gb() {
+  DeviceSpec d;
+  d.name = "a100";
+  // TF32 tensor cores peak at 156 TFLOP/s; dense convs reach about half.
+  d.peak_flops = 156e12;
+  d.mem_bandwidth = 2.0e12;      // HBM2e
+  d.max_efficiency = 0.45;
+  d.saturation_flops = 1e8;      // needs a large kernel to fill 108 SMs
+  d.saturation_bytes = 4e6;
+  d.launch_overhead = 2.5e-6;    // kernel launch + framework dispatch
+  d.memory_bytes = 80.0 * (1ull << 30);
+  d.noise_sigma = 0.06;
+  return d;
+}
+
+DeviceSpec jetson_class_edge() {
+  DeviceSpec d;
+  d.name = "jetson_edge";
+  // Xavier-NX-class: ~6 TFLOP/s fp16 tensor peak, shared LPDDR4x memory.
+  d.peak_flops = 6e12;
+  d.mem_bandwidth = 59.7e9;
+  d.max_efficiency = 0.5;
+  d.saturation_flops = 5e7;
+  d.saturation_bytes = 2e6;
+  d.launch_overhead = 12e-6;     // weaker host CPU drives dispatch
+  d.memory_bytes = 8.0 * (1ull << 30);
+  d.noise_sigma = 0.12;          // DVFS/thermal jitter
+  return d;
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+  if (name == "xeon_5318y") return xeon_gold_5318y_core();
+  if (name == "a100") return a100_80gb();
+  if (name == "jetson_edge") return jetson_class_edge();
+  throw InvalidArgument("unknown device preset: " + name);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,59 @@
+// Simulated compute devices.
+//
+// The paper measures on an Intel Xeon Gold 5318Y core and NVIDIA A100-80GB
+// GPUs; neither is available here, so the benchmark campaigns run against a
+// roofline-style device model instead (see DESIGN.md, substitution table).
+// The model captures exactly the effects ConvMeter's regression has to
+// absorb: compute-bound vs memory-bound kernels, per-kernel launch
+// overhead, and poor utilization for small workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace convmeter {
+
+/// Parameters of a simulated device.
+///
+/// Efficiency model: a kernel with `work` FLOPs reaches
+///   eff(work) = max_efficiency * work / (work + saturation_flops)
+/// of peak throughput — small kernels underutilize the device, which is the
+/// behaviour the paper observes for small batch/image sizes on the A100
+/// (Sec. 4.2: "low computational intensity and underutilization").
+/// The same saturating curve (with saturation_bytes) applies to bandwidth.
+struct DeviceSpec {
+  std::string name;
+  double peak_flops = 0.0;         ///< FLOP/s at full utilization
+  double mem_bandwidth = 0.0;      ///< bytes/s at full utilization
+  double max_efficiency = 1.0;     ///< fraction of peak dense conv reaches
+  double saturation_flops = 0.0;   ///< FLOPs at which eff reaches 50% of max
+  double saturation_bytes = 0.0;   ///< bytes at which bw eff reaches 50% of max
+  double launch_overhead = 0.0;    ///< seconds per kernel launch / op dispatch
+  double memory_bytes = 0.0;       ///< device memory capacity
+  double noise_sigma = 0.0;        ///< lognormal sigma of run-to-run jitter
+
+  /// Achieved FLOP/s for a kernel of the given size.
+  double effective_flops(double work) const;
+
+  /// Achieved bytes/s for a kernel moving the given volume.
+  double effective_bandwidth(double bytes) const;
+};
+
+/// One core of an Intel Xeon Gold 5318Y (2.1 GHz, AVX-512), the CPU the
+/// paper uses for single-core inference.
+DeviceSpec xeon_gold_5318y_core();
+
+/// NVIDIA A100-80GB (TF32 tensor-core path, as PyTorch uses by default).
+DeviceSpec a100_80gb();
+
+/// Jetson-class embedded GPU (8 GB, ~60 GB/s LPDDR). Not part of the
+/// paper's evaluation — it backs the future-work extension bench
+/// (`bench/ext_edge_device`), which re-tunes the same model form for an
+/// edge platform.
+DeviceSpec jetson_class_edge();
+
+/// Look up a preset by name ("xeon_5318y" / "a100" / "jetson_edge");
+/// throws for others.
+DeviceSpec device_by_name(const std::string& name);
+
+}  // namespace convmeter

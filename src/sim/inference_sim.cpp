@@ -1,0 +1,21 @@
+#include "sim/inference_sim.hpp"
+
+#include "sim/cost_model.hpp"
+
+namespace convmeter {
+
+InferenceSimulator::InferenceSimulator(DeviceSpec device)
+    : device_(std::move(device)) {}
+
+double InferenceSimulator::expected(const Graph& graph,
+                                    const Shape& input_shape) const {
+  return forward_time(device_, graph, input_shape);
+}
+
+double InferenceSimulator::measure(const Graph& graph,
+                                   const Shape& input_shape, Rng& rng) const {
+  return expected(graph, input_shape) *
+         rng.lognormal_factor(device_.noise_sigma);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,32 @@
+// Inference "measurement" source: the roofline forward-pass time plus
+// seeded log-normal run-to-run jitter. This is what the benchmark campaign
+// records in place of wall-clock PyTorch measurements (see DESIGN.md).
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/device.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Simulates inference runs of ConvNet graphs on one device.
+class InferenceSimulator {
+ public:
+  explicit InferenceSimulator(DeviceSpec device);
+
+  const DeviceSpec& device() const { return device_; }
+
+  /// Noise-free expected forward time (seconds).
+  double expected(const Graph& graph, const Shape& input_shape) const;
+
+  /// One simulated measurement: expected time with multiplicative
+  /// log-normal jitter drawn from `rng`.
+  double measure(const Graph& graph, const Shape& input_shape,
+                 Rng& rng) const;
+
+ private:
+  DeviceSpec device_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,125 @@
+#include "sim/training_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/cost_model.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// The forward pass of a training step also materializes activations for
+/// the backward pass, which costs extra bandwidth compared to inference.
+constexpr double kActivationSaveFactor = 1.15;
+
+/// Backward kernels roughly double the forward work: one pass for the
+/// gradient w.r.t. the input and one for the gradient w.r.t. the weights.
+constexpr double kBackwardWorkFactor = 2.0;
+
+constexpr double kBytesPerElem = 4.0;
+
+}  // namespace
+
+TrainingSimulator::TrainingSimulator(DeviceSpec device, CommFabric fabric)
+    : device_(std::move(device)), fabric_(std::move(fabric)) {}
+
+TrainStepTimes TrainingSimulator::expected_step(
+    const Graph& graph, const Shape& per_device_shape,
+    const TrainConfig& config) const {
+  CM_CHECK(config.num_devices >= 1 && config.num_nodes >= 1 &&
+               config.num_devices % config.num_nodes == 0,
+           "devices must divide evenly across nodes");
+  const auto work = per_layer_work(graph, per_device_shape);
+
+  TrainStepTimes t;
+
+  // ---- forward pass ------------------------------------------------------
+  for (const LayerWork& w : work) {
+    t.fwd += kernel_time(device_, w) * kActivationSaveFactor;
+  }
+
+  // ---- backward pass with overlapped gradient all-reduce -----------------
+  // Kernels run in reverse topological order. As each parameterized layer
+  // finishes, its gradient joins the fusion buffer; full buckets are handed
+  // to the communication "stream", which processes all-reduces in order.
+  double compute_clock = 0.0;
+  double comm_clock = 0.0;
+  double bucket_bytes = 0.0;
+
+  const auto flush_bucket = [&](double ready_at) {
+    if (bucket_bytes <= 0.0 || config.num_devices == 1) {
+      bucket_bytes = 0.0;
+      return;
+    }
+    const double start = std::max(comm_clock, ready_at);
+    comm_clock = start + fabric_.ring_allreduce_time(
+                             bucket_bytes, config.num_devices,
+                             config.num_nodes);
+    bucket_bytes = 0.0;
+  };
+
+  for (auto it = work.rbegin(); it != work.rend(); ++it) {
+    LayerWork bwd = *it;
+    bwd.flops *= kBackwardWorkFactor;
+    bwd.input_elems *= kBackwardWorkFactor;
+    bwd.output_elems *= kBackwardWorkFactor;
+    compute_clock += kernel_time(device_, bwd);
+    if (bwd.param_elems > 0.0) {
+      bucket_bytes += bwd.param_elems * kBytesPerElem;
+      if (bucket_bytes >= config.fusion_threshold_bytes) {
+        flush_bucket(compute_clock);
+      }
+    }
+  }
+  flush_bucket(compute_clock);
+  t.bwd = compute_clock;
+
+  // ---- gradient update ----------------------------------------------------
+  // Exposed communication: the tail of the last all-reduce that the
+  // backward pass could not hide.
+  const double exposed_comm = std::max(0.0, comm_clock - compute_clock);
+
+  // Optimizer step: frameworks launch one update kernel per parameterized
+  // layer, so the cost scales with the layer count L (the c1*L term of the
+  // paper's T_grad model) plus a weight-volume component.
+  double opt_time = 0.0;
+  for (const LayerWork& w : work) {
+    if (w.param_elems <= 0.0) continue;
+    LayerWork upd;
+    upd.flops = w.param_elems * config.opt_flops_per_param;
+    upd.input_elems = w.param_elems * config.opt_bytes_per_param /
+                      (2.0 * kBytesPerElem);
+    upd.output_elems = upd.input_elems;
+    opt_time += kernel_time(device_, upd) + config.opt_overhead_per_layer;
+  }
+
+  t.grad = exposed_comm + opt_time;
+  t.step = t.fwd + t.bwd + t.grad;
+  return t;
+}
+
+TrainStepTimes TrainingSimulator::measure_step(const Graph& graph,
+                                               const Shape& per_device_shape,
+                                               const TrainConfig& config,
+                                               Rng& rng) const {
+  TrainStepTimes t = expected_step(graph, per_device_shape, config);
+
+  // Distributed runs show extra variance even in the compute phases:
+  // devices do not restart in lockstep after a synchronization (Sec. 4.2.1).
+  const double straggler_sigma =
+      config.num_devices > 1 ? 0.5 * fabric_.noise_sigma : 0.0;
+  const double compute_sigma = device_.noise_sigma + straggler_sigma;
+
+  t.fwd *= rng.lognormal_factor(compute_sigma);
+  t.bwd *= rng.lognormal_factor(compute_sigma);
+  const double grad_sigma = config.num_devices > 1
+                                ? device_.noise_sigma + fabric_.noise_sigma
+                                : device_.noise_sigma;
+  t.grad *= rng.lognormal_factor(grad_sigma);
+  t.step = t.fwd + t.bwd + t.grad;
+  return t;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,70 @@
+// Event-driven simulation of one data-parallel synchronous training step
+// (Fig. 1 of the paper): forward pass, backward pass, and gradient update
+// with Horovod-style tensor fusion overlapping ring-all-reduce with the
+// backward computation.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/comm.hpp"
+#include "sim/device.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Training-run configuration.
+struct TrainConfig {
+  int num_devices = 1;  ///< total GPUs (N in the paper)
+  int num_nodes = 1;    ///< physical nodes; devices spread evenly
+  /// Horovod tensor-fusion threshold: gradients are batched into buckets
+  /// of at most this many bytes before each all-reduce.
+  double fusion_threshold_bytes = 64.0 * (1 << 20);
+  /// Adam optimizer state/arithmetic is assumed (the paper trains with
+  /// Adam); flops and bytes per parameter for the update step.
+  double opt_flops_per_param = 4.0;
+  double opt_bytes_per_param = 12.0;
+  /// Python-side dispatch cost per parameter tensor: Horovod wraps a
+  /// non-fused Adam, so each layer's update is a handful of small kernels
+  /// launched from the training loop. This is what makes the measured
+  /// T_grad scale with the layer count L (Sec. 3.3).
+  double opt_overhead_per_layer = 12e-6;
+};
+
+/// Durations of the phases of one training step, in seconds.
+/// step == fwd + bwd + grad, where `grad` is the *exposed* gradient-update
+/// time: optimizer step plus whatever all-reduce time the backward pass
+/// could not hide (the two phases overlap, Sec. 3.3).
+struct TrainStepTimes {
+  double fwd = 0.0;
+  double bwd = 0.0;
+  double grad = 0.0;
+  double step = 0.0;
+};
+
+/// Simulates synchronous data-parallel training steps.
+class TrainingSimulator {
+ public:
+  TrainingSimulator(DeviceSpec device, CommFabric fabric);
+
+  const DeviceSpec& device() const { return device_; }
+  const CommFabric& fabric() const { return fabric_; }
+
+  /// Noise-free expected phase times for one step. `per_device_shape` is
+  /// the mini-batch processed by each device (batch dimension = B/N).
+  TrainStepTimes expected_step(const Graph& graph,
+                               const Shape& per_device_shape,
+                               const TrainConfig& config) const;
+
+  /// One simulated measurement with phase-level jitter. Communication
+  /// jitter uses the fabric's (larger) sigma, reproducing the higher
+  /// variance the paper reports for distributed configurations.
+  TrainStepTimes measure_step(const Graph& graph,
+                              const Shape& per_device_shape,
+                              const TrainConfig& config, Rng& rng) const;
+
+ private:
+  DeviceSpec device_;
+  CommFabric fabric_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,59 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (const auto d : dims_) CM_CHECK(d >= 0, "shape dims must be >= 0");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (const auto d : dims_) CM_CHECK(d >= 0, "shape dims must be >= 0");
+}
+
+Shape Shape::nchw(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  return Shape{n, c, h, w};
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+  CM_CHECK(i < dims_.size(), "shape dim index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+  if (dims_.empty()) return 0;
+  std::int64_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::dim4(std::size_t i) const {
+  CM_CHECK(dims_.size() == 4, "NCHW accessor requires a rank-4 shape, got " +
+                                  to_string());
+  return dims_[i];
+}
+
+Shape Shape::with_batch(std::int64_t n) const {
+  CM_CHECK(n > 0, "batch must be positive");
+  CM_CHECK(!dims_.empty(), "cannot set batch of a rank-0 shape");
+  Shape out = *this;
+  out.dims_[0] = n;
+  return out;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace convmeter

@@ -1,0 +1,54 @@
+// Tensor shapes in NCHW layout.
+//
+// Shapes flow through the graph's shape-inference pass and are the raw
+// material for the ConvNet metrics (Inputs, Outputs, FLOPs) that drive the
+// ConvMeter performance model.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace convmeter {
+
+/// A dense tensor shape. Rank is arbitrary, but most of the library works
+/// with rank-4 NCHW image tensors and rank-2 (N, features) tensors.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  /// Convenience constructor for NCHW image tensors.
+  static Shape nchw(std::int64_t n, std::int64_t c, std::int64_t h,
+                    std::int64_t w);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (product of dims); 0 for a rank-0 shape.
+  std::int64_t numel() const;
+
+  /// NCHW accessors; throw unless rank() == 4.
+  std::int64_t batch() const { return dim4(0); }
+  std::int64_t channels() const { return dim4(1); }
+  std::int64_t height() const { return dim4(2); }
+  std::int64_t width() const { return dim4(3); }
+
+  /// Returns a copy with the batch dimension replaced (rank-4 or rank-2).
+  Shape with_batch(std::int64_t n) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "(1, 3, 224, 224)"
+  std::string to_string() const;
+
+ private:
+  std::int64_t dim4(std::size_t i) const;
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace convmeter

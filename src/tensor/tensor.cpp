@@ -1,0 +1,60 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace convmeter {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+float& Tensor::at(std::size_t i) {
+  CM_CHECK(i < data_.size(), "tensor index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  CM_CHECK(i < data_.size(), "tensor index out of range");
+  return data_[i];
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                   std::int64_t w) {
+  const auto& s = shape_;
+  CM_CHECK(n >= 0 && n < s.batch() && c >= 0 && c < s.channels() && h >= 0 &&
+               h < s.height() && w >= 0 && w < s.width(),
+           "NCHW index out of range");
+  const std::size_t idx = static_cast<std::size_t>(
+      ((n * s.channels() + c) * s.height() + h) * s.width() + w);
+  return data_[idx];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+void Tensor::fill_random(std::uint64_t seed) {
+  Rng rng(seed);
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  CM_CHECK(shape_ == other.shape_,
+           "max_abs_diff requires matching shapes: " + shape_.to_string() +
+               " vs " + other.shape_.to_string());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+}  // namespace convmeter

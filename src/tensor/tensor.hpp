@@ -1,0 +1,54 @@
+// Owning dense float tensor.
+//
+// The executor (src/exec) computes real forward passes with these tensors;
+// they are deliberately minimal — contiguous float32, NCHW layout — because
+// the library's purpose is performance modeling, not a full ML framework.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Contiguous float32 tensor with value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills with `value`.
+  Tensor(Shape shape, float value);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// Element access for rank-4 NCHW tensors.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const;
+
+  /// Fills with pseudo-random values in [-1, 1) from the given seed;
+  /// used to create deterministic test inputs.
+  void fill_random(std::uint64_t seed);
+
+  /// Largest absolute element-wise difference to `other`
+  /// (shapes must match).
+  float max_abs_diff(const Tensor& other) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace convmeter

@@ -1,0 +1,239 @@
+// Gradient checks: every backward kernel is validated against central
+// finite differences of its forward counterpart.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "exec/backward.hpp"
+#include "exec/kernels.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+namespace {
+
+constexpr float kEps = 1e-3f;
+constexpr float kTol = 2e-2f;  // float32 central differences are noisy
+
+/// Scalar loss used by the checks: sum of all output elements weighted by
+/// a fixed pseudo-random pattern (so every element matters differently).
+double weighted_sum(const Tensor& t) {
+  double acc = 0.0;
+  const auto d = t.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    acc += d[i] * (0.3 + 0.7 * static_cast<double>((i * 2654435761u) % 97) / 97.0);
+  }
+  return acc;
+}
+
+/// dL/dy for the weighted-sum loss.
+Tensor weighted_ones(const Shape& shape) {
+  Tensor t(shape);
+  auto d = t.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d[i] = static_cast<float>(
+        0.3 + 0.7 * static_cast<double>((i * 2654435761u) % 97) / 97.0);
+  }
+  return t;
+}
+
+/// Central-difference gradient of `loss(x)` w.r.t. x, compared element by
+/// element with `analytic`.
+void check_against_fd(Tensor& x, const std::function<double()>& loss,
+                      const Tensor& analytic) {
+  ASSERT_EQ(x.shape(), analytic.shape());
+  auto d = x.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const float saved = d[i];
+    d[i] = saved + kEps;
+    const double up = loss();
+    d[i] = saved - kEps;
+    const double down = loss();
+    d[i] = saved;
+    const double fd = (up - down) / (2.0 * kEps);
+    ASSERT_NEAR(analytic.data()[i], fd,
+                kTol * (1.0 + std::fabs(fd)))
+        << "element " << i;
+  }
+}
+
+TEST(ConvBackwardTest, GradInputMatchesFiniteDifferences) {
+  const Conv2dAttrs a = Conv2dAttrs::square(2, 3, 3, 1, 1);
+  Tensor x(Shape::nchw(1, 2, 4, 4));
+  Tensor w(Shape({3, 2, 3, 3}));
+  x.fill_random(1);
+  w.fill_random(2);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(conv2d_output_shape(a, x.shape()));
+  const ConvGradients g = conv2d_backward(pool, x, w, go, a);
+  check_against_fd(
+      x, [&] { return weighted_sum(conv2d_direct(x, w, Tensor(), a)); },
+      g.grad_input);
+}
+
+TEST(ConvBackwardTest, GradWeightMatchesFiniteDifferences) {
+  const Conv2dAttrs a = Conv2dAttrs::square(2, 2, 3, 2, 1);
+  Tensor x(Shape::nchw(2, 2, 5, 5));
+  Tensor w(Shape({2, 2, 3, 3}));
+  x.fill_random(3);
+  w.fill_random(4);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(conv2d_output_shape(a, x.shape()));
+  const ConvGradients g = conv2d_backward(pool, x, w, go, a);
+  check_against_fd(
+      w, [&] { return weighted_sum(conv2d_direct(x, w, Tensor(), a)); },
+      g.grad_weight);
+}
+
+TEST(ConvBackwardTest, GradBiasMatchesFiniteDifferences) {
+  const Conv2dAttrs a = Conv2dAttrs::square(1, 2, 3, 1, 1, 1, true);
+  Tensor x(Shape::nchw(1, 1, 4, 4));
+  Tensor w(Shape({2, 1, 3, 3}));
+  Tensor b(Shape{2});
+  x.fill_random(5);
+  w.fill_random(6);
+  b.fill_random(7);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(conv2d_output_shape(a, x.shape()));
+  const ConvGradients g = conv2d_backward(pool, x, w, go, a);
+  check_against_fd(
+      b, [&] { return weighted_sum(conv2d_direct(x, w, b, a)); }, g.grad_bias);
+}
+
+TEST(ConvBackwardTest, GroupedConvGradients) {
+  const Conv2dAttrs a = Conv2dAttrs::square(4, 4, 3, 1, 1, 4);  // depthwise
+  Tensor x(Shape::nchw(1, 4, 4, 4));
+  Tensor w(Shape({4, 1, 3, 3}));
+  x.fill_random(8);
+  w.fill_random(9);
+  ThreadPool pool(2);
+
+  const Tensor go = weighted_ones(conv2d_output_shape(a, x.shape()));
+  const ConvGradients g = conv2d_backward(pool, x, w, go, a);
+  check_against_fd(
+      x, [&] { return weighted_sum(conv2d_direct(x, w, Tensor(), a)); },
+      g.grad_input);
+  check_against_fd(
+      w, [&] { return weighted_sum(conv2d_direct(x, w, Tensor(), a)); },
+      g.grad_weight);
+}
+
+TEST(LinearBackwardTest, AllGradientsMatchFiniteDifferences) {
+  const LinearAttrs a{5, 3, true};
+  Tensor x(Shape{2, 5});
+  Tensor w(Shape{3, 5});
+  Tensor b(Shape{3});
+  x.fill_random(10);
+  w.fill_random(11);
+  b.fill_random(12);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(Shape{2, 3});
+  const LinearGradients g = linear_backward(pool, x, w, go, a);
+  const auto loss = [&] { return weighted_sum(linear(pool, x, w, b, a)); };
+  check_against_fd(x, loss, g.grad_input);
+  check_against_fd(w, loss, g.grad_weight);
+  check_against_fd(b, loss, g.grad_bias);
+}
+
+class ActivationBackwardTest : public ::testing::TestWithParam<ActKind> {};
+
+TEST_P(ActivationBackwardTest, MatchesFiniteDifferences) {
+  Tensor x(Shape{24});
+  x.fill_random(13);
+  // Shift away from the non-differentiable knots of the piecewise
+  // activations.
+  for (float& v : x.data()) v = v * 2.0f + 0.11f;
+
+  const Tensor go = weighted_ones(x.shape());
+  const Tensor g = activation_backward(x, go, GetParam());
+  check_against_fd(
+      x, [&] { return weighted_sum(activation(x, GetParam())); }, g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ActivationBackwardTest,
+    ::testing::Values(ActKind::kReLU, ActKind::kReLU6, ActKind::kSiLU,
+                      ActKind::kSigmoid, ActKind::kHardSwish,
+                      ActKind::kHardSigmoid, ActKind::kTanh),
+    [](const auto& info) { return act_kind_name(info.param); });
+
+TEST(PoolBackwardTest, MaxPoolRoutesToArgmax) {
+  const Pool2dAttrs a = Pool2dAttrs::square(2, 2);
+  Tensor x(Shape::nchw(1, 1, 4, 4));
+  x.fill_random(14);
+  const Tensor go = weighted_ones(pool2d_output_shape(a, x.shape()));
+  const Tensor g = max_pool2d_backward(x, go, a);
+  check_against_fd(x, [&] { return weighted_sum(max_pool2d(x, a)); }, g);
+}
+
+TEST(PoolBackwardTest, AvgPoolSpreadsUniformly) {
+  const Pool2dAttrs a = Pool2dAttrs::square(2, 2);
+  Tensor x(Shape::nchw(1, 2, 4, 4));
+  x.fill_random(15);
+  const Tensor go = weighted_ones(pool2d_output_shape(a, x.shape()));
+  const Tensor g = avg_pool2d_backward(x, go, a);
+  check_against_fd(x, [&] { return weighted_sum(avg_pool2d(x, a)); }, g);
+}
+
+TEST(PoolBackwardTest, AdaptiveAvgPoolGradient) {
+  Tensor x(Shape::nchw(1, 2, 5, 5));
+  x.fill_random(16);
+  const Tensor go = weighted_ones(Shape::nchw(1, 2, 2, 2));
+  const Tensor g = adaptive_avg_pool2d_backward(x, go);
+  check_against_fd(
+      x, [&] { return weighted_sum(adaptive_avg_pool2d(x, 2, 2)); }, g);
+}
+
+TEST(BatchNormBackwardTest, AffineGradientsMatchFiniteDifferences) {
+  Tensor x(Shape::nchw(2, 3, 3, 3));
+  Tensor gamma(Shape{3});
+  Tensor beta(Shape{3});
+  Tensor mean(Shape{3}, 0.2f);
+  Tensor var(Shape{3}, 1.5f);
+  x.fill_random(17);
+  gamma.fill_random(18);
+  beta.fill_random(19);
+
+  const Tensor go = weighted_ones(x.shape());
+  const BatchNormGradients g =
+      batch_norm2d_backward(x, gamma, mean, var, go);
+  const auto loss = [&] {
+    return weighted_sum(batch_norm2d(x, gamma, beta, mean, var));
+  };
+  check_against_fd(x, loss, g.grad_input);
+  check_against_fd(gamma, loss, g.grad_gamma);
+  check_against_fd(beta, loss, g.grad_beta);
+}
+
+TEST(FlattenBackwardTest, ReshapesGradient) {
+  const Shape in = Shape::nchw(2, 3, 2, 2);
+  Tensor go(Shape{2, 12});
+  go.fill_random(20);
+  const Tensor g = flatten_backward(in, go);
+  EXPECT_EQ(g.shape(), in);
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_FLOAT_EQ(g.at(i), go.at(i));
+  }
+}
+
+TEST(BackwardValidationTest, ShapeMismatchesThrow) {
+  ThreadPool pool(1);
+  const Conv2dAttrs a = Conv2dAttrs::square(2, 3, 3, 1, 1);
+  Tensor x(Shape::nchw(1, 2, 4, 4));
+  Tensor w(Shape({3, 2, 3, 3}));
+  Tensor bad_go(Shape::nchw(1, 3, 9, 9));
+  EXPECT_THROW(conv2d_backward(pool, x, w, bad_go, a), InvalidArgument);
+  EXPECT_THROW(
+      activation_backward(x, Tensor(Shape::nchw(1, 2, 3, 3)), ActKind::kReLU),
+      InvalidArgument);
+  EXPECT_THROW(flatten_backward(Shape::nchw(1, 2, 2, 2), Tensor(Shape{1, 9})),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

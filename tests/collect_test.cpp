@@ -1,0 +1,207 @@
+// Campaign and sample-persistence tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "collect/campaign.hpp"
+#include "collect/sample.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter {
+namespace {
+
+InferenceSweep tiny_inference_sweep() {
+  InferenceSweep sweep;
+  sweep.models = {"alexnet", "resnet18"};
+  sweep.image_sizes = {64, 128};
+  sweep.batch_sizes = {1, 16};
+  sweep.repetitions = 2;
+  return sweep;
+}
+
+TEST(InferenceCampaignTest, ProducesExpectedGrid) {
+  InferenceSimulator sim(a100_80gb());
+  const auto samples = run_inference_campaign(sim, tiny_inference_sweep());
+  // 2 models x 2 images x 2 batches x 2 reps, everything fits in memory.
+  EXPECT_EQ(samples.size(), 16u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.t_infer, 0.0);
+    EXPECT_GT(s.flops1, 0.0);
+    EXPECT_EQ(s.num_devices, 1);
+    EXPECT_EQ(s.device, "a100");
+  }
+}
+
+TEST(InferenceCampaignTest, DeterministicForSeed) {
+  InferenceSimulator sim(a100_80gb());
+  const auto a = run_inference_campaign(sim, tiny_inference_sweep());
+  const auto b = run_inference_campaign(sim, tiny_inference_sweep());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].t_infer, b[i].t_infer);
+  }
+}
+
+TEST(InferenceCampaignTest, SeedChangesMeasurements) {
+  InferenceSimulator sim(a100_80gb());
+  auto sweep = tiny_inference_sweep();
+  const auto a = run_inference_campaign(sim, sweep);
+  sweep.seed = 999;
+  const auto b = run_inference_campaign(sim, sweep);
+  EXPECT_NE(a.front().t_infer, b.front().t_infer);
+}
+
+TEST(InferenceCampaignTest, SkipsInfeasibleResolutions) {
+  InferenceSimulator sim(a100_80gb());
+  InferenceSweep sweep;
+  sweep.models = {"alexnet"};   // stem collapses below ~63 px
+  sweep.image_sizes = {32, 224};
+  sweep.batch_sizes = {1};
+  sweep.repetitions = 1;
+  const auto samples = run_inference_campaign(sim, sweep);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples.front().image_size, 224);
+}
+
+TEST(InferenceCampaignTest, SkipsOverMemoryBatches) {
+  InferenceSimulator sim(a100_80gb());
+  InferenceSweep sweep;
+  sweep.models = {"vgg16"};
+  sweep.image_sizes = {224};
+  sweep.batch_sizes = {1, 1 << 20};  // absurd batch cannot fit in 80 GB
+  sweep.repetitions = 1;
+  const auto samples = run_inference_campaign(sim, sweep);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples.front().global_batch, 1);
+}
+
+TEST(TrainingCampaignTest, RecordsPhaseTimesAndTopology) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  TrainingSweep sweep;
+  sweep.models = {"resnet18"};
+  sweep.image_sizes = {64};
+  sweep.per_device_batch_sizes = {16};
+  sweep.node_counts = {1, 2};
+  sweep.devices_per_node = 4;
+  sweep.repetitions = 1;
+  const auto samples = run_training_campaign(sim, sweep);
+  ASSERT_EQ(samples.size(), 2u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.t_fwd, 0.0);
+    EXPECT_GT(s.t_bwd, 0.0);
+    EXPECT_GT(s.t_grad, 0.0);
+    EXPECT_NEAR(s.t_step, s.t_fwd + s.t_bwd + s.t_grad, 1e-12);
+    EXPECT_EQ(s.num_devices, s.num_nodes * 4);
+    EXPECT_EQ(s.global_batch, 16 * s.num_devices);
+    EXPECT_DOUBLE_EQ(s.mini_batch(), 16.0);
+  }
+}
+
+TEST(TrainingCampaignTest, PaperSweepsPopulated) {
+  const auto single = TrainingSweep::paper_single_gpu({"resnet18"});
+  EXPECT_EQ(single.node_counts, std::vector<int>{1});
+  EXPECT_EQ(single.devices_per_node, 1);
+  const auto dist = TrainingSweep::paper_distributed({"resnet18"});
+  EXPECT_EQ(dist.devices_per_node, 4);
+  EXPECT_GT(dist.node_counts.size(), 3u);
+}
+
+TEST(BlockCampaignTest, SweepsBatchSizes) {
+  InferenceSimulator sim(a100_80gb());
+  Graph g("block");
+  NodeId x = g.input(64);
+  g.conv2d("c", x, Conv2dAttrs::square(64, 64, 3, 1, 1));
+  std::vector<BlockCase> blocks;
+  blocks.push_back({"TestBlock", std::move(g), Shape::nchw(1, 64, 28, 28)});
+  const auto samples = run_block_campaign(sim, blocks, {1, 8, 32}, 2, 42);
+  EXPECT_EQ(samples.size(), 6u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.model, "TestBlock");
+    EXPECT_GT(s.t_infer, 0.0);
+  }
+}
+
+TEST(SampleCsvTest, RoundTripPreservesEverything) {
+  RuntimeSample s;
+  s.model = "resnet50";
+  s.device = "a100";
+  s.image_size = 224;
+  s.global_batch = 256;
+  s.num_devices = 8;
+  s.num_nodes = 2;
+  s.flops1 = 8.2e9;
+  s.inputs1 = 1.07e7;
+  s.outputs1 = 1.11e7;
+  s.weights = 2.55e7;
+  s.layers = 161.0;
+  s.t_fwd = 0.0123;
+  s.t_bwd = 0.0246;
+  s.t_grad = 0.003;
+  s.t_step = 0.0399;
+
+  const auto back = samples_from_csv(samples_to_csv({s}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].model, s.model);
+  EXPECT_EQ(back[0].device, s.device);
+  EXPECT_EQ(back[0].image_size, s.image_size);
+  EXPECT_EQ(back[0].global_batch, s.global_batch);
+  EXPECT_EQ(back[0].num_devices, s.num_devices);
+  EXPECT_EQ(back[0].num_nodes, s.num_nodes);
+  EXPECT_DOUBLE_EQ(back[0].flops1, s.flops1);
+  EXPECT_DOUBLE_EQ(back[0].t_step, s.t_step);
+  EXPECT_DOUBLE_EQ(back[0].mini_batch(), 32.0);
+}
+
+TEST(SampleCsvTest, FileRoundTrip) {
+  InferenceSimulator sim(a100_80gb());
+  const auto samples = run_inference_campaign(sim, tiny_inference_sweep());
+  const std::string path = ::testing::TempDir() + "/samples.csv";
+  save_samples(samples, path);
+  const auto back = load_samples(path);
+  ASSERT_EQ(back.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].t_infer, samples[i].t_infer);
+    EXPECT_EQ(back[i].model, samples[i].model);
+  }
+}
+
+TEST(CampaignTest, EmptyModelListRejected) {
+  InferenceSimulator sim(a100_80gb());
+  EXPECT_THROW(run_inference_campaign(sim, InferenceSweep{}), InvalidArgument);
+  TrainingSimulator tsim(a100_80gb(), nvlink_hdr200_fabric());
+  EXPECT_THROW(run_training_campaign(tsim, TrainingSweep{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter
+
+#include "core/convmeter.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(CsvFitRoundTripTest, FitFromCsvEqualsInMemoryFit) {
+  // The CLI path (campaign -> CSV -> fit) must be equivalent to fitting
+  // the in-memory samples directly.
+  InferenceSimulator sim(a100_80gb());
+  InferenceSweep sweep;
+  sweep.models = {"alexnet", "resnet18", "resnet50"};
+  sweep.image_sizes = {64, 128};
+  sweep.batch_sizes = {1, 16, 64};
+  const auto samples = run_inference_campaign(sim, sweep);
+
+  const std::string path = ::testing::TempDir() + "/fit_roundtrip.csv";
+  save_samples(samples, path);
+  const ConvMeter direct = ConvMeter::fit_inference(samples);
+  const ConvMeter via_csv = ConvMeter::fit_inference(load_samples(path));
+
+  QueryPoint q;
+  q.metrics_b1.flops = 2e9;
+  q.metrics_b1.conv_inputs = 4e6;
+  q.metrics_b1.conv_outputs = 5e6;
+  q.per_device_batch = 32;
+  EXPECT_NEAR(direct.predict_inference(q), via_csv.predict_inference(q),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -1,0 +1,281 @@
+// Unit tests for src/common: RNG, strings, CSV, table printer, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace convmeter {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 7);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, NormalMomentsAreRight) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LognormalFactorHasMedianOne) {
+  Rng rng(17);
+  int above = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.lognormal_factor(0.3) > 1.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+}
+
+TEST(RngTest, LognormalZeroSigmaIsExactlyOne) {
+  Rng rng(19);
+  EXPECT_DOUBLE_EQ(rng.lognormal_factor(0.0), 1.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgument);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+  EXPECT_THROW(rng.lognormal_factor(-0.1), InvalidArgument);
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ToLower) { EXPECT_EQ(to_lower("AbC-9"), "abc-9"); }
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("layer1.0.conv", "layer1.0"));
+  EXPECT_FALSE(starts_with("layer1", "layer1.0"));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -1e-3 "), -1e-3);
+  EXPECT_THROW(parse_double("abc"), ParseError);
+  EXPECT_THROW(parse_double("1.5x"), ParseError);
+  EXPECT_THROW(parse_double(""), ParseError);
+}
+
+TEST(StringsTest, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW(parse_int("4.2"), ParseError);
+  EXPECT_THROW(parse_int(""), ParseError);
+}
+
+// ---- CSV ---------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"y", "2"});
+  std::ostringstream os;
+  t.write(os);
+  std::istringstream is(os.str());
+  const CsvTable back = CsvTable::read(is);
+  EXPECT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.cell(0, "name"), "x");
+  EXPECT_DOUBLE_EQ(back.cell_double(0, "value"), 1.5);
+  EXPECT_EQ(back.cell_int(1, "value"), 2);
+}
+
+TEST(CsvTest, RowWidthMismatchThrows) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(CsvTest, UnknownColumnThrows) {
+  CsvTable t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.cell(0, "missing"), ParseError);
+}
+
+TEST(CsvTest, EmptyStreamThrows) {
+  std::istringstream is("");
+  EXPECT_THROW(CsvTable::read(is), ParseError);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  std::istringstream is("h\n1\n\n2\n");
+  const CsvTable t = CsvTable::read(is);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+// ---- table -------------------------------------------------------------------
+
+TEST(ConsoleTableTest, AlignsColumns) {
+  ConsoleTable t({"Model", "MAPE"});
+  t.add_row({"resnet50", "0.14"});
+  t.add_row({"x", "12.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("resnet50"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(ConsoleTableTest, FmtPrecision) {
+  EXPECT_EQ(ConsoleTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(ConsoleTable::fmt(2.0, 0), "2");
+}
+
+TEST(ConsoleTableTest, WrongRowWidthThrows) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+}
+
+// ---- units -------------------------------------------------------------------
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.50 s");
+  EXPECT_EQ(format_seconds(0.0123), "12.3 ms");
+  EXPECT_EQ(format_seconds(42e-6), "42.0 us");
+  EXPECT_EQ(format_seconds(3e-9), "3.00 ns");
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+TEST(UnitsTest, FormatFlops) {
+  EXPECT_EQ(format_flops(4.09e9), "4.09 GFLOPs");
+  EXPECT_EQ(format_flops(500), "500 FLOPs");
+}
+
+TEST(UnitsTest, FormatCount) { EXPECT_EQ(format_count(25.6e6), "25.6 M"); }
+
+// ---- error -------------------------------------------------------------------
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    CM_CHECK(false, "context message");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw NumericalError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -1,0 +1,117 @@
+// Leave-one-ConvNet-out evaluation tests on planted data where the exact
+// expected behaviour is known.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/evaluate.hpp"
+
+namespace convmeter {
+namespace {
+
+/// Builds samples for `num_models` synthetic ConvNets obeying one shared
+/// exact linear law, so LOO predictions are exact.
+std::vector<RuntimeSample> lawful_samples(int num_models) {
+  std::vector<RuntimeSample> samples;
+  for (int mdl = 0; mdl < num_models; ++mdl) {
+    const double f = 1e9 * (mdl + 1);
+    for (const double batch : {1.0, 4.0, 16.0, 64.0}) {
+      for (const int devices : {1, 4, 8}) {
+        RuntimeSample s;
+        s.model = "net" + std::to_string(mdl);
+        s.device = "synthetic";
+        s.image_size = 64;
+        s.num_devices = devices;
+        s.num_nodes = devices > 4 ? 2 : 1;
+        s.global_batch = static_cast<std::int64_t>(batch * devices);
+        s.flops1 = f;
+        s.inputs1 = f / 300.0;
+        s.outputs1 = f / 250.0;
+        s.weights = f / 90.0;
+        s.layers = 40.0 + 3.0 * mdl;
+        s.t_infer =
+            batch * (2e-12 * f + 1e-9 * s.inputs1 + 2e-9 * s.outputs1) + 5e-5;
+        s.t_fwd = s.t_infer;
+        s.t_bwd = 2.2 * s.t_fwd;
+        s.t_grad = 2e-5 * s.layers + 5e-11 * s.weights + 4e-5 * devices;
+        s.t_step = s.t_fwd + s.t_bwd + s.t_grad;
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(EvaluatePhaseTest, ExactLawGivesNearZeroError) {
+  const auto samples = lawful_samples(5);
+  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  EXPECT_GT(r.pooled.r2, 0.999);
+  EXPECT_LT(r.pooled.mape, 1e-6);
+  EXPECT_EQ(r.per_group.size(), 5u);
+}
+
+TEST(EvaluatePhaseTest, GroupsSortedByName) {
+  const auto samples = lawful_samples(4);
+  const LooResult r = evaluate_phase_loo(samples, Phase::kForward);
+  for (std::size_t i = 1; i < r.per_group.size(); ++i) {
+    EXPECT_LT(r.per_group[i - 1].group, r.per_group[i].group);
+  }
+}
+
+TEST(EvaluatePhaseTest, OutlierModelShowsHighHeldOutError) {
+  auto samples = lawful_samples(4);
+  // Make net3 three times slower than the shared law predicts.
+  for (auto& s : samples) {
+    if (s.model == "net3") s.t_infer *= 3.0;
+  }
+  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const auto& outlier = r.per_group.back();
+  ASSERT_EQ(outlier.group, "net3");
+  // Held out, net3 is predicted from the conforming law -> ~3x off. (The
+  // conforming groups also degrade somewhat because net3 contaminates
+  // their training sets — that is inherent to the LOO protocol.)
+  EXPECT_GT(outlier.errors.mape, 0.3);
+  EXPECT_LT(r.pooled.r2, 0.99);
+}
+
+TEST(EvaluatePhaseTest, SingleMetricWorseThanCombinedOnMixedData) {
+  // Give the inputs metric an independent influence so FLOPs-only cannot
+  // explain everything.
+  auto samples = lawful_samples(6);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].inputs1 *= (1.0 + 0.5 * ((i * 29) % 7));
+    const double b = samples[i].mini_batch();
+    samples[i].t_infer = b * (2e-12 * samples[i].flops1 +
+                              1e-9 * samples[i].inputs1 +
+                              2e-9 * samples[i].outputs1) +
+                         5e-5;
+  }
+  const double mape_combined =
+      evaluate_phase_loo(samples, Phase::kInference, FeatureSet::kCombined)
+          .pooled.mape;
+  const double mape_flops =
+      evaluate_phase_loo(samples, Phase::kInference, FeatureSet::kFlopsOnly)
+          .pooled.mape;
+  EXPECT_LT(mape_combined, mape_flops);
+}
+
+TEST(EvaluateTrainStepTest, ExactLawGivesNearZeroError) {
+  const auto samples = lawful_samples(5);
+  const LooResult r = evaluate_train_step_loo(samples);
+  EXPECT_GT(r.pooled.r2, 0.999);
+  EXPECT_LT(r.pooled.mape, 1e-4);
+}
+
+TEST(EvaluateTrainStepTest, PooledCountsEverySample) {
+  const auto samples = lawful_samples(3);
+  const LooResult r = evaluate_train_step_loo(samples);
+  EXPECT_EQ(r.pooled.count, samples.size());
+}
+
+TEST(EvaluateTrainStepTest, RequiresTwoModels) {
+  const auto samples = lawful_samples(1);
+  EXPECT_THROW(evaluate_train_step_loo(samples), InvalidArgument);
+  EXPECT_THROW(evaluate_train_step_loo({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -1,0 +1,382 @@
+// Kernel correctness tests. The central property: the production
+// im2col+GEMM convolution agrees with the direct reference convolution for
+// a parameterized sweep of configurations (stride, padding, groups,
+// rectangular kernels, dilation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "exec/kernels.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  t.fill_random(seed);
+  return t;
+}
+
+// ---- GEMM -------------------------------------------------------------------
+
+TEST(GemmTest, MatchesNaiveTripleLoop) {
+  ThreadPool pool(2);
+  constexpr std::size_t m = 37;
+  constexpr std::size_t k = 53;
+  constexpr std::size_t n = 29;
+  const Tensor a = random_tensor(Shape{static_cast<std::int64_t>(m),
+                                       static_cast<std::int64_t>(k)},
+                                 1);
+  const Tensor b = random_tensor(Shape{static_cast<std::int64_t>(k),
+                                       static_cast<std::int64_t>(n)},
+                                 2);
+  std::vector<float> c(m * n, 0.0f);
+  gemm(pool, a.data(), b.data(), c, m, k, n);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+      }
+      ASSERT_NEAR(c[i * n + j], acc, 1e-4f) << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GemmTest, AccumulatesIntoExistingC) {
+  ThreadPool pool(1);
+  const Tensor a = random_tensor(Shape{4, 4}, 3);
+  const Tensor b = random_tensor(Shape{4, 4}, 4);
+  std::vector<float> once(16, 0.0f);
+  gemm(pool, a.data(), b.data(), once, 4, 4, 4);
+  std::vector<float> twice(16, 0.0f);
+  gemm(pool, a.data(), b.data(), twice, 4, 4, 4);
+  gemm(pool, a.data(), b.data(), twice, 4, 4, 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
+  }
+}
+
+TEST(GemmTest, SizeMismatchThrows) {
+  ThreadPool pool(1);
+  std::vector<float> a(4), b(4), c(3);
+  EXPECT_THROW(gemm(pool, a, b, c, 2, 2, 2), InvalidArgument);
+}
+
+// ---- conv2d: im2col vs direct ------------------------------------------------
+
+struct ConvCase {
+  std::string name;
+  std::int64_t batch, in_ch, out_ch, image, kernel, stride, pad, groups,
+      dilation;
+  bool bias;
+};
+
+class ConvAgreement : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvAgreement, Im2colMatchesDirect) {
+  const ConvCase& c = GetParam();
+  Conv2dAttrs a = Conv2dAttrs::square(c.in_ch, c.out_ch, c.kernel, c.stride,
+                                      c.pad, c.groups, c.bias);
+  a.dilation_h = a.dilation_w = c.dilation;
+
+  const Tensor input =
+      random_tensor(Shape::nchw(c.batch, c.in_ch, c.image, c.image), 10);
+  const Tensor weight = random_tensor(
+      Shape({c.out_ch, c.in_ch / c.groups, c.kernel, c.kernel}), 11);
+  const Tensor bias = c.bias ? random_tensor(Shape{c.out_ch}, 12) : Tensor();
+
+  const Tensor ref = conv2d_direct(input, weight, bias, a);
+  ThreadPool pool(2);
+  const Tensor fast = conv2d_im2col(pool, input, weight, bias, a);
+
+  ASSERT_EQ(ref.shape(), fast.shape());
+  EXPECT_LT(ref.max_abs_diff(fast), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvAgreement,
+    ::testing::Values(
+        ConvCase{"plain3x3", 1, 3, 8, 8, 3, 1, 1, 1, 1, false},
+        ConvCase{"stride2", 2, 4, 6, 9, 3, 2, 1, 1, 1, false},
+        ConvCase{"pointwise", 1, 8, 16, 7, 1, 1, 0, 1, 1, false},
+        ConvCase{"kernel5pad2", 1, 2, 4, 11, 5, 1, 2, 1, 1, true},
+        ConvCase{"grouped", 1, 8, 8, 8, 3, 1, 1, 4, 1, false},
+        ConvCase{"depthwise", 2, 6, 6, 10, 3, 1, 1, 6, 1, false},
+        ConvCase{"dilated", 1, 3, 5, 13, 3, 1, 2, 1, 2, false},
+        ConvCase{"stem7x7s2", 1, 3, 8, 32, 7, 2, 3, 1, 1, false},
+        ConvCase{"nopad_shrink", 1, 4, 4, 6, 3, 1, 0, 1, 1, true},
+        ConvCase{"batch4", 4, 3, 5, 8, 3, 1, 1, 1, 1, true}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ConvTest, RectangularKernel1x7) {
+  Conv2dAttrs a;
+  a.in_channels = 3;
+  a.out_channels = 4;
+  a.kernel_h = 1;
+  a.kernel_w = 7;
+  a.pad_w = 3;
+  const Tensor input = random_tensor(Shape::nchw(1, 3, 9, 9), 20);
+  const Tensor weight = random_tensor(Shape({4, 3, 1, 7}), 21);
+  const Tensor ref = conv2d_direct(input, weight, Tensor(), a);
+  ThreadPool pool(2);
+  const Tensor fast = conv2d_im2col(pool, input, weight, Tensor(), a);
+  EXPECT_EQ(ref.shape(), Shape::nchw(1, 4, 9, 9));
+  EXPECT_LT(ref.max_abs_diff(fast), 1e-4f);
+}
+
+TEST(ConvTest, IdentityKernelPreservesInput) {
+  // 1x1 conv with identity weights on matching channels.
+  Conv2dAttrs a = Conv2dAttrs::square(2, 2, 1);
+  Tensor weight(Shape({2, 2, 1, 1}));
+  weight.at4(0, 0, 0, 0) = 1.0f;
+  weight.at4(1, 1, 0, 0) = 1.0f;
+  const Tensor input = random_tensor(Shape::nchw(1, 2, 4, 4), 22);
+  const Tensor out = conv2d_direct(input, weight, Tensor(), a);
+  EXPECT_LT(out.max_abs_diff(input), 1e-6f);
+}
+
+// ---- pooling -----------------------------------------------------------------
+
+TEST(PoolTest, MaxPoolHandComputed) {
+  Tensor in(Shape::nchw(1, 1, 2, 2));
+  in.at4(0, 0, 0, 0) = 1.0f;
+  in.at4(0, 0, 0, 1) = 5.0f;
+  in.at4(0, 0, 1, 0) = -2.0f;
+  in.at4(0, 0, 1, 1) = 0.5f;
+  const Tensor out = max_pool2d(in, Pool2dAttrs::square(2, 2));
+  ASSERT_EQ(out.shape(), Shape::nchw(1, 1, 1, 1));
+  EXPECT_EQ(out.at4(0, 0, 0, 0), 5.0f);
+}
+
+TEST(PoolTest, AvgPoolHandComputed) {
+  Tensor in(Shape::nchw(1, 1, 2, 2));
+  in.at4(0, 0, 0, 0) = 1.0f;
+  in.at4(0, 0, 0, 1) = 2.0f;
+  in.at4(0, 0, 1, 0) = 3.0f;
+  in.at4(0, 0, 1, 1) = 6.0f;
+  const Tensor out = avg_pool2d(in, Pool2dAttrs::square(2, 2));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 3.0f);
+}
+
+TEST(PoolTest, MaxPoolIgnoresPadding) {
+  // All-negative input: padded zeros must not win the max.
+  Tensor in(Shape::nchw(1, 1, 3, 3), -4.0f);
+  const Tensor out = max_pool2d(in, Pool2dAttrs::square(3, 1, 1));
+  for (const float v : out.data()) EXPECT_EQ(v, -4.0f);
+}
+
+TEST(PoolTest, AdaptiveAvgPoolToOneIsGlobalMean) {
+  Tensor in(Shape::nchw(1, 2, 4, 4));
+  float v = 0.0f;
+  for (float& x : in.data()) x = v++;
+  const Tensor out = adaptive_avg_pool2d(in, 1, 1);
+  ASSERT_EQ(out.shape(), Shape::nchw(1, 2, 1, 1));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 7.5f);   // mean of 0..15
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 23.5f);  // mean of 16..31
+}
+
+TEST(PoolTest, AdaptiveAvgPoolIdentityWhenSizesMatch) {
+  const Tensor in = random_tensor(Shape::nchw(1, 3, 5, 5), 30);
+  const Tensor out = adaptive_avg_pool2d(in, 5, 5);
+  EXPECT_LT(out.max_abs_diff(in), 1e-6f);
+}
+
+// ---- activations --------------------------------------------------------------
+
+TEST(ActivationTest, ReluClampsNegatives) {
+  Tensor in(Shape{4});
+  in.at(0) = -1.0f;
+  in.at(1) = 0.0f;
+  in.at(2) = 2.0f;
+  in.at(3) = -0.5f;
+  const Tensor out = activation(in, ActKind::kReLU);
+  EXPECT_EQ(out.at(0), 0.0f);
+  EXPECT_EQ(out.at(2), 2.0f);
+  EXPECT_EQ(out.at(3), 0.0f);
+}
+
+TEST(ActivationTest, Relu6Caps) {
+  Tensor in(Shape{2});
+  in.at(0) = 10.0f;
+  in.at(1) = 3.0f;
+  const Tensor out = activation(in, ActKind::kReLU6);
+  EXPECT_EQ(out.at(0), 6.0f);
+  EXPECT_EQ(out.at(1), 3.0f);
+}
+
+TEST(ActivationTest, SigmoidAtZeroIsHalf) {
+  Tensor in(Shape{1});
+  const Tensor out = activation(in, ActKind::kSigmoid);
+  EXPECT_FLOAT_EQ(out.at(0), 0.5f);
+}
+
+TEST(ActivationTest, SiluMatchesDefinition) {
+  Tensor in(Shape{1});
+  in.at(0) = 1.5f;
+  const Tensor out = activation(in, ActKind::kSiLU);
+  EXPECT_NEAR(out.at(0), 1.5 / (1.0 + std::exp(-1.5)), 1e-6);
+}
+
+TEST(ActivationTest, HardSwishKnots) {
+  Tensor in(Shape{3});
+  in.at(0) = -3.0f;  // -> 0
+  in.at(1) = 3.0f;   // -> 3
+  in.at(2) = 0.0f;   // -> 0
+  const Tensor out = activation(in, ActKind::kHardSwish);
+  EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 0.0f);
+}
+
+TEST(ActivationTest, HardSigmoidSaturates) {
+  Tensor in(Shape{3});
+  in.at(0) = -10.0f;
+  in.at(1) = 10.0f;
+  in.at(2) = 0.0f;
+  const Tensor out = activation(in, ActKind::kHardSigmoid);
+  EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 0.5f);
+}
+
+// ---- batch norm ----------------------------------------------------------------
+
+TEST(BatchNormTest, IdentityParamsPassThrough) {
+  const Tensor in = random_tensor(Shape::nchw(1, 3, 4, 4), 40);
+  Tensor gamma(Shape{3}, 1.0f);
+  Tensor beta(Shape{3}, 0.0f);
+  Tensor mean(Shape{3}, 0.0f);
+  Tensor var(Shape{3}, 1.0f);
+  const Tensor out = batch_norm2d(in, gamma, beta, mean, var, 0.0);
+  EXPECT_LT(out.max_abs_diff(in), 1e-6f);
+}
+
+TEST(BatchNormTest, NormalizesWithRunningStats) {
+  Tensor in(Shape::nchw(1, 1, 1, 2));
+  in.at4(0, 0, 0, 0) = 3.0f;
+  in.at4(0, 0, 0, 1) = 7.0f;
+  Tensor gamma(Shape{1}, 2.0f);
+  Tensor beta(Shape{1}, 1.0f);
+  Tensor mean(Shape{1}, 5.0f);
+  Tensor var(Shape{1}, 4.0f);
+  const Tensor out = batch_norm2d(in, gamma, beta, mean, var, 0.0);
+  // (3-5)/2 * 2 + 1 = -1; (7-5)/2 * 2 + 1 = 3.
+  EXPECT_NEAR(out.at4(0, 0, 0, 0), -1.0f, 1e-5);
+  EXPECT_NEAR(out.at4(0, 0, 0, 1), 3.0f, 1e-5);
+}
+
+// ---- linear / elementwise / concat ---------------------------------------------
+
+TEST(LinearTest, HandComputed) {
+  ThreadPool pool(1);
+  Tensor in(Shape{1, 2});
+  in.at(0) = 1.0f;
+  in.at(1) = 2.0f;
+  Tensor w(Shape{2, 2});
+  w.at(0) = 1.0f;  // w(0,0)
+  w.at(1) = 1.0f;  // w(0,1)
+  w.at(2) = 3.0f;  // w(1,0)
+  w.at(3) = -1.0f; // w(1,1)
+  Tensor b(Shape{2});
+  b.at(0) = 0.5f;
+  b.at(1) = 0.0f;
+  const Tensor out = linear(pool, in, w, b, LinearAttrs{2, 2, true});
+  EXPECT_FLOAT_EQ(out.at(0), 3.5f);  // 1+2 + 0.5
+  EXPECT_FLOAT_EQ(out.at(1), 1.0f);  // 3-2
+}
+
+TEST(AddTest, Elementwise) {
+  Tensor a(Shape{3}, 1.0f);
+  Tensor b(Shape{3}, 2.5f);
+  const Tensor out = add(a, b);
+  for (const float v : out.data()) EXPECT_FLOAT_EQ(v, 3.5f);
+  EXPECT_THROW(add(a, Tensor(Shape{4})), InvalidArgument);
+}
+
+TEST(MultiplyTest, BroadcastGate) {
+  Tensor x(Shape::nchw(1, 2, 2, 2), 3.0f);
+  Tensor gate(Shape::nchw(1, 2, 1, 1));
+  gate.at4(0, 0, 0, 0) = 0.5f;
+  gate.at4(0, 1, 0, 0) = 2.0f;
+  const Tensor out = multiply(x, gate);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 1.5f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 1), 6.0f);
+}
+
+TEST(MultiplyTest, RejectsNonBroadcastableShapes) {
+  Tensor a(Shape::nchw(1, 2, 2, 2));
+  Tensor b(Shape::nchw(1, 3, 1, 1));
+  EXPECT_THROW(multiply(a, b), InvalidArgument);
+}
+
+TEST(ConcatTest, StacksChannelsInOrder) {
+  Tensor a(Shape::nchw(1, 1, 2, 2), 1.0f);
+  Tensor b(Shape::nchw(1, 2, 2, 2), 2.0f);
+  const Tensor out = concat({a, b});
+  ASSERT_EQ(out.shape(), Shape::nchw(1, 3, 2, 2));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 2, 1, 1), 2.0f);
+}
+
+TEST(FlattenTest, PreservesDataOrder) {
+  Tensor in(Shape::nchw(2, 2, 1, 2));
+  float v = 0.0f;
+  for (float& x : in.data()) x = v++;
+  const Tensor out = flatten(in);
+  ASSERT_EQ(out.shape(), Shape({2, 4}));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(out.at(i), static_cast<float>(i));
+}
+
+}  // namespace
+}  // namespace convmeter
+
+namespace convmeter {
+namespace {
+
+TEST(SliceChannelsTest, KeepsRequestedRange) {
+  Tensor in(Shape::nchw(1, 4, 2, 2));
+  float v = 0.0f;
+  for (float& x : in.data()) x = v++;
+  const Tensor out = slice_channels(in, 1, 3);
+  ASSERT_EQ(out.shape(), Shape::nchw(1, 2, 2, 2));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), in.at4(0, 1, 0, 0));
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 1, 1), in.at4(0, 2, 1, 1));
+}
+
+TEST(SliceChannelsTest, RangeChecked) {
+  Tensor in(Shape::nchw(1, 4, 2, 2));
+  EXPECT_THROW(slice_channels(in, 2, 5), InvalidArgument);
+  EXPECT_THROW(slice_channels(in, 3, 3), InvalidArgument);
+}
+
+TEST(ChannelShuffleTest, PermutesAcrossGroups) {
+  // 6 channels, 2 groups: [0 1 2 | 3 4 5] -> [0 3 1 4 2 5].
+  Tensor in(Shape::nchw(1, 6, 1, 1));
+  for (std::int64_t c = 0; c < 6; ++c) in.at4(0, c, 0, 0) = static_cast<float>(c);
+  const Tensor out = channel_shuffle(in, 2);
+  const float want[6] = {0, 3, 1, 4, 2, 5};
+  for (std::int64_t c = 0; c < 6; ++c) {
+    EXPECT_FLOAT_EQ(out.at4(0, c, 0, 0), want[c]);
+  }
+}
+
+TEST(ChannelShuffleTest, InverseIsShuffleWithComplementGroups) {
+  Tensor in(Shape::nchw(2, 12, 3, 3));
+  in.fill_random(55);
+  const Tensor shuffled = channel_shuffle(in, 3);
+  const Tensor back = channel_shuffle(shuffled, 12 / 3);
+  EXPECT_EQ(back.max_abs_diff(in), 0.0f);
+}
+
+TEST(ChannelShuffleTest, GroupsMustDivide) {
+  Tensor in(Shape::nchw(1, 6, 1, 1));
+  EXPECT_THROW(channel_shuffle(in, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

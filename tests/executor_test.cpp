@@ -1,0 +1,116 @@
+// Executor tests: real forward passes over zoo models at small resolutions,
+// determinism, timing bookkeeping, and agreement between the executed
+// output shape and shape inference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/executor.hpp"
+#include "graph/shape_inference.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(ExecutorTest, RunsTinyGraph) {
+  Graph g("tiny");
+  NodeId x = g.input(3);
+  x = g.conv2d("c", x, Conv2dAttrs::square(3, 4, 3, 1, 1));
+  x = g.activation("r", x, ActKind::kReLU);
+  x = g.adaptive_avg_pool("p", x, 1, 1);
+  x = g.flatten("f", x);
+  g.linear("fc", x, LinearAttrs{4, 10, true});
+
+  Executor exec(1);
+  const ExecutionResult res = exec.run_random(g, Shape::nchw(2, 3, 8, 8));
+  EXPECT_EQ(res.output.shape(), Shape({2, 10}));
+  EXPECT_GT(res.total_seconds, 0.0);
+  EXPECT_EQ(res.layers.size(), g.size());
+}
+
+TEST(ExecutorTest, DeterministicAcrossRuns) {
+  const Graph g = models::build("squeezenet1_1");
+  Executor exec(1);
+  const ExecutionResult a = exec.run_random(g, Shape::nchw(1, 3, 64, 64), 7);
+  const ExecutionResult b = exec.run_random(g, Shape::nchw(1, 3, 64, 64), 7);
+  EXPECT_EQ(a.output.max_abs_diff(b.output), 0.0f);
+}
+
+TEST(ExecutorTest, DifferentSeedsChangeOutput) {
+  const Graph g = models::build("squeezenet1_1");
+  Executor exec(1);
+  const ExecutionResult a = exec.run_random(g, Shape::nchw(1, 3, 64, 64), 7);
+  const ExecutionResult b = exec.run_random(g, Shape::nchw(1, 3, 64, 64), 8);
+  EXPECT_GT(a.output.max_abs_diff(b.output), 0.0f);
+}
+
+TEST(ExecutorTest, OutputsAreFinite) {
+  const Graph g = models::build("mobilenet_v3_small");
+  Executor exec(1);
+  const ExecutionResult res = exec.run_random(g, Shape::nchw(1, 3, 64, 64));
+  for (const float v : res.output.data()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ExecutorTest, LayerTimesSumBelowTotal) {
+  const Graph g = models::build("squeezenet1_1");
+  Executor exec(1);
+  const ExecutionResult res = exec.run_random(g, Shape::nchw(1, 3, 64, 64));
+  double sum = 0.0;
+  for (const LayerTiming& t : res.layers) {
+    EXPECT_GE(t.seconds, 0.0);
+    sum += t.seconds;
+  }
+  EXPECT_LE(sum, res.total_seconds * 1.5 + 1e-3);
+}
+
+/// Parameterized: a slice of the zoo runs end to end at a small resolution
+/// and produces logits of the right shape.
+class ExecutorZooTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExecutorZooTest, ForwardPassShapeMatchesInference) {
+  const Graph g = models::build(GetParam());
+  const std::int64_t image = GetParam() == "inception_v3" ? 96 : 64;
+  const Shape in = Shape::nchw(1, 3, image, image);
+  const ShapeMap shapes = infer_shapes(g, in);
+  Executor exec(0);
+  const ExecutionResult res = exec.run_random(g, in);
+  EXPECT_EQ(res.output.shape(),
+            shapes[static_cast<std::size_t>(g.output_id())]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ExecutorZooTest,
+                         ::testing::Values("resnet18", "squeezenet1_0",
+                                           "mobilenet_v2",
+                                           "mobilenet_v3_small",
+                                           "efficientnet_b0",
+                                           "regnet_x_400mf"),
+                         [](const auto& info) { return info.param; });
+
+TEST(ExecutorTest, ConvTimeGrowsWithWork) {
+  // A real-measurement sanity check feeding the simulator's design: more
+  // FLOPs take longer. Use a 16x work ratio so scheduling noise cannot
+  // invert the ordering.
+  Graph small("small");
+  NodeId s = small.input(8);
+  small.conv2d("c", s, Conv2dAttrs::square(8, 8, 3, 1, 1));
+  Graph big("big");
+  NodeId b = big.input(8);
+  big.conv2d("c", b, Conv2dAttrs::square(8, 128, 3, 1, 1));
+
+  Executor exec(1);
+  // Warm up allocators.
+  exec.run_random(small, Shape::nchw(1, 8, 64, 64));
+  double t_small = 0.0;
+  double t_big = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    t_small += exec.run_random(small, Shape::nchw(1, 8, 64, 64)).total_seconds;
+    t_big += exec.run_random(big, Shape::nchw(1, 8, 64, 64)).total_seconds;
+  }
+  EXPECT_GT(t_big, t_small);
+}
+
+}  // namespace
+}  // namespace convmeter

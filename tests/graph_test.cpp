@@ -1,0 +1,157 @@
+// Unit tests for src/graph: builders, validation, queries, op registry.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/graph.hpp"
+
+namespace convmeter {
+namespace {
+
+Graph tiny_graph() {
+  Graph g("tiny");
+  NodeId x = g.input(3);
+  x = g.conv2d("conv1", x, Conv2dAttrs::square(3, 8, 3, 1, 1));
+  x = g.batch_norm("bn1", x, 8);
+  x = g.activation("relu1", x, ActKind::kReLU);
+  return g;
+}
+
+TEST(GraphTest, BuilderProducesTopologicalIds) {
+  const Graph g = tiny_graph();
+  EXPECT_EQ(g.size(), 4u);
+  for (const auto& n : g.nodes()) {
+    for (const NodeId in : n.inputs) EXPECT_LT(in, n.id);
+  }
+}
+
+TEST(GraphTest, InputMustBeFirst) {
+  Graph g("bad");
+  g.input(3);
+  EXPECT_THROW(g.input(3), InvalidArgument);
+}
+
+TEST(GraphTest, InputChannelsRecorded) {
+  EXPECT_EQ(tiny_graph().input_channels(), 3);
+}
+
+TEST(GraphTest, ValidatePassesForWellFormedGraph) {
+  EXPECT_NO_THROW(tiny_graph().validate());
+}
+
+TEST(GraphTest, ValidateRejectsDuplicateNames) {
+  Graph g("dup");
+  NodeId x = g.input(3);
+  g.activation("a", x, ActKind::kReLU);
+  g.activation("a", x, ActKind::kReLU);
+  EXPECT_THROW(g.validate(), InvalidArgument);
+}
+
+TEST(GraphTest, ValidateRejectsMultipleSinks) {
+  Graph g("two-sinks");
+  NodeId x = g.input(3);
+  g.activation("a", x, ActKind::kReLU);
+  g.activation("b", x, ActKind::kReLU);
+  EXPECT_THROW(g.validate(), InvalidArgument);
+}
+
+TEST(GraphTest, OutputIdFindsUniqueSink) {
+  const Graph g = tiny_graph();
+  EXPECT_EQ(g.output_id(), g.find("relu1"));
+}
+
+TEST(GraphTest, FindByNameAndMissingThrows) {
+  const Graph g = tiny_graph();
+  EXPECT_EQ(g.find("conv1"), 1);
+  EXPECT_THROW(g.find("nope"), InvalidArgument);
+}
+
+TEST(GraphTest, CountAndListKinds) {
+  const Graph g = tiny_graph();
+  EXPECT_EQ(g.count_kind(OpKind::kConv2d), 1u);
+  EXPECT_EQ(g.count_kind(OpKind::kLinear), 0u);
+  const auto convs = g.nodes_of_kind(OpKind::kConv2d);
+  ASSERT_EQ(convs.size(), 1u);
+  EXPECT_EQ(g.node(convs[0]).name, "conv1");
+}
+
+TEST(GraphTest, ParameterCountConvBnLinear) {
+  Graph g("params");
+  NodeId x = g.input(3);
+  x = g.conv2d("c", x, Conv2dAttrs::square(3, 8, 3));  // 8*3*9 = 216
+  x = g.batch_norm("b", x, 8);                         // 16
+  x = g.adaptive_avg_pool("p", x, 1, 1);
+  x = g.flatten("f", x);
+  g.linear("l", x, LinearAttrs{8, 10, true});          // 80 + 10
+  EXPECT_EQ(g.parameter_count(), 216 + 16 + 90);
+}
+
+TEST(GraphTest, ConvBiasAddsParameters) {
+  EXPECT_EQ(Conv2dAttrs::square(3, 8, 3, 1, 0, 1, true).parameter_count(),
+            216 + 8);
+  EXPECT_EQ(Conv2dAttrs::square(3, 8, 3).parameter_count(), 216);
+}
+
+TEST(GraphTest, GroupedConvParameterCount) {
+  // Depthwise: 8 groups of 1x3x3.
+  EXPECT_EQ(Conv2dAttrs::square(8, 8, 3, 1, 1, 8).parameter_count(), 72);
+}
+
+TEST(GraphTest, ConvRejectsBadGroups) {
+  Graph g("bad-groups");
+  NodeId x = g.input(3);
+  EXPECT_THROW(g.conv2d("c", x, Conv2dAttrs::square(3, 8, 3, 1, 0, 2)),
+               InvalidArgument);
+}
+
+TEST(GraphTest, ConcatRequiresTwoInputs) {
+  Graph g("concat");
+  NodeId x = g.input(3);
+  EXPECT_THROW(g.concat("cat", {x}), InvalidArgument);
+}
+
+TEST(GraphTest, DropoutProbabilityValidated) {
+  Graph g("dropout");
+  NodeId x = g.input(3);
+  EXPECT_THROW(g.dropout("d", x, 1.0), InvalidArgument);
+  EXPECT_THROW(g.dropout("d", x, -0.1), InvalidArgument);
+  EXPECT_NO_THROW(g.dropout("d", x, 0.5));
+}
+
+TEST(GraphTest, ForwardReferencesRejectedAtBuild) {
+  Graph g("fwd-ref");
+  g.input(3);
+  EXPECT_THROW(g.activation("a", 5, ActKind::kReLU), InvalidArgument);
+}
+
+TEST(GraphTest, TypedAttributeAccessThrowsOnMismatch) {
+  const Graph g = tiny_graph();
+  const Node& conv = g.node(g.find("conv1"));
+  EXPECT_NO_THROW(conv.as<Conv2dAttrs>());
+  EXPECT_THROW(conv.as<LinearAttrs>(), InvalidArgument);
+}
+
+TEST(OpsTest, OpKindNamesRoundTrip) {
+  for (const OpKind k :
+       {OpKind::kInput, OpKind::kConv2d, OpKind::kBatchNorm2d,
+        OpKind::kActivation, OpKind::kMaxPool2d, OpKind::kAvgPool2d,
+        OpKind::kAdaptiveAvgPool2d, OpKind::kLinear, OpKind::kFlatten,
+        OpKind::kAdd, OpKind::kMultiply, OpKind::kConcat, OpKind::kDropout,
+        OpKind::kToTokens, OpKind::kLayerNorm, OpKind::kSelfAttention,
+        OpKind::kSelectToken}) {
+    EXPECT_EQ(op_kind_from_name(op_kind_name(k)), k);
+  }
+  EXPECT_THROW(op_kind_from_name("warp"), ParseError);
+}
+
+TEST(OpsTest, ActKindNamesRoundTrip) {
+  for (const ActKind k :
+       {ActKind::kReLU, ActKind::kReLU6, ActKind::kSiLU, ActKind::kSigmoid,
+        ActKind::kHardSwish, ActKind::kHardSigmoid, ActKind::kTanh,
+        ActKind::kGELU}) {
+    EXPECT_EQ(act_kind_from_name(act_kind_name(k)), k);
+  }
+  EXPECT_THROW(act_kind_from_name("mish"), ParseError);
+}
+
+}  // namespace
+}  // namespace convmeter

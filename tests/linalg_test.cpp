@@ -1,0 +1,219 @@
+// Linear algebra tests: QR least squares, Cholesky/ridge, statistics.
+// Includes the planted-coefficient recovery property the regression relies
+// on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/stats.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(MatrixTest, IndexingAndBounds) {
+  Matrix m(2, 3);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_THROW(m(2, 0), InvalidArgument);
+  EXPECT_THROW(m(0, 3), InvalidArgument);
+}
+
+TEST(MatrixTest, TimesMatchesHandComputation) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const Vector y = m.times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, GramIsSymmetric) {
+  Rng rng(1);
+  Matrix m(5, 3);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = rng.normal();
+  }
+  const Matrix g = m.gram();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeTimes) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const Vector v = m.transpose_times({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(v[0], 7.0);   // 1*1 + 3*2
+  EXPECT_DOUBLE_EQ(v[1], 10.0);  // 2*1 + 4*2
+}
+
+TEST(LeastSquaresTest, ExactSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 0;
+  a(1, 0) = 0;
+  a(1, 1) = 4;
+  const Vector x = solve_least_squares(a, {6.0, 8.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, OverdeterminedProjects) {
+  // Fit y = 2x + 1 through three exact points.
+  Matrix a(3, 2);
+  const double xs[3] = {0.0, 1.0, 2.0};
+  Vector y(3);
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<std::size_t>(i), 0) = xs[i];
+    a(static_cast<std::size_t>(i), 1) = 1.0;
+    y[static_cast<std::size_t>(i)] = 2.0 * xs[i] + 1.0;
+  }
+  const Vector c = solve_least_squares(a, y);
+  EXPECT_NEAR(c[0], 2.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, RankDeficientThrows) {
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = 1.0;  // duplicate column
+  }
+  EXPECT_THROW(solve_least_squares(a, {1.0, 2.0, 3.0}), NumericalError);
+}
+
+TEST(LeastSquaresTest, RequiresEnoughRows) {
+  Matrix a(1, 2, 1.0);
+  EXPECT_THROW(solve_least_squares(a, {1.0}), InvalidArgument);
+}
+
+/// Planted-coefficient property: with noisy observations of a known linear
+/// model, QR least squares recovers the coefficients.
+class PlantedRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlantedRecovery, RecoversCoefficientsUnderNoise) {
+  const double sigma = GetParam();
+  Rng rng(77);
+  const Vector truth = {3.0, -2.0, 0.5};
+  constexpr std::size_t n = 400;
+  Matrix a(n, 3);
+  Vector y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+      acc += a(r, c) * truth[c];
+    }
+    y[r] = acc + rng.normal(0.0, sigma);
+  }
+  const Vector est = solve_least_squares(a, y);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(est[c], truth[c], 5.0 * sigma / std::sqrt(n) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, PlantedRecovery,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5));
+
+TEST(RidgeTest, MatchesOlsForTinyLambda) {
+  Rng rng(5);
+  Matrix a(50, 3);
+  Vector y(50);
+  for (std::size_t r = 0; r < 50; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.normal();
+    y[r] = a(r, 0) - a(r, 2) + rng.normal(0.0, 0.01);
+  }
+  const Vector ols = solve_least_squares(a, y);
+  const Vector ridge = solve_ridge(a, y, 1e-10);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(ridge[c], ols[c], 1e-6);
+}
+
+TEST(RidgeTest, HandlesRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = 1.0;
+    a(r, 1) = 1.0;
+  }
+  const Vector x = solve_ridge(a, {2.0, 2.0, 2.0, 2.0}, 1e-6);
+  // Symmetric problem -> symmetric solution, each coefficient ~1.
+  EXPECT_NEAR(x[0], x[1], 1e-9);
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(RidgeTest, ShrinksTowardZeroForLargeLambda) {
+  Matrix a(3, 1);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  const Vector small = solve_ridge(a, {1.0, 2.0, 3.0}, 1e-9);
+  const Vector big = solve_ridge(a, {1.0, 2.0, 3.0}, 1e6);
+  EXPECT_NEAR(small[0], 1.0, 1e-6);
+  EXPECT_LT(std::fabs(big[0]), 0.01);
+}
+
+TEST(SpdTest, SolvesKnownSystem) {
+  Matrix s(2, 2);
+  s(0, 0) = 4;
+  s(0, 1) = 1;
+  s(1, 0) = 1;
+  s(1, 1) = 3;
+  const Vector x = solve_spd(s, {1.0, 2.0});
+  EXPECT_NEAR(4 * x[0] + 1 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1 * x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(SpdTest, RejectsIndefinite) {
+  Matrix s(2, 2);
+  s(0, 0) = 1;
+  s(0, 1) = 2;
+  s(1, 0) = 2;
+  s(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(solve_spd(s, {1.0, 1.0}), NumericalError);
+}
+
+TEST(StatsTest, BasicMoments) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, EmptyInputThrows) {
+  EXPECT_THROW(mean({}), InvalidArgument);
+  EXPECT_THROW(median({}), InvalidArgument);
+  EXPECT_THROW(min_value({}), InvalidArgument);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> ny = {-2, -4, -6, -8};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonValidation) {
+  EXPECT_THROW(pearson({1.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(pearson({1.0, 2.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(pearson({1.0, 1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

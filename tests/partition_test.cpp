@@ -1,0 +1,146 @@
+// Pipeline-partitioning tests: cut-point legality, DP balancing, and the
+// pipeline time model.
+#include <gtest/gtest.h>
+
+#include "collect/campaign.hpp"
+#include "common/error.hpp"
+#include "core/partition.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter {
+namespace {
+
+const ConvMeter& fitted_model() {
+  static const ConvMeter model = [] {
+    InferenceSimulator sim(a100_80gb());
+    InferenceSweep sweep;
+    sweep.models = {"alexnet", "resnet18", "resnet50", "mobilenet_v2",
+                    "vgg16", "squeezenet1_0"};
+    sweep.image_sizes = {64, 128, 224};
+    sweep.batch_sizes = {1, 16, 64};
+    return ConvMeter::fit_inference(run_inference_campaign(sim, sweep));
+  }();
+  return model;
+}
+
+TEST(CutPointTest, SequentialChainCutsEverywhere) {
+  Graph g("chain");
+  NodeId x = g.input(3);
+  x = g.conv2d("c1", x, Conv2dAttrs::square(3, 8, 3, 1, 1));
+  x = g.activation("r1", x, ActKind::kReLU);
+  x = g.conv2d("c2", x, Conv2dAttrs::square(8, 8, 3, 1, 1));
+  g.activation("r2", x, ActKind::kReLU);
+  const auto cuts = pipeline_cut_points(g, Shape::nchw(1, 3, 8, 8));
+  // Every interior node of a pure chain is a legal cut.
+  EXPECT_EQ(cuts.size(), 3u);  // c1, r1, c2 (sink r2 excluded)
+}
+
+TEST(CutPointTest, ResidualBlockIsAtomic) {
+  Graph g("res");
+  NodeId x = g.input(8);
+  NodeId pre = g.activation("pre", x, ActKind::kReLU);
+  NodeId y = g.conv2d("c", pre, Conv2dAttrs::square(8, 8, 3, 1, 1));
+  y = g.add("add", y, pre);  // `pre` stays live across c
+  g.activation("post", y, ActKind::kReLU);
+  const auto cuts = pipeline_cut_points(g, Shape::nchw(1, 8, 8, 8));
+  // No cut may fall between `pre` and `add` (two tensors would cross).
+  for (const NodeId c : cuts) {
+    EXPECT_FALSE(c > g.find("pre") && c < g.find("add"))
+        << "illegal cut at node " << c;
+  }
+  // But cutting right after the block (at `add`) is fine.
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), g.find("add")), cuts.end());
+}
+
+TEST(CutPointTest, ResNet50HasBlockBoundaryCuts) {
+  const Graph g = models::build("resnet50");
+  const auto cuts = pipeline_cut_points(g, Shape::nchw(1, 3, 224, 224));
+  // One legal cut per residual block exit (16 blocks) plus the stem nodes.
+  EXPECT_GE(cuts.size(), 16u);
+  // Every block's final relu must be a legal boundary.
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), g.find("layer2.3.relu3")),
+            cuts.end());
+}
+
+TEST(PartitionTest, StagesCoverGraphContiguously) {
+  const Graph g = models::build("resnet18");
+  const PipelinePlan plan =
+      partition_pipeline(g, Shape::nchw(8, 3, 224, 224), fitted_model(), 4);
+  ASSERT_EQ(plan.stages.size(), 4u);
+  EXPECT_EQ(plan.stages.front().entry, 0);
+  EXPECT_EQ(plan.stages.back().exit, g.output_id());
+  for (std::size_t s = 1; s < plan.stages.size(); ++s) {
+    EXPECT_EQ(plan.stages[s].entry, plan.stages[s - 1].exit);
+  }
+}
+
+TEST(PartitionTest, BottleneckIsMaxStageTime) {
+  const Graph g = models::build("resnet18");
+  const PipelinePlan plan =
+      partition_pipeline(g, Shape::nchw(8, 3, 224, 224), fitted_model(), 3);
+  double worst = 0.0;
+  for (const auto& s : plan.stages) {
+    worst = std::max(worst, s.predicted_seconds);
+  }
+  EXPECT_DOUBLE_EQ(plan.bottleneck_seconds, worst);
+}
+
+TEST(PartitionTest, MoreStagesNeverWorsenBottleneck) {
+  const Graph g = models::build("resnet50");
+  const Shape in = Shape::nchw(8, 3, 224, 224);
+  double prev = 1e300;
+  for (const int stages : {1, 2, 4, 8}) {
+    const PipelinePlan plan =
+        partition_pipeline(g, in, fitted_model(), stages);
+    EXPECT_LE(plan.bottleneck_seconds, prev * 1.0001);
+    prev = plan.bottleneck_seconds;
+  }
+}
+
+TEST(PartitionTest, SingleStageEqualsWholeModelPrediction) {
+  const Graph g = models::build("squeezenet1_0");
+  const Shape in = Shape::nchw(4, 3, 224, 224);
+  const PipelinePlan plan = partition_pipeline(g, in, fitted_model(), 1);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_GT(plan.bottleneck_seconds, 0.0);
+}
+
+TEST(PartitionTest, TooManyStagesThrow) {
+  Graph g("tiny");
+  NodeId x = g.input(3);
+  x = g.conv2d("c", x, Conv2dAttrs::square(3, 4, 3, 1, 1));
+  g.activation("r", x, ActKind::kReLU);
+  EXPECT_THROW(
+      partition_pipeline(g, Shape::nchw(1, 3, 8, 8), fitted_model(), 5),
+      InvalidArgument);
+}
+
+TEST(PipelineTimeTest, FillDrainFormula) {
+  PipelinePlan plan;
+  plan.stages.resize(4);
+  plan.bottleneck_seconds = 2.0;
+  // (M + S - 1) * bottleneck with M = 8, S = 4.
+  EXPECT_DOUBLE_EQ(plan.time_for_microbatches(8), 22.0);
+  EXPECT_DOUBLE_EQ(plan.time_for_microbatches(1), 8.0);
+}
+
+TEST(PipelineTimeTest, CommTermAddsBoundaryTransfer) {
+  PipelinePlan plan;
+  plan.stages.resize(2);
+  plan.bottleneck_seconds = 1.0;
+  plan.stages[0].boundary_elems = 250e6;  // 1 GB at 4 B/elem
+  const double no_comm = plan.time_for_microbatches(4);
+  const double with_comm = plan.time_for_microbatches(4, 1e9);  // 1 GB/s
+  EXPECT_DOUBLE_EQ(no_comm, 5.0);
+  EXPECT_DOUBLE_EQ(with_comm, 5.0 * (1.0 + 1.0));  // +1 s transfer per slot
+}
+
+TEST(PipelineTimeTest, Validation) {
+  PipelinePlan plan;
+  EXPECT_THROW(plan.time_for_microbatches(1), InvalidArgument);
+  plan.stages.resize(1);
+  EXPECT_THROW(plan.time_for_microbatches(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

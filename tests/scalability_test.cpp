@@ -1,0 +1,177 @@
+// Scalability analyzer tests on planted training data with a known
+// communication penalty, so turning points are predictable.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/scalability.hpp"
+
+namespace convmeter {
+namespace {
+
+/// Training samples obeying: step = b*compute + comm_w*W + comm_n*N.
+std::vector<RuntimeSample> comm_bound_samples(double comm_per_weight,
+                                              double comm_per_device) {
+  std::vector<RuntimeSample> samples;
+  for (int mdl = 0; mdl < 4; ++mdl) {
+    const double f = 2e9 * (mdl + 1);
+    const double w = 1e7 * (4 - mdl);  // heavier weights on small models
+    for (const double batch : {8.0, 32.0, 128.0}) {
+      for (const int nodes : {1, 2, 4, 8, 16}) {
+        RuntimeSample s;
+        s.model = "net" + std::to_string(mdl);
+        s.image_size = 128;
+        s.num_nodes = nodes;
+        s.num_devices = nodes * 4;
+        s.global_batch = static_cast<std::int64_t>(batch * s.num_devices);
+        s.flops1 = f;
+        s.inputs1 = f / 300.0;
+        s.outputs1 = f / 250.0;
+        s.weights = w;
+        s.layers = 60.0;
+        s.t_fwd = batch * 1e-12 * f + 1e-4;
+        s.t_bwd = 2.0 * s.t_fwd;
+        s.t_grad = 1e-5 * s.layers +
+                   (s.num_devices > 1
+                        ? comm_per_weight * w + comm_per_device * s.num_devices
+                        : 0.0);
+        s.t_step = s.t_fwd + s.t_bwd + s.t_grad;
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+GraphMetrics metrics_for(double flops, double weights) {
+  GraphMetrics m;
+  m.flops = flops;
+  m.conv_inputs = flops / 300.0;
+  m.conv_outputs = flops / 250.0;
+  m.weights = weights;
+  m.layers = 60.0;
+  return m;
+}
+
+TEST(ScalabilityTest, NodeSweepCoversRange) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-10, 5e-5));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  const auto sweep = analyzer.node_sweep(metrics_for(4e9, 2e7), 64.0, 8);
+  ASSERT_EQ(sweep.size(), 8u);
+  for (int n = 0; n < 8; ++n) {
+    EXPECT_EQ(sweep[static_cast<std::size_t>(n)].num_nodes, n + 1);
+    EXPECT_GT(sweep[static_cast<std::size_t>(n)].throughput, 0.0);
+  }
+}
+
+TEST(ScalabilityTest, WeakScalingThroughputGrowsForComputeBoundModel) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-12, 1e-6));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  const auto sweep = analyzer.node_sweep(metrics_for(8e9, 1e6), 128.0, 16);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].throughput, sweep[i - 1].throughput);
+  }
+}
+
+TEST(ScalabilityTest, TurningPointEarlierForCommBoundModel) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(2e-9, 2e-3));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  // Heavy weights + tiny compute -> comm dominated -> early turning point.
+  const int tp_comm = analyzer.turning_point(metrics_for(2e9, 4e7), 8.0, 32);
+  // Light weights + big compute at large batch -> scales further.
+  const int tp_compute =
+      analyzer.turning_point(metrics_for(8e9, 1e6), 128.0, 32);
+  EXPECT_LT(tp_comm, tp_compute);
+}
+
+TEST(ScalabilityTest, BatchSweepEvaluatesRequestedBatches) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-10, 5e-5));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  const auto sweep =
+      analyzer.batch_sweep(metrics_for(4e9, 2e7), {16.0, 64.0, 256.0}, 2);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep[0].per_device_batch, 16.0);
+  // Larger batches amortize fixed costs -> higher throughput.
+  EXPECT_GT(sweep[2].throughput, sweep[0].throughput);
+}
+
+TEST(ScalabilityTest, BatchSweepExtrapolatesBeyondTrainingRange) {
+  // The paper's "simulate batch sizes beyond device memory" use case:
+  // the model was fitted on batches <= 128 but predicts 4096 fine.
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-10, 5e-5));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  const auto sweep =
+      analyzer.batch_sweep(metrics_for(4e9, 2e7), {4096.0}, 1);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_GT(sweep[0].step_seconds, 0.0);
+}
+
+TEST(ScalabilityTest, ValidatesArguments) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-10, 5e-5));
+  EXPECT_THROW(ScalabilityAnalyzer(model, 0), InvalidArgument);
+  const ScalabilityAnalyzer analyzer(model, 4);
+  EXPECT_THROW(analyzer.node_sweep(metrics_for(1e9, 1e6), 8.0, 0),
+               InvalidArgument);
+  EXPECT_THROW(analyzer.batch_sweep(metrics_for(1e9, 1e6), {-1.0}, 1),
+               InvalidArgument);
+  EXPECT_THROW(
+      analyzer.turning_point(metrics_for(1e9, 1e6), 8.0, 16, 0.9),
+      InvalidArgument);
+}
+
+TEST(ScalabilityTest, InferenceOnlyModelRejected) {
+  std::vector<RuntimeSample> samples = comm_bound_samples(1e-10, 5e-5);
+  for (auto& s : samples) s.t_infer = s.t_fwd;
+  const ConvMeter inference_model = ConvMeter::fit_inference(samples);
+  EXPECT_THROW(ScalabilityAnalyzer(inference_model, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter
+
+namespace convmeter {
+namespace {
+
+TEST(StrongScalingTest, GlobalBatchStaysConstant) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-10, 5e-5));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  const auto sweep =
+      analyzer.strong_node_sweep(metrics_for(4e9, 2e7), 1024.0, 8);
+  ASSERT_FALSE(sweep.empty());
+  for (const auto& p : sweep) {
+    EXPECT_NEAR(p.per_device_batch * p.num_nodes * 4, 1024.0, 1e-9);
+  }
+}
+
+TEST(StrongScalingTest, StopsWhenShareFallsBelowOneImage) {
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-10, 5e-5));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  // Global batch 32 over 4 GPUs/node: 2 nodes -> 4 img/GPU, 16 nodes would
+  // be 0.5 img/GPU, so the sweep must stop at 8 nodes (1 img/GPU).
+  const auto sweep =
+      analyzer.strong_node_sweep(metrics_for(4e9, 2e7), 32.0, 64);
+  ASSERT_FALSE(sweep.empty());
+  EXPECT_EQ(sweep.back().num_nodes, 8);
+}
+
+TEST(StrongScalingTest, StepTimeShrinksWithNodes) {
+  // With a fixed global batch, each node does less compute per step.
+  const ConvMeter model =
+      ConvMeter::fit_training(comm_bound_samples(1e-12, 1e-6));
+  const ScalabilityAnalyzer analyzer(model, 4);
+  const auto sweep =
+      analyzer.strong_node_sweep(metrics_for(8e9, 1e6), 4096.0, 8);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].step_seconds, sweep[i - 1].step_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -1,0 +1,136 @@
+// Round-trip tests for the graph text format, parameterized over the whole
+// model zoo: parse(serialize(g)) must reproduce g exactly.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <fstream>
+
+#include "graph/serialize.hpp"
+#include "graph/shape_inference.hpp"
+#include "models/zoo.hpp"
+
+namespace convmeter {
+namespace {
+
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.input_channels(), b.input_channels());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Node& na = a.node(static_cast<NodeId>(i));
+    const Node& nb = b.node(static_cast<NodeId>(i));
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.kind, nb.kind);
+    EXPECT_EQ(na.inputs, nb.inputs);
+  }
+  EXPECT_EQ(a.parameter_count(), b.parameter_count());
+}
+
+class ZooRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooRoundTrip, SerializeParseReproducesGraph) {
+  const Graph g = models::build(GetParam());
+  const std::string text = graph_to_text(g);
+  const Graph back = graph_from_text(text);
+  expect_graphs_equal(g, back);
+  // Second round trip is byte-identical (canonical form).
+  EXPECT_EQ(graph_to_text(back), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooRoundTrip,
+                         ::testing::ValuesIn(models::available_models()),
+                         [](const auto& info) { return info.param; });
+
+TEST(SerializeTest, MalformedHeaderThrows) {
+  EXPECT_THROW(graph_from_text("nope x"), ParseError);
+  EXPECT_THROW(graph_from_text(""), ParseError);
+}
+
+TEST(SerializeTest, MalformedNodeLineThrows) {
+  EXPECT_THROW(graph_from_text("graph g\nnode zero"), ParseError);
+}
+
+TEST(SerializeTest, UnknownOperatorThrows) {
+  EXPECT_THROW(graph_from_text("graph g\nnode 0 input warp channels=3"),
+               ParseError);
+}
+
+TEST(SerializeTest, MissingAttributeThrows) {
+  const std::string text =
+      "graph g\nnode 0 input input channels=3\n"
+      "node 1 c conv2d inputs=0 in=3 out=8\n";  // kernel attrs missing
+  EXPECT_THROW(graph_from_text(text), ParseError);
+}
+
+TEST(SerializeTest, OutOfOrderIdsThrow) {
+  const std::string text =
+      "graph g\nnode 0 input input channels=3\n"
+      "node 5 a activation inputs=0 fn=relu\n";
+  EXPECT_THROW(graph_from_text(text), ParseError);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Graph g = models::build("resnet18");
+  const std::string path = ::testing::TempDir() + "/resnet18.graph";
+  save_graph(g, path);
+  const Graph back = load_graph(path);
+  expect_graphs_equal(g, back);
+}
+
+TEST(SerializeTest, ValidatesParsedGraph) {
+  // Two sinks: node 1 and node 2 both unconsumed.
+  const std::string text =
+      "graph g\nnode 0 input input channels=3\n"
+      "node 1 a activation inputs=0 fn=relu\n"
+      "node 2 b activation inputs=0 fn=relu\n";
+  EXPECT_THROW(graph_from_text(text), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter
+
+#include "graph/dot.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(DotExportTest, ContainsEveryNodeAndEdge) {
+  const Graph g = models::build("resnet18");
+  const std::string dot = graph_to_dot(g);
+  EXPECT_NE(dot.find("digraph \"resnet18\""), std::string::npos);
+  // Every node id appears as a declaration; every edge as an arrow.
+  std::size_t edges = 0;
+  for (const auto& n : g.nodes()) {
+    EXPECT_NE(dot.find("n" + std::to_string(n.id) + " [label="),
+              std::string::npos);
+    edges += n.inputs.size();
+  }
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, edges);
+}
+
+TEST(DotExportTest, ShapesIncludedWhenProvided) {
+  const Graph g = models::build("squeezenet1_1");
+  const ShapeMap shapes = infer_shapes(g, Shape::nchw(1, 3, 64, 64));
+  const std::string dot = graph_to_dot(g, shapes);
+  EXPECT_NE(dot.find("(1, 3, 64, 64)"), std::string::npos);
+}
+
+TEST(DotExportTest, ShapeMapSizeChecked) {
+  const Graph g = models::build("alexnet");
+  EXPECT_THROW(graph_to_dot(g, ShapeMap{}), InvalidArgument);
+}
+
+TEST(DotExportTest, FileExport) {
+  const std::string path = ::testing::TempDir() + "/g.dot";
+  save_dot(models::build("alexnet"), path);
+  std::ifstream f(path);
+  EXPECT_TRUE(static_cast<bool>(f));
+}
+
+}  // namespace
+}  // namespace convmeter

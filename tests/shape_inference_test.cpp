@@ -1,0 +1,168 @@
+// Unit and property tests for shape inference, including a parameterized
+// sweep over convolution configurations checked against the closed-form
+// PyTorch rule.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/graph.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(ConvShapeTest, BasicStrideAndPad) {
+  // 224 -> (224 + 2*3 - 7)/2 + 1 = 112 (ResNet stem).
+  const Shape out = conv2d_output_shape(Conv2dAttrs::square(3, 64, 7, 2, 3),
+                                        Shape::nchw(1, 3, 224, 224));
+  EXPECT_EQ(out, Shape::nchw(1, 64, 112, 112));
+}
+
+TEST(ConvShapeTest, DilationExpandsReceptiveField) {
+  Conv2dAttrs a = Conv2dAttrs::square(1, 1, 3, 1, 0);
+  a.dilation_h = a.dilation_w = 2;  // effective kernel 5
+  const Shape out = conv2d_output_shape(a, Shape::nchw(1, 1, 9, 9));
+  EXPECT_EQ(out.height(), 5);
+}
+
+TEST(ConvShapeTest, ChannelMismatchThrows) {
+  EXPECT_THROW(conv2d_output_shape(Conv2dAttrs::square(4, 8, 3),
+                                   Shape::nchw(1, 3, 8, 8)),
+               InvalidArgument);
+}
+
+TEST(ConvShapeTest, EmptyOutputThrows) {
+  EXPECT_THROW(conv2d_output_shape(Conv2dAttrs::square(1, 1, 5),
+                                   Shape::nchw(1, 1, 3, 3)),
+               InvalidArgument);
+}
+
+TEST(PoolShapeTest, FloorVsCeilMode) {
+  // 14 with k3 s2: floor -> 6, ceil -> 7 (SqueezeNet uses ceil mode).
+  const Shape in = Shape::nchw(1, 4, 14, 14);
+  EXPECT_EQ(pool2d_output_shape(Pool2dAttrs::square(3, 2), in).height(), 6);
+  EXPECT_EQ(pool2d_output_shape(Pool2dAttrs::square(3, 2, 0, true), in).height(),
+            7);
+  // 13 with k3 s2: both modes agree on 6.
+  const Shape in13 = Shape::nchw(1, 4, 13, 13);
+  EXPECT_EQ(pool2d_output_shape(Pool2dAttrs::square(3, 2), in13).height(), 6);
+  EXPECT_EQ(
+      pool2d_output_shape(Pool2dAttrs::square(3, 2, 0, true), in13).height(),
+      6);
+}
+
+TEST(PoolShapeTest, CeilModeWindowMustStartInsideInput) {
+  // 4 with k2 s2 pad1 ceil: naive ceil gives 3 but the last window would
+  // start beyond the padded input, so PyTorch clamps to 2... here:
+  // (4 + 2 - 2 + 1)/2 + 1 = 3; check start (3-1)*2 = 4 >= 4 + 1? No -> 3.
+  const Shape in = Shape::nchw(1, 1, 4, 4);
+  Pool2dAttrs a = Pool2dAttrs::square(2, 2, 1, true);
+  EXPECT_EQ(pool2d_output_shape(a, in).height(), 3);
+}
+
+/// Parameterized sweep: (image, kernel, stride, pad).
+class ConvShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvShapeSweep, MatchesClosedForm) {
+  const auto [image, kernel, stride, pad] = GetParam();
+  const std::int64_t expected = (image + 2 * pad - kernel) / stride + 1;
+  if (expected <= 0) GTEST_SKIP() << "infeasible configuration";
+  const Shape out =
+      conv2d_output_shape(Conv2dAttrs::square(3, 16, kernel, stride, pad),
+                          Shape::nchw(2, 3, image, image));
+  EXPECT_EQ(out.height(), expected);
+  EXPECT_EQ(out.width(), expected);
+  EXPECT_EQ(out.batch(), 2);
+  EXPECT_EQ(out.channels(), 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvShapeSweep,
+    ::testing::Combine(::testing::Values(7, 14, 32, 56, 224),
+                       ::testing::Values(1, 3, 5, 7),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0, 1, 3)));
+
+TEST(GraphInferenceTest, ResidualBlockShapes) {
+  Graph g("res");
+  NodeId x = g.input(8);
+  NodeId y = g.conv2d("c1", x, Conv2dAttrs::square(8, 8, 3, 1, 1));
+  y = g.batch_norm("b1", y, 8);
+  y = g.add("add", y, x);
+  g.activation("r", y, ActKind::kReLU);
+  const ShapeMap shapes = infer_shapes(g, Shape::nchw(4, 8, 16, 16));
+  for (const auto& s : shapes) EXPECT_EQ(s, Shape::nchw(4, 8, 16, 16));
+}
+
+TEST(GraphInferenceTest, ElementwiseMismatchThrows) {
+  Graph g("bad-add");
+  NodeId x = g.input(8);
+  NodeId y = g.conv2d("c1", x, Conv2dAttrs::square(8, 4, 1));
+  g.add("add", y, x);
+  EXPECT_THROW(infer_shapes(g, Shape::nchw(1, 8, 8, 8)), InvalidArgument);
+}
+
+TEST(GraphInferenceTest, MultiplyBroadcastsSeGate) {
+  Graph g("se");
+  NodeId x = g.input(8);
+  NodeId s = g.adaptive_avg_pool("pool", x, 1, 1);
+  s = g.conv2d("fc", s, Conv2dAttrs::square(8, 8, 1, 1, 0, 1, true));
+  NodeId out = g.multiply("scale", x, s);
+  const ShapeMap shapes = infer_shapes(g, Shape::nchw(2, 8, 6, 6));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(out)], Shape::nchw(2, 8, 6, 6));
+}
+
+TEST(GraphInferenceTest, ConcatSumsChannels) {
+  Graph g("cat");
+  NodeId x = g.input(4);
+  NodeId a = g.conv2d("a", x, Conv2dAttrs::square(4, 6, 1));
+  NodeId b = g.conv2d("b", x, Conv2dAttrs::square(4, 10, 1));
+  NodeId c = g.concat("cat", {a, b});
+  const ShapeMap shapes = infer_shapes(g, Shape::nchw(1, 4, 5, 5));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(c)].channels(), 16);
+}
+
+TEST(GraphInferenceTest, ConcatSpatialMismatchThrows) {
+  Graph g("cat-bad");
+  NodeId x = g.input(4);
+  NodeId a = g.conv2d("a", x, Conv2dAttrs::square(4, 6, 1));
+  NodeId b = g.conv2d("b", x, Conv2dAttrs::square(4, 6, 1, 2));
+  g.concat("cat", {a, b});
+  EXPECT_THROW(infer_shapes(g, Shape::nchw(1, 4, 8, 8)), InvalidArgument);
+}
+
+TEST(GraphInferenceTest, FlattenAndLinear) {
+  Graph g("fc");
+  NodeId x = g.input(3);
+  x = g.adaptive_avg_pool("pool", x, 2, 2);
+  x = g.flatten("flat", x);
+  x = g.linear("fc", x, LinearAttrs{12, 10, true});
+  const ShapeMap shapes = infer_shapes(g, Shape::nchw(5, 3, 9, 9));
+  EXPECT_EQ(shapes.back(), Shape({5, 10}));
+}
+
+TEST(GraphInferenceTest, LinearFeatureMismatchThrows) {
+  Graph g("fc-bad");
+  NodeId x = g.input(3);
+  x = g.adaptive_avg_pool("pool", x, 1, 1);
+  x = g.flatten("flat", x);
+  g.linear("fc", x, LinearAttrs{4, 10, true});
+  EXPECT_THROW(infer_shapes(g, Shape::nchw(1, 3, 8, 8)), InvalidArgument);
+}
+
+TEST(GraphInferenceTest, WrongInputChannelsThrows) {
+  Graph g("chan");
+  g.input(3);
+  EXPECT_THROW(infer_shapes(g, Shape::nchw(1, 4, 8, 8)), InvalidArgument);
+}
+
+TEST(GraphInferenceTest, AdaptivePoolProducesRequestedSize) {
+  Graph g("ap");
+  NodeId x = g.input(2);
+  g.adaptive_avg_pool("pool", x, 3, 5);
+  const ShapeMap shapes = infer_shapes(g, Shape::nchw(1, 2, 17, 13));
+  EXPECT_EQ(shapes.back(), Shape::nchw(1, 2, 3, 5));
+}
+
+}  // namespace
+}  // namespace convmeter

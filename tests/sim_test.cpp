@@ -1,0 +1,291 @@
+// Device-simulator tests: roofline behaviour, efficiency curves, memory
+// accounting, ring-all-reduce cost model, and training-step invariants.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "models/zoo.hpp"
+#include "sim/comm.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "sim/inference_sim.hpp"
+#include "sim/training_sim.hpp"
+
+namespace convmeter {
+namespace {
+
+// ---- DeviceSpec ---------------------------------------------------------------
+
+TEST(DeviceTest, EfficiencyIncreasesWithWork) {
+  const DeviceSpec gpu = a100_80gb();
+  EXPECT_LT(gpu.effective_flops(1e6), gpu.effective_flops(1e9));
+  EXPECT_LT(gpu.effective_flops(1e9), gpu.effective_flops(1e12));
+}
+
+TEST(DeviceTest, EfficiencyBoundedByMaxEfficiency) {
+  const DeviceSpec gpu = a100_80gb();
+  EXPECT_LE(gpu.effective_flops(1e15), gpu.peak_flops * gpu.max_efficiency);
+  EXPECT_LE(gpu.effective_bandwidth(1e12),
+            gpu.mem_bandwidth * gpu.max_efficiency);
+}
+
+TEST(DeviceTest, PresetLookup) {
+  EXPECT_EQ(device_by_name("a100").name, "a100");
+  EXPECT_EQ(device_by_name("xeon_5318y").name, "xeon_5318y");
+  EXPECT_THROW(device_by_name("tpu"), InvalidArgument);
+}
+
+TEST(DeviceTest, GpuIsFasterThanCpuCore) {
+  EXPECT_GT(a100_80gb().peak_flops, 100.0 * xeon_gold_5318y_core().peak_flops);
+}
+
+TEST(DeviceTest, NegativeWorkRejected) {
+  EXPECT_THROW(a100_80gb().effective_flops(-1.0), InvalidArgument);
+}
+
+// ---- kernel cost model ----------------------------------------------------------
+
+TEST(CostModelTest, StructuralNodeIsFree) {
+  LayerWork w;  // all zeros
+  EXPECT_EQ(kernel_time(a100_80gb(), w), 0.0);
+}
+
+TEST(CostModelTest, LaunchOverheadIsFloor) {
+  const DeviceSpec gpu = a100_80gb();
+  LayerWork w;
+  w.flops = 1.0;
+  w.input_elems = 1.0;
+  w.output_elems = 1.0;
+  EXPECT_GE(kernel_time(gpu, w), gpu.launch_overhead);
+}
+
+TEST(CostModelTest, ComputeBoundKernelScalesWithFlops) {
+  const DeviceSpec gpu = a100_80gb();
+  LayerWork small;
+  small.flops = 1e11;
+  small.input_elems = 1e4;
+  small.output_elems = 1e4;
+  LayerWork big = small;
+  big.flops = 2e11;
+  const double ts = kernel_time(gpu, small);
+  const double tb = kernel_time(gpu, big);
+  EXPECT_GT(tb, 1.5 * ts);
+}
+
+TEST(CostModelTest, MemoryBoundKernelIgnoresFlopsDelta) {
+  const DeviceSpec gpu = a100_80gb();
+  LayerWork w;
+  w.flops = 1e3;  // trivial compute
+  w.input_elems = 1e9;
+  w.output_elems = 1e9;
+  LayerWork w2 = w;
+  w2.flops = 2e3;
+  EXPECT_NEAR(kernel_time(gpu, w), kernel_time(gpu, w2), 1e-9);
+}
+
+TEST(CostModelTest, ForwardTimeSumsOverLayers) {
+  const Graph g = models::build("resnet18");
+  const Shape in = Shape::nchw(1, 3, 64, 64);
+  double sum = 0.0;
+  for (const LayerWork& w : per_layer_work(g, in)) {
+    sum += kernel_time(a100_80gb(), w);
+  }
+  EXPECT_NEAR(forward_time(a100_80gb(), g, in), sum, 1e-12);
+}
+
+TEST(CostModelTest, ForwardTimeMonotonicInBatch) {
+  const Graph g = models::build("resnet50");
+  const DeviceSpec gpu = a100_80gb();
+  double prev = 0.0;
+  for (const std::int64_t b : {1, 4, 16, 64}) {
+    const double t = forward_time(gpu, g, Shape::nchw(b, 3, 64, 64));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, MemoryFootprintGrowsWithBatchAndTraining) {
+  const Graph g = models::build("resnet50");
+  const double inf1 =
+      memory_footprint_bytes(g, Shape::nchw(1, 3, 224, 224), false);
+  const double inf64 =
+      memory_footprint_bytes(g, Shape::nchw(64, 3, 224, 224), false);
+  const double tr64 =
+      memory_footprint_bytes(g, Shape::nchw(64, 3, 224, 224), true);
+  EXPECT_GT(inf64, inf1);
+  EXPECT_GT(tr64, inf64);
+}
+
+TEST(CostModelTest, HugeBatchExceedsA100Memory) {
+  const Graph g = models::build("resnet152");
+  EXPECT_TRUE(
+      fits_in_memory(a100_80gb(), g, Shape::nchw(1, 3, 224, 224), true));
+  EXPECT_FALSE(
+      fits_in_memory(a100_80gb(), g, Shape::nchw(4096, 3, 224, 224), true));
+}
+
+// ---- comm fabric -----------------------------------------------------------------
+
+TEST(CommTest, SingleDeviceIsFree) {
+  const CommFabric f = nvlink_hdr200_fabric();
+  EXPECT_EQ(f.ring_allreduce_time(1e9, 1, 1), 0.0);
+}
+
+TEST(CommTest, MonotonicInBytes) {
+  const CommFabric f = nvlink_hdr200_fabric();
+  EXPECT_LT(f.ring_allreduce_time(1e6, 8, 2), f.ring_allreduce_time(1e8, 8, 2));
+}
+
+TEST(CommTest, MonotonicInNodeCount) {
+  const CommFabric f = nvlink_hdr200_fabric();
+  double prev = 0.0;
+  for (const int nodes : {1, 2, 4, 8, 16}) {
+    const double t = f.ring_allreduce_time(256e6, nodes * 4, nodes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CommTest, InterNodeSlowerThanIntraNode) {
+  const CommFabric f = nvlink_hdr200_fabric();
+  // Same device count: 4 GPUs in one node vs 4 nodes of 1.
+  EXPECT_LT(f.ring_allreduce_time(1e8, 4, 1), f.ring_allreduce_time(1e8, 4, 4));
+}
+
+TEST(CommTest, UnevenDeviceSplitRejected) {
+  const CommFabric f = nvlink_hdr200_fabric();
+  EXPECT_THROW(f.ring_allreduce_time(1e6, 5, 2), InvalidArgument);
+}
+
+// ---- training simulator -----------------------------------------------------------
+
+TEST(TrainingSimTest, StepIsSumOfPhases) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("resnet18");
+  const TrainStepTimes t =
+      sim.expected_step(g, Shape::nchw(32, 3, 64, 64), TrainConfig{});
+  EXPECT_NEAR(t.step, t.fwd + t.bwd + t.grad, 1e-12);
+  EXPECT_GT(t.fwd, 0.0);
+  EXPECT_GT(t.bwd, t.fwd);  // backward does roughly double the work
+  EXPECT_GT(t.grad, 0.0);
+}
+
+TEST(TrainingSimTest, SingleDeviceHasNoExposedComm) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("alexnet");
+  TrainConfig one;
+  TrainConfig big = one;
+  big.num_devices = 64;
+  big.num_nodes = 16;
+  const Shape shape = Shape::nchw(32, 3, 128, 128);
+  const TrainStepTimes t1 = sim.expected_step(g, shape, one);
+  const TrainStepTimes t16 = sim.expected_step(g, shape, big);
+  // AlexNet is weight-heavy: multi-node sync must add exposed comm time.
+  EXPECT_GT(t16.grad, t1.grad);
+  // Compute phases are unchanged (same per-device mini-batch).
+  EXPECT_NEAR(t16.fwd, t1.fwd, 1e-12);
+  EXPECT_NEAR(t16.bwd, t1.bwd, 1e-12);
+}
+
+TEST(TrainingSimTest, SmallerFusionBucketsIncreaseOverheadCost) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("resnet50");
+  TrainConfig coarse;
+  coarse.num_devices = 8;
+  coarse.num_nodes = 2;
+  TrainConfig fine = coarse;
+  fine.fusion_threshold_bytes = 1 << 16;  // 64 KiB buckets
+  const Shape shape = Shape::nchw(8, 3, 64, 64);
+  // Many small buckets pay the per-tensor overhead many times; with a small
+  // backward pass to hide behind, the exposed comm grows.
+  const TrainStepTimes c = sim.expected_step(g, shape, coarse);
+  const TrainStepTimes f = sim.expected_step(g, shape, fine);
+  EXPECT_GE(f.grad, c.grad);
+}
+
+TEST(TrainingSimTest, MeasureAddsBoundedNoise) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("resnet18");
+  const Shape shape = Shape::nchw(16, 3, 64, 64);
+  const TrainStepTimes expected = sim.expected_step(g, shape, TrainConfig{});
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const TrainStepTimes t = sim.measure_step(g, shape, TrainConfig{}, rng);
+    EXPECT_GT(t.fwd, 0.5 * expected.fwd);
+    EXPECT_LT(t.fwd, 2.0 * expected.fwd);
+    EXPECT_NEAR(t.step, t.fwd + t.bwd + t.grad, 1e-12);
+  }
+}
+
+TEST(TrainingSimTest, WeakScalingThroughputForComputeHeavyModel) {
+  // ResNet50 at batch 64 is compute-dominated: throughput should keep
+  // growing up to 16 nodes (Fig. 8's well-scaling family).
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("resnet50");
+  const Shape shape = Shape::nchw(64, 3, 128, 128);
+  double prev_throughput = 0.0;
+  for (const int nodes : {1, 2, 4, 8, 16}) {
+    TrainConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.num_devices = nodes * 4;
+    const TrainStepTimes t = sim.expected_step(g, shape, cfg);
+    const double throughput = 64.0 * cfg.num_devices / t.step;
+    EXPECT_GT(throughput, prev_throughput);
+    prev_throughput = throughput;
+  }
+}
+
+TEST(TrainingSimTest, AlexNetScalesWorseThanResNet50) {
+  // The paper's Fig. 8 headline: AlexNet (weight-heavy, FLOP-light) shows a
+  // prominent diminishing return the others do not.
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Shape shape = Shape::nchw(64, 3, 128, 128);
+  const auto scaling16 = [&](const char* name) {
+    const Graph g = models::build(name);
+    TrainConfig one;
+    one.num_devices = 4;
+    one.num_nodes = 1;
+    TrainConfig sixteen;
+    sixteen.num_devices = 64;
+    sixteen.num_nodes = 16;
+    const double t1 = sim.expected_step(g, shape, one).step;
+    const double t16 = sim.expected_step(g, shape, sixteen).step;
+    return (64.0 * 64.0 / t16) / (64.0 * 4.0 / t1);  // speedup over 16x nodes
+  };
+  EXPECT_LT(scaling16("alexnet"), 0.85 * scaling16("resnet50"));
+}
+
+TEST(TrainingSimTest, InvalidConfigRejected) {
+  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  const Graph g = models::build("resnet18");
+  TrainConfig bad;
+  bad.num_devices = 5;
+  bad.num_nodes = 2;
+  EXPECT_THROW(sim.expected_step(g, Shape::nchw(1, 3, 64, 64), bad),
+               InvalidArgument);
+}
+
+// ---- inference simulator -----------------------------------------------------------
+
+TEST(InferenceSimTest, MeasureJittersAroundExpected) {
+  InferenceSimulator sim(a100_80gb());
+  const Graph g = models::build("resnet18");
+  const Shape shape = Shape::nchw(8, 3, 64, 64);
+  const double expected = sim.expected(g, shape);
+  Rng rng(2);
+  double sum = 0.0;
+  constexpr int n = 200;
+  for (int i = 0; i < n; ++i) sum += sim.measure(g, shape, rng);
+  EXPECT_NEAR(sum / n, expected, 0.05 * expected);
+}
+
+TEST(InferenceSimTest, CpuSlowerThanGpu) {
+  const Graph g = models::build("resnet50");
+  const Shape shape = Shape::nchw(1, 3, 224, 224);
+  InferenceSimulator cpu(xeon_gold_5318y_core());
+  InferenceSimulator gpu(a100_80gb());
+  EXPECT_GT(cpu.expected(g, shape), 10.0 * gpu.expected(g, shape));
+}
+
+}  // namespace
+}  // namespace convmeter

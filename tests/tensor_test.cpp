@@ -1,0 +1,114 @@
+// Unit tests for src/tensor: Shape and Tensor.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(ShapeTest, NumelAndRank) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(Shape{}.numel(), 0);
+}
+
+TEST(ShapeTest, NchwAccessors) {
+  const Shape s = Shape::nchw(8, 3, 224, 224);
+  EXPECT_EQ(s.batch(), 8);
+  EXPECT_EQ(s.channels(), 3);
+  EXPECT_EQ(s.height(), 224);
+  EXPECT_EQ(s.width(), 224);
+}
+
+TEST(ShapeTest, NchwAccessorRequiresRank4) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.batch(), InvalidArgument);
+}
+
+TEST(ShapeTest, WithBatchReplacesLeadingDim) {
+  const Shape s = Shape::nchw(1, 3, 32, 32);
+  const Shape b = s.with_batch(64);
+  EXPECT_EQ(b.batch(), 64);
+  EXPECT_EQ(b.channels(), 3);
+  const Shape fc = Shape{1, 1000}.with_batch(16);
+  EXPECT_EQ(fc.dim(0), 16);
+}
+
+TEST(ShapeTest, WithBatchRejectsNonPositive) {
+  EXPECT_THROW(Shape::nchw(1, 3, 4, 4).with_batch(0), InvalidArgument);
+}
+
+TEST(ShapeTest, EqualityAndToString) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_EQ(Shape({1, 3, 4, 4}).to_string(), "(1, 3, 4, 4)");
+}
+
+TEST(ShapeTest, NegativeDimsRejected) {
+  EXPECT_THROW(Shape({-1, 2}), InvalidArgument);
+}
+
+TEST(ShapeTest, DimOutOfRangeThrows) {
+  EXPECT_THROW(Shape({1, 2}).dim(2), InvalidArgument);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(t.numel(), 6);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t(Shape{4}, 2.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, At4IndexingIsRowMajorNchw) {
+  Tensor t(Shape::nchw(2, 2, 2, 2));
+  t.at4(1, 1, 1, 1) = 42.0f;
+  EXPECT_EQ(t.at(15), 42.0f);
+  t.at4(0, 1, 0, 1) = 7.0f;
+  EXPECT_EQ(t.at(5), 7.0f);
+}
+
+TEST(TensorTest, At4BoundsChecked) {
+  Tensor t(Shape::nchw(1, 1, 2, 2));
+  EXPECT_THROW(t.at4(0, 0, 2, 0), InvalidArgument);
+  EXPECT_THROW(t.at4(1, 0, 0, 0), InvalidArgument);
+}
+
+TEST(TensorTest, AtBoundsChecked) {
+  Tensor t(Shape{3});
+  EXPECT_THROW(t.at(3), InvalidArgument);
+}
+
+TEST(TensorTest, FillRandomDeterministic) {
+  Tensor a(Shape{100});
+  Tensor b(Shape{100});
+  a.fill_random(5);
+  b.fill_random(5);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0f);
+  b.fill_random(6);
+  EXPECT_GT(a.max_abs_diff(b), 0.0f);
+}
+
+TEST(TensorTest, FillRandomRange) {
+  Tensor t(Shape{1000});
+  t.fill_random(9);
+  for (const float v : t.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(TensorTest, MaxAbsDiffShapeMismatchThrows) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(a.max_abs_diff(b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

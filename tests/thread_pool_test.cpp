@@ -1,0 +1,99 @@
+// ThreadPool tests: coverage of the range split, determinism of results,
+// exception propagation, and degenerate sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace convmeter {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleElement) {
+  ThreadPool pool(4);
+  int sum = 0;
+  pool.parallel_for(1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i) + 5;
+  });
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(257, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+    EXPECT_EQ(total.load(), 257u);
+  }
+}
+
+TEST(ThreadPoolTest, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t, std::size_t) {
+      throw std::runtime_error("first");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ThreadPoolTest, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -1,0 +1,297 @@
+// convmeter — command-line interface to the library.
+//
+//   convmeter list-models
+//   convmeter metrics   --model resnet50 [--image 224] [--batch 64]
+//   convmeter show      --model resnet50
+//   convmeter campaign  --device a100 --out samples.csv
+//                       [--models a,b,c] [--training] [--nodes 1,2,4]
+//   convmeter fit       --samples samples.csv --out coeffs.txt [--training]
+//   convmeter predict   --coeffs coeffs.txt --model x --image 224 --batch 64
+//                       [--devices N --nodes M] [--dataset D] [--epochs E]
+//   convmeter scalability --coeffs coeffs.txt --model x --batch 64
+//                       [--max-nodes 16] [--gpus-per-node 4]
+//
+// The campaign runs against the simulated devices (see DESIGN.md); fit and
+// predict work on any CSV in the documented sample format, so measurements
+// from real hardware can be dropped in.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "collect/campaign.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/convmeter.hpp"
+#include "core/scalability.hpp"
+#include "graph/dot.hpp"
+#include "graph/serialize.hpp"
+#include "metrics/metrics.hpp"
+#include "models/zoo.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace convmeter::cli {
+namespace {
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      CM_CHECK(starts_with(key, "--"), "expected --option, got '" + key + "'");
+      key = key.substr(2);
+      CM_CHECK(i + 1 < argc, "option --" + key + " needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw InvalidArgument("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : parse_int(it->second);
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_list_models() {
+  for (const auto& name : models::available_models()) {
+    std::cout << name << '\n';
+  }
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  const std::string name = args.require("model");
+  const Graph g = models::build(name);
+  const auto image = args.get_int("image", models::default_image_size(name));
+  const auto batch = args.get_int("batch", 1);
+  const GraphMetrics m = compute_metrics(
+      g, Shape::nchw(batch, g.input_channels(), image, image));
+  ConsoleTable t({"Metric", "Value"}, {Align::kLeft, Align::kRight});
+  t.add_row({"model", name});
+  t.add_row({"image", std::to_string(image)});
+  t.add_row({"batch", std::to_string(batch)});
+  t.add_row({"FLOPs (F)", format_flops(m.flops)});
+  t.add_row({"conv inputs (I)", format_count(m.conv_inputs) + " elems"});
+  t.add_row({"conv outputs (O)", format_count(m.conv_outputs) + " elems"});
+  t.add_row({"weights (W)", format_count(m.weights)});
+  t.add_row({"layers (L)", std::to_string(static_cast<long long>(m.layers))});
+  t.add_row({"compute inputs", format_count(m.compute_inputs) + " elems"});
+  t.add_row({"compute outputs", format_count(m.compute_outputs) + " elems"});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_show(const Args& args) {
+  std::cout << graph_to_text(models::build(args.require("model")));
+  return 0;
+}
+
+int cmd_dot(const Args& args) {
+  const std::string name = args.require("model");
+  const Graph g = models::build(name);
+  std::optional<ShapeMap> shapes;
+  if (args.has("image")) {
+    const auto image = args.get_int("image", 224);
+    shapes = infer_shapes(
+        g, Shape::nchw(args.get_int("batch", 1), g.input_channels(), image,
+                       image));
+  }
+  if (args.has("out")) {
+    save_dot(g, args.require("out"), shapes);
+    std::cout << "wrote " << args.require("out") << '\n';
+  } else {
+    std::cout << graph_to_dot(g, shapes);
+  }
+  return 0;
+}
+
+std::vector<std::string> parse_model_list(const Args& args) {
+  if (!args.has("models")) {
+    return {"alexnet",       "vgg16",        "resnet18",
+            "resnet50",      "squeezenet1_0", "mobilenet_v2",
+            "efficientnet_b0", "densenet121", "regnet_x_8gf"};
+  }
+  return split(args.require("models"), ',');
+}
+
+int cmd_campaign(const Args& args) {
+  const DeviceSpec device = device_by_name(args.get("device", "a100"));
+  const std::string out = args.require("out");
+  std::vector<RuntimeSample> samples;
+  if (args.has("training")) {
+    TrainingSweep sweep;
+    sweep.models = parse_model_list(args);
+    sweep.image_sizes = {64, 128, 224};
+    sweep.per_device_batch_sizes = {16, 64, 256};
+    sweep.node_counts.clear();
+    for (const auto& n : split(args.get("nodes", "1"), ',')) {
+      sweep.node_counts.push_back(static_cast<int>(parse_int(n)));
+    }
+    sweep.devices_per_node =
+        static_cast<int>(args.get_int("gpus-per-node", 4));
+    sweep.repetitions = static_cast<int>(args.get_int("reps", 3));
+    TrainingSimulator sim(device, nvlink_hdr200_fabric());
+    samples = run_training_campaign(sim, sweep);
+  } else {
+    InferenceSweep sweep = InferenceSweep::paper_default(parse_model_list(args));
+    sweep.repetitions = static_cast<int>(args.get_int("reps", 3));
+    InferenceSimulator sim(device);
+    samples = run_inference_campaign(sim, sweep);
+  }
+  save_samples(samples, out);
+  std::cout << "wrote " << samples.size() << " samples to " << out << '\n';
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  const auto samples = load_samples(args.require("samples"));
+  const ConvMeter model = args.has("training")
+                              ? ConvMeter::fit_training(samples)
+                              : ConvMeter::fit_inference(samples);
+  const std::string out = args.require("out");
+  std::ofstream f(out);
+  CM_CHECK(static_cast<bool>(f), "cannot write " + out);
+  f << model.to_text();
+  std::cout << "fitted on " << samples.size() << " samples -> " << out
+            << '\n';
+  return 0;
+}
+
+ConvMeter load_model(const std::string& path) {
+  std::ifstream f(path);
+  CM_CHECK(static_cast<bool>(f), "cannot read " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return ConvMeter::from_text(os.str());
+}
+
+QueryPoint make_query(const Args& args) {
+  const std::string name = args.require("model");
+  const Graph g = models::build(name);
+  QueryPoint q;
+  q.metrics_b1 = compute_metrics_b1(
+      g, args.get_int("image", models::default_image_size(name)));
+  q.per_device_batch = static_cast<double>(args.get_int("batch", 1));
+  q.num_devices = static_cast<int>(args.get_int("devices", 1));
+  q.num_nodes = static_cast<int>(args.get_int("nodes", 1));
+  return q;
+}
+
+int cmd_predict(const Args& args) {
+  const ConvMeter model = load_model(args.require("coeffs"));
+  const QueryPoint q = make_query(args);
+  if (!model.has_training_model()) {
+    std::cout << "predicted inference time: "
+              << format_seconds(model.predict_inference(q)) << '\n';
+    return 0;
+  }
+  const TrainPrediction p = model.predict_train_step(q);
+  ConsoleTable t({"Phase", "Predicted"}, {Align::kLeft, Align::kRight});
+  t.add_row({"forward", format_seconds(p.fwd)});
+  t.add_row({"backward", format_seconds(p.bwd)});
+  t.add_row({"gradient update", format_seconds(p.grad)});
+  t.add_row({"bwd+grad (overlapped)", format_seconds(p.bwd_grad)});
+  t.add_row({"training step", format_seconds(p.step)});
+  if (args.has("dataset")) {
+    const double dataset = static_cast<double>(args.get_int("dataset", 0));
+    const double epoch = model.predict_epoch_seconds(q, dataset);
+    t.add_row({"epoch", format_seconds(epoch)});
+    const auto epochs = args.get_int("epochs", 0);
+    if (epochs > 0) {
+      t.add_row({"full training (" + std::to_string(epochs) + " epochs)",
+                 format_seconds(epoch * static_cast<double>(epochs))});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_scalability(const Args& args) {
+  const ConvMeter model = load_model(args.require("coeffs"));
+  CM_CHECK(model.has_training_model(),
+           "scalability needs coefficients from a --training fit");
+  const int gpus = static_cast<int>(args.get_int("gpus-per-node", 4));
+  const ScalabilityAnalyzer analyzer(model, gpus);
+  const QueryPoint q = make_query(args);
+  const int max_nodes = static_cast<int>(args.get_int("max-nodes", 16));
+
+  ConsoleTable t({"Nodes", "Step", "Throughput"});
+  for (const ScalabilityPoint& p :
+       analyzer.node_sweep(q.metrics_b1, q.per_device_batch, max_nodes)) {
+    t.add_row({std::to_string(p.num_nodes), format_seconds(p.step_seconds),
+               ConsoleTable::fmt(p.throughput, 0) + " img/s"});
+  }
+  t.print(std::cout);
+  std::cout << "turning point: "
+            << analyzer.turning_point(q.metrics_b1, q.per_device_batch,
+                                      max_nodes)
+            << " node(s)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: convmeter <command> [--option value ...]\n"
+      "commands:\n"
+      "  list-models\n"
+      "  metrics     --model NAME [--image N] [--batch N]\n"
+      "  show        --model NAME\n"
+      "  dot         --model NAME [--image N [--batch N]] [--out FILE]\n"
+      "  campaign    --out FILE [--device a100|xeon_5318y|jetson_edge]\n"
+      "              [--models a,b,c] [--training --nodes 1,2,4] [--reps N]\n"
+      "  fit         --samples FILE --out FILE [--training 1]\n"
+      "  predict     --coeffs FILE --model NAME [--image N] [--batch N]\n"
+      "              [--devices N --nodes M] [--dataset D --epochs E]\n"
+      "  scalability --coeffs FILE --model NAME [--batch N] [--max-nodes N]\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "list-models") return cmd_list_models();
+  if (cmd == "metrics") return cmd_metrics(args);
+  if (cmd == "show") return cmd_show(args);
+  if (cmd == "dot") return cmd_dot(args);
+  if (cmd == "campaign") return cmd_campaign(args);
+  if (cmd == "fit") return cmd_fit(args);
+  if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "scalability") return cmd_scalability(args);
+  std::cerr << "unknown command: " << cmd << "\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace convmeter::cli
+
+int main(int argc, char** argv) {
+  try {
+    return convmeter::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
