@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fusion_threshold.dir/ablation_fusion_threshold.cpp.o"
+  "CMakeFiles/ablation_fusion_threshold.dir/ablation_fusion_threshold.cpp.o.d"
+  "ablation_fusion_threshold"
+  "ablation_fusion_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

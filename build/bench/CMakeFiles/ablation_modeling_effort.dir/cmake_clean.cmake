@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modeling_effort.dir/ablation_modeling_effort.cpp.o"
+  "CMakeFiles/ablation_modeling_effort.dir/ablation_modeling_effort.cpp.o.d"
+  "ablation_modeling_effort"
+  "ablation_modeling_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modeling_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

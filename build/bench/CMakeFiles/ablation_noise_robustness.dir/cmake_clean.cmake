@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noise_robustness.dir/ablation_noise_robustness.cpp.o"
+  "CMakeFiles/ablation_noise_robustness.dir/ablation_noise_robustness.cpp.o.d"
+  "ablation_noise_robustness"
+  "ablation_noise_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noise_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

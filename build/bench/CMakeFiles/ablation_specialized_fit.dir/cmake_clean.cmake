@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_specialized_fit.dir/ablation_specialized_fit.cpp.o"
+  "CMakeFiles/ablation_specialized_fit.dir/ablation_specialized_fit.cpp.o.d"
+  "ablation_specialized_fit"
+  "ablation_specialized_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_specialized_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcm_bench_util.a"
+)

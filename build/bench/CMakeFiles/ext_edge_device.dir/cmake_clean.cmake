@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_edge_device.dir/ext_edge_device.cpp.o"
+  "CMakeFiles/ext_edge_device.dir/ext_edge_device.cpp.o.d"
+  "ext_edge_device"
+  "ext_edge_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_edge_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

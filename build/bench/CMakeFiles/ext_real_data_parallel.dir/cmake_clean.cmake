@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_real_data_parallel.dir/ext_real_data_parallel.cpp.o"
+  "CMakeFiles/ext_real_data_parallel.dir/ext_real_data_parallel.cpp.o.d"
+  "ext_real_data_parallel"
+  "ext_real_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_real_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

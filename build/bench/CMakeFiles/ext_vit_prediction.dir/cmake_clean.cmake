@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vit_prediction.dir/ext_vit_prediction.cpp.o"
+  "CMakeFiles/ext_vit_prediction.dir/ext_vit_prediction.cpp.o.d"
+  "ext_vit_prediction"
+  "ext_vit_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vit_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

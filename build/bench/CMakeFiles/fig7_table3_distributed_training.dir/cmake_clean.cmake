@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_table3_distributed_training.dir/fig7_table3_distributed_training.cpp.o"
+  "CMakeFiles/fig7_table3_distributed_training.dir/fig7_table3_distributed_training.cpp.o.d"
+  "fig7_table3_distributed_training"
+  "fig7_table3_distributed_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_table3_distributed_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

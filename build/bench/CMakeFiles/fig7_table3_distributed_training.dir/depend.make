@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_table3_distributed_training.
+# This may be replaced when dependencies are built.

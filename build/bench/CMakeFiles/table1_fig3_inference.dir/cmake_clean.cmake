@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fig3_inference.dir/table1_fig3_inference.cpp.o"
+  "CMakeFiles/table1_fig3_inference.dir/table1_fig3_inference.cpp.o.d"
+  "table1_fig3_inference"
+  "table1_fig3_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fig3_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fig4_blockwise.dir/table2_fig4_blockwise.cpp.o"
+  "CMakeFiles/table2_fig4_blockwise.dir/table2_fig4_blockwise.cpp.o.d"
+  "table2_fig4_blockwise"
+  "table2_fig4_blockwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fig4_blockwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_fig5_single_gpu_training.
+# This may be replaced when dependencies are built.

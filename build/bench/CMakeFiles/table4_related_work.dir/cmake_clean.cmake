@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_related_work.dir/table4_related_work.cpp.o"
+  "CMakeFiles/table4_related_work.dir/table4_related_work.cpp.o.d"
+  "table4_related_work"
+  "table4_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

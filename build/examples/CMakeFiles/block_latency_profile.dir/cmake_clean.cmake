@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_latency_profile.dir/block_latency_profile.cpp.o"
+  "CMakeFiles/block_latency_profile.dir/block_latency_profile.cpp.o.d"
+  "block_latency_profile"
+  "block_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_planner.dir/infra_planner.cpp.o"
+  "CMakeFiles/infra_planner.dir/infra_planner.cpp.o.d"
+  "infra_planner"
+  "infra_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

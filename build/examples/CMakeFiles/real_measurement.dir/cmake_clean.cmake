@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_measurement.dir/real_measurement.cpp.o"
+  "CMakeFiles/real_measurement.dir/real_measurement.cpp.o.d"
+  "real_measurement"
+  "real_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_time_estimator.dir/train_time_estimator.cpp.o"
+  "CMakeFiles/train_time_estimator.dir/train_time_estimator.cpp.o.d"
+  "train_time_estimator"
+  "train_time_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_time_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

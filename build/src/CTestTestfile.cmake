@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("graph")
+subdirs("models")
+subdirs("metrics")
+subdirs("linalg")
+subdirs("regress")
+subdirs("exec")
+subdirs("sim")
+subdirs("collect")
+subdirs("core")
+subdirs("baselines")

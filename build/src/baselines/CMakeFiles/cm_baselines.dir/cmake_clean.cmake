@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_baselines.dir/dippm_like.cpp.o"
+  "CMakeFiles/cm_baselines.dir/dippm_like.cpp.o.d"
+  "CMakeFiles/cm_baselines.dir/mlp.cpp.o"
+  "CMakeFiles/cm_baselines.dir/mlp.cpp.o.d"
+  "CMakeFiles/cm_baselines.dir/paleo_like.cpp.o"
+  "CMakeFiles/cm_baselines.dir/paleo_like.cpp.o.d"
+  "CMakeFiles/cm_baselines.dir/simple.cpp.o"
+  "CMakeFiles/cm_baselines.dir/simple.cpp.o.d"
+  "libcm_baselines.a"
+  "libcm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_collect.dir/campaign.cpp.o"
+  "CMakeFiles/cm_collect.dir/campaign.cpp.o.d"
+  "CMakeFiles/cm_collect.dir/sample.cpp.o"
+  "CMakeFiles/cm_collect.dir/sample.cpp.o.d"
+  "libcm_collect.a"
+  "libcm_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcm_collect.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_common.dir/csv.cpp.o"
+  "CMakeFiles/cm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cm_common.dir/error.cpp.o"
+  "CMakeFiles/cm_common.dir/error.cpp.o.d"
+  "CMakeFiles/cm_common.dir/rng.cpp.o"
+  "CMakeFiles/cm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cm_common.dir/strings.cpp.o"
+  "CMakeFiles/cm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/cm_common.dir/table.cpp.o"
+  "CMakeFiles/cm_common.dir/table.cpp.o.d"
+  "CMakeFiles/cm_common.dir/units.cpp.o"
+  "CMakeFiles/cm_common.dir/units.cpp.o.d"
+  "libcm_common.a"
+  "libcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

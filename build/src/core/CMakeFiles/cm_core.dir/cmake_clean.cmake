@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_core.dir/convmeter.cpp.o"
+  "CMakeFiles/cm_core.dir/convmeter.cpp.o.d"
+  "CMakeFiles/cm_core.dir/evaluate.cpp.o"
+  "CMakeFiles/cm_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/cm_core.dir/features.cpp.o"
+  "CMakeFiles/cm_core.dir/features.cpp.o.d"
+  "CMakeFiles/cm_core.dir/partition.cpp.o"
+  "CMakeFiles/cm_core.dir/partition.cpp.o.d"
+  "CMakeFiles/cm_core.dir/scalability.cpp.o"
+  "CMakeFiles/cm_core.dir/scalability.cpp.o.d"
+  "libcm_core.a"
+  "libcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/backward.cpp" "src/exec/CMakeFiles/cm_exec.dir/backward.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/backward.cpp.o.d"
+  "/root/repo/src/exec/collective.cpp" "src/exec/CMakeFiles/cm_exec.dir/collective.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/collective.cpp.o.d"
+  "/root/repo/src/exec/data_parallel.cpp" "src/exec/CMakeFiles/cm_exec.dir/data_parallel.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/exec/CMakeFiles/cm_exec.dir/executor.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/executor.cpp.o.d"
+  "/root/repo/src/exec/kernels.cpp" "src/exec/CMakeFiles/cm_exec.dir/kernels.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/kernels.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/exec/CMakeFiles/cm_exec.dir/thread_pool.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/exec/trainer.cpp" "src/exec/CMakeFiles/cm_exec.dir/trainer.cpp.o" "gcc" "src/exec/CMakeFiles/cm_exec.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

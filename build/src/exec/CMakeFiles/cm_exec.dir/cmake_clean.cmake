@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_exec.dir/backward.cpp.o"
+  "CMakeFiles/cm_exec.dir/backward.cpp.o.d"
+  "CMakeFiles/cm_exec.dir/collective.cpp.o"
+  "CMakeFiles/cm_exec.dir/collective.cpp.o.d"
+  "CMakeFiles/cm_exec.dir/data_parallel.cpp.o"
+  "CMakeFiles/cm_exec.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/cm_exec.dir/executor.cpp.o"
+  "CMakeFiles/cm_exec.dir/executor.cpp.o.d"
+  "CMakeFiles/cm_exec.dir/kernels.cpp.o"
+  "CMakeFiles/cm_exec.dir/kernels.cpp.o.d"
+  "CMakeFiles/cm_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/cm_exec.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cm_exec.dir/trainer.cpp.o"
+  "CMakeFiles/cm_exec.dir/trainer.cpp.o.d"
+  "libcm_exec.a"
+  "libcm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/cm_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/cm_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/ops.cpp" "src/graph/CMakeFiles/cm_graph.dir/ops.cpp.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/ops.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/cm_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/serialize.cpp.o.d"
+  "/root/repo/src/graph/shape_inference.cpp" "src/graph/CMakeFiles/cm_graph.dir/shape_inference.cpp.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/shape_inference.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/cm_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

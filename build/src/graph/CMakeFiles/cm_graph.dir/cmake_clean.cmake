@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_graph.dir/dot.cpp.o"
+  "CMakeFiles/cm_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/cm_graph.dir/graph.cpp.o"
+  "CMakeFiles/cm_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/cm_graph.dir/ops.cpp.o"
+  "CMakeFiles/cm_graph.dir/ops.cpp.o.d"
+  "CMakeFiles/cm_graph.dir/serialize.cpp.o"
+  "CMakeFiles/cm_graph.dir/serialize.cpp.o.d"
+  "CMakeFiles/cm_graph.dir/shape_inference.cpp.o"
+  "CMakeFiles/cm_graph.dir/shape_inference.cpp.o.d"
+  "CMakeFiles/cm_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/cm_graph.dir/subgraph.cpp.o.d"
+  "libcm_graph.a"
+  "libcm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

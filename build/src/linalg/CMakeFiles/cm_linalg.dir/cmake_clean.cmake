@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/cm_linalg.dir/stats.cpp.o"
+  "CMakeFiles/cm_linalg.dir/stats.cpp.o.d"
+  "libcm_linalg.a"
+  "libcm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/cm_metrics.dir/metrics.cpp.o.d"
+  "libcm_metrics.a"
+  "libcm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/alexnet.cpp" "src/models/CMakeFiles/cm_models.dir/alexnet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/alexnet.cpp.o.d"
+  "/root/repo/src/models/blocks.cpp" "src/models/CMakeFiles/cm_models.dir/blocks.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/blocks.cpp.o.d"
+  "/root/repo/src/models/densenet.cpp" "src/models/CMakeFiles/cm_models.dir/densenet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/densenet.cpp.o.d"
+  "/root/repo/src/models/efficientnet.cpp" "src/models/CMakeFiles/cm_models.dir/efficientnet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/efficientnet.cpp.o.d"
+  "/root/repo/src/models/googlenet.cpp" "src/models/CMakeFiles/cm_models.dir/googlenet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/googlenet.cpp.o.d"
+  "/root/repo/src/models/inception.cpp" "src/models/CMakeFiles/cm_models.dir/inception.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/inception.cpp.o.d"
+  "/root/repo/src/models/mobile_ops.cpp" "src/models/CMakeFiles/cm_models.dir/mobile_ops.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/mobile_ops.cpp.o.d"
+  "/root/repo/src/models/mobilenet_v2.cpp" "src/models/CMakeFiles/cm_models.dir/mobilenet_v2.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/mobilenet_v2.cpp.o.d"
+  "/root/repo/src/models/mobilenet_v3.cpp" "src/models/CMakeFiles/cm_models.dir/mobilenet_v3.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/mobilenet_v3.cpp.o.d"
+  "/root/repo/src/models/regnet.cpp" "src/models/CMakeFiles/cm_models.dir/regnet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/regnet.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/cm_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/resnet.cpp.o.d"
+  "/root/repo/src/models/shufflenet.cpp" "src/models/CMakeFiles/cm_models.dir/shufflenet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/shufflenet.cpp.o.d"
+  "/root/repo/src/models/squeezenet.cpp" "src/models/CMakeFiles/cm_models.dir/squeezenet.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/squeezenet.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/models/CMakeFiles/cm_models.dir/vgg.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/vgg.cpp.o.d"
+  "/root/repo/src/models/vit.cpp" "src/models/CMakeFiles/cm_models.dir/vit.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/vit.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/models/CMakeFiles/cm_models.dir/zoo.cpp.o" "gcc" "src/models/CMakeFiles/cm_models.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regress/error_metrics.cpp" "src/regress/CMakeFiles/cm_regress.dir/error_metrics.cpp.o" "gcc" "src/regress/CMakeFiles/cm_regress.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/regress/linear_model.cpp" "src/regress/CMakeFiles/cm_regress.dir/linear_model.cpp.o" "gcc" "src/regress/CMakeFiles/cm_regress.dir/linear_model.cpp.o.d"
+  "/root/repo/src/regress/loo.cpp" "src/regress/CMakeFiles/cm_regress.dir/loo.cpp.o" "gcc" "src/regress/CMakeFiles/cm_regress.dir/loo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/cm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_regress.dir/error_metrics.cpp.o"
+  "CMakeFiles/cm_regress.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/cm_regress.dir/linear_model.cpp.o"
+  "CMakeFiles/cm_regress.dir/linear_model.cpp.o.d"
+  "CMakeFiles/cm_regress.dir/loo.cpp.o"
+  "CMakeFiles/cm_regress.dir/loo.cpp.o.d"
+  "libcm_regress.a"
+  "libcm_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/cm_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/cm_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/cm_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/cm_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/cm_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/cm_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/inference_sim.cpp" "src/sim/CMakeFiles/cm_sim.dir/inference_sim.cpp.o" "gcc" "src/sim/CMakeFiles/cm_sim.dir/inference_sim.cpp.o.d"
+  "/root/repo/src/sim/training_sim.cpp" "src/sim/CMakeFiles/cm_sim.dir/training_sim.cpp.o" "gcc" "src/sim/CMakeFiles/cm_sim.dir/training_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/cm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

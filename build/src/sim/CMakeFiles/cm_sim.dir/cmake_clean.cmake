@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_sim.dir/comm.cpp.o"
+  "CMakeFiles/cm_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/cm_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/cm_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cm_sim.dir/device.cpp.o"
+  "CMakeFiles/cm_sim.dir/device.cpp.o.d"
+  "CMakeFiles/cm_sim.dir/inference_sim.cpp.o"
+  "CMakeFiles/cm_sim.dir/inference_sim.cpp.o.d"
+  "CMakeFiles/cm_sim.dir/training_sim.cpp.o"
+  "CMakeFiles/cm_sim.dir/training_sim.cpp.o.d"
+  "libcm_sim.a"
+  "libcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_tensor.dir/shape.cpp.o"
+  "CMakeFiles/cm_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/cm_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/cm_tensor.dir/tensor.cpp.o.d"
+  "libcm_tensor.a"
+  "libcm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

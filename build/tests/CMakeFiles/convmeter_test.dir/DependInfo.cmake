@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/convmeter_test.cpp" "tests/CMakeFiles/convmeter_test.dir/convmeter_test.cpp.o" "gcc" "tests/CMakeFiles/convmeter_test.dir/convmeter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/cm_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/cm_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

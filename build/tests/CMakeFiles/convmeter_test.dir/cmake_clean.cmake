@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convmeter_test.dir/convmeter_test.cpp.o"
+  "CMakeFiles/convmeter_test.dir/convmeter_test.cpp.o.d"
+  "convmeter_test"
+  "convmeter_test.pdb"
+  "convmeter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convmeter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_kernels_test.dir/exec_kernels_test.cpp.o"
+  "CMakeFiles/exec_kernels_test.dir/exec_kernels_test.cpp.o.d"
+  "exec_kernels_test"
+  "exec_kernels_test.pdb"
+  "exec_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

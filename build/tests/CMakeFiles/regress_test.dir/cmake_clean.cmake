@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regress_test.dir/regress_test.cpp.o"
+  "CMakeFiles/regress_test.dir/regress_test.cpp.o.d"
+  "regress_test"
+  "regress_test.pdb"
+  "regress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_inference_test.dir/shape_inference_test.cpp.o"
+  "CMakeFiles/shape_inference_test.dir/shape_inference_test.cpp.o.d"
+  "shape_inference_test"
+  "shape_inference_test.pdb"
+  "shape_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit_test.dir/vit_test.cpp.o"
+  "CMakeFiles/vit_test.dir/vit_test.cpp.o.d"
+  "vit_test"
+  "vit_test.pdb"
+  "vit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convmeter.dir/convmeter_cli.cpp.o"
+  "CMakeFiles/convmeter.dir/convmeter_cli.cpp.o.d"
+  "convmeter"
+  "convmeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convmeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
