@@ -2,13 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <ostream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace convmeter::bench {
+
+namespace {
+
+/// When CONVMETER_METRICS_OUT names a file, every bench binary linked
+/// against cm_bench_util turns on the observability layer at startup and
+/// dumps the metrics registry as JSON at exit — no per-benchmark wiring.
+/// Constructed before main() runs; the ctor also touches the (leaked)
+/// registry singleton so it outlives this object's destructor.
+struct MetricsAutoDump {
+  std::string path;
+  MetricsAutoDump() {
+    if (const char* out = std::getenv("CONVMETER_METRICS_OUT")) {
+      path = out;
+      obs::MetricsRegistry::instance();
+      obs::set_enabled(true);
+    }
+  }
+  ~MetricsAutoDump() {
+    if (path.empty()) return;
+    std::ofstream os(path);
+    if (os) os << obs::MetricsRegistry::instance().to_json() << '\n';
+  }
+};
+
+const MetricsAutoDump g_metrics_auto_dump;
+
+}  // namespace
 
 std::vector<std::string> paper_model_set() {
   return {"alexnet",        "vgg16",

@@ -2,14 +2,23 @@
 // kernels, metric extraction, regression fitting, and the simulator's
 // all-reduce cost model. Not a paper artifact — these quantify the cost of
 // the building blocks the reproduction rests on.
+//
+// Before the benchmarks run, main() enforces the observability layer's
+// zero-cost-when-disabled contract: a workload peppered with disabled
+// TraceSpan sites must stay within 2% of the same workload without them.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "collect/campaign.hpp"
+#include "common/clock.hpp"
 #include "core/convmeter.hpp"
 #include "exec/executor.hpp"
 #include "exec/kernels.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "obs/trace.hpp"
 #include "sim/comm.hpp"
 #include "sim/cost_model.hpp"
 
@@ -122,6 +131,26 @@ void BM_RingAllreduceModel(benchmark::State& state) {
 }
 BENCHMARK(BM_RingAllreduceModel);
 
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(false);
+  obs::Tracer::instance().clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
 void BM_TrainingStepSimulation(benchmark::State& state) {
   TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
   const Graph g = models::build("resnet50");
@@ -136,7 +165,76 @@ void BM_TrainingStepSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainingStepSimulation);
 
+/// Asserts the zero-cost-when-disabled contract of src/obs: a GEMM loop
+/// whose iterations each open eight *disabled* TraceSpan guards (more span
+/// sites than any real layer dispatch crosses) must run within 2% of the
+/// bare loop. Interleaved best-of-trials keeps the comparison robust to
+/// scheduler noise.
+bool verify_disabled_instrumentation_overhead() {
+  obs::set_enabled(false);
+  constexpr std::size_t kDim = 48;
+  constexpr int kIterations = 200;
+  constexpr int kTrials = 7;
+  ThreadPool pool(1);
+  Tensor a(Shape{kDim, kDim});
+  Tensor b(Shape{kDim, kDim});
+  a.fill_random(1);
+  b.fill_random(2);
+  std::vector<float> c(kDim * kDim);
+
+  const auto workload = [&] {
+    std::fill(c.begin(), c.end(), 0.0f);
+    gemm(pool, a.data(), b.data(), c, kDim, kDim, kDim);
+    benchmark::DoNotOptimize(c.data());
+  };
+  const auto bare_trial = [&] {
+    const TimePoint t0 = Clock::now();
+    for (int i = 0; i < kIterations; ++i) workload();
+    return elapsed_seconds(t0);
+  };
+  const auto instrumented_trial = [&] {
+    const TimePoint t0 = Clock::now();
+    for (int i = 0; i < kIterations; ++i) {
+      CM_TRACE_SPAN("overhead.1", "bench");
+      CM_TRACE_SPAN("overhead.2", "bench");
+      CM_TRACE_SPAN("overhead.3", "bench");
+      CM_TRACE_SPAN("overhead.4", "bench");
+      CM_TRACE_SPAN("overhead.5", "bench");
+      CM_TRACE_SPAN("overhead.6", "bench");
+      CM_TRACE_SPAN("overhead.7", "bench");
+      CM_TRACE_SPAN("overhead.8", "bench");
+      workload();
+    }
+    return elapsed_seconds(t0);
+  };
+
+  bare_trial();  // warm-up: page in code and data
+  double bare = 1e300;
+  double instrumented = 1e300;
+  for (int t = 0; t < kTrials; ++t) {
+    bare = std::min(bare, bare_trial());
+    instrumented = std::min(instrumented, instrumented_trial());
+  }
+  const double delta = instrumented / bare - 1.0;
+  std::printf(
+      "disabled-instrumentation overhead: %+.3f%% (bare %.3f ms, "
+      "instrumented %.3f ms, limit +2%%)\n",
+      delta * 100.0, bare * 1e3, instrumented * 1e3);
+  return delta < 0.02;
+}
+
 }  // namespace
 }  // namespace convmeter
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!convmeter::verify_disabled_instrumentation_overhead()) {
+    std::fprintf(stderr,
+                 "FAILED: disabled tracing must add < 2%% overhead\n");
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,13 @@
 #include "collect/campaign.hpp"
 
+#include <optional>
+
 #include "common/error.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/residuals.hpp"
+#include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 
 namespace convmeter {
@@ -55,10 +60,13 @@ TrainingSweep TrainingSweep::paper_distributed(std::vector<std::string> models) 
 std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
                                                   const InferenceSweep& sweep) {
   CM_CHECK(!sweep.models.empty(), "inference sweep needs at least one model");
+  CM_TRACE_SPAN("campaign.inference", "collect");
   Rng rng(sweep.seed);
   std::vector<RuntimeSample> samples;
 
   for (const std::string& name : sweep.models) {
+    std::optional<obs::TraceSpan> model_span;
+    if (obs::enabled()) model_span.emplace("campaign.model/" + name, "collect");
     const Graph graph = models::build(name);
     for (const std::int64_t image : sweep.image_sizes) {
       const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
@@ -85,6 +93,16 @@ std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
           RuntimeSample s = base;
           s.global_batch = batch;
           s.t_infer = sim.measure(graph, shape, rng);
+          if (obs::enabled()) {
+            // Noise-free expectation vs noisy "measurement": the drift the
+            // regression has to absorb, per model.
+            obs::record_prediction_residual("campaign." + name,
+                                            sim.expected(graph, shape),
+                                            s.t_infer);
+            obs::MetricsRegistry::instance()
+                .counter("campaign.inference_samples")
+                .add();
+          }
           samples.push_back(std::move(s));
         }
       }
@@ -96,10 +114,13 @@ std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
 std::vector<RuntimeSample> run_training_campaign(const TrainingSimulator& sim,
                                                  const TrainingSweep& sweep) {
   CM_CHECK(!sweep.models.empty(), "training sweep needs at least one model");
+  CM_TRACE_SPAN("campaign.training", "collect");
   Rng rng(sweep.seed);
   std::vector<RuntimeSample> samples;
 
   for (const std::string& name : sweep.models) {
+    std::optional<obs::TraceSpan> model_span;
+    if (obs::enabled()) model_span.emplace("campaign.model/" + name, "collect");
     const Graph graph = models::build(name);
     for (const std::int64_t image : sweep.image_sizes) {
       const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
@@ -125,6 +146,14 @@ std::vector<RuntimeSample> run_training_campaign(const TrainingSimulator& sim,
           for (int rep = 0; rep < sweep.repetitions; ++rep) {
             const TrainStepTimes t =
                 sim.measure_step(graph, shape, config, rng);
+            if (obs::enabled()) {
+              obs::record_prediction_residual(
+                  "campaign." + name,
+                  sim.expected_step(graph, shape, config).step, t.step);
+              obs::MetricsRegistry::instance()
+                  .counter("campaign.training_samples")
+                  .add();
+            }
             RuntimeSample s = base;
             s.global_batch = batch * config.num_devices;
             s.num_devices = config.num_devices;

@@ -1,0 +1,28 @@
+// Shared monotonic clock aliases for every timing site in the library.
+//
+// Wall-clock measurement is ConvMeter's raison d'être, so the executor,
+// trainer, data-parallel driver, and tracer must all agree on one clock.
+// steady_clock is monotonic (immune to NTP slews) and is the conventional
+// choice for interval timing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace convmeter {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using DurationNs = std::chrono::nanoseconds;
+
+/// Seconds elapsed since `from` (or between the two points).
+inline double elapsed_seconds(TimePoint from, TimePoint to = Clock::now()) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Whole nanoseconds elapsed since `from` (or between the two points).
+inline std::int64_t elapsed_ns(TimePoint from, TimePoint to = Clock::now()) {
+  return std::chrono::duration_cast<DurationNs>(to - from).count();
+}
+
+}  // namespace convmeter

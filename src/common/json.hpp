@@ -1,0 +1,56 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// Just enough JSON to validate the artifacts this library *writes* (Chrome
+// trace-event files, metrics-registry dumps) without an external
+// dependency: objects, arrays, strings with escape sequences, numbers,
+// booleans, and null. Parsing failures raise ParseError with an offset.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace convmeter::json {
+
+/// One parsed JSON value of any kind.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(Array a) : data_(std::move(a)) {}
+  explicit Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors; throw InvalidArgument on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access; `at` throws InvalidArgument when missing.
+  bool has(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is a ParseError.
+Value parse(std::string_view text);
+
+}  // namespace convmeter::json

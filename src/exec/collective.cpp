@@ -1,9 +1,12 @@
 #include "exec/collective.hpp"
 
 #include <barrier>
+#include <optional>
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace convmeter {
 
@@ -35,34 +38,48 @@ void ring_allreduce_sum(std::vector<std::span<float>>& replicas) {
   }
   if (ranks == 1 || n == 0) return;
 
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("allreduce.calls").add();
+    registry.counter("allreduce.elements").add(n * ranks);
+  }
+
   std::barrier sync(static_cast<std::ptrdiff_t>(ranks));
 
   const auto worker = [&](std::size_t rank) {
     // Phase 1: reduce-scatter. In step s, rank r accumulates its receive
     // chunk (r - s - 1 mod R) from its left neighbour's buffer. After
     // R-1 steps, chunk c is fully summed on rank (c + 1) mod R.
-    for (std::size_t step = 0; step + 1 < ranks; ++step) {
-      const std::size_t src = (rank + ranks - 1) % ranks;
-      const std::size_t c = (rank + ranks - step - 1) % ranks;
-      const ChunkRange range = chunk_range(n, ranks, c);
-      sync.arrive_and_wait();  // neighbour's previous step is complete
-      for (std::size_t i = range.begin; i < range.end; ++i) {
-        replicas[rank][i] += replicas[src][i];
+    {
+      std::optional<obs::TraceSpan> span;
+      if (obs::enabled()) span.emplace("allreduce.reduce_scatter", "comm");
+      for (std::size_t step = 0; step + 1 < ranks; ++step) {
+        const std::size_t src = (rank + ranks - 1) % ranks;
+        const std::size_t c = (rank + ranks - step - 1) % ranks;
+        const ChunkRange range = chunk_range(n, ranks, c);
+        sync.arrive_and_wait();  // neighbour's previous step is complete
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          replicas[rank][i] += replicas[src][i];
+        }
+        sync.arrive_and_wait();  // everyone finished accumulating this step
       }
-      sync.arrive_and_wait();  // everyone finished accumulating this step
     }
     // Phase 2: all-gather. The owner of each summed chunk circulates it;
     // in step s, rank r copies chunk (r - s mod R) from its left
     // neighbour, which already holds the final value of that chunk.
-    for (std::size_t step = 0; step + 1 < ranks; ++step) {
-      const std::size_t src = (rank + ranks - 1) % ranks;
-      const std::size_t c = (rank + ranks - step) % ranks;
-      const ChunkRange range = chunk_range(n, ranks, c);
-      sync.arrive_and_wait();
-      for (std::size_t i = range.begin; i < range.end; ++i) {
-        replicas[rank][i] = replicas[src][i];
+    {
+      std::optional<obs::TraceSpan> span;
+      if (obs::enabled()) span.emplace("allreduce.all_gather", "comm");
+      for (std::size_t step = 0; step + 1 < ranks; ++step) {
+        const std::size_t src = (rank + ranks - 1) % ranks;
+        const std::size_t c = (rank + ranks - step) % ranks;
+        const ChunkRange range = chunk_range(n, ranks, c);
+        sync.arrive_and_wait();
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          replicas[rank][i] = replicas[src][i];
+        }
+        sync.arrive_and_wait();
       }
-      sync.arrive_and_wait();
     }
   };
 

@@ -1,20 +1,17 @@
 #include "exec/data_parallel.hpp"
 
-#include <chrono>
+#include <optional>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "exec/collective.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace convmeter {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double elapsed(Clock::time_point from) {
-  return std::chrono::duration<double>(Clock::now() - from).count();
-}
 
 /// Copies batch rows [begin, end) of a rank-4 tensor.
 Tensor slice_batch(const Tensor& t, std::int64_t begin, std::int64_t end) {
@@ -58,6 +55,7 @@ DataParallelStepResult DataParallelTrainer::step(
            "one label per batch element required");
   const std::int64_t shard = batch / workers;
 
+  CM_TRACE_SPAN("dp.step", "dp");
   DataParallelStepResult result;
 
   // ---- parallel forward + backward per worker -----------------------------
@@ -65,10 +63,16 @@ DataParallelStepResult DataParallelTrainer::step(
   std::vector<RealStepResult> partials(workers_.size());
   const auto t0 = Clock::now();
   {
+    std::optional<obs::TraceSpan> compute_span;
+    if (obs::enabled()) compute_span.emplace("dp.compute", "dp");
     std::vector<std::thread> threads;
     threads.reserve(workers_.size());
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       threads.emplace_back([&, w] {
+        std::optional<obs::TraceSpan> worker_span;
+        if (obs::enabled()) {
+          worker_span.emplace("dp.worker/" + std::to_string(w), "dp");
+        }
         const auto begin = static_cast<std::int64_t>(w) * shard;
         const Tensor input = slice_batch(global_input, begin, begin + shard);
         const std::vector<int> labels(
@@ -79,7 +83,7 @@ DataParallelStepResult DataParallelTrainer::step(
     }
     for (auto& t : threads) t.join();
   }
-  const double compute_seconds = elapsed(t0);
+  const double compute_seconds = elapsed_seconds(t0);
   double fwd = 0.0;
   double bwd = 0.0;
   for (const auto& p : partials) {
@@ -95,6 +99,8 @@ DataParallelStepResult DataParallelTrainer::step(
 
   // ---- ring all-reduce of every gradient tensor -----------------------------
   const auto t1 = Clock::now();
+  std::optional<obs::TraceSpan> phase_span;
+  if (obs::enabled()) phase_span.emplace("dp.allreduce", "dp");
   // All replicas share the graph, so gradient maps have identical keys and
   // tensor arities.
   for (auto& [node, tensors] : grads[0]) {
@@ -110,14 +116,24 @@ DataParallelStepResult DataParallelTrainer::step(
       ring_allreduce_average(views);
     }
   }
-  result.comm_seconds = elapsed(t1);
+  phase_span.reset();
+  result.comm_seconds = elapsed_seconds(t1);
 
   // ---- identical optimizer step on every replica ------------------------------
   const auto t2 = Clock::now();
+  if (obs::enabled()) phase_span.emplace("dp.update", "dp");
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     workers_[w]->apply_gradients(grads[w]);
   }
-  result.update_seconds = elapsed(t2);
+  phase_span.reset();
+  result.update_seconds = elapsed_seconds(t2);
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("dp.steps").add();
+    registry.histogram("dp.compute_seconds").observe(compute_seconds);
+    registry.histogram("dp.comm_seconds").observe(result.comm_seconds);
+    registry.histogram("dp.update_seconds").observe(result.update_seconds);
+  }
   return result;
 }
 

@@ -1,16 +1,18 @@
 #include "exec/executor.hpp"
 
 #include <cmath>
+#include <optional>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "exec/kernels.hpp"
 #include "graph/shape_inference.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace convmeter {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// Deterministic per-node weight tensor. Values are scaled down so deep
 /// networks do not overflow float32 during an un-normalized forward pass.
@@ -27,6 +29,7 @@ Executor::Executor(std::size_t num_threads) : pool_(num_threads) {}
 
 ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
                               std::uint64_t weight_seed) {
+  CM_TRACE_SPAN("executor.run", "exec");
   graph.validate();
   const ShapeMap shapes = infer_shapes(graph, input.shape());
   std::vector<Tensor> outputs(graph.size());
@@ -40,6 +43,10 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
     };
     const std::uint64_t seed =
         weight_seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(n.id) + 1));
+    std::optional<obs::TraceSpan> layer_span;
+    if (obs::enabled()) {
+      layer_span.emplace(op_kind_name(n.kind) + "/" + n.name, "layer");
+    }
     const auto start = Clock::now();
     Tensor out;
     switch (n.kind) {
@@ -133,16 +140,25 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
             "by the CPU executor (node '" + n.name + "')");
     }
     const auto end = Clock::now();
+    layer_span.reset();
     CM_CHECK(out.shape() == shapes[static_cast<std::size_t>(n.id)],
              "executor produced an unexpected shape at node '" + n.name + "'");
     outputs[static_cast<std::size_t>(n.id)] = std::move(out);
-    result.layers.push_back(
-        {n.id, std::chrono::duration<double>(end - start).count()});
+    result.layers.push_back({n.id, elapsed_seconds(start, end)});
   }
   const auto end_all = Clock::now();
 
-  result.total_seconds =
-      std::chrono::duration<double>(end_all - start_all).count();
+  result.total_seconds = elapsed_seconds(start_all, end_all);
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("executor.runs").add();
+    registry.counter("executor.layers").add(result.layers.size());
+    registry.histogram("executor.run_seconds").observe(result.total_seconds);
+    auto& layer_hist = registry.histogram("executor.layer_seconds");
+    for (const LayerTiming& layer : result.layers) {
+      layer_hist.observe(layer.seconds);
+    }
+  }
   result.output = outputs[static_cast<std::size_t>(graph.output_id())];
   return result;
 }

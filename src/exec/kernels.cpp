@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "graph/shape_inference.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace convmeter {
 
@@ -50,6 +52,13 @@ void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
           std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
   CM_CHECK(a.size() == m * k && b.size() == k * n && c.size() == m * n,
            "gemm: span sizes do not match dimensions");
+  CM_TRACE_SPAN("gemm", "kernel");
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.gemm.calls").add();
+    obs::MetricsRegistry::instance()
+        .counter("kernel.gemm.flops")
+        .add(2 * static_cast<std::uint64_t>(m) * k * n);
+  }
   // Parallelize over row blocks of C; each thread owns disjoint C rows, so
   // no synchronization is needed inside the kernel.
   const std::size_t row_blocks = (m + kBlockM - 1) / kBlockM;
@@ -121,6 +130,10 @@ Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
 Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
                      const Tensor& weight, const Tensor& bias,
                      const Conv2dAttrs& a) {
+  CM_TRACE_SPAN("conv2d_im2col", "kernel");
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.conv2d.calls").add();
+  }
   const Shape out_shape = conv2d_output_shape(a, input.shape());
   Tensor out(out_shape);
   const auto& in = input.shape();
@@ -314,6 +327,10 @@ Tensor adaptive_avg_pool2d(const Tensor& input, std::int64_t out_h,
 
 Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
               const Tensor& bias, const LinearAttrs& a) {
+  CM_TRACE_SPAN("linear", "kernel");
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.linear.calls").add();
+  }
   const auto& in = input.shape();
   CM_CHECK(in.rank() == 2 && in.dim(1) == a.in_features,
            "linear input shape mismatch");

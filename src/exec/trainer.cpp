@@ -1,22 +1,19 @@
 #include "exec/trainer.hpp"
 
-#include <chrono>
 #include <cmath>
+#include <optional>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "exec/backward.hpp"
 #include "exec/kernels.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace convmeter {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double elapsed(Clock::time_point from) {
-  return std::chrono::duration<double>(Clock::now() - from).count();
-}
 
 Tensor he_uniform(const Shape& shape, double fan_in, Rng& rng) {
   Tensor t(shape);
@@ -119,6 +116,7 @@ const std::vector<Tensor>& Trainer::parameters(NodeId id) const {
 }
 
 std::vector<Tensor> Trainer::forward(const Tensor& input) {
+  CM_TRACE_SPAN("trainer.forward", "train");
   std::vector<Tensor> outputs(graph_.size());
   for (const auto& n : graph_.nodes()) {
     const auto in = [&](std::size_t i) -> const Tensor& {
@@ -213,10 +211,11 @@ std::vector<Tensor> Trainer::forward(const Tensor& input) {
 
 RealStepResult Trainer::evaluate(const Tensor& input,
                                  const std::vector<int>& labels) {
+  CM_TRACE_SPAN("trainer.evaluate", "train");
   const auto t0 = Clock::now();
   const std::vector<Tensor> outputs = forward(input);
   RealStepResult r;
-  r.fwd_seconds = elapsed(t0);
+  r.fwd_seconds = elapsed_seconds(t0);
   const Tensor& logits = outputs[static_cast<std::size_t>(graph_.output_id())];
   r.loss = softmax_cross_entropy(logits, labels, nullptr);
 
@@ -236,11 +235,20 @@ RealStepResult Trainer::evaluate(const Tensor& input,
 
 RealStepResult Trainer::step(const Tensor& input,
                              const std::vector<int>& labels) {
+  CM_TRACE_SPAN("trainer.step", "train");
   GradientMap grads;
   RealStepResult result = compute_gradients(input, labels, &grads);
   const auto t0 = Clock::now();
   apply_gradients(grads);
-  result.update_seconds = elapsed(t0);
+  result.update_seconds = elapsed_seconds(t0);
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("trainer.steps").add();
+    registry.histogram("trainer.fwd_seconds").observe(result.fwd_seconds);
+    registry.histogram("trainer.bwd_seconds").observe(result.bwd_seconds);
+    registry.histogram("trainer.update_seconds")
+        .observe(result.update_seconds);
+  }
   return result;
 }
 
@@ -252,14 +260,18 @@ RealStepResult Trainer::compute_gradients(const Tensor& input,
 
   // ---- forward -------------------------------------------------------------
   auto t0 = Clock::now();
+  std::optional<obs::TraceSpan> phase_span;
+  if (obs::enabled()) phase_span.emplace("trainer.fwd", "train");
   const std::vector<Tensor> outputs = forward(input);
-  result.fwd_seconds = elapsed(t0);
+  phase_span.reset();
+  result.fwd_seconds = elapsed_seconds(t0);
 
   const NodeId sink = graph_.output_id();
   const Tensor& logits = outputs[static_cast<std::size_t>(sink)];
 
   // ---- loss + backward -------------------------------------------------------
   t0 = Clock::now();
+  if (obs::enabled()) phase_span.emplace("trainer.bwd", "train");
   Tensor grad_logits;
   result.loss = softmax_cross_entropy(logits, labels, &grad_logits);
 
@@ -430,7 +442,8 @@ RealStepResult Trainer::compute_gradients(const Tensor& input,
             "transformer ops are not implemented by the CPU trainer");
     }
   }
-  result.bwd_seconds = elapsed(t0);
+  phase_span.reset();
+  result.bwd_seconds = elapsed_seconds(t0);
 
   // Accuracy bookkeeping from the already-computed logits.
   const auto classes = static_cast<std::size_t>(logits.shape().dim(1));
@@ -449,6 +462,7 @@ RealStepResult Trainer::compute_gradients(const Tensor& input,
 }
 
 void Trainer::apply_gradients(GradientMap& grads) {
+  CM_TRACE_SPAN("trainer.grad_update", "train");
   ++step_count_;
   const auto lr = static_cast<float>(config_.learning_rate);
   for (auto& [id, state] : params_) {

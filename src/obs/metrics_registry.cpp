@@ -1,0 +1,250 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace convmeter::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  CM_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  CM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+               std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                   bounds_.end(),
+           "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+double Histogram::percentile(double p) const {
+  CM_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto prev = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate within bucket i. The first occupied bucket starts at the
+    // observed minimum; the overflow bucket ends at the observed maximum.
+    const double lo = prev == 0.0 ? min_ : (i == 0 ? min_ : bounds_[i - 1]);
+    const double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    const double frac =
+        (rank - prev) / static_cast<double>(counts_[i]);
+    return std::clamp(lo + (hi - lo) * frac, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<double> log_buckets(double lo, double hi, int per_decade) {
+  CM_CHECK(lo > 0.0 && hi > lo && per_decade >= 1,
+           "log_buckets needs 0 < lo < hi and per_decade >= 1");
+  std::vector<double> bounds;
+  const double step = 1.0 / per_decade;
+  for (double e = std::log10(lo); e < std::log10(hi) + step / 2; e += step) {
+    bounds.push_back(std::pow(10.0, e));
+  }
+  return bounds;
+}
+
+std::vector<double> default_time_buckets() {
+  return log_buckets(1e-7, 100.0, 3);
+}
+
+std::vector<double> default_ratio_buckets() {
+  return log_buckets(1e-4, 10.0, 6);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never
+  return *registry;  // destroyed: threads may record during static teardown
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = default_time_buckets();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::print_table(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!counters_.empty() || !gauges_.empty()) {
+    ConsoleTable t({"Metric", "Kind", "Value"},
+                   {Align::kLeft, Align::kLeft, Align::kRight});
+    for (const auto& [name, c] : counters_) {
+      t.add_row({name, "counter", std::to_string(c->value())});
+    }
+    for (const auto& [name, g] : gauges_) {
+      t.add_row({name, "gauge", ConsoleTable::fmt(g->value(), 6)});
+    }
+    t.print(os);
+  }
+  if (!histograms_.empty()) {
+    ConsoleTable t({"Histogram", "Count", "Sum", "Min", "p50", "p95", "p99",
+                    "Max"},
+                   {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                    Align::kRight, Align::kRight, Align::kRight,
+                    Align::kRight});
+    for (const auto& [name, h] : histograms_) {
+      if (h->count() == 0) {
+        t.add_row({name, "0", "-", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      t.add_row({name, std::to_string(h->count()),
+                 ConsoleTable::fmt(h->sum(), 6), ConsoleTable::fmt(h->min(), 6),
+                 ConsoleTable::fmt(h->percentile(50), 6),
+                 ConsoleTable::fmt(h->percentile(95), 6),
+                 ConsoleTable::fmt(h->percentile(99), 6),
+                 ConsoleTable::fmt(h->max(), 6)});
+    }
+    t.print(os);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum();
+    if (h->count() > 0) {
+      os << ",\"min\":" << h->min() << ",\"max\":" << h->max()
+         << ",\"p50\":" << h->percentile(50)
+         << ",\"p95\":" << h->percentile(95)
+         << ",\"p99\":" << h->percentile(99);
+    }
+    os << ",\"buckets\":[";
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& bounds = h->bounds();
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // sparse: most buckets are empty
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      os << "{\"le\":";
+      if (i < bounds.size()) {
+        os << bounds[i];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << counts[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace convmeter::obs

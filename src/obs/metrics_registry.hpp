@@ -1,0 +1,128 @@
+// Named metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// Instruments self-register under a dotted name ("kernel.gemm.calls",
+// "residual.rel_err.conv2d") on first use; references returned by the
+// registry stay valid for the registry's lifetime. Histograms use fixed
+// bucket boundaries so recording is O(log buckets) with no allocation, and
+// report count/sum/min/max plus interpolated p50/p95/p99. The whole
+// registry dumps as an aligned text table or as JSON for machine
+// consumption (see CONVMETER_METRICS_OUT in bench/bench_util.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace convmeter::obs {
+
+/// Monotonically increasing event count. Thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations in
+/// (bounds[i-1], bounds[i]]; one implicit overflow bucket catches values
+/// above the last bound. Thread-safe.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+
+  /// Interpolated percentile, `p` in [0, 100]. Uses linear interpolation
+  /// inside the bucket containing the target rank, clamped to the observed
+  /// min/max. Returns 0 when the histogram is empty.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts including the final overflow bucket
+  /// (size == bounds().size() + 1).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// `per_decade` log-spaced bucket bounds covering [lo, hi].
+std::vector<double> log_buckets(double lo, double hi, int per_decade);
+
+/// Default bounds for durations in seconds: 100 ns .. 100 s.
+std::vector<double> default_time_buckets();
+
+/// Default bounds for dimensionless ratios (relative errors): 1e-4 .. 10.
+std::vector<double> default_ratio_buckets();
+
+/// Process-wide name -> metric map. All methods are thread-safe; returned
+/// references remain valid until reset().
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first registration of `name`; empty selects
+  /// default_time_buckets().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Looks up a histogram without creating it.
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Drops every registered metric (invalidates outstanding references).
+  void reset();
+
+  /// Aligned human-readable table of every metric.
+  void print_table(std::ostream& os) const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace convmeter::obs

@@ -1,0 +1,43 @@
+#include "obs/residuals.hpp"
+
+#include <cmath>
+
+namespace convmeter::obs {
+
+namespace {
+constexpr const char* kPrefix = "residual.rel_err.";
+}  // namespace
+
+double relative_error(double predicted, double measured) {
+  if (measured == 0.0) return std::abs(predicted);
+  return std::abs(predicted - measured) / std::abs(measured);
+}
+
+void record_prediction_residual(MetricsRegistry& registry,
+                                const std::string& op_type, double predicted,
+                                double measured) {
+  registry.histogram(kPrefix + op_type, default_ratio_buckets())
+      .observe(relative_error(predicted, measured));
+  registry.counter("residual.pairs").add();
+  if (predicted < measured) registry.counter("residual.underpredicted").add();
+}
+
+void record_prediction_residual(const std::string& op_type, double predicted,
+                                double measured) {
+  record_prediction_residual(MetricsRegistry::instance(), op_type, predicted,
+                             measured);
+}
+
+std::optional<ResidualStats> residual_stats(const MetricsRegistry& registry,
+                                            const std::string& op_type) {
+  const Histogram* h = registry.find_histogram(kPrefix + op_type);
+  if (h == nullptr || h->count() == 0) return std::nullopt;
+  ResidualStats stats;
+  stats.count = h->count();
+  stats.p50 = h->percentile(50);
+  stats.p95 = h->percentile(95);
+  stats.p99 = h->percentile(99);
+  return stats;
+}
+
+}  // namespace convmeter::obs

@@ -1,0 +1,47 @@
+// Prediction-residual telemetry.
+//
+// ConvMeter's value is the gap between what the cost model *predicts* and
+// what an execution *measures*. Whenever both touch the same layer or graph
+// the caller reports the pair here; the relative error lands in a
+// per-op-type histogram ("residual.rel_err.<op_type>") in the metrics
+// registry, so p50/p95/p99 prediction drift is visible per operator class
+// in `convmeter stats`, in bench telemetry dumps, and in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace convmeter::obs {
+
+/// Relative error |predicted - measured| / measured used by the residual
+/// histograms. Returns |predicted| when measured is zero.
+double relative_error(double predicted, double measured);
+
+/// Records one (predicted, measured) pair for `op_type` (an operator name
+/// such as "conv2d", or a coarser key such as a model name). Feeds the
+/// "residual.rel_err.<op_type>" histogram plus pair/underprediction
+/// counters.
+void record_prediction_residual(MetricsRegistry& registry,
+                                const std::string& op_type, double predicted,
+                                double measured);
+
+/// Same, against the process-wide registry.
+void record_prediction_residual(const std::string& op_type, double predicted,
+                                double measured);
+
+/// Percentile summary of one op-type's residual histogram.
+struct ResidualStats {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summary for `op_type`, or nullopt when nothing was recorded.
+std::optional<ResidualStats> residual_stats(const MetricsRegistry& registry,
+                                            const std::string& op_type);
+
+}  // namespace convmeter::obs

@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace convmeter::obs {
+
+namespace {
+
+/// Per-thread ring capacity. 64k spans cover several full training steps of
+/// the deepest zoo models before wrapping; wraps are counted, not silent.
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+// Constant-initialized so static constructors in other translation units
+// (e.g. the bench autodump) may call set_enabled(true) before this file's
+// dynamic initializers run. The env check below only ever turns tracing ON,
+// so it cannot clobber such an early enable regardless of init order.
+std::atomic<bool> g_enabled{false};
+
+[[maybe_unused]] const bool g_env_enable_applied = [] {
+  const char* env = std::getenv("CONVMETER_OBS");
+  if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+thread_local std::uint32_t tl_depth = 0;
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+/// Ring buffer owned by one recording thread. Only the owner writes; the
+/// per-buffer mutex exists so snapshot/clear from other threads are safe.
+/// The registry keeps shared ownership, so spans recorded by a thread that
+/// has since exited remain exportable.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;        ///< write cursor (wraps at capacity)
+  std::uint64_t recorded = 0;  ///< total spans ever recorded
+  std::uint32_t tid = 0;
+};
+
+namespace {
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry();  // never destroyed:
+  return *r;  // worker threads may record during static destruction
+}
+
+thread_local std::shared_ptr<Tracer::ThreadBuffer> tl_buffer;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // never destroyed, see registry()
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  if (!tl_buffer) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->ring.reserve(kRingCapacity);
+    BufferRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    buf->tid = reg.next_tid++;
+    reg.buffers.push_back(buf);
+    tl_buffer = std::move(buf);
+  }
+  return *tl_buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+  ThreadBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  event.tid = buf.tid;
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(std::move(event));
+  } else {
+    buf.ring[buf.next] = std::move(event);
+  }
+  buf.next = (buf.next + 1) % kRingCapacity;
+  ++buf.recorded;
+}
+
+void Tracer::clear() {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->ring.clear();
+    buf->next = 0;
+    buf->recorded = 0;
+  }
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> events;
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    events.insert(events.end(), buf->ring.begin(), buf->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t dropped = 0;
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    dropped += buf->recorded - buf->ring.size();
+  }
+  return dropped;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\","
+       << "\"cat\":\"" << json_escape(e.category) << "\","
+       << "\"ph\":\"X\","
+       << "\"ts\":" << static_cast<double>(e.ts_ns) / 1e3 << ","
+       << "\"dur\":" << static_cast<double>(e.dur_ns) / 1e3 << ","
+       << "\"pid\":1,"
+       << "\"tid\":" << e.tid << ","
+       << "\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path);
+  CM_CHECK(static_cast<bool>(f), "cannot write trace file " + path);
+  f << chrome_trace_json();
+  CM_CHECK(static_cast<bool>(f), "failed writing trace file " + path);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : active_(enabled()) {
+  if (!active_) return;
+  name_ = name;
+  category_ = category;
+  begin();
+}
+
+TraceSpan::TraceSpan(std::string name, const char* category)
+    : active_(enabled()) {
+  if (!active_) return;
+  name_ = std::move(name);
+  category_ = category;
+  begin();
+}
+
+void TraceSpan::begin() {
+  depth_ = tl_depth++;
+  start_ = Clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const TimePoint end = Clock::now();
+  --tl_depth;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.ts_ns = tracer.ns_since_epoch(start_);
+  event.dur_ns = elapsed_ns(start_, end);
+  event.depth = depth_;
+  tracer.record(std::move(event));
+}
+
+}  // namespace convmeter::obs

@@ -1,0 +1,52 @@
+#include "sim/residual_probe.hpp"
+
+#include <unordered_map>
+
+#include "graph/ops.hpp"
+#include "metrics/metrics.hpp"
+#include "obs/residuals.hpp"
+#include "sim/cost_model.hpp"
+
+namespace convmeter {
+
+std::size_t record_layer_residuals(
+    obs::MetricsRegistry& registry, const DeviceSpec& device,
+    const Graph& graph, const Shape& input_shape,
+    std::span<const MeasuredLayerTime> measured) {
+  std::unordered_map<NodeId, double> measured_by_node;
+  measured_by_node.reserve(measured.size());
+  double measured_total = 0.0;
+  for (const MeasuredLayerTime& m : measured) {
+    measured_by_node.emplace(m.node, m.seconds);
+    measured_total += m.seconds;
+  }
+
+  std::size_t recorded = 0;
+  double predicted_total = 0.0;
+  for (const LayerWork& work : per_layer_work(graph, input_shape)) {
+    const Node& node = graph.node(work.node);
+    if (node.kind == OpKind::kInput) continue;
+    const double predicted = kernel_time(device, work);
+    predicted_total += predicted;
+    const auto it = measured_by_node.find(work.node);
+    if (it == measured_by_node.end()) continue;
+    obs::record_prediction_residual(registry, op_kind_name(node.kind),
+                                    predicted, it->second);
+    ++recorded;
+  }
+  if (recorded > 0) {
+    obs::record_prediction_residual(registry, "graph", predicted_total,
+                                    measured_total);
+    ++recorded;
+  }
+  return recorded;
+}
+
+std::size_t record_layer_residuals(
+    const DeviceSpec& device, const Graph& graph, const Shape& input_shape,
+    std::span<const MeasuredLayerTime> measured) {
+  return record_layer_residuals(obs::MetricsRegistry::instance(), device, graph,
+                                input_shape, measured);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,43 @@
+// Bridges cost-model predictions and per-layer measurements into the
+// observability registry.
+//
+// The executor (or any other measurement source) reports what each node
+// *actually* took; this probe re-derives what the roofline cost model
+// *predicted* for the same node on a given device and records the
+// (predicted, measured) pair per op-type via obs::record_prediction_residual,
+// so prediction drift is visible as "residual.rel_err.<op>" histograms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/metrics_registry.hpp"
+#include "sim/device.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// Measured wall-clock time of one graph node. Layout-compatible with the
+/// executor's LayerTiming but declared here so cm_sim does not depend on
+/// cm_exec.
+struct MeasuredLayerTime {
+  NodeId node = -1;
+  double seconds = 0.0;
+};
+
+/// Records one residual pair per measured node into `registry`, keyed by
+/// the node's op-kind name, plus a whole-graph pair under "graph". Returns
+/// the number of pairs recorded. Nodes absent from `measured` (and the
+/// input pseudo-node) are skipped.
+std::size_t record_layer_residuals(obs::MetricsRegistry& registry,
+                                   const DeviceSpec& device, const Graph& graph,
+                                   const Shape& input_shape,
+                                   std::span<const MeasuredLayerTime> measured);
+
+/// Same, against the process-wide registry.
+std::size_t record_layer_residuals(const DeviceSpec& device, const Graph& graph,
+                                   const Shape& input_shape,
+                                   std::span<const MeasuredLayerTime> measured);
+
+}  // namespace convmeter

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/clock.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -275,6 +277,59 @@ TEST(ErrorTest, HierarchyIsCatchableAsError) {
   EXPECT_THROW(throw ParseError("x"), Error);
   EXPECT_THROW(throw NumericalError("x"), Error);
   EXPECT_THROW(throw InvalidArgument("x"), Error);
+}
+
+// ---- clock -------------------------------------------------------------------
+
+TEST(ClockTest, ElapsedIsNonNegativeAndConsistent) {
+  const TimePoint t0 = Clock::now();
+  const TimePoint t1 = Clock::now();
+  EXPECT_GE(elapsed_seconds(t0, t1), 0.0);
+  EXPECT_GE(elapsed_ns(t0, t1), 0);
+  EXPECT_NEAR(elapsed_seconds(t0, t1),
+              static_cast<double>(elapsed_ns(t0, t1)) / 1e9, 1e-12);
+}
+
+// ---- json --------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(json::parse("\"a\\nb\\u0041\"").as_string(), "a\nbA");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const json::Value v = json::parse(
+      R"({"name":"conv2d","ts":1.5,"args":{"depth":2},"list":[1,2,3],"ok":true})");
+  EXPECT_EQ(v.at("name").as_string(), "conv2d");
+  EXPECT_DOUBLE_EQ(v.at("ts").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(v.at("args").at("depth").as_number(), 2.0);
+  ASSERT_EQ(v.at("list").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("list").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(json::parse("{}").as_object().empty());
+  EXPECT_TRUE(json::parse("  [ ]  ").as_array().empty());
+}
+
+TEST(JsonTest, MalformedInputThrows) {
+  EXPECT_THROW(json::parse(""), ParseError);
+  EXPECT_THROW(json::parse("{"), ParseError);
+  EXPECT_THROW(json::parse("[1,]"), ParseError);
+  EXPECT_THROW(json::parse("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW(json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(json::parse("nul"), ParseError);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  EXPECT_THROW(json::parse("3").as_string(), InvalidArgument);
+  EXPECT_THROW(json::parse("[]").at("k"), InvalidArgument);
+  EXPECT_THROW(json::parse("{}").at("k"), InvalidArgument);
 }
 
 }  // namespace

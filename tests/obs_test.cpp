@@ -1,0 +1,261 @@
+// Tests for the observability subsystem: span tracer (nesting,
+// multi-threaded recording, Chrome trace export), metrics registry
+// (counters, histogram percentile math), and prediction-residual telemetry
+// wired through the real executor + roofline cost model.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/json.hpp"
+#include "exec/executor.hpp"
+#include "exec/thread_pool.hpp"
+#include "exec/trainer.hpp"
+#include "models/zoo.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/residuals.hpp"
+#include "obs/trace.hpp"
+#include "sim/device.hpp"
+#include "sim/residual_probe.hpp"
+
+namespace convmeter {
+namespace {
+
+/// Enables tracing for one test and restores a clean slate afterwards so
+/// tests are order-independent.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::instance().clear();
+    obs::MetricsRegistry::instance().reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Tracer::instance().clear();
+    obs::MetricsRegistry::instance().reset();
+  }
+};
+
+const obs::TraceEvent* find_event(const std::vector<obs::TraceEvent>& events,
+                                  const std::string& name) {
+  for (const auto& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  obs::set_enabled(false);
+  {
+    obs::TraceSpan span("should-not-appear", "test");
+  }
+  EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+}
+
+TEST_F(ObsTest, NestedSpansTrackDepthAndContainment) {
+  {
+    obs::TraceSpan outer("outer", "test");
+    {
+      obs::TraceSpan inner("inner", "test");
+    }
+  }
+  const auto events = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent* outer = find_event(events, "outer");
+  const obs::TraceEvent* inner = find_event(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  // The inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+}
+
+TEST_F(ObsTest, MultiThreadedRecordingFromThreadPool) {
+  constexpr std::size_t kTasks = 64;
+  ThreadPool pool(4);
+  pool.parallel_for(kTasks, [](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      obs::TraceSpan span("pool-task", "test");
+    }
+  });
+  const auto events = obs::Tracer::instance().snapshot();
+  std::size_t task_spans = 0;
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) {
+    if (e.name != "pool-task") continue;
+    ++task_spans;
+    tids.insert(e.tid);
+  }
+  EXPECT_EQ(task_spans, kTasks);
+  // A 4-thread pool plus the caller: at least two distinct recording
+  // threads must show up (static scheduling spreads 64 tasks evenly).
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST_F(ObsTest, SpansFromExitedThreadsSurvive) {
+  std::thread t([] { obs::TraceSpan span("short-lived", "test"); });
+  t.join();
+  EXPECT_NE(find_event(obs::Tracer::instance().snapshot(), "short-lived"),
+            nullptr);
+}
+
+TEST_F(ObsTest, CounterAndGauge) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test.counter").add();
+  registry.counter("test.counter").add(41);
+  registry.gauge("test.gauge").set(2.5);
+  EXPECT_EQ(registry.counter("test.counter").value(), 42u);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.gauge").value(), 2.5);
+}
+
+TEST(HistogramTest, PercentilesAgainstKnownInputs) {
+  // Unit-width buckets covering 0.5 .. 100.5: value v lands alone in its
+  // own bucket, so interpolated percentiles are exact to within one bucket.
+  std::vector<double> bounds;
+  for (int i = 0; i <= 100; ++i) bounds.push_back(0.5 + i);
+  obs::Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(95), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+}
+
+TEST(HistogramTest, OverflowBucketClampsToObservedMax) {
+  obs::Histogram h({1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5000.0);  // overflow bucket
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5000.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  obs::Histogram h(obs::default_time_buckets());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST_F(ObsTest, RegistryJsonRoundTrips) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("json.counter").add(7);
+  registry.histogram("json.hist").observe(0.001);
+  registry.histogram("json.hist").observe(0.002);
+
+  const json::Value doc = json::parse(registry.to_json());
+  EXPECT_EQ(doc.at("counters").at("json.counter").as_number(), 7.0);
+  const json::Value& hist = doc.at("histograms").at("json.hist");
+  EXPECT_EQ(hist.at("count").as_number(), 2.0);
+  EXPECT_GT(hist.at("p50").as_number(), 0.0);
+  EXPECT_FALSE(hist.at("buckets").as_array().empty());
+}
+
+/// The acceptance-criteria trace: a real forward pass plus one training
+/// step of a zoo model must yield a valid Chrome trace with >= 1 span per
+/// graph layer and nested fwd/bwd phases.
+TEST_F(ObsTest, ChromeTraceOfExecutorAndTrainerIsValid) {
+  const Graph g = models::build("resnet18");
+  const Shape shape = Shape::nchw(2, g.input_channels(), 32, 32);
+
+  Executor exec;
+  exec.run_random(g, shape);
+
+  Trainer trainer(g, TrainerConfig{});
+  Tensor input(shape);
+  input.fill_random(1);
+  trainer.step(input, {0, 1});
+
+  const json::Value doc =
+      json::parse(obs::Tracer::instance().chrome_trace_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  std::size_t layer_spans = 0;
+  bool saw_fwd = false;
+  bool saw_bwd = false;
+  bool saw_update = false;
+  double step_depth = -1.0;
+  double fwd_depth = -1.0;
+  for (const json::Value& e : events) {
+    // Required Chrome trace-event fields on every span.
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    const std::string& name = e.at("name").as_string();
+    if (e.at("cat").as_string() == "layer") ++layer_spans;
+    if (name == "trainer.fwd") {
+      saw_fwd = true;
+      fwd_depth = e.at("args").at("depth").as_number();
+    }
+    if (name == "trainer.bwd") saw_bwd = true;
+    if (name == "trainer.grad_update") saw_update = true;
+    if (name == "trainer.step") {
+      step_depth = e.at("args").at("depth").as_number();
+    }
+  }
+  // One span per graph layer from the executor pass alone.
+  EXPECT_GE(layer_spans, g.size());
+  EXPECT_TRUE(saw_fwd);
+  EXPECT_TRUE(saw_bwd);
+  EXPECT_TRUE(saw_update);
+  // fwd/bwd phases nest inside the training step.
+  EXPECT_GT(fwd_depth, step_depth);
+  EXPECT_GE(step_depth, 0.0);
+}
+
+TEST_F(ObsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(obs::relative_error(1.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(obs::relative_error(0.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(obs::relative_error(2.0, 0.0), 2.0);
+}
+
+/// Acceptance criterion: residual histograms with p50/p95/p99 per op-type
+/// for a real model, fed by the executor + cost-model probe.
+TEST_F(ObsTest, ResidualHistogramsPerOpType) {
+  const Graph g = models::build("resnet18");
+  const Shape shape = Shape::nchw(2, g.input_channels(), 32, 32);
+
+  Executor exec;
+  const ExecutionResult run = exec.run_random(g, shape);
+  std::vector<MeasuredLayerTime> measured;
+  for (const LayerTiming& layer : run.layers) {
+    measured.push_back({layer.node, layer.seconds});
+  }
+
+  auto& registry = obs::MetricsRegistry::instance();
+  const std::size_t recorded = record_layer_residuals(
+      registry, xeon_gold_5318y_core(), g, shape, measured);
+  EXPECT_GT(recorded, g.size() / 2);
+
+  // ResNet-18 exercises at least conv2d, batch_norm2d, activation, linear —
+  // and the whole-graph rollup.
+  for (const std::string op :
+       {"conv2d", "batch_norm2d", "activation", "linear", "graph"}) {
+    const auto stats = obs::residual_stats(registry, op);
+    ASSERT_TRUE(stats.has_value()) << "no residuals for op " << op;
+    EXPECT_GT(stats->count, 0u);
+    EXPECT_GE(stats->p50, 0.0);
+    EXPECT_LE(stats->p50, stats->p95);
+    EXPECT_LE(stats->p95, stats->p99);
+  }
+  EXPECT_EQ(registry.counter("residual.pairs").value(),
+            static_cast<std::uint64_t>(recorded));
+}
+
+TEST_F(ObsTest, ResidualStatsAbsentWithoutRecords) {
+  EXPECT_FALSE(
+      obs::residual_stats(obs::MetricsRegistry::instance(), "conv2d")
+          .has_value());
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -10,10 +10,15 @@
 //                       [--devices N --nodes M] [--dataset D] [--epochs E]
 //   convmeter scalability --coeffs coeffs.txt --model x --batch 64
 //                       [--max-nodes 16] [--gpus-per-node 4]
+//   convmeter trace     --model x --out trace.json [--batch 8] [--image N]
+//                       [--device D] [--train 0|1]
+//   convmeter stats     [--model x] [--batch N] [--image N] [--device D]
+//                       [--json 1] [--out FILE]
 //
 // The campaign runs against the simulated devices (see DESIGN.md); fit and
 // predict work on any CSV in the documented sample format, so measurements
-// from real hardware can be dropped in.
+// from real hardware can be dropped in. `trace` and `stats` run the *real*
+// CPU executor with the observability layer enabled (see src/obs/).
 #include <iostream>
 #include <map>
 #include <optional>
@@ -26,10 +31,16 @@
 #include "common/units.hpp"
 #include "core/convmeter.hpp"
 #include "core/scalability.hpp"
+#include "exec/executor.hpp"
+#include "exec/trainer.hpp"
 #include "graph/dot.hpp"
 #include "graph/serialize.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/residuals.hpp"
+#include "obs/trace.hpp"
+#include "sim/residual_probe.hpp"
 
 #include <fstream>
 #include <sstream>
@@ -251,6 +262,93 @@ int cmd_scalability(const Args& args) {
   return 0;
 }
 
+/// Runs one instrumented forward pass (and optionally a training step) of
+/// `name`, recording spans and cost-model residuals into the global
+/// observability state. Shared by `trace` and `stats`.
+void run_instrumented_workload(const std::string& name, std::int64_t image,
+                               std::int64_t batch, const DeviceSpec& device,
+                               bool train) {
+  const Graph g = models::build(name);
+  const Shape shape = Shape::nchw(batch, g.input_channels(), image, image);
+
+  Executor exec;
+  const ExecutionResult run = exec.run_random(g, shape);
+
+  // Per-layer residuals: what the roofline model predicts for `device` vs
+  // what the CPU executor measured.
+  std::vector<MeasuredLayerTime> measured;
+  measured.reserve(run.layers.size());
+  for (const LayerTiming& layer : run.layers) {
+    measured.push_back({layer.node, layer.seconds});
+  }
+  record_layer_residuals(device, g, shape, measured);
+
+  if (!train) return;
+  // One full training step adds the nested fwd/bwd/grad-update spans.
+  // Transformer graphs have no CPU backward; skip those quietly.
+  try {
+    TrainerConfig config;
+    Trainer trainer(g, config);
+    Tensor input(shape);
+    input.fill_random(1);
+    std::vector<int> labels(static_cast<std::size_t>(batch));
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<int>(i % 10);
+    }
+    trainer.step(input, labels);
+  } catch (const InvalidArgument&) {
+    std::cerr << "note: model has no CPU training path; trace contains the "
+                 "forward pass only\n";
+  }
+}
+
+int cmd_trace(const Args& args) {
+  const std::string name = args.require("model");
+  const std::string out = args.require("out");
+  const auto image = args.get_int("image", models::default_image_size(name));
+  const auto batch = args.get_int("batch", 8);
+  const DeviceSpec device = device_by_name(args.get("device", "xeon_5318y"));
+  const bool train = args.get_int("train", 1) != 0;
+
+  obs::set_enabled(true);
+  obs::Tracer::instance().clear();
+  run_instrumented_workload(name, image, batch, device, train);
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.write_chrome_trace(out);
+  const auto events = tracer.snapshot();
+  std::cout << "wrote " << events.size() << " spans to " << out;
+  if (tracer.dropped() > 0) {
+    std::cout << " (" << tracer.dropped() << " dropped by ring buffers)";
+  }
+  std::cout << "\nopen in chrome://tracing or https://ui.perfetto.dev\n";
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const std::string name = args.get("model", "resnet18");
+  const auto image = args.get_int("image", 64);
+  const auto batch = args.get_int("batch", 4);
+  const DeviceSpec device = device_by_name(args.get("device", "xeon_5318y"));
+  const bool train = args.get_int("train", 1) != 0;
+
+  obs::set_enabled(true);
+  run_instrumented_workload(name, image, batch, device, train);
+
+  auto& registry = obs::MetricsRegistry::instance();
+  if (args.has("out")) {
+    std::ofstream f(args.require("out"));
+    CM_CHECK(static_cast<bool>(f), "cannot write " + args.require("out"));
+    f << registry.to_json() << '\n';
+    std::cout << "wrote metrics JSON to " << args.require("out") << '\n';
+  } else if (args.get_int("json", 0) != 0) {
+    std::cout << registry.to_json() << '\n';
+  } else {
+    registry.print_table(std::cout);
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: convmeter <command> [--option value ...]\n"
@@ -264,7 +362,11 @@ int usage() {
       "  fit         --samples FILE --out FILE [--training 1]\n"
       "  predict     --coeffs FILE --model NAME [--image N] [--batch N]\n"
       "              [--devices N --nodes M] [--dataset D --epochs E]\n"
-      "  scalability --coeffs FILE --model NAME [--batch N] [--max-nodes N]\n";
+      "  scalability --coeffs FILE --model NAME [--batch N] [--max-nodes N]\n"
+      "  trace       --model NAME --out FILE [--batch N] [--image N]\n"
+      "              [--device D] [--train 0|1]\n"
+      "  stats       [--model NAME] [--batch N] [--image N] [--device D]\n"
+      "              [--json 1] [--out FILE]\n";
   return 2;
 }
 
@@ -280,6 +382,8 @@ int run(int argc, char** argv) {
   if (cmd == "fit") return cmd_fit(args);
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "scalability") return cmd_scalability(args);
+  if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "stats") return cmd_stats(args);
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();
 }
