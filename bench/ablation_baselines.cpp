@@ -7,6 +7,7 @@
 
 #include "baselines/paleo_like.hpp"
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
@@ -18,7 +19,7 @@ int main() {
   std::cout << "Ablation -- fitted linear model vs analytical (Paleo-like) "
                "prediction, GPU inference\n";
 
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep =
       InferenceSweep::paper_default(bench::paper_model_set());
   const auto samples = run_inference_campaign(sim, sweep);

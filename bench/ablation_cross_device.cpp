@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
@@ -20,7 +21,7 @@ using namespace convmeter;
 namespace {
 
 std::vector<RuntimeSample> campaign_on(const DeviceSpec& device) {
-  InferenceSimulator sim(device);
+  SimInferenceBackend sim(device);
   InferenceSweep sweep;
   sweep.models = bench::paper_model_set();
   sweep.image_sizes = {64, 128, 224};

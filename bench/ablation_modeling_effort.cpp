@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -17,7 +18,7 @@ int main() {
   std::cout << "Ablation -- accuracy vs number of tuning samples "
                "(GPU inference, held-out models: resnet50, mobilenet_v2)\n";
 
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep =
       InferenceSweep::paper_default(bench::paper_model_set());
   sweep.repetitions = 4;

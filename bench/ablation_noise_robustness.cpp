@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/evaluate.hpp"
@@ -21,7 +22,7 @@ int main() {
   for (const double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     DeviceSpec device = a100_80gb();
     device.noise_sigma = base_sigma * scale;
-    InferenceSimulator sim(device);
+    SimInferenceBackend sim(device);
     InferenceSweep sweep =
         InferenceSweep::paper_default(bench::paper_model_set());
     const auto samples = run_inference_campaign(sim, sweep);

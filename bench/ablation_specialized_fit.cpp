@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
@@ -45,7 +46,7 @@ int main() {
                "(per-ConvNet) coefficients for distributed training-step "
                "prediction\n\n";
 
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_distributed(bench::paper_model_set());
   sweep.repetitions = 4;

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -20,7 +21,7 @@ int main() {
   std::cout << "Extension -- inference prediction on a Jetson-class edge "
                "device (future work of the paper)\n";
 
-  InferenceSimulator sim(jetson_class_edge());
+  SimInferenceBackend sim(jetson_class_edge());
   InferenceSweep sweep;
   // Edge deployments run small batches and the mobile-friendly nets.
   sweep.models = {"squeezenet1_0", "squeezenet1_1",     "mobilenet_v2",

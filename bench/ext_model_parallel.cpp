@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -21,7 +22,7 @@ int main() {
   // Stage predictions are block predictions, so the predictor is tuned on
   // the block campaign (Table 2's protocol) — its intercept then reflects
   // per-block rather than per-model fixed costs.
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   std::vector<BlockCase> blocks;
   for (const auto& nb : models::paper_blocks()) {
     models::BlockExtraction ex = models::extract_paper_block(nb);

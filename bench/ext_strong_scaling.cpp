@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/scalability.hpp"
@@ -17,7 +18,7 @@ int main() {
   std::cout << "Extension -- weak vs strong scaling prediction "
                "(image 128, 4 GPUs/node)\n";
 
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_distributed(bench::paper_model_set());
   const ConvMeter model =

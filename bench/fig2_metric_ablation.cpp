@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/evaluate.hpp"
@@ -15,7 +16,7 @@ int main() {
   std::cout << "ConvMeter reproduction -- Figure 2: metric ablation for GPU "
                "inference prediction\n";
 
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep =
       InferenceSweep::paper_default(bench::paper_model_set());
   const auto samples = run_inference_campaign(sim, sweep);

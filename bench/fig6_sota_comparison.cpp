@@ -7,6 +7,7 @@
 
 #include "baselines/dippm_like.hpp"
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
@@ -18,7 +19,7 @@ int main() {
   std::cout << "ConvMeter reproduction -- Figure 6: comparison with the "
                "DIPPM-like learned predictor\n";
 
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = bench::paper_model_set();
   sweep.image_sizes = {128};

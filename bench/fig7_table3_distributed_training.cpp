@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/evaluate.hpp"
 
@@ -17,7 +18,7 @@ int main() {
   std::cout << "ConvMeter reproduction -- Table 3 / Figure 7: distributed "
                "training-step prediction (1-16 nodes x 4 A100)\n";
 
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_distributed(bench::paper_model_set());
   const auto samples = run_training_campaign(sim, sweep);

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/scalability.hpp"
@@ -22,7 +23,7 @@ int main() {
   std::cout << "ConvMeter reproduction -- Figure 8: throughput vs node count "
                "(image 128, per-device batch 64, 4 GPUs/node)\n";
 
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_distributed(bench::paper_model_set());
   const auto samples = run_training_campaign(sim, sweep);
@@ -57,7 +58,7 @@ int main() {
       std::vector<double> runs;
       for (int rep = 0; rep < 7; ++rep) {
         const TrainStepTimes t =
-            sim.measure_step(g, Shape::nchw(64, 3, kImage, kImage), cfg, rng);
+            sim.simulator().measure_step(g, Shape::nchw(64, 3, kImage, kImage), cfg, rng);
         runs.push_back(kBatch * cfg.num_devices / t.step);
       }
       meas_series.x.push_back(n);

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/scalability.hpp"
 #include "linalg/stats.hpp"
@@ -20,7 +21,7 @@ int main() {
   std::cout << "ConvMeter reproduction -- Figure 9: throughput vs batch size "
                "(image 64, one 4xA100 node)\n";
 
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_distributed(bench::paper_model_set());
   const auto samples = run_training_campaign(sim, sweep);
@@ -64,7 +65,7 @@ int main() {
       Rng rng(0xf19'8000 + static_cast<std::uint64_t>(batch));
       std::vector<double> runs;
       for (int rep = 0; rep < 7; ++rep) {
-        const TrainStepTimes t = sim.measure_step(g, shape, cfg, rng);
+        const TrainStepTimes t = sim.simulator().measure_step(g, shape, cfg, rng);
         runs.push_back(batch * cfg.num_devices / t.step);
       }
       meas_series.y.push_back(mean(runs));

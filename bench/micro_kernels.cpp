@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/clock.hpp"
 #include "core/convmeter.hpp"
@@ -87,7 +88,7 @@ void BM_ModelBuild(benchmark::State& state) {
 BENCHMARK(BM_ModelBuild);
 
 void BM_ConvMeterFit(benchmark::State& state) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = {"alexnet", "resnet18", "resnet50", "mobilenet_v2",
                   "vgg16"};
@@ -103,7 +104,7 @@ void BM_ConvMeterFit(benchmark::State& state) {
 BENCHMARK(BM_ConvMeterFit);
 
 void BM_ConvMeterPredict(benchmark::State& state) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = {"alexnet", "resnet18", "resnet50"};
   sweep.image_sizes = {64, 128};

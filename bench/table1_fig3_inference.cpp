@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/evaluate.hpp"
 
@@ -16,7 +17,7 @@ namespace {
 
 void run_platform(const DeviceSpec& device,
                   const std::vector<std::int64_t>& batches) {
-  InferenceSimulator sim(device);
+  SimInferenceBackend sim(device);
   InferenceSweep sweep =
       InferenceSweep::paper_default(bench::paper_model_set());
   sweep.batch_sizes = batches;

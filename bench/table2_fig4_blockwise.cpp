@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/evaluate.hpp"
 #include "models/blocks.hpp"
@@ -26,7 +27,7 @@ int main() {
         {nb.label, std::move(ex.block), std::move(ex.input_shape)});
   }
 
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   const auto samples = run_block_campaign(
       sim, blocks, {1, 4, 16, 64, 256, 1024}, /*repetitions=*/3,
       /*seed=*/0x5eed);

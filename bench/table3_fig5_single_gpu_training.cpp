@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/evaluate.hpp"
 
@@ -16,7 +17,7 @@ int main() {
   std::cout << "ConvMeter reproduction -- Table 3 / Figure 5: single-GPU "
                "training-step prediction\n";
 
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_single_gpu(bench::paper_model_set());
   const auto samples = run_training_campaign(sim, sweep);

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/evaluate.hpp"
@@ -45,7 +46,7 @@ int main() {
   // Back the ConvMeter row with live checks against this implementation.
   std::cout << "\nVerifying the ConvMeter row against this implementation:\n";
 
-  TrainingSimulator tsim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend tsim(a100_80gb(), nvlink_hdr200_fabric());
   std::vector<std::string> fit_models = bench::paper_model_set();
   // Hold vgg16 out so the demo below predicts a genuinely unseen model.
   std::erase(fit_models, std::string("vgg16"));
@@ -63,7 +64,7 @@ int main() {
             << "vgg16 @ 2 nodes -> step "
             << trained.predict_train_step(q).step * 1e3 << " ms\n";
 
-  InferenceSimulator isim(a100_80gb());
+  SimInferenceBackend isim(a100_80gb());
   InferenceSweep isweep;
   isweep.models = fit_models;
   isweep.image_sizes = {64, 128, 224};

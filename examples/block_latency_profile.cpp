@@ -5,6 +5,7 @@
 // story against the device simulator.
 #include <iostream>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -28,7 +29,7 @@ int main() {
 
   // Block-level predictor tuned on the paper's nine reference blocks —
   // the target model's own blocks are never measured.
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   std::vector<BlockCase> reference;
   for (const auto& nb : models::paper_blocks()) {
     if (nb.model == target) continue;  // keep the target unseen

@@ -7,6 +7,7 @@
 // node count, the scaling turning point, and a cost-efficiency view.
 #include <iostream>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -30,7 +31,7 @@ int main() {
             << "M images, batch " << kPerDeviceBatch << "/GPU)\n\n";
 
   // Tune ConvMeter on every zoo model except the target (it is "new").
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   std::vector<std::string> fit_models = {
       "alexnet",       "vgg16",           "resnet18",        "resnet101",
       "squeezenet1_0", "mobilenet_v2",    "efficientnet_b0", "regnet_x_8gf",

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -64,7 +65,7 @@ int main() {
             << " stage (batch " << kBatch << ")\n\n";
 
   // Tune a block-level predictor on the paper's nine reference blocks.
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   std::vector<BlockCase> reference;
   for (const auto& nb : models::paper_blocks()) {
     models::BlockExtraction ex = models::extract_paper_block(nb);

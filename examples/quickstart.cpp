@@ -7,6 +7,7 @@
 //  5. predict the inference time of a model the fit never saw.
 #include <iostream>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/units.hpp"
 #include "core/convmeter.hpp"
@@ -31,7 +32,7 @@ int main() {
             << m.layers << "\n";
 
   // -- 3. benchmark campaign on the simulated device -------------------------
-  InferenceSimulator device(a100_80gb());
+  SimInferenceBackend device(a100_80gb());
   InferenceSweep sweep;
   sweep.models = {"alexnet",      "vgg16",           "resnet18",
                   "mobilenet_v2", "efficientnet_b0", "squeezenet1_0",
@@ -57,7 +58,7 @@ int main() {
     q.per_device_batch = batch;
     const PredictionInterval p = model.predict_inference_interval(q);
     const double actual =
-        device.expected(resnet, Shape::nchw(static_cast<std::int64_t>(batch),
+        device.simulator().expected(resnet, Shape::nchw(static_cast<std::int64_t>(batch),
                                             3, 224, 224));
     std::cout << "resnet50 batch " << batch << ": predicted "
               << format_seconds(p.value) << " [" << format_seconds(p.low)

@@ -1,26 +1,26 @@
-// Real-measurement pipeline: no simulator anywhere. The real CPU executor
-// provides wall-clock forward-pass times on THIS machine; ConvMeter is
-// fitted on them and predicts a held-out architecture — the complete
-// methodology of the paper, end to end, on genuine measurements.
+// Real-measurement pipeline: no simulator anywhere. The real CPU backend
+// provides wall-clock forward-pass times on THIS machine; the same campaign
+// engine that drives the simulators collects them, ConvMeter is fitted on
+// the result and predicts a held-out architecture — the complete methodology
+// of the paper, end to end, on genuine measurements.
 //
 // Configurations are kept small so the demo finishes in seconds; the same
 // code scales to a full campaign by widening the sweep.
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
-#include "collect/sample.hpp"
+#include "backend/real_backend.hpp"
+#include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/convmeter.hpp"
-#include "exec/executor.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
 
 using namespace convmeter;
 
 int main() {
-  const std::vector<std::string> tuning_models = {
-      "squeezenet1_1", "mobilenet_v3_small", "mobilenet_v2", "resnet18"};
   const std::string held_out = "squeezenet1_0";
   const std::vector<std::int64_t> images = {32, 64};
   const std::vector<std::int64_t> batches = {1, 2, 4};
@@ -28,43 +28,25 @@ int main() {
   std::cout << "Fitting ConvMeter on REAL wall-clock CPU measurements "
                "(this machine), predicting " << held_out << "\n\n";
 
-  Executor exec(0);
-  std::vector<RuntimeSample> samples;
-  for (const std::string& name : tuning_models) {
-    const Graph g = models::build(name);
-    for (const std::int64_t image : images) {
-      const GraphMetrics m = compute_metrics_b1(g, image);
-      for (const std::int64_t batch : batches) {
-        const Shape shape = Shape::nchw(batch, 3, image, image);
-        // Warm-up once, then take the median-ish of three runs.
-        exec.run_random(g, shape);
-        double best = 1e300;
-        for (int rep = 0; rep < 3; ++rep) {
-          best = std::min(best, exec.run_random(g, shape).total_seconds);
-        }
-        RuntimeSample s;
-        s.model = name;
-        s.device = "host-cpu";
-        s.image_size = image;
-        s.global_batch = batch;
-        s.flops1 = m.flops;
-        s.inputs1 = m.conv_inputs;
-        s.outputs1 = m.conv_outputs;
-        s.weights = m.weights;
-        s.layers = m.layers;
-        s.t_infer = best;
-        samples.push_back(std::move(s));
-        std::cout << "  measured " << name << " @" << image << "px b" << batch
-                  << ": " << format_seconds(best) << "\n";
-      }
-    }
-  }
+  // The backend wraps the real Executor; the campaign sweeps it exactly as
+  // it would sweep a simulated device.
+  RealInferenceBackend backend(0);
+  InferenceSweep sweep;
+  sweep.models = {"squeezenet1_1", "mobilenet_v3_small", "mobilenet_v2",
+                  "resnet18"};
+  sweep.image_sizes = images;
+  sweep.batch_sizes = batches;
+  sweep.repetitions = 3;
+  const auto samples = run_inference_campaign(backend, sweep);
+  std::cout << "  campaign: " << samples.size() << " real measurements on "
+            << backend.device().name << "\n";
 
   const ConvMeter model = ConvMeter::fit_inference(samples);
   std::cout << "\nfitted on " << samples.size()
             << " real measurements; predicting unseen " << held_out << ":\n\n";
 
   const Graph target = models::build(held_out);
+  Rng rng(0xbea1);
   ConsoleTable table({"Config", "Predicted", "Measured", "Ratio"});
   for (const std::int64_t image : images) {
     const GraphMetrics m = compute_metrics_b1(target, image);
@@ -74,10 +56,12 @@ int main() {
       q.per_device_batch = static_cast<double>(batch);
       const double predicted = model.predict_inference(q);
       const Shape shape = Shape::nchw(batch, 3, image, image);
-      exec.run_random(target, shape);
+      // Warm-up once, then take the best of three runs.
+      backend.measure_inference(target, shape, rng);
       double measured = 1e300;
       for (int rep = 0; rep < 3; ++rep) {
-        measured = std::min(measured, exec.run_random(target, shape).total_seconds);
+        measured = std::min(
+            measured, backend.measure_inference(target, shape, rng).seconds);
       }
       table.add_row({std::to_string(image) + "px b" + std::to_string(batch),
                      format_seconds(predicted), format_seconds(measured),

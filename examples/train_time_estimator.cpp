@@ -7,6 +7,7 @@
 // does memory run out, and what would a bigger-memory device buy us?
 #include <iostream>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -26,7 +27,7 @@ int main() {
             << "px on one A100-80GB (data-parallel single device)\n\n";
 
   // Fit on other models so the target is unseen.
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep = TrainingSweep::paper_single_gpu(
       {"alexnet", "vgg16", "resnet18", "resnet50", "squeezenet1_0",
        "mobilenet_v2", "densenet121", "regnet_x_8gf"});

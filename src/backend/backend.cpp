@@ -1,0 +1,54 @@
+#include "backend/backend.hpp"
+
+#include "backend/real_backend.hpp"
+#include "backend/sim_backend.hpp"
+#include "common/error.hpp"
+#include "sim/comm.hpp"
+
+namespace convmeter {
+
+InferenceMeasurement MeasurementBackend::measure_inference(const Graph&,
+                                                           const Shape&,
+                                                           Rng&) {
+  throw InvalidArgument("backend '" + device().name +
+                        "' does not support inference measurement");
+}
+
+TrainMeasurement MeasurementBackend::measure_train_step(const Graph&,
+                                                        const Shape&,
+                                                        const TrainConfig&,
+                                                        Rng&) {
+  throw InvalidArgument("backend '" + device().name +
+                        "' does not support training measurement");
+}
+
+const std::vector<std::string>& backend_specs() {
+  static const std::vector<std::string> specs = {"sim-gpu", "sim-cpu",
+                                                 "sim-edge", "real"};
+  return specs;
+}
+
+std::unique_ptr<MeasurementBackend> make_backend(const std::string& spec,
+                                                 bool training) {
+  if (spec == "real") {
+    if (training) return std::make_unique<RealTrainingBackend>();
+    return std::make_unique<RealInferenceBackend>();
+  }
+  DeviceSpec device;
+  if (spec == "sim-gpu") {
+    device = a100_80gb();
+  } else if (spec == "sim-cpu") {
+    device = xeon_gold_5318y_core();
+  } else if (spec == "sim-edge") {
+    device = jetson_class_edge();
+  } else {
+    device = device_by_name(spec);  // throws for unknown specs
+  }
+  if (training) {
+    return std::make_unique<SimTrainingBackend>(device,
+                                                nvlink_hdr200_fabric());
+  }
+  return std::make_unique<SimInferenceBackend>(device);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,96 @@
+// Measurement backends: the one seam every sample flows through.
+//
+// A campaign (src/collect/campaign.hpp) does not care where a measurement
+// comes from — a roofline simulator, the real CPU executor, or some future
+// remote device. MeasurementBackend is that boundary: device description,
+// memory feasibility, and the two measurement kinds (inference forward pass
+// and training step). Four implementations ship with the library:
+//
+//   SimInferenceBackend   roofline device model + seeded jitter (sim/)
+//   SimTrainingBackend    event-driven training-step simulator (sim/)
+//   RealInferenceBackend  wall-clock forward passes on this CPU (exec/)
+//   RealTrainingBackend   wall-clock training steps on this CPU (exec/)
+//
+// Related predictors fit one model per platform and per measurement source
+// (NeuralPower, Habitat); keeping the source behind an interface is what
+// lets the same campaign/fit/predict pipeline serve them all.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/device.hpp"
+#include "sim/training_sim.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+/// One inference measurement. `expected` is the backend's noise-free model
+/// expectation when it has one (simulators do), NaN otherwise; the campaign
+/// feeds (expected, seconds) pairs into the residual telemetry.
+struct InferenceMeasurement {
+  double seconds = 0.0;
+  double expected = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// One training-step measurement (phase breakdown as in TrainStepTimes).
+struct TrainMeasurement {
+  TrainStepTimes times;
+  double expected_step = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// A source of runtime measurements for one device.
+///
+/// Thread-safety contract: measure_* calls may run concurrently from
+/// max_concurrency() threads (0 = any number). The campaign engine derives
+/// an independent Rng per sweep point, so backends never share generator
+/// state across threads.
+class MeasurementBackend {
+ public:
+  virtual ~MeasurementBackend() = default;
+
+  /// The device this backend measures on (name, memory capacity, ...).
+  virtual const DeviceSpec& device() const = 0;
+
+  virtual bool supports_inference() const { return false; }
+  virtual bool supports_training() const { return false; }
+
+  /// Upper bound on concurrent measure_* callers; 0 means unlimited.
+  /// Wall-clock backends return 1: parallel timing runs would contend for
+  /// the CPU and corrupt each other's measurements.
+  virtual int max_concurrency() const { return 0; }
+
+  /// Does running `graph` at `input_shape` fit the device memory?
+  virtual bool fits(const Graph& graph, const Shape& input_shape,
+                    bool training) const = 0;
+
+  /// One inference measurement. Throws InvalidArgument when the backend
+  /// does not support inference.
+  virtual InferenceMeasurement measure_inference(const Graph& graph,
+                                                 const Shape& input_shape,
+                                                 Rng& rng);
+
+  /// One training-step measurement; `per_device_shape` carries the
+  /// mini-batch each device processes. Throws InvalidArgument when the
+  /// backend does not support training.
+  virtual TrainMeasurement measure_train_step(const Graph& graph,
+                                              const Shape& per_device_shape,
+                                              const TrainConfig& config,
+                                              Rng& rng);
+};
+
+/// The specs make_backend understands (for CLI help / validation):
+/// "sim-gpu", "sim-cpu", "sim-edge", "real"; any sim device preset name
+/// ("a100", "xeon_5318y", "jetson_edge") also selects a simulated backend.
+const std::vector<std::string>& backend_specs();
+
+/// Constructs a backend from a spec string. `training` selects the
+/// training-capable implementation for the spec's device.
+std::unique_ptr<MeasurementBackend> make_backend(const std::string& spec,
+                                                 bool training = false);
+
+}  // namespace convmeter

@@ -1,0 +1,98 @@
+#include "backend/real_backend.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/cost_model.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace convmeter {
+
+namespace {
+
+double detect_physical_memory_bytes() {
+#if defined(__unix__) && defined(_SC_PHYS_PAGES) && defined(_SC_PAGESIZE)
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page_size = sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page_size > 0) {
+    return static_cast<double>(pages) * static_cast<double>(page_size);
+  }
+#endif
+  return 8.0 * (1ULL << 30);  // conservative fallback
+}
+
+}  // namespace
+
+DeviceSpec host_cpu_device() {
+  DeviceSpec d;
+  d.name = "host-cpu";
+  d.memory_bytes = detect_physical_memory_bytes();
+  return d;
+}
+
+RealInferenceBackend::RealInferenceBackend(std::size_t num_threads)
+    : device_(host_cpu_device()), executor_(num_threads) {}
+
+bool RealInferenceBackend::fits(const Graph& graph, const Shape& input_shape,
+                                bool training) const {
+  return memory_footprint_bytes(graph, input_shape, training) <=
+         device_.memory_bytes;
+}
+
+InferenceMeasurement RealInferenceBackend::measure_inference(
+    const Graph& graph, const Shape& input_shape, Rng& rng) {
+  // Fresh input data per repetition keeps the run honest (no accidental
+  // cache reuse across reps); the weight/input seed comes from the
+  // per-point generator so reps differ deterministically.
+  InferenceMeasurement m;
+  m.seconds =
+      executor_.run_random(graph, input_shape, rng.next_u64()).total_seconds;
+  return m;
+}
+
+RealTrainingBackend::RealTrainingBackend(TrainerConfig config)
+    : device_(host_cpu_device()), config_(config) {}
+
+bool RealTrainingBackend::fits(const Graph& graph, const Shape& input_shape,
+                               bool training) const {
+  return memory_footprint_bytes(graph, input_shape, training) <=
+         device_.memory_bytes;
+}
+
+Trainer& RealTrainingBackend::trainer_for(const Graph& graph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = trainers_[&graph];
+  if (!slot) slot = std::make_unique<Trainer>(graph, config_);
+  return *slot;
+}
+
+TrainMeasurement RealTrainingBackend::measure_train_step(
+    const Graph& graph, const Shape& per_device_shape,
+    const TrainConfig& config, Rng& rng) {
+  CM_CHECK(config.num_devices == 1 && config.num_nodes == 1,
+           "RealTrainingBackend measures single-device steps; use the "
+           "simulated training backend for multi-device sweeps");
+  Trainer& trainer = trainer_for(graph);
+
+  Tensor input(per_device_shape);
+  input.fill_random(rng.next_u64());
+  const auto batch = static_cast<std::size_t>(per_device_shape.batch());
+  std::vector<int> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    labels[i] = static_cast<int>(i % 10);
+  }
+
+  const RealStepResult r = trainer.step(input, labels);
+  TrainMeasurement m;
+  m.times.fwd = r.fwd_seconds;
+  m.times.bwd = r.bwd_seconds;
+  m.times.grad = r.update_seconds;
+  m.times.step = r.fwd_seconds + r.bwd_seconds + r.update_seconds;
+  return m;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,73 @@
+// Real measurement backends: wall-clock forward passes and training steps
+// executed with the library's own CPU kernels (src/exec). These make the
+// campaign -> fit -> predict pipeline runnable end to end on genuine
+// measurements — the simulator is only a stand-in where the paper's
+// hardware is unavailable.
+//
+// Both report max_concurrency() == 1: the executor already parallelizes
+// its kernels over every core, and overlapping two timed runs would let
+// each perturb the other's wall clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "backend/backend.hpp"
+#include "exec/executor.hpp"
+#include "exec/trainer.hpp"
+
+namespace convmeter {
+
+/// A DeviceSpec describing this machine's CPU: name "host-cpu" and the
+/// detected physical memory; the throughput fields are irrelevant for real
+/// measurement and stay zero.
+DeviceSpec host_cpu_device();
+
+/// Wall-clock forward passes on this machine's CPU.
+class RealInferenceBackend : public MeasurementBackend {
+ public:
+  /// `num_threads` == 0 selects hardware concurrency for the kernels.
+  explicit RealInferenceBackend(std::size_t num_threads = 0);
+
+  const DeviceSpec& device() const override { return device_; }
+  bool supports_inference() const override { return true; }
+  int max_concurrency() const override { return 1; }
+  bool fits(const Graph& graph, const Shape& input_shape,
+            bool training) const override;
+  InferenceMeasurement measure_inference(const Graph& graph,
+                                         const Shape& input_shape,
+                                         Rng& rng) override;
+
+ private:
+  DeviceSpec device_;
+  Executor executor_;
+};
+
+/// Wall-clock training steps on this machine's CPU. Parameters persist per
+/// graph across calls (a Trainer is built on first use and cached), so
+/// repeated sweep points time warm steps, not initialization.
+class RealTrainingBackend : public MeasurementBackend {
+ public:
+  explicit RealTrainingBackend(TrainerConfig config = {});
+
+  const DeviceSpec& device() const override { return device_; }
+  bool supports_training() const override { return true; }
+  int max_concurrency() const override { return 1; }
+  bool fits(const Graph& graph, const Shape& input_shape,
+            bool training) const override;
+  TrainMeasurement measure_train_step(const Graph& graph,
+                                      const Shape& per_device_shape,
+                                      const TrainConfig& config,
+                                      Rng& rng) override;
+
+ private:
+  Trainer& trainer_for(const Graph& graph);
+
+  DeviceSpec device_;
+  TrainerConfig config_;
+  std::mutex mutex_;
+  std::unordered_map<const Graph*, std::unique_ptr<Trainer>> trainers_;
+};
+
+}  // namespace convmeter

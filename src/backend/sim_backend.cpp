@@ -1,0 +1,48 @@
+#include "backend/sim_backend.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "sim/cost_model.hpp"
+
+namespace convmeter {
+
+SimInferenceBackend::SimInferenceBackend(DeviceSpec device)
+    : sim_(std::move(device)) {}
+
+bool SimInferenceBackend::fits(const Graph& graph, const Shape& input_shape,
+                               bool training) const {
+  return fits_in_memory(sim_.device(), graph, input_shape, training);
+}
+
+InferenceMeasurement SimInferenceBackend::measure_inference(
+    const Graph& graph, const Shape& input_shape, Rng& rng) {
+  InferenceMeasurement m;
+  m.seconds = sim_.measure(graph, input_shape, rng);
+  // The noise-free expectation costs a second cost-model pass; only the
+  // residual telemetry consumes it, so skip it when observability is off.
+  if (obs::enabled()) m.expected = sim_.expected(graph, input_shape);
+  return m;
+}
+
+SimTrainingBackend::SimTrainingBackend(DeviceSpec device, CommFabric fabric)
+    : sim_(std::move(device), std::move(fabric)) {}
+
+bool SimTrainingBackend::fits(const Graph& graph, const Shape& input_shape,
+                              bool training) const {
+  return fits_in_memory(sim_.device(), graph, input_shape, training);
+}
+
+TrainMeasurement SimTrainingBackend::measure_train_step(
+    const Graph& graph, const Shape& per_device_shape,
+    const TrainConfig& config, Rng& rng) {
+  TrainMeasurement m;
+  m.times = sim_.measure_step(graph, per_device_shape, config, rng);
+  if (obs::enabled()) {
+    m.expected_step =
+        sim_.expected_step(graph, per_device_shape, config).step;
+  }
+  return m;
+}
+
+}  // namespace convmeter

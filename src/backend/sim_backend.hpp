@@ -1,0 +1,55 @@
+// Simulated measurement backends: MeasurementBackend adapters over the
+// roofline inference simulator and the event-driven training simulator.
+// These are what the paper-reproduction campaigns run against (DESIGN.md,
+// substitution table); both are stateless per call and fully thread-safe.
+#pragma once
+
+#include "backend/backend.hpp"
+#include "sim/comm.hpp"
+#include "sim/inference_sim.hpp"
+#include "sim/training_sim.hpp"
+
+namespace convmeter {
+
+/// Simulated inference device (forward passes only).
+class SimInferenceBackend : public MeasurementBackend {
+ public:
+  explicit SimInferenceBackend(DeviceSpec device);
+
+  const DeviceSpec& device() const override { return sim_.device(); }
+  bool supports_inference() const override { return true; }
+  bool fits(const Graph& graph, const Shape& input_shape,
+            bool training) const override;
+  InferenceMeasurement measure_inference(const Graph& graph,
+                                         const Shape& input_shape,
+                                         Rng& rng) override;
+
+  /// The wrapped simulator, for callers that need noise-free expectations
+  /// or direct measurements outside a campaign.
+  const InferenceSimulator& simulator() const { return sim_; }
+
+ private:
+  InferenceSimulator sim_;
+};
+
+/// Simulated data-parallel training device (training steps only).
+class SimTrainingBackend : public MeasurementBackend {
+ public:
+  SimTrainingBackend(DeviceSpec device, CommFabric fabric);
+
+  const DeviceSpec& device() const override { return sim_.device(); }
+  bool supports_training() const override { return true; }
+  bool fits(const Graph& graph, const Shape& input_shape,
+            bool training) const override;
+  TrainMeasurement measure_train_step(const Graph& graph,
+                                      const Shape& per_device_shape,
+                                      const TrainConfig& config,
+                                      Rng& rng) override;
+
+  const TrainingSimulator& simulator() const { return sim_; }
+
+ private:
+  TrainingSimulator sim_;
+};
+
+}  // namespace convmeter

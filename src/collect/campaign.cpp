@@ -1,22 +1,136 @@
 #include "collect/campaign.hpp"
 
-#include <optional>
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <thread>
+#include <utility>
 
+#include "collect/graph_cache.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 #include "metrics/metrics.hpp"
-#include "models/zoo.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/residuals.hpp"
 #include "obs/trace.hpp"
-#include "sim/cost_model.hpp"
 
 namespace convmeter {
 
 namespace {
 
-/// Metrics at batch 1 copied into a sample record.
-void fill_metrics(RuntimeSample& s, const Graph& graph, const Shape& b1_shape) {
-  const GraphMetrics m = compute_metrics(graph, b1_shape);
+/// One enumerated sweep point: everything a worker needs to produce its
+/// repetitions without touching shared mutable state.
+struct SweepPoint {
+  const Graph* graph = nullptr;
+  RuntimeSample base;  ///< model/device/metrics/topology pre-filled
+  Shape shape;         ///< per-device input shape, batch applied
+  bool training = false;
+  TrainConfig config;  ///< training points only
+};
+
+/// Independent per-point seed: a splitmix64-style mix of the sweep seed
+/// and the point's index in the enumerated work list. Every point owns its
+/// own RNG stream, which is what makes the parallel schedule irrelevant to
+/// the sampled values.
+std::uint64_t point_seed(std::uint64_t sweep_seed, std::size_t index) {
+  std::uint64_t z =
+      sweep_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Measures one point's repetitions into `out` (size `repetitions`).
+void run_point(MeasurementBackend& backend, const SweepPoint& point,
+               std::uint64_t sweep_seed, std::size_t index, int repetitions,
+               std::vector<RuntimeSample>& out) {
+  Rng rng(point_seed(sweep_seed, index));
+  out.reserve(static_cast<std::size_t>(repetitions));
+  for (int rep = 0; rep < repetitions; ++rep) {
+    RuntimeSample s = point.base;
+    if (point.training) {
+      const TrainMeasurement m =
+          backend.measure_train_step(*point.graph, point.shape, point.config,
+                                     rng);
+      s.t_fwd = m.times.fwd;
+      s.t_bwd = m.times.bwd;
+      s.t_grad = m.times.grad;
+      s.t_step = m.times.step;
+      if (obs::enabled() && !std::isnan(m.expected_step)) {
+        // Noise-free expectation vs noisy "measurement": the drift the
+        // regression has to absorb, per model.
+        obs::record_prediction_residual("campaign." + s.model,
+                                        m.expected_step, s.t_step);
+      }
+    } else {
+      const InferenceMeasurement m =
+          backend.measure_inference(*point.graph, point.shape, rng);
+      s.t_infer = m.seconds;
+      if (obs::enabled() && !std::isnan(m.expected)) {
+        obs::record_prediction_residual("campaign." + s.model, m.expected,
+                                        s.t_infer);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+}
+
+/// Dispatches the work list, serially or on a thread pool, and gathers the
+/// per-point results in deterministic point order.
+std::vector<RuntimeSample> run_points(MeasurementBackend& backend,
+                                      const std::vector<SweepPoint>& points,
+                                      int repetitions, std::uint64_t seed,
+                                      const CampaignOptions& options,
+                                      const char* samples_counter) {
+  CM_CHECK(options.jobs >= 0, "campaign jobs must be >= 0");
+  const TimePoint start = Clock::now();
+
+  std::size_t jobs =
+      options.jobs == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(options.jobs);
+  const int cap = backend.max_concurrency();
+  if (cap > 0) jobs = std::min(jobs, static_cast<std::size_t>(cap));
+  jobs = std::min(jobs, std::max<std::size_t>(1, points.size()));
+
+  std::vector<std::vector<RuntimeSample>> results(points.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      run_point(backend, points[i], seed, i, repetitions, results[i]);
+    }
+  } else {
+    ThreadPool pool(jobs);
+    pool.parallel_for(points.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        run_point(backend, points[i], seed, i, repetitions, results[i]);
+      }
+    });
+  }
+
+  std::vector<RuntimeSample> samples;
+  samples.reserve(points.size() * static_cast<std::size_t>(repetitions));
+  for (auto& point_samples : results) {
+    for (RuntimeSample& s : point_samples) {
+      if (options.sink != nullptr) options.sink->emit(s);
+      samples.push_back(std::move(s));
+    }
+  }
+
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter(samples_counter).add(samples.size());
+    const double elapsed = elapsed_seconds(start);
+    if (elapsed > 0.0) {
+      registry.gauge("campaign.samples_per_sec")
+          .set(static_cast<double>(samples.size()) / elapsed);
+    }
+  }
+  return samples;
+}
+
+/// Copies batch-1 metrics into a sample record.
+void fill_metrics(RuntimeSample& s, const GraphMetrics& m) {
   s.flops1 = m.flops;
   s.inputs1 = m.conv_inputs;
   s.outputs1 = m.conv_outputs;
@@ -25,6 +139,14 @@ void fill_metrics(RuntimeSample& s, const Graph& graph, const Shape& b1_shape) {
 }
 
 }  // namespace
+
+CsvSampleSink::CsvSampleSink(std::ostream& os) : os_(os) {
+  os_ << sample_csv_header() << '\n';
+}
+
+void CsvSampleSink::emit(const RuntimeSample& sample) {
+  os_ << sample_to_csv_row(sample) << '\n';
+}
 
 InferenceSweep InferenceSweep::paper_default(std::vector<std::string> models) {
   InferenceSweep sweep;
@@ -57,147 +179,130 @@ TrainingSweep TrainingSweep::paper_distributed(std::vector<std::string> models) 
   return sweep;
 }
 
-std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
-                                                  const InferenceSweep& sweep) {
+std::vector<RuntimeSample> run_inference_campaign(
+    MeasurementBackend& backend, const InferenceSweep& sweep,
+    const CampaignOptions& options) {
   CM_CHECK(!sweep.models.empty(), "inference sweep needs at least one model");
+  CM_CHECK(backend.supports_inference(),
+           "backend '" + backend.device().name +
+               "' cannot measure inference");
   CM_TRACE_SPAN("campaign.inference", "collect");
-  Rng rng(sweep.seed);
-  std::vector<RuntimeSample> samples;
+  GraphCache& cache = GraphCache::instance();
 
+  std::vector<SweepPoint> points;
   for (const std::string& name : sweep.models) {
-    std::optional<obs::TraceSpan> model_span;
-    if (obs::enabled()) model_span.emplace("campaign.model/" + name, "collect");
-    const Graph graph = models::build(name);
+    const Graph& graph = cache.graph(name);
     for (const std::int64_t image : sweep.image_sizes) {
+      const GraphMetrics* metrics = cache.metrics_b1(name, image);
+      if (metrics == nullptr) continue;  // resolution infeasible
       const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
+
       RuntimeSample base;
       base.model = name;
-      base.device = sim.device().name;
+      base.device = backend.device().name;
       base.image_size = image;
-      // Architectures have a minimum feasible resolution (AlexNet's strided
-      // stem collapses below ~63 px, Inception needs ~75 px); infeasible
-      // (model, image) pairs are skipped exactly as a real benchmark run
-      // would fail and be dropped.
-      try {
-        fill_metrics(base, graph, b1);
-      } catch (const InvalidArgument&) {
-        continue;
-      }
+      fill_metrics(base, *metrics);
 
       for (const std::int64_t batch : sweep.batch_sizes) {
         const Shape shape = b1.with_batch(batch);
-        if (!fits_in_memory(sim.device(), graph, shape, /*training=*/false)) {
-          continue;
-        }
-        for (int rep = 0; rep < sweep.repetitions; ++rep) {
-          RuntimeSample s = base;
-          s.global_batch = batch;
-          s.t_infer = sim.measure(graph, shape, rng);
-          if (obs::enabled()) {
-            // Noise-free expectation vs noisy "measurement": the drift the
-            // regression has to absorb, per model.
-            obs::record_prediction_residual("campaign." + name,
-                                            sim.expected(graph, shape),
-                                            s.t_infer);
-            obs::MetricsRegistry::instance()
-                .counter("campaign.inference_samples")
-                .add();
-          }
-          samples.push_back(std::move(s));
-        }
+        if (!backend.fits(graph, shape, /*training=*/false)) continue;
+        SweepPoint p;
+        p.graph = &graph;
+        p.base = base;
+        p.base.global_batch = batch;
+        p.shape = shape;
+        points.push_back(std::move(p));
       }
     }
   }
-  return samples;
+  return run_points(backend, points, sweep.repetitions, sweep.seed, options,
+                    "campaign.inference_samples");
 }
 
-std::vector<RuntimeSample> run_training_campaign(const TrainingSimulator& sim,
-                                                 const TrainingSweep& sweep) {
+std::vector<RuntimeSample> run_training_campaign(
+    MeasurementBackend& backend, const TrainingSweep& sweep,
+    const CampaignOptions& options) {
   CM_CHECK(!sweep.models.empty(), "training sweep needs at least one model");
+  CM_CHECK(backend.supports_training(),
+           "backend '" + backend.device().name + "' cannot measure training");
   CM_TRACE_SPAN("campaign.training", "collect");
-  Rng rng(sweep.seed);
-  std::vector<RuntimeSample> samples;
+  GraphCache& cache = GraphCache::instance();
 
+  std::vector<SweepPoint> points;
   for (const std::string& name : sweep.models) {
-    std::optional<obs::TraceSpan> model_span;
-    if (obs::enabled()) model_span.emplace("campaign.model/" + name, "collect");
-    const Graph graph = models::build(name);
+    const Graph& graph = cache.graph(name);
     for (const std::int64_t image : sweep.image_sizes) {
+      const GraphMetrics* metrics = cache.metrics_b1(name, image);
+      if (metrics == nullptr) continue;  // resolution infeasible
       const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
+
       RuntimeSample base;
       base.model = name;
-      base.device = sim.device().name;
+      base.device = backend.device().name;
       base.image_size = image;
-      try {
-        fill_metrics(base, graph, b1);
-      } catch (const InvalidArgument&) {
-        continue;  // resolution infeasible for this architecture
-      }
+      fill_metrics(base, *metrics);
 
       for (const std::int64_t batch : sweep.per_device_batch_sizes) {
         const Shape shape = b1.with_batch(batch);
-        if (!fits_in_memory(sim.device(), graph, shape, /*training=*/true)) {
-          continue;
-        }
+        if (!backend.fits(graph, shape, /*training=*/true)) continue;
         for (const int nodes : sweep.node_counts) {
-          TrainConfig config;
-          config.num_nodes = nodes;
-          config.num_devices = nodes * sweep.devices_per_node;
-          for (int rep = 0; rep < sweep.repetitions; ++rep) {
-            const TrainStepTimes t =
-                sim.measure_step(graph, shape, config, rng);
-            if (obs::enabled()) {
-              obs::record_prediction_residual(
-                  "campaign." + name,
-                  sim.expected_step(graph, shape, config).step, t.step);
-              obs::MetricsRegistry::instance()
-                  .counter("campaign.training_samples")
-                  .add();
-            }
-            RuntimeSample s = base;
-            s.global_batch = batch * config.num_devices;
-            s.num_devices = config.num_devices;
-            s.num_nodes = nodes;
-            s.t_fwd = t.fwd;
-            s.t_bwd = t.bwd;
-            s.t_grad = t.grad;
-            s.t_step = t.step;
-            samples.push_back(std::move(s));
-          }
+          SweepPoint p;
+          p.graph = &graph;
+          p.base = base;
+          p.shape = shape;
+          p.training = true;
+          p.config.num_nodes = nodes;
+          p.config.num_devices = nodes * sweep.devices_per_node;
+          p.base.global_batch = batch * p.config.num_devices;
+          p.base.num_devices = p.config.num_devices;
+          p.base.num_nodes = nodes;
+          points.push_back(std::move(p));
         }
       }
     }
   }
-  return samples;
+  return run_points(backend, points, sweep.repetitions, sweep.seed, options,
+                    "campaign.training_samples");
 }
 
 std::vector<RuntimeSample> run_block_campaign(
-    const InferenceSimulator& sim, const std::vector<BlockCase>& blocks,
+    MeasurementBackend& backend, const std::vector<BlockCase>& blocks,
     const std::vector<std::int64_t>& batch_sizes, int repetitions,
-    std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<RuntimeSample> samples;
+    std::uint64_t seed, const CampaignOptions& options) {
+  CM_CHECK(backend.supports_inference(),
+           "backend '" + backend.device().name +
+               "' cannot measure inference");
+  CM_TRACE_SPAN("campaign.block", "collect");
 
+  std::vector<SweepPoint> points;
   for (const BlockCase& block : blocks) {
     const Shape b1 = block.native_shape.with_batch(1);
     RuntimeSample base;
     base.model = block.label;
-    base.device = sim.device().name;
+    base.device = backend.device().name;
     base.image_size = b1.height();
-    fill_metrics(base, block.graph, b1);
+    // Same skip rule as the model campaigns: a block whose entry shape is
+    // infeasible (e.g. a kernel larger than its feature map) is dropped,
+    // not fatal.
+    try {
+      fill_metrics(base, compute_metrics(block.graph, b1));
+    } catch (const InvalidArgument&) {
+      continue;
+    }
 
     for (const std::int64_t batch : batch_sizes) {
       const Shape shape = b1.with_batch(batch);
-      if (!fits_in_memory(sim.device(), block.graph, shape, false)) continue;
-      for (int rep = 0; rep < repetitions; ++rep) {
-        RuntimeSample s = base;
-        s.global_batch = batch;
-        s.t_infer = sim.measure(block.graph, shape, rng);
-        samples.push_back(std::move(s));
-      }
+      if (!backend.fits(block.graph, shape, /*training=*/false)) continue;
+      SweepPoint p;
+      p.graph = &block.graph;
+      p.base = base;
+      p.base.global_batch = batch;
+      p.shape = shape;
+      points.push_back(std::move(p));
     }
   }
-  return samples;
+  return run_points(backend, points, repetitions, seed, options,
+                    "campaign.block_samples");
 }
 
 }  // namespace convmeter

@@ -1,22 +1,27 @@
 // Benchmark campaigns (Sec. 3.4 / "Benchmarks" in Sec. 4).
 //
 // A campaign sweeps models x image sizes x batch sizes (x node counts for
-// training) against a simulated device, skipping configurations that do not
-// fit the device memory — the paper's "batch sizes from one to 2048 and
+// training) against a MeasurementBackend, skipping configurations that do
+// not fit the device memory — the paper's "batch sizes from one to 2048 and
 // image sizes from 32 to 224 pixels, as long as the available memory on the
 // target system allows" — and yields the RuntimeSample set the performance
 // models are fitted on.
+//
+// The engine enumerates every sweep point up front, derives an independent
+// RNG per point (seed = mix(sweep.seed, point index)), and dispatches the
+// work list on a thread pool: the sample vector is bit-identical for any
+// `jobs` value, including the serial run. Zoo graphs and batch-1 metrics
+// come from the process-wide GraphCache instead of being rebuilt per sweep.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "collect/sample.hpp"
-#include "common/rng.hpp"
 #include "graph/graph.hpp"
-#include "sim/inference_sim.hpp"
-#include "sim/training_sim.hpp"
 #include "tensor/shape.hpp"
 
 namespace convmeter {
@@ -47,14 +52,47 @@ struct TrainingSweep {
   static TrainingSweep paper_distributed(std::vector<std::string> models);
 };
 
-/// Runs an inference campaign on `sim`'s device.
-std::vector<RuntimeSample> run_inference_campaign(const InferenceSimulator& sim,
-                                                  const InferenceSweep& sweep);
+/// Receives every sample in deterministic point order as the campaign
+/// gathers its results — the streaming path for sweeps too large to hold
+/// comfortably next to their CSV encoding.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+  virtual void emit(const RuntimeSample& sample) = 0;
+};
+
+/// Streams samples as CSV rows in the save_samples dialect (header written
+/// on construction), so `load_samples` reads the result back unchanged.
+class CsvSampleSink : public SampleSink {
+ public:
+  explicit CsvSampleSink(std::ostream& os);
+  void emit(const RuntimeSample& sample) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Execution knobs shared by every campaign entry point.
+struct CampaignOptions {
+  /// Measurement worker threads; 0 selects hardware concurrency. Clamped
+  /// to the backend's max_concurrency(). The sample vector is bit-identical
+  /// for every value of `jobs`.
+  int jobs = 1;
+  /// Optional streaming consumer, fed in deterministic point order in
+  /// addition to the returned vector.
+  SampleSink* sink = nullptr;
+};
+
+/// Runs an inference campaign against `backend`'s device.
+std::vector<RuntimeSample> run_inference_campaign(
+    MeasurementBackend& backend, const InferenceSweep& sweep,
+    const CampaignOptions& options = {});
 
 /// Runs a training campaign. For node_counts == {1} and devices_per_node
 /// == 1 this is the paper's single-GPU scenario.
-std::vector<RuntimeSample> run_training_campaign(const TrainingSimulator& sim,
-                                                 const TrainingSweep& sweep);
+std::vector<RuntimeSample> run_training_campaign(
+    MeasurementBackend& backend, const TrainingSweep& sweep,
+    const CampaignOptions& options = {});
 
 /// Runs an inference campaign over pre-built block graphs. `native_shape`
 /// gives each block's entry shape inside its parent model; the sweep varies
@@ -65,8 +103,8 @@ struct BlockCase {
   Shape native_shape;
 };
 std::vector<RuntimeSample> run_block_campaign(
-    const InferenceSimulator& sim, const std::vector<BlockCase>& blocks,
+    MeasurementBackend& backend, const std::vector<BlockCase>& blocks,
     const std::vector<std::int64_t>& batch_sizes, int repetitions,
-    std::uint64_t seed);
+    std::uint64_t seed, const CampaignOptions& options = {});
 
 }  // namespace convmeter

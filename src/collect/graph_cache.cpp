@@ -1,0 +1,74 @@
+#include "collect/graph_cache.hpp"
+
+#include "common/error.hpp"
+#include "models/zoo.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter {
+
+namespace {
+
+void count_cache_access(bool hit) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::instance()
+      .counter(hit ? "campaign.graph_cache.hits"
+                   : "campaign.graph_cache.misses")
+      .add();
+}
+
+}  // namespace
+
+GraphCache& GraphCache::instance() {
+  static GraphCache cache;
+  return cache;
+}
+
+const Graph& GraphCache::graph(const std::string& model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_locked(model);
+}
+
+const Graph& GraphCache::graph_locked(const std::string& model) {
+  auto& slot = graphs_[model];
+  if (slot) {
+    count_cache_access(/*hit=*/true);
+  } else {
+    count_cache_access(/*hit=*/false);
+    slot = std::make_unique<Graph>(models::build(model));
+  }
+  return *slot;
+}
+
+const GraphMetrics* GraphCache::metrics_b1(const std::string& model,
+                                           std::int64_t image_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = metrics_[{model, image_size}];
+  if (!slot) {
+    count_cache_access(/*hit=*/false);
+    const Graph& g = graph_locked(model);
+    const Shape b1 = Shape::nchw(1, g.input_channels(), image_size,
+                                 image_size);
+    slot = std::make_unique<std::optional<GraphMetrics>>();
+    // Architectures have a minimum feasible resolution (AlexNet's strided
+    // stem collapses below ~63 px, Inception needs ~75 px); the failed
+    // shape inference is cached as "infeasible" exactly like a real
+    // benchmark run would fail once and be dropped.
+    try {
+      *slot = compute_metrics(g, b1);
+    } catch (const InvalidArgument&) {
+    }
+  } else {
+    count_cache_access(/*hit=*/true);
+  }
+  return slot->has_value() ? &slot->value() : nullptr;
+}
+
+void GraphCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  graphs_.clear();
+  metrics_.clear();
+}
+
+}  // namespace convmeter

@@ -1,0 +1,56 @@
+// Process-wide cache of zoo graphs and their batch-1 metrics.
+//
+// A campaign visits the same (model, image) pair once per batch size and
+// repetition, and a bench binary typically runs several campaigns over the
+// same model set (CPU + GPU platforms, ablation variants). Building a zoo
+// graph and computing its metrics are pure functions of (name, image), so
+// both are memoized here; infeasible resolutions (architectures whose stem
+// collapses below a minimum image size) cache their failure too. Hit/miss
+// totals land in the metrics registry under "campaign.graph_cache.*".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "graph/graph.hpp"
+#include "metrics/metrics.hpp"
+
+namespace convmeter {
+
+/// Thread-safe memo of models::build results and batch-1 GraphMetrics.
+/// Returned references stay valid until clear().
+class GraphCache {
+ public:
+  static GraphCache& instance();
+
+  GraphCache() = default;
+  GraphCache(const GraphCache&) = delete;
+  GraphCache& operator=(const GraphCache&) = delete;
+
+  /// The zoo graph for `model`, built on first use.
+  const Graph& graph(const std::string& model);
+
+  /// Metrics of `model` at batch 1 and the given square image size, or
+  /// nullptr when the resolution is infeasible for the architecture.
+  const GraphMetrics* metrics_b1(const std::string& model,
+                                 std::int64_t image_size);
+
+  /// Drops every cached graph and metric (invalidates references).
+  void clear();
+
+ private:
+  const Graph& graph_locked(const std::string& model);
+
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Graph>> graphs_;
+  std::map<std::pair<std::string, std::int64_t>,
+           std::unique_ptr<std::optional<GraphMetrics>>>
+      metrics_;
+};
+
+}  // namespace convmeter

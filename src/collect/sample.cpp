@@ -13,20 +13,46 @@ std::string num(double v) {
   return os.str();
 }
 
+const std::vector<std::string>& csv_header_fields() {
+  static const std::vector<std::string> header = {
+      "model",   "device",  "image_size", "global_batch",
+      "num_devices", "num_nodes", "flops1", "inputs1",
+      "outputs1", "weights", "layers", "t_infer",
+      "t_fwd",   "t_bwd",   "t_grad",  "t_step"};
+  return header;
+}
+
+std::vector<std::string> csv_row_fields(const RuntimeSample& s) {
+  return {s.model, s.device, std::to_string(s.image_size),
+          std::to_string(s.global_batch), std::to_string(s.num_devices),
+          std::to_string(s.num_nodes), num(s.flops1), num(s.inputs1),
+          num(s.outputs1), num(s.weights), num(s.layers), num(s.t_infer),
+          num(s.t_fwd), num(s.t_bwd), num(s.t_grad), num(s.t_step)};
+}
+
+std::string join_csv(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += fields[i];
+  }
+  return line;
+}
+
 }  // namespace
 
 CsvTable samples_to_csv(const std::vector<RuntimeSample>& samples) {
-  CsvTable t({"model", "device", "image_size", "global_batch", "num_devices",
-              "num_nodes", "flops1", "inputs1", "outputs1", "weights",
-              "layers", "t_infer", "t_fwd", "t_bwd", "t_grad", "t_step"});
+  CsvTable t(csv_header_fields());
   for (const auto& s : samples) {
-    t.add_row({s.model, s.device, std::to_string(s.image_size),
-               std::to_string(s.global_batch), std::to_string(s.num_devices),
-               std::to_string(s.num_nodes), num(s.flops1), num(s.inputs1),
-               num(s.outputs1), num(s.weights), num(s.layers), num(s.t_infer),
-               num(s.t_fwd), num(s.t_bwd), num(s.t_grad), num(s.t_step)});
+    t.add_row(csv_row_fields(s));
   }
   return t;
+}
+
+std::string sample_csv_header() { return join_csv(csv_header_fields()); }
+
+std::string sample_to_csv_row(const RuntimeSample& s) {
+  return join_csv(csv_row_fields(s));
 }
 
 std::vector<RuntimeSample> samples_from_csv(const CsvTable& t) {

@@ -46,6 +46,11 @@ struct RuntimeSample {
 CsvTable samples_to_csv(const std::vector<RuntimeSample>& samples);
 std::vector<RuntimeSample> samples_from_csv(const CsvTable& table);
 
+/// Header and single-row encodings of the sample CSV dialect, shared by
+/// samples_to_csv and the campaign engine's streaming CsvSampleSink.
+std::string sample_csv_header();
+std::string sample_to_csv_row(const RuntimeSample& s);
+
 void save_samples(const std::vector<RuntimeSample>& samples,
                   const std::string& path);
 std::vector<RuntimeSample> load_samples(const std::string& path);

@@ -1,0 +1,278 @@
+// MeasurementBackend contract, factory, graph-cache, and parallel-campaign
+// determinism tests: jobs=N must reproduce the serial sample stream bit for
+// bit, for every campaign kind.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "backend/backend.hpp"
+#include "backend/real_backend.hpp"
+#include "backend/sim_backend.hpp"
+#include "collect/campaign.hpp"
+#include "collect/graph_cache.hpp"
+#include "common/error.hpp"
+#include "models/zoo.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter {
+namespace {
+
+InferenceSweep tiny_inference_sweep() {
+  InferenceSweep sweep;
+  sweep.models = {"alexnet", "resnet18"};
+  sweep.image_sizes = {64, 128};
+  sweep.batch_sizes = {1, 16};
+  sweep.repetitions = 2;
+  return sweep;
+}
+
+TrainingSweep tiny_training_sweep() {
+  TrainingSweep sweep;
+  sweep.models = {"resnet18", "squeezenet1_0"};
+  sweep.image_sizes = {64};
+  sweep.per_device_batch_sizes = {16, 64};
+  sweep.node_counts = {1, 2};
+  sweep.devices_per_node = 4;
+  sweep.repetitions = 2;
+  return sweep;
+}
+
+std::vector<BlockCase> tiny_blocks() {
+  std::vector<BlockCase> blocks;
+  for (const char* label : {"A", "B"}) {
+    Graph g(label);
+    NodeId x = g.input(32);
+    g.conv2d("c", x, Conv2dAttrs::square(32, 32, 3, 1, 1));
+    blocks.push_back({label, std::move(g), Shape::nchw(1, 32, 28, 28)});
+  }
+  return blocks;
+}
+
+/// Bit-identical: every field compared with exact equality, doubles too.
+void expect_identical(const std::vector<RuntimeSample>& a,
+                      const std::vector<RuntimeSample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model, b[i].model) << i;
+    EXPECT_EQ(a[i].device, b[i].device) << i;
+    EXPECT_EQ(a[i].image_size, b[i].image_size) << i;
+    EXPECT_EQ(a[i].global_batch, b[i].global_batch) << i;
+    EXPECT_EQ(a[i].num_devices, b[i].num_devices) << i;
+    EXPECT_EQ(a[i].num_nodes, b[i].num_nodes) << i;
+    EXPECT_EQ(a[i].flops1, b[i].flops1) << i;
+    EXPECT_EQ(a[i].inputs1, b[i].inputs1) << i;
+    EXPECT_EQ(a[i].outputs1, b[i].outputs1) << i;
+    EXPECT_EQ(a[i].weights, b[i].weights) << i;
+    EXPECT_EQ(a[i].layers, b[i].layers) << i;
+    EXPECT_EQ(a[i].t_infer, b[i].t_infer) << i;
+    EXPECT_EQ(a[i].t_fwd, b[i].t_fwd) << i;
+    EXPECT_EQ(a[i].t_bwd, b[i].t_bwd) << i;
+    EXPECT_EQ(a[i].t_grad, b[i].t_grad) << i;
+    EXPECT_EQ(a[i].t_step, b[i].t_step) << i;
+  }
+}
+
+TEST(BackendContractTest, SimInferenceSupportsOnlyInference) {
+  SimInferenceBackend backend(a100_80gb());
+  EXPECT_TRUE(backend.supports_inference());
+  EXPECT_FALSE(backend.supports_training());
+  EXPECT_EQ(backend.max_concurrency(), 0);  // fully thread-safe
+
+  const Graph g = models::build("squeezenet1_1");
+  Rng rng(1);
+  const auto m =
+      backend.measure_inference(g, Shape::nchw(1, 3, 64, 64), rng);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_THROW(backend.measure_train_step(g, Shape::nchw(1, 3, 64, 64),
+                                          TrainConfig{}, rng),
+               InvalidArgument);
+}
+
+TEST(BackendContractTest, SimTrainingSupportsOnlyTraining) {
+  SimTrainingBackend backend(a100_80gb(), nvlink_hdr200_fabric());
+  EXPECT_FALSE(backend.supports_inference());
+  EXPECT_TRUE(backend.supports_training());
+
+  const Graph g = models::build("resnet18");
+  Rng rng(1);
+  const auto m = backend.measure_train_step(g, Shape::nchw(16, 3, 64, 64),
+                                            TrainConfig{}, rng);
+  EXPECT_GT(m.times.fwd, 0.0);
+  EXPECT_GT(m.times.step, 0.0);
+  EXPECT_THROW(backend.measure_inference(g, Shape::nchw(1, 3, 64, 64), rng),
+               InvalidArgument);
+}
+
+TEST(BackendContractTest, FitsRejectsOverMemoryShapes) {
+  SimInferenceBackend backend(a100_80gb());
+  const Graph g = models::build("vgg16");
+  EXPECT_TRUE(backend.fits(g, Shape::nchw(1, 3, 224, 224), false));
+  EXPECT_FALSE(backend.fits(g, Shape::nchw(1 << 20, 3, 224, 224), false));
+}
+
+TEST(BackendFactoryTest, EverySpecConstructsBothModes) {
+  for (const std::string& spec : backend_specs()) {
+    const auto inference = make_backend(spec, /*training=*/false);
+    ASSERT_NE(inference, nullptr) << spec;
+    EXPECT_TRUE(inference->supports_inference()) << spec;
+    const auto training = make_backend(spec, /*training=*/true);
+    ASSERT_NE(training, nullptr) << spec;
+    EXPECT_TRUE(training->supports_training()) << spec;
+  }
+}
+
+TEST(BackendFactoryTest, DevicePresetNamesAreSpecsToo) {
+  const auto backend = make_backend("xeon_5318y");
+  EXPECT_EQ(backend->device().name, "xeon_5318y");
+}
+
+TEST(BackendFactoryTest, UnknownSpecThrows) {
+  EXPECT_THROW(make_backend("tpu-v9"), InvalidArgument);
+}
+
+TEST(RealBackendTest, InferenceMeasuresPositiveWallClock) {
+  RealInferenceBackend backend(0);
+  EXPECT_EQ(backend.max_concurrency(), 1);
+  EXPECT_EQ(backend.device().name, "host-cpu");
+  EXPECT_GT(backend.device().memory_bytes, 0);
+
+  const Graph g = models::build("squeezenet1_1");
+  Rng rng(7);
+  const auto m = backend.measure_inference(g, Shape::nchw(1, 3, 32, 32), rng);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_TRUE(std::isnan(m.expected));  // no noise-free model of this CPU
+}
+
+TEST(RealBackendTest, TrainingStepPhasesPositive) {
+  RealTrainingBackend backend;
+  const Graph g = models::build("squeezenet1_1");
+  Rng rng(7);
+  const auto m = backend.measure_train_step(g, Shape::nchw(2, 3, 32, 32),
+                                            TrainConfig{}, rng);
+  EXPECT_GT(m.times.fwd, 0.0);
+  EXPECT_GT(m.times.bwd, 0.0);
+  EXPECT_GT(m.times.step, 0.0);
+  EXPECT_TRUE(std::isnan(m.expected_step));
+}
+
+TEST(RealBackendTest, MultiDeviceTrainingRejected) {
+  RealTrainingBackend backend;
+  const Graph g = models::build("squeezenet1_1");
+  Rng rng(7);
+  TrainConfig config;
+  config.num_devices = 2;
+  EXPECT_THROW(backend.measure_train_step(g, Shape::nchw(2, 3, 32, 32),
+                                          config, rng),
+               InvalidArgument);
+}
+
+TEST(CampaignDeterminismTest, InferenceParallelMatchesSerial) {
+  SimInferenceBackend backend(a100_80gb());
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto a = run_inference_campaign(backend, tiny_inference_sweep(),
+                                        serial);
+  const auto b = run_inference_campaign(backend, tiny_inference_sweep(),
+                                        parallel);
+  expect_identical(a, b);
+}
+
+TEST(CampaignDeterminismTest, TrainingParallelMatchesSerial) {
+  SimTrainingBackend backend(a100_80gb(), nvlink_hdr200_fabric());
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto a = run_training_campaign(backend, tiny_training_sweep(),
+                                       serial);
+  const auto b = run_training_campaign(backend, tiny_training_sweep(),
+                                       parallel);
+  expect_identical(a, b);
+}
+
+TEST(CampaignDeterminismTest, BlockParallelMatchesSerial) {
+  SimInferenceBackend backend(a100_80gb());
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto blocks_a = tiny_blocks();
+  const auto blocks_b = tiny_blocks();
+  const auto a =
+      run_block_campaign(backend, blocks_a, {1, 8, 32}, 3, 42, serial);
+  const auto b =
+      run_block_campaign(backend, blocks_b, {1, 8, 32}, 3, 42, parallel);
+  expect_identical(a, b);
+}
+
+TEST(CampaignDeterminismTest, JobsZeroSelectsHardwareConcurrency) {
+  // jobs=0 (auto) must still match the serial stream exactly.
+  SimInferenceBackend backend(a100_80gb());
+  CampaignOptions automatic;
+  automatic.jobs = 0;
+  const auto a = run_inference_campaign(backend, tiny_inference_sweep());
+  const auto b = run_inference_campaign(backend, tiny_inference_sweep(),
+                                        automatic);
+  expect_identical(a, b);
+}
+
+TEST(CampaignSinkTest, CsvSinkStreamsEverySampleInOrder) {
+  SimInferenceBackend backend(a100_80gb());
+  std::ostringstream os;
+  CsvSampleSink sink(os);
+  CampaignOptions options;
+  options.jobs = 4;
+  options.sink = &sink;
+  const auto samples =
+      run_inference_campaign(backend, tiny_inference_sweep(), options);
+
+  std::string expected = sample_csv_header() + "\n";
+  for (const auto& s : samples) {
+    expected += sample_to_csv_row(s) + "\n";
+  }
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(CampaignTelemetryTest, RecordsThroughputAndCacheTraffic) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  GraphCache::instance().clear();
+
+  SimInferenceBackend backend(a100_80gb());
+  CampaignOptions options;
+  options.jobs = 2;
+  const auto samples =
+      run_inference_campaign(backend, tiny_inference_sweep(), options);
+  obs::set_enabled(false);
+
+  auto& registry = obs::MetricsRegistry::instance();
+  EXPECT_EQ(registry.counter("campaign.inference_samples").value(),
+            samples.size());
+  EXPECT_GT(registry.gauge("campaign.samples_per_sec").value(), 0.0);
+  // 2 models x 2 images, each resolved exactly once...
+  EXPECT_EQ(registry.counter("campaign.graph_cache.misses").value(), 6u);
+  // ...then re-read per batch size (graph lookups hit too).
+  EXPECT_GT(registry.counter("campaign.graph_cache.hits").value(), 0u);
+}
+
+TEST(GraphCacheTest, CachesGraphsAndInfeasibleResolutions) {
+  GraphCache& cache = GraphCache::instance();
+  const Graph& g1 = cache.graph("alexnet");
+  const Graph& g2 = cache.graph("alexnet");
+  EXPECT_EQ(&g1, &g2);  // memoized, stable address
+
+  // AlexNet's stem collapses below ~63 px: infeasible, cached as null.
+  EXPECT_EQ(cache.metrics_b1("alexnet", 32), nullptr);
+  EXPECT_EQ(cache.metrics_b1("alexnet", 32), nullptr);
+  const GraphMetrics* m = cache.metrics_b1("alexnet", 224);
+  ASSERT_NE(m, nullptr);
+  EXPECT_GT(m->flops, 0.0);
+  EXPECT_EQ(cache.metrics_b1("alexnet", 224), m);
+}
+
+}  // namespace
+}  // namespace convmeter

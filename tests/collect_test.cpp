@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "collect/sample.hpp"
 #include "models/zoo.hpp"
@@ -19,7 +20,7 @@ InferenceSweep tiny_inference_sweep() {
 }
 
 TEST(InferenceCampaignTest, ProducesExpectedGrid) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   const auto samples = run_inference_campaign(sim, tiny_inference_sweep());
   // 2 models x 2 images x 2 batches x 2 reps, everything fits in memory.
   EXPECT_EQ(samples.size(), 16u);
@@ -32,7 +33,7 @@ TEST(InferenceCampaignTest, ProducesExpectedGrid) {
 }
 
 TEST(InferenceCampaignTest, DeterministicForSeed) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   const auto a = run_inference_campaign(sim, tiny_inference_sweep());
   const auto b = run_inference_campaign(sim, tiny_inference_sweep());
   ASSERT_EQ(a.size(), b.size());
@@ -42,7 +43,7 @@ TEST(InferenceCampaignTest, DeterministicForSeed) {
 }
 
 TEST(InferenceCampaignTest, SeedChangesMeasurements) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   auto sweep = tiny_inference_sweep();
   const auto a = run_inference_campaign(sim, sweep);
   sweep.seed = 999;
@@ -51,7 +52,7 @@ TEST(InferenceCampaignTest, SeedChangesMeasurements) {
 }
 
 TEST(InferenceCampaignTest, SkipsInfeasibleResolutions) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = {"alexnet"};   // stem collapses below ~63 px
   sweep.image_sizes = {32, 224};
@@ -63,7 +64,7 @@ TEST(InferenceCampaignTest, SkipsInfeasibleResolutions) {
 }
 
 TEST(InferenceCampaignTest, SkipsOverMemoryBatches) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = {"vgg16"};
   sweep.image_sizes = {224};
@@ -75,7 +76,7 @@ TEST(InferenceCampaignTest, SkipsOverMemoryBatches) {
 }
 
 TEST(TrainingCampaignTest, RecordsPhaseTimesAndTopology) {
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep;
   sweep.models = {"resnet18"};
   sweep.image_sizes = {64};
@@ -106,7 +107,7 @@ TEST(TrainingCampaignTest, PaperSweepsPopulated) {
 }
 
 TEST(BlockCampaignTest, SweepsBatchSizes) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   Graph g("block");
   NodeId x = g.input(64);
   g.conv2d("c", x, Conv2dAttrs::square(64, 64, 3, 1, 1));
@@ -152,7 +153,7 @@ TEST(SampleCsvTest, RoundTripPreservesEverything) {
 }
 
 TEST(SampleCsvTest, FileRoundTrip) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   const auto samples = run_inference_campaign(sim, tiny_inference_sweep());
   const std::string path = ::testing::TempDir() + "/samples.csv";
   save_samples(samples, path);
@@ -165,9 +166,9 @@ TEST(SampleCsvTest, FileRoundTrip) {
 }
 
 TEST(CampaignTest, EmptyModelListRejected) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   EXPECT_THROW(run_inference_campaign(sim, InferenceSweep{}), InvalidArgument);
-  TrainingSimulator tsim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend tsim(a100_80gb(), nvlink_hdr200_fabric());
   EXPECT_THROW(run_training_campaign(tsim, TrainingSweep{}), InvalidArgument);
 }
 
@@ -182,7 +183,7 @@ namespace {
 TEST(CsvFitRoundTripTest, FitFromCsvEqualsInMemoryFit) {
   // The CLI path (campaign -> CSV -> fit) must be equivalent to fitting
   // the in-memory samples directly.
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = {"alexnet", "resnet18", "resnet50"};
   sweep.image_sizes = {64, 128};

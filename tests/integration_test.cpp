@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/dippm_like.hpp"
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/convmeter.hpp"
 #include "core/evaluate.hpp"
@@ -27,7 +28,7 @@ std::vector<std::string> benchmark_models() {
 
 std::vector<RuntimeSample> gpu_inference_samples() {
   static const std::vector<RuntimeSample> samples = [] {
-    InferenceSimulator sim(a100_80gb());
+    SimInferenceBackend sim(a100_80gb());
     InferenceSweep sweep = InferenceSweep::paper_default(benchmark_models());
     sweep.repetitions = 2;
     return run_inference_campaign(sim, sweep);
@@ -63,7 +64,7 @@ TEST(IntegrationInference, CombinedMetricsBeatEverySingleMetric) {
 }
 
 TEST(IntegrationInference, CpuCampaignAlsoFitsWell) {
-  InferenceSimulator sim(xeon_gold_5318y_core());
+  SimInferenceBackend sim(xeon_gold_5318y_core());
   InferenceSweep sweep = InferenceSweep::paper_default(benchmark_models());
   sweep.repetitions = 1;
   sweep.batch_sizes = {1, 4, 16, 64};  // CPU sweep uses smaller batches
@@ -82,14 +83,14 @@ TEST(IntegrationInference, UnseenModelPredictedWithoutRefit) {
   q.per_device_batch = 64.0;
   const double predicted = model.predict_inference(q);
 
-  InferenceSimulator sim(a100_80gb());
-  const double actual = sim.expected(unseen, Shape::nchw(64, 3, 224, 224));
+  SimInferenceBackend sim(a100_80gb());
+  const double actual = sim.simulator().expected(unseen, Shape::nchw(64, 3, 224, 224));
   EXPECT_GT(predicted, 0.4 * actual);
   EXPECT_LT(predicted, 2.5 * actual);
 }
 
 TEST(IntegrationTraining, SingleGpuStepErrorsInPaperBand) {
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep = TrainingSweep::paper_single_gpu(benchmark_models());
   sweep.repetitions = 2;
   const auto samples = run_training_campaign(sim, sweep);
@@ -100,7 +101,7 @@ TEST(IntegrationTraining, SingleGpuStepErrorsInPaperBand) {
 }
 
 TEST(IntegrationTraining, DistributedStepErrorsInPaperBand) {
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep = TrainingSweep::paper_distributed(benchmark_models());
   sweep.repetitions = 1;
   const auto samples = run_training_campaign(sim, sweep);
@@ -111,7 +112,7 @@ TEST(IntegrationTraining, DistributedStepErrorsInPaperBand) {
 }
 
 TEST(IntegrationScalability, AlexNetTurnsEarlierThanResNet50) {
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep = TrainingSweep::paper_distributed(benchmark_models());
   sweep.repetitions = 1;
   const auto samples = run_training_campaign(sim, sweep);
@@ -126,7 +127,7 @@ TEST(IntegrationScalability, AlexNetTurnsEarlierThanResNet50) {
 }
 
 TEST(IntegrationScalability, PredictionTracksSimulatedThroughputCurve) {
-  TrainingSimulator sim(a100_80gb(), nvlink_hdr200_fabric());
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep = TrainingSweep::paper_distributed(benchmark_models());
   sweep.repetitions = 1;
   const auto samples = run_training_campaign(sim, sweep);
@@ -141,7 +142,7 @@ TEST(IntegrationScalability, PredictionTracksSimulatedThroughputCurve) {
     cfg.num_devices = 4 * nodes;
     const double simulated =
         64.0 * cfg.num_devices /
-        sim.expected_step(g, Shape::nchw(64, 3, 128, 128), cfg).step;
+        sim.simulator().expected_step(g, Shape::nchw(64, 3, 128, 128), cfg).step;
     const auto points = analyzer.node_sweep(m, 64.0, nodes);
     const double predicted = points.back().throughput;
     EXPECT_GT(predicted, 0.5 * simulated);
@@ -150,7 +151,7 @@ TEST(IntegrationScalability, PredictionTracksSimulatedThroughputCurve) {
 }
 
 TEST(IntegrationBlocks, BlockwisePredictionFitsWell) {
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   std::vector<BlockCase> blocks;
   for (const auto& nb : models::paper_blocks()) {
     models::BlockExtraction ex = models::extract_paper_block(nb);
@@ -166,7 +167,7 @@ TEST(IntegrationBlocks, BlockwisePredictionFitsWell) {
 
 TEST(IntegrationBaseline, ConvMeterBeatsDippmLikeOnHeldOutModel) {
   // Fig. 6 protocol: image 128, varied batch; hold out one model.
-  InferenceSimulator sim(a100_80gb());
+  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = benchmark_models();
   sweep.image_sizes = {128};

@@ -2,6 +2,7 @@
 // pipeline time model.
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/error.hpp"
 #include "core/partition.hpp"
@@ -12,7 +13,7 @@ namespace {
 
 const ConvMeter& fitted_model() {
   static const ConvMeter model = [] {
-    InferenceSimulator sim(a100_80gb());
+    SimInferenceBackend sim(a100_80gb());
     InferenceSweep sweep;
     sweep.models = {"alexnet", "resnet18", "resnet50", "mobilenet_v2",
                     "vgg16", "squeezenet1_0"};

@@ -3,8 +3,9 @@
 //   convmeter list-models
 //   convmeter metrics   --model resnet50 [--image 224] [--batch 64]
 //   convmeter show      --model resnet50
-//   convmeter campaign  --device a100 --out samples.csv
-//                       [--models a,b,c] [--training] [--nodes 1,2,4]
+//   convmeter campaign  --backend sim-gpu|sim-cpu|real --out samples.csv
+//                       [--models a,b,c] [--images 32,64] [--batches 1,16]
+//                       [--jobs N] [--training] [--nodes 1,2,4]
 //   convmeter fit       --samples samples.csv --out coeffs.txt [--training]
 //   convmeter predict   --coeffs coeffs.txt --model x --image 224 --batch 64
 //                       [--devices N --nodes M] [--dataset D] [--epochs E]
@@ -15,15 +16,18 @@
 //   convmeter stats     [--model x] [--batch N] [--image N] [--device D]
 //                       [--json 1] [--out FILE]
 //
-// The campaign runs against the simulated devices (see DESIGN.md); fit and
-// predict work on any CSV in the documented sample format, so measurements
-// from real hardware can be dropped in. `trace` and `stats` run the *real*
-// CPU executor with the observability layer enabled (see src/obs/).
+// The campaign runs against any MeasurementBackend — the simulated devices
+// or the real CPU executor (`--backend real`); fit and predict work on any
+// CSV in the documented sample format, so measurements from real hardware
+// can be dropped in. `trace` and `stats` run the *real* CPU executor with
+// the observability layer enabled (see src/obs/).
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -147,15 +151,36 @@ std::vector<std::string> parse_model_list(const Args& args) {
   return split(args.require("models"), ',');
 }
 
+std::vector<std::int64_t> parse_size_list(const Args& args,
+                                          const std::string& key,
+                                          std::vector<std::int64_t> fallback) {
+  if (!args.has(key)) return fallback;
+  std::vector<std::int64_t> sizes;
+  for (const auto& v : split(args.require(key), ',')) {
+    sizes.push_back(parse_int(v));
+  }
+  return sizes;
+}
+
 int cmd_campaign(const Args& args) {
-  const DeviceSpec device = device_by_name(args.get("device", "a100"));
+  // --backend picks the measurement backend (sim-gpu, sim-cpu, sim-edge,
+  // real); --device stays as the legacy spelling for simulated presets.
+  const std::string spec = args.get("backend", args.get("device", "a100"));
+  const bool training = args.has("training");
+  const std::unique_ptr<MeasurementBackend> backend =
+      make_backend(spec, training);
   const std::string out = args.require("out");
+
+  CampaignOptions options;
+  options.jobs = static_cast<int>(args.get_int("jobs", 1));
+
   std::vector<RuntimeSample> samples;
-  if (args.has("training")) {
+  if (training) {
     TrainingSweep sweep;
     sweep.models = parse_model_list(args);
-    sweep.image_sizes = {64, 128, 224};
-    sweep.per_device_batch_sizes = {16, 64, 256};
+    sweep.image_sizes = parse_size_list(args, "images", {64, 128, 224});
+    sweep.per_device_batch_sizes =
+        parse_size_list(args, "batches", {16, 64, 256});
     sweep.node_counts.clear();
     for (const auto& n : split(args.get("nodes", "1"), ',')) {
       sweep.node_counts.push_back(static_cast<int>(parse_int(n)));
@@ -163,13 +188,13 @@ int cmd_campaign(const Args& args) {
     sweep.devices_per_node =
         static_cast<int>(args.get_int("gpus-per-node", 4));
     sweep.repetitions = static_cast<int>(args.get_int("reps", 3));
-    TrainingSimulator sim(device, nvlink_hdr200_fabric());
-    samples = run_training_campaign(sim, sweep);
+    samples = run_training_campaign(*backend, sweep, options);
   } else {
     InferenceSweep sweep = InferenceSweep::paper_default(parse_model_list(args));
+    sweep.image_sizes = parse_size_list(args, "images", sweep.image_sizes);
+    sweep.batch_sizes = parse_size_list(args, "batches", sweep.batch_sizes);
     sweep.repetitions = static_cast<int>(args.get_int("reps", 3));
-    InferenceSimulator sim(device);
-    samples = run_inference_campaign(sim, sweep);
+    samples = run_inference_campaign(*backend, sweep, options);
   }
   save_samples(samples, out);
   std::cout << "wrote " << samples.size() << " samples to " << out << '\n';
@@ -357,8 +382,10 @@ int usage() {
       "  metrics     --model NAME [--image N] [--batch N]\n"
       "  show        --model NAME\n"
       "  dot         --model NAME [--image N [--batch N]] [--out FILE]\n"
-      "  campaign    --out FILE [--device a100|xeon_5318y|jetson_edge]\n"
-      "              [--models a,b,c] [--training --nodes 1,2,4] [--reps N]\n"
+      "  campaign    --out FILE [--backend sim-gpu|sim-cpu|sim-edge|real]\n"
+      "              [--device a100|xeon_5318y|jetson_edge] [--jobs N]\n"
+      "              [--models a,b,c] [--images 32,64] [--batches 1,16]\n"
+      "              [--training --nodes 1,2,4] [--reps N]\n"
       "  fit         --samples FILE --out FILE [--training 1]\n"
       "  predict     --coeffs FILE --model NAME [--image N] [--batch N]\n"
       "              [--devices N --nodes M] [--dataset D --epochs E]\n"
