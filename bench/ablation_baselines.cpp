@@ -6,11 +6,9 @@
 #include <iostream>
 
 #include "baselines/paleo_like.hpp"
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
-#include "core/convmeter.hpp"
 #include "models/zoo.hpp"
 
 using namespace convmeter;
@@ -19,10 +17,8 @@ int main() {
   std::cout << "Ablation -- fitted linear model vs analytical (Paleo-like) "
                "prediction, GPU inference\n";
 
-  SimInferenceBackend sim(a100_80gb());
-  InferenceSweep sweep =
-      InferenceSweep::paper_default(bench::paper_model_set());
-  const auto samples = run_inference_campaign(sim, sweep);
+  const auto samples = bench::inference_campaign(
+      a100_80gb(), InferenceSweep::paper_default(bench::paper_model_set()));
   const PaleoLikePredictor paleo(PaleoDeviceSheet::a100_datasheet());
 
   ConsoleTable table(
@@ -33,34 +29,22 @@ int main() {
 
   for (const std::string& held_out : bench::paper_model_set()) {
     std::vector<RuntimeSample> train;
-    std::vector<const RuntimeSample*> test;
-    for (const auto& s : samples) {
-      if (s.model == held_out) {
-        test.push_back(&s);
-      } else {
-        train.push_back(s);
-      }
-    }
+    std::vector<RuntimeSample> test;
+    bench::split_by_model(samples, held_out, &train, &test);
     if (test.empty()) continue;
-    const ConvMeter ours = ConvMeter::fit_inference(train);
+    const auto ours = make_predictor("convmeter-fwd-only");
+    ours->fit(train);
     const Graph graph = models::build(held_out);
 
     std::vector<double> ours_pred;
     std::vector<double> paleo_pred;
     std::vector<double> meas;
-    for (const RuntimeSample* s : test) {
-      QueryPoint q;
-      q.metrics_b1.flops = s->flops1;
-      q.metrics_b1.conv_inputs = s->inputs1;
-      q.metrics_b1.conv_outputs = s->outputs1;
-      q.metrics_b1.weights = s->weights;
-      q.metrics_b1.layers = s->layers;
-      q.per_device_batch = s->mini_batch();
-      ours_pred.push_back(ours.predict_inference(q));
+    for (const RuntimeSample& s : test) {
+      ours_pred.push_back(ours->predict(s));
       paleo_pred.push_back(paleo.predict(
-          graph, Shape::nchw(s->global_batch, 3, s->image_size,
-                             s->image_size)));
-      meas.push_back(s->t_infer);
+          graph, Shape::nchw(s.global_batch, 3, s.image_size,
+                             s.image_size)));
+      meas.push_back(s.t_infer);
     }
     const ErrorReport ours_err = compute_errors(ours_pred, meas);
     const ErrorReport paleo_err = compute_errors(paleo_pred, meas);

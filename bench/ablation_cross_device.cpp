@@ -8,9 +8,8 @@
 // native answer.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
 #include "regress/error_metrics.hpp"
@@ -21,12 +20,11 @@ using namespace convmeter;
 namespace {
 
 std::vector<RuntimeSample> campaign_on(const DeviceSpec& device) {
-  SimInferenceBackend sim(device);
   InferenceSweep sweep;
   sweep.models = bench::paper_model_set();
   sweep.image_sizes = {64, 128, 224};
   sweep.batch_sizes = {1, 4, 16, 64};
-  return run_inference_campaign(sim, sweep);
+  return bench::inference_campaign(device, sweep);
 }
 
 /// Evaluates a predict function over samples.
@@ -86,12 +84,7 @@ int main() {
                  ConsoleTable::fmt(habitat.r2, 3),
                  ConsoleTable::fmt(habitat.mape, 3)});
   const ErrorReport native = eval(dst_samples, [&](const RuntimeSample& s) {
-    QueryPoint q;
-    q.metrics_b1.flops = s.flops1;
-    q.metrics_b1.conv_inputs = s.inputs1;
-    q.metrics_b1.conv_outputs = s.outputs1;
-    q.per_device_batch = s.mini_batch();
-    return refit.predict_inference(q);
+    return refit.predict_inference(QueryPoint::from_sample(s));
   });
   table.add_row({"refit on the edge campaign (ConvMeter native)",
                  ConsoleTable::fmt(native.r2, 3),

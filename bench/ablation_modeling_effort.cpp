@@ -4,9 +4,8 @@
 // benchmark campaign grows.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
@@ -18,11 +17,10 @@ int main() {
   std::cout << "Ablation -- accuracy vs number of tuning samples "
                "(GPU inference, held-out models: resnet50, mobilenet_v2)\n";
 
-  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep =
       InferenceSweep::paper_default(bench::paper_model_set());
   sweep.repetitions = 4;
-  const auto samples = run_inference_campaign(sim, sweep);
+  const auto samples = bench::inference_campaign(a100_80gb(), sweep);
 
   // Fixed held-out test set: two unseen architectures.
   std::vector<RuntimeSample> pool;
@@ -54,12 +52,7 @@ int main() {
       std::vector<double> pred;
       std::vector<double> meas;
       for (const auto& s : test) {
-        QueryPoint q;
-        q.metrics_b1.flops = s.flops1;
-        q.metrics_b1.conv_inputs = s.inputs1;
-        q.metrics_b1.conv_outputs = s.outputs1;
-        q.per_device_batch = s.mini_batch();
-        pred.push_back(model.predict_inference(q));
+        pred.push_back(model.predict_inference(QueryPoint::from_sample(s)));
         meas.push_back(s.t_infer);
       }
       const ErrorReport err = compute_errors(pred, meas);

@@ -4,11 +4,9 @@
 // accuracy of the fitted model.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -22,11 +20,9 @@ int main() {
   for (const double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     DeviceSpec device = a100_80gb();
     device.noise_sigma = base_sigma * scale;
-    SimInferenceBackend sim(device);
-    InferenceSweep sweep =
-        InferenceSweep::paper_default(bench::paper_model_set());
-    const auto samples = run_inference_campaign(sim, sweep);
-    const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+    const auto samples = bench::inference_campaign(
+        device, InferenceSweep::paper_default(bench::paper_model_set()));
+    const LooResult r = evaluate_loo("convmeter-fwd-only", samples);
     table.add_row({ConsoleTable::fmt(device.noise_sigma, 2) + " (" +
                        ConsoleTable::fmt(scale, 1) + "x)",
                    ConsoleTable::fmt(r.pooled.r2, 3),

@@ -8,12 +8,10 @@
 // samples, evaluated on held-out repetitions of the same model.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "core/convmeter.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -24,16 +22,8 @@ double mape_of(const ConvMeter& model,
   std::vector<double> pred;
   std::vector<double> meas;
   for (const auto& s : test) {
-    QueryPoint q;
-    q.metrics_b1.flops = s.flops1;
-    q.metrics_b1.conv_inputs = s.inputs1;
-    q.metrics_b1.conv_outputs = s.outputs1;
-    q.metrics_b1.weights = s.weights;
-    q.metrics_b1.layers = s.layers;
-    q.per_device_batch = s.mini_batch();
-    q.num_devices = s.num_devices;
-    q.num_nodes = s.num_nodes;
-    pred.push_back(model.predict_train_step(q).step);
+    pred.push_back(
+        model.predict_train_step(QueryPoint::from_sample(s)).step);
     meas.push_back(s.t_step);
   }
   return compute_errors(pred, meas).mape;
@@ -46,20 +36,17 @@ int main() {
                "(per-ConvNet) coefficients for distributed training-step "
                "prediction\n\n";
 
-  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
   TrainingSweep sweep =
       TrainingSweep::paper_distributed(bench::paper_model_set());
   sweep.repetitions = 4;
-  const auto samples = run_training_campaign(sim, sweep);
+  const auto samples = bench::training_campaign(sweep);
 
   ConsoleTable table({"Model", "Generalized MAPE", "Specialized MAPE",
                       "Improvement"});
   for (const std::string& name : bench::scalability_model_set()) {
     std::vector<RuntimeSample> own;
     std::vector<RuntimeSample> others;
-    for (const auto& s : samples) {
-      (s.model == name ? own : others).push_back(s);
-    }
+    bench::split_by_model(samples, name, &others, &own);
     if (own.size() < 8) continue;
 
     // Even/odd repetition split of the model's own data: fit on half,

@@ -1,0 +1,46 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace convmeter::bench {
+
+std::vector<RuntimeSample> inference_campaign(const DeviceSpec& device,
+                                              const InferenceSweep& sweep) {
+  SimInferenceBackend sim(device);
+  auto samples = run_inference_campaign(sim, sweep);
+  std::cout << "campaign: " << samples.size() << " samples on "
+            << sim.device().name << "\n";
+  return samples;
+}
+
+std::vector<RuntimeSample> training_campaign(const TrainingSweep& sweep) {
+  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
+  auto samples = run_training_campaign(sim, sweep);
+  std::cout << "campaign: " << samples.size() << " training-step samples\n";
+  return samples;
+}
+
+void split_by_model(const std::vector<RuntimeSample>& samples,
+                    const std::string& held_out,
+                    std::vector<RuntimeSample>* train,
+                    std::vector<RuntimeSample>* test) {
+  for (const auto& s : samples) {
+    (s.model == held_out ? *test : *train).push_back(s);
+  }
+}
+
+LooResult loo_with_scatter(std::ostream& os, const std::string& title,
+                           const std::string& predictor_name,
+                           const std::vector<RuntimeSample>& samples,
+                           const PredictorOptions& options) {
+  const LooResult r = evaluate_loo(predictor_name, samples, options);
+  std::vector<double> pred;
+  std::vector<double> meas;
+  pooled_pairs(r, &pred, &meas);
+  print_scatter(os, title, pred, meas);
+  return r;
+}
+
+}  // namespace convmeter::bench

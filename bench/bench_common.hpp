@@ -1,0 +1,41 @@
+// Campaign/evaluation boilerplate shared by the paper-reproduction bench
+// programs: run a simulated campaign and log the sample count, split a
+// sample set around one held-out ConvNet, and run the registry-driven LOO
+// evaluation with the standard scatter panel. Keeps every bench binary to
+// the lines that differ from the paper's protocol.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "backend/sim_backend.hpp"
+#include "collect/campaign.hpp"
+#include "predict/evaluate.hpp"
+
+namespace convmeter::bench {
+
+/// Runs the inference campaign on a simulated `device` and logs
+/// "campaign: N samples on <device>" to stdout.
+std::vector<RuntimeSample> inference_campaign(const DeviceSpec& device,
+                                              const InferenceSweep& sweep);
+
+/// Runs the training campaign on the A100 + NVLink/HDR200 fabric and logs
+/// the sample count to stdout.
+std::vector<RuntimeSample> training_campaign(const TrainingSweep& sweep);
+
+/// Splits `samples` into the held-out ConvNet's rows (`test`) and
+/// everything else (`train`) — the paper's LOO fold.
+void split_by_model(const std::vector<RuntimeSample>& samples,
+                    const std::string& held_out,
+                    std::vector<RuntimeSample>* train,
+                    std::vector<RuntimeSample>* test);
+
+/// evaluate_loo for a registry predictor plus the standard ASCII scatter
+/// panel of its pooled predictions.
+LooResult loo_with_scatter(std::ostream& os, const std::string& title,
+                           const std::string& predictor_name,
+                           const std::vector<RuntimeSample>& samples,
+                           const PredictorOptions& options = {});
+
+}  // namespace convmeter::bench

@@ -5,13 +5,11 @@
 // desired target hardware").
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/convmeter.hpp"
-#include "core/evaluate.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
 
@@ -21,7 +19,6 @@ int main() {
   std::cout << "Extension -- inference prediction on a Jetson-class edge "
                "device (future work of the paper)\n";
 
-  SimInferenceBackend sim(jetson_class_edge());
   InferenceSweep sweep;
   // Edge deployments run small batches and the mobile-friendly nets.
   sweep.models = {"squeezenet1_0", "squeezenet1_1",     "mobilenet_v2",
@@ -30,22 +27,18 @@ int main() {
   sweep.image_sizes = {96, 128, 224};
   sweep.batch_sizes = {1, 2, 4, 8, 16};
   sweep.repetitions = 3;
-  const auto samples = run_inference_campaign(sim, sweep);
-  std::cout << "campaign: " << samples.size() << " samples on "
-            << sim.device().name << "\n";
+  const auto samples = bench::inference_campaign(jetson_class_edge(), sweep);
 
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const LooResult r = bench::loo_with_scatter(
+      std::cout, "Edge inference correlation", "convmeter-fwd-only", samples);
   bench::print_error_table(
       std::cout, "Edge device: per-ConvNet inference errors (LOO)", r);
 
-  std::vector<double> pred;
-  std::vector<double> meas;
-  bench::pooled_pairs(r, &pred, &meas);
-  bench::print_scatter(std::cout, "Edge inference correlation", pred, meas);
-
   // Deployment-style question: which models meet a 30 ms latency budget
-  // at batch 1, 224px — answered from the fitted model alone.
-  const ConvMeter model = ConvMeter::fit_inference(samples);
+  // at batch 1, 224px — answered from the fitted model alone, through the
+  // registry seam a serving process would use.
+  const auto model = make_predictor("convmeter-fwd-only");
+  model->fit(samples);
   ConsoleTable budget({"Model", "Predicted latency", "Meets 30 ms?"});
   for (const char* name :
        {"squeezenet1_1", "mobilenet_v3_small", "mobilenet_v2",
@@ -53,7 +46,7 @@ int main() {
     QueryPoint q;
     q.metrics_b1 = compute_metrics_b1(models::build(name), 224);
     q.per_device_batch = 1.0;
-    const double t = model.predict_inference(q);
+    const double t = model->predict(q.as_sample());
     budget.add_row(
         {name, format_seconds(t), t <= 0.030 ? "yes" : "no"});
   }

@@ -4,11 +4,9 @@
 // is an inadequate predictor on memory-bound processors.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -16,19 +14,17 @@ int main() {
   std::cout << "ConvMeter reproduction -- Figure 2: metric ablation for GPU "
                "inference prediction\n";
 
-  SimInferenceBackend sim(a100_80gb());
-  InferenceSweep sweep =
-      InferenceSweep::paper_default(bench::paper_model_set());
-  const auto samples = run_inference_campaign(sim, sweep);
-  std::cout << "campaign: " << samples.size()
-            << " samples on " << sim.device().name << "\n";
+  const auto samples = bench::inference_campaign(
+      a100_80gb(), InferenceSweep::paper_default(bench::paper_model_set()));
+
+  // The Fig. 2 panels, in the paper's order, as registry families.
+  const std::vector<std::string> predictors = {
+      "flops-only", "inputs-only", "outputs-only", "convmeter-fwd-only"};
 
   ConsoleTable table({"Feature set", "R^2", "NRMSE", "MAPE"});
-  for (const FeatureSet fs :
-       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
-        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
-    const LooResult r = evaluate_phase_loo(samples, Phase::kInference, fs);
-    table.add_row({feature_set_name(fs), ConsoleTable::fmt(r.pooled.r2, 3),
+  for (const std::string& name : predictors) {
+    const LooResult r = evaluate_loo(name, samples);
+    table.add_row({name, ConsoleTable::fmt(r.pooled.r2, 3),
                    ConsoleTable::fmt(r.pooled.nrmse, 3),
                    ConsoleTable::fmt(r.pooled.mape, 3)});
   }
@@ -36,15 +32,9 @@ int main() {
   table.print(std::cout);
 
   // The four panels of Fig. 2 as scatters.
-  for (const FeatureSet fs :
-       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
-        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
-    const LooResult r = evaluate_phase_loo(samples, Phase::kInference, fs);
-    std::vector<double> pred;
-    std::vector<double> meas;
-    bench::pooled_pairs(r, &pred, &meas);
-    bench::print_scatter(std::cout,
-                         "Fig. 2 panel: " + feature_set_name(fs), pred, meas);
+  for (const std::string& name : predictors) {
+    bench::loo_with_scatter(std::cout, "Fig. 2 panel: " + name, name,
+                            samples);
   }
 
   std::cout << "\nExpected shape (paper): combined > outputs > inputs > "

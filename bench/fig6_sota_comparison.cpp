@@ -3,15 +3,11 @@
 // sizes 16..2000. squeezenet1_0 is skipped for the baseline because its
 // parser cannot handle that graph (as in the paper).
 #include <iostream>
-#include <set>
+#include <map>
 
-#include "baselines/dippm_like.hpp"
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
-#include "core/convmeter.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -19,71 +15,50 @@ int main() {
   std::cout << "ConvMeter reproduction -- Figure 6: comparison with the "
                "DIPPM-like learned predictor\n";
 
-  SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;
   sweep.models = bench::paper_model_set();
   sweep.image_sizes = {128};
   sweep.batch_sizes = {16, 64, 256, 1024, 2000};
   sweep.repetitions = 3;
-  const auto samples = run_inference_campaign(sim, sweep);
-  std::cout << "campaign: " << samples.size()
-            << " samples (image 128, batch 16..2000)\n\n";
+  const auto samples = bench::inference_campaign(a100_80gb(), sweep);
+  std::cout << '\n';
 
-  std::set<std::string> names;
-  for (const auto& s : samples) names.insert(s.model);
+  const LooResult ours = evaluate_loo("convmeter-fwd-only", samples);
+  PredictorOptions dippm_options;  // 500 epochs, like DIPPM's training budget
+  const LooResult theirs = evaluate_loo("dippm", samples, dippm_options);
+  std::map<std::string, const GroupEvaluation*> theirs_by_model;
+  for (const GroupEvaluation& g : theirs.per_group) {
+    theirs_by_model[g.group] = &g;
+  }
 
   ConsoleTable table({"Model", "ConvMeter MAPE", "DIPPM-like MAPE",
                       "ConvMeter NRMSE", "DIPPM-like NRMSE"});
   int convmeter_wins = 0;
   int comparisons = 0;
 
-  for (const std::string& held_out : names) {
-    std::vector<RuntimeSample> train;
-    std::vector<RuntimeSample> test;
-    for (const auto& s : samples) {
-      (s.model == held_out ? test : train).push_back(s);
-    }
-
-    const ConvMeter ours = ConvMeter::fit_inference(train);
-    std::vector<double> ours_pred;
-    std::vector<double> meas;
-    for (const auto& s : test) {
-      QueryPoint q;
-      q.metrics_b1.flops = s.flops1;
-      q.metrics_b1.conv_inputs = s.inputs1;
-      q.metrics_b1.conv_outputs = s.outputs1;
-      q.metrics_b1.weights = s.weights;
-      q.metrics_b1.layers = s.layers;
-      q.per_device_batch = s.mini_batch();
-      ours_pred.push_back(ours.predict_inference(q));
-      meas.push_back(s.t_infer);
-    }
-    const ErrorReport ours_err = compute_errors(ours_pred, meas);
-
-    if (!DippmLikePredictor::can_parse(held_out)) {
-      table.add_row({held_out, ConsoleTable::fmt(ours_err.mape, 3),
-                     "unparsable", ConsoleTable::fmt(ours_err.nrmse, 3),
+  for (const GroupEvaluation& g : ours.per_group) {
+    const auto it = theirs_by_model.find(g.group);
+    if (it == theirs_by_model.end()) {
+      // Every held-out sample of this ConvNet was rejected by the
+      // baseline's parser (counted in theirs.skipped).
+      table.add_row({g.group, ConsoleTable::fmt(g.errors.mape, 3),
+                     "unparsable", ConsoleTable::fmt(g.errors.nrmse, 3),
                      "unparsable"});
       continue;
     }
-
-    MlpConfig cfg;  // 500 epochs, like DIPPM's training budget
-    const DippmLikePredictor theirs = DippmLikePredictor::fit(train, cfg);
-    std::vector<double> theirs_pred;
-    for (const auto& s : test) theirs_pred.push_back(theirs.predict(s));
-    const ErrorReport theirs_err = compute_errors(theirs_pred, meas);
-
-    table.add_row({held_out, ConsoleTable::fmt(ours_err.mape, 3),
+    const ErrorReport& theirs_err = it->second->errors;
+    table.add_row({g.group, ConsoleTable::fmt(g.errors.mape, 3),
                    ConsoleTable::fmt(theirs_err.mape, 3),
-                   ConsoleTable::fmt(ours_err.nrmse, 3),
+                   ConsoleTable::fmt(g.errors.nrmse, 3),
                    ConsoleTable::fmt(theirs_err.nrmse, 3)});
     ++comparisons;
-    if (ours_err.mape < theirs_err.mape) ++convmeter_wins;
+    if (g.errors.mape < theirs_err.mape) ++convmeter_wins;
   }
 
   table.print(std::cout);
   std::cout << "\nConvMeter wins on MAPE for " << convmeter_wins << "/"
-            << comparisons << " comparable ConvNets.\n";
+            << comparisons << " comparable ConvNets ("
+            << theirs.skipped << " samples unparsable for the baseline).\n";
   std::cout << "Expected shape (paper): ConvMeter outperforms DIPPM across "
                "all scenarios; squeezenet1_0 is not parsable by the "
                "baseline.\n";

@@ -7,10 +7,8 @@
 // noisier than the single-GPU scenario.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -18,34 +16,26 @@ int main() {
   std::cout << "ConvMeter reproduction -- Table 3 / Figure 7: distributed "
                "training-step prediction (1-16 nodes x 4 A100)\n";
 
-  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
-  TrainingSweep sweep =
-      TrainingSweep::paper_distributed(bench::paper_model_set());
-  const auto samples = run_training_campaign(sim, sweep);
-  std::cout << "campaign: " << samples.size()
-            << " samples over node counts {1, 2, 4, 8, 16}\n";
+  const auto samples = bench::training_campaign(
+      TrainingSweep::paper_distributed(bench::paper_model_set()));
 
   for (const Phase phase : {Phase::kForward, Phase::kBwdGrad}) {
-    const LooResult r = evaluate_phase_loo(samples, phase);
-    std::vector<double> pred;
-    std::vector<double> meas;
-    bench::pooled_pairs(r, &pred, &meas);
     const std::string label = phase == Phase::kBwdGrad
                                   ? "backward + gradient update (overlapped)"
                                   : phase_name(phase);
-    bench::print_scatter(std::cout, "Fig. 7 panel: " + label, pred, meas);
+    PredictorOptions options;
+    options.phase = phase;
+    const LooResult r =
+        bench::loo_with_scatter(std::cout, "Fig. 7 panel: " + label,
+                                "convmeter-fwd-only", samples, options);
     std::cout << "pooled " << label << ": " << r.pooled.to_string() << "\n";
   }
 
-  const LooResult step = evaluate_train_step_loo(samples);
+  const LooResult step = bench::loo_with_scatter(
+      std::cout, "Fig. 7 panel: entire training step", "convmeter", samples);
   bench::print_error_table(
       std::cout, "Table 3 (distributed): per-ConvNet training-step errors",
       step);
-  std::vector<double> pred;
-  std::vector<double> meas;
-  bench::pooled_pairs(step, &pred, &meas);
-  bench::print_scatter(std::cout, "Fig. 7 panel: entire training step", pred,
-                       meas);
 
   std::cout << "\nExpected shape (paper): higher variance than single-GPU "
                "(network communication), step MAPE ~0.15, R^2 ~0.78; "

@@ -6,10 +6,8 @@
 // GPU R^2 = 0.96, RMSE = 8.8 ms, NRMSE = 0.13, MAPE = 0.17.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -17,22 +15,16 @@ namespace {
 
 void run_platform(const DeviceSpec& device,
                   const std::vector<std::int64_t>& batches) {
-  SimInferenceBackend sim(device);
   InferenceSweep sweep =
       InferenceSweep::paper_default(bench::paper_model_set());
   sweep.batch_sizes = batches;
-  const auto samples = run_inference_campaign(sim, sweep);
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
-
+  const auto samples = bench::inference_campaign(device, sweep);
+  const LooResult r = bench::loo_with_scatter(
+      std::cout, "Fig. 3 (" + device.name + "): inference correlation",
+      "convmeter-fwd-only", samples);
   bench::print_error_table(
       std::cout, "Table 1 (" + device.name + "): per-ConvNet inference errors",
       r);
-  std::vector<double> pred;
-  std::vector<double> meas;
-  bench::pooled_pairs(r, &pred, &meas);
-  bench::print_scatter(std::cout,
-                       "Fig. 3 (" + device.name + "): inference correlation",
-                       pred, meas);
 }
 
 }  // namespace

@@ -6,10 +6,8 @@
 // MAPE = 0.16; per-block MAPE ranges 0.09-0.37.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
-#include "core/evaluate.hpp"
 #include "models/blocks.hpp"
 
 using namespace convmeter;
@@ -33,16 +31,12 @@ int main() {
       /*seed=*/0x5eed);
   std::cout << "\ncampaign: " << samples.size() << " block samples\n";
 
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const LooResult r = bench::loo_with_scatter(
+      std::cout, "Fig. 4: block-wise inference correlation",
+      "convmeter-fwd-only", samples);
   bench::print_error_table(
       std::cout, "Table 2: per-block inference errors (leave-one-block-out)",
       r, /*show_r2=*/false);
-
-  std::vector<double> pred;
-  std::vector<double> meas;
-  bench::pooled_pairs(r, &pred, &meas);
-  bench::print_scatter(std::cout, "Fig. 4: block-wise inference correlation",
-                       pred, meas, "s");
   std::cout << "pooled: R^2 = " << r.pooled.r2 << ", MAPE = " << r.pooled.mape
             << "\n";
   std::cout << "\nExpected shape (paper): strong correlation (R^2 ~ 0.997); "

@@ -6,10 +6,8 @@
 // NRMSE = 0.26, MAPE = 0.18; per-model MAPE < 0.28.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
-#include "core/evaluate.hpp"
 
 using namespace convmeter;
 
@@ -17,35 +15,28 @@ int main() {
   std::cout << "ConvMeter reproduction -- Table 3 / Figure 5: single-GPU "
                "training-step prediction\n";
 
-  SimTrainingBackend sim(a100_80gb(), nvlink_hdr200_fabric());
-  TrainingSweep sweep =
-      TrainingSweep::paper_single_gpu(bench::paper_model_set());
-  const auto samples = run_training_campaign(sim, sweep);
-  std::cout << "campaign: " << samples.size() << " training-step samples\n";
+  const auto samples = bench::training_campaign(
+      TrainingSweep::paper_single_gpu(bench::paper_model_set()));
 
-  // Fig. 5 panels: each phase fitted and evaluated leave-one-ConvNet-out.
+  // Fig. 5 panels: each phase fitted and evaluated leave-one-ConvNet-out,
+  // via the phase override of the linear predictor family.
   for (const Phase phase :
        {Phase::kForward, Phase::kBackward, Phase::kGradUpdate}) {
-    const LooResult r = evaluate_phase_loo(samples, phase);
-    std::vector<double> pred;
-    std::vector<double> meas;
-    bench::pooled_pairs(r, &pred, &meas);
-    bench::print_scatter(std::cout, "Fig. 5 panel: " + phase_name(phase),
-                         pred, meas);
+    PredictorOptions options;
+    options.phase = phase;
+    const LooResult r =
+        bench::loo_with_scatter(std::cout, "Fig. 5 panel: " + phase_name(phase),
+                                "convmeter-fwd-only", samples, options);
     std::cout << "pooled " << phase_name(phase) << ": "
               << r.pooled.to_string() << "\n";
   }
 
   // Entire training step: fwd model + combined bwd/grad model (Sec. 3.3).
-  const LooResult step = evaluate_train_step_loo(samples);
+  const LooResult step = bench::loo_with_scatter(
+      std::cout, "Fig. 5 panel: entire training step", "convmeter", samples);
   bench::print_error_table(
       std::cout, "Table 3 (single GPU): per-ConvNet training-step errors",
       step);
-  std::vector<double> pred;
-  std::vector<double> meas;
-  bench::pooled_pairs(step, &pred, &meas);
-  bench::print_scatter(std::cout, "Fig. 5 panel: entire training step", pred,
-                       meas);
 
   std::cout << "\nExpected shape (paper): step MAPE around 0.18; the "
                "gradient-update phase carries the widest spread; accuracy "

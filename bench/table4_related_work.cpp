@@ -4,11 +4,9 @@
 // actually provides each capability claimed for ConvMeter.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "bench_util.hpp"
-#include "backend/sim_backend.hpp"
-#include "collect/campaign.hpp"
 #include "common/table.hpp"
-#include "core/evaluate.hpp"
 #include "core/scalability.hpp"
 #include "metrics/metrics.hpp"
 #include "models/blocks.hpp"
@@ -46,13 +44,12 @@ int main() {
   // Back the ConvMeter row with live checks against this implementation.
   std::cout << "\nVerifying the ConvMeter row against this implementation:\n";
 
-  SimTrainingBackend tsim(a100_80gb(), nvlink_hdr200_fabric());
   std::vector<std::string> fit_models = bench::paper_model_set();
   // Hold vgg16 out so the demo below predicts a genuinely unseen model.
   std::erase(fit_models, std::string("vgg16"));
   TrainingSweep tsweep = TrainingSweep::paper_distributed(fit_models);
   tsweep.repetitions = 1;
-  const auto tsamples = run_training_campaign(tsim, tsweep);
+  const auto tsamples = bench::training_campaign(tsweep);
   const ConvMeter trained = ConvMeter::fit_training(tsamples);
 
   QueryPoint q;
@@ -64,12 +61,11 @@ int main() {
             << "vgg16 @ 2 nodes -> step "
             << trained.predict_train_step(q).step * 1e3 << " ms\n";
 
-  SimInferenceBackend isim(a100_80gb());
   InferenceSweep isweep;
   isweep.models = fit_models;
   isweep.image_sizes = {64, 128, 224};
   isweep.batch_sizes = {1, 16, 64, 256};
-  const auto isamples = run_inference_campaign(isim, isweep);
+  const auto isamples = bench::inference_campaign(a100_80gb(), isweep);
   const ConvMeter inf = ConvMeter::fit_inference(isamples);
   q.num_devices = 1;
   q.num_nodes = 1;

@@ -4,7 +4,9 @@
 //  2. extract its inherent metrics (FLOPs, Inputs, Outputs, Weights, Layers),
 //  3. collect a small benchmark campaign on the simulated A100,
 //  4. fit the performance model (one linear regression),
-//  5. predict the inference time of a model the fit never saw.
+//  5. predict the inference time of a model the fit never saw,
+//  6. do the same through the predictor registry and a JSON model file —
+//     the seam a serving process would use.
 #include <iostream>
 
 #include "backend/sim_backend.hpp"
@@ -13,6 +15,7 @@
 #include "core/convmeter.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "predict/registry.hpp"
 
 using namespace convmeter;
 
@@ -65,5 +68,23 @@ int main() {
               << " .. " << format_seconds(p.high) << "], simulator says "
               << format_seconds(actual) << "\n";
   }
+
+  // -- 6. the same through the predictor registry ----------------------------
+  // Every predictor family ("convmeter", "flops-only", "mlp", ...) sits
+  // behind the polymorphic fit/predict interface and persists as a
+  // versioned JSON model file; a serving process reloads it without
+  // refitting.
+  const PredictorOptions options;
+  const auto predictor = make_predictor("convmeter-fwd-only", options);
+  predictor->fit(samples);
+  const std::string model_file = predictor->save_json();
+  const auto reloaded = load_predictor_json(model_file, options);
+  QueryPoint q;
+  q.metrics_b1 = m;
+  q.per_device_batch = 64.0;
+  std::cout << "registry predictor '" << reloaded->name()
+            << "' (reloaded from " << model_file.size()
+            << "-byte JSON model file): resnet50 batch 64 -> "
+            << format_seconds(reloaded->predict(q.as_sample())) << "\n";
   return 0;
 }

@@ -43,6 +43,14 @@ DippmLikePredictor DippmLikePredictor::fit(
   return p;
 }
 
+json::Value DippmLikePredictor::to_json() const { return mlp_.to_json(); }
+
+DippmLikePredictor DippmLikePredictor::from_json(const json::Value& value) {
+  DippmLikePredictor p;
+  p.mlp_ = MlpPredictor::from_json(value);
+  return p;
+}
+
 double DippmLikePredictor::predict(const RuntimeSample& point) const {
   CM_CHECK(can_parse(point.model),
            "dippm-like baseline cannot parse model '" + point.model + "'");

@@ -30,6 +30,10 @@ class DippmLikePredictor {
   /// Feature vector used by the learned model (shared with fit/predict).
   static Vector features(const RuntimeSample& s);
 
+  /// JSON serialization (delegates to the trained MLP weights).
+  json::Value to_json() const;
+  static DippmLikePredictor from_json(const json::Value& value);
+
  private:
   MlpPredictor mlp_;
 };

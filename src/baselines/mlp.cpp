@@ -182,6 +182,78 @@ double MlpPredictor::predict(const Vector& features) const {
   return std::exp(out[0] * target_std_ + target_mean_);
 }
 
+namespace {
+
+json::Value vector_to_json(const Vector& v) {
+  json::Value::Array arr;
+  arr.reserve(v.size());
+  for (const double x : v) arr.emplace_back(x);
+  return json::Value(std::move(arr));
+}
+
+Vector vector_from_json(const json::Value& value) {
+  Vector v;
+  v.reserve(value.as_array().size());
+  for (const json::Value& x : value.as_array()) v.push_back(x.as_number());
+  return v;
+}
+
+}  // namespace
+
+json::Value MlpPredictor::to_json() const {
+  json::Value::Object obj;
+  obj.emplace("feat_mean", vector_to_json(feat_mean_));
+  obj.emplace("feat_std", vector_to_json(feat_std_));
+  obj.emplace("target_mean", json::Value(target_mean_));
+  obj.emplace("target_std", json::Value(target_std_));
+  json::Value::Array layers;
+  for (const DenseLayer& layer : layers_) {
+    json::Value::Object lj;
+    lj.emplace("rows", json::Value(static_cast<double>(layer.w.rows())));
+    lj.emplace("cols", json::Value(static_cast<double>(layer.w.cols())));
+    json::Value::Array w;
+    w.reserve(layer.w.rows() * layer.w.cols());
+    for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+      for (std::size_t i = 0; i < layer.w.cols(); ++i) {
+        w.emplace_back(layer.w(o, i));
+      }
+    }
+    lj.emplace("w", json::Value(std::move(w)));
+    lj.emplace("b", vector_to_json(layer.b));
+    layers.emplace_back(std::move(lj));
+  }
+  obj.emplace("layers", json::Value(std::move(layers)));
+  return json::Value(std::move(obj));
+}
+
+MlpPredictor MlpPredictor::from_json(const json::Value& value) {
+  CM_CHECK(value.is_object(), "mlp model JSON must be an object");
+  MlpPredictor m;
+  m.feat_mean_ = vector_from_json(value.at("feat_mean"));
+  m.feat_std_ = vector_from_json(value.at("feat_std"));
+  m.target_mean_ = value.at("target_mean").as_number();
+  m.target_std_ = value.at("target_std").as_number();
+  for (const json::Value& lj : value.at("layers").as_array()) {
+    DenseLayer layer;
+    const auto rows = static_cast<std::size_t>(lj.at("rows").as_number());
+    const auto cols = static_cast<std::size_t>(lj.at("cols").as_number());
+    const auto& w = lj.at("w").as_array();
+    CM_CHECK(w.size() == rows * cols, "mlp layer weight count mismatch");
+    layer.w = Matrix(rows, cols);
+    std::size_t idx = 0;
+    for (std::size_t o = 0; o < rows; ++o) {
+      for (std::size_t i = 0; i < cols; ++i) {
+        layer.w(o, i) = w[idx++].as_number();
+      }
+    }
+    layer.b = vector_from_json(lj.at("b"));
+    CM_CHECK(layer.b.size() == rows, "mlp layer bias count mismatch");
+    m.layers_.push_back(std::move(layer));
+  }
+  CM_CHECK(!m.layers_.empty(), "mlp model JSON has no layers");
+  return m;
+}
+
 double MlpPredictor::loss(const Matrix& x, const Vector& y) const {
   CM_CHECK(x.rows() == y.size() && x.rows() > 0, "mlp loss: bad inputs");
   double total = 0.0;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hpp"
 #include "linalg/matrix.hpp"
 
 namespace convmeter {
@@ -41,6 +42,11 @@ class MlpPredictor {
   /// Mean squared error on standardized log targets for a held-out set
   /// (diagnostic).
   double loss(const Matrix& x, const Vector& y) const;
+
+  /// JSON serialization of the trained weights and normalization stats;
+  /// round-trips every parameter bit-identically.
+  json::Value to_json() const;
+  static MlpPredictor from_json(const json::Value& value);
 
  private:
   struct DenseLayer {

@@ -1,5 +1,7 @@
 #include "baselines/simple.hpp"
 
+#include <utility>
+
 namespace convmeter {
 
 SimpleBaseline SimpleBaseline::fit(const std::vector<RuntimeSample>& samples,
@@ -9,6 +11,14 @@ SimpleBaseline SimpleBaseline::fit(const std::vector<RuntimeSample>& samples,
   b.name_ = feature_set_name(fs);
   b.fs_ = fs;
   b.model_ = LinearModel::fit(d.x, d.y);
+  return b;
+}
+
+SimpleBaseline SimpleBaseline::from_model(FeatureSet fs, LinearModel model) {
+  SimpleBaseline b;
+  b.name_ = feature_set_name(fs);
+  b.fs_ = fs;
+  b.model_ = std::move(model);
   return b;
 }
 

@@ -21,9 +21,13 @@ class SimpleBaseline {
   static SimpleBaseline fit(const std::vector<RuntimeSample>& samples,
                             FeatureSet fs);
 
+  /// Rebuilds a baseline from persisted coefficients (model-file loading).
+  static SimpleBaseline from_model(FeatureSet fs, LinearModel model);
+
   double predict(const RuntimeSample& point) const;
   const std::string& name() const { return name_; }
   FeatureSet feature_set() const { return fs_; }
+  const LinearModel& model() const { return model_; }
 
  private:
   std::string name_;

@@ -1,6 +1,10 @@
 #include "common/json.hpp"
 
+#include <array>
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -251,5 +255,81 @@ class Parser {
 }  // namespace
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+namespace {
+
+void write_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(double d, std::string& out) {
+  CM_CHECK(std::isfinite(d), "JSON cannot represent a non-finite number");
+  // to_chars emits the shortest string that round-trips through strtod,
+  // which is what keeps reloaded model coefficients bit-identical.
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  out.append(buf.data(), res.ptr);
+}
+
+void write_value(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    write_number(v.as_number(), out);
+  } else if (v.is_string()) {
+    write_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& item : v.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      write_value(item, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, item] : v.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      write_string(key, out);
+      out += ':';
+      write_value(item, out);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value) {
+  std::string out;
+  write_value(value, out);
+  return out;
+}
 
 }  // namespace convmeter::json

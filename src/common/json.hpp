@@ -53,4 +53,10 @@ class Value {
 /// Parses one JSON document; trailing non-whitespace is a ParseError.
 Value parse(std::string_view text);
 
+/// Serializes a value to compact JSON. Doubles are written with shortest
+/// round-trip precision, so parse(dump(v)) reproduces every number
+/// bit-identically — model files must reload to identical predictions.
+/// Non-finite numbers raise InvalidArgument (JSON cannot represent them).
+std::string dump(const Value& value);
+
 }  // namespace convmeter::json

@@ -1,9 +1,8 @@
 #include "core/convmeter.hpp"
 
-#include <sstream>
+#include <algorithm>
 
 #include "common/error.hpp"
-#include "common/strings.hpp"
 #include "linalg/stats.hpp"
 
 namespace convmeter {
@@ -22,6 +21,19 @@ RuntimeSample QueryPoint::as_sample() const {
   s.global_batch =
       static_cast<std::int64_t>(per_device_batch * num_devices);
   return s;
+}
+
+QueryPoint QueryPoint::from_sample(const RuntimeSample& s) {
+  QueryPoint q;
+  q.metrics_b1.flops = s.flops1;
+  q.metrics_b1.conv_inputs = s.inputs1;
+  q.metrics_b1.conv_outputs = s.outputs1;
+  q.metrics_b1.weights = s.weights;
+  q.metrics_b1.layers = s.layers;
+  q.per_device_batch = s.mini_batch();
+  q.num_devices = s.num_devices;
+  q.num_nodes = s.num_nodes;
+  return q;
 }
 
 namespace {
@@ -123,52 +135,35 @@ const LinearModel& ConvMeter::forward_model() const {
   return *fwd_;
 }
 
-std::string ConvMeter::to_text() const {
-  std::ostringstream os;
-  os << "convmeter " << feature_set_name(feature_set_) << ' '
-     << (multi_node_ ? 1 : 0) << '\n';
+json::Value ConvMeter::to_json() const {
+  json::Value::Object obj;
+  obj.emplace("feature_set", json::Value(feature_set_name(feature_set_)));
+  obj.emplace("multi_node", json::Value(multi_node_));
+  obj.emplace("fwd_rel_sigma", json::Value(fwd_rel_sigma_));
+  json::Value::Object models;
   const auto emit = [&](const char* tag,
                         const std::optional<LinearModel>& m) {
-    if (m.has_value()) os << tag << ' ' << m->to_text() << '\n';
+    if (m.has_value()) models.emplace(tag, m->to_json());
   };
   emit("fwd", fwd_);
   emit("bwd", bwd_);
   emit("grad", grad_);
   emit("bwd_grad", bwd_grad_);
-  return os.str();
+  obj.emplace("models", json::Value(std::move(models)));
+  return json::Value(std::move(obj));
 }
 
-ConvMeter ConvMeter::from_text(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  if (!std::getline(is, line)) throw ParseError("empty convmeter text");
-  const auto head = split(std::string(trim(line)), ' ');
-  if (head.size() != 3 || head[0] != "convmeter") {
-    throw ParseError("malformed convmeter header: " + line);
+ConvMeter ConvMeter::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    throw ParseError("convmeter model JSON must be an object");
   }
   ConvMeter m;
-  bool found_fs = false;
-  for (const FeatureSet fs :
-       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
-        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
-    if (feature_set_name(fs) == head[1]) {
-      m.feature_set_ = fs;
-      found_fs = true;
-    }
-  }
-  if (!found_fs) throw ParseError("unknown feature set: " + head[1]);
-  m.multi_node_ = parse_int(head[2]) != 0;
-
-  while (std::getline(is, line)) {
-    const auto t = trim(line);
-    if (t.empty()) continue;
-    const auto space = t.find(' ');
-    if (space == std::string_view::npos) {
-      throw ParseError("malformed convmeter line: " + line);
-    }
-    const std::string tag(t.substr(0, space));
-    const std::string body(t.substr(space + 1));
-    const LinearModel lm = LinearModel::from_text(body);
+  m.feature_set_ = feature_set_from_name(value.at("feature_set").as_string());
+  m.multi_node_ = value.at("multi_node").as_bool();
+  m.fwd_rel_sigma_ = value.at("fwd_rel_sigma").as_number();
+  const json::Value& models = value.at("models");
+  for (const auto& [tag, body] : models.as_object()) {
+    const LinearModel lm = LinearModel::from_json(body);
     if (tag == "fwd") {
       m.fwd_ = lm;
     } else if (tag == "bwd") {
@@ -178,10 +173,12 @@ ConvMeter ConvMeter::from_text(const std::string& text) {
     } else if (tag == "bwd_grad") {
       m.bwd_grad_ = lm;
     } else {
-      throw ParseError("unknown convmeter section: " + tag);
+      throw ParseError("unknown convmeter coefficient block: " + tag);
     }
   }
-  if (!m.fwd_.has_value()) throw ParseError("convmeter text lacks fwd model");
+  if (!m.fwd_.has_value()) {
+    throw ParseError("convmeter model JSON lacks the fwd coefficient block");
+  }
   return m;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "collect/sample.hpp"
 #include "core/features.hpp"
 #include "metrics/metrics.hpp"
@@ -32,6 +33,10 @@ struct QueryPoint {
   /// Repackages the query as a (measurement-free) sample so it can flow
   /// through the shared feature builders.
   RuntimeSample as_sample() const;
+
+  /// The inverse direction: a query describing the operating point of a
+  /// measured sample, so predictions can be compared with its timings.
+  static QueryPoint from_sample(const RuntimeSample& s);
 };
 
 /// Times predicted for one training step, mirroring sim::TrainStepTimes.
@@ -92,9 +97,15 @@ class ConvMeter {
   /// Access to the fitted coefficient vectors (for reports/tests).
   const LinearModel& forward_model() const;
 
-  /// Serialization of the tuned platform coefficients.
-  std::string to_text() const;
-  static ConvMeter from_text(const std::string& text);
+  /// Which feature set the forward model was fitted with.
+  FeatureSet feature_set() const { return feature_set_; }
+
+  /// Serialization of the tuned platform coefficients: a JSON object with
+  /// the feature set, the multi-node flag, the forward residual sigma, and
+  /// one coefficient block per fitted phase model. This is the `model`
+  /// payload inside the versioned predictor envelope (see predict/).
+  json::Value to_json() const;
+  static ConvMeter from_json(const json::Value& value);
 
  private:
   FeatureSet feature_set_ = FeatureSet::kCombined;

@@ -26,6 +26,24 @@ std::string phase_name(Phase phase) {
   throw InvalidArgument("unknown Phase");
 }
 
+FeatureSet feature_set_from_name(const std::string& name) {
+  for (const FeatureSet fs :
+       {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
+        FeatureSet::kOutputsOnly, FeatureSet::kCombined}) {
+    if (feature_set_name(fs) == name) return fs;
+  }
+  throw InvalidArgument("unknown feature set name: " + name);
+}
+
+Phase phase_from_name(const std::string& name) {
+  for (const Phase p : {Phase::kInference, Phase::kForward, Phase::kBackward,
+                        Phase::kGradUpdate, Phase::kBwdGrad,
+                        Phase::kTrainStep}) {
+    if (phase_name(p) == name) return p;
+  }
+  throw InvalidArgument("unknown phase name: " + name);
+}
+
 double target_value(const RuntimeSample& s, Phase phase) {
   switch (phase) {
     case Phase::kInference: return s.t_infer;
@@ -68,24 +86,29 @@ bool any_multi_device(const std::vector<RuntimeSample>& samples) {
   return false;
 }
 
+Vector phase_features(const RuntimeSample& s, Phase phase, FeatureSet fs,
+                      bool multi_node) {
+  switch (phase) {
+    case Phase::kInference:
+    case Phase::kForward:
+    case Phase::kBackward:
+      return forward_features(s, fs);
+    case Phase::kGradUpdate:
+      return grad_features(s, multi_node);
+    case Phase::kBwdGrad:
+    case Phase::kTrainStep:
+      return bwd_grad_features(s);
+  }
+  throw InvalidArgument("unknown Phase");
+}
+
 Design build_design(const std::vector<RuntimeSample>& samples, Phase phase,
                     FeatureSet fs) {
   CM_CHECK(!samples.empty(), "build_design: empty sample set");
   const bool multi = any_multi_device(samples);
 
   const auto features = [&](const RuntimeSample& s) -> Vector {
-    switch (phase) {
-      case Phase::kInference:
-      case Phase::kForward:
-      case Phase::kBackward:
-        return forward_features(s, fs);
-      case Phase::kGradUpdate:
-        return grad_features(s, multi);
-      case Phase::kBwdGrad:
-      case Phase::kTrainStep:
-        return bwd_grad_features(s);
-    }
-    throw InvalidArgument("unknown Phase");
+    return phase_features(s, phase, fs, multi);
   };
 
   const Vector first = features(samples.front());

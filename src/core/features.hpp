@@ -37,6 +37,10 @@ enum class Phase {
 std::string feature_set_name(FeatureSet fs);
 std::string phase_name(Phase phase);
 
+/// Inverses of the stable names; throw InvalidArgument for unknown names.
+FeatureSet feature_set_from_name(const std::string& name);
+Phase phase_from_name(const std::string& name);
+
 /// Measured target value of `phase` for one sample.
 double target_value(const RuntimeSample& s, Phase phase);
 
@@ -54,6 +58,13 @@ Vector bwd_grad_features(const RuntimeSample& s);
 
 /// True when any sample uses more than one device.
 bool any_multi_device(const std::vector<RuntimeSample>& samples);
+
+/// Feature row for one sample under `phase`/`fs`: forward features for the
+/// forward-shaped phases, gradient features (widened when `multi_node`) for
+/// kGradUpdate, and the 7-wide combined features for kBwdGrad/kTrainStep.
+/// Shared by build_design and the phase predictors so both agree exactly.
+Vector phase_features(const RuntimeSample& s, Phase phase, FeatureSet fs,
+                      bool multi_node);
 
 /// Builds the design matrix for `phase`/`fs` over all samples, along with
 /// the target vector and group labels.

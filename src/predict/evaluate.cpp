@@ -1,0 +1,79 @@
+#include "predict/evaluate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter {
+
+LooResult evaluate_loo(
+    const std::function<std::unique_ptr<Predictor>()>& factory,
+    const std::vector<RuntimeSample>& samples) {
+  CM_TRACE_SPAN("predict.evaluate_loo", "predict");
+  CM_CHECK(!samples.empty(), "evaluate_loo: empty sample set");
+  std::set<std::string> labels;
+  for (const auto& s : samples) labels.insert(s.model);
+  CM_CHECK(labels.size() >= 2, "evaluate_loo needs at least two ConvNets");
+
+  LooResult result;
+  std::vector<double> pooled_pred;
+  std::vector<double> pooled_meas;
+
+  for (const std::string& label : labels) {
+    std::vector<RuntimeSample> train;
+    std::vector<RuntimeSample> test;
+    for (const auto& s : samples) {
+      (s.model == label ? test : train).push_back(s);
+    }
+    const std::unique_ptr<Predictor> predictor = factory();
+    predictor->fit(train);
+
+    GroupEvaluation eval;
+    eval.group = label;
+    for (const auto& s : test) {
+      double pred = 0.0;
+      try {
+        pred = predictor->predict(s);
+      } catch (const InvalidArgument&) {
+        // The family rejects this sample (e.g. dippm's parser limitation);
+        // score what it can predict and report the rest as skipped.
+        ++result.skipped;
+        continue;
+      }
+      eval.predicted.push_back(pred);
+      eval.measured.push_back(target_value(s, predictor->target()));
+      pooled_pred.push_back(eval.predicted.back());
+      pooled_meas.push_back(eval.measured.back());
+    }
+    // Same contract as leave_one_group_out: fewer than 2 scored samples
+    // yields no per-group report, only a pooled contribution.
+    if (eval.measured.size() >= 2) {
+      eval.errors = compute_errors(eval.predicted, eval.measured);
+      result.per_group.push_back(std::move(eval));
+    }
+  }
+
+  std::sort(result.per_group.begin(), result.per_group.end(),
+            [](const GroupEvaluation& a, const GroupEvaluation& b) {
+              return a.group < b.group;
+            });
+  result.pooled = compute_errors(pooled_pred, pooled_meas);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance()
+        .counter("predict.loo.folds")
+        .add(labels.size());
+  }
+  return result;
+}
+
+LooResult evaluate_loo(const std::string& predictor_name,
+                       const std::vector<RuntimeSample>& samples,
+                       const PredictorOptions& options) {
+  return evaluate_loo(
+      [&] { return make_predictor(predictor_name, options); }, samples);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,37 @@
+// Generic leave-one-ConvNet-out evaluation, the paper's protocol for every
+// error table: "we develop a performance model for each ConvNet, excluding
+// its own data from the training set" (Sec. 4, Benchmarks).
+//
+// Works for any registered predictor family: per held-out ConvNet a fresh
+// predictor is constructed and fitted on the remaining ConvNets' samples,
+// then its predictions for the held-out samples are compared against the
+// family's target phase. Subsumes the old per-family loops
+// (evaluate_phase_loo / evaluate_train_step_loo).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predict/registry.hpp"
+#include "regress/loo.hpp"
+
+namespace convmeter {
+
+/// LOO evaluation with a caller-supplied factory (one fresh predictor per
+/// fold). Held-out samples the predictor rejects with InvalidArgument —
+/// e.g. dippm's unparsable model families — are counted in
+/// LooResult::skipped instead of aborting the pass. Groups with fewer than
+/// 2 scored samples contribute to the pooled errors only.
+LooResult evaluate_loo(
+    const std::function<std::unique_ptr<Predictor>()>& factory,
+    const std::vector<RuntimeSample>& samples);
+
+/// LOO evaluation of the registry family `predictor_name` (constructed
+/// with `options` for every fold).
+LooResult evaluate_loo(const std::string& predictor_name,
+                       const std::vector<RuntimeSample>& samples,
+                       const PredictorOptions& options = {});
+
+}  // namespace convmeter

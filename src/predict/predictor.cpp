@@ -1,0 +1,84 @@
+#include "predict/predictor.hpp"
+
+#include <fstream>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter {
+
+void Predictor::fit(const std::vector<RuntimeSample>& samples) {
+  CM_TRACE_SPAN("predict.fit/" + name_, "predict");
+  const TimePoint start = Clock::now();
+  do_fit(samples);
+  fitted_ = true;
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("fit.calls").add();
+    registry.histogram("fit.seconds").observe(elapsed_seconds(start));
+  }
+}
+
+double Predictor::predict(const RuntimeSample& sample) const {
+  CM_CHECK(fitted_, "predictor '" + name_ +
+                        "' has no fitted model; call fit() or load a "
+                        "model file first");
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("predict.calls").add();
+  }
+  return do_predict(sample);
+}
+
+std::string Predictor::save_json() const {
+  CM_CHECK(fitted_, "predictor '" + name_ + "' has no fitted model to save");
+  json::Value::Object obj;
+  obj.emplace("format", json::Value(std::string(kModelFormatName)));
+  obj.emplace("version",
+              json::Value(static_cast<double>(kModelFormatVersion)));
+  obj.emplace("predictor", json::Value(name_));
+  obj.emplace("model", model_json());
+  return json::dump(json::Value(std::move(obj)));
+}
+
+void Predictor::load_json(const std::string& text) {
+  load_document(json::parse(text));
+}
+
+void Predictor::load_document(const json::Value& doc) {
+  const std::string claimed = model_file_predictor_name(doc);
+  if (claimed != name_) {
+    throw ParseError("model file is for predictor '" + claimed +
+                     "', not '" + name_ + "'");
+  }
+  load_model_json(doc.at("model"));
+  fitted_ = true;
+}
+
+std::string model_file_predictor_name(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw ParseError("model file must be a JSON object");
+  }
+  if (!doc.has("format") || doc.at("format").as_string() != kModelFormatName) {
+    throw ParseError(std::string("model file lacks the '") + kModelFormatName +
+                     "' format tag — not a predictor model file");
+  }
+  const double version = doc.at("version").as_number();
+  if (version != static_cast<double>(kModelFormatVersion)) {
+    throw ParseError("unsupported model file version " +
+                     std::to_string(static_cast<int>(version)) +
+                     " (this build reads version " +
+                     std::to_string(kModelFormatVersion) + ")");
+  }
+  return doc.at("predictor").as_string();
+}
+
+void save_predictor_file(const Predictor& p, const std::string& path) {
+  std::ofstream out(path);
+  CM_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << p.save_json() << '\n';
+  CM_CHECK(out.good(), "failed writing model file '" + path + "'");
+}
+
+}  // namespace convmeter

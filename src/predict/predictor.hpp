@@ -1,0 +1,109 @@
+// Polymorphic predictor interface — the prediction-side twin of the
+// MeasurementBackend seam (DESIGN §8).
+//
+// Every predictor family in the repo (ConvMeter, the single-metric
+// baselines, the learned MLP/DIPPM baselines, the analytical Paleo
+// baseline) plugs in behind one contract: fit on a vector of
+// RuntimeSamples, predict seconds for one sample, and persist/reload
+// through a versioned JSON model file. That is the load-bearing seam for a
+// serving process — fit on a campaign once, ship the model file, predict
+// without refitting — and it lets one generic leave-one-ConvNet-out
+// harness (predict/evaluate.hpp) subsume the per-family evaluation loops.
+//
+// Model-file envelope (schema version 1):
+//
+//   {
+//     "format": "convmeter-predictor",
+//     "version": 1,
+//     "predictor": "<registry name>",
+//     "model": { ...family-specific payload... }
+//   }
+//
+// Numbers are serialized with shortest-round-trip precision (common/json
+// dump), so a reloaded predictor reproduces its predictions bit-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "common/json.hpp"
+#include "core/features.hpp"
+
+namespace convmeter {
+
+/// Schema version written into (and required of) every model file.
+inline constexpr int kModelFormatVersion = 1;
+
+/// Envelope "format" tag of every model file.
+inline constexpr const char* kModelFormatName = "convmeter-predictor";
+
+/// Abstract fit/predict interface. The public fit/predict entry points are
+/// non-virtual wrappers (NVI) so observability instrumentation — a
+/// TraceSpan around every fit, `fit.seconds` / `predict.calls` metrics —
+/// lives in exactly one place; subclasses override do_fit/do_predict.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  Predictor(const Predictor&) = delete;
+  Predictor& operator=(const Predictor&) = delete;
+
+  /// Registry name ("convmeter", "flops-only", ...).
+  const std::string& name() const { return name_; }
+
+  /// Measured phase the prediction is compared against (t_step for the
+  /// full ConvMeter training model, t_infer for the inference families).
+  virtual Phase target() const = 0;
+
+  /// True once fit() succeeded or a model file was loaded. Fitting-free
+  /// predictors (paleo) are born fitted.
+  bool fitted() const { return fitted_; }
+
+  /// Fits the model on measured samples; throws InvalidArgument when the
+  /// sample set is unusable for this family.
+  void fit(const std::vector<RuntimeSample>& samples);
+
+  /// Predicted seconds (of `target()`) for one sample's operating point;
+  /// throws InvalidArgument for samples this family cannot handle and
+  /// when no model has been fitted or loaded.
+  double predict(const RuntimeSample& sample) const;
+
+  /// Serializes the fitted model inside the versioned envelope.
+  std::string save_json() const;
+
+  /// Restores a model previously produced by save_json() of the same
+  /// predictor family; throws ParseError on malformed input, a format or
+  /// version mismatch, or a different family's model.
+  void load_json(const std::string& text);
+
+  /// Envelope-validated load from an already-parsed document (used by the
+  /// registry loader so the file is parsed once).
+  void load_document(const json::Value& doc);
+
+ protected:
+  explicit Predictor(std::string name) : name_(std::move(name)) {}
+
+  /// Marks the predictor usable without fit() (fitting-free families).
+  void set_fitted() { fitted_ = true; }
+
+  virtual void do_fit(const std::vector<RuntimeSample>& samples) = 0;
+  virtual double do_predict(const RuntimeSample& sample) const = 0;
+
+  /// Family-specific "model" payload of the envelope.
+  virtual json::Value model_json() const = 0;
+  virtual void load_model_json(const json::Value& model) = 0;
+
+ private:
+  std::string name_;
+  bool fitted_ = false;
+};
+
+/// Validates the envelope of a parsed model file and returns the registry
+/// name it claims; throws ParseError on format/version mismatch.
+std::string model_file_predictor_name(const json::Value& doc);
+
+/// Writes `p.save_json()` to `path`; throws on I/O failure.
+void save_predictor_file(const Predictor& p, const std::string& path);
+
+}  // namespace convmeter

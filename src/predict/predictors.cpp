@@ -1,0 +1,200 @@
+#include "predict/predictors.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+// ---- ConvMeterPredictor ---------------------------------------------------
+
+const ConvMeter& ConvMeterPredictor::model() const {
+  CM_CHECK(model_.has_value(), "convmeter predictor has no fitted model");
+  return *model_;
+}
+
+void ConvMeterPredictor::do_fit(const std::vector<RuntimeSample>& samples) {
+  model_ = ConvMeter::fit_training(samples);
+}
+
+double ConvMeterPredictor::do_predict(const RuntimeSample& sample) const {
+  CM_CHECK(model_.has_value(), "convmeter predictor has no fitted model");
+  return model_->predict_train_step(QueryPoint::from_sample(sample)).step;
+}
+
+json::Value ConvMeterPredictor::model_json() const {
+  CM_CHECK(model_.has_value(), "convmeter predictor has no fitted model");
+  return model_->to_json();
+}
+
+void ConvMeterPredictor::load_model_json(const json::Value& model) {
+  ConvMeter loaded = ConvMeter::from_json(model);
+  if (!loaded.has_training_model()) {
+    throw ParseError(
+        "'convmeter' model file lacks the training coefficient blocks");
+  }
+  model_ = std::move(loaded);
+}
+
+// ---- PhaseLinearPredictor -------------------------------------------------
+
+PhaseLinearPredictor::PhaseLinearPredictor(std::string name, Phase phase,
+                                           FeatureSet fs)
+    : Predictor(std::move(name)), phase_(phase), fs_(fs) {}
+
+void PhaseLinearPredictor::do_fit(const std::vector<RuntimeSample>& samples) {
+  multi_node_ = any_multi_device(samples);
+  const Design d = build_design(samples, phase_, fs_);
+  model_ = LinearModel::fit(d.x, d.y);
+}
+
+double PhaseLinearPredictor::do_predict(const RuntimeSample& sample) const {
+  CM_CHECK(model_.has_value(), "phase predictor has no fitted model");
+  return model_->predict(phase_features(sample, phase_, fs_, multi_node_));
+}
+
+json::Value PhaseLinearPredictor::model_json() const {
+  CM_CHECK(model_.has_value(), "phase predictor has no fitted model");
+  json::Value::Object obj;
+  obj.emplace("phase", json::Value(phase_name(phase_)));
+  obj.emplace("feature_set", json::Value(feature_set_name(fs_)));
+  obj.emplace("multi_node", json::Value(multi_node_));
+  obj.emplace("model", model_->to_json());
+  return json::Value(std::move(obj));
+}
+
+void PhaseLinearPredictor::load_model_json(const json::Value& model) {
+  phase_ = phase_from_name(model.at("phase").as_string());
+  fs_ = feature_set_from_name(model.at("feature_set").as_string());
+  multi_node_ = model.at("multi_node").as_bool();
+  model_ = LinearModel::from_json(model.at("model"));
+}
+
+// ---- SimpleBaselineAdapter ------------------------------------------------
+
+SimpleBaselineAdapter::SimpleBaselineAdapter(std::string name, FeatureSet fs)
+    : Predictor(std::move(name)), fs_(fs) {}
+
+void SimpleBaselineAdapter::do_fit(const std::vector<RuntimeSample>& samples) {
+  model_ = SimpleBaseline::fit(samples, fs_);
+}
+
+double SimpleBaselineAdapter::do_predict(const RuntimeSample& sample) const {
+  CM_CHECK(model_.has_value(), "baseline has no fitted model");
+  return model_->predict(sample);
+}
+
+json::Value SimpleBaselineAdapter::model_json() const {
+  CM_CHECK(model_.has_value(), "baseline has no fitted model");
+  json::Value::Object obj;
+  obj.emplace("feature_set", json::Value(feature_set_name(fs_)));
+  obj.emplace("model", model_->model().to_json());
+  return json::Value(std::move(obj));
+}
+
+void SimpleBaselineAdapter::load_model_json(const json::Value& model) {
+  fs_ = feature_set_from_name(model.at("feature_set").as_string());
+  model_ =
+      SimpleBaseline::from_model(fs_, LinearModel::from_json(model.at("model")));
+}
+
+// ---- MlpBaselineAdapter ---------------------------------------------------
+
+MlpBaselineAdapter::MlpBaselineAdapter(MlpConfig config)
+    : Predictor("mlp"), config_(config) {}
+
+void MlpBaselineAdapter::do_fit(const std::vector<RuntimeSample>& samples) {
+  std::vector<const RuntimeSample*> usable;
+  for (const auto& s : samples) {
+    if (s.t_infer > 0.0) usable.push_back(&s);
+  }
+  CM_CHECK(usable.size() >= 8, "mlp predictor needs at least 8 samples");
+  Matrix x(usable.size(), DippmLikePredictor::features(*usable.front()).size());
+  Vector y(usable.size());
+  for (std::size_t r = 0; r < usable.size(); ++r) {
+    const Vector row = DippmLikePredictor::features(*usable[r]);
+    for (std::size_t c = 0; c < row.size(); ++c) x(r, c) = row[c];
+    y[r] = usable[r]->t_infer;
+  }
+  model_ = MlpPredictor::fit(x, y, config_);
+}
+
+double MlpBaselineAdapter::do_predict(const RuntimeSample& sample) const {
+  CM_CHECK(model_.has_value(), "mlp predictor has no fitted model");
+  return model_->predict(DippmLikePredictor::features(sample));
+}
+
+json::Value MlpBaselineAdapter::model_json() const {
+  CM_CHECK(model_.has_value(), "mlp predictor has no fitted model");
+  return model_->to_json();
+}
+
+void MlpBaselineAdapter::load_model_json(const json::Value& model) {
+  model_ = MlpPredictor::from_json(model);
+}
+
+// ---- DippmAdapter ---------------------------------------------------------
+
+DippmAdapter::DippmAdapter(MlpConfig config)
+    : Predictor("dippm"), config_(config) {}
+
+void DippmAdapter::do_fit(const std::vector<RuntimeSample>& samples) {
+  model_ = DippmLikePredictor::fit(samples, config_);
+}
+
+double DippmAdapter::do_predict(const RuntimeSample& sample) const {
+  CM_CHECK(model_.has_value(), "dippm predictor has no fitted model");
+  return model_->predict(sample);
+}
+
+json::Value DippmAdapter::model_json() const {
+  CM_CHECK(model_.has_value(), "dippm predictor has no fitted model");
+  return model_->to_json();
+}
+
+void DippmAdapter::load_model_json(const json::Value& model) {
+  model_ = DippmLikePredictor::from_json(model);
+}
+
+// ---- PaleoAdapter ---------------------------------------------------------
+
+PaleoAdapter::PaleoAdapter(PaleoDeviceSheet sheet)
+    : Predictor("paleo"), sheet_(sheet) {
+  CM_CHECK(sheet_.peak_flops > 0.0 && sheet_.mem_bandwidth > 0.0,
+           "paleo datasheet needs positive peak FLOP/s and bandwidth");
+  CM_CHECK(sheet_.platform_percent > 0.0 && sheet_.platform_percent <= 1.0,
+           "paleo platform percent must be in (0, 1]");
+  set_fitted();  // the model *is* the device datasheet
+}
+
+void PaleoAdapter::do_fit(const std::vector<RuntimeSample>& /*samples*/) {
+  // Fitting-free: the datasheet fully determines the prediction. Accepting
+  // fit() keeps the adapter usable in the generic LOO harness.
+}
+
+double PaleoAdapter::do_predict(const RuntimeSample& sample) const {
+  const double b = sample.mini_batch();
+  const double pp = sheet_.platform_percent;
+  const double bytes =
+      4.0 * (b * sample.inputs1 + b * sample.outputs1 + sample.weights);
+  const double compute = b * sample.flops1 / (sheet_.peak_flops * pp);
+  const double memory = bytes / (sheet_.mem_bandwidth * pp);
+  return std::max(compute, memory);
+}
+
+json::Value PaleoAdapter::model_json() const {
+  json::Value::Object obj;
+  obj.emplace("peak_flops", json::Value(sheet_.peak_flops));
+  obj.emplace("mem_bandwidth", json::Value(sheet_.mem_bandwidth));
+  obj.emplace("platform_percent", json::Value(sheet_.platform_percent));
+  return json::Value(std::move(obj));
+}
+
+void PaleoAdapter::load_model_json(const json::Value& model) {
+  sheet_.peak_flops = model.at("peak_flops").as_number();
+  sheet_.mem_bandwidth = model.at("mem_bandwidth").as_number();
+  sheet_.platform_percent = model.at("platform_percent").as_number();
+}
+
+}  // namespace convmeter

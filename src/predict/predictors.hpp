@@ -1,0 +1,149 @@
+// Concrete Predictor adapters: every predictor family in the repo behind
+// the polymorphic interface. The underlying classes (ConvMeter,
+// SimpleBaseline, MlpPredictor, DippmLikePredictor, PaleoLikePredictor)
+// remain directly usable; these adapters add the uniform fit/predict/
+// save/load contract the registry and the generic LOO harness need.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "baselines/dippm_like.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/paleo_like.hpp"
+#include "baselines/simple.hpp"
+#include "core/convmeter.hpp"
+#include "predict/predictor.hpp"
+
+namespace convmeter {
+
+/// "convmeter": the paper's full training-step model (Eq. 1/3 + the
+/// 7-coefficient combined backward+gradient block). Predicts t_step.
+class ConvMeterPredictor : public Predictor {
+ public:
+  ConvMeterPredictor() : Predictor("convmeter") {}
+
+  Phase target() const override { return Phase::kTrainStep; }
+
+  /// The wrapped model (e.g. for ScalabilityAnalyzer or phase breakdowns);
+  /// requires a fitted or loaded model.
+  const ConvMeter& model() const;
+
+ protected:
+  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  std::optional<ConvMeter> model_;
+};
+
+/// "convmeter-fwd-only": the forward/inference model alone (Eq. 3 with the
+/// combined FLOPs+Inputs+Outputs features). A phase override retargets the
+/// same linear form at t_fwd, t_bwd, t_grad or t_bwd+t_grad, which is how
+/// the training benches evaluate the per-phase models.
+class PhaseLinearPredictor : public Predictor {
+ public:
+  PhaseLinearPredictor(std::string name, Phase phase, FeatureSet fs);
+
+  Phase target() const override { return phase_; }
+  FeatureSet feature_set() const { return fs_; }
+
+ protected:
+  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  Phase phase_;
+  FeatureSet fs_;
+  bool multi_node_ = false;
+  std::optional<LinearModel> model_;
+};
+
+/// "flops-only" / "inputs-only" / "outputs-only": the paper's Fig. 2
+/// single-metric inference baselines (SimpleBaseline underneath).
+class SimpleBaselineAdapter : public Predictor {
+ public:
+  SimpleBaselineAdapter(std::string name, FeatureSet fs);
+
+  Phase target() const override { return Phase::kInference; }
+
+ protected:
+  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  FeatureSet fs_;
+  std::optional<SimpleBaseline> model_;
+};
+
+/// "mlp": the learned MLP regressor on log-scaled graph features, fitted
+/// on every usable sample (no parser quirks).
+class MlpBaselineAdapter : public Predictor {
+ public:
+  explicit MlpBaselineAdapter(MlpConfig config);
+
+  Phase target() const override { return Phase::kInference; }
+
+ protected:
+  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  MlpConfig config_;
+  std::optional<MlpPredictor> model_;
+};
+
+/// "dippm": the DIPPM-like learned baseline, including its parser
+/// limitation — predict() throws InvalidArgument for model families it
+/// cannot parse (the generic LOO harness counts those as skipped).
+class DippmAdapter : public Predictor {
+ public:
+  explicit DippmAdapter(MlpConfig config);
+
+  Phase target() const override { return Phase::kInference; }
+
+ protected:
+  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  MlpConfig config_;
+  std::optional<DippmLikePredictor> model_;
+};
+
+/// "paleo": the fitting-free analytical roofline baseline, evaluated from
+/// a sample's aggregate metrics:
+///
+///   t = max(flops / (peak * pp), bytes / (bandwidth * pp))
+///
+/// with bytes = 4 * (b*I1 + b*O1 + W). Note this aggregates before the
+/// max, so it is coarser than PaleoLikePredictor's per-layer sum — the
+/// graph-level class stays available when layer shapes are known. fit() is
+/// accepted and ignored (the model is the device datasheet).
+class PaleoAdapter : public Predictor {
+ public:
+  explicit PaleoAdapter(PaleoDeviceSheet sheet);
+
+  Phase target() const override { return Phase::kInference; }
+
+ protected:
+  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  PaleoDeviceSheet sheet_;
+};
+
+}  // namespace convmeter

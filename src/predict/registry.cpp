@@ -1,0 +1,132 @@
+#include "predict/registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "predict/predictors.hpp"
+
+namespace convmeter {
+
+PredictorRegistry& PredictorRegistry::instance() {
+  static PredictorRegistry registry;
+  return registry;
+}
+
+PredictorRegistry::PredictorRegistry() {
+  const auto phase_linear = [](const char* name, Phase default_phase) {
+    return [name, default_phase](const PredictorOptions& o) {
+      return std::make_unique<PhaseLinearPredictor>(
+          name, o.phase.value_or(default_phase), FeatureSet::kCombined);
+    };
+  };
+  const auto simple = [](const char* name, FeatureSet fs) {
+    return [name, fs](const PredictorOptions&) {
+      return std::make_unique<SimpleBaselineAdapter>(name, fs);
+    };
+  };
+  add({"convmeter",
+       "full training-step model: T_step = T_fwd + T_bwd_grad (Eq. 1/3)",
+       [](const PredictorOptions&) {
+         return std::make_unique<ConvMeterPredictor>();
+       }});
+  add({"convmeter-fwd-only",
+       "forward/inference linear model on FLOPs+Inputs+Outputs (Eq. 3)",
+       phase_linear("convmeter-fwd-only", Phase::kInference)});
+  add({"flops-only", "single-metric linear baseline on FLOPs (Fig. 2)",
+       simple("flops-only", FeatureSet::kFlopsOnly)});
+  add({"inputs-only", "single-metric linear baseline on conv inputs (Fig. 2)",
+       simple("inputs-only", FeatureSet::kInputsOnly)});
+  add({"outputs-only",
+       "single-metric linear baseline on conv outputs (Fig. 2)",
+       simple("outputs-only", FeatureSet::kOutputsOnly)});
+  add({"mlp", "learned MLP regressor on log-scaled graph features",
+       [](const PredictorOptions& o) {
+         return std::make_unique<MlpBaselineAdapter>(o.mlp);
+       }});
+  add({"dippm",
+       "DIPPM-like learned baseline (rejects models its parser cannot read)",
+       [](const PredictorOptions& o) {
+         return std::make_unique<DippmAdapter>(o.mlp);
+       }});
+  add({"paleo",
+       "fitting-free analytical roofline from device datasheet numbers",
+       [](const PredictorOptions& o) {
+         return std::make_unique<PaleoAdapter>(o.paleo);
+       }});
+}
+
+void PredictorRegistry::add(PredictorEntry entry) {
+  CM_CHECK(!entry.name.empty() && entry.make != nullptr,
+           "predictor registry entry needs a name and a factory");
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const PredictorEntry& e) { return e.name == entry.name; });
+  if (it != entries_.end()) {
+    *it = std::move(entry);
+  } else {
+    entries_.push_back(std::move(entry));
+  }
+}
+
+bool PredictorRegistry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const PredictorEntry& e) { return e.name == name; });
+}
+
+std::unique_ptr<Predictor> PredictorRegistry::make(
+    const std::string& name, const PredictorOptions& options) const {
+  for (const PredictorEntry& e : entries_) {
+    if (e.name == name) return e.make(options);
+  }
+  throw InvalidArgument("unknown predictor '" + name + "'; registered: " +
+                        join(predictor_names(), ", "));
+}
+
+std::vector<PredictorEntry> PredictorRegistry::entries() const {
+  std::vector<PredictorEntry> out = entries_;
+  std::sort(out.begin(), out.end(),
+            [](const PredictorEntry& a, const PredictorEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::unique_ptr<Predictor> make_predictor(const std::string& name,
+                                          const PredictorOptions& options) {
+  return PredictorRegistry::instance().make(name, options);
+}
+
+std::vector<std::string> predictor_names() {
+  std::vector<std::string> names;
+  for (const PredictorEntry& e : PredictorRegistry::instance().entries()) {
+    names.push_back(e.name);
+  }
+  return names;
+}
+
+std::unique_ptr<Predictor> load_predictor_json(
+    const std::string& text, const PredictorOptions& options) {
+  const json::Value doc = json::parse(text);
+  const std::string name = model_file_predictor_name(doc);
+  if (!PredictorRegistry::instance().contains(name)) {
+    throw ParseError("model file names unregistered predictor '" + name +
+                     "'");
+  }
+  std::unique_ptr<Predictor> p = make_predictor(name, options);
+  p->load_document(doc);
+  return p;
+}
+
+std::unique_ptr<Predictor> load_predictor_file(
+    const std::string& path, const PredictorOptions& options) {
+  std::ifstream in(path);
+  CM_CHECK(in.good(), "cannot open model file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return load_predictor_json(text.str(), options);
+}
+
+}  // namespace convmeter

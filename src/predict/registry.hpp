@@ -1,0 +1,85 @@
+// Name-keyed predictor registry and factory — the prediction-side mirror
+// of backend/make_backend. Benches, the CLI and tests construct any
+// predictor family by its stable registry name; model files round-trip
+// through the same names.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/mlp.hpp"
+#include "baselines/paleo_like.hpp"
+#include "core/features.hpp"
+#include "predict/predictor.hpp"
+
+namespace convmeter {
+
+/// Construction knobs shared by the factories; each family reads what it
+/// needs and ignores the rest.
+struct PredictorOptions {
+  /// Retargets the linear phase predictors ("convmeter-fwd-only") at a
+  /// different measured phase — how the training benches evaluate the
+  /// per-phase models (t_fwd, t_bwd, t_grad, t_bwd+t_grad).
+  std::optional<Phase> phase;
+
+  /// Hyperparameters of the learned baselines ("mlp", "dippm").
+  MlpConfig mlp;
+
+  /// Device datasheet of the analytical baseline ("paleo").
+  PaleoDeviceSheet paleo = PaleoDeviceSheet::a100_datasheet();
+};
+
+/// One registered predictor family.
+struct PredictorEntry {
+  std::string name;
+  std::string description;  ///< one line for `convmeter list-predictors`
+  std::function<std::unique_ptr<Predictor>(const PredictorOptions&)> make;
+};
+
+/// Process-wide registry of predictor factories. The built-in families are
+/// registered on first use; callers may add their own.
+class PredictorRegistry {
+ public:
+  static PredictorRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(PredictorEntry entry);
+
+  bool contains(const std::string& name) const;
+
+  /// Constructs a predictor; throws InvalidArgument for unknown names,
+  /// listing the registered ones.
+  std::unique_ptr<Predictor> make(const std::string& name,
+                                  const PredictorOptions& options = {}) const;
+
+  /// Registered entries, sorted by name.
+  std::vector<PredictorEntry> entries() const;
+
+ private:
+  PredictorRegistry();
+
+  std::vector<PredictorEntry> entries_;
+};
+
+/// Shorthand for PredictorRegistry::instance().make(...).
+std::unique_ptr<Predictor> make_predictor(
+    const std::string& name, const PredictorOptions& options = {});
+
+/// Sorted names of every registered predictor.
+std::vector<std::string> predictor_names();
+
+/// Loads a model file produced by Predictor::save_json(): validates the
+/// versioned envelope, constructs the named family via the registry, and
+/// restores its coefficients. Throws ParseError on malformed input or a
+/// format/version mismatch.
+std::unique_ptr<Predictor> load_predictor_json(
+    const std::string& text, const PredictorOptions& options = {});
+
+/// load_predictor_json over the contents of `path`.
+std::unique_ptr<Predictor> load_predictor_file(
+    const std::string& path, const PredictorOptions& options = {});
+
+}  // namespace convmeter

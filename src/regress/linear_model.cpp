@@ -90,6 +90,25 @@ std::string LinearModel::to_text() const {
   return os.str();
 }
 
+json::Value LinearModel::to_json() const {
+  json::Value::Array coeffs;
+  coeffs.reserve(coefficients_.size());
+  for (const double c : coefficients_) coeffs.emplace_back(c);
+  return json::Value(std::move(coeffs));
+}
+
+LinearModel LinearModel::from_json(const json::Value& value) {
+  if (!value.is_array() || value.as_array().empty()) {
+    throw ParseError("linear model JSON must be a non-empty array");
+  }
+  LinearModel m;
+  m.coefficients_.reserve(value.as_array().size());
+  for (const json::Value& c : value.as_array()) {
+    m.coefficients_.push_back(c.as_number());
+  }
+  return m;
+}
+
 LinearModel LinearModel::from_text(const std::string& text) {
   std::istringstream is(text);
   std::string tag;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "linalg/matrix.hpp"
 
 namespace convmeter {
@@ -38,6 +39,11 @@ class LinearModel {
   /// Serialization for persisting tuned platform coefficients.
   std::string to_text() const;
   static LinearModel from_text(const std::string& text);
+
+  /// JSON serialization (a plain coefficient array) for the versioned
+  /// model-file format; round-trips coefficients bit-identically.
+  json::Value to_json() const;
+  static LinearModel from_json(const json::Value& value);
 
  private:
   Vector coefficients_;

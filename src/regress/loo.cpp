@@ -49,10 +49,13 @@ LooResult leave_one_group_out(const Matrix& x, const Vector& y,
       pooled_pred.push_back(pred);
       pooled_meas.push_back(y[r]);
     }
+    // Groups with fewer than 2 held-out samples have no meaningful
+    // per-group error report; their predictions count toward the pooled
+    // errors only (see header contract).
     if (eval.measured.size() >= 2) {
       eval.errors = compute_errors(eval.predicted, eval.measured);
+      result.per_group.push_back(std::move(eval));
     }
-    result.per_group.push_back(std::move(eval));
   }
 
   std::sort(result.per_group.begin(), result.per_group.end(),

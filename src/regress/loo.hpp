@@ -29,6 +29,7 @@ struct GroupEvaluation {
 struct LooResult {
   std::vector<GroupEvaluation> per_group;  ///< sorted by group name
   ErrorReport pooled;  ///< errors over all held-out predictions pooled
+  std::size_t skipped = 0;  ///< held-out samples the predictor rejected
 };
 
 /// Runs leave-one-group-out CV: for every distinct label in `groups`, fits

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "core/convmeter.hpp"
 #include "core/features.hpp"
@@ -206,20 +207,26 @@ TEST(ConvMeterTest, QueryValidation) {
   EXPECT_THROW(m.predict_inference(q), InvalidArgument);
 }
 
-TEST(ConvMeterTest, SerializationRoundTripInference) {
+TEST(ConvMeterTest, JsonRoundTripInference) {
+  // Through the full text round trip — dump writes shortest-round-trip
+  // doubles, so the reloaded model predicts bit-identically.
   const ConvMeter m = ConvMeter::fit_inference(planted_set(false));
-  const ConvMeter back = ConvMeter::from_text(m.to_text());
+  const ConvMeter back =
+      ConvMeter::from_json(json::parse(json::dump(m.to_json())));
+  EXPECT_EQ(back.feature_set(), m.feature_set());
   QueryPoint q;
   q.metrics_b1.flops = 2e9;
   q.metrics_b1.conv_inputs = 4e6;
   q.metrics_b1.conv_outputs = 5e6;
   q.per_device_batch = 4.0;
   EXPECT_DOUBLE_EQ(m.predict_inference(q), back.predict_inference(q));
+  EXPECT_DOUBLE_EQ(m.forward_relative_sigma(), back.forward_relative_sigma());
 }
 
-TEST(ConvMeterTest, SerializationRoundTripTraining) {
+TEST(ConvMeterTest, JsonRoundTripTraining) {
   const ConvMeter m = ConvMeter::fit_training(planted_set(true));
-  const ConvMeter back = ConvMeter::from_text(m.to_text());
+  const ConvMeter back =
+      ConvMeter::from_json(json::parse(json::dump(m.to_json())));
   EXPECT_TRUE(back.has_training_model());
   EXPECT_EQ(back.multi_node(), m.multi_node());
   QueryPoint q;
@@ -234,12 +241,20 @@ TEST(ConvMeterTest, SerializationRoundTripTraining) {
                    back.predict_train_step(q).step);
 }
 
-TEST(ConvMeterTest, MalformedTextRejected) {
-  EXPECT_THROW(ConvMeter::from_text(""), ParseError);
-  EXPECT_THROW(ConvMeter::from_text("convmeter combined"), ParseError);
-  EXPECT_THROW(ConvMeter::from_text("convmeter weird 0\nfwd linear_model 1 2.0"),
+TEST(ConvMeterTest, MalformedJsonRejected) {
+  // Not an object.
+  EXPECT_THROW(ConvMeter::from_json(json::parse("[]")), ParseError);
+  // No forward coefficient block.
+  EXPECT_THROW(ConvMeter::from_json(json::parse(
+                   R"({"feature_set": "combined", "multi_node": false,
+                       "fwd_rel_sigma": 0.0, "models": {}})")),
                ParseError);
-  EXPECT_THROW(ConvMeter::from_text("convmeter combined 0\n"), ParseError);
+  // Unknown coefficient block tag.
+  EXPECT_THROW(ConvMeter::from_json(json::parse(
+                   R"({"feature_set": "combined", "multi_node": false,
+                       "fwd_rel_sigma": 0.0,
+                       "models": {"sideways": [1.0, 2.0]}})")),
+               ParseError);
 }
 
 TEST(ConvMeterTest, SingleMetricFeatureSetSupported) {

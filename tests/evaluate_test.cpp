@@ -1,9 +1,10 @@
 // Leave-one-ConvNet-out evaluation tests on planted data where the exact
-// expected behaviour is known.
+// expected behaviour is known, exercised through the generic predictor
+// harness (predict/evaluate.hpp).
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
-#include "core/evaluate.hpp"
+#include "predict/evaluate.hpp"
 
 namespace convmeter {
 namespace {
@@ -43,15 +44,18 @@ std::vector<RuntimeSample> lawful_samples(int num_models) {
 
 TEST(EvaluatePhaseTest, ExactLawGivesNearZeroError) {
   const auto samples = lawful_samples(5);
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const LooResult r = evaluate_loo("convmeter-fwd-only", samples);
   EXPECT_GT(r.pooled.r2, 0.999);
   EXPECT_LT(r.pooled.mape, 1e-6);
   EXPECT_EQ(r.per_group.size(), 5u);
+  EXPECT_EQ(r.skipped, 0u);
 }
 
 TEST(EvaluatePhaseTest, GroupsSortedByName) {
   const auto samples = lawful_samples(4);
-  const LooResult r = evaluate_phase_loo(samples, Phase::kForward);
+  PredictorOptions options;
+  options.phase = Phase::kForward;
+  const LooResult r = evaluate_loo("convmeter-fwd-only", samples, options);
   for (std::size_t i = 1; i < r.per_group.size(); ++i) {
     EXPECT_LT(r.per_group[i - 1].group, r.per_group[i].group);
   }
@@ -63,7 +67,7 @@ TEST(EvaluatePhaseTest, OutlierModelShowsHighHeldOutError) {
   for (auto& s : samples) {
     if (s.model == "net3") s.t_infer *= 3.0;
   }
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const LooResult r = evaluate_loo("convmeter-fwd-only", samples);
   const auto& outlier = r.per_group.back();
   ASSERT_EQ(outlier.group, "net3");
   // Held out, net3 is predicted from the conforming law -> ~3x off. (The
@@ -86,31 +90,33 @@ TEST(EvaluatePhaseTest, SingleMetricWorseThanCombinedOnMixedData) {
                          5e-5;
   }
   const double mape_combined =
-      evaluate_phase_loo(samples, Phase::kInference, FeatureSet::kCombined)
-          .pooled.mape;
-  const double mape_flops =
-      evaluate_phase_loo(samples, Phase::kInference, FeatureSet::kFlopsOnly)
-          .pooled.mape;
+      evaluate_loo("convmeter-fwd-only", samples).pooled.mape;
+  const double mape_flops = evaluate_loo("flops-only", samples).pooled.mape;
   EXPECT_LT(mape_combined, mape_flops);
 }
 
 TEST(EvaluateTrainStepTest, ExactLawGivesNearZeroError) {
   const auto samples = lawful_samples(5);
-  const LooResult r = evaluate_train_step_loo(samples);
+  const LooResult r = evaluate_loo("convmeter", samples);
   EXPECT_GT(r.pooled.r2, 0.999);
   EXPECT_LT(r.pooled.mape, 1e-4);
 }
 
 TEST(EvaluateTrainStepTest, PooledCountsEverySample) {
   const auto samples = lawful_samples(3);
-  const LooResult r = evaluate_train_step_loo(samples);
+  const LooResult r = evaluate_loo("convmeter", samples);
   EXPECT_EQ(r.pooled.count, samples.size());
 }
 
 TEST(EvaluateTrainStepTest, RequiresTwoModels) {
   const auto samples = lawful_samples(1);
-  EXPECT_THROW(evaluate_train_step_loo(samples), InvalidArgument);
-  EXPECT_THROW(evaluate_train_step_loo({}), InvalidArgument);
+  EXPECT_THROW(evaluate_loo("convmeter", samples), InvalidArgument);
+  EXPECT_THROW(evaluate_loo("convmeter", {}), InvalidArgument);
+}
+
+TEST(EvaluateTest, UnknownPredictorNameRejected) {
+  EXPECT_THROW(evaluate_loo("no-such-predictor", lawful_samples(3)),
+               InvalidArgument);
 }
 
 }  // namespace

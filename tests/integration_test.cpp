@@ -8,8 +8,8 @@
 #include "backend/sim_backend.hpp"
 #include "collect/campaign.hpp"
 #include "core/convmeter.hpp"
-#include "core/evaluate.hpp"
 #include "core/scalability.hpp"
+#include "predict/evaluate.hpp"
 #include "exec/executor.hpp"
 #include "metrics/metrics.hpp"
 #include "models/blocks.hpp"
@@ -37,8 +37,8 @@ std::vector<RuntimeSample> gpu_inference_samples() {
 }
 
 TEST(IntegrationInference, PooledAccuracyInPaperBand) {
-  const LooResult r =
-      evaluate_phase_loo(gpu_inference_samples(), Phase::kInference);
+  const LooResult r = evaluate_loo("convmeter-fwd-only",
+                                   gpu_inference_samples());
   // Paper (Fig. 3, GPU): R^2 = 0.96. Require at least a strong fit.
   EXPECT_GT(r.pooled.r2, 0.9);
   EXPECT_LT(r.pooled.nrmse, 0.2);
@@ -49,18 +49,11 @@ TEST(IntegrationInference, CombinedMetricsBeatEverySingleMetric) {
   // set; FLOPs alone is the weakest kind of predictor on GPUs.
   const auto samples = gpu_inference_samples();
   const double r2_combined =
-      evaluate_phase_loo(samples, Phase::kInference, FeatureSet::kCombined)
-          .pooled.r2;
-  for (const FeatureSet fs : {FeatureSet::kFlopsOnly, FeatureSet::kInputsOnly,
-                              FeatureSet::kOutputsOnly}) {
-    EXPECT_GT(r2_combined,
-              evaluate_phase_loo(samples, Phase::kInference, fs).pooled.r2)
-        << feature_set_name(fs);
+      evaluate_loo("convmeter-fwd-only", samples).pooled.r2;
+  for (const char* name : {"flops-only", "inputs-only", "outputs-only"}) {
+    EXPECT_GT(r2_combined, evaluate_loo(name, samples).pooled.r2) << name;
   }
-  EXPECT_LT(
-      evaluate_phase_loo(samples, Phase::kInference, FeatureSet::kFlopsOnly)
-          .pooled.r2,
-      0.7);
+  EXPECT_LT(evaluate_loo("flops-only", samples).pooled.r2, 0.7);
 }
 
 TEST(IntegrationInference, CpuCampaignAlsoFitsWell) {
@@ -69,7 +62,7 @@ TEST(IntegrationInference, CpuCampaignAlsoFitsWell) {
   sweep.repetitions = 1;
   sweep.batch_sizes = {1, 4, 16, 64};  // CPU sweep uses smaller batches
   const auto samples = run_inference_campaign(sim, sweep);
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const LooResult r = evaluate_loo("convmeter-fwd-only", samples);
   EXPECT_GT(r.pooled.r2, 0.9);
 }
 
@@ -94,7 +87,7 @@ TEST(IntegrationTraining, SingleGpuStepErrorsInPaperBand) {
   TrainingSweep sweep = TrainingSweep::paper_single_gpu(benchmark_models());
   sweep.repetitions = 2;
   const auto samples = run_training_campaign(sim, sweep);
-  const LooResult r = evaluate_train_step_loo(samples);
+  const LooResult r = evaluate_loo("convmeter", samples);
   // Paper Table 3 single GPU: MAPE 0.18, R^2 0.88.
   EXPECT_LT(r.pooled.mape, 0.30);
   EXPECT_GT(r.pooled.r2, 0.85);
@@ -105,7 +98,7 @@ TEST(IntegrationTraining, DistributedStepErrorsInPaperBand) {
   TrainingSweep sweep = TrainingSweep::paper_distributed(benchmark_models());
   sweep.repetitions = 1;
   const auto samples = run_training_campaign(sim, sweep);
-  const LooResult r = evaluate_train_step_loo(samples);
+  const LooResult r = evaluate_loo("convmeter", samples);
   // Paper: distributed MAPE 0.15, R^2 0.78 with higher comm variance.
   EXPECT_LT(r.pooled.mape, 0.30);
   EXPECT_GT(r.pooled.r2, 0.7);
@@ -160,7 +153,7 @@ TEST(IntegrationBlocks, BlockwisePredictionFitsWell) {
   }
   const auto samples =
       run_block_campaign(sim, blocks, {1, 8, 32, 128, 512}, 2, 99);
-  const LooResult r = evaluate_phase_loo(samples, Phase::kInference);
+  const LooResult r = evaluate_loo("convmeter-fwd-only", samples);
   // Paper Fig. 4: R^2 = 0.997 over blocks; require a strong fit.
   EXPECT_GT(r.pooled.r2, 0.9);
 }
@@ -190,14 +183,7 @@ TEST(IntegrationBaseline, ConvMeterBeatsDippmLikeOnHeldOutModel) {
   std::vector<double> theirs_pred;
   std::vector<double> measured;
   for (const auto& s : test) {
-    QueryPoint q;
-    q.metrics_b1.flops = s.flops1;
-    q.metrics_b1.conv_inputs = s.inputs1;
-    q.metrics_b1.conv_outputs = s.outputs1;
-    q.metrics_b1.weights = s.weights;
-    q.metrics_b1.layers = s.layers;
-    q.per_device_batch = s.mini_batch();
-    ours_pred.push_back(ours.predict_inference(q));
+    ours_pred.push_back(ours.predict_inference(QueryPoint::from_sample(s)));
     theirs_pred.push_back(theirs.predict(s));
     measured.push_back(s.t_infer);
   }

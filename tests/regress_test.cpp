@@ -173,5 +173,25 @@ TEST(LooTest, PooledCountsAllSamples) {
   EXPECT_EQ(r.pooled.count, 4u);
 }
 
+TEST(LooTest, SingleSampleGroupContributesToPooledOnly) {
+  // Group "c" holds exactly one sample: per-group error metrics need at
+  // least two points, so it must not appear in per_group (it used to show
+  // up as an all-zero report), but its prediction still counts pooled.
+  Matrix x = make_design({{1.0, 1.0},
+                          {2.0, 1.0},
+                          {3.0, 1.0},
+                          {4.0, 1.0},
+                          {5.0, 1.0}});
+  Vector y(5);
+  for (std::size_t i = 0; i < 5; ++i) y[i] = 3.0 * x(i, 0) - 1.0;
+  const std::vector<std::string> groups = {"a", "a", "b", "b", "c"};
+  const LooResult r = leave_one_group_out(x, y, groups);
+  ASSERT_EQ(r.per_group.size(), 2u);
+  EXPECT_EQ(r.per_group[0].group, "a");
+  EXPECT_EQ(r.per_group[1].group, "b");
+  EXPECT_EQ(r.pooled.count, 5u);  // the lone "c" sample is still scored
+  EXPECT_NEAR(r.pooled.rmse, 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace convmeter

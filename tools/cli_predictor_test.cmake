@@ -1,0 +1,44 @@
+# End-to-end predictor-layer workflow: campaign -> fit a registered
+# predictor to a versioned JSON model file -> reload it for predictions ->
+# leave-one-ConvNet-out evaluation of the same samples.
+file(MAKE_DIRECTORY ${WORKDIR})
+function(run out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run(out ${CONVMETER} campaign --out ${WORKDIR}/samples.csv
+    --models alexnet,resnet18,resnet50,vgg16 --images 64,128
+    --batches 1,16,64 --reps 2)
+run(out ${CONVMETER} fit --samples ${WORKDIR}/samples.csv
+    --predictor convmeter-fwd-only --out ${WORKDIR}/model.json)
+if(NOT EXISTS ${WORKDIR}/model.json)
+  message(FATAL_ERROR "fit did not write ${WORKDIR}/model.json")
+endif()
+file(READ ${WORKDIR}/model.json model_text)
+if(NOT model_text MATCHES "\"format\":\"convmeter-predictor\"")
+  message(FATAL_ERROR "model file lacks the versioned envelope:\n"
+          "${model_text}")
+endif()
+run(out ${CONVMETER} predict --model-file ${WORKDIR}/model.json
+    --model mobilenet_v2 --image 224 --batch 32)
+if(NOT out MATCHES "convmeter-fwd-only")
+  message(FATAL_ERROR "predict did not report the loaded predictor:\n${out}")
+endif()
+run(out ${CONVMETER} eval --samples ${WORKDIR}/samples.csv
+    --predictor convmeter-fwd-only)
+if(NOT out MATCHES "pooled")
+  message(FATAL_ERROR "eval did not print the pooled error row:\n${out}")
+endif()
+
+# A corrupted envelope must be rejected with a clear error.
+file(WRITE ${WORKDIR}/bad.json "{\"format\": \"other\", \"version\": 1}")
+execute_process(COMMAND ${CONVMETER} predict --model-file ${WORKDIR}/bad.json
+                --model alexnet RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "predict accepted a malformed model file")
+endif()

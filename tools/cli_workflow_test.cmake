@@ -1,4 +1,6 @@
 # End-to-end CLI workflow: campaign -> fit -> predict -> scalability.
+# `--coeffs` is the legacy spelling of `--model-file`; this test keeps it
+# covered.
 file(MAKE_DIRECTORY ${WORKDIR})
 function(run)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
@@ -11,9 +13,9 @@ endfunction()
 run(${CONVMETER} campaign --out ${WORKDIR}/samples.csv
     --models alexnet,resnet18,resnet50 --training 1 --nodes 1,2 --reps 1)
 run(${CONVMETER} fit --samples ${WORKDIR}/samples.csv
-    --out ${WORKDIR}/coeffs.txt --training 1)
-run(${CONVMETER} predict --coeffs ${WORKDIR}/coeffs.txt --model vgg16
+    --out ${WORKDIR}/model.json --training 1)
+run(${CONVMETER} predict --coeffs ${WORKDIR}/model.json --model vgg16
     --image 128 --batch 64 --devices 8 --nodes 2 --dataset 1281167
     --epochs 90)
-run(${CONVMETER} scalability --coeffs ${WORKDIR}/coeffs.txt --model vgg16
+run(${CONVMETER} scalability --coeffs ${WORKDIR}/model.json --model vgg16
     --batch 64 --max-nodes 4)

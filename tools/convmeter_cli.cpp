@@ -6,10 +6,15 @@
 //   convmeter campaign  --backend sim-gpu|sim-cpu|real --out samples.csv
 //                       [--models a,b,c] [--images 32,64] [--batches 1,16]
 //                       [--jobs N] [--training] [--nodes 1,2,4]
-//   convmeter fit       --samples samples.csv --out coeffs.txt [--training]
-//   convmeter predict   --coeffs coeffs.txt --model x --image 224 --batch 64
-//                       [--devices N --nodes M] [--dataset D] [--epochs E]
-//   convmeter scalability --coeffs coeffs.txt --model x --batch 64
+//   convmeter list-predictors
+//   convmeter fit       --samples samples.csv --out model.json
+//                       [--predictor NAME] [--training 1] [--phase NAME]
+//   convmeter eval      --samples samples.csv [--predictor NAME]
+//                       [--phase NAME]
+//   convmeter predict   --model-file model.json --model x --image 224
+//                       --batch 64 [--devices N --nodes M] [--dataset D]
+//                       [--epochs E]
+//   convmeter scalability --model-file model.json --model x --batch 64
 //                       [--max-nodes 16] [--gpus-per-node 4]
 //   convmeter trace     --model x --out trace.json [--batch 8] [--image N]
 //                       [--device D] [--train 0|1]
@@ -17,10 +22,12 @@
 //                       [--json 1] [--out FILE]
 //
 // The campaign runs against any MeasurementBackend — the simulated devices
-// or the real CPU executor (`--backend real`); fit and predict work on any
-// CSV in the documented sample format, so measurements from real hardware
-// can be dropped in. `trace` and `stats` run the *real* CPU executor with
-// the observability layer enabled (see src/obs/).
+// or the real CPU executor (`--backend real`); fit, eval and predict work
+// on any CSV in the documented sample format, so measurements from real
+// hardware can be dropped in. `fit` writes a versioned JSON model file for
+// any registered predictor family (see `list-predictors`), which `predict`
+// and `scalability` reload. `trace` and `stats` run the *real* CPU
+// executor with the observability layer enabled (see src/obs/).
 #include <iostream>
 #include <map>
 #include <memory>
@@ -44,6 +51,9 @@
 #include "obs/metrics_registry.hpp"
 #include "obs/residuals.hpp"
 #include "obs/trace.hpp"
+#include "predict/evaluate.hpp"
+#include "predict/predictors.hpp"
+#include "predict/registry.hpp"
 #include "sim/residual_probe.hpp"
 
 #include <fstream>
@@ -201,26 +211,74 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+/// Predictor construction knobs shared by fit and eval.
+PredictorOptions predictor_options(const Args& args) {
+  PredictorOptions options;
+  if (args.has("phase")) {
+    options.phase = phase_from_name(args.require("phase"));
+  }
+  return options;
+}
+
+/// Registry name selected by --predictor, defaulting to the ConvMeter
+/// family matching the legacy --training switch.
+std::string predictor_name(const Args& args) {
+  return args.get("predictor",
+                  args.has("training") ? "convmeter" : "convmeter-fwd-only");
+}
+
 int cmd_fit(const Args& args) {
   const auto samples = load_samples(args.require("samples"));
-  const ConvMeter model = args.has("training")
-                              ? ConvMeter::fit_training(samples)
-                              : ConvMeter::fit_inference(samples);
+  const std::string name = predictor_name(args);
+  const auto predictor = make_predictor(name, predictor_options(args));
+  predictor->fit(samples);
   const std::string out = args.require("out");
-  std::ofstream f(out);
-  CM_CHECK(static_cast<bool>(f), "cannot write " + out);
-  f << model.to_text();
-  std::cout << "fitted on " << samples.size() << " samples -> " << out
-            << '\n';
+  save_predictor_file(*predictor, out);
+  std::cout << "fitted '" << name << "' on " << samples.size()
+            << " samples -> " << out << '\n';
   return 0;
 }
 
-ConvMeter load_model(const std::string& path) {
-  std::ifstream f(path);
-  CM_CHECK(static_cast<bool>(f), "cannot read " + path);
-  std::ostringstream os;
-  os << f.rdbuf();
-  return ConvMeter::from_text(os.str());
+int cmd_list_predictors() {
+  ConsoleTable t({"Name", "Description"}, {Align::kLeft, Align::kLeft});
+  for (const PredictorEntry& entry : PredictorRegistry::instance().entries()) {
+    t.add_row({entry.name, entry.description});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const auto samples = load_samples(args.require("samples"));
+  const std::string name = predictor_name(args);
+  const LooResult r = evaluate_loo(name, samples, predictor_options(args));
+  ConsoleTable t({"ConvNet", "Samples", "R^2", "NRMSE", "MAPE"},
+                 {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                  Align::kRight});
+  for (const GroupEvaluation& g : r.per_group) {
+    t.add_row({g.group, std::to_string(g.errors.count),
+               ConsoleTable::fmt(g.errors.r2, 3),
+               ConsoleTable::fmt(g.errors.nrmse, 3),
+               ConsoleTable::fmt(g.errors.mape, 3)});
+  }
+  t.add_row({"(pooled)", std::to_string(r.pooled.count),
+             ConsoleTable::fmt(r.pooled.r2, 3),
+             ConsoleTable::fmt(r.pooled.nrmse, 3),
+             ConsoleTable::fmt(r.pooled.mape, 3)});
+  std::cout << "leave-one-ConvNet-out, predictor '" << name << "':\n";
+  t.print(std::cout);
+  if (r.skipped > 0) {
+    std::cout << r.skipped << " held-out sample(s) skipped (predictor "
+              << "rejected them)\n";
+  }
+  return 0;
+}
+
+/// Model-file path: --model-file, or the legacy --coeffs spelling.
+std::string model_file_path(const Args& args) {
+  if (args.has("model-file")) return args.require("model-file");
+  if (args.has("coeffs")) return args.require("coeffs");
+  throw InvalidArgument("missing required option --model-file");
 }
 
 QueryPoint make_query(const Args& args) {
@@ -236,13 +294,18 @@ QueryPoint make_query(const Args& args) {
 }
 
 int cmd_predict(const Args& args) {
-  const ConvMeter model = load_model(args.require("coeffs"));
+  const auto predictor = load_predictor_file(model_file_path(args));
   const QueryPoint q = make_query(args);
-  if (!model.has_training_model()) {
-    std::cout << "predicted inference time: "
-              << format_seconds(model.predict_inference(q)) << '\n';
+  const auto* cm = dynamic_cast<const ConvMeterPredictor*>(predictor.get());
+  if (cm == nullptr) {
+    // Any non-ConvMeter family predicts a single number for its target
+    // phase (t_infer for the inference baselines).
+    std::cout << "predicted " << phase_name(predictor->target()) << " ('"
+              << predictor->name() << "'): "
+              << format_seconds(predictor->predict(q.as_sample())) << '\n';
     return 0;
   }
+  const ConvMeter& model = cm->model();
   const TrainPrediction p = model.predict_train_step(q);
   ConsoleTable t({"Phase", "Predicted"}, {Align::kLeft, Align::kRight});
   t.add_row({"forward", format_seconds(p.fwd)});
@@ -265,11 +328,12 @@ int cmd_predict(const Args& args) {
 }
 
 int cmd_scalability(const Args& args) {
-  const ConvMeter model = load_model(args.require("coeffs"));
-  CM_CHECK(model.has_training_model(),
-           "scalability needs coefficients from a --training fit");
+  const auto predictor = load_predictor_file(model_file_path(args));
+  const auto* cm = dynamic_cast<const ConvMeterPredictor*>(predictor.get());
+  CM_CHECK(cm != nullptr,
+           "scalability needs a 'convmeter' model file (fit --training 1)");
   const int gpus = static_cast<int>(args.get_int("gpus-per-node", 4));
-  const ScalabilityAnalyzer analyzer(model, gpus);
+  const ScalabilityAnalyzer analyzer(cm->model(), gpus);
   const QueryPoint q = make_query(args);
   const int max_nodes = static_cast<int>(args.get_int("max-nodes", 16));
 
@@ -386,10 +450,15 @@ int usage() {
       "              [--device a100|xeon_5318y|jetson_edge] [--jobs N]\n"
       "              [--models a,b,c] [--images 32,64] [--batches 1,16]\n"
       "              [--training --nodes 1,2,4] [--reps N]\n"
-      "  fit         --samples FILE --out FILE [--training 1]\n"
-      "  predict     --coeffs FILE --model NAME [--image N] [--batch N]\n"
-      "              [--devices N --nodes M] [--dataset D --epochs E]\n"
-      "  scalability --coeffs FILE --model NAME [--batch N] [--max-nodes N]\n"
+      "  list-predictors\n"
+      "  fit         --samples FILE --out model.json [--predictor NAME]\n"
+      "              [--training 1] [--phase NAME]\n"
+      "  eval        --samples FILE [--predictor NAME] [--phase NAME]\n"
+      "  predict     --model-file model.json --model NAME [--image N]\n"
+      "              [--batch N] [--devices N --nodes M]\n"
+      "              [--dataset D --epochs E]\n"
+      "  scalability --model-file model.json --model NAME [--batch N]\n"
+      "              [--max-nodes N]\n"
       "  trace       --model NAME --out FILE [--batch N] [--image N]\n"
       "              [--device D] [--train 0|1]\n"
       "  stats       [--model NAME] [--batch N] [--image N] [--device D]\n"
@@ -402,11 +471,13 @@ int run(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args(argc, argv, 2);
   if (cmd == "list-models") return cmd_list_models();
+  if (cmd == "list-predictors") return cmd_list_predictors();
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "show") return cmd_show(args);
   if (cmd == "dot") return cmd_dot(args);
   if (cmd == "campaign") return cmd_campaign(args);
   if (cmd == "fit") return cmd_fit(args);
+  if (cmd == "eval") return cmd_eval(args);
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "scalability") return cmd_scalability(args);
   if (cmd == "trace") return cmd_trace(args);
