@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
+#include "exec/kernels.hpp"
+#include "exec/workspace.hpp"
 #include "graph/shape_inference.hpp"
 
 namespace convmeter {
@@ -51,6 +54,122 @@ float act_grad(float x, ActKind kind) {
 ConvGradients conv2d_backward(ThreadPool& pool, const Tensor& input,
                               const Tensor& weight, const Tensor& grad_output,
                               const Conv2dAttrs& a) {
+  const Shape out_shape = conv2d_output_shape(a, input.shape());
+  CM_CHECK(grad_output.shape() == out_shape,
+           "conv2d_backward: grad_output shape mismatch");
+  const auto& in = input.shape();
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::int64_t cout_g = a.out_channels / a.groups;
+  const std::size_t patch = static_cast<std::size_t>(cin_g) *
+                            static_cast<std::size_t>(a.kernel_h) *
+                            static_cast<std::size_t>(a.kernel_w);
+  const std::size_t cols = static_cast<std::size_t>(out_shape.height()) *
+                           static_cast<std::size_t>(out_shape.width());
+  const std::size_t batch = static_cast<std::size_t>(out_shape.batch());
+  const std::size_t groups = static_cast<std::size_t>(a.groups);
+  const std::size_t cog = static_cast<std::size_t>(cout_g);
+  const std::size_t out_ch = static_cast<std::size_t>(a.out_channels);
+
+  ConvGradients g;
+  g.grad_input = Tensor(in);
+  g.grad_weight = Tensor(weight.shape());
+  if (a.bias) g.grad_bias = Tensor(Shape{a.out_channels});
+
+  // dL/db: each output channel's gradient sums independently.
+  if (a.bias) {
+    const float* go = grad_output.data().data();
+    pool.parallel_for(
+        out_ch,
+        [&](std::size_t oc0, std::size_t oc1) {
+          for (std::size_t oc = oc0; oc < oc1; ++oc) {
+            float acc = 0.0f;
+            for (std::size_t nn = 0; nn < batch; ++nn) {
+              const float* row = go + (nn * out_ch + oc) * cols;
+              for (std::size_t i = 0; i < cols; ++i) acc += row[i];
+            }
+            g.grad_bias.at(oc) = acc;
+          }
+        },
+        std::max<std::size_t>(
+            1, 16384 / std::max<std::size_t>(batch * cols, 1)));
+  }
+
+  // dL/dw and dL/dx as GEMMs over im2col column tiles, parallel over the
+  // (batch x group) index space. Each task owns the (n, g) region of
+  // grad_input exclusively, so the col2im scatter needs no locking. The
+  // weight gradient is shared across batches of a group, so when several
+  // parallel slots can touch it we accumulate into per-slot partial buffers
+  // and reduce after the join.
+  const std::size_t col_tile = [&] {
+    constexpr std::size_t kTargetFloats = 64 * 1024;
+    std::size_t t = kTargetFloats / std::max<std::size_t>(patch, 1);
+    return std::max<std::size_t>(t, 16);
+  }();
+  const std::size_t tasks = batch * groups;
+  const std::size_t chunk =
+      ThreadPool::chunk_size(tasks, pool.num_threads(), 1);
+  const std::size_t nslots = (tasks + chunk - 1) / chunk;
+  const std::size_t wsize = static_cast<std::size_t>(weight.numel());
+  const bool use_partials = nslots > 1 && batch > 1;
+  std::vector<float> partials(use_partials ? nslots * wsize : 0, 0.0f);
+
+  const float* go = grad_output.data().data();
+  const float* w = weight.data().data();
+  const float* x = input.data().data();
+  float* gw = g.grad_weight.data().data();
+  float* gx = g.grad_input.data().data();
+
+  pool.parallel_for(tasks, [&](std::size_t t0, std::size_t t1) {
+    Workspace& ws = Workspace::tls();
+    const std::size_t tile_floats = patch * col_tile;
+    ws.reserve(2 * tile_floats + kernel_detail::pack_a_floats() +
+               kernel_detail::pack_b_floats());
+    float* col = ws.take(tile_floats);
+    float* dcol = ws.take(tile_floats);
+    float* ap = ws.take(kernel_detail::pack_a_floats());
+    float* bp = ws.take(kernel_detail::pack_b_floats());
+    float* dw_base =
+        use_partials ? partials.data() + (t0 / chunk) * wsize : gw;
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t nn = t / groups;
+      const std::size_t grp = t % groups;
+      const float* dy = go + (nn * out_ch + grp * cog) * cols;
+      for (std::size_t c0 = 0; c0 < cols; c0 += col_tile) {
+        const std::size_t c1 = std::min(cols, c0 + col_tile);
+        kernel_detail::im2col_range(x, in, a, out_shape.width(),
+                                    static_cast<std::int64_t>(nn),
+                                    static_cast<std::int64_t>(grp), c0, c1,
+                                    col);
+        // dW_g += dY(cout_g x ncols) * col(patch x ncols)^T.
+        kernel_detail::gemm_block(dy + c0, cols, false, col, c1 - c0, true,
+                                  dw_base + grp * cog * patch, patch, 0, cog,
+                                  c1 - c0, patch, 1.0f, nullptr, nullptr,
+                                  std::nullopt, ap, bp);
+        // dcol = W_g(cout_g x patch)^T * dY(cout_g x ncols).
+        kernel_detail::gemm_block(w + grp * cog * patch, patch, true, dy + c0,
+                                  cols, false, dcol, c1 - c0, 0, patch, cog,
+                                  c1 - c0, 0.0f, nullptr, nullptr,
+                                  std::nullopt, ap, bp);
+        kernel_detail::col2im_range(dcol, in, a, out_shape.width(),
+                                    static_cast<std::int64_t>(nn),
+                                    static_cast<std::int64_t>(grp), c0, c1,
+                                    gx);
+      }
+    }
+  });
+  if (use_partials) {
+    for (std::size_t s = 0; s < nslots; ++s) {
+      const float* p = partials.data() + s * wsize;
+      for (std::size_t i = 0; i < wsize; ++i) gw[i] += p[i];
+    }
+  }
+  return g;
+}
+
+ConvGradients conv2d_backward_direct(ThreadPool& pool, const Tensor& input,
+                                     const Tensor& weight,
+                                     const Tensor& grad_output,
+                                     const Conv2dAttrs& a) {
   const Shape out_shape = conv2d_output_shape(a, input.shape());
   CM_CHECK(grad_output.shape() == out_shape,
            "conv2d_backward: grad_output shape mismatch");

@@ -22,9 +22,20 @@ struct ConvGradients {
 };
 
 /// Backward of conv2d: given x, w and dL/dy, produces dL/dx, dL/dw, dL/db.
+/// Production path: both weight and input gradients are computed as packed
+/// GEMMs over im2col patches (dW = dY * col^T per image via the trans_b
+/// variant, dcol = W^T * dY via trans_a followed by a col2im scatter),
+/// parallelized over (batch x group).
 ConvGradients conv2d_backward(ThreadPool& pool, const Tensor& input,
                               const Tensor& weight, const Tensor& grad_output,
                               const Conv2dAttrs& attrs);
+
+/// Direct-loop reference implementation of conv2d_backward; kept as the
+/// correctness oracle the GEMM path is validated against in tests.
+ConvGradients conv2d_backward_direct(ThreadPool& pool, const Tensor& input,
+                                     const Tensor& weight,
+                                     const Tensor& grad_output,
+                                     const Conv2dAttrs& attrs);
 
 /// Gradients of a fully connected layer.
 struct LinearGradients {

@@ -17,10 +17,33 @@ namespace {
 /// Deterministic per-node weight tensor. Values are scaled down so deep
 /// networks do not overflow float32 during an un-normalized forward pass.
 Tensor make_weight(const Shape& shape, std::uint64_t seed, float scale) {
-  Tensor t(shape);
+  Tensor t(shape, Tensor::kUninitialized);
   t.fill_random(seed);
   for (float& v : t.data()) v *= scale;
   return t;
+}
+
+/// Conv -> Activation fusion plan: for every Conv2d node whose output feeds
+/// exactly one node — an Activation — and which is not the graph output, the
+/// activation is folded into the conv's GEMM writeback epilogue and the
+/// activation node becomes a move of the conv's tensor.
+std::vector<std::optional<ActKind>> plan_fused_activations(const Graph& graph) {
+  std::vector<std::size_t> consumers(graph.size(), 0);
+  for (const auto& n : graph.nodes()) {
+    for (const NodeId input : n.inputs) {
+      ++consumers[static_cast<std::size_t>(input)];
+    }
+  }
+  std::vector<std::optional<ActKind>> fused(graph.size());
+  for (const auto& n : graph.nodes()) {
+    if (n.kind != OpKind::kActivation || n.inputs.size() != 1) continue;
+    const auto src = static_cast<std::size_t>(n.inputs[0]);
+    if (graph.nodes()[src].kind != OpKind::kConv2d) continue;
+    if (consumers[src] != 1) continue;
+    if (n.inputs[0] == graph.output_id()) continue;
+    fused[src] = n.as<ActivationAttrs>().kind;
+  }
+  return fused;
 }
 
 }  // namespace
@@ -32,6 +55,7 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
   CM_TRACE_SPAN("executor.run", "exec");
   graph.validate();
   const ShapeMap shapes = infer_shapes(graph, input.shape());
+  const std::vector<std::optional<ActKind>> fused = plan_fused_activations(graph);
   std::vector<Tensor> outputs(graph.size());
   ExecutionResult result;
   result.layers.reserve(graph.size());
@@ -66,7 +90,8 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
         const Tensor bias =
             a.bias ? make_weight(Shape{a.out_channels}, seed + 1, scale)
                    : Tensor();
-        out = conv2d_im2col(pool_, in(0), weight, bias, a);
+        out = conv2d_im2col(pool_, in(0), weight, bias, a,
+                            fused[static_cast<std::size_t>(n.id)]);
         break;
       }
       case OpKind::kBatchNorm2d: {
@@ -75,21 +100,29 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
         Tensor beta(Shape{c}, 0.0f);
         Tensor mean(Shape{c}, 0.0f);
         Tensor var(Shape{c}, 1.0f);
-        out = batch_norm2d(in(0), gamma, beta, mean, var);
+        out = batch_norm2d(pool_, in(0), gamma, beta, mean, var);
         break;
       }
-      case OpKind::kActivation:
-        out = activation(in(0), n.as<ActivationAttrs>().kind);
+      case OpKind::kActivation: {
+        const auto src = static_cast<std::size_t>(n.inputs.at(0));
+        if (fused[src].has_value()) {
+          // The activation already ran inside the conv's GEMM epilogue;
+          // this node just takes ownership of the fused result.
+          out = std::move(outputs[src]);
+        } else {
+          out = activation(pool_, in(0), n.as<ActivationAttrs>().kind);
+        }
         break;
+      }
       case OpKind::kMaxPool2d:
-        out = max_pool2d(in(0), n.as<Pool2dAttrs>());
+        out = max_pool2d(pool_, in(0), n.as<Pool2dAttrs>());
         break;
       case OpKind::kAvgPool2d:
-        out = avg_pool2d(in(0), n.as<Pool2dAttrs>());
+        out = avg_pool2d(pool_, in(0), n.as<Pool2dAttrs>());
         break;
       case OpKind::kAdaptiveAvgPool2d: {
         const auto& a = n.as<AdaptiveAvgPool2dAttrs>();
-        out = adaptive_avg_pool2d(in(0), a.out_h, a.out_w);
+        out = adaptive_avg_pool2d(pool_, in(0), a.out_h, a.out_w);
         break;
       }
       case OpKind::kLinear: {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
+#include "exec/workspace.hpp"
 #include "graph/shape_inference.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -13,11 +16,26 @@ namespace convmeter {
 
 namespace {
 
-/// Cache-blocking tile sizes for the GEMM micro-kernel. Sized so that one
-/// (MC x KC) A-panel plus a (KC x NC) B-panel fit comfortably in L2.
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockK = 256;
-constexpr std::size_t kBlockN = 256;
+// ---- packed GEMM geometry ---------------------------------------------------
+//
+// Register tile: each micro-kernel invocation produces an MR x NR block of C
+// held entirely in registers (6 x 16 floats = 12 YMM accumulators with AVX2).
+// Cache blocking: an (MC x KC) A panel stays L2-resident while a (KC x NC)
+// B panel streams through; both are packed into micro-panel order so the
+// micro-kernel reads purely contiguous memory with no data-dependent
+// branches.
+constexpr std::size_t kMR = 6;
+constexpr std::size_t kNR = 16;
+constexpr std::size_t kMC = 72;   // multiple of kMR
+constexpr std::size_t kKC = 256;
+constexpr std::size_t kNC = 512;  // multiple of kNR
+
+constexpr std::size_t kPackAFloats = kMC * kKC;
+constexpr std::size_t kPackBFloats = kKC * kNC;
+
+/// Below this many FLOPs a GEMM (or a conv's implicit GEMM) runs inline on
+/// the calling thread: the pool wakeup costs more than the math.
+constexpr std::uint64_t kSerialFlops = 1u << 18;
 
 float act_apply(float x, ActKind kind) {
   switch (kind) {
@@ -46,45 +64,372 @@ float act_apply(float x, ActKind kind) {
   return x;
 }
 
+/// Packs rows [i0, i1) x columns [k0, k1) of A_op into kMR-row micro-panels,
+/// zero-padding the ragged last panel so the micro-kernel never branches on
+/// the row count. Layout: panel-major, then column-major within a panel.
+void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
+            std::size_t i1, std::size_t k0, std::size_t k1, float* out) {
+  const std::size_t kc = k1 - k0;
+  for (std::size_t i = i0; i < i1; i += kMR) {
+    const std::size_t mr = std::min(kMR, i1 - i);
+    if (mr == kMR && !trans) {
+      const float* base = a + i * lda + k0;
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        float* o = out + kk * kMR;
+        for (std::size_t r = 0; r < kMR; ++r) o[r] = base[r * lda + kk];
+      }
+    } else if (mr == kMR) {  // A stored (k x m): A_op(i, kk) = a[kk*lda + i]
+      const float* base = a + k0 * lda + i;
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        float* o = out + kk * kMR;
+        const float* src = base + kk * lda;
+        for (std::size_t r = 0; r < kMR; ++r) o[r] = src[r];
+      }
+    } else {
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        float* o = out + kk * kMR;
+        for (std::size_t r = 0; r < kMR; ++r) {
+          o[r] = r < mr ? (trans ? a[(k0 + kk) * lda + i + r]
+                                 : a[(i + r) * lda + k0 + kk])
+                        : 0.0f;
+        }
+      }
+    }
+    out += kc * kMR;
+  }
+}
+
+/// Packs rows [k0, k1) x columns [j0, j1) of B_op into kNR-column
+/// micro-panels, zero-padding the ragged last panel.
+void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t k0,
+            std::size_t k1, std::size_t j0, std::size_t j1, float* out) {
+  const std::size_t kc = k1 - k0;
+  for (std::size_t j = j0; j < j1; j += kNR) {
+    const std::size_t nr = std::min(kNR, j1 - j);
+    if (nr == kNR && !trans) {
+      const float* base = b + k0 * ldb + j;
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        float* o = out + kk * kNR;
+        const float* src = base + kk * ldb;
+        for (std::size_t r = 0; r < kNR; ++r) o[r] = src[r];
+      }
+    } else if (nr == kNR) {  // B stored (n x k): B_op(kk, j) = b[j*ldb + kk]
+      const float* base = b + j * ldb + k0;
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        float* o = out + kk * kNR;
+        for (std::size_t r = 0; r < kNR; ++r) o[r] = base[r * ldb + kk];
+      }
+    } else {
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        float* o = out + kk * kNR;
+        for (std::size_t r = 0; r < kNR; ++r) {
+          o[r] = r < nr ? (trans ? b[(j + r) * ldb + k0 + kk]
+                                 : b[(k0 + kk) * ldb + j + r])
+                        : 0.0f;
+        }
+      }
+    }
+    out += kc * kNR;
+  }
+}
+
+/// Branch-free register-blocked micro-kernel: acc(kMR x kNR) = Ap * Bp over
+/// `kc` steps of purely contiguous packed panels.
+///
+/// On GNU-compatible compilers the kNR-wide C rows are expressed as vector
+/// extension types so each row is one native FMA per k step (a single zmm on
+/// AVX-512, split automatically on narrower ISAs). The scalar i/j form,
+/// though equivalent, must not be left to autovectorization: GCC's SLP pass
+/// vectorizes it across the k loop with xmm shuffle/transpose chains and
+/// runs ~30x slower than the explicit row-vector form.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float RowVec __attribute__((vector_size(kNR * sizeof(float)), aligned(4)));
+
+inline void micro_kernel(std::size_t kc, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ acc) {
+  static_assert(kMR == 6, "accumulator rows are unrolled for kMR == 6");
+  RowVec c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    RowVec b;
+    std::memcpy(&b, bp + kk * kNR, sizeof(b));
+    const float* a = ap + kk * kMR;
+    c0 += a[0] * b;
+    c1 += a[1] * b;
+    c2 += a[2] * b;
+    c3 += a[3] * b;
+    c4 += a[4] * b;
+    c5 += a[5] * b;
+  }
+  std::memcpy(acc + 0 * kNR, &c0, sizeof(c0));
+  std::memcpy(acc + 1 * kNR, &c1, sizeof(c1));
+  std::memcpy(acc + 2 * kNR, &c2, sizeof(c2));
+  std::memcpy(acc + 3 * kNR, &c3, sizeof(c3));
+  std::memcpy(acc + 4 * kNR, &c4, sizeof(c4));
+  std::memcpy(acc + 5 * kNR, &c5, sizeof(c5));
+}
+#else
+inline void micro_kernel(std::size_t kc, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ acc) {
+  std::fill(acc, acc + kMR * kNR, 0.0f);
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const float* __restrict__ b = bp + kk * kNR;
+    const float* __restrict__ a = ap + kk * kMR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float ai = a[i];
+      float* __restrict__ row = acc + i * kNR;
+      for (std::size_t j = 0; j < kNR; ++j) row[j] += ai * b[j];
+    }
+  }
+}
+#endif
+
+/// Writes the valid (mr x nr) region of an accumulator tile into C, applying
+/// beta and — on the final k block only — the fused bias/activation
+/// epilogue. When beta == 0, C is never read, so uninitialized outputs are
+/// safe.
+void store_tile(float* c, std::size_t ldc, std::size_t mr, std::size_t nr,
+                const float* acc, float beta, bool epilogue,
+                const float* row_bias, std::size_t row0, const float* col_bias,
+                std::size_t col0, const std::optional<ActKind>& act) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = acc + i * kNR;
+    const float rb =
+        epilogue && row_bias != nullptr ? row_bias[row0 + i] : 0.0f;
+    if (beta == 0.0f && !epilogue) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] = arow[j];
+      continue;
+    }
+    for (std::size_t j = 0; j < nr; ++j) {
+      float v = arow[j];
+      if (beta != 0.0f) v += beta * crow[j];
+      if (epilogue) {
+        v += rb;
+        if (col_bias != nullptr) v += col_bias[col0 + j];
+        if (act.has_value()) v = act_apply(v, *act);
+      }
+      crow[j] = v;
+    }
+  }
+}
+
 }  // namespace
 
-void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
-          std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
-  CM_CHECK(a.size() == m * k && b.size() == k * n && c.size() == m * n,
-           "gemm: span sizes do not match dimensions");
-  CM_TRACE_SPAN("gemm", "kernel");
-  if (obs::enabled()) {
-    obs::MetricsRegistry::instance().counter("kernel.gemm.calls").add();
-    obs::MetricsRegistry::instance()
-        .counter("kernel.gemm.flops")
-        .add(2 * static_cast<std::uint64_t>(m) * k * n);
-  }
-  // Parallelize over row blocks of C; each thread owns disjoint C rows, so
-  // no synchronization is needed inside the kernel.
-  const std::size_t row_blocks = (m + kBlockM - 1) / kBlockM;
-  pool.parallel_for(row_blocks, [&](std::size_t rb_begin, std::size_t rb_end) {
-    for (std::size_t rb = rb_begin; rb < rb_end; ++rb) {
-      const std::size_t i0 = rb * kBlockM;
-      const std::size_t i1 = std::min(m, i0 + kBlockM);
-      for (std::size_t kk0 = 0; kk0 < k; kk0 += kBlockK) {
-        const std::size_t kk1 = std::min(k, kk0 + kBlockK);
-        for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-          const std::size_t j1 = std::min(n, j0 + kBlockN);
-          for (std::size_t i = i0; i < i1; ++i) {
-            for (std::size_t kk = kk0; kk < kk1; ++kk) {
-              const float aik = a[i * k + kk];
-              if (aik == 0.0f) continue;
-              const float* brow = &b[kk * n];
-              float* crow = &c[i * n];
-              for (std::size_t j = j0; j < j1; ++j) {
-                crow[j] += aik * brow[j];
-              }
-            }
+namespace kernel_detail {
+
+std::size_t pack_a_floats() { return kPackAFloats; }
+std::size_t pack_b_floats() { return kPackBFloats; }
+
+void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
+                std::size_t ldb, bool trans_b, float* c, std::size_t ldc,
+                std::size_t i_begin, std::size_t i_end, std::size_t k,
+                std::size_t n, float beta, const float* row_bias,
+                const float* col_bias, const std::optional<ActKind>& act,
+                float* ap_buf, float* bp_buf) {
+  float acc[kMR * kNR];
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t kk0 = 0; kk0 < k; kk0 += kKC) {
+      const std::size_t kc = std::min(kKC, k - kk0);
+      const bool last_k = kk0 + kc == k;
+      const float beta_eff = kk0 == 0 ? beta : 1.0f;
+      pack_b(b, ldb, trans_b, kk0, kk0 + kc, jc, jc + nc, bp_buf);
+      for (std::size_t ic = i_begin; ic < i_end; ic += kMC) {
+        const std::size_t mc = std::min(kMC, i_end - ic);
+        pack_a(a, lda, trans_a, ic, ic + mc, kk0, kk0 + kc, ap_buf);
+        for (std::size_t jr = 0; jr < nc; jr += kNR) {
+          const std::size_t nr = std::min(kNR, nc - jr);
+          const float* bp = bp_buf + (jr / kNR) * kc * kNR;
+          for (std::size_t ir = 0; ir < mc; ir += kMR) {
+            const std::size_t mr = std::min(kMR, mc - ir);
+            const float* ap = ap_buf + (ir / kMR) * kc * kMR;
+            micro_kernel(kc, ap, bp, acc);
+            store_tile(c + (ic + ir) * ldc + jc + jr, ldc, mr, nr, acc,
+                       beta_eff, last_k, row_bias, ic + ir, col_bias, jc + jr,
+                       act);
           }
         }
       }
     }
-  });
+  }
+}
+
+/// Fills `col` (patch x (c1 - c0), row-major, leading dimension c1 - c0)
+/// with the unfolded input windows of output positions [c0, c1) of image n,
+/// group g. Out-of-bounds (padding) taps become zeros; in-bounds spans are
+/// copied branch-free with precomputed valid ranges.
+void im2col_range(const float* input, const Shape& in_shape,
+                  const Conv2dAttrs& a, std::int64_t out_w, std::int64_t n,
+                  std::int64_t g, std::size_t c0, std::size_t c1, float* col) {
+  const std::int64_t H = in_shape.height();
+  const std::int64_t W = in_shape.width();
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::size_t ncols = c1 - c0;
+  const std::size_t plane = static_cast<std::size_t>(H) *
+                            static_cast<std::size_t>(W);
+  float* dst = col;
+  for (std::int64_t ic = 0; ic < cin_g; ++ic) {
+    const float* chan =
+        input +
+        static_cast<std::size_t>(n * a.in_channels + g * cin_g + ic) * plane;
+    for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < a.kernel_w; ++kw, dst += ncols) {
+        // Valid output-x range for this tap: 0 <= ox*sw + off_w < W.
+        const std::int64_t off_w = kw * a.dilation_w - a.pad_w;
+        std::int64_t lo =
+            off_w < 0 ? (-off_w + a.stride_w - 1) / a.stride_w : 0;
+        std::int64_t hi = W - 1 - off_w < 0
+                              ? 0
+                              : (W - 1 - off_w) / a.stride_w + 1;  // exclusive
+        lo = std::min(lo, out_w);
+        hi = std::clamp(hi, lo, out_w);
+        std::size_t idx = 0;
+        std::size_t pos = c0;
+        while (idx < ncols) {
+          const auto p = static_cast<std::int64_t>(pos);
+          const std::int64_t oh_i = p / out_w;
+          const std::int64_t ox0 = p % out_w;
+          const std::int64_t run = std::min<std::int64_t>(
+              static_cast<std::int64_t>(ncols - idx), out_w - ox0);
+          const std::int64_t ih =
+              oh_i * a.stride_h - a.pad_h + kh * a.dilation_h;
+          float* out_run = dst + idx;
+          if (ih < 0 || ih >= H) {
+            std::fill(out_run, out_run + run, 0.0f);
+          } else {
+            const float* row = chan + static_cast<std::size_t>(ih) * W;
+            const std::int64_t ox1 = ox0 + run;
+            const std::int64_t v0 = std::clamp(lo, ox0, ox1);
+            const std::int64_t v1 = std::clamp(hi, ox0, ox1);
+            std::fill(out_run, out_run + (v0 - ox0), 0.0f);
+            if (a.stride_w == 1) {
+              const float* src = row + v0 + off_w;
+              std::copy(src, src + (v1 - v0), out_run + (v0 - ox0));
+            } else {
+              for (std::int64_t x = v0; x < v1; ++x) {
+                out_run[x - ox0] = row[x * a.stride_w + off_w];
+              }
+            }
+            std::fill(out_run + (v1 - ox0), out_run + run, 0.0f);
+          }
+          idx += static_cast<std::size_t>(run);
+          pos += static_cast<std::size_t>(run);
+        }
+      }
+    }
+  }
+}
+
+/// Adjoint of im2col_range: scatter-adds `col` (patch x (c1 - c0)) back into
+/// the gradient image `grad_input` for image n, group g. Padding taps are
+/// dropped. Callers must ensure no two concurrent calls share an (n, g)
+/// image region.
+void col2im_range(const float* col, const Shape& in_shape,
+                  const Conv2dAttrs& a, std::int64_t out_w, std::int64_t n,
+                  std::int64_t g, std::size_t c0, std::size_t c1,
+                  float* grad_input) {
+  const std::int64_t H = in_shape.height();
+  const std::int64_t W = in_shape.width();
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::size_t ncols = c1 - c0;
+  const std::size_t plane = static_cast<std::size_t>(H) *
+                            static_cast<std::size_t>(W);
+  const float* src_row = col;
+  for (std::int64_t ic = 0; ic < cin_g; ++ic) {
+    float* chan =
+        grad_input +
+        static_cast<std::size_t>(n * a.in_channels + g * cin_g + ic) * plane;
+    for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < a.kernel_w; ++kw, src_row += ncols) {
+        const std::int64_t off_w = kw * a.dilation_w - a.pad_w;
+        std::int64_t lo =
+            off_w < 0 ? (-off_w + a.stride_w - 1) / a.stride_w : 0;
+        std::int64_t hi =
+            W - 1 - off_w < 0 ? 0 : (W - 1 - off_w) / a.stride_w + 1;
+        lo = std::min(lo, out_w);
+        hi = std::clamp(hi, lo, out_w);
+        std::size_t idx = 0;
+        std::size_t pos = c0;
+        while (idx < ncols) {
+          const auto p = static_cast<std::int64_t>(pos);
+          const std::int64_t oh_i = p / out_w;
+          const std::int64_t ox0 = p % out_w;
+          const std::int64_t run = std::min<std::int64_t>(
+              static_cast<std::int64_t>(ncols - idx), out_w - ox0);
+          const std::int64_t ih =
+              oh_i * a.stride_h - a.pad_h + kh * a.dilation_h;
+          if (ih >= 0 && ih < H) {
+            float* row = chan + static_cast<std::size_t>(ih) * W;
+            const float* in_run = src_row + idx;
+            const std::int64_t ox1 = ox0 + run;
+            const std::int64_t v0 = std::clamp(lo, ox0, ox1);
+            const std::int64_t v1 = std::clamp(hi, ox0, ox1);
+            for (std::int64_t x = v0; x < v1; ++x) {
+              row[x * a.stride_w + off_w] += in_run[x - ox0];
+            }
+          }
+          idx += static_cast<std::size_t>(run);
+          pos += static_cast<std::size_t>(run);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kernel_detail
+
+void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+          const GemmOpts& opts) {
+  CM_CHECK(a.size() == m * k && b.size() == k * n && c.size() == m * n,
+           "gemm: span sizes do not match dimensions");
+  CM_TRACE_SPAN("gemm", "kernel");
+  const std::uint64_t flops = 2 * static_cast<std::uint64_t>(m) * k * n;
+  TimePoint t0{};
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.gemm.calls").add();
+    obs::MetricsRegistry::instance().counter("kernel.gemm.flops").add(flops);
+    t0 = Clock::now();
+  }
+  const bool ta = opts.trans_a == Trans::kYes;
+  const bool tb = opts.trans_b == Trans::kYes;
+  const std::size_t lda = ta ? m : k;
+  const std::size_t ldb = tb ? k : n;
+  const std::size_t row_panels = (m + kMC - 1) / kMC;
+  // Each executor packs its own panels from its thread-local arena; panel
+  // boundaries are fixed by kMC, so results are bit-identical for any
+  // thread count.
+  pool.parallel_for(
+      row_panels,
+      [&](std::size_t p0, std::size_t p1) {
+        Workspace& ws = Workspace::tls();
+        ws.reserve(kPackAFloats + kPackBFloats);
+        float* ap = ws.take(kPackAFloats);
+        float* bp = ws.take(kPackBFloats);
+        kernel_detail::gemm_block(a.data(), lda, ta, b.data(), ldb, tb,
+                                  c.data(), n, p0 * kMC,
+                                  std::min(m, p1 * kMC), k, n, opts.beta,
+                                  opts.row_bias, opts.col_bias, opts.act, ap,
+                                  bp);
+      },
+      flops < kSerialFlops ? row_panels : 1);
+  if (obs::enabled()) {
+    const double secs = elapsed_seconds(t0);
+    auto& registry = obs::MetricsRegistry::instance();
+    if (secs > 0.0) {
+      registry.gauge("kernel.gemm.gflops")
+          .set(static_cast<double>(flops) / secs / 1e9);
+    }
+    registry.gauge("kernel.workspace.bytes")
+        .set(static_cast<double>(Workspace::total_bytes()));
+  }
+}
+
+void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  gemm(pool, a, b, c, m, k, n, GemmOpts{});
 }
 
 Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
@@ -127,15 +472,29 @@ Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
   return out;
 }
 
+namespace {
+
+/// Column-tile width for the conv GEMMs: a multiple of kNR sized so one
+/// (patch x tile) panel stays cache-resident. Independent of thread count,
+/// so conv results are bit-identical for any --jobs value.
+std::size_t conv_col_tile(std::size_t patch, std::size_t cols) {
+  constexpr std::size_t kTargetFloats = 64 * 1024;  // 256 KiB panel
+  std::size_t tile = kTargetFloats / std::max<std::size_t>(patch, 1);
+  tile = std::max<std::size_t>(tile / kNR * kNR, kNR);
+  return std::min(tile, (cols + kNR - 1) / kNR * kNR);
+}
+
+}  // namespace
+
 Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
                      const Tensor& weight, const Tensor& bias,
-                     const Conv2dAttrs& a) {
+                     const Conv2dAttrs& a, std::optional<ActKind> fused_act) {
   CM_TRACE_SPAN("conv2d_im2col", "kernel");
-  if (obs::enabled()) {
-    obs::MetricsRegistry::instance().counter("kernel.conv2d.calls").add();
-  }
   const Shape out_shape = conv2d_output_shape(a, input.shape());
-  Tensor out(out_shape);
+  CM_CHECK(weight.shape() ==
+               Shape({a.out_channels, a.in_channels / a.groups, a.kernel_h,
+                      a.kernel_w}),
+           "conv2d weight shape mismatch");
   const auto& in = input.shape();
   const std::int64_t cin_g = a.in_channels / a.groups;
   const std::int64_t cout_g = a.out_channels / a.groups;
@@ -144,184 +503,229 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
   const std::size_t patch = static_cast<std::size_t>(cin_g) *
                             static_cast<std::size_t>(a.kernel_h) *
                             static_cast<std::size_t>(a.kernel_w);
-  const std::size_t cols = static_cast<std::size_t>(oh) *
-                           static_cast<std::size_t>(ow);
-
-  std::vector<float> col(patch * cols);
-  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
-    for (std::int64_t g = 0; g < a.groups; ++g) {
-      // im2col: unfold the input window of each output position into a
-      // column; parallel over output rows.
-      pool.parallel_for(static_cast<std::size_t>(oh), [&](std::size_t r0,
-                                                          std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-          const auto oh_i = static_cast<std::int64_t>(r);
-          for (std::int64_t ow_i = 0; ow_i < ow; ++ow_i) {
-            const std::size_t c_idx =
-                static_cast<std::size_t>(oh_i) * static_cast<std::size_t>(ow) +
-                static_cast<std::size_t>(ow_i);
-            std::size_t p = 0;
-            for (std::int64_t ic = 0; ic < cin_g; ++ic) {
-              for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
-                const std::int64_t ih =
-                    oh_i * a.stride_h - a.pad_h + kh * a.dilation_h;
-                for (std::int64_t kw = 0; kw < a.kernel_w; ++kw, ++p) {
-                  const std::int64_t iw =
-                      ow_i * a.stride_w - a.pad_w + kw * a.dilation_w;
-                  float v = 0.0f;
-                  if (ih >= 0 && ih < in.height() && iw >= 0 &&
-                      iw < in.width()) {
-                    v = input.at4(nn, g * cin_g + ic, ih, iw);
-                  }
-                  col[p * cols + c_idx] = v;
-                }
-              }
-            }
-          }
-        }
-      });
-
-      // GEMM: (cout_g x patch) * (patch x cols) -> (cout_g x cols).
-      const std::size_t w_off = static_cast<std::size_t>(g * cout_g) * patch;
-      const std::size_t o_off =
-          (static_cast<std::size_t>(nn) *
-               static_cast<std::size_t>(a.out_channels) +
-           static_cast<std::size_t>(g * cout_g)) *
-          cols;
-      gemm(pool, weight.data().subspan(w_off, static_cast<std::size_t>(cout_g) * patch),
-           std::span<const float>(col),
-           out.data().subspan(o_off, static_cast<std::size_t>(cout_g) * cols),
-           static_cast<std::size_t>(cout_g), patch, cols);
-    }
+  const std::size_t cols =
+      static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  const std::size_t batch = static_cast<std::size_t>(out_shape.batch());
+  const std::size_t groups = static_cast<std::size_t>(a.groups);
+  const std::uint64_t flops = 2 * static_cast<std::uint64_t>(batch) * groups *
+                              static_cast<std::size_t>(cout_g) * patch * cols;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.conv2d.calls").add();
+    obs::MetricsRegistry::instance().counter("kernel.gemm.flops").add(flops);
   }
-  if (a.bias) {
-    for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
-      for (std::int64_t oc = 0; oc < a.out_channels; ++oc) {
-        const float b = bias.at(static_cast<std::size_t>(oc));
-        for (std::int64_t hh = 0; hh < oh; ++hh) {
-          for (std::int64_t ww = 0; ww < ow; ++ww) {
-            out.at4(nn, oc, hh, ww) += b;
-          }
+
+  Tensor out(out_shape, Tensor::kUninitialized);
+  const std::size_t tile = conv_col_tile(patch, cols);
+  const std::size_t tiles = (cols + tile - 1) / tile;
+  const std::size_t tasks = batch * groups * tiles;
+  const float* bias_data = a.bias ? bias.data().data() : nullptr;
+  const float* w = weight.data().data();
+  const float* x = input.data().data();
+  float* y = out.data().data();
+
+  // Joint (batch x group x column-tile) index space: small-spatial layers
+  // still fan out across the pool through the batch/group dimensions.
+  pool.parallel_for(
+      tasks,
+      [&](std::size_t t0, std::size_t t1) {
+        Workspace& ws = Workspace::tls();
+        ws.reserve(patch * tile + kPackAFloats + kPackBFloats);
+        float* col = ws.take(patch * tile);
+        float* ap = ws.take(kPackAFloats);
+        float* bp = ws.take(kPackBFloats);
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t nn = t / (groups * tiles);
+          const std::size_t rem = t % (groups * tiles);
+          const std::size_t g = rem / tiles;
+          const std::size_t c0 = (rem % tiles) * tile;
+          const std::size_t c1 = std::min(cols, c0 + tile);
+          kernel_detail::im2col_range(x, in, a, ow,
+                                      static_cast<std::int64_t>(nn),
+                                      static_cast<std::int64_t>(g), c0, c1,
+                                      col);
+          // (cout_g x patch) * (patch x ncols) -> C columns [c0, c1) of the
+          // (cout_g x cols) output block for (nn, g); bias + activation are
+          // fused into the writeback.
+          kernel_detail::gemm_block(
+              w + g * static_cast<std::size_t>(cout_g) * patch, patch, false,
+              col, c1 - c0, false,
+              y + (nn * static_cast<std::size_t>(a.out_channels) +
+                   g * static_cast<std::size_t>(cout_g)) *
+                      cols +
+                  c0,
+              cols, 0, static_cast<std::size_t>(cout_g), patch, c1 - c0, 0.0f,
+              bias_data != nullptr
+                  ? bias_data + g * static_cast<std::size_t>(cout_g)
+                  : nullptr,
+              nullptr, fused_act, ap, bp);
         }
-      }
-    }
+      },
+      flops < kSerialFlops ? tasks : 1);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance()
+        .gauge("kernel.workspace.bytes")
+        .set(static_cast<double>(Workspace::total_bytes()));
   }
   return out;
 }
 
-Tensor batch_norm2d(const Tensor& input, const Tensor& gamma,
+Tensor batch_norm2d(ThreadPool& pool, const Tensor& input, const Tensor& gamma,
                     const Tensor& beta, const Tensor& running_mean,
                     const Tensor& running_var, double eps) {
   const auto& s = input.shape();
   CM_CHECK(s.rank() == 4, "batch_norm2d expects a rank-4 input");
   const auto c = static_cast<std::size_t>(s.channels());
   CM_CHECK(gamma.data().size() == c && beta.data().size() == c &&
-               running_mean.data().size() == c && running_var.data().size() == c,
+               running_mean.data().size() == c &&
+               running_var.data().size() == c,
            "batch_norm2d parameter size mismatch");
-  Tensor out(s);
-  for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
-    for (std::int64_t cc = 0; cc < s.channels(); ++cc) {
-      const auto ci = static_cast<std::size_t>(cc);
-      const float scale =
-          gamma.at(ci) /
-          std::sqrt(running_var.at(ci) + static_cast<float>(eps));
-      const float shift = beta.at(ci) - running_mean.at(ci) * scale;
-      for (std::int64_t hh = 0; hh < s.height(); ++hh) {
-        for (std::int64_t ww = 0; ww < s.width(); ++ww) {
-          out.at4(nn, cc, hh, ww) = input.at4(nn, cc, hh, ww) * scale + shift;
+  Tensor out(s, Tensor::kUninitialized);
+  const std::size_t plane = static_cast<std::size_t>(s.height()) *
+                            static_cast<std::size_t>(s.width());
+  const std::size_t planes = static_cast<std::size_t>(s.batch()) * c;
+  const float* x = input.data().data();
+  float* y = out.data().data();
+  pool.parallel_for(
+      planes,
+      [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          const std::size_t ci = p % c;
+          const float scale =
+              gamma.at(ci) /
+              std::sqrt(running_var.at(ci) + static_cast<float>(eps));
+          const float shift = beta.at(ci) - running_mean.at(ci) * scale;
+          const float* xr = x + p * plane;
+          float* yr = y + p * plane;
+          for (std::size_t i = 0; i < plane; ++i) yr[i] = xr[i] * scale + shift;
         }
-      }
-    }
-  }
+      },
+      std::max<std::size_t>(1, 16384 / std::max<std::size_t>(plane, 1)));
   return out;
 }
 
-Tensor activation(const Tensor& input, ActKind kind) {
-  Tensor out(input.shape());
+Tensor activation(ThreadPool& pool, const Tensor& input, ActKind kind) {
+  Tensor out(input.shape(), Tensor::kUninitialized);
   const auto in = input.data();
   auto o = out.data();
-  for (std::size_t i = 0; i < in.size(); ++i) o[i] = act_apply(in[i], kind);
+  pool.parallel_for(
+      in.size(),
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) o[i] = act_apply(in[i], kind);
+      },
+      32768);
   return out;
 }
 
 namespace {
 
 template <typename Reduce>
-Tensor pool2d_impl(const Tensor& input, const Pool2dAttrs& a, float init,
-                   Reduce reduce, bool average) {
+Tensor pool2d_impl(ThreadPool& pool, const Tensor& input, const Pool2dAttrs& a,
+                   float init, Reduce reduce, bool average) {
   const Shape out_shape = pool2d_output_shape(a, input.shape());
   const auto& in = input.shape();
-  Tensor out(out_shape);
-  for (std::int64_t nn = 0; nn < out_shape.batch(); ++nn) {
-    for (std::int64_t cc = 0; cc < out_shape.channels(); ++cc) {
-      for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
-        for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
-          float acc = init;
-          int count = 0;
-          for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
-            const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
-            if (ih < 0 || ih >= in.height()) continue;
-            for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
-              const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
-              if (iw < 0 || iw >= in.width()) continue;
-              acc = reduce(acc, input.at4(nn, cc, ih, iw));
-              ++count;
+  Tensor out(out_shape, Tensor::kUninitialized);
+  const std::size_t planes = static_cast<std::size_t>(out_shape.batch()) *
+                             static_cast<std::size_t>(out_shape.channels());
+  const std::size_t out_plane = static_cast<std::size_t>(out_shape.height()) *
+                                static_cast<std::size_t>(out_shape.width());
+  const std::size_t work_per_plane =
+      out_plane * static_cast<std::size_t>(a.kernel_h * a.kernel_w);
+  pool.parallel_for(
+      planes,
+      [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          const auto nn = static_cast<std::int64_t>(
+              p / static_cast<std::size_t>(out_shape.channels()));
+          const auto cc = static_cast<std::int64_t>(
+              p % static_cast<std::size_t>(out_shape.channels()));
+          for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+            for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+              float acc = init;
+              int count = 0;
+              for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
+                const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
+                if (ih < 0 || ih >= in.height()) continue;
+                for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+                  const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
+                  if (iw < 0 || iw >= in.width()) continue;
+                  acc = reduce(acc, input.at4(nn, cc, ih, iw));
+                  ++count;
+                }
+              }
+              if (average) {
+                // PyTorch default (count_include_pad=true) divides by the
+                // full kernel area unless the window is clipped by ceil_mode.
+                const int denom = static_cast<int>(a.kernel_h * a.kernel_w);
+                acc = count > 0 ? acc / static_cast<float>(denom) : 0.0f;
+              }
+              out.at4(nn, cc, oh, ow) = acc;
             }
           }
-          if (average) {
-            // PyTorch default (count_include_pad=true) divides by the full
-            // kernel area unless the window is clipped by ceil_mode.
-            const int denom = static_cast<int>(a.kernel_h * a.kernel_w);
-            acc = count > 0 ? acc / static_cast<float>(denom) : 0.0f;
-          }
-          out.at4(nn, cc, oh, ow) = acc;
         }
-      }
-    }
-  }
+      },
+      std::max<std::size_t>(1,
+                            8192 / std::max<std::size_t>(work_per_plane, 1)));
   return out;
 }
 
 }  // namespace
 
-Tensor max_pool2d(const Tensor& input, const Pool2dAttrs& attrs) {
+Tensor max_pool2d(ThreadPool& pool, const Tensor& input,
+                  const Pool2dAttrs& attrs) {
   return pool2d_impl(
-      input, attrs, std::numeric_limits<float>::lowest(),
+      pool, input, attrs, std::numeric_limits<float>::lowest(),
       [](float acc, float v) { return std::max(acc, v); }, false);
 }
 
-Tensor avg_pool2d(const Tensor& input, const Pool2dAttrs& attrs) {
+Tensor avg_pool2d(ThreadPool& pool, const Tensor& input,
+                  const Pool2dAttrs& attrs) {
   return pool2d_impl(
-      input, attrs, 0.0f, [](float acc, float v) { return acc + v; }, true);
+      pool, input, attrs, 0.0f, [](float acc, float v) { return acc + v; },
+      true);
 }
 
-Tensor adaptive_avg_pool2d(const Tensor& input, std::int64_t out_h,
-                           std::int64_t out_w) {
+Tensor adaptive_avg_pool2d(ThreadPool& pool, const Tensor& input,
+                           std::int64_t out_h, std::int64_t out_w) {
   const auto& in = input.shape();
   CM_CHECK(in.rank() == 4, "adaptive_avg_pool2d expects a rank-4 input");
-  Tensor out(Shape::nchw(in.batch(), in.channels(), out_h, out_w));
-  for (std::int64_t nn = 0; nn < in.batch(); ++nn) {
-    for (std::int64_t cc = 0; cc < in.channels(); ++cc) {
-      for (std::int64_t oh = 0; oh < out_h; ++oh) {
-        const std::int64_t h0 = oh * in.height() / out_h;
-        const std::int64_t h1 = (oh + 1) * in.height() / out_h +
-                                ((oh + 1) * in.height() % out_h != 0 ? 1 : 0);
-        for (std::int64_t ow = 0; ow < out_w; ++ow) {
-          const std::int64_t w0 = ow * in.width() / out_w;
-          const std::int64_t w1 = (ow + 1) * in.width() / out_w +
-                                  ((ow + 1) * in.width() % out_w != 0 ? 1 : 0);
-          float acc = 0.0f;
-          for (std::int64_t ih = h0; ih < h1; ++ih) {
-            for (std::int64_t iw = w0; iw < w1; ++iw) {
-              acc += input.at4(nn, cc, ih, iw);
+  Tensor out(Shape::nchw(in.batch(), in.channels(), out_h, out_w),
+             Tensor::kUninitialized);
+  const std::size_t planes = static_cast<std::size_t>(in.batch()) *
+                             static_cast<std::size_t>(in.channels());
+  pool.parallel_for(
+      planes,
+      [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          const auto nn = static_cast<std::int64_t>(
+              p / static_cast<std::size_t>(in.channels()));
+          const auto cc = static_cast<std::int64_t>(
+              p % static_cast<std::size_t>(in.channels()));
+          for (std::int64_t oh = 0; oh < out_h; ++oh) {
+            const std::int64_t h0 = oh * in.height() / out_h;
+            const std::int64_t h1 =
+                (oh + 1) * in.height() / out_h +
+                ((oh + 1) * in.height() % out_h != 0 ? 1 : 0);
+            for (std::int64_t ow = 0; ow < out_w; ++ow) {
+              const std::int64_t w0 = ow * in.width() / out_w;
+              const std::int64_t w1 =
+                  (ow + 1) * in.width() / out_w +
+                  ((ow + 1) * in.width() % out_w != 0 ? 1 : 0);
+              float acc = 0.0f;
+              for (std::int64_t ih = h0; ih < h1; ++ih) {
+                for (std::int64_t iw = w0; iw < w1; ++iw) {
+                  acc += input.at4(nn, cc, ih, iw);
+                }
+              }
+              out.at4(nn, cc, oh, ow) =
+                  acc / static_cast<float>((h1 - h0) * (w1 - w0));
             }
           }
-          out.at4(nn, cc, oh, ow) =
-              acc / static_cast<float>((h1 - h0) * (w1 - w0));
         }
-      }
-    }
-  }
+      },
+      std::max<std::size_t>(
+          1, 8192 / std::max<std::size_t>(
+                        static_cast<std::size_t>(in.height() * in.width()),
+                        1)));
   return out;
 }
 
@@ -336,35 +740,41 @@ Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
            "linear input shape mismatch");
   CM_CHECK(weight.shape() == Shape({a.out_features, a.in_features}),
            "linear weight shape mismatch");
-  Tensor out(Shape{in.dim(0), a.out_features});
+  Tensor out(Shape{in.dim(0), a.out_features}, Tensor::kUninitialized);
   const auto batch = static_cast<std::size_t>(in.dim(0));
   const auto in_f = static_cast<std::size_t>(a.in_features);
   const auto out_f = static_cast<std::size_t>(a.out_features);
-  pool.parallel_for(batch, [&](std::size_t b0, std::size_t b1) {
-    for (std::size_t b = b0; b < b1; ++b) {
-      for (std::size_t o = 0; o < out_f; ++o) {
-        float acc = a.bias ? bias.at(o) : 0.0f;
-        const auto x = input.data().subspan(b * in_f, in_f);
-        const auto w = weight.data().subspan(o * in_f, in_f);
-        for (std::size_t i = 0; i < in_f; ++i) acc += x[i] * w[i];
-        out.at(b * out_f + o) = acc;
-      }
-    }
-  });
+  // Collapsed (batch x out-feature) index space: batch is usually tiny on
+  // the inference path, so rows alone cannot feed the pool.
+  pool.parallel_for(
+      batch * out_f,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::size_t b = r / out_f;
+          const std::size_t o = r % out_f;
+          float acc = a.bias ? bias.at(o) : 0.0f;
+          const float* xr = input.data().data() + b * in_f;
+          const float* wr = weight.data().data() + o * in_f;
+          for (std::size_t i = 0; i < in_f; ++i) acc += xr[i] * wr[i];
+          out.at(b * out_f + o) = acc;
+        }
+      },
+      std::max<std::size_t>(1, 32768 / std::max<std::size_t>(in_f, 1)));
   return out;
 }
 
 Tensor flatten(const Tensor& input) {
   const auto& s = input.shape();
   CM_CHECK(s.rank() == 4, "flatten expects a rank-4 input");
-  Tensor out(Shape{s.batch(), s.channels() * s.height() * s.width()});
+  Tensor out(Shape{s.batch(), s.channels() * s.height() * s.width()},
+             Tensor::kUninitialized);
   std::copy(input.data().begin(), input.data().end(), out.data().begin());
   return out;
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
   CM_CHECK(a.shape() == b.shape(), "add: shape mismatch");
-  Tensor out(a.shape());
+  Tensor out(a.shape(), Tensor::kUninitialized);
   const auto x = a.data();
   const auto y = b.data();
   auto o = out.data();
@@ -374,7 +784,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 
 Tensor multiply(const Tensor& a, const Tensor& b) {
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out(a.shape(), Tensor::kUninitialized);
     const auto x = a.data();
     const auto y = b.data();
     auto o = out.data();
@@ -387,7 +797,7 @@ Tensor multiply(const Tensor& a, const Tensor& b) {
                g.channels() == s.channels() && g.height() == 1 &&
                g.width() == 1,
            "multiply: shapes must match or broadcast (N, C, 1, 1)");
-  Tensor out(s);
+  Tensor out(s, Tensor::kUninitialized);
   for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
     for (std::int64_t cc = 0; cc < s.channels(); ++cc) {
       const float scale = b.at4(nn, cc, 0, 0);
@@ -414,7 +824,8 @@ Tensor concat(const std::vector<Tensor>& inputs) {
     channels += s.channels();
   }
   Tensor out(Shape::nchw(first.batch(), channels, first.height(),
-                         first.width()));
+                         first.width()),
+             Tensor::kUninitialized);
   std::int64_t c_off = 0;
   for (const auto& t : inputs) {
     const auto& s = t.shape();
@@ -437,7 +848,8 @@ Tensor slice_channels(const Tensor& input, std::int64_t begin,
   const auto& s = input.shape();
   CM_CHECK(s.rank() == 4 && begin >= 0 && begin < end && end <= s.channels(),
            "slice_channels: range out of bounds");
-  Tensor out(Shape::nchw(s.batch(), end - begin, s.height(), s.width()));
+  Tensor out(Shape::nchw(s.batch(), end - begin, s.height(), s.width()),
+             Tensor::kUninitialized);
   for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
     for (std::int64_t cc = begin; cc < end; ++cc) {
       for (std::int64_t hh = 0; hh < s.height(); ++hh) {
@@ -455,7 +867,7 @@ Tensor channel_shuffle(const Tensor& input, std::int64_t groups) {
   CM_CHECK(s.rank() == 4 && groups >= 1 && s.channels() % groups == 0,
            "channel_shuffle: groups must divide channels");
   const std::int64_t per_group = s.channels() / groups;
-  Tensor out(s);
+  Tensor out(s, Tensor::kUninitialized);
   for (std::int64_t nn = 0; nn < s.batch(); ++nn) {
     for (std::int64_t g = 0; g < groups; ++g) {
       for (std::int64_t k = 0; k < per_group; ++k) {

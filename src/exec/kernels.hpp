@@ -1,9 +1,20 @@
 // Real CPU compute kernels for the layer vocabulary.
 //
 // Two convolution paths are provided: a direct reference implementation
-// (simple, obviously correct) and the production im2col + blocked-GEMM path
+// (simple, obviously correct) and the production im2col + packed-GEMM path
 // the executor uses; tests cross-check them against each other.
+//
+// The GEMM is a packed, register-blocked implementation (see DESIGN.md §10):
+// A and B are packed into cache-resident panels driven through a branch-free
+// 6x16 micro-kernel written for compiler autovectorization. The writeback
+// supports overwrite/accumulate (beta 0/1), transposed operands, and a fused
+// bias + activation epilogue so convolution makes no extra passes over its
+// output. All scratch comes from the thread-local Workspace arena
+// (exec/workspace.hpp): steady-state conv/GEMM calls perform zero heap
+// allocations beyond their output tensor.
 #pragma once
+
+#include <optional>
 
 #include "exec/thread_pool.hpp"
 #include "graph/ops.hpp"
@@ -11,8 +22,36 @@
 
 namespace convmeter {
 
-/// C(m,n) += A(m,k) * B(k,n), row-major, blocked and parallelized over the
-/// rows of C. `c` must be pre-sized and zeroed (or hold an accumulator).
+/// Operand transpose selector for the packed GEMM.
+enum class Trans : std::uint8_t { kNo, kYes };
+
+/// Writeback options for the packed GEMM:
+///   C = act(A_op * B_op + beta * C + row_bias + col_bias)
+/// where A_op is A or A^T as selected. The bias/activation epilogue is fused
+/// into the final C writeback and costs no extra pass over C.
+struct GemmOpts {
+  Trans trans_a = Trans::kNo;
+  Trans trans_b = Trans::kNo;
+  /// 0 overwrites C (which may then be uninitialized); 1 accumulates.
+  float beta = 1.0f;
+  /// Optional bias added to every element of row i (e.g. conv out-channel
+  /// bias); indexed by the row in C.
+  const float* row_bias = nullptr;
+  /// Optional bias added to every element of column j (e.g. linear
+  /// out-feature bias); indexed by the column in C.
+  const float* col_bias = nullptr;
+  /// Optional activation applied during writeback.
+  std::optional<ActKind> act;
+};
+
+/// C(m,n) = act(A_op(m,k) * B_op(k,n) + beta*C + bias). Row-major storage:
+/// A is (m,k) when trans_a is kNo and (k,m) when kYes; B likewise. Packed,
+/// register-blocked, and parallelized over row panels of C.
+void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+          const GemmOpts& opts);
+
+/// Accumulating convenience form: C += A * B (beta = 1, no epilogue).
 void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
           std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
 
@@ -20,24 +59,30 @@ void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
 Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
                      const Tensor& bias, const Conv2dAttrs& attrs);
 
-/// im2col + GEMM convolution, parallelized; bit-compatible shapes with
-/// conv2d_direct. `bias` may be an empty tensor when attrs.bias is false.
+/// im2col + packed-GEMM convolution, parallelized jointly over
+/// (batch x group x column-tile); bit-compatible shapes with conv2d_direct.
+/// `bias` may be an empty tensor when attrs.bias is false. `fused_act`
+/// applies an activation during the GEMM writeback (the executor uses this
+/// to fold conv+activation pairs into one kernel).
 Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
                      const Tensor& weight, const Tensor& bias,
-                     const Conv2dAttrs& attrs);
+                     const Conv2dAttrs& attrs,
+                     std::optional<ActKind> fused_act = std::nullopt);
 
 /// Inference-time batch norm: y = gamma * (x - mean) / sqrt(var + eps) + beta.
-Tensor batch_norm2d(const Tensor& input, const Tensor& gamma,
+Tensor batch_norm2d(ThreadPool& pool, const Tensor& input, const Tensor& gamma,
                     const Tensor& beta, const Tensor& running_mean,
                     const Tensor& running_var, double eps = 1e-5);
 
 /// Elementwise activation.
-Tensor activation(const Tensor& input, ActKind kind);
+Tensor activation(ThreadPool& pool, const Tensor& input, ActKind kind);
 
-Tensor max_pool2d(const Tensor& input, const Pool2dAttrs& attrs);
-Tensor avg_pool2d(const Tensor& input, const Pool2dAttrs& attrs);
-Tensor adaptive_avg_pool2d(const Tensor& input, std::int64_t out_h,
-                           std::int64_t out_w);
+Tensor max_pool2d(ThreadPool& pool, const Tensor& input,
+                  const Pool2dAttrs& attrs);
+Tensor avg_pool2d(ThreadPool& pool, const Tensor& input,
+                  const Pool2dAttrs& attrs);
+Tensor adaptive_avg_pool2d(ThreadPool& pool, const Tensor& input,
+                           std::int64_t out_h, std::int64_t out_w);
 
 /// Fully connected layer: y = x W^T + b. `weight` is (out, in) like PyTorch.
 Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
@@ -59,5 +104,38 @@ Tensor slice_channels(const Tensor& input, std::int64_t begin,
 /// ShuffleNet channel shuffle: with G groups and K = C/G channels per
 /// group, output channel k*G+g takes input channel g*K+k.
 Tensor channel_shuffle(const Tensor& input, std::int64_t groups);
+
+namespace kernel_detail {
+
+/// Serial packed-GEMM core over C rows [i_begin, i_end): used directly by
+/// the convolution forward/backward paths so each (batch, group, tile) task
+/// runs one single-threaded GEMM with its own packing buffers. `ap_buf` and
+/// `bp_buf` must hold at least pack_a_floats() / pack_b_floats().
+void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
+                std::size_t ldb, bool trans_b, float* c, std::size_t ldc,
+                std::size_t i_begin, std::size_t i_end, std::size_t k,
+                std::size_t n, float beta, const float* row_bias,
+                const float* col_bias, const std::optional<ActKind>& act,
+                float* ap_buf, float* bp_buf);
+
+std::size_t pack_a_floats();
+std::size_t pack_b_floats();
+
+/// Fills `col` (patch x (c1 - c0), row-major, leading dimension c1 - c0)
+/// with the unfolded input windows of flattened output positions [c0, c1)
+/// of image n, group g. Padding taps become zeros.
+void im2col_range(const float* input, const Shape& in_shape,
+                  const Conv2dAttrs& attrs, std::int64_t out_w, std::int64_t n,
+                  std::int64_t g, std::size_t c0, std::size_t c1, float* col);
+
+/// Adjoint of im2col_range: scatter-adds `col` back into `grad_input` for
+/// image n, group g (padding taps are dropped). Concurrent calls must not
+/// share an (n, g) image region.
+void col2im_range(const float* col, const Shape& in_shape,
+                  const Conv2dAttrs& attrs, std::int64_t out_w, std::int64_t n,
+                  std::int64_t g, std::size_t c0, std::size_t c1,
+                  float* grad_input);
+
+}  // namespace kernel_detail
 
 }  // namespace convmeter

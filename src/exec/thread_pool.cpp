@@ -54,16 +54,23 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
+std::size_t ThreadPool::chunk_size(std::size_t count, std::size_t threads,
+                                   std::size_t grain) {
+  return std::max<std::size_t>(std::max<std::size_t>(grain, 1),
+                               (count + threads - 1) / threads);
+}
+
 void ThreadPool::parallel_for(
     std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (count == 0) return;
   const std::size_t threads = num_threads();
-  if (threads == 1 || count == 1) {
+  const std::size_t chunk = chunk_size(count, threads, grain);
+  if (threads == 1 || chunk >= count) {
     body(0, count);
     return;
   }
-  const std::size_t chunk = (count + threads - 1) / threads;
 
   std::size_t my_end;
   {

@@ -32,8 +32,21 @@ class ThreadPool {
   /// one per thread (static schedule). The calling thread executes the
   /// first chunk; the call returns when every chunk is done. Exceptions
   /// thrown by `body` are rethrown on the caller.
+  ///
+  /// `grain` is the minimum chunk size: ranges that fit in one grain-sized
+  /// chunk run inline on the calling thread without waking any worker, so
+  /// tiny kernels (small activations, 1x1 feature maps) skip the wakeup
+  /// and join cost entirely.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// The chunk size parallel_for(count, ..., grain) uses on a pool with
+  /// `threads` executors. Chunk boundaries are deterministic, so callers
+  /// that keep per-chunk state (e.g. per-slot partial accumulators) can
+  /// derive the slot index as begin / chunk_size(...).
+  static std::size_t chunk_size(std::size_t count, std::size_t threads,
+                                std::size_t grain);
 
  private:
   struct Task {

@@ -141,25 +141,25 @@ std::vector<Tensor> Trainer::forward(const Tensor& input) {
         const Tensor mean(Shape{c}, 0.0f);
         const Tensor var(Shape{c}, 1.0f);
         outputs[static_cast<std::size_t>(n.id)] =
-            batch_norm2d(in(0), p[0], p[1], mean, var);
+            batch_norm2d(pool_, in(0), p[0], p[1], mean, var);
         break;
       }
       case OpKind::kActivation:
         outputs[static_cast<std::size_t>(n.id)] =
-            activation(in(0), n.as<ActivationAttrs>().kind);
+            activation(pool_, in(0), n.as<ActivationAttrs>().kind);
         break;
       case OpKind::kMaxPool2d:
         outputs[static_cast<std::size_t>(n.id)] =
-            max_pool2d(in(0), n.as<Pool2dAttrs>());
+            max_pool2d(pool_, in(0), n.as<Pool2dAttrs>());
         break;
       case OpKind::kAvgPool2d:
         outputs[static_cast<std::size_t>(n.id)] =
-            avg_pool2d(in(0), n.as<Pool2dAttrs>());
+            avg_pool2d(pool_, in(0), n.as<Pool2dAttrs>());
         break;
       case OpKind::kAdaptiveAvgPool2d: {
         const auto& a = n.as<AdaptiveAvgPool2dAttrs>();
         outputs[static_cast<std::size_t>(n.id)] =
-            adaptive_avg_pool2d(in(0), a.out_h, a.out_w);
+            adaptive_avg_pool2d(pool_, in(0), a.out_h, a.out_w);
         break;
       }
       case OpKind::kLinear: {

@@ -1,0 +1,57 @@
+#include "exec/workspace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace convmeter {
+
+namespace {
+
+std::atomic<std::uint64_t> g_total_bytes{0};
+std::atomic<std::uint64_t> g_total_grows{0};
+
+}  // namespace
+
+Workspace::~Workspace() {
+  g_total_bytes.fetch_sub(capacity_ * sizeof(float),
+                          std::memory_order_relaxed);
+}
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+void Workspace::reserve(std::size_t nfloats) {
+  if (nfloats > capacity_) {
+    const std::size_t grown = std::max(nfloats, capacity_ + capacity_ / 2);
+    data_ = std::make_unique<float[]>(grown);
+    g_total_bytes.fetch_add((grown - capacity_) * sizeof(float),
+                            std::memory_order_relaxed);
+    capacity_ = grown;
+    ++grow_count_;
+    g_total_grows.fetch_add(1, std::memory_order_relaxed);
+  }
+  reserved_ = nfloats;
+  used_ = 0;
+}
+
+float* Workspace::take(std::size_t nfloats) {
+  CM_CHECK(used_ + nfloats <= reserved_,
+           "workspace take() exceeds the reserved amount");
+  float* p = data_.get() + used_;
+  used_ += nfloats;
+  return p;
+}
+
+std::uint64_t Workspace::total_bytes() {
+  return g_total_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Workspace::total_grows() {
+  return g_total_grows.load(std::memory_order_relaxed);
+}
+
+}  // namespace convmeter

@@ -1,0 +1,63 @@
+// Thread-local workspace arena for kernel scratch memory.
+//
+// The packed GEMM and the im2col/col2im convolution paths need per-call
+// scratch (column buffers, A/B packing panels). Allocating that scratch from
+// the heap on every call dominated small-layer runtime and serialized threads
+// on the allocator, so each thread instead owns a grow-only arena: a kernel
+// reserves its full requirement once, bump-allocates typed slices out of it,
+// and the backing buffer is reused by every later call on that thread. After
+// a warm-up call per thread, steady-state conv/GEMM calls perform zero heap
+// allocations — a property the kernel tests assert via the counters below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace convmeter {
+
+/// Grow-only bump arena. Not thread-safe; use the per-thread instance from
+/// Workspace::tls(). Process-wide totals are exposed for observability and
+/// for the zero-steady-state-allocation assertions in tests.
+class Workspace {
+ public:
+  Workspace() = default;
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena.
+  static Workspace& tls();
+
+  /// Ensures capacity for `nfloats` floats and resets the bump cursor.
+  /// Pointers handed out by earlier take() calls become invalid. Grows the
+  /// backing buffer geometrically; never shrinks.
+  void reserve(std::size_t nfloats);
+
+  /// Bump-allocates `nfloats` floats from the reserved region. The total
+  /// taken since the last reserve() must not exceed the reserved amount.
+  float* take(std::size_t nfloats);
+
+  std::size_t capacity_floats() const { return capacity_; }
+
+  /// Number of times this arena's backing buffer was (re)allocated.
+  std::uint64_t grow_count() const { return grow_count_; }
+
+  /// Process-wide sum of arena capacities, in bytes (gauge
+  /// `kernel.workspace.bytes`).
+  static std::uint64_t total_bytes();
+
+  /// Process-wide count of arena heap (re)allocations. Flat across repeated
+  /// identical kernel calls once every participating thread is warm.
+  static std::uint64_t total_grows();
+
+ private:
+  std::unique_ptr<float[]> data_;
+  std::size_t capacity_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t used_ = 0;
+  std::uint64_t grow_count_ = 0;
+};
+
+}  // namespace convmeter

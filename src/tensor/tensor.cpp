@@ -15,6 +15,10 @@ Tensor::Tensor(Shape shape, float value)
     : shape_(std::move(shape)),
       data_(static_cast<std::size_t>(shape_.numel()), value) {}
 
+Tensor::Tensor(Shape shape, UninitializedTag) : shape_(std::move(shape)) {
+  data_.resize(static_cast<std::size_t>(shape_.numel()));
+}
+
 float& Tensor::at(std::size_t i) {
   CM_CHECK(i < data_.size(), "tensor index out of range");
   return data_[i];

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -13,9 +14,45 @@
 
 namespace convmeter {
 
+namespace detail {
+
+/// Allocator adaptor that default-initializes (i.e. leaves uninitialized for
+/// trivial types) instead of value-initializing, so Tensor can skip the
+/// zero-fill for buffers that are fully overwritten anyway.
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using Traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename Traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    Traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
 /// Contiguous float32 tensor with value semantics.
 class Tensor {
  public:
+  /// Tag selecting the uninitialized constructor.
+  struct UninitializedTag {};
+  static constexpr UninitializedTag kUninitialized{};
+
   Tensor() = default;
 
   /// Allocates a zero-initialized tensor of the given shape.
@@ -23,6 +60,12 @@ class Tensor {
 
   /// Allocates and fills with `value`.
   Tensor(Shape shape, float value);
+
+  /// Allocates WITHOUT initializing the elements. Only for outputs that are
+  /// fully overwritten before being read (beta=0 GEMM/conv outputs,
+  /// elementwise kernel results); reading an element before writing it is
+  /// undefined behavior.
+  Tensor(Shape shape, UninitializedTag);
 
   const Shape& shape() const { return shape_; }
   std::int64_t numel() const { return shape_.numel(); }
@@ -48,7 +91,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float, detail::DefaultInitAllocator<float>> data_;
 };
 
 }  // namespace convmeter

@@ -122,6 +122,92 @@ TEST(ConvBackwardTest, GroupedConvGradients) {
       g.grad_weight);
 }
 
+// ---- GEMM-based conv backward vs direct reference ---------------------------
+//
+// The production conv2d_backward computes both gradients as packed GEMMs over
+// im2col tiles; conv2d_backward_direct is the septuple-loop oracle. The sweep
+// deliberately hits every awkward geometry: dims that are not multiples of
+// the GEMM tiles, groups, dilation, stride, asymmetric padding, and both a
+// single image and a batch large enough to exercise the parallel partial-sum
+// reduction.
+
+struct ConvBwdCase {
+  std::string name;
+  std::int64_t batch, in_ch, out_ch, image, kernel, stride, pad_h, pad_w,
+      groups, dilation;
+  bool bias;
+};
+
+class ConvBackwardAgreement : public ::testing::TestWithParam<ConvBwdCase> {};
+
+TEST_P(ConvBackwardAgreement, GemmPathMatchesDirect) {
+  const ConvBwdCase& c = GetParam();
+  Conv2dAttrs a = Conv2dAttrs::square(c.in_ch, c.out_ch, c.kernel, c.stride,
+                                      0, c.groups, c.bias);
+  a.pad_h = c.pad_h;
+  a.pad_w = c.pad_w;
+  a.dilation_h = a.dilation_w = c.dilation;
+
+  Tensor x(Shape::nchw(c.batch, c.in_ch, c.image, c.image));
+  Tensor w(Shape({c.out_ch, c.in_ch / c.groups, c.kernel, c.kernel}));
+  x.fill_random(100);
+  w.fill_random(101);
+  Tensor go(conv2d_output_shape(a, x.shape()));
+  go.fill_random(102);
+
+  ThreadPool pool(3);
+  const ConvGradients fast = conv2d_backward(pool, x, w, go, a);
+  const ConvGradients ref = conv2d_backward_direct(pool, x, w, go, a);
+
+  const auto expect_close = [](const Tensor& got, const Tensor& want,
+                               const char* what) {
+    ASSERT_EQ(got.shape(), want.shape()) << what;
+    const auto g = got.data();
+    const auto r = want.data();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ASSERT_NEAR(g[i], r[i], 1e-4f * (1.0f + std::fabs(r[i])))
+          << what << " element " << i;
+    }
+  };
+  expect_close(fast.grad_input, ref.grad_input, "grad_input");
+  expect_close(fast.grad_weight, ref.grad_weight, "grad_weight");
+  if (c.bias) expect_close(fast.grad_bias, ref.grad_bias, "grad_bias");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialSweep, ConvBackwardAgreement,
+    ::testing::Values(
+        ConvBwdCase{"plain3x3", 2, 3, 5, 8, 3, 1, 1, 1, 1, 1, true},
+        ConvBwdCase{"batch1", 1, 4, 6, 9, 3, 1, 1, 1, 1, 1, false},
+        ConvBwdCase{"batch17", 17, 2, 3, 6, 3, 1, 1, 1, 1, 1, true},
+        ConvBwdCase{"groups3", 1, 6, 9, 8, 3, 1, 1, 1, 3, 1, false},
+        ConvBwdCase{"depthwise", 4, 5, 5, 7, 3, 1, 1, 1, 5, 1, true},
+        ConvBwdCase{"dilation2", 2, 3, 4, 11, 3, 1, 2, 2, 1, 2, false},
+        ConvBwdCase{"stride3", 2, 3, 4, 11, 3, 3, 1, 1, 1, 1, false},
+        ConvBwdCase{"asym_pad", 2, 3, 4, 8, 3, 1, 2, 0, 1, 1, true},
+        ConvBwdCase{"offtile_dims", 3, 7, 13, 10, 3, 2, 1, 1, 1, 1, false},
+        ConvBwdCase{"pointwise", 2, 8, 11, 6, 1, 1, 0, 0, 1, 1, true}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ConvBackwardTest, BitwiseStableGradBiasAcrossThreadCounts) {
+  const Conv2dAttrs a = Conv2dAttrs::square(3, 6, 3, 1, 1, 1, true);
+  Tensor x(Shape::nchw(5, 3, 9, 9));
+  Tensor w(Shape({6, 3, 3, 3}));
+  x.fill_random(110);
+  w.fill_random(111);
+  Tensor go(conv2d_output_shape(a, x.shape()));
+  go.fill_random(112);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const ConvGradients g1 = conv2d_backward(pool1, x, w, go, a);
+  const ConvGradients g4 = conv2d_backward(pool4, x, w, go, a);
+  EXPECT_EQ(g1.grad_bias.max_abs_diff(g4.grad_bias), 0.0f);
+  EXPECT_EQ(g1.grad_input.max_abs_diff(g4.grad_input), 0.0f);
+  // grad_weight sums batch contributions in slot order; allow rounding-level
+  // differences from the different grouping, nothing more.
+  EXPECT_LT(g1.grad_weight.max_abs_diff(g4.grad_weight), 1e-5f);
+}
+
 TEST(LinearBackwardTest, AllGradientsMatchFiniteDifferences) {
   const LinearAttrs a{5, 3, true};
   Tensor x(Shape{2, 5});
@@ -149,10 +235,11 @@ TEST_P(ActivationBackwardTest, MatchesFiniteDifferences) {
   // activations.
   for (float& v : x.data()) v = v * 2.0f + 0.11f;
 
+  ThreadPool pool(1);
   const Tensor go = weighted_ones(x.shape());
   const Tensor g = activation_backward(x, go, GetParam());
   check_against_fd(
-      x, [&] { return weighted_sum(activation(x, GetParam())); }, g);
+      x, [&] { return weighted_sum(activation(pool, x, GetParam())); }, g);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -168,7 +255,8 @@ TEST(PoolBackwardTest, MaxPoolRoutesToArgmax) {
   x.fill_random(14);
   const Tensor go = weighted_ones(pool2d_output_shape(a, x.shape()));
   const Tensor g = max_pool2d_backward(x, go, a);
-  check_against_fd(x, [&] { return weighted_sum(max_pool2d(x, a)); }, g);
+  ThreadPool pool(1);
+  check_against_fd(x, [&] { return weighted_sum(max_pool2d(pool, x, a)); }, g);
 }
 
 TEST(PoolBackwardTest, AvgPoolSpreadsUniformly) {
@@ -177,7 +265,8 @@ TEST(PoolBackwardTest, AvgPoolSpreadsUniformly) {
   x.fill_random(15);
   const Tensor go = weighted_ones(pool2d_output_shape(a, x.shape()));
   const Tensor g = avg_pool2d_backward(x, go, a);
-  check_against_fd(x, [&] { return weighted_sum(avg_pool2d(x, a)); }, g);
+  ThreadPool pool(1);
+  check_against_fd(x, [&] { return weighted_sum(avg_pool2d(pool, x, a)); }, g);
 }
 
 TEST(PoolBackwardTest, AdaptiveAvgPoolGradient) {
@@ -185,8 +274,9 @@ TEST(PoolBackwardTest, AdaptiveAvgPoolGradient) {
   x.fill_random(16);
   const Tensor go = weighted_ones(Shape::nchw(1, 2, 2, 2));
   const Tensor g = adaptive_avg_pool2d_backward(x, go);
+  ThreadPool pool(1);
   check_against_fd(
-      x, [&] { return weighted_sum(adaptive_avg_pool2d(x, 2, 2)); }, g);
+      x, [&] { return weighted_sum(adaptive_avg_pool2d(pool, x, 2, 2)); }, g);
 }
 
 TEST(BatchNormBackwardTest, AffineGradientsMatchFiniteDifferences) {
@@ -202,8 +292,9 @@ TEST(BatchNormBackwardTest, AffineGradientsMatchFiniteDifferences) {
   const Tensor go = weighted_ones(x.shape());
   const BatchNormGradients g =
       batch_norm2d_backward(x, gamma, mean, var, go);
+  ThreadPool pool(1);
   const auto loss = [&] {
-    return weighted_sum(batch_norm2d(x, gamma, beta, mean, var));
+    return weighted_sum(batch_norm2d(pool, x, gamma, beta, mean, var));
   };
   check_against_fd(x, loss, g.grad_input);
   check_against_fd(gamma, loss, g.grad_gamma);

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "exec/kernels.hpp"
+#include "exec/workspace.hpp"
 #include "graph/shape_inference.hpp"
 
 namespace convmeter {
@@ -64,6 +67,130 @@ TEST(GemmTest, SizeMismatchThrows) {
   ThreadPool pool(1);
   std::vector<float> a(4), b(4), c(3);
   EXPECT_THROW(gemm(pool, a, b, c, 2, 2, 2), InvalidArgument);
+}
+
+// ---- packed GEMM property suite ---------------------------------------------
+
+/// Naive reference: C = A_op * B_op + beta * C in double precision.
+std::vector<float> naive_gemm(const std::vector<float>& a, bool ta,
+                              const std::vector<float>& b, bool tb,
+                              const std::vector<float>& c0, std::size_t m,
+                              std::size_t k, std::size_t n, float beta) {
+  std::vector<float> c(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a[kk * m + i] : a[i * k + kk];
+        const float bv = tb ? b[j * k + kk] : b[kk * n + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * n + j] =
+          static_cast<float>(acc) + beta * (beta != 0.0f ? c0[i * n + j] : 0.0f);
+    }
+  }
+  return c;
+}
+
+std::vector<float> random_vec(std::size_t size, std::uint64_t seed) {
+  Tensor t(Shape{static_cast<std::int64_t>(size)});
+  t.fill_random(seed);
+  return std::vector<float>(t.data().begin(), t.data().end());
+}
+
+void expect_close_rel(const std::vector<float>& got,
+                      const std::vector<float>& want, float rel_tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float tol = rel_tol * (1.0f + std::fabs(want[i]));
+    ASSERT_NEAR(got[i], want[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(PackedGemmTest, AllTransposeAndBetaVariantsMatchReference) {
+  ThreadPool pool(2);
+  // Adversarial shapes: every combination of (multiple / non-multiple) of
+  // the 6x16 register tile and the 72/256/512 cache blocks, plus degenerate
+  // single-row/col cases.
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 1, 1},    {6, 16, 16},  {5, 7, 3},     {37, 53, 29},
+                {72, 256, 48}, {73, 257, 49}, {13, 1, 17},  {2, 300, 530},
+                {144, 512, 32}};
+  for (const auto& sh : shapes) {
+    const std::vector<float> a = random_vec(sh.m * sh.k, 101 + sh.m);
+    const std::vector<float> b = random_vec(sh.k * sh.n, 202 + sh.n);
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        for (const float beta : {0.0f, 1.0f}) {
+          // beta == 0 must fully overwrite C: poison it with NaN to catch
+          // any read-before-write or skipped element.
+          std::vector<float> c =
+              beta == 0.0f
+                  ? std::vector<float>(
+                        sh.m * sh.n, std::numeric_limits<float>::quiet_NaN())
+                  : random_vec(sh.m * sh.n, 303);
+          const std::vector<float> want =
+              naive_gemm(a, ta, b, tb, c, sh.m, sh.k, sh.n, beta);
+          GemmOpts opts;
+          opts.trans_a = ta ? Trans::kYes : Trans::kNo;
+          opts.trans_b = tb ? Trans::kYes : Trans::kNo;
+          opts.beta = beta;
+          gemm(pool, a, b, c, sh.m, sh.k, sh.n, opts);
+          SCOPED_TRACE(::testing::Message()
+                       << "m=" << sh.m << " k=" << sh.k << " n=" << sh.n
+                       << " ta=" << ta << " tb=" << tb << " beta=" << beta);
+          expect_close_rel(c, want, 1e-4f);
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedGemmTest, FusedBiasAndActivationEpilogue) {
+  ThreadPool pool(2);
+  constexpr std::size_t m = 19, k = 33, n = 41;
+  const std::vector<float> a = random_vec(m * k, 7);
+  const std::vector<float> b = random_vec(k * n, 8);
+  const std::vector<float> row_bias = random_vec(m, 9);
+  const std::vector<float> col_bias = random_vec(n, 10);
+
+  std::vector<float> plain(m * n, 0.0f);
+  GemmOpts base;
+  base.beta = 0.0f;
+  gemm(pool, a, b, plain, m, k, n, base);
+
+  std::vector<float> fused(m * n, std::numeric_limits<float>::quiet_NaN());
+  GemmOpts opts;
+  opts.beta = 0.0f;
+  opts.row_bias = row_bias.data();
+  opts.col_bias = col_bias.data();
+  opts.act = ActKind::kReLU;
+  gemm(pool, a, b, fused, m, k, n, opts);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float pre = plain[i * n + j] + row_bias[i] + col_bias[j];
+      const float want = pre > 0.0f ? pre : 0.0f;
+      ASSERT_NEAR(fused[i * n + j], want, 1e-5f)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(PackedGemmTest, BitIdenticalAcrossThreadCounts) {
+  // The campaign engine asserts measurement determinism across --jobs; tile
+  // boundaries are constants, so the summation order per element must not
+  // depend on the pool size.
+  constexpr std::size_t m = 130, k = 300, n = 70;
+  const std::vector<float> a = random_vec(m * k, 21);
+  const std::vector<float> b = random_vec(k * n, 22);
+  std::vector<float> c1(m * n, 0.0f), c4(m * n, 0.0f);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  gemm(pool1, a, b, c1, m, k, n);
+  gemm(pool4, a, b, c4, m, k, n);
+  EXPECT_EQ(c1, c4);
 }
 
 // ---- conv2d: im2col vs direct ------------------------------------------------
@@ -139,6 +266,75 @@ TEST(ConvTest, IdentityKernelPreservesInput) {
   EXPECT_LT(out.max_abs_diff(input), 1e-6f);
 }
 
+TEST(ConvTest, FusedActivationMatchesSeparatePass) {
+  ThreadPool pool(2);
+  const Conv2dAttrs a = Conv2dAttrs::square(4, 8, 3, 1, 1, 1, true);
+  const Tensor input = random_tensor(Shape::nchw(2, 4, 9, 9), 31);
+  const Tensor weight = random_tensor(Shape({8, 4, 3, 3}), 32);
+  const Tensor bias = random_tensor(Shape{8}, 33);
+  const Tensor separate =
+      activation(pool, conv2d_im2col(pool, input, weight, bias, a),
+                 ActKind::kReLU);
+  const Tensor fused =
+      conv2d_im2col(pool, input, weight, bias, a, ActKind::kReLU);
+  ASSERT_EQ(separate.shape(), fused.shape());
+  EXPECT_EQ(separate.max_abs_diff(fused), 0.0f);
+}
+
+TEST(ConvTest, BitIdenticalAcrossThreadCounts) {
+  const Conv2dAttrs a = Conv2dAttrs::square(6, 12, 3, 1, 1, 2, true);
+  const Tensor input = random_tensor(Shape::nchw(3, 6, 17, 17), 41);
+  const Tensor weight = random_tensor(Shape({12, 3, 3, 3}), 42);
+  const Tensor bias = random_tensor(Shape{12}, 43);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const Tensor r1 = conv2d_im2col(pool1, input, weight, bias, a);
+  const Tensor r4 = conv2d_im2col(pool4, input, weight, bias, a);
+  EXPECT_EQ(r1.max_abs_diff(r4), 0.0f);
+}
+
+// ---- workspace arena ---------------------------------------------------------
+
+TEST(WorkspaceTest, SteadyStateConvPerformsNoArenaGrowth) {
+  ThreadPool pool(2);
+  const Conv2dAttrs a = Conv2dAttrs::square(8, 16, 3, 1, 1, 1, true);
+  const Tensor input = random_tensor(Shape::nchw(2, 8, 16, 16), 51);
+  const Tensor weight = random_tensor(Shape({16, 8, 3, 3}), 52);
+  const Tensor bias = random_tensor(Shape{16}, 53);
+  // Warm-up: every participating thread sizes its arena (static scheduling
+  // gives each thread the same chunk on every identical call).
+  conv2d_im2col(pool, input, weight, bias, a);
+  conv2d_im2col(pool, input, weight, bias, a);
+  const std::uint64_t grows = Workspace::total_grows();
+  const std::uint64_t bytes = Workspace::total_bytes();
+  for (int i = 0; i < 5; ++i) {
+    conv2d_im2col(pool, input, weight, bias, a);
+  }
+  EXPECT_EQ(Workspace::total_grows(), grows)
+      << "steady-state conv calls must not reallocate workspace memory";
+  EXPECT_EQ(Workspace::total_bytes(), bytes);
+}
+
+TEST(WorkspaceTest, SteadyStateGemmPerformsNoArenaGrowth) {
+  ThreadPool pool(2);
+  constexpr std::size_t m = 96, k = 128, n = 160;
+  const std::vector<float> a = random_vec(m * k, 61);
+  const std::vector<float> b = random_vec(k * n, 62);
+  std::vector<float> c(m * n, 0.0f);
+  gemm(pool, a, b, c, m, k, n);
+  gemm(pool, a, b, c, m, k, n);
+  const std::uint64_t grows = Workspace::total_grows();
+  for (int i = 0; i < 5; ++i) gemm(pool, a, b, c, m, k, n);
+  EXPECT_EQ(Workspace::total_grows(), grows);
+}
+
+TEST(WorkspaceTest, TakeBeyondReserveThrows) {
+  Workspace& ws = Workspace::tls();
+  ws.reserve(8);
+  ws.take(8);
+  EXPECT_THROW(ws.take(1), InvalidArgument);
+}
+
 // ---- pooling -----------------------------------------------------------------
 
 TEST(PoolTest, MaxPoolHandComputed) {
@@ -147,7 +343,8 @@ TEST(PoolTest, MaxPoolHandComputed) {
   in.at4(0, 0, 0, 1) = 5.0f;
   in.at4(0, 0, 1, 0) = -2.0f;
   in.at4(0, 0, 1, 1) = 0.5f;
-  const Tensor out = max_pool2d(in, Pool2dAttrs::square(2, 2));
+  ThreadPool pool(2);
+  const Tensor out = max_pool2d(pool, in, Pool2dAttrs::square(2, 2));
   ASSERT_EQ(out.shape(), Shape::nchw(1, 1, 1, 1));
   EXPECT_EQ(out.at4(0, 0, 0, 0), 5.0f);
 }
@@ -158,14 +355,16 @@ TEST(PoolTest, AvgPoolHandComputed) {
   in.at4(0, 0, 0, 1) = 2.0f;
   in.at4(0, 0, 1, 0) = 3.0f;
   in.at4(0, 0, 1, 1) = 6.0f;
-  const Tensor out = avg_pool2d(in, Pool2dAttrs::square(2, 2));
+  ThreadPool pool(2);
+  const Tensor out = avg_pool2d(pool, in, Pool2dAttrs::square(2, 2));
   EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 3.0f);
 }
 
 TEST(PoolTest, MaxPoolIgnoresPadding) {
   // All-negative input: padded zeros must not win the max.
   Tensor in(Shape::nchw(1, 1, 3, 3), -4.0f);
-  const Tensor out = max_pool2d(in, Pool2dAttrs::square(3, 1, 1));
+  ThreadPool pool(2);
+  const Tensor out = max_pool2d(pool, in, Pool2dAttrs::square(3, 1, 1));
   for (const float v : out.data()) EXPECT_EQ(v, -4.0f);
 }
 
@@ -173,7 +372,8 @@ TEST(PoolTest, AdaptiveAvgPoolToOneIsGlobalMean) {
   Tensor in(Shape::nchw(1, 2, 4, 4));
   float v = 0.0f;
   for (float& x : in.data()) x = v++;
-  const Tensor out = adaptive_avg_pool2d(in, 1, 1);
+  ThreadPool pool(2);
+  const Tensor out = adaptive_avg_pool2d(pool, in, 1, 1);
   ASSERT_EQ(out.shape(), Shape::nchw(1, 2, 1, 1));
   EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 7.5f);   // mean of 0..15
   EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 23.5f);  // mean of 16..31
@@ -181,7 +381,8 @@ TEST(PoolTest, AdaptiveAvgPoolToOneIsGlobalMean) {
 
 TEST(PoolTest, AdaptiveAvgPoolIdentityWhenSizesMatch) {
   const Tensor in = random_tensor(Shape::nchw(1, 3, 5, 5), 30);
-  const Tensor out = adaptive_avg_pool2d(in, 5, 5);
+  ThreadPool pool(2);
+  const Tensor out = adaptive_avg_pool2d(pool, in, 5, 5);
   EXPECT_LT(out.max_abs_diff(in), 1e-6f);
 }
 
@@ -193,7 +394,8 @@ TEST(ActivationTest, ReluClampsNegatives) {
   in.at(1) = 0.0f;
   in.at(2) = 2.0f;
   in.at(3) = -0.5f;
-  const Tensor out = activation(in, ActKind::kReLU);
+  ThreadPool pool(1);
+  const Tensor out = activation(pool, in, ActKind::kReLU);
   EXPECT_EQ(out.at(0), 0.0f);
   EXPECT_EQ(out.at(2), 2.0f);
   EXPECT_EQ(out.at(3), 0.0f);
@@ -203,21 +405,24 @@ TEST(ActivationTest, Relu6Caps) {
   Tensor in(Shape{2});
   in.at(0) = 10.0f;
   in.at(1) = 3.0f;
-  const Tensor out = activation(in, ActKind::kReLU6);
+  ThreadPool pool(1);
+  const Tensor out = activation(pool, in, ActKind::kReLU6);
   EXPECT_EQ(out.at(0), 6.0f);
   EXPECT_EQ(out.at(1), 3.0f);
 }
 
 TEST(ActivationTest, SigmoidAtZeroIsHalf) {
   Tensor in(Shape{1});
-  const Tensor out = activation(in, ActKind::kSigmoid);
+  ThreadPool pool(1);
+  const Tensor out = activation(pool, in, ActKind::kSigmoid);
   EXPECT_FLOAT_EQ(out.at(0), 0.5f);
 }
 
 TEST(ActivationTest, SiluMatchesDefinition) {
   Tensor in(Shape{1});
   in.at(0) = 1.5f;
-  const Tensor out = activation(in, ActKind::kSiLU);
+  ThreadPool pool(1);
+  const Tensor out = activation(pool, in, ActKind::kSiLU);
   EXPECT_NEAR(out.at(0), 1.5 / (1.0 + std::exp(-1.5)), 1e-6);
 }
 
@@ -226,7 +431,8 @@ TEST(ActivationTest, HardSwishKnots) {
   in.at(0) = -3.0f;  // -> 0
   in.at(1) = 3.0f;   // -> 3
   in.at(2) = 0.0f;   // -> 0
-  const Tensor out = activation(in, ActKind::kHardSwish);
+  ThreadPool pool(1);
+  const Tensor out = activation(pool, in, ActKind::kHardSwish);
   EXPECT_FLOAT_EQ(out.at(0), 0.0f);
   EXPECT_FLOAT_EQ(out.at(1), 3.0f);
   EXPECT_FLOAT_EQ(out.at(2), 0.0f);
@@ -237,7 +443,8 @@ TEST(ActivationTest, HardSigmoidSaturates) {
   in.at(0) = -10.0f;
   in.at(1) = 10.0f;
   in.at(2) = 0.0f;
-  const Tensor out = activation(in, ActKind::kHardSigmoid);
+  ThreadPool pool(1);
+  const Tensor out = activation(pool, in, ActKind::kHardSigmoid);
   EXPECT_FLOAT_EQ(out.at(0), 0.0f);
   EXPECT_FLOAT_EQ(out.at(1), 1.0f);
   EXPECT_FLOAT_EQ(out.at(2), 0.5f);
@@ -251,7 +458,8 @@ TEST(BatchNormTest, IdentityParamsPassThrough) {
   Tensor beta(Shape{3}, 0.0f);
   Tensor mean(Shape{3}, 0.0f);
   Tensor var(Shape{3}, 1.0f);
-  const Tensor out = batch_norm2d(in, gamma, beta, mean, var, 0.0);
+  ThreadPool pool(2);
+  const Tensor out = batch_norm2d(pool, in, gamma, beta, mean, var, 0.0);
   EXPECT_LT(out.max_abs_diff(in), 1e-6f);
 }
 
@@ -263,7 +471,8 @@ TEST(BatchNormTest, NormalizesWithRunningStats) {
   Tensor beta(Shape{1}, 1.0f);
   Tensor mean(Shape{1}, 5.0f);
   Tensor var(Shape{1}, 4.0f);
-  const Tensor out = batch_norm2d(in, gamma, beta, mean, var, 0.0);
+  ThreadPool pool(2);
+  const Tensor out = batch_norm2d(pool, in, gamma, beta, mean, var, 0.0);
   // (3-5)/2 * 2 + 1 = -1; (7-5)/2 * 2 + 1 = 3.
   EXPECT_NEAR(out.at4(0, 0, 0, 0), -1.0f, 1e-5);
   EXPECT_NEAR(out.at4(0, 0, 0, 1), 3.0f, 1e-5);

@@ -110,5 +110,29 @@ TEST(TensorTest, MaxAbsDiffShapeMismatchThrows) {
   EXPECT_THROW(a.max_abs_diff(b), InvalidArgument);
 }
 
+TEST(TensorTest, UninitializedTagAllocatesFullExtentWritable) {
+  Tensor t(Shape{4, 5}, Tensor::kUninitialized);
+  EXPECT_EQ(t.shape(), (Shape{4, 5}));
+  ASSERT_EQ(t.data().size(), 20u);
+  // Contents are unspecified, but every element must be writable and
+  // readable once written — this is what kernels that fill the whole
+  // output (conv, linear, elementwise) rely on when skipping the zero fill.
+  for (std::size_t i = 0; i < t.data().size(); ++i) {
+    t.data()[i] = static_cast<float>(i);
+  }
+  for (std::size_t i = 0; i < t.data().size(); ++i) {
+    EXPECT_EQ(t.data()[i], static_cast<float>(i));
+  }
+}
+
+TEST(TensorTest, UninitializedTagMatchesValueInitShapeSemantics) {
+  Tensor a(Shape{3, 2, 2}, Tensor::kUninitialized);
+  Tensor b(Shape{3, 2, 2});
+  EXPECT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(a.data().size(), b.data().size());
+  // Value-init ctor still zero-fills.
+  for (float v : b.data()) EXPECT_EQ(v, 0.0f);
+}
+
 }  // namespace
 }  // namespace convmeter

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
@@ -93,6 +94,51 @@ TEST(ThreadPoolTest, UsableAfterException) {
 TEST(ThreadPoolTest, DefaultUsesHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, GrainRunsSmallRangeInlineInOneChunk) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  std::thread::id body_thread;
+  pool.parallel_for(
+      100,
+      [&](std::size_t b, std::size_t e) {
+        calls.fetch_add(1);
+        body_thread = std::this_thread::get_id();
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 100u);
+      },
+      /*grain=*/100);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ThreadPoolTest, GrainStillCoversEveryIndexWhenSplit) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(
+      1000,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkSizeRespectsGrainAndCoversCount) {
+  // Chunks are never smaller than the grain...
+  EXPECT_GE(ThreadPool::chunk_size(1000, 4, 300), 300u);
+  // ...and threads * chunk always covers the full range.
+  for (std::size_t count : {1u, 7u, 256u, 1000u}) {
+    for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+      for (std::size_t grain : {1u, 16u, 999u}) {
+        const std::size_t chunk = ThreadPool::chunk_size(count, threads, grain);
+        EXPECT_GE(chunk * threads, count)
+            << count << "/" << threads << "/" << grain;
+      }
+    }
+  }
 }
 
 }  // namespace
