@@ -1,0 +1,101 @@
+#include "analysis/diagnostics.hpp"
+
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace convmeter::analysis {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string line = severity_name(severity) + "[" + id + "]";
+  if (node >= 0) {
+    line += " node '" + node_name + "' (#" + std::to_string(node) + ")";
+  } else {
+    line += " graph";
+  }
+  line += ": " + message;
+  if (!hint.empty()) line += " [hint: " + hint + "]";
+  return line;
+}
+
+void DiagnosticSink::report(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::report(Severity severity, std::string id,
+                            std::string pass, std::int32_t node,
+                            std::string node_name, std::string message,
+                            std::string hint) {
+  Diagnostic d;
+  d.severity = severity;
+  d.id = std::move(id);
+  d.pass = std::move(pass);
+  d.node = node;
+  d.node_name = std::move(node_name);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  report(std::move(d));
+}
+
+std::size_t DiagnosticSink::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool DiagnosticSink::has_findings(Severity threshold) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= threshold) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticSink::render_text(const std::string& graph_name) const {
+  std::string out = "verifying graph '" + graph_name + "'\n";
+  for (const Diagnostic& d : diagnostics_) {
+    out += "  " + d.to_string() + "\n";
+  }
+  out += std::to_string(errors()) + " error(s), " +
+         std::to_string(warnings()) + " warning(s), " +
+         std::to_string(notes()) + " note(s)\n";
+  return out;
+}
+
+std::string DiagnosticSink::render_json(const std::string& graph_name) const {
+  json::Value::Array items;
+  items.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) {
+    json::Value::Object o;
+    o["id"] = json::Value(d.id);
+    o["severity"] = json::Value(severity_name(d.severity));
+    o["pass"] = json::Value(d.pass);
+    o["node"] = json::Value(static_cast<double>(d.node));
+    o["node_name"] = json::Value(d.node_name);
+    o["message"] = json::Value(d.message);
+    if (!d.hint.empty()) o["hint"] = json::Value(d.hint);
+    items.emplace_back(std::move(o));
+  }
+  json::Value::Object root;
+  root["graph"] = json::Value(graph_name);
+  root["diagnostics"] = json::Value(std::move(items));
+  root["errors"] = json::Value(static_cast<double>(errors()));
+  root["warnings"] = json::Value(static_cast<double>(warnings()));
+  root["notes"] = json::Value(static_cast<double>(notes()));
+  return json::dump(json::Value(std::move(root)));
+}
+
+}  // namespace convmeter::analysis

@@ -1,0 +1,72 @@
+// Diagnostics for the static graph verifier.
+//
+// Every finding a verification pass makes is a Diagnostic: a stable dotted
+// id ("dataflow.cycle"), a severity, the pass that produced it, the node it
+// anchors to, a human-readable message, and an optional fix-it hint. The
+// DiagnosticSink collects findings across passes and renders them as
+// compiler-style text or as JSON for tooling (`convmeter lint --json 1`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace convmeter::analysis {
+
+/// Finding severity, ordered so comparisons read naturally.
+enum class Severity {
+  kNote,     ///< informational (missed fusion, stochastic op under training)
+  kWarning,  ///< hazardous but executable (thread-count-sensitive reduction)
+  kError,    ///< the graph must not be executed (cycle, dangling edge, ...)
+};
+
+/// Stable textual name ("note", "warning", "error").
+std::string severity_name(Severity severity);
+
+/// One finding from one verification pass.
+struct Diagnostic {
+  std::string id;         ///< stable dotted id, e.g. "dataflow.cycle"
+  Severity severity = Severity::kError;
+  std::string pass;       ///< pass that emitted it, e.g. "dataflow"
+  std::int32_t node = -1; ///< anchor node id; -1 for graph-level findings
+  std::string node_name;  ///< anchor node name; empty for graph-level
+  std::string message;    ///< what is wrong
+  std::string hint;       ///< optional fix-it suggestion
+
+  /// "error[dataflow.cycle] node 'relu1': ..." (one line, no newline).
+  std::string to_string() const;
+};
+
+/// Collects diagnostics across passes and renders them.
+class DiagnosticSink {
+ public:
+  /// Appends one finding.
+  void report(Diagnostic diagnostic);
+
+  /// Convenience for the common fields.
+  void report(Severity severity, std::string id, std::string pass,
+              std::int32_t node, std::string node_name, std::string message,
+              std::string hint = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  std::size_t count(Severity severity) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+  std::size_t notes() const { return count(Severity::kNote); }
+
+  /// True when at least one diagnostic with severity >= `threshold` exists.
+  bool has_findings(Severity threshold) const;
+
+  /// Compiler-style listing, one line per diagnostic plus a summary line
+  /// ("2 errors, 1 warning."). `graph_name` labels the header.
+  std::string render_text(const std::string& graph_name) const;
+
+  /// JSON object {"graph": ..., "diagnostics": [...], "errors": N, ...}.
+  std::string render_json(const std::string& graph_name) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace convmeter::analysis

@@ -1,0 +1,82 @@
+// Verification pass interface and the shared per-graph analysis context.
+//
+// The Verifier builds one VerifyContext per graph — consumer counts, cycle
+// flags, leniently derived per-node shapes — and hands it to every pass, so
+// individual passes stay small and never recompute shared facts. Passes
+// must tolerate arbitrarily malformed graphs (the whole point is to
+// diagnose them); a pass that genuinely cannot run without in-range edge
+// ids declares that via needs_valid_edges() and is skipped (and recorded as
+// skipped) when the graph has dangling edges.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "graph/graph.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter::analysis {
+
+/// Knobs for one verification run.
+struct VerifyOptions {
+  /// Input shape driving the shape-contract and workspace passes. A
+  /// default-constructed (rank-0) shape resolves to NCHW
+  /// (1, graph.input_channels(), 224, 224).
+  Shape input_shape;
+  /// Audit the graph for training-time hazards (gradient-reduction
+  /// determinism, stochastic ops) in addition to the forward-pass checks.
+  bool training = false;
+  /// Budget for the static per-thread workspace bound; an op whose
+  /// worst-case arena requirement exceeds it is an error.
+  std::uint64_t workspace_budget_bytes = 1ull << 30;  // 1 GiB
+  /// Emit note-severity findings (missed fusions, workspace peak, ...).
+  bool include_notes = true;
+};
+
+/// Shared facts about one graph, computed once per verification run.
+struct VerifyContext {
+  const Graph& graph;
+  const VerifyOptions& options;
+  Shape input_shape;  ///< resolved (never rank-0)
+
+  /// Per node: number of in-range edges consuming it.
+  std::vector<std::size_t> consumers = {};
+  /// Per node: every input id is in [0, size).
+  std::vector<bool> edges_in_range = {};
+  /// Per node: participates in a dependency cycle (over in-range edges).
+  std::vector<bool> on_cycle = {};
+  /// Per node: leniently derived output shape; nullopt when underivable
+  /// (unknown producer shape, dangling edge, or a contract violation).
+  std::vector<std::optional<Shape>> shapes = {};
+  /// Per node: the InvalidArgument message shape derivation raised, or ""
+  /// when it succeeded or was skipped for lack of input shapes.
+  std::vector<std::string> shape_errors = {};
+
+  bool ids_ok = true;   ///< no dangling edge anywhere
+  bool ordered = true;  ///< every producer id precedes its consumer
+  bool acyclic = true;  ///< no dependency cycle
+};
+
+/// One verification pass. Stateless; `run` may be called concurrently on
+/// different contexts.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Stable pass name; doubles as the prefix of its diagnostic ids.
+  virtual std::string name() const = 0;
+
+  /// True when the pass must be skipped on graphs with dangling edges.
+  virtual bool needs_valid_edges() const { return true; }
+
+  virtual void run(const VerifyContext& ctx, DiagnosticSink& sink) const = 0;
+};
+
+/// The default verification pipeline in execution order: structure,
+/// dataflow, reachability, attrs, shapes, fusion, workspace, determinism.
+std::vector<std::unique_ptr<Pass>> default_passes();
+
+}  // namespace convmeter::analysis

@@ -1,0 +1,730 @@
+// The built-in verification passes.
+//
+// Each pass is a small stateless class reporting findings into a
+// DiagnosticSink; the shared per-graph facts (consumer counts, cycle flags,
+// leniently derived shapes) live in the VerifyContext the Verifier builds
+// once. Passes deliberately re-derive executor behaviour from first
+// principles where they can (fusion legality, workspace bounds) and then
+// cross-check against the executor's own planning code, so a drift between
+// the two surfaces as a diagnostic instead of a silent divergence.
+#include <algorithm>
+#include <cstddef>
+#include <unordered_set>
+
+#include "analysis/pass.hpp"
+#include "common/error.hpp"
+#include "exec/executor.hpp"
+#include "exec/kernels.hpp"
+#include "graph/ops.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter::analysis {
+
+namespace {
+
+std::size_t min_arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+std::size_t max_arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+      return 2;
+    case OpKind::kConcat:
+      return SIZE_MAX;
+    default:
+      return 1;
+  }
+}
+
+/// True when the node's attribute payload matches its operator kind.
+bool attrs_match(const Node& n) {
+  switch (n.kind) {
+    case OpKind::kInput:
+      return std::holds_alternative<InputAttrs>(n.attrs);
+    case OpKind::kConv2d:
+      return std::holds_alternative<Conv2dAttrs>(n.attrs);
+    case OpKind::kBatchNorm2d:
+      return std::holds_alternative<BatchNorm2dAttrs>(n.attrs);
+    case OpKind::kActivation:
+      return std::holds_alternative<ActivationAttrs>(n.attrs);
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+      return std::holds_alternative<Pool2dAttrs>(n.attrs);
+    case OpKind::kAdaptiveAvgPool2d:
+      return std::holds_alternative<AdaptiveAvgPool2dAttrs>(n.attrs);
+    case OpKind::kLinear:
+      return std::holds_alternative<LinearAttrs>(n.attrs);
+    case OpKind::kFlatten:
+      return std::holds_alternative<FlattenAttrs>(n.attrs);
+    case OpKind::kAdd:
+      return std::holds_alternative<AddAttrs>(n.attrs);
+    case OpKind::kMultiply:
+      return std::holds_alternative<MultiplyAttrs>(n.attrs);
+    case OpKind::kConcat:
+      return std::holds_alternative<ConcatAttrs>(n.attrs);
+    case OpKind::kDropout:
+      return std::holds_alternative<DropoutAttrs>(n.attrs);
+    case OpKind::kToTokens:
+      return std::holds_alternative<ToTokensAttrs>(n.attrs);
+    case OpKind::kLayerNorm:
+      return std::holds_alternative<LayerNormAttrs>(n.attrs);
+    case OpKind::kSelfAttention:
+      return std::holds_alternative<SelfAttentionAttrs>(n.attrs);
+    case OpKind::kSelectToken:
+      return std::holds_alternative<SelectTokenAttrs>(n.attrs);
+    case OpKind::kSliceChannels:
+      return std::holds_alternative<SliceChannelsAttrs>(n.attrs);
+    case OpKind::kChannelShuffle:
+      return std::holds_alternative<ChannelShuffleAttrs>(n.attrs);
+  }
+  return false;
+}
+
+// ---- structure -----------------------------------------------------------
+
+/// Graph-level structural invariants: non-empty, input-first, unique
+/// non-empty names, per-kind arity, attribute payload matching the kind.
+class StructurePass : public Pass {
+ public:
+  std::string name() const override { return "structure"; }
+  bool needs_valid_edges() const override { return false; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    const Graph& g = ctx.graph;
+    if (g.nodes().empty()) {
+      sink.report(Severity::kError, "structure.empty_graph", name(), -1, "",
+                  "graph has no nodes");
+      return;
+    }
+    if (g.nodes().front().kind != OpKind::kInput) {
+      sink.report(Severity::kError, "structure.missing_input", name(), 0,
+                  g.nodes().front().name,
+                  "first node must be the graph input, got " +
+                      op_kind_name(g.nodes().front().kind),
+                  "begin the graph with a single input node");
+    } else if (g.input_channels() <= 0) {
+      sink.report(Severity::kError, "structure.bad_input_channels", name(), 0,
+                  g.nodes().front().name,
+                  "graph declares " + std::to_string(g.input_channels()) +
+                      " input channels; must be positive");
+    }
+    std::unordered_set<std::string> names;
+    for (const Node& n : g.nodes()) {
+      if (n.name.empty()) {
+        sink.report(Severity::kError, "structure.empty_name", name(), n.id, "",
+                    "node #" + std::to_string(n.id) + " has an empty name");
+      } else if (!names.insert(n.name).second) {
+        sink.report(Severity::kError, "structure.duplicate_name", name(), n.id,
+                    n.name, "node name '" + n.name + "' is used more than once",
+                    "node names must be unique within a graph");
+      }
+      if (n.id != 0 && n.kind == OpKind::kInput) {
+        sink.report(Severity::kError, "structure.multiple_input", name(), n.id,
+                    n.name, "graph has more than one input node");
+      }
+      const std::size_t lo = min_arity(n.kind);
+      const std::size_t hi = max_arity(n.kind);
+      if (n.inputs.size() < lo || n.inputs.size() > hi) {
+        std::string expect = hi == SIZE_MAX
+                                 ? "at least " + std::to_string(lo)
+                                 : (lo == hi ? std::to_string(lo)
+                                             : std::to_string(lo) + ".." +
+                                                   std::to_string(hi));
+        sink.report(Severity::kError, "structure.bad_arity", name(), n.id,
+                    n.name,
+                    op_kind_name(n.kind) + " takes " + expect +
+                        " input(s), node has " +
+                        std::to_string(n.inputs.size()));
+      }
+      if (!attrs_match(n)) {
+        sink.report(Severity::kError, "structure.attr_mismatch", name(), n.id,
+                    n.name,
+                    "attribute payload does not match operator kind " +
+                        op_kind_name(n.kind));
+      }
+    }
+  }
+};
+
+// ---- dataflow ------------------------------------------------------------
+
+/// Edge-level integrity: every input id in range, producers precede
+/// consumers, no dependency cycles.
+class DataflowPass : public Pass {
+ public:
+  std::string name() const override { return "dataflow"; }
+  bool needs_valid_edges() const override { return false; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    const Graph& g = ctx.graph;
+    const auto size = static_cast<NodeId>(g.size());
+    for (const Node& n : g.nodes()) {
+      for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+        const NodeId in = n.inputs[i];
+        if (in < 0 || in >= size) {
+          sink.report(Severity::kError, "dataflow.dangling_edge", name(), n.id,
+                      n.name,
+                      "input operand " + std::to_string(i) +
+                          " references node #" + std::to_string(in) +
+                          ", but the graph has " +
+                          std::to_string(g.size()) + " node(s)");
+        } else if (in == n.id) {
+          sink.report(Severity::kError, "dataflow.use_before_def", name(),
+                      n.id, n.name, "node consumes its own output");
+        } else if (in > n.id) {
+          sink.report(Severity::kError, "dataflow.use_before_def", name(),
+                      n.id, n.name,
+                      "consumes node '" + g.node(in).name + "' (#" +
+                          std::to_string(in) + ") which does not precede it",
+                      "reorder nodes so every producer precedes its "
+                      "consumers");
+        }
+      }
+      if (n.id >= 0 && static_cast<std::size_t>(n.id) < ctx.on_cycle.size() &&
+          ctx.on_cycle[static_cast<std::size_t>(n.id)]) {
+        sink.report(Severity::kError, "dataflow.cycle", name(), n.id, n.name,
+                    "node participates in a dependency cycle");
+      }
+    }
+  }
+};
+
+// ---- reachability --------------------------------------------------------
+
+/// Liveness: every node reachable from the input, exactly one sink, no op
+/// whose result can never influence the graph output.
+class ReachabilityPass : public Pass {
+ public:
+  std::string name() const override { return "reachability"; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    const Graph& g = ctx.graph;
+    if (g.nodes().empty()) return;
+    const std::size_t size = g.size();
+
+    // Forward reachability from the input node over producer -> consumer
+    // edges.
+    std::vector<std::vector<std::size_t>> out_edges(size);
+    for (const Node& n : g.nodes()) {
+      for (const NodeId in : n.inputs) {
+        out_edges[static_cast<std::size_t>(in)].push_back(
+            static_cast<std::size_t>(n.id));
+      }
+    }
+    std::vector<bool> from_input(size, false);
+    std::vector<std::size_t> stack{0};
+    from_input[0] = true;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const std::size_t w : out_edges[v]) {
+        if (!from_input[w]) {
+          from_input[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+
+    // Sinks: nodes no other node consumes. The executor requires exactly
+    // one; when several exist we treat the last as the intended output so
+    // the dead branches get precise diagnostics.
+    std::vector<std::size_t> sinks;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (ctx.consumers[i] == 0) sinks.push_back(i);
+    }
+    if (sinks.empty()) {
+      sink.report(Severity::kError, "reachability.no_sink", name(), -1, "",
+                  "every node is consumed by another node; the graph has no "
+                  "output");
+      return;
+    }
+    const std::size_t output = sinks.back();
+
+    // Backward reachability from the designated output.
+    std::vector<bool> reaches_output(size, false);
+    stack.assign(1, output);
+    reaches_output[output] = true;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const NodeId in : g.nodes()[v].inputs) {
+        const auto w = static_cast<std::size_t>(in);
+        if (!reaches_output[w]) {
+          reaches_output[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+
+    for (const Node& n : g.nodes()) {
+      const auto i = static_cast<std::size_t>(n.id);
+      if (!from_input[i]) {
+        sink.report(Severity::kError, "reachability.unreachable", name(), n.id,
+                    n.name, "node is not reachable from the graph input");
+      }
+      if (!reaches_output[i]) {
+        sink.report(Severity::kError, "reachability.dead_op", name(), n.id,
+                    n.name,
+                    "result never reaches the graph output '" +
+                        g.nodes()[output].name + "' (#" +
+                        std::to_string(output) + ")",
+                    "remove the node or consume its result");
+      }
+    }
+  }
+};
+
+// ---- attrs ---------------------------------------------------------------
+
+/// Attribute domain checks: positive extents, valid probabilities, group
+/// divisibility — everything the builder API enforces, re-checked statically
+/// for graphs that arrived through deserialization.
+class AttrsPass : public Pass {
+ public:
+  std::string name() const override { return "attrs"; }
+  bool needs_valid_edges() const override { return false; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    for (const Node& n : ctx.graph.nodes()) {
+      switch (n.kind) {
+        case OpKind::kConv2d:
+          check_conv(n, sink);
+          break;
+        case OpKind::kBatchNorm2d:
+          if (const auto* a = std::get_if<BatchNorm2dAttrs>(&n.attrs)) {
+            require(a->channels > 0, n, "channels", a->channels, sink);
+          }
+          break;
+        case OpKind::kMaxPool2d:
+        case OpKind::kAvgPool2d:
+          if (const auto* a = std::get_if<Pool2dAttrs>(&n.attrs)) {
+            require(a->kernel_h > 0 && a->kernel_w > 0, n, "kernel",
+                    std::min(a->kernel_h, a->kernel_w), sink);
+            require(a->stride_h > 0 && a->stride_w > 0, n, "stride",
+                    std::min(a->stride_h, a->stride_w), sink);
+            require(a->pad_h >= 0 && a->pad_w >= 0, n, "padding",
+                    std::min(a->pad_h, a->pad_w), sink);
+          }
+          break;
+        case OpKind::kAdaptiveAvgPool2d:
+          if (const auto* a = std::get_if<AdaptiveAvgPool2dAttrs>(&n.attrs)) {
+            require(a->out_h > 0 && a->out_w > 0, n, "output size",
+                    std::min(a->out_h, a->out_w), sink);
+          }
+          break;
+        case OpKind::kLinear:
+          if (const auto* a = std::get_if<LinearAttrs>(&n.attrs)) {
+            require(a->in_features > 0 && a->out_features > 0, n, "features",
+                    std::min(a->in_features, a->out_features), sink);
+          }
+          break;
+        case OpKind::kDropout:
+          if (const auto* a = std::get_if<DropoutAttrs>(&n.attrs)) {
+            if (a->p < 0.0 || a->p >= 1.0) {
+              sink.report(Severity::kError, "attrs.domain", name(), n.id,
+                          n.name,
+                          "dropout probability " + std::to_string(a->p) +
+                              " is outside [0, 1)");
+            }
+          }
+          break;
+        case OpKind::kLayerNorm:
+          if (const auto* a = std::get_if<LayerNormAttrs>(&n.attrs)) {
+            require(a->dim > 0, n, "dim", a->dim, sink);
+          }
+          break;
+        case OpKind::kSelfAttention:
+          if (const auto* a = std::get_if<SelfAttentionAttrs>(&n.attrs)) {
+            require(a->embed_dim > 0, n, "embed_dim", a->embed_dim, sink);
+            require(a->num_heads > 0, n, "num_heads", a->num_heads, sink);
+            if (a->embed_dim > 0 && a->num_heads > 0 &&
+                a->embed_dim % a->num_heads != 0) {
+              sink.report(Severity::kError, "attrs.groups", name(), n.id,
+                          n.name,
+                          "num_heads=" + std::to_string(a->num_heads) +
+                              " does not divide embed_dim=" +
+                              std::to_string(a->embed_dim));
+            }
+          }
+          break;
+        case OpKind::kSelectToken:
+          if (const auto* a = std::get_if<SelectTokenAttrs>(&n.attrs)) {
+            if (a->index < 0) {
+              sink.report(Severity::kError, "attrs.domain", name(), n.id,
+                          n.name, "select_token index " +
+                                      std::to_string(a->index) +
+                                      " is negative");
+            }
+          }
+          break;
+        case OpKind::kSliceChannels:
+          if (const auto* a = std::get_if<SliceChannelsAttrs>(&n.attrs)) {
+            if (a->begin < 0 || a->end <= a->begin) {
+              sink.report(Severity::kError, "attrs.domain", name(), n.id,
+                          n.name,
+                          "slice_channels range [" +
+                              std::to_string(a->begin) + ", " +
+                              std::to_string(a->end) +
+                              ") must satisfy 0 <= begin < end");
+            }
+          }
+          break;
+        case OpKind::kChannelShuffle:
+          if (const auto* a = std::get_if<ChannelShuffleAttrs>(&n.attrs)) {
+            require(a->groups >= 1, n, "groups", a->groups, sink);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  void require(bool ok, const Node& n, const std::string& what,
+               std::int64_t value, DiagnosticSink& sink) const {
+    if (ok) return;
+    sink.report(Severity::kError, "attrs.domain", name(), n.id, n.name,
+                op_kind_name(n.kind) + " " + what + " must be positive, got " +
+                    std::to_string(value));
+  }
+
+  void check_conv(const Node& n, DiagnosticSink& sink) const {
+    const auto* a = std::get_if<Conv2dAttrs>(&n.attrs);
+    if (a == nullptr) return;
+    require(a->in_channels > 0, n, "in_channels", a->in_channels, sink);
+    require(a->out_channels > 0, n, "out_channels", a->out_channels, sink);
+    require(a->kernel_h > 0 && a->kernel_w > 0, n, "kernel",
+            std::min(a->kernel_h, a->kernel_w), sink);
+    require(a->stride_h > 0 && a->stride_w > 0, n, "stride",
+            std::min(a->stride_h, a->stride_w), sink);
+    require(a->dilation_h > 0 && a->dilation_w > 0, n, "dilation",
+            std::min(a->dilation_h, a->dilation_w), sink);
+    require(a->groups > 0, n, "groups", a->groups, sink);
+    if (a->pad_h < 0 || a->pad_w < 0) {
+      sink.report(Severity::kError, "attrs.domain", name(), n.id, n.name,
+                  "conv2d padding must be non-negative");
+    }
+    if (a->groups > 0 && a->in_channels > 0 && a->out_channels > 0 &&
+        (a->in_channels % a->groups != 0 ||
+         a->out_channels % a->groups != 0)) {
+      sink.report(Severity::kError, "attrs.groups", name(), n.id, n.name,
+                  "groups=" + std::to_string(a->groups) +
+                      " does not divide in_channels=" +
+                      std::to_string(a->in_channels) + " and out_channels=" +
+                      std::to_string(a->out_channels),
+                  "grouped convolution requires both channel counts to be "
+                  "multiples of groups");
+    }
+  }
+};
+
+// ---- shapes --------------------------------------------------------------
+
+/// Shape contracts: the driving input shape matches the graph, every edge's
+/// shape is re-derivable through infer_node_shape, nothing degenerates to a
+/// zero/negative extent — then the whole map is cross-checked against
+/// infer_shapes so the two derivations can never drift apart.
+class ShapePass : public Pass {
+ public:
+  std::string name() const override { return "shapes"; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    const Graph& g = ctx.graph;
+    if (g.nodes().empty()) return;
+    if (ctx.input_shape.rank() != 4) {
+      sink.report(Severity::kError, "shapes.contract", name(), 0,
+                  g.nodes().front().name,
+                  "graph input shape must be rank-4 NCHW, got " +
+                      ctx.input_shape.to_string());
+      return;
+    }
+    if (g.input_channels() > 0 &&
+        ctx.input_shape.channels() != g.input_channels()) {
+      sink.report(Severity::kError, "shapes.contract", name(), 0,
+                  g.nodes().front().name,
+                  "graph expects " + std::to_string(g.input_channels()) +
+                      " input channels, driving shape " +
+                      ctx.input_shape.to_string() + " has " +
+                      std::to_string(ctx.input_shape.channels()));
+    }
+
+    bool all_known = true;
+    for (const Node& n : g.nodes()) {
+      const auto i = static_cast<std::size_t>(n.id);
+      if (!ctx.shape_errors[i].empty()) {
+        sink.report(Severity::kError, "shapes.contract", name(), n.id, n.name,
+                    ctx.shape_errors[i]);
+        all_known = false;
+        continue;
+      }
+      if (!ctx.shapes[i].has_value()) {
+        all_known = false;
+        continue;
+      }
+      const Shape& s = *ctx.shapes[i];
+      for (std::size_t d = 0; d < s.rank(); ++d) {
+        if (s.dim(d) <= 0) {
+          sink.report(Severity::kError, "shapes.nonpositive", name(), n.id,
+                      n.name,
+                      "derived shape " + s.to_string() +
+                          " has a non-positive extent");
+          break;
+        }
+      }
+    }
+
+    // Cross-check the per-edge derivation against the executor-facing
+    // infer_shapes whenever the graph is complete enough to run it.
+    if (!all_known || !ctx.ids_ok || !ctx.ordered) return;
+    if (g.input_channels() != ctx.input_shape.channels()) return;
+    try {
+      const ShapeMap shapes = infer_shapes(g, ctx.input_shape);
+      for (const Node& n : g.nodes()) {
+        const auto i = static_cast<std::size_t>(n.id);
+        if (!(shapes[i] == *ctx.shapes[i])) {
+          sink.report(Severity::kError, "shapes.cross_check", name(), n.id,
+                      n.name,
+                      "per-edge derivation says " + ctx.shapes[i]->to_string() +
+                          " but infer_shapes says " + shapes[i].to_string());
+        }
+      }
+    } catch (const Error& e) {
+      sink.report(Severity::kError, "shapes.cross_check", name(), -1, "",
+                  std::string("infer_shapes rejected a graph whose edges all "
+                              "derived cleanly: ") +
+                      e.what());
+    }
+  }
+};
+
+// ---- fusion --------------------------------------------------------------
+
+/// Fusion legality: re-derives the executor's conv+activation fusion rules
+/// (single consumer, conv not the graph output) from first principles,
+/// flags fusions that would move a not-yet-produced tensor, and
+/// cross-checks the derived plan against plan_fused_activations itself.
+class FusionPass : public Pass {
+ public:
+  std::string name() const override { return "fusion"; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    const Graph& g = ctx.graph;
+    if (g.nodes().empty()) return;
+
+    std::size_t sink_count = 0;
+    NodeId unique_sink = -1;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (ctx.consumers[i] == 0) {
+        ++sink_count;
+        unique_sink = static_cast<NodeId>(i);
+      }
+    }
+    if (sink_count != 1) unique_sink = -1;
+
+    // Independent re-derivation of the executor's fusion rule.
+    std::vector<std::optional<ActKind>> derived(g.size());
+    for (const Node& n : g.nodes()) {
+      if (n.kind != OpKind::kActivation || n.inputs.size() != 1) continue;
+      const auto* attrs = std::get_if<ActivationAttrs>(&n.attrs);
+      if (attrs == nullptr) continue;
+      const NodeId src = n.inputs[0];
+      const Node& producer = g.node(src);
+      if (producer.kind != OpKind::kConv2d) continue;
+      if (ctx.consumers[static_cast<std::size_t>(src)] != 1) continue;
+      if (src == unique_sink) continue;
+      derived[static_cast<std::size_t>(src)] = attrs->kind;
+      if (n.id <= src) {
+        sink.report(
+            Severity::kError, "fusion.use_after_move", name(), n.id, n.name,
+            "activation would fuse into conv '" + producer.name + "' (#" +
+                std::to_string(src) +
+                ") but is scheduled before it; the executor would move a "
+                "tensor that has not been produced yet",
+            "reorder the activation after its producer");
+      } else if (ctx.options.include_notes) {
+        sink.report(Severity::kNote, "fusion.fused", name(), n.id, n.name,
+                    "fuses into conv '" + producer.name +
+                        "' (#" + std::to_string(src) + ") GEMM epilogue");
+      }
+    }
+
+    // Missed fusions: a conv -> activation edge the executor cannot fold
+    // because the conv has other consumers.
+    if (ctx.options.include_notes) {
+      for (const Node& n : g.nodes()) {
+        if (n.kind != OpKind::kActivation || n.inputs.size() != 1) continue;
+        const NodeId src = n.inputs[0];
+        if (g.node(src).kind != OpKind::kConv2d) continue;
+        if (ctx.consumers[static_cast<std::size_t>(src)] > 1) {
+          sink.report(Severity::kNote, "fusion.missed", name(), n.id, n.name,
+                      "cannot fuse into conv '" + g.node(src).name +
+                          "': the conv output has " +
+                          std::to_string(
+                              ctx.consumers[static_cast<std::size_t>(src)]) +
+                          " consumers");
+        }
+      }
+    }
+
+    // Cross-check against the executor's own plan on well-formed graphs.
+    if (unique_sink < 0 || !ctx.ordered || !ctx.acyclic) return;
+    const std::vector<std::optional<ActKind>> plan =
+        plan_fused_activations(g);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (derived[i] != plan[i]) {
+        sink.report(Severity::kError, "fusion.plan_divergence", name(),
+                    static_cast<NodeId>(i), g.nodes()[i].name,
+                    "the verifier's fusion rules disagree with "
+                    "plan_fused_activations; analysis and executor have "
+                    "drifted apart");
+      }
+    }
+  }
+};
+
+// ---- workspace -----------------------------------------------------------
+
+/// Static workspace bound: computes each op's worst-case per-thread arena
+/// requirement from the same tile formulas the kernels use, checks the
+/// kernel's own reserve() sizing against an independent lower bound, and
+/// flags ops whose requirement exceeds the configured budget.
+class WorkspacePass : public Pass {
+ public:
+  std::string name() const override { return "workspace"; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    const Graph& g = ctx.graph;
+    std::size_t peak_bytes = 0;
+    NodeId peak_node = -1;
+    for (const Node& n : g.nodes()) {
+      std::size_t floats = 0;
+      if (n.kind == OpKind::kConv2d) {
+        const auto* a = std::get_if<Conv2dAttrs>(&n.attrs);
+        if (a == nullptr || n.inputs.empty()) continue;
+        const auto src = static_cast<std::size_t>(n.inputs[0]);
+        if (!ctx.shapes[src].has_value()) continue;
+        if (a->groups <= 0 || a->in_channels <= 0 ||
+            a->in_channels % a->groups != 0) {
+          continue;  // attrs pass owns this defect
+        }
+        try {
+          floats = kernel_detail::conv2d_workspace_floats(*a, *ctx.shapes[src]);
+        } catch (const Error&) {
+          continue;  // shapes pass owns the contract violation
+        }
+        // Independent lower bound: one minimum-width column tile plus both
+        // GEMM packing panels. conv2d_im2col can never legally reserve
+        // less; if it reports less the kernel formulas have drifted.
+        const auto patch = static_cast<std::size_t>(
+            a->in_channels / a->groups * a->kernel_h * a->kernel_w);
+        const std::size_t floor_floats = patch * 16 +
+                                         kernel_detail::pack_a_floats() +
+                                         kernel_detail::pack_b_floats();
+        if (floats < floor_floats) {
+          sink.report(Severity::kError, "workspace.insufficient", name(),
+                      n.id, n.name,
+                      "kernel reserves " + std::to_string(floats) +
+                          " floats but the packed GEMM needs at least " +
+                          std::to_string(floor_floats),
+                      "conv2d_workspace_floats has drifted from the "
+                      "micro-kernel tile formulas");
+        }
+      } else if (n.kind == OpKind::kLinear) {
+        floats = kernel_detail::gemm_workspace_floats();
+      } else {
+        continue;
+      }
+      const std::size_t bytes = floats * sizeof(float);
+      if (bytes > ctx.options.workspace_budget_bytes) {
+        sink.report(Severity::kError, "workspace.over_budget", name(), n.id,
+                    n.name,
+                    "worst-case per-thread workspace is " +
+                        std::to_string(bytes) + " bytes, budget is " +
+                        std::to_string(ctx.options.workspace_budget_bytes),
+                    "shrink the layer or raise "
+                    "VerifyOptions::workspace_budget_bytes");
+      }
+      if (bytes > peak_bytes) {
+        peak_bytes = bytes;
+        peak_node = n.id;
+      }
+    }
+    if (peak_node >= 0 && ctx.options.include_notes) {
+      sink.report(Severity::kNote, "workspace.peak", name(), peak_node,
+                  g.node(peak_node).name,
+                  "worst-case per-thread workspace across the graph: " +
+                      std::to_string(peak_bytes) + " bytes");
+    }
+  }
+};
+
+// ---- determinism ---------------------------------------------------------
+
+/// Determinism audit: flags ops whose results can differ across --jobs=N.
+/// Forward inference is bit-identical for every worker count (all kernels
+/// partition outputs disjointly), but the training step reduces conv weight
+/// gradients over a partial-buffer count derived from the worker count, so
+/// training measurements are only reproducible at a pinned job count.
+class DeterminismPass : public Pass {
+ public:
+  std::string name() const override { return "determinism"; }
+  bool needs_valid_edges() const override { return false; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    if (!ctx.options.training) return;
+    std::size_t convs = 0;
+    for (const Node& n : ctx.graph.nodes()) {
+      if (n.kind == OpKind::kConv2d) ++convs;
+      if (n.kind == OpKind::kDropout) {
+        const auto* a = std::get_if<DropoutAttrs>(&n.attrs);
+        if (a != nullptr && a->p > 0.0 && ctx.options.include_notes) {
+          sink.report(Severity::kNote, "determinism.stochastic", name(), n.id,
+                      n.name,
+                      "dropout is stochastic under training; results depend "
+                      "on the sampling seed");
+        }
+      }
+    }
+    if (convs > 0) {
+      sink.report(
+          Severity::kWarning, "determinism.grad_reduction", name(), -1, "",
+          std::to_string(convs) +
+              " conv2d node(s) accumulate weight gradients into per-slot "
+              "partial buffers whose count is derived from the worker "
+              "count; training-step outputs are not bit-identical across "
+              "--jobs values",
+          "pin --jobs when comparing training measurements");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Pass>> default_passes() {
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.push_back(std::make_unique<StructurePass>());
+  passes.push_back(std::make_unique<DataflowPass>());
+  passes.push_back(std::make_unique<ReachabilityPass>());
+  passes.push_back(std::make_unique<AttrsPass>());
+  passes.push_back(std::make_unique<ShapePass>());
+  passes.push_back(std::make_unique<FusionPass>());
+  passes.push_back(std::make_unique<WorkspacePass>());
+  passes.push_back(std::make_unique<DeterminismPass>());
+  return passes;
+}
+
+}  // namespace convmeter::analysis

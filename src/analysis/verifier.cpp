@@ -1,0 +1,224 @@
+#include "analysis/verifier.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "exec/executor.hpp"
+#include "graph/shape_inference.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter::analysis {
+
+namespace {
+
+Shape resolve_input_shape(const Graph& graph, const VerifyOptions& options) {
+  if (options.input_shape.rank() != 0) return options.input_shape;
+  const std::int64_t channels =
+      graph.input_channels() > 0 ? graph.input_channels() : 3;
+  return Shape::nchw(1, channels, 224, 224);
+}
+
+/// Marks every node that belongs to a strongly connected component of size
+/// > 1 (or carries a self-loop) in the in-range edge digraph. Iterative
+/// Tarjan so adversarial graphs cannot overflow the call stack.
+void mark_cycles(const Graph& graph, std::vector<bool>& on_cycle) {
+  const std::size_t size = graph.size();
+  std::vector<std::vector<std::size_t>> succ(size);
+  for (const Node& n : graph.nodes()) {
+    for (const NodeId in : n.inputs) {
+      if (in >= 0 && static_cast<std::size_t>(in) < size) {
+        succ[static_cast<std::size_t>(in)].push_back(
+            static_cast<std::size_t>(n.id));
+      }
+    }
+  }
+
+  constexpr std::size_t kUnvisited = SIZE_MAX;
+  std::vector<std::size_t> index(size, kUnvisited);
+  std::vector<std::size_t> low(size, 0);
+  std::vector<bool> on_stack(size, false);
+  std::vector<std::size_t> scc_stack;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> frames;
+
+  for (std::size_t root = 0; root < size; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.edge == 0) {
+        index[v] = low[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.edge < succ[v].size()) {
+        const std::size_t w = succ[v][f.edge++];
+        if (index[w] == kUnvisited) {
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        // v roots an SCC; pop it and flag multi-node components.
+        std::vector<std::size_t> component;
+        std::size_t w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          component.push_back(w);
+        } while (w != v);
+        if (component.size() > 1) {
+          for (const std::size_t m : component) on_cycle[m] = true;
+        } else {
+          // Single-node SCC: only a cycle if it consumes itself.
+          for (const std::size_t s : succ[v]) {
+            if (s == v) on_cycle[v] = true;
+          }
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+}
+
+VerifyContext build_context(const Graph& graph, const VerifyOptions& options) {
+  VerifyContext ctx{graph, options, resolve_input_shape(graph, options)};
+  const std::size_t size = graph.size();
+  ctx.consumers.assign(size, 0);
+  ctx.edges_in_range.assign(size, true);
+  ctx.on_cycle.assign(size, false);
+  ctx.shapes.assign(size, std::nullopt);
+  ctx.shape_errors.assign(size, "");
+
+  for (const Node& n : graph.nodes()) {
+    for (const NodeId in : n.inputs) {
+      if (in < 0 || static_cast<std::size_t>(in) >= size) {
+        ctx.edges_in_range[static_cast<std::size_t>(n.id)] = false;
+        ctx.ids_ok = false;
+      } else {
+        ++ctx.consumers[static_cast<std::size_t>(in)];
+        if (in >= n.id) ctx.ordered = false;
+      }
+    }
+  }
+
+  mark_cycles(graph, ctx.on_cycle);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (ctx.on_cycle[i]) {
+      ctx.acyclic = false;
+      break;
+    }
+  }
+
+  // Lenient shape derivation in id order: a node's shape is known when all
+  // of its producers precede it and derived cleanly; contract violations
+  // are captured as messages for the shapes pass instead of thrown.
+  std::vector<Shape> inputs;
+  for (const Node& n : graph.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    if (!ctx.edges_in_range[i]) continue;
+    inputs.clear();
+    inputs.reserve(n.inputs.size());
+    bool ready = true;
+    for (const NodeId in : n.inputs) {
+      const auto src = static_cast<std::size_t>(in);
+      if (in >= n.id || !ctx.shapes[src].has_value()) {
+        ready = false;
+        break;
+      }
+      inputs.push_back(*ctx.shapes[src]);
+    }
+    if (!ready) continue;
+    try {
+      ctx.shapes[i] = infer_node_shape(n, inputs, ctx.input_shape);
+    } catch (const Error& e) {
+      ctx.shape_errors[i] = e.what();
+    }
+  }
+  return ctx;
+}
+
+void preflight_adapter(const Graph& graph, const Shape& input_shape) {
+  verify_or_throw(graph, input_shape, /*training=*/false);
+}
+
+}  // namespace
+
+Verifier::Verifier() : passes_(default_passes()) {}
+
+void Verifier::add_pass(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+VerifyReport Verifier::verify(const Graph& graph,
+                              const VerifyOptions& options) const {
+  CM_TRACE_SPAN("analysis.verify", "analysis");
+  VerifyReport report;
+  report.graph_name = graph.name();
+  const VerifyContext ctx = build_context(graph, options);
+
+  for (const auto& pass : passes_) {
+    PassStat stat;
+    stat.name = pass->name();
+    if (pass->needs_valid_edges() && !ctx.ids_ok) {
+      stat.skipped = true;
+      report.passes.push_back(std::move(stat));
+      continue;
+    }
+    std::optional<obs::TraceSpan> span;
+    if (obs::enabled()) {
+      span.emplace("analysis.pass/" + stat.name, "analysis");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t before = report.sink.diagnostics().size();
+    pass->run(ctx, report.sink);
+    stat.findings = report.sink.diagnostics().size() - before;
+    stat.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report.passes.push_back(std::move(stat));
+  }
+
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::instance();
+    metrics.counter("analysis.verify.calls").add();
+    metrics.counter("analysis.verify.errors").add(report.sink.errors());
+    metrics.counter("analysis.verify.warnings").add(report.sink.warnings());
+  }
+  return report;
+}
+
+void verify_or_throw(const Graph& graph, const Shape& input_shape,
+                     bool training) {
+  VerifyOptions options;
+  options.input_shape = input_shape;
+  options.training = training;
+  options.include_notes = false;
+  const Verifier verifier;
+  const VerifyReport report = verifier.verify(graph, options);
+  if (!report.ok()) {
+    throw InvalidArgument("graph '" + graph.name() +
+                          "' failed verification:\n" + report.render_text());
+  }
+}
+
+void install_executor_preflight() { set_exec_preflight(&preflight_adapter); }
+
+void remove_executor_preflight() { set_exec_preflight(nullptr); }
+
+}  // namespace convmeter::analysis

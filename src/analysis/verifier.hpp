@@ -1,0 +1,71 @@
+// The static graph verifier: runs a pipeline of analysis passes over a
+// graph::Graph without executing anything and collects their diagnostics.
+//
+// Entry points, coarsest first:
+//   - Verifier::verify      -> full VerifyReport (lint CLI, tests)
+//   - verify_or_throw       -> throws InvalidArgument on any error
+//                              (campaign pre-flight)
+//   - install_executor_preflight -> hooks verify_or_throw into every
+//                              Executor::run via exec_preflight()
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.hpp"
+
+namespace convmeter::analysis {
+
+/// Outcome of one pass inside a verification run.
+struct PassStat {
+  std::string name;
+  std::size_t findings = 0;  ///< diagnostics this pass emitted
+  bool skipped = false;      ///< pass could not run (dangling edges)
+  double seconds = 0.0;
+};
+
+/// Everything one verification run produced.
+struct VerifyReport {
+  std::string graph_name;
+  DiagnosticSink sink;
+  std::vector<PassStat> passes;
+
+  /// No errors (warnings and notes allowed): safe to execute.
+  bool ok() const { return sink.errors() == 0; }
+  /// No errors and no warnings: fully clean.
+  bool clean() const { return !sink.has_findings(Severity::kWarning); }
+
+  std::string render_text() const { return sink.render_text(graph_name); }
+  std::string render_json() const { return sink.render_json(graph_name); }
+};
+
+/// Pass pipeline. Construction installs the default passes; add_pass
+/// appends custom ones. verify() is const and thread-safe.
+class Verifier {
+ public:
+  Verifier();
+
+  void add_pass(std::unique_ptr<Pass> pass);
+  std::size_t pass_count() const { return passes_.size(); }
+
+  VerifyReport verify(const Graph& graph,
+                      const VerifyOptions& options = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Runs the default pipeline with `input_shape` driving the shape checks
+/// and throws InvalidArgument listing every error-severity finding when the
+/// graph fails. Notes are suppressed; warnings do not throw.
+void verify_or_throw(const Graph& graph, const Shape& input_shape,
+                     bool training = false);
+
+/// Installs verify_or_throw as the executor pre-flight hook: every
+/// subsequent Executor::run verifies the graph before touching a tensor.
+/// Process-wide; remove_executor_preflight undoes it (used by tests).
+void install_executor_preflight();
+void remove_executor_preflight();
+
+}  // namespace convmeter::analysis

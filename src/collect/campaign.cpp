@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/verifier.hpp"
 #include "collect/graph_cache.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
@@ -129,6 +130,15 @@ std::vector<RuntimeSample> run_points(MeasurementBackend& backend,
   return samples;
 }
 
+/// Campaign pre-flight: static verification of one (graph, shape) before
+/// any measurement work is scheduled for it.
+void verify_point(const CampaignOptions& options, const Graph& graph,
+                  const Shape& b1, bool training) {
+  if (!options.verify) return;
+  CM_TRACE_SPAN("campaign.verify", "collect");
+  analysis::verify_or_throw(graph, b1, training);
+}
+
 /// Copies batch-1 metrics into a sample record.
 void fill_metrics(RuntimeSample& s, const GraphMetrics& m) {
   s.flops1 = m.flops;
@@ -196,6 +206,7 @@ std::vector<RuntimeSample> run_inference_campaign(
       const GraphMetrics* metrics = cache.metrics_b1(name, image);
       if (metrics == nullptr) continue;  // resolution infeasible
       const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
+      verify_point(options, graph, b1, /*training=*/false);
 
       RuntimeSample base;
       base.model = name;
@@ -235,6 +246,7 @@ std::vector<RuntimeSample> run_training_campaign(
       const GraphMetrics* metrics = cache.metrics_b1(name, image);
       if (metrics == nullptr) continue;  // resolution infeasible
       const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
+      verify_point(options, graph, b1, /*training=*/true);
 
       RuntimeSample base;
       base.model = name;
@@ -289,6 +301,7 @@ std::vector<RuntimeSample> run_block_campaign(
     } catch (const InvalidArgument&) {
       continue;
     }
+    verify_point(options, block.graph, b1, /*training=*/false);
 
     for (const std::int64_t batch : batch_sizes) {
       const Shape shape = b1.with_batch(batch);

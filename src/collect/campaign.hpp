@@ -81,6 +81,10 @@ struct CampaignOptions {
   /// Optional streaming consumer, fed in deterministic point order in
   /// addition to the returned vector.
   SampleSink* sink = nullptr;
+  /// Pre-flight every (graph, image size) with the static verifier before
+  /// measuring anything; throws InvalidArgument on any error-severity
+  /// finding so a defective graph fails fast instead of mid-sweep.
+  bool verify = false;
 };
 
 /// Runs an inference campaign against `backend`'s device.

@@ -1,5 +1,6 @@
 #include "exec/executor.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <optional>
 
@@ -14,6 +15,8 @@ namespace convmeter {
 
 namespace {
 
+std::atomic<ExecPreflightFn> g_preflight{nullptr};
+
 /// Deterministic per-node weight tensor. Values are scaled down so deep
 /// networks do not overflow float32 during an un-normalized forward pass.
 Tensor make_weight(const Shape& shape, std::uint64_t seed, float scale) {
@@ -23,10 +26,16 @@ Tensor make_weight(const Shape& shape, std::uint64_t seed, float scale) {
   return t;
 }
 
-/// Conv -> Activation fusion plan: for every Conv2d node whose output feeds
-/// exactly one node — an Activation — and which is not the graph output, the
-/// activation is folded into the conv's GEMM writeback epilogue and the
-/// activation node becomes a move of the conv's tensor.
+}  // namespace
+
+void set_exec_preflight(ExecPreflightFn fn) {
+  g_preflight.store(fn, std::memory_order_relaxed);
+}
+
+ExecPreflightFn exec_preflight() {
+  return g_preflight.load(std::memory_order_relaxed);
+}
+
 std::vector<std::optional<ActKind>> plan_fused_activations(const Graph& graph) {
   std::vector<std::size_t> consumers(graph.size(), 0);
   for (const auto& n : graph.nodes()) {
@@ -46,13 +55,16 @@ std::vector<std::optional<ActKind>> plan_fused_activations(const Graph& graph) {
   return fused;
 }
 
-}  // namespace
-
 Executor::Executor(std::size_t num_threads) : pool_(num_threads) {}
 
 ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
                               std::uint64_t weight_seed) {
   CM_TRACE_SPAN("executor.run", "exec");
+  // Pre-flight before validate(): an installed verifier reports richer,
+  // multi-finding diagnostics than validate()'s first-violation throw.
+  if (const ExecPreflightFn preflight = exec_preflight()) {
+    preflight(graph, input.shape());
+  }
   graph.validate();
   const ShapeMap shapes = infer_shapes(graph, input.shape());
   const std::vector<std::optional<ActKind>> fused = plan_fused_activations(graph);

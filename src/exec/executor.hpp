@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,24 @@
 #include "tensor/tensor.hpp"
 
 namespace convmeter {
+
+/// Conv -> Activation fusion plan: entry `id` holds the activation folded
+/// into conv node `id`'s GEMM writeback epilogue, or nullopt. A conv is
+/// fused when its output feeds exactly one node — an Activation — and it is
+/// not the graph output; the activation node then becomes a move of the
+/// conv's tensor. Exported so the analysis layer's fusion-legality audit
+/// can cross-check the exact plan the executor will apply.
+std::vector<std::optional<ActKind>> plan_fused_activations(const Graph& graph);
+
+/// Optional process-wide pre-flight hook, run at the top of every
+/// Executor::run before anything executes. The analysis layer installs its
+/// graph verifier here (analysis::install_executor_preflight) so debug
+/// builds and CONVMETER_PREFLIGHT=1 runs reject hazardous graphs with
+/// diagnostics instead of crashing mid-kernel. A null hook (the default)
+/// costs one relaxed atomic load.
+using ExecPreflightFn = void (*)(const Graph& graph, const Shape& input_shape);
+void set_exec_preflight(ExecPreflightFn fn);
+ExecPreflightFn exec_preflight();
 
 /// Wall-clock timing of one node during a forward pass.
 struct LayerTiming {

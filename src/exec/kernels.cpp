@@ -486,6 +486,22 @@ std::size_t conv_col_tile(std::size_t patch, std::size_t cols) {
 
 }  // namespace
 
+namespace kernel_detail {
+
+std::size_t conv2d_workspace_floats(const Conv2dAttrs& a, const Shape& in) {
+  const Shape out_shape = conv2d_output_shape(a, in);
+  const std::size_t patch = static_cast<std::size_t>(a.in_channels / a.groups) *
+                            static_cast<std::size_t>(a.kernel_h) *
+                            static_cast<std::size_t>(a.kernel_w);
+  const std::size_t cols = static_cast<std::size_t>(out_shape.height()) *
+                           static_cast<std::size_t>(out_shape.width());
+  return patch * conv_col_tile(patch, cols) + kPackAFloats + kPackBFloats;
+}
+
+std::size_t gemm_workspace_floats() { return kPackAFloats + kPackBFloats; }
+
+}  // namespace kernel_detail
+
 Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
                      const Tensor& weight, const Tensor& bias,
                      const Conv2dAttrs& a, std::optional<ActKind> fused_act) {
@@ -529,7 +545,7 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
       tasks,
       [&](std::size_t t0, std::size_t t1) {
         Workspace& ws = Workspace::tls();
-        ws.reserve(patch * tile + kPackAFloats + kPackBFloats);
+        ws.reserve(kernel_detail::conv2d_workspace_floats(a, in));
         float* col = ws.take(patch * tile);
         float* ap = ws.take(kPackAFloats);
         float* bp = ws.take(kPackBFloats);

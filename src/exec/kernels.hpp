@@ -121,6 +121,17 @@ void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
 std::size_t pack_a_floats();
 std::size_t pack_b_floats();
 
+/// Exact per-thread Workspace floats conv2d_im2col reserves for `attrs` on
+/// input shape `in` (column tile + both packing panels). conv2d_im2col
+/// itself sizes its reserve() through this function, and the analysis
+/// layer's workspace-bound pass cross-checks it against an independently
+/// computed lower bound — the two can't drift apart silently.
+std::size_t conv2d_workspace_floats(const Conv2dAttrs& attrs, const Shape& in);
+
+/// Per-thread Workspace floats gemm() (and thus the linear kernel)
+/// reserves: the two packing panels; independent of problem size.
+std::size_t gemm_workspace_floats();
+
 /// Fills `col` (patch x (c1 - c0), row-major, leading dimension c1 - c0)
 /// with the unfolded input windows of flattened output positions [c0, c1)
 /// of image n, group g. Padding taps become zeros.

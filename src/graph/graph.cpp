@@ -169,6 +169,17 @@ NodeId Graph::channel_shuffle(std::string name, NodeId in,
               ChannelShuffleAttrs{groups}, {in});
 }
 
+Graph Graph::unchecked(std::string name, std::int64_t input_channels,
+                       std::vector<Node> nodes) {
+  Graph g(std::move(name));
+  g.input_channels_ = input_channels;
+  g.nodes_ = std::move(nodes);
+  for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+    g.nodes_[i].id = static_cast<NodeId>(i);
+  }
+  return g;
+}
+
 NodeId Graph::add_node(std::string name, OpKind kind, OpAttrs attrs,
                        std::vector<NodeId> inputs) {
   if (kind == OpKind::kInput) {

@@ -104,6 +104,15 @@ class Graph {
   NodeId add_node(std::string name, OpKind kind, OpAttrs attrs,
                   std::vector<NodeId> inputs);
 
+  /// Constructs a graph from raw nodes with NO invariant checking: edges may
+  /// dangle, reference later nodes, form cycles, or carry mismatched
+  /// attribute payloads. This is the entry point for the analysis layer's
+  /// adversarial corpora and for lenient deserialization (`convmeter lint`
+  /// on a defective graph file) — run analysis::Verifier on the result
+  /// before trusting it. Node ids are reassigned to positional order.
+  static Graph unchecked(std::string name, std::int64_t input_channels,
+                         std::vector<Node> nodes);
+
   // ---- queries ----------------------------------------------------------
 
   /// Checks structural invariants (single input, unique names, inputs

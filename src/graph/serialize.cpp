@@ -3,6 +3,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -194,7 +195,54 @@ std::string graph_to_text(const Graph& graph) {
   return os.str();
 }
 
-Graph graph_from_text(const std::string& text) {
+namespace {
+
+/// One parsed node line, before graph construction.
+struct ParsedNode {
+  NodeId id = -1;
+  Node node;
+  std::int64_t input_channels = 0;  ///< kInput lines only
+};
+
+ParsedNode parse_node_line(const std::string_view line) {
+  auto tokens = split(std::string(line), ' ');
+  if (tokens.size() < 4 || tokens[0] != "node") {
+    throw ParseError("malformed node line: " + std::string(line));
+  }
+  ParsedNode p;
+  p.id = static_cast<NodeId>(parse_int(tokens[1]));
+  p.node.name = tokens[2];
+  p.node.kind = op_kind_from_name(tokens[3]);
+
+  KvMap attrs;
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("malformed attribute token: " + tokens[i]);
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "inputs") {
+      for (const auto& part : split(value, ';')) {
+        p.node.inputs.push_back(static_cast<NodeId>(parse_int(part)));
+      }
+    } else {
+      attrs[key] = value;
+    }
+  }
+  if (p.node.kind == OpKind::kInput) {
+    p.input_channels = kv_int_or(attrs, "channels", 0);
+    p.node.attrs = InputAttrs{};
+  } else {
+    p.node.attrs = parse_attrs(p.node.kind, attrs);
+  }
+  return p;
+}
+
+/// Shared parse loop: reads the header and node lines, yielding each parsed
+/// node in file order.
+template <typename Fn>
+std::string parse_lines(const std::string& text, Fn&& per_node) {
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line)) throw ParseError("empty graph text");
@@ -202,50 +250,48 @@ Graph graph_from_text(const std::string& text) {
   if (head.size() != 2 || head[0] != "graph") {
     throw ParseError("graph text must start with 'graph <name>'");
   }
-  Graph g(head[1]);
-
   while (std::getline(is, line)) {
     const auto t = trim(line);
     if (t.empty()) continue;
-    auto tokens = split(std::string(t), ' ');
-    if (tokens.size() < 4 || tokens[0] != "node") {
-      throw ParseError("malformed node line: " + std::string(t));
-    }
-    const NodeId id = static_cast<NodeId>(parse_int(tokens[1]));
-    const std::string& name = tokens[2];
-    const OpKind kind = op_kind_from_name(tokens[3]);
-
-    std::vector<NodeId> inputs;
-    KvMap attrs;
-    for (std::size_t i = 4; i < tokens.size(); ++i) {
-      const auto eq = tokens[i].find('=');
-      if (eq == std::string::npos) {
-        throw ParseError("malformed attribute token: " + tokens[i]);
-      }
-      const std::string key = tokens[i].substr(0, eq);
-      const std::string value = tokens[i].substr(eq + 1);
-      if (key == "inputs") {
-        for (const auto& part : split(value, ';')) {
-          inputs.push_back(static_cast<NodeId>(parse_int(part)));
-        }
-      } else {
-        attrs[key] = value;
-      }
-    }
-
-    NodeId got;
-    if (kind == OpKind::kInput) {
-      got = g.input(kv_int(attrs, "channels"));
-    } else {
-      got = g.add_node(name, kind, parse_attrs(kind, attrs), std::move(inputs));
-    }
-    if (got != id) {
-      throw ParseError("node ids must be contiguous and in order; got line id " +
-                       std::to_string(id) + " for node " + std::to_string(got));
-    }
+    per_node(parse_node_line(t));
   }
+  return head[1];
+}
+
+}  // namespace
+
+Graph graph_from_text(const std::string& text) {
+  Graph g("");
+  const std::string name = parse_lines(text, [&](ParsedNode p) {
+    NodeId got;
+    if (p.node.kind == OpKind::kInput) {
+      if (p.input_channels <= 0) throw ParseError("missing attribute 'channels'");
+      got = g.input(p.input_channels);
+    } else {
+      got = g.add_node(std::move(p.node.name), p.node.kind,
+                       std::move(p.node.attrs), std::move(p.node.inputs));
+    }
+    if (got != p.id) {
+      throw ParseError("node ids must be contiguous and in order; got line id " +
+                       std::to_string(p.id) + " for node " +
+                       std::to_string(got));
+    }
+  });
+  g.set_name(name);
   g.validate();
   return g;
+}
+
+Graph graph_from_text_unchecked(const std::string& text) {
+  std::vector<Node> nodes;
+  std::int64_t input_channels = 0;
+  const std::string name = parse_lines(text, [&](ParsedNode p) {
+    if (p.node.kind == OpKind::kInput && input_channels == 0) {
+      input_channels = p.input_channels;
+    }
+    nodes.push_back(std::move(p.node));
+  });
+  return Graph::unchecked(name, input_channels, std::move(nodes));
 }
 
 void save_graph(const Graph& graph, const std::string& path) {
@@ -254,12 +300,24 @@ void save_graph(const Graph& graph, const std::string& path) {
   f << graph_to_text(graph);
 }
 
-Graph load_graph(const std::string& path) {
+namespace {
+
+std::string read_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw Error("cannot open file for reading: " + path);
   std::ostringstream os;
   os << f.rdbuf();
-  return graph_from_text(os.str());
+  return os.str();
+}
+
+}  // namespace
+
+Graph load_graph(const std::string& path) {
+  return graph_from_text(read_file(path));
+}
+
+Graph load_graph_unchecked(const std::string& path) {
+  return graph_from_text_unchecked(read_file(path));
 }
 
 }  // namespace convmeter

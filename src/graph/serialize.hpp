@@ -25,8 +25,19 @@ std::string graph_to_text(const Graph& graph);
 /// input and runs Graph::validate() on the result.
 Graph graph_from_text(const std::string& text);
 
+/// Lenient variant for the analysis layer: parses node lines without
+/// enforcing any graph invariant (edges may dangle, reference later nodes,
+/// form cycles; names may collide; the input node may be missing). Only the
+/// line syntax itself still raises ParseError. Feed the result to
+/// analysis::Verifier — this is how `convmeter lint` loads graphs whose
+/// defects a validating parser would reject up front.
+Graph graph_from_text_unchecked(const std::string& text);
+
 /// File convenience wrappers.
 void save_graph(const Graph& graph, const std::string& path);
 Graph load_graph(const std::string& path);
+
+/// File wrapper over graph_from_text_unchecked.
+Graph load_graph_unchecked(const std::string& path);
 
 }  // namespace convmeter

@@ -67,156 +67,151 @@ ShapeMap infer_shapes(const Graph& graph, const Shape& input_shape) {
                " input channels, got " + std::to_string(input_shape.channels()));
   ShapeMap shapes(graph.size());
 
+  std::vector<Shape> inputs;
   for (const auto& n : graph.nodes()) {
-    const auto in_shape = [&](std::size_t i) -> const Shape& {
-      return shapes[static_cast<std::size_t>(n.inputs.at(i))];
-    };
-    switch (n.kind) {
-      case OpKind::kInput:
-        shapes[static_cast<std::size_t>(n.id)] = input_shape;
-        break;
-      case OpKind::kConv2d:
-        shapes[static_cast<std::size_t>(n.id)] =
-            conv2d_output_shape(n.as<Conv2dAttrs>(), in_shape(0));
-        break;
-      case OpKind::kBatchNorm2d: {
-        const auto& s = in_shape(0);
-        CM_CHECK(s.channels() == n.as<BatchNorm2dAttrs>().channels,
-                 "batch_norm channel mismatch at node '" + n.name + "'");
-        shapes[static_cast<std::size_t>(n.id)] = s;
-        break;
-      }
-      case OpKind::kActivation:
-      case OpKind::kDropout:
-        shapes[static_cast<std::size_t>(n.id)] = in_shape(0);
-        break;
-      case OpKind::kToTokens: {
-        const auto& s = in_shape(0);
-        CM_CHECK(s.rank() == 4, "to_tokens input must be rank-4 at node '" +
-                                    n.name + "'");
-        const std::int64_t tokens =
-            s.height() * s.width() +
-            (n.as<ToTokensAttrs>().cls_token ? 1 : 0);
-        shapes[static_cast<std::size_t>(n.id)] =
-            Shape{s.batch(), tokens, s.channels()};
-        break;
-      }
-      case OpKind::kLayerNorm: {
-        const auto& s = in_shape(0);
-        CM_CHECK(s.rank() >= 2 &&
-                     s.dim(s.rank() - 1) == n.as<LayerNormAttrs>().dim,
-                 "layer_norm dim mismatch at node '" + n.name + "'");
-        shapes[static_cast<std::size_t>(n.id)] = s;
-        break;
-      }
-      case OpKind::kSelfAttention: {
-        const auto& s = in_shape(0);
-        CM_CHECK(s.rank() == 3 &&
-                     s.dim(2) == n.as<SelfAttentionAttrs>().embed_dim,
-                 "self_attention expects (B, T, D) input at node '" + n.name +
-                     "'");
-        shapes[static_cast<std::size_t>(n.id)] = s;
-        break;
-      }
-      case OpKind::kSliceChannels: {
-        const auto& s = in_shape(0);
-        const auto& a = n.as<SliceChannelsAttrs>();
-        CM_CHECK(s.rank() == 4 && a.end <= s.channels(),
-                 "slice_channels out of range at node '" + n.name + "'");
-        shapes[static_cast<std::size_t>(n.id)] = Shape::nchw(
-            s.batch(), a.end - a.begin, s.height(), s.width());
-        break;
-      }
-      case OpKind::kChannelShuffle: {
-        const auto& s = in_shape(0);
-        CM_CHECK(s.rank() == 4 &&
-                     s.channels() % n.as<ChannelShuffleAttrs>().groups == 0,
-                 "channel_shuffle groups must divide channels at node '" +
-                     n.name + "'");
-        shapes[static_cast<std::size_t>(n.id)] = s;
-        break;
-      }
-      case OpKind::kSelectToken: {
-        const auto& s = in_shape(0);
-        const auto& a = n.as<SelectTokenAttrs>();
-        CM_CHECK(s.rank() == 3 && a.index < s.dim(1),
-                 "select_token index out of range at node '" + n.name + "'");
-        shapes[static_cast<std::size_t>(n.id)] = Shape{s.dim(0), s.dim(2)};
-        break;
-      }
-      case OpKind::kMaxPool2d:
-      case OpKind::kAvgPool2d:
-        shapes[static_cast<std::size_t>(n.id)] =
-            pool2d_output_shape(n.as<Pool2dAttrs>(), in_shape(0));
-        break;
-      case OpKind::kAdaptiveAvgPool2d: {
-        const auto& s = in_shape(0);
-        const auto& a = n.as<AdaptiveAvgPool2dAttrs>();
-        shapes[static_cast<std::size_t>(n.id)] =
-            Shape::nchw(s.batch(), s.channels(), a.out_h, a.out_w);
-        break;
-      }
-      case OpKind::kLinear: {
-        const auto& s = in_shape(0);
-        const auto& a = n.as<LinearAttrs>();
-        // Rank-2 (batch, features) or rank-3 (batch, tokens, features) —
-        // the latter applies the layer per token (transformer MLPs).
-        CM_CHECK(s.rank() == 2 || s.rank() == 3,
-                 "linear input must be rank-2 or rank-3 at node '" + n.name +
-                     "', got " + s.to_string());
-        CM_CHECK(s.dim(s.rank() - 1) == a.in_features,
-                 "linear feature mismatch at node '" + n.name + "': input " +
-                     s.to_string() + ", expected " +
-                     std::to_string(a.in_features) + " features");
-        shapes[static_cast<std::size_t>(n.id)] =
-            s.rank() == 2 ? Shape{s.dim(0), a.out_features}
-                          : Shape{s.dim(0), s.dim(1), a.out_features};
-        break;
-      }
-      case OpKind::kFlatten: {
-        const auto& s = in_shape(0);
-        CM_CHECK(s.rank() == 4, "flatten input must be rank-4 at node '" +
-                                    n.name + "'");
-        shapes[static_cast<std::size_t>(n.id)] =
-            Shape{s.batch(), s.channels() * s.height() * s.width()};
-        break;
-      }
-      case OpKind::kAdd:
-      case OpKind::kMultiply: {
-        const auto& a = in_shape(0);
-        const auto& b = in_shape(1);
-        // Multiply supports broadcast over spatial dims (SE gate is
-        // (N, C, 1, 1) scaling a (N, C, H, W) feature map).
-        const bool same = a == b;
-        const bool broadcast =
-            n.kind == OpKind::kMultiply && a.rank() == 4 && b.rank() == 4 &&
-            a.batch() == b.batch() && a.channels() == b.channels() &&
-            (b.height() == 1 && b.width() == 1);
-        CM_CHECK(same || broadcast,
-                 "elementwise shape mismatch at node '" + n.name + "': " +
-                     a.to_string() + " vs " + b.to_string());
-        shapes[static_cast<std::size_t>(n.id)] = a;
-        break;
-      }
-      case OpKind::kConcat: {
-        const auto& first = in_shape(0);
-        CM_CHECK(first.rank() == 4, "concat inputs must be rank-4");
-        std::int64_t channels = first.channels();
-        for (std::size_t i = 1; i < n.inputs.size(); ++i) {
-          const auto& s = in_shape(i);
-          CM_CHECK(s.rank() == 4 && s.batch() == first.batch() &&
-                       s.height() == first.height() &&
-                       s.width() == first.width(),
-                   "concat spatial mismatch at node '" + n.name + "'");
-          channels += s.channels();
-        }
-        shapes[static_cast<std::size_t>(n.id)] = Shape::nchw(
-            first.batch(), channels, first.height(), first.width());
-        break;
-      }
+    inputs.clear();
+    inputs.reserve(n.inputs.size());
+    for (const NodeId in : n.inputs) {
+      inputs.push_back(shapes[static_cast<std::size_t>(in)]);
     }
+    shapes[static_cast<std::size_t>(n.id)] =
+        infer_node_shape(n, inputs, input_shape);
   }
   return shapes;
+}
+
+Shape infer_node_shape(const Node& n, const std::vector<Shape>& inputs,
+                       const Shape& graph_input) {
+  const auto in_shape = [&](std::size_t i) -> const Shape& {
+    CM_CHECK(i < inputs.size(), "node '" + n.name +
+                                    "' is missing input operand " +
+                                    std::to_string(i));
+    return inputs[i];
+  };
+  switch (n.kind) {
+    case OpKind::kInput:
+      return graph_input;
+    case OpKind::kConv2d:
+      return conv2d_output_shape(n.as<Conv2dAttrs>(), in_shape(0));
+    case OpKind::kBatchNorm2d: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 4 &&
+                   s.channels() == n.as<BatchNorm2dAttrs>().channels,
+               "batch_norm channel mismatch at node '" + n.name + "'");
+      return s;
+    }
+    case OpKind::kActivation:
+    case OpKind::kDropout:
+      return in_shape(0);
+    case OpKind::kToTokens: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 4, "to_tokens input must be rank-4 at node '" +
+                                  n.name + "'");
+      const std::int64_t tokens =
+          s.height() * s.width() + (n.as<ToTokensAttrs>().cls_token ? 1 : 0);
+      return Shape{s.batch(), tokens, s.channels()};
+    }
+    case OpKind::kLayerNorm: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() >= 2 &&
+                   s.dim(s.rank() - 1) == n.as<LayerNormAttrs>().dim,
+               "layer_norm dim mismatch at node '" + n.name + "'");
+      return s;
+    }
+    case OpKind::kSelfAttention: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 3 &&
+                   s.dim(2) == n.as<SelfAttentionAttrs>().embed_dim,
+               "self_attention expects (B, T, D) input at node '" + n.name +
+                   "'");
+      return s;
+    }
+    case OpKind::kSliceChannels: {
+      const auto& s = in_shape(0);
+      const auto& a = n.as<SliceChannelsAttrs>();
+      CM_CHECK(s.rank() == 4 && a.end <= s.channels(),
+               "slice_channels out of range at node '" + n.name + "'");
+      return Shape::nchw(s.batch(), a.end - a.begin, s.height(), s.width());
+    }
+    case OpKind::kChannelShuffle: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 4 &&
+                   s.channels() % n.as<ChannelShuffleAttrs>().groups == 0,
+               "channel_shuffle groups must divide channels at node '" +
+                   n.name + "'");
+      return s;
+    }
+    case OpKind::kSelectToken: {
+      const auto& s = in_shape(0);
+      const auto& a = n.as<SelectTokenAttrs>();
+      CM_CHECK(s.rank() == 3 && a.index < s.dim(1),
+               "select_token index out of range at node '" + n.name + "'");
+      return Shape{s.dim(0), s.dim(2)};
+    }
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+      return pool2d_output_shape(n.as<Pool2dAttrs>(), in_shape(0));
+    case OpKind::kAdaptiveAvgPool2d: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 4, "adaptive pool input must be rank-4 at node '" +
+                                  n.name + "'");
+      const auto& a = n.as<AdaptiveAvgPool2dAttrs>();
+      return Shape::nchw(s.batch(), s.channels(), a.out_h, a.out_w);
+    }
+    case OpKind::kLinear: {
+      const auto& s = in_shape(0);
+      const auto& a = n.as<LinearAttrs>();
+      // Rank-2 (batch, features) or rank-3 (batch, tokens, features) —
+      // the latter applies the layer per token (transformer MLPs).
+      CM_CHECK(s.rank() == 2 || s.rank() == 3,
+               "linear input must be rank-2 or rank-3 at node '" + n.name +
+                   "', got " + s.to_string());
+      CM_CHECK(s.dim(s.rank() - 1) == a.in_features,
+               "linear feature mismatch at node '" + n.name + "': input " +
+                   s.to_string() + ", expected " +
+                   std::to_string(a.in_features) + " features");
+      return s.rank() == 2 ? Shape{s.dim(0), a.out_features}
+                           : Shape{s.dim(0), s.dim(1), a.out_features};
+    }
+    case OpKind::kFlatten: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 4, "flatten input must be rank-4 at node '" +
+                                  n.name + "'");
+      return Shape{s.batch(), s.channels() * s.height() * s.width()};
+    }
+    case OpKind::kAdd:
+    case OpKind::kMultiply: {
+      const auto& a = in_shape(0);
+      const auto& b = in_shape(1);
+      // Multiply supports broadcast over spatial dims (SE gate is
+      // (N, C, 1, 1) scaling a (N, C, H, W) feature map).
+      const bool same = a == b;
+      const bool broadcast =
+          n.kind == OpKind::kMultiply && a.rank() == 4 && b.rank() == 4 &&
+          a.batch() == b.batch() && a.channels() == b.channels() &&
+          (b.height() == 1 && b.width() == 1);
+      CM_CHECK(same || broadcast,
+               "elementwise shape mismatch at node '" + n.name + "': " +
+                   a.to_string() + " vs " + b.to_string());
+      return a;
+    }
+    case OpKind::kConcat: {
+      const auto& first = in_shape(0);
+      CM_CHECK(first.rank() == 4, "concat inputs must be rank-4");
+      std::int64_t channels = first.channels();
+      for (std::size_t i = 1; i < n.inputs.size(); ++i) {
+        const auto& s = in_shape(i);
+        CM_CHECK(s.rank() == 4 && s.batch() == first.batch() &&
+                     s.height() == first.height() &&
+                     s.width() == first.width(),
+                 "concat spatial mismatch at node '" + n.name + "'");
+        channels += s.channels();
+      }
+      return Shape::nchw(first.batch(), channels, first.height(),
+                         first.width());
+    }
+  }
+  throw InvalidArgument("unhandled operator kind at node '" + n.name + "'");
 }
 
 }  // namespace convmeter

@@ -21,6 +21,15 @@ using ShapeMap = std::vector<Shape>;
 /// are violated (channel mismatch, non-positive spatial output, ...).
 ShapeMap infer_shapes(const Graph& graph, const Shape& input_shape);
 
+/// Output shape of one node given its input nodes' shapes in argument order
+/// (`inputs[i]` is the shape of `node.inputs[i]`). `graph_input` drives the
+/// kInput node. This is the single per-operator rule set: infer_shapes loops
+/// over it, and the analysis layer's shape-contract pass re-derives every
+/// edge through it so the two can never disagree. Throws InvalidArgument on
+/// any contract violation.
+Shape infer_node_shape(const Node& node, const std::vector<Shape>& inputs,
+                       const Shape& graph_input);
+
 /// Output shape of a single conv given its input shape.
 Shape conv2d_output_shape(const Conv2dAttrs& attrs, const Shape& in);
 

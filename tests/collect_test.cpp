@@ -51,6 +51,17 @@ TEST(InferenceCampaignTest, SeedChangesMeasurements) {
   EXPECT_NE(a.front().t_infer, b.front().t_infer);
 }
 
+TEST(InferenceCampaignTest, VerifyOptionPreflightsEveryModel) {
+  SimInferenceBackend sim(a100_80gb());
+  CampaignOptions options;
+  options.verify = true;
+  // Every zoo graph verifies clean, so the pre-flight must not change the
+  // sampled grid.
+  const auto samples =
+      run_inference_campaign(sim, tiny_inference_sweep(), options);
+  EXPECT_EQ(samples.size(), 16u);
+}
+
 TEST(InferenceCampaignTest, SkipsInfeasibleResolutions) {
   SimInferenceBackend sim(a100_80gb());
   InferenceSweep sweep;

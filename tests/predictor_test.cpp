@@ -95,7 +95,9 @@ TEST(RegistryTest, EntriesAreSortedAndDescribed) {
   const auto entries = PredictorRegistry::instance().entries();
   for (std::size_t i = 0; i < entries.size(); ++i) {
     EXPECT_FALSE(entries[i].description.empty()) << entries[i].name;
-    if (i > 0) EXPECT_LT(entries[i - 1].name, entries[i].name);
+    if (i > 0) {
+      EXPECT_LT(entries[i - 1].name, entries[i].name);
+    }
   }
 }
 
@@ -254,8 +256,12 @@ TEST(EvaluateLooTest, SkipsSamplesThePredictorRejects) {
 TEST(EvaluateLooTest, FactoryOverloadMatchesRegistryOverload) {
   const auto samples = planted_samples(false);
   const LooResult by_name = evaluate_loo("convmeter-fwd-only", samples);
+  // Hoisting the options outside the lambda sidesteps a GCC 12 spurious
+  // -Wmaybe-uninitialized on the inlined default-argument temporary.
+  const PredictorOptions options;
   const LooResult by_factory = evaluate_loo(
-      []() { return make_predictor("convmeter-fwd-only"); }, samples);
+      [&options]() { return make_predictor("convmeter-fwd-only", options); },
+      samples);
   EXPECT_DOUBLE_EQ(by_name.pooled.r2, by_factory.pooled.r2);
   EXPECT_DOUBLE_EQ(by_name.pooled.mape, by_factory.pooled.mape);
   EXPECT_EQ(by_name.per_group.size(), by_factory.per_group.size());

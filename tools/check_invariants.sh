@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Repo-wide invariant lint. Cheap textual checks for conventions the compiler
+# cannot enforce; run by CI (repo-lint job) and `ctest -R repo_invariants`.
+#
+#   1. Every workspace `ws.take(...)` is preceded by a `ws.reserve(...)` (or a
+#      chained take) a few lines above in the same kernel body — take() after
+#      an unsized arena is a hard error at runtime.
+#   2. No naked new/delete in src/: ownership goes through containers and
+#      smart pointers. Placement-new (`::new (`) and `= delete` are fine.
+#   3. Metrics/residual telemetry is guarded: any obs::MetricsRegistry /
+#      obs::record_prediction_residual call outside src/obs/ sits within a
+#      few lines of an obs::enabled() check, so disabled builds pay nothing.
+set -u
+
+cd "$(dirname "$0")/.."
+fail=0
+
+note() {
+  echo "invariant violation: $1" >&2
+  fail=1
+}
+
+# --- 1. ws.take() must follow ws.reserve() --------------------------------
+while IFS=: read -r file line _; do
+  start=$((line > 8 ? line - 8 : 1))
+  if ! sed -n "${start},$((line - 1))p" "$file" \
+      | grep -qE 'ws\.(reserve|take)\('; then
+    note "$file:$line: ws.take() without a ws.reserve() just above"
+  fi
+done < <(grep -rnE 'ws\.take\(' src --include='*.cpp' --include='*.hpp')
+
+# --- 2. no naked new/delete in src/ ---------------------------------------
+# Word-boundary matches; placement-new spells `::new (`, deleted special
+# members spell `= delete`, and the obs layer's leaky singletons spell
+# `static T* x = new T` (deliberately never destroyed so worker threads can
+# record during static teardown) — all excluded. Comments mentioning the
+# words are excluded by stripping `//` tails first.
+while IFS=: read -r file line text; do
+  code="${text%%//*}"
+  case "$code" in
+    *'::new ('*|*'= delete'*) continue ;;
+  esac
+  if echo "$code" | grep -qE 'static [[:alnum:]_:]+\* [[:alnum:]_]+ = new '; then
+    continue
+  fi
+  if echo "$code" | grep -qE '(^|[^_[:alnum:]:>])(new|delete)([[:space:]]|\[|$)'; then
+    note "$file:$line: naked new/delete (use containers or smart pointers)"
+  fi
+done < <(grep -rnE '(^|[^_[:alnum:]:>])(new|delete)([[:space:]]|\[)' \
+         src --include='*.cpp' --include='*.hpp')
+
+# --- 3. obs telemetry must be behind obs::enabled() -----------------------
+# src/obs implements the registry itself; sim/residual_probe.cpp takes an
+# injected registry (tests pass their own), so the enabled() gate lives at
+# its call sites.
+while IFS=: read -r file line _; do
+  case "$file" in
+    src/obs/*|src/sim/residual_probe.cpp) continue ;;
+  esac
+  start=$((line > 10 ? line - 10 : 1))
+  if ! sed -n "${start},${line}p" "$file" | grep -q 'obs::enabled()'; then
+    note "$file:$line: obs telemetry call not guarded by obs::enabled()"
+  fi
+done < <(grep -rnE 'obs::MetricsRegistry::instance\(\)|obs::record_prediction_residual\(' \
+         src --include='*.cpp' --include='*.hpp')
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_invariants: FAILED" >&2
+  exit 1
+fi
+echo "check_invariants: OK"

@@ -1,0 +1,35 @@
+# Adversarial lint corpus: each graph must fail `convmeter lint` with a
+# nonzero exit code AND report its expected diagnostic id; the clean graph
+# must pass strictly.
+set(CASES
+  "cycle.txt=dataflow.cycle"
+  "dangling.txt=dataflow.dangling_edge"
+  "shape_mismatch.txt=shapes.contract"
+  "illegal_fusion.txt=fusion.use_after_move"
+  "workspace_bound.txt=workspace.over_budget"
+  "duplicate_name.txt=structure.duplicate_name"
+  "dead_op.txt=reachability.dead_op"
+  "bad_attrs.txt=attrs.groups")
+
+foreach(case ${CASES})
+  string(REPLACE "=" ";" parts ${case})
+  list(GET parts 0 file)
+  list(GET parts 1 expected_id)
+  execute_process(
+    COMMAND ${CONVMETER} lint --graph ${CORPUS}/${file} --json 1
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "lint unexpectedly passed on ${file}:\n${out}")
+  endif()
+  if(NOT out MATCHES "\"${expected_id}\"")
+    message(FATAL_ERROR
+      "lint on ${file} did not report ${expected_id}:\n${out}\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/clean.txt --strict 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lint failed on clean.txt (${rc}):\n${out}\n${err}")
+endif()

@@ -20,6 +20,9 @@
 //                       [--device D] [--train 0|1]
 //   convmeter stats     [--model x] [--batch N] [--image N] [--device D]
 //                       [--json 1] [--out FILE]
+//   convmeter lint      --model x | --graph FILE | --all 1 [--image N]
+//                       [--batch N] [--training 1] [--notes 1] [--json 1]
+//                       [--strict 1]
 //
 // The campaign runs against any MeasurementBackend — the simulated devices
 // or the real CPU executor (`--backend real`); fit, eval and predict work
@@ -27,13 +30,19 @@
 // hardware can be dropped in. `fit` writes a versioned JSON model file for
 // any registered predictor family (see `list-predictors`), which `predict`
 // and `scalability` reload. `trace` and `stats` run the *real* CPU
-// executor with the observability layer enabled (see src/obs/).
+// executor with the observability layer enabled (see src/obs/). `lint`
+// statically verifies graphs with the analysis layer (see src/analysis/)
+// and exits nonzero when any error-severity finding exists; setting
+// CONVMETER_PREFLIGHT=1 in the environment additionally verifies every
+// graph right before the executor runs it.
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "analysis/verifier.hpp"
 #include "backend/backend.hpp"
 #include "collect/campaign.hpp"
 #include "common/error.hpp"
@@ -183,6 +192,7 @@ int cmd_campaign(const Args& args) {
 
   CampaignOptions options;
   options.jobs = static_cast<int>(args.get_int("jobs", 1));
+  options.verify = args.get_int("verify", 0) != 0;
 
   std::vector<RuntimeSample> samples;
   if (training) {
@@ -438,6 +448,62 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_lint(const Args& args) {
+  analysis::VerifyOptions base;
+  base.training = args.get_int("training", 0) != 0;
+  base.include_notes = args.get_int("notes", 0) != 0;
+  if (args.has("budget-mb")) {
+    base.workspace_budget_bytes =
+        static_cast<std::uint64_t>(args.get_int("budget-mb", 1024)) << 20;
+  }
+  const bool as_json = args.get_int("json", 0) != 0;
+  const bool strict = args.get_int("strict", 0) != 0;
+
+  struct Target {
+    Graph graph;
+    std::int64_t image;
+  };
+  std::vector<Target> targets;
+  if (args.get_int("all", 0) != 0) {
+    for (const auto& name : models::available_models()) {
+      targets.push_back({models::build(name), models::default_image_size(name)});
+    }
+  } else if (args.has("model")) {
+    const std::string name = args.require("model");
+    targets.push_back({models::build(name), models::default_image_size(name)});
+  } else if (args.has("graph")) {
+    // Lenient load: lint exists precisely to diagnose files the strict
+    // deserializer would reject.
+    targets.push_back({load_graph_unchecked(args.require("graph")), 224});
+  } else {
+    throw InvalidArgument("lint needs --model NAME, --graph FILE, or --all 1");
+  }
+
+  const analysis::Verifier verifier;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Target& target : targets) {
+    analysis::VerifyOptions options = base;
+    const auto image = args.get_int("image", target.image);
+    const std::int64_t channels =
+        target.graph.input_channels() > 0 ? target.graph.input_channels() : 3;
+    options.input_shape =
+        Shape::nchw(args.get_int("batch", 1), channels, image, image);
+    const analysis::VerifyReport report =
+        verifier.verify(target.graph, options);
+    if (as_json) {
+      std::cout << report.render_json() << '\n';
+    } else {
+      std::cout << report.render_text();
+    }
+    errors += report.sink.errors();
+    warnings += report.sink.warnings();
+  }
+  if (errors > 0) return 1;
+  if (strict && warnings > 0) return 1;
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: convmeter <command> [--option value ...]\n"
@@ -449,7 +515,7 @@ int usage() {
       "  campaign    --out FILE [--backend sim-gpu|sim-cpu|sim-edge|real]\n"
       "              [--device a100|xeon_5318y|jetson_edge] [--jobs N]\n"
       "              [--models a,b,c] [--images 32,64] [--batches 1,16]\n"
-      "              [--training --nodes 1,2,4] [--reps N]\n"
+      "              [--training --nodes 1,2,4] [--reps N] [--verify 1]\n"
       "  list-predictors\n"
       "  fit         --samples FILE --out model.json [--predictor NAME]\n"
       "              [--training 1] [--phase NAME]\n"
@@ -462,12 +528,21 @@ int usage() {
       "  trace       --model NAME --out FILE [--batch N] [--image N]\n"
       "              [--device D] [--train 0|1]\n"
       "  stats       [--model NAME] [--batch N] [--image N] [--device D]\n"
-      "              [--json 1] [--out FILE]\n";
+      "              [--json 1] [--out FILE]\n"
+      "  lint        --model NAME | --graph FILE | --all 1 [--image N]\n"
+      "              [--batch N] [--training 1] [--notes 1] [--json 1]\n"
+      "              [--strict 1] [--budget-mb N]\n";
   return 2;
 }
 
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
+  // Opt-in executor pre-flight: every Executor::run verifies its graph
+  // first, so defective graphs fail with full diagnostics instead of a
+  // first-violation throw from validate().
+  if (std::getenv("CONVMETER_PREFLIGHT") != nullptr) {
+    analysis::install_executor_preflight();
+  }
   const std::string cmd = argv[1];
   const Args args(argc, argv, 2);
   if (cmd == "list-models") return cmd_list_models();
@@ -482,6 +557,7 @@ int run(int argc, char** argv) {
   if (cmd == "scalability") return cmd_scalability(args);
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "lint") return cmd_lint(args);
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();
 }
