@@ -5,7 +5,8 @@
 //
 // Before the benchmarks run, main() enforces the observability layer's
 // zero-cost-when-disabled contract: a workload peppered with disabled
-// TraceSpan sites must stay within 2% of the same workload without them.
+// TraceSpan and LayerCounterScope sites must stay within 2% of the same
+// workload without them.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include "exec/kernels.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "obs/profile/counter_hook.hpp"
 #include "obs/trace.hpp"
 #include "sim/comm.hpp"
 #include "sim/cost_model.hpp"
@@ -179,8 +181,10 @@ BENCHMARK(BM_TrainingStepSimulation);
 bool verify_disabled_instrumentation_overhead() {
   obs::set_enabled(false);
   constexpr std::size_t kDim = 128;
-  constexpr int kIterations = 50;
-  constexpr int kTrials = 7;
+  // ~10 ms per trial: long enough that sub-millisecond scheduler bursts
+  // average out inside a trial instead of deciding its ratio.
+  constexpr int kIterations = 200;
+  constexpr int kTrials = 9;
   ThreadPool pool(1);
   Tensor a(Shape{kDim, kDim});
   Tensor b(Shape{kDim, kDim});
@@ -209,23 +213,43 @@ bool verify_disabled_instrumentation_overhead() {
       CM_TRACE_SPAN("overhead.6", "bench");
       CM_TRACE_SPAN("overhead.7", "bench");
       CM_TRACE_SPAN("overhead.8", "bench");
+      // Counter-sampling bracket sites (the executor wraps every layer in
+      // one); with observability disabled each must cost a single relaxed
+      // load, and the gate holds them to the same <2% budget as the spans.
+      const obs::LayerCounterScope counters_1(1);
+      const obs::LayerCounterScope counters_2(2);
+      const obs::LayerCounterScope counters_3(3);
+      const obs::LayerCounterScope counters_4(4);
       workload();
     }
     return elapsed_seconds(t0);
   };
 
   bare_trial();  // warm-up: page in code and data
-  double bare = 1e300;
-  double instrumented = 1e300;
+  // Each trial pair runs back to back and is judged by its own ratio, and
+  // the *median* ratio decides: a scheduler burst or frequency shift on a
+  // busy host skews a few pairs (in either direction), not the majority,
+  // so the gate neither flakes on noise nor lets real overhead hide
+  // behind one slow bare trial (which a minimum would).
+  std::vector<double> ratios;
+  ratios.reserve(kTrials);
+  double bare_sum = 0.0;
+  double instrumented_sum = 0.0;
   for (int t = 0; t < kTrials; ++t) {
-    bare = std::min(bare, bare_trial());
-    instrumented = std::min(instrumented, instrumented_trial());
+    const double bare = bare_trial();
+    const double instrumented = instrumented_trial();
+    ratios.push_back(instrumented / bare);
+    bare_sum += bare;
+    instrumented_sum += instrumented;
   }
-  const double delta = instrumented / bare - 1.0;
+  std::nth_element(ratios.begin(), ratios.begin() + kTrials / 2,
+                   ratios.end());
+  const double delta = ratios[kTrials / 2] - 1.0;
   std::printf(
-      "disabled-instrumentation overhead: %+.3f%% (bare %.3f ms, "
-      "instrumented %.3f ms, limit +2%%)\n",
-      delta * 100.0, bare * 1e3, instrumented * 1e3);
+      "disabled-instrumentation overhead: %+.3f%% median of %d pairs "
+      "(mean bare %.3f ms, mean instrumented %.3f ms, limit +2%%)\n",
+      delta * 100.0, kTrials, bare_sum / kTrials * 1e3,
+      instrumented_sum / kTrials * 1e3);
   return delta < 0.02;
 }
 

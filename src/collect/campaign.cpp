@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <ostream>
 #include <thread>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "exec/thread_pool.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/perf_counters.hpp"
 #include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 
@@ -42,10 +44,49 @@ std::uint64_t point_seed(std::uint64_t sweep_seed, std::size_t index) {
   return z ^ (z >> 31);
 }
 
+/// Observability bracket around one measured campaign point, active only
+/// when CampaignOptions::profile is set AND obs::enabled(): a
+/// "campaign.point/<model>" span plus hardware counter deltas accumulated
+/// into the metrics registry. The perf group is per worker thread, opened
+/// once and reused across points.
+class PointProfileScope {
+ public:
+  PointProfileScope(bool profile, const std::string& model) {
+    if (!profile || !obs::enabled()) return;
+    span_.emplace("campaign.point/" + model, "collect");
+    group_ = &thread_group();
+    group_->reset_and_start();
+  }
+
+  ~PointProfileScope() {
+    if (group_ == nullptr) return;
+    const obs::CounterSample s = group_->stop_and_read();
+    if (!s.valid) return;
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("campaign.profile.cycles").add(s.cycles);
+    registry.counter("campaign.profile.instructions").add(s.instructions);
+    registry.counter("campaign.profile.llc_misses").add(s.llc_misses);
+  }
+
+  PointProfileScope(const PointProfileScope&) = delete;
+  PointProfileScope& operator=(const PointProfileScope&) = delete;
+
+ private:
+  static obs::PerfCounterGroup& thread_group() {
+    thread_local obs::PerfCounterGroup group;
+    return group;
+  }
+
+  std::optional<obs::TraceSpan> span_;
+  obs::PerfCounterGroup* group_ = nullptr;
+};
+
 /// Measures one point's repetitions into `out` (size `repetitions`).
 void run_point(MeasurementBackend& backend, const SweepPoint& point,
                std::uint64_t sweep_seed, std::size_t index, int repetitions,
+               const CampaignOptions& options,
                std::vector<RuntimeSample>& out) {
+  const PointProfileScope profile_scope(options.profile, point.base.model);
   Rng rng(point_seed(sweep_seed, index));
   out.reserve(static_cast<std::size_t>(repetitions));
   for (int rep = 0; rep < repetitions; ++rep) {
@@ -98,13 +139,14 @@ std::vector<RuntimeSample> run_points(MeasurementBackend& backend,
   std::vector<std::vector<RuntimeSample>> results(points.size());
   if (jobs <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      run_point(backend, points[i], seed, i, repetitions, results[i]);
+      run_point(backend, points[i], seed, i, repetitions, options, results[i]);
     }
   } else {
     ThreadPool pool(jobs);
     pool.parallel_for(points.size(), [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        run_point(backend, points[i], seed, i, repetitions, results[i]);
+        run_point(backend, points[i], seed, i, repetitions, options,
+                  results[i]);
       }
     });
   }

@@ -85,6 +85,11 @@ struct CampaignOptions {
   /// measuring anything; throws InvalidArgument on any error-severity
   /// finding so a defective graph fails fast instead of mid-sweep.
   bool verify = false;
+  /// Profile every measured point: a "campaign.point/<model>" trace span
+  /// plus hardware counter deltas (cycles, instructions, LLC) accumulated
+  /// into the metrics registry. Requires obs::enabled(); counters degrade
+  /// to no-ops where perf_event_open is unavailable.
+  bool profile = false;
 };
 
 /// Runs an inference campaign against `backend`'s device.

@@ -256,10 +256,9 @@ class Parser {
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
 
-namespace {
-
-void write_string(const std::string& s, std::string& out) {
-  out += '"';
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -280,6 +279,14 @@ void write_string(const std::string& s, std::string& out) {
         }
     }
   }
+  return out;
+}
+
+namespace {
+
+void write_string(const std::string& s, std::string& out) {
+  out += '"';
+  out += escape(s);
   out += '"';
 }
 

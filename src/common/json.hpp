@@ -53,6 +53,14 @@ class Value {
 /// Parses one JSON document; trailing non-whitespace is a ParseError.
 Value parse(std::string_view text);
 
+/// Escapes `s` for embedding inside a JSON string literal (no surrounding
+/// quotes): quotes, backslashes, and every control character below 0x20.
+/// Every hand-rolled JSON writer in the repo (Chrome traces, the metrics
+/// registry dump, diagnostics) must route strings through here — a graph
+/// node named with a `"` or an embedded newline must never produce an
+/// invalid document.
+std::string escape(std::string_view s);
+
 /// Serializes a value to compact JSON. Doubles are written with shortest
 /// round-trip precision, so parse(dump(v)) reproduces every number
 /// bit-identically — model files must reload to identical predictions.

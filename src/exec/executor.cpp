@@ -9,6 +9,7 @@
 #include "exec/kernels.hpp"
 #include "graph/shape_inference.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/counter_hook.hpp"
 #include "obs/trace.hpp"
 
 namespace convmeter {
@@ -83,6 +84,9 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
     if (obs::enabled()) {
       layer_span.emplace(op_kind_name(n.kind) + "/" + n.name, "layer");
     }
+    // Hardware counter bracket for the profiler; a single relaxed load
+    // when no CounterCollector is installed (the common case).
+    const obs::LayerCounterScope counter_scope(n.id);
     const auto start = Clock::now();
     Tensor out;
     switch (n.kind) {

@@ -1,0 +1,109 @@
+#include "obs/exposition.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace convmeter::obs {
+
+namespace {
+
+/// Shortest round-trip decimal form, the convention OpenMetrics recommends
+/// for float samples.
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  return std::string(buf.data(), res.ptr);
+}
+
+/// Tracks emitted family names so a collision after sanitization drops the
+/// later family instead of emitting a duplicate `# TYPE` line.
+class FamilyGuard {
+ public:
+  /// True when `family` (and its suffixed relatives) may be emitted.
+  bool claim(const std::string& family) {
+    return emitted_.insert(family).second;
+  }
+
+ private:
+  std::set<std::string> emitted_;
+};
+
+}  // namespace
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "convmeter_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string openmetrics_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  FamilyGuard families;
+
+  for (const std::string& name : registry.counter_names()) {
+    const Counter* c = registry.find_counter(name);
+    if (c == nullptr) continue;
+    const std::string family = openmetrics_name(name);
+    if (!families.claim(family)) continue;
+    os << "# TYPE " << family << " counter\n"
+       << family << "_total " << c->value() << '\n';
+  }
+
+  for (const std::string& name : registry.gauge_names()) {
+    const Gauge* g = registry.find_gauge(name);
+    if (g == nullptr) continue;
+    const std::string family = openmetrics_name(name);
+    if (!families.claim(family)) continue;
+    os << "# TYPE " << family << " gauge\n"
+       << family << ' ' << format_double(g->value()) << '\n';
+  }
+
+  for (const std::string& name : registry.histogram_names()) {
+    const Histogram* h = registry.find_histogram(name);
+    if (h == nullptr) continue;
+    const std::string family = openmetrics_name(name);
+    if (!families.claim(family)) continue;
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& bounds = h->bounds();
+    os << "# TYPE " << family << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      // Sparse emission keeps the page small: a bucket is printed when it
+      // changes the cumulative count, plus the mandatory +Inf terminator.
+      if (counts[i] == 0 && i + 1 < counts.size()) continue;
+      os << family << "_bucket{le=\""
+         << (i < bounds.size() ? format_double(bounds[i]) : "+Inf") << "\"} "
+         << cumulative << '\n';
+    }
+    os << family << "_sum " << format_double(h->sum()) << '\n'
+       << family << "_count " << h->count() << '\n';
+    // Interpolated quantiles as explicit gauges; "_p50" keeps them distinct
+    // from the reserved summary-type "quantile" label.
+    const std::array<std::pair<const char*, double>, 3> quantiles = {
+        {{"_p50", 50.0}, {"_p95", 95.0}, {"_p99", 99.0}}};
+    for (const auto& [suffix, p] : quantiles) {
+      const std::string qfamily = family + suffix;
+      if (!families.claim(qfamily)) continue;
+      os << "# TYPE " << qfamily << " gauge\n"
+         << qfamily << ' ' << format_double(h->percentile(p)) << '\n';
+    }
+  }
+
+  os << "# EOF\n";
+  return os.str();
+}
+
+}  // namespace convmeter::obs

@@ -1,0 +1,37 @@
+// OpenMetrics text exposition of the metrics registry.
+//
+// Renders every counter, gauge, and histogram in the registry as the
+// OpenMetrics text format (the Prometheus exposition format v1.0.0):
+// `# TYPE` declarations per metric family, `_total`-suffixed counter
+// samples, cumulative `_bucket{le="..."}` histogram series ending in
+// `+Inf`, `_sum`/`_count` samples, and a terminating `# EOF` line. The
+// registry's interpolated p50/p95/p99 additionally surface as explicit
+// gauge families (`<hist>_p50` ...) so scrape-side dashboards need no
+// bucket math to plot the latency SLOs from DESIGN §7.
+//
+// This is the wire format behind `convmeter stats --serve` (see
+// stats_server.hpp) — the first live slice of the ROADMAP item 1 daemon.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace convmeter::obs {
+
+/// Maps an arbitrary registry name onto the OpenMetrics name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, prefixing "convmeter_" and replacing every
+/// other character (dots included) with '_'.
+std::string openmetrics_name(const std::string& name);
+
+/// Full OpenMetrics text exposition of `registry`. Family names are
+/// sanitized through openmetrics_name(); when two registry names collapse
+/// onto one sanitized family, the first (in sorted registry order) wins and
+/// later ones are dropped rather than emitting a duplicate family.
+std::string openmetrics_text(const MetricsRegistry& registry);
+
+/// The HTTP Content-Type of openmetrics_text() payloads.
+inline constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+}  // namespace convmeter::obs

@@ -1,0 +1,354 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter::obs {
+
+namespace {
+
+// All recorder state is constant-initialized namespace-scope data: the
+// signal handler must never touch the heap, and arming must not race with
+// a crash on another thread.
+
+struct SpanSlot {
+  std::atomic<std::uint64_t> seq{0};  ///< 0 empty; 2g+1 writing; 2g+2 stable
+  char name[64];
+  char cat[16];
+  std::int64_t ts_us;
+  std::int64_t dur_us;
+  std::uint32_t tid;
+  std::uint32_t depth;
+};
+
+struct MetricSlot {
+  std::atomic<std::uint64_t> seq{0};
+  char name[96];
+  double value;
+};
+
+SpanSlot g_spans[FlightRecorder::kSpanSlots];
+std::atomic<std::uint64_t> g_span_cursor{0};  ///< next generation to write
+
+MetricSlot g_metrics[FlightRecorder::kMetricSlots];
+std::atomic<std::uint32_t> g_metric_count{0};
+
+char g_path[512] = {0};
+std::mutex g_arm_mutex;
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<int> g_dump_busy{0};  ///< re-entry guard (crash inside dump)
+
+/// Fixed-size copy with guaranteed NUL termination (normal context only).
+void copy_label(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; src[i] != '\0' && i + 1 < cap; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+// ===== SIGNAL-SAFE DUMP PATH BEGIN =====================================
+// Everything from here to the matching END marker runs inside fatal-signal
+// handlers. Only async-signal-safe operations are allowed: open/write/
+// close, strlen/memcpy, atomics, and stack buffers. No allocation, locks,
+// stdio, or std::string — tools/check_invariants.sh enforces this region
+// textually.
+
+struct Sink {
+  int fd;
+  char buf[4096];
+  std::size_t len;
+};
+
+void sink_flush(Sink& s) {
+  std::size_t off = 0;
+  while (off < s.len) {
+    const ssize_t n = ::write(s.fd, s.buf + off, s.len - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  s.len = 0;
+}
+
+void sink_bytes(Sink& s, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.len == sizeof s.buf) sink_flush(s);
+    s.buf[s.len++] = data[i];
+  }
+}
+
+void sink_cstr(Sink& s, const char* str) { sink_bytes(s, str, strlen(str)); }
+
+void sink_u64(Sink& s, std::uint64_t v) {
+  char digits[24];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) sink_bytes(s, &digits[--n], 1);
+}
+
+void sink_i64(Sink& s, std::int64_t v) {
+  if (v < 0) {
+    sink_cstr(s, "-");
+    sink_u64(s, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    sink_u64(s, static_cast<std::uint64_t>(v));
+  }
+}
+
+/// Best-effort fixed-point double: 6 fractional digits, "null" for
+/// non-finite values (JSON has no representation for them), integer clamp
+/// at 2^63-ish magnitudes — plenty for counter/gauge/percentile snapshots.
+void sink_double(Sink& s, double v) {
+  if (v != v || v > 9.2e18 || v < -9.2e18) {
+    sink_cstr(s, "null");
+    return;
+  }
+  if (v < 0) {
+    sink_cstr(s, "-");
+    v = -v;
+  }
+  const auto whole = static_cast<std::uint64_t>(v);
+  sink_u64(s, whole);
+  const auto frac =
+      static_cast<std::uint64_t>((v - static_cast<double>(whole)) * 1e6);
+  if (frac != 0) {
+    sink_cstr(s, ".");
+    std::uint64_t scale = 100000;
+    std::uint64_t rest = frac;
+    while (scale > 0) {
+      const char digit = static_cast<char>('0' + rest / scale);
+      sink_bytes(s, &digit, 1);
+      rest %= scale;
+      scale /= 10;
+      if (rest == 0) break;
+    }
+  }
+}
+
+/// JSON string-literal escaping: quotes, backslashes, and control bytes
+/// (as \u00XX) — the crash dump obeys the same rules as json::escape.
+void sink_escaped(Sink& s, const char* str) {
+  static const char* hex = "0123456789abcdef";
+  for (std::size_t i = 0; str[i] != '\0'; ++i) {
+    const auto c = static_cast<unsigned char>(str[i]);
+    if (c == '"') {
+      sink_cstr(s, "\\\"");
+    } else if (c == '\\') {
+      sink_cstr(s, "\\\\");
+    } else if (c < 0x20) {
+      char esc[6] = {'\\', 'u', '0', '0', hex[c >> 4], hex[c & 0xf]};
+      sink_bytes(s, esc, sizeof esc);
+    } else {
+      sink_bytes(s, str + i, 1);
+    }
+  }
+}
+
+/// Copies one span slot if its sequence proves the copy is stable.
+bool read_span_slot(std::uint64_t gen, SpanSlot& out) {
+  SpanSlot& slot = g_spans[gen % FlightRecorder::kSpanSlots];
+  const std::uint64_t expected = 2 * gen + 2;
+  if (slot.seq.load(std::memory_order_acquire) != expected) return false;
+  memcpy(out.name, slot.name, sizeof out.name);
+  memcpy(out.cat, slot.cat, sizeof out.cat);
+  out.ts_us = slot.ts_us;
+  out.dur_us = slot.dur_us;
+  out.tid = slot.tid;
+  out.depth = slot.depth;
+  return slot.seq.load(std::memory_order_acquire) == expected;
+}
+
+bool dump_to_fd(int fd, int signal_number) {
+  Sink s{fd, {}, 0};
+  sink_cstr(s, "{\"traceEvents\":[");
+  const std::uint64_t end = g_span_cursor.load(std::memory_order_acquire);
+  const std::uint64_t span_count =
+      end < FlightRecorder::kSpanSlots ? end : FlightRecorder::kSpanSlots;
+  bool first = true;
+  for (std::uint64_t gen = end - span_count; gen < end; ++gen) {
+    SpanSlot copy;
+    if (!read_span_slot(gen, copy)) continue;
+    copy.name[sizeof copy.name - 1] = '\0';
+    copy.cat[sizeof copy.cat - 1] = '\0';
+    if (!first) sink_cstr(s, ",");
+    first = false;
+    sink_cstr(s, "{\"name\":\"");
+    sink_escaped(s, copy.name);
+    sink_cstr(s, "\",\"cat\":\"");
+    sink_escaped(s, copy.cat);
+    sink_cstr(s, "\",\"ph\":\"X\",\"ts\":");
+    sink_i64(s, copy.ts_us);
+    sink_cstr(s, ",\"dur\":");
+    sink_i64(s, copy.dur_us);
+    sink_cstr(s, ",\"pid\":1,\"tid\":");
+    sink_u64(s, copy.tid);
+    sink_cstr(s, ",\"args\":{\"depth\":");
+    sink_u64(s, copy.depth);
+    sink_cstr(s, "}}");
+  }
+  sink_cstr(s, "],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+  sink_cstr(s, "\"tool\":\"convmeter-flight-recorder\",\"signal\":");
+  sink_i64(s, signal_number);
+  sink_cstr(s, ",\"spans_recorded\":");
+  sink_u64(s, end);
+  sink_cstr(s, ",\"metrics\":{");
+  const std::uint32_t metric_count =
+      g_metric_count.load(std::memory_order_acquire);
+  first = true;
+  for (std::uint32_t i = 0;
+       i < metric_count && i < FlightRecorder::kMetricSlots; ++i) {
+    MetricSlot& slot = g_metrics[i];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;
+    char name[sizeof slot.name];
+    memcpy(name, slot.name, sizeof name);
+    const double value = slot.value;
+    if (slot.seq.load(std::memory_order_acquire) != seq) continue;
+    name[sizeof name - 1] = '\0';
+    if (!first) sink_cstr(s, ",");
+    first = false;
+    sink_cstr(s, "\"");
+    sink_escaped(s, name);
+    sink_cstr(s, "\":");
+    sink_double(s, value);
+  }
+  sink_cstr(s, "}}}");
+  sink_flush(s);
+  return true;
+}
+
+void crash_handler(int sig) {
+  if (g_dump_busy.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    FlightRecorder::instance().dump(sig);
+    const char msg[] = "convmeter: fatal signal; flight record written to ";
+    ssize_t ignored = ::write(2, msg, sizeof msg - 1);
+    ignored = ::write(2, g_path, strlen(g_path));
+    ignored = ::write(2, "\n", 1);
+    (void)ignored;
+  }
+  // SA_RESETHAND restored the default disposition on entry; re-raising
+  // preserves the original crash semantics (core dump, exit status).
+  ::raise(sig);
+}
+
+// ===== SIGNAL-SAFE DUMP PATH END =======================================
+
+char g_alt_stack[64 * 1024];
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;  // trivially constructible: no heap, no
+  return recorder;                 // destruction order hazards
+}
+
+void FlightRecorder::arm(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(g_arm_mutex);
+  CM_CHECK(path.size() + 1 < sizeof g_path,
+           "flight recorder path is too long: " + path);
+  CM_CHECK(!path.empty(), "flight recorder path must not be empty");
+  copy_label(g_path, sizeof g_path, path.c_str());
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::note_span(const TraceEvent& event) {
+  if (!armed()) return;
+  const std::uint64_t gen =
+      g_span_cursor.fetch_add(1, std::memory_order_relaxed);
+  SpanSlot& slot = g_spans[gen % kSpanSlots];
+  slot.seq.store(2 * gen + 1, std::memory_order_release);
+  copy_label(slot.name, sizeof slot.name, event.name.c_str());
+  copy_label(slot.cat, sizeof slot.cat,
+             event.category != nullptr ? event.category : "");
+  slot.ts_us = event.ts_ns / 1000;
+  slot.dur_us = event.dur_ns / 1000;
+  slot.tid = event.tid;
+  slot.depth = event.depth;
+  slot.seq.store(2 * gen + 2, std::memory_order_release);
+}
+
+void FlightRecorder::refresh_metrics_snapshot() {
+  if (!armed()) return;
+  const MetricsRegistry& registry = MetricsRegistry::instance();
+  std::uint32_t i = 0;
+  const auto put = [&](const std::string& name, double value) {
+    if (i >= kMetricSlots) return;
+    MetricSlot& slot = g_metrics[i];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq | 1, std::memory_order_release);
+    copy_label(slot.name, sizeof slot.name, name.c_str());
+    slot.value = value;
+    slot.seq.store((seq | 1) + 1, std::memory_order_release);
+    ++i;
+  };
+  for (const std::string& name : registry.counter_names()) {
+    const Counter* c = registry.find_counter(name);
+    if (c != nullptr) put(name, static_cast<double>(c->value()));
+  }
+  for (const std::string& name : registry.gauge_names()) {
+    const Gauge* g = registry.find_gauge(name);
+    if (g != nullptr) put(name, g->value());
+  }
+  for (const std::string& name : registry.histogram_names()) {
+    const Histogram* h = registry.find_histogram(name);
+    if (h == nullptr || h->count() == 0) continue;
+    put(name + ".count", static_cast<double>(h->count()));
+    put(name + ".p50", h->percentile(50));
+    put(name + ".p95", h->percentile(95));
+    put(name + ".p99", h->percentile(99));
+  }
+  g_metric_count.store(i, std::memory_order_release);
+}
+
+bool FlightRecorder::dump(int signal_number) {
+  if (!armed()) return false;
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = dump_to_fd(fd, signal_number);
+  ::close(fd);
+  return ok;
+}
+
+void FlightRecorder::install_crash_handlers() {
+  CM_CHECK(armed(), "flight recorder must be armed before installing "
+                    "crash handlers");
+  if (g_handlers_installed.exchange(true)) return;
+
+  stack_t alt{};
+  alt.ss_sp = g_alt_stack;
+  alt.ss_size = sizeof g_alt_stack;
+  ::sigaltstack(&alt, nullptr);
+
+  struct sigaction action {};
+  action.sa_handler = crash_handler;
+  sigemptyset(&action.sa_mask);
+  // ONSTACK: survive stack-overflow SIGSEGV. RESETHAND: one shot, the
+  // re-raise in the handler gets default crash semantics.
+  action.sa_flags = SA_ONSTACK | SA_RESETHAND;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+void flight_recorder_note(const TraceEvent& event) {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  if (recorder.armed()) recorder.note_span(event);
+}
+
+void install_flight_recorder(const std::string& path) {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.arm(path);
+  recorder.refresh_metrics_snapshot();
+  recorder.install_crash_handlers();
+}
+
+}  // namespace convmeter::obs

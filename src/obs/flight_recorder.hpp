@@ -1,0 +1,90 @@
+// Crash flight recorder: a bounded process-wide ring of recent spans plus a
+// metrics snapshot, dumped as Chrome-trace JSON from a fatal-signal handler.
+//
+// Long campaigns die (OOM kills aside) with nothing but a core file; the
+// flight recorder preserves the last ~4k completed spans and the most
+// recent metrics snapshot so a postmortem can see *what the process was
+// doing* when it crashed. Design constraints, in order:
+//
+//   1. The dump path runs inside a SIGSEGV/SIGABRT handler, so it may only
+//      use async-signal-safe operations: open/write/close, atomics, and
+//      byte pushing into stack buffers. No allocation, no locks, no stdio,
+//      no std::string (tools/check_invariants.sh lints the marked region).
+//   2. Recording must stay off the hot path: spans are mirrored into the
+//      ring by Tracer::record only while the recorder is armed (one relaxed
+//      atomic load otherwise), and obs::enabled() already gates record().
+//   3. Readers tolerate torn writes: every slot carries a generation
+//      sequence; the handler skips slots whose sequence changes under it
+//      instead of blocking a writer that the signal interrupted.
+//
+// The metrics snapshot cannot be taken inside the handler (the registry is
+// mutex-protected), so refresh_metrics_snapshot() copies it into lock-free
+// slots at safe points — the CLI refreshes after every instrumented
+// workload, long campaigns after every point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace convmeter::obs {
+
+struct TraceEvent;
+
+/// Process-wide crash recorder. All methods are thread-safe; dump() and
+/// everything it calls are additionally async-signal-safe.
+class FlightRecorder {
+ public:
+  /// Spans retained; oldest entries are overwritten first.
+  static constexpr std::size_t kSpanSlots = 4096;
+  /// Metrics retained by the snapshot (alphabetically first N names).
+  static constexpr std::size_t kMetricSlots = 128;
+
+  static FlightRecorder& instance();
+
+  /// Arms the recorder: spans start mirroring into the ring and dump()
+  /// writes to `path`. Does not install signal handlers (see
+  /// install_crash_handlers). The path is captured by copy into a
+  /// fixed-size buffer; overlong paths are rejected with InvalidArgument.
+  void arm(const std::string& path);
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Mirrors one completed span into the ring (called by Tracer::record).
+  void note_span(const TraceEvent& event);
+
+  /// Copies the process-wide metrics registry (counters, gauges, histogram
+  /// count/p50/p95/p99) into the recorder's lock-free snapshot slots.
+  /// NOT async-signal-safe — call from normal code only.
+  void refresh_metrics_snapshot();
+
+  /// Writes the ring + metrics snapshot as Chrome-trace JSON to the armed
+  /// path. Async-signal-safe. `signal_number` > 0 is recorded in the
+  /// dump's metadata. Returns false when unarmed or the file cannot be
+  /// opened. Safe to call directly (tests, orderly shutdown), not just
+  /// from the handler.
+  bool dump(int signal_number = 0);
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers (on an alternate
+  /// stack, so stack-overflow SIGSEGVs still dump) that write the dump and
+  /// then re-raise with default disposition, preserving the crash exit
+  /// status. Requires arm() first. Idempotent.
+  void install_crash_handlers();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<bool> armed_{false};
+};
+
+/// Hook for Tracer::record: mirrors `event` iff the recorder is armed.
+/// One relaxed load when it is not.
+void flight_recorder_note(const TraceEvent& event);
+
+/// Convenience used by the CLI: arm + refresh + install handlers.
+void install_flight_recorder(const std::string& path);
+
+}  // namespace convmeter::obs

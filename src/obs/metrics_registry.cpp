@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 
 namespace convmeter::obs {
@@ -137,11 +138,31 @@ const Histogram* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
 std::vector<std::string> MetricsRegistry::counter_names() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) names.push_back(name);
   return names;
 }
 
@@ -203,21 +224,21 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":" << c->value();
+    os << '"' << json::escape(name) << "\":" << c->value();
   }
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":" << g->value();
+    os << '"' << json::escape(name) << "\":" << g->value();
   }
   os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":{\"count\":" << h->count()
+    os << '"' << json::escape(name) << "\":{\"count\":" << h->count()
        << ",\"sum\":" << h->sum();
     if (h->count() > 0) {
       os << ",\"min\":" << h->min() << ",\"max\":" << h->max()

@@ -103,10 +103,13 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = {});
 
-  /// Looks up a histogram without creating it.
+  /// Looks up a metric without creating it; nullptr when absent.
   const Histogram* find_histogram(const std::string& name) const;
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
 
   std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
   std::vector<std::string> histogram_names() const;
 
   /// Drops every registered metric (invalidates outstanding references).

@@ -1,0 +1,51 @@
+#include "obs/profile/counter_hook.hpp"
+
+#include <atomic>
+
+namespace convmeter::obs {
+
+namespace {
+
+std::atomic<CounterCollector*> g_collector{nullptr};
+
+}  // namespace
+
+CounterCollector::CounterCollector() = default;
+
+void CounterCollector::begin_layer() { group_.reset_and_start(); }
+
+void CounterCollector::end_layer(std::int32_t node_id) {
+  const CounterSample sample = group_.stop_and_read();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Accumulated& acc = per_node_[node_id];
+  if (acc.reps == 0) acc.total.valid = true;  // identity for +=
+  acc.total += sample;
+  ++acc.reps;
+}
+
+CounterSample CounterCollector::mean_sample(std::int32_t node_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = per_node_.find(node_id);
+  if (it == per_node_.end() || it->second.reps == 0 ||
+      !it->second.total.valid) {
+    return {};
+  }
+  const Accumulated& acc = it->second;
+  CounterSample mean;
+  mean.valid = true;
+  mean.cycles = acc.total.cycles / acc.reps;
+  mean.instructions = acc.total.instructions / acc.reps;
+  mean.llc_references = acc.total.llc_references / acc.reps;
+  mean.llc_misses = acc.total.llc_misses / acc.reps;
+  return mean;
+}
+
+void set_counter_collector(CounterCollector* collector) {
+  g_collector.store(collector, std::memory_order_release);
+}
+
+CounterCollector* counter_collector() {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+}  // namespace convmeter::obs

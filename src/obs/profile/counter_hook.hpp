@@ -1,0 +1,86 @@
+// Seam between the executor's per-layer loop and the profiler's hardware
+// counters.
+//
+// The executor cannot depend on the profiler (cm_exec links cm_obs, not the
+// other way around), so counting is inverted: ProfileSession installs a
+// CounterCollector via set_counter_collector(), and the executor brackets
+// every layer's kernel dispatch in a LayerCounterScope. The scope is a
+// no-op — one relaxed atomic load — unless observability is enabled AND a
+// collector is installed, which keeps it inside the <2% disabled-overhead
+// budget that bench/micro_kernels.cpp gates.
+//
+// Node ids are passed as plain int32 (the width of graph::NodeId) so this
+// header does not pull graph types into cm_obs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "obs/profile/perf_counters.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter::obs {
+
+/// Accumulates per-node counter samples across repetitions. Thread-safe;
+/// in practice the profiler runs the executor single-threaded so the
+/// calling thread's counters see all kernel work.
+class CounterCollector {
+ public:
+  CounterCollector();
+
+  /// True when the underlying perf group opened; false means every sample
+  /// will be invalid (the report renders "n/a").
+  bool supported() const { return group_.supported(); }
+  const std::string& why_unsupported() const {
+    return group_.why_unsupported();
+  }
+
+  void begin_layer();
+  void end_layer(std::int32_t node_id);
+
+  /// Mean sample for a node across all accumulated repetitions; invalid
+  /// when the node was never measured or any contribution was invalid.
+  CounterSample mean_sample(std::int32_t node_id) const;
+
+ private:
+  struct Accumulated {
+    CounterSample total;
+    std::uint64_t reps = 0;
+  };
+
+  PerfCounterGroup group_;
+  mutable std::mutex mutex_;
+  std::map<std::int32_t, Accumulated> per_node_;
+};
+
+/// Installs (or, with nullptr, removes) the process-wide collector. The
+/// caller keeps ownership and must outlive any executor run that observes
+/// it; ProfileSession scopes the installation around its measurement loop.
+void set_counter_collector(CounterCollector* collector);
+
+CounterCollector* counter_collector();
+
+/// RAII bracket the executor places around one layer's dispatch. Does
+/// nothing unless obs::enabled() and a collector is installed.
+class LayerCounterScope {
+ public:
+  explicit LayerCounterScope(std::int32_t node_id)
+      : collector_(enabled() ? counter_collector() : nullptr),
+        node_id_(node_id) {
+    if (collector_ != nullptr) collector_->begin_layer();
+  }
+
+  ~LayerCounterScope() {
+    if (collector_ != nullptr) collector_->end_layer(node_id_);
+  }
+
+  LayerCounterScope(const LayerCounterScope&) = delete;
+  LayerCounterScope& operator=(const LayerCounterScope&) = delete;
+
+ private:
+  CounterCollector* collector_;
+  std::int32_t node_id_;
+};
+
+}  // namespace convmeter::obs

@@ -1,0 +1,143 @@
+#include "obs/profile/perf_counters.hpp"
+
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define CM_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#else
+#define CM_HAVE_PERF_EVENT 0
+#endif
+
+namespace convmeter::obs {
+
+CounterSample& CounterSample::operator+=(const CounterSample& other) {
+  // Summing an invalid sample would silently under-count; the aggregate is
+  // only valid when every contribution was.
+  valid = valid && other.valid;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  llc_references += other.llc_references;
+  llc_misses += other.llc_misses;
+  return *this;
+}
+
+PerfFd::~PerfFd() {
+#if CM_HAVE_PERF_EVENT
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+PerfFd::PerfFd(PerfFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+PerfFd& PerfFd::operator=(PerfFd&& other) noexcept {
+  if (this != &other) {
+#if CM_HAVE_PERF_EVENT
+    if (fd_ >= 0) ::close(fd_);
+#endif
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+#if CM_HAVE_PERF_EVENT
+
+namespace {
+
+/// The one perf_event_open call site in the tree (RAII-wrapped; enforced
+/// by tools/check_invariants.sh).
+PerfFd open_event(std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // group toggled via the leader
+  attr.exclude_kernel = 1;               // works at perf_event_paranoid<=2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  const long fd =
+      ::syscall(SYS_perf_event_open, &attr, 0 /* this thread */,
+                -1 /* any cpu */, group_fd, 0UL);
+  return PerfFd(static_cast<int>(fd));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  leader_ = open_event(PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (!leader_.open()) {
+    why_unsupported_ = std::string("perf_event_open(cycles): ") +
+                       std::strerror(errno) +
+                       (errno == EACCES || errno == EPERM
+                            ? " (kernel.perf_event_paranoid too strict?)"
+                            : "");
+    return;
+  }
+  events_open_ = 1;
+  const std::uint64_t sibling_configs[3] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                            PERF_COUNT_HW_CACHE_REFERENCES,
+                                            PERF_COUNT_HW_CACHE_MISSES};
+  for (int i = 0; i < 3; ++i) {
+    siblings_[i] = open_event(sibling_configs[i], leader_.get());
+    if (!siblings_[i].open()) {
+      // Partial groups (e.g. no LLC events on this PMU) still count what
+      // they have; stop_and_read() zero-fills the missing tail.
+      break;
+    }
+    ++events_open_;
+  }
+  supported_ = true;
+}
+
+void PerfCounterGroup::reset_and_start() {
+  if (!supported_) return;
+  ::ioctl(leader_.get(), PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(leader_.get(), PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterSample PerfCounterGroup::stop_and_read() {
+  CounterSample sample;
+  if (!supported_) return sample;
+  ::ioctl(leader_.get(), PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+  std::uint64_t buf[1 + 4] = {0};
+  const ssize_t n = ::read(leader_.get(), buf, sizeof buf);
+  if (n < static_cast<ssize_t>(sizeof(std::uint64_t) * 2)) return sample;
+  const std::uint64_t nr = buf[0];
+  if (nr < 1 || nr > 4) return sample;
+  sample.valid = true;
+  sample.cycles = buf[1];
+  sample.instructions = nr > 1 ? buf[2] : 0;
+  sample.llc_references = nr > 2 ? buf[3] : 0;
+  sample.llc_misses = nr > 3 ? buf[4] : 0;
+  return sample;
+}
+
+bool PerfCounterGroup::available() {
+  static const bool available = [] {
+    PerfCounterGroup probe;
+    return probe.supported();
+  }();
+  return available;
+}
+
+#else  // !CM_HAVE_PERF_EVENT
+
+PerfCounterGroup::PerfCounterGroup()
+    : why_unsupported_("perf_event_open is not available on this platform") {}
+
+void PerfCounterGroup::reset_and_start() {}
+
+CounterSample PerfCounterGroup::stop_and_read() { return {}; }
+
+bool PerfCounterGroup::available() { return false; }
+
+#endif  // CM_HAVE_PERF_EVENT
+
+}  // namespace convmeter::obs

@@ -1,0 +1,92 @@
+// Hardware counter sampling via perf_event_open.
+//
+// One PerfCounterGroup opens a small event group — cycles (leader),
+// instructions, LLC references, LLC misses — pinned to the calling thread,
+// and reads all four atomically with a single PERF_FORMAT_GROUP read. The
+// profiler wraps each layer's kernel dispatch in reset_and_start() /
+// stop_and_read() to attribute counts per op; a valid sample lets the
+// attribution report show *measured* arithmetic intensity (instructions or
+// FLOPs per LLC-miss byte) next to the roofline simulator's assumption.
+//
+// Availability is probed, never assumed: containers routinely run with
+// perf_event_paranoid >= 2 or without the syscall entirely, and non-Linux
+// builds have no <linux/perf_event.h>. Every failure path degrades to
+// CounterSample{valid = false} — profiling still works, the counter
+// columns just read "n/a". The file descriptors live behind a
+// move-only RAII wrapper (PerfFd); tools/check_invariants.sh enforces that
+// perf_event_open appears nowhere else in the tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace convmeter::obs {
+
+/// One group read. `valid` is false when counters are unavailable or the
+/// read failed; consumers must check it before trusting any field.
+struct CounterSample {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+
+  CounterSample& operator+=(const CounterSample& other);
+};
+
+/// Owns one perf event file descriptor; closes it on destruction.
+class PerfFd {
+ public:
+  PerfFd() = default;
+  explicit PerfFd(int fd) : fd_(fd) {}
+  ~PerfFd();
+
+  PerfFd(PerfFd&& other) noexcept;
+  PerfFd& operator=(PerfFd&& other) noexcept;
+  PerfFd(const PerfFd&) = delete;
+  PerfFd& operator=(const PerfFd&) = delete;
+
+  int get() const { return fd_; }
+  bool open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A per-thread hardware counter group. Construction probes the kernel;
+/// supported() reports the outcome and why_unsupported() the reason (for
+/// the report header). All methods are cheap enough to call per layer.
+class PerfCounterGroup {
+ public:
+  /// Opens the group for the calling thread. Never throws on unavailable
+  /// counters — check supported().
+  PerfCounterGroup();
+  ~PerfCounterGroup() = default;
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool supported() const { return supported_; }
+  const std::string& why_unsupported() const { return why_unsupported_; }
+
+  /// Zeroes and enables the group. No-op when unsupported.
+  void reset_and_start();
+
+  /// Disables the group and returns the counts accumulated since the last
+  /// reset_and_start(). Sample is invalid when unsupported or the group
+  /// read failed (e.g. counter multiplexing starved an event).
+  CounterSample stop_and_read();
+
+  /// Process-wide probe: true when a counter group can be opened at all.
+  /// Cached after the first call.
+  static bool available();
+
+ private:
+  bool supported_ = false;
+  std::string why_unsupported_;
+  PerfFd leader_;      ///< cycles; group fd passed to the siblings
+  PerfFd siblings_[3]; ///< instructions, LLC references, LLC misses
+  int events_open_ = 0;
+};
+
+}  // namespace convmeter::obs

@@ -1,0 +1,395 @@
+#include "obs/profile/session.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/convmeter.hpp"
+#include "exec/executor.hpp"
+#include "metrics/metrics.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/profile/counter_hook.hpp"
+#include "obs/trace.hpp"
+#include "predict/predictors.hpp"
+#include "sim/cost_model.hpp"
+
+namespace convmeter::obs {
+
+namespace {
+
+/// Cache line size assumed when converting LLC misses to bytes fetched
+/// from memory — the basis of the measured arithmetic-intensity column.
+constexpr double kCacheLineBytes = 64.0;
+
+/// Shortest round-trip decimal form — the exact formatting json::dump uses
+/// for numbers, so the text table's residual column and the JSON report
+/// agree bit for bit.
+std::string format_shortest(double v) {
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  return std::string(buf.data(), res.ptr);
+}
+
+/// The fitted forward-shaped linear model inside `predictor`, when its
+/// family exposes one; nullptr for the opaque learned/analytical families.
+const LinearModel* forward_linear_model(const Predictor* predictor,
+                                        FeatureSet& fs_out) {
+  if (const auto* cm = dynamic_cast<const ConvMeterPredictor*>(predictor)) {
+    fs_out = cm->model().feature_set();
+    return &cm->model().forward_model();
+  }
+  if (const auto* pl = dynamic_cast<const PhaseLinearPredictor*>(predictor)) {
+    fs_out = pl->feature_set();
+    return &pl->model();
+  }
+  return nullptr;
+}
+
+/// Dissects the linear whole-net form into per-layer estimates:
+///
+///   T = c_F (b F1) + c_I (b I1) + c_O (b O1) + c4
+///     = sum_l [ c_F f_l + c_I i_l + c_O o_l ] + c4
+///
+/// because every batch-linear metric is itself a sum over layers, with the
+/// I/O terms contributed by convolution layers only (the same gating
+/// compute_metrics applies). The intercept c4 — launch and framework
+/// overhead the regression cannot see per layer — is spread uniformly.
+/// The estimates therefore sum exactly (to rounding) to the whole-net
+/// prediction at this operating point.
+std::vector<double> dissect_linear(const LinearModel& model, FeatureSet fs,
+                                   const Graph& graph,
+                                   const std::vector<LayerWork>& work) {
+  const Vector& c = model.coefficients();
+  const std::size_t expected = fs == FeatureSet::kCombined ? 4 : 2;
+  CM_CHECK(c.size() == expected,
+           "forward model has an unexpected coefficient count");
+  const double intercept = c[c.size() - 1];
+  const double per_node = intercept / static_cast<double>(work.size());
+
+  std::vector<double> predicted(work.size(), 0.0);
+  for (std::size_t l = 0; l < work.size(); ++l) {
+    const bool conv = graph.nodes()[l].kind == OpKind::kConv2d;
+    const double f = work[l].flops;
+    const double i = conv ? work[l].input_elems : 0.0;
+    const double o = conv ? work[l].output_elems : 0.0;
+    double t = per_node;
+    switch (fs) {
+      case FeatureSet::kCombined:
+        t += c[0] * f + c[1] * i + c[2] * o;
+        break;
+      case FeatureSet::kFlopsOnly:
+        t += c[0] * f;
+        break;
+      case FeatureSet::kInputsOnly:
+        t += c[0] * i;
+        break;
+      case FeatureSet::kOutputsOnly:
+        t += c[0] * o;
+        break;
+    }
+    predicted[l] = t;
+  }
+  return predicted;
+}
+
+json::Value counters_json(const CounterSample& s) {
+  if (!s.valid) return json::Value();  // null: nothing was measured
+  json::Value::Object obj;
+  obj.emplace("cycles", json::Value(static_cast<double>(s.cycles)));
+  obj.emplace("instructions",
+              json::Value(static_cast<double>(s.instructions)));
+  obj.emplace("llc_references",
+              json::Value(static_cast<double>(s.llc_references)));
+  obj.emplace("llc_misses", json::Value(static_cast<double>(s.llc_misses)));
+  return json::Value(std::move(obj));
+}
+
+}  // namespace
+
+ProfileReport profile_model(const std::string& model_name, const Graph& graph,
+                            const ProfileOptions& options,
+                            const Predictor* predictor) {
+  CM_CHECK(options.repetitions > 0, "profile needs at least one repetition");
+  CM_CHECK(options.batch > 0 && options.image > 0,
+           "profile needs a positive image size and batch");
+  set_enabled(true);
+
+  const DeviceSpec device = device_by_name(options.device);
+  const Shape shape = Shape::nchw(options.batch, graph.input_channels(),
+                                  options.image, options.image);
+  const std::vector<LayerWork> work = per_layer_work(graph, shape);
+
+  ProfileReport report;
+  report.model = model_name;
+  report.device = options.device;
+  report.image = options.image;
+  report.batch = options.batch;
+  report.repetitions = options.repetitions;
+  report.threads = options.threads;
+
+  // ---- measure: warmup + repetitions with counters around every layer --
+  CounterCollector collector;
+  if (options.counters) {
+    report.counters_supported = collector.supported();
+    report.counters_note = collector.why_unsupported();
+    set_counter_collector(&collector);
+  } else {
+    report.counters_note = "disabled by --counters 0";
+  }
+
+  Executor exec(options.threads);
+  CM_TRACE_SPAN("profile.session", "profile");
+  std::vector<double> measured(work.size(), 0.0);
+  double wall = 0.0;
+  try {
+    exec.run_random(graph, shape, 1);  // warmup: page in weights, caches
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      const ExecutionResult run = exec.run_random(graph, shape, 1);
+      CM_CHECK(run.layers.size() == work.size(),
+               "executor layer count does not match the graph");
+      for (std::size_t l = 0; l < run.layers.size(); ++l) {
+        measured[l] += run.layers[l].seconds;
+      }
+      wall += run.total_seconds;
+    }
+  } catch (...) {
+    set_counter_collector(nullptr);
+    throw;
+  }
+  set_counter_collector(nullptr);
+  const double reps = static_cast<double>(options.repetitions);
+  for (double& m : measured) m /= reps;
+  report.wall_seconds = wall / reps;
+
+  // ---- predict: per-layer estimates from the fitted model --------------
+  std::vector<double> predicted(work.size(), 0.0);
+  if (predictor == nullptr) {
+    report.attribution = "roofline-only";
+    for (std::size_t l = 0; l < work.size(); ++l) {
+      predicted[l] = kernel_time(device, work[l]);
+    }
+  } else {
+    CM_CHECK(predictor->fitted(),
+             "profile needs a fitted predictor (or none at all)");
+    report.predictor = predictor->name();
+    FeatureSet fs = FeatureSet::kCombined;
+    if (const LinearModel* linear = forward_linear_model(predictor, fs)) {
+      report.attribution = "linear-dissection";
+      predicted = dissect_linear(*linear, fs, graph, work);
+    } else {
+      // Opaque families predict one number; split it proportional to the
+      // roofline simulator's view of each kernel.
+      report.attribution = "roofline-split";
+      QueryPoint q;
+      q.metrics_b1 = compute_metrics_b1(graph, options.image);
+      q.per_device_batch = static_cast<double>(options.batch);
+      RuntimeSample sample = q.as_sample();
+      sample.model = model_name;
+      sample.device = options.device;
+      sample.image_size = options.image;
+      const double total = predictor->predict(sample);
+      double roofline_total = 0.0;
+      std::vector<double> roofline(work.size(), 0.0);
+      for (std::size_t l = 0; l < work.size(); ++l) {
+        roofline[l] = kernel_time(device, work[l]);
+        roofline_total += roofline[l];
+      }
+      for (std::size_t l = 0; l < work.size(); ++l) {
+        predicted[l] = roofline_total > 0.0
+                           ? total * roofline[l] / roofline_total
+                           : total / static_cast<double>(work.size());
+      }
+    }
+  }
+
+  // ---- join ------------------------------------------------------------
+  double layer_sum = 0.0;
+  for (const double m : measured) layer_sum += m;
+  report.layer_sum_seconds = layer_sum;
+  for (const double p : predicted) report.predicted_total_seconds += p;
+
+  report.layers.reserve(work.size());
+  std::map<std::string, OpFamilyRollup> families;
+  for (std::size_t l = 0; l < work.size(); ++l) {
+    const Node& n = graph.nodes()[l];
+    LayerAttribution row;
+    row.node = n.id;
+    row.family = op_kind_name(n.kind);
+    row.op = row.family + "/" + n.name;
+    row.measured_seconds = measured[l];
+    row.predicted_seconds = predicted[l];
+    row.residual_seconds = measured[l] - predicted[l];
+    row.wall_fraction = layer_sum > 0.0 ? measured[l] / layer_sum : 0.0;
+    row.flops = work[l].flops;
+    row.moved_bytes = 4.0 * (work[l].input_elems + work[l].output_elems +
+                             work[l].param_elems);
+    row.model_intensity =
+        row.moved_bytes > 0.0 ? row.flops / row.moved_bytes : 0.0;
+    row.counters = collector.mean_sample(n.id);
+    if (row.counters.valid && row.counters.llc_misses > 0) {
+      row.measured_intensity =
+          row.flops / (static_cast<double>(row.counters.llc_misses) *
+                       kCacheLineBytes);
+    }
+
+    OpFamilyRollup& fam = families[row.family];
+    fam.family = row.family;
+    fam.ops += 1;
+    fam.measured_seconds += row.measured_seconds;
+    fam.predicted_seconds += row.predicted_seconds;
+    fam.wall_fraction += row.wall_fraction;
+    report.layers.push_back(std::move(row));
+  }
+
+  // The ranking both renderers present: largest |residual| first, node id
+  // as the deterministic tiebreak.
+  std::sort(report.layers.begin(), report.layers.end(),
+            [](const LayerAttribution& a, const LayerAttribution& b) {
+              const double ra = std::fabs(a.residual_seconds);
+              const double rb = std::fabs(b.residual_seconds);
+              if (ra != rb) return ra > rb;
+              return a.node < b.node;
+            });
+  for (auto& [name, fam] : families) report.rollups.push_back(fam);
+  std::sort(report.rollups.begin(), report.rollups.end(),
+            [](const OpFamilyRollup& a, const OpFamilyRollup& b) {
+              if (a.measured_seconds != b.measured_seconds) {
+                return a.measured_seconds > b.measured_seconds;
+              }
+              return a.family < b.family;
+            });
+
+  // Keep the crash recorder's snapshot fresh: a profile run is exactly the
+  // kind of safe point its metrics mirror wants.
+  FlightRecorder::instance().refresh_metrics_snapshot();
+  return report;
+}
+
+std::string ProfileReport::render_text(std::size_t top) const {
+  std::ostringstream os;
+  os << "profile: " << model << " (image " << image << ", batch " << batch
+     << ", reps " << repetitions << ", threads " << threads << ", device "
+     << device << ")\n";
+  os << "attribution: " << attribution;
+  if (!predictor.empty()) os << " via predictor '" << predictor << "'";
+  os << '\n';
+  os << "wall time: " << format_seconds(wall_seconds) << "   layer sum: "
+     << format_seconds(layer_sum_seconds);
+  if (wall_seconds > 0.0) {
+    os << " (" << ConsoleTable::fmt(100.0 * layer_sum_seconds / wall_seconds, 1)
+       << "% of wall)";
+  }
+  os << '\n';
+  os << "predicted total: " << format_seconds(predicted_total_seconds)
+     << "   counters: ";
+  if (counters_supported) {
+    os << "hardware (cycles, instructions, LLC)";
+  } else {
+    os << "unavailable"
+       << (counters_note.empty() ? "" : " (" + counters_note + ")");
+  }
+  os << "\n\n";
+
+  ConsoleTable t({"#", "op", "measured", "predicted", "residual(s)", "%wall",
+                  "AI model", "AI meas"},
+                 {Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
+                  Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  const std::size_t limit =
+      top == 0 ? layers.size() : std::min(top, layers.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const LayerAttribution& row = layers[i];
+    t.add_row({std::to_string(i + 1), row.op,
+               format_seconds(row.measured_seconds),
+               format_seconds(row.predicted_seconds),
+               format_shortest(row.residual_seconds),
+               ConsoleTable::fmt(100.0 * row.wall_fraction, 1),
+               ConsoleTable::fmt(row.model_intensity, 2),
+               row.counters.valid && row.measured_intensity > 0.0
+                   ? ConsoleTable::fmt(row.measured_intensity, 2)
+                   : "n/a"});
+  }
+  t.print(os);
+  if (limit < layers.size()) {
+    os << "(" << layers.size() - limit << " more op(s); --top 0 shows all)\n";
+  }
+
+  os << "\nby op family:\n";
+  ConsoleTable f({"family", "ops", "measured", "predicted", "%wall"},
+                 {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                  Align::kRight});
+  for (const OpFamilyRollup& fam : rollups) {
+    f.add_row({fam.family, std::to_string(fam.ops),
+               format_seconds(fam.measured_seconds),
+               format_seconds(fam.predicted_seconds),
+               ConsoleTable::fmt(100.0 * fam.wall_fraction, 1)});
+  }
+  f.print(os);
+  return os.str();
+}
+
+std::string ProfileReport::render_json() const {
+  json::Value::Object doc;
+  doc.emplace("format", json::Value(std::string(kProfileFormatName)));
+  doc.emplace("version",
+              json::Value(static_cast<double>(kProfileFormatVersion)));
+  doc.emplace("model", json::Value(model));
+  doc.emplace("device", json::Value(device));
+  doc.emplace("image", json::Value(static_cast<double>(image)));
+  doc.emplace("batch", json::Value(static_cast<double>(batch)));
+  doc.emplace("repetitions", json::Value(static_cast<double>(repetitions)));
+  doc.emplace("threads", json::Value(static_cast<double>(threads)));
+  doc.emplace("predictor",
+              predictor.empty() ? json::Value() : json::Value(predictor));
+  doc.emplace("attribution", json::Value(attribution));
+  doc.emplace("wall_seconds", json::Value(wall_seconds));
+  doc.emplace("layer_sum_seconds", json::Value(layer_sum_seconds));
+  doc.emplace("predicted_total_seconds",
+              json::Value(predicted_total_seconds));
+  json::Value::Object counters;
+  counters.emplace("supported", json::Value(counters_supported));
+  counters.emplace("note", json::Value(counters_note));
+  doc.emplace("counters", json::Value(std::move(counters)));
+
+  json::Value::Array rows;
+  rows.reserve(layers.size());
+  for (const LayerAttribution& row : layers) {
+    json::Value::Object obj;
+    obj.emplace("node", json::Value(static_cast<double>(row.node)));
+    obj.emplace("op", json::Value(row.op));
+    obj.emplace("family", json::Value(row.family));
+    obj.emplace("measured_seconds", json::Value(row.measured_seconds));
+    obj.emplace("predicted_seconds", json::Value(row.predicted_seconds));
+    obj.emplace("residual_seconds", json::Value(row.residual_seconds));
+    obj.emplace("wall_fraction", json::Value(row.wall_fraction));
+    obj.emplace("flops", json::Value(row.flops));
+    obj.emplace("moved_bytes", json::Value(row.moved_bytes));
+    obj.emplace("model_intensity", json::Value(row.model_intensity));
+    obj.emplace("measured_intensity", json::Value(row.measured_intensity));
+    obj.emplace("counters", counters_json(row.counters));
+    rows.push_back(json::Value(std::move(obj)));
+  }
+  doc.emplace("layers", json::Value(std::move(rows)));
+
+  json::Value::Array fams;
+  fams.reserve(rollups.size());
+  for (const OpFamilyRollup& fam : rollups) {
+    json::Value::Object obj;
+    obj.emplace("family", json::Value(fam.family));
+    obj.emplace("ops", json::Value(static_cast<double>(fam.ops)));
+    obj.emplace("measured_seconds", json::Value(fam.measured_seconds));
+    obj.emplace("predicted_seconds", json::Value(fam.predicted_seconds));
+    obj.emplace("wall_fraction", json::Value(fam.wall_fraction));
+    fams.push_back(json::Value(std::move(obj)));
+  }
+  doc.emplace("families", json::Value(std::move(fams)));
+  return json::dump(json::Value(std::move(doc)));
+}
+
+}  // namespace convmeter::obs

@@ -1,0 +1,133 @@
+// Attribution profiler: per-layer measured-vs-predicted drill-down.
+//
+// ProfileSession runs a graph through the real CPU executor with
+// observability enabled and joins three views of every layer:
+//
+//   measured   mean wall time of the layer's kernel dispatch across
+//              repetitions (the executor's LayerTiming),
+//   predicted  the layer's share of the fitted predictor's whole-net
+//              estimate (see below),
+//   counters   mean hardware counter deltas (cycles, instructions, LLC
+//              traffic) sampled around the dispatch via perf_event_open,
+//              "n/a" wherever the kernel denies counters.
+//
+// The per-layer predicted column depends on the predictor family:
+//
+//   linear-dissection  ConvMeter's linear form T = c_F bF1 + c_I bI1 +
+//                      c_O bO1 + c4 decomposes exactly: layer l
+//                      contributes c_F f_l + c_I i_l + c_O o_l + c4/n
+//                      (I/O terms for conv layers only, mirroring
+//                      compute_metrics). The per-layer estimates sum to
+//                      the whole-net prediction to rounding error — the
+//                      profiler turns the paper's whole-net regression
+//                      into a per-layer lens without refitting anything.
+//   roofline-split     learned families (mlp, dippm) predict one opaque
+//                      number; it is split across layers proportional to
+//                      the roofline simulator's kernel_time.
+//   roofline-only      no predictor given: the roofline kernel times are
+//                      the estimate.
+//
+// Ranked residuals (|measured - predicted|, descending) are the report's
+// spine: the top rows are where the model misunderstands the workload.
+// render_text and render_json are projections of the same sorted rows, so
+// the ranking — and the residual values, both formatted with shortest
+// round-trip precision — match bit for bit between the two.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/profile/perf_counters.hpp"
+#include "predict/predictor.hpp"
+#include "sim/device.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter::obs {
+
+/// Knobs of one profiling run.
+struct ProfileOptions {
+  std::int64_t image = 224;
+  std::int64_t batch = 1;
+  /// Executor threads. 1 (the default) runs every kernel inline on the
+  /// calling thread, which is what makes per-layer counter attribution
+  /// exact; more threads trade attribution for realism.
+  std::size_t threads = 1;
+  int repetitions = 3;
+  /// Device sheet for the roofline columns (arithmetic-intensity ridge,
+  /// roofline split/estimate).
+  std::string device = "xeon_5318y";
+  /// Sample hardware counters around every layer (auto-degrades when the
+  /// kernel denies perf_event_open).
+  bool counters = true;
+};
+
+/// One layer's joined measured/predicted/counter row.
+struct LayerAttribution {
+  NodeId node = -1;
+  std::string op;             ///< "conv2d/layer1.0.conv1" (span name)
+  std::string family;         ///< op kind name ("conv2d", "linear", ...)
+  double measured_seconds = 0.0;
+  double predicted_seconds = 0.0;
+  double residual_seconds = 0.0;   ///< measured - predicted
+  double wall_fraction = 0.0;      ///< measured / sum(measured)
+  double flops = 0.0;
+  double moved_bytes = 0.0;        ///< roofline traffic: 4(in + out + params)
+  /// FLOPs per byte the roofline model assumes this layer moves.
+  double model_intensity = 0.0;
+  /// FLOPs per byte actually fetched past LLC (64 B per miss); 0 when
+  /// counters are unavailable or no miss was recorded.
+  double measured_intensity = 0.0;
+  CounterSample counters;          ///< mean over repetitions
+};
+
+/// Per-op-family rollup of the attribution rows.
+struct OpFamilyRollup {
+  std::string family;
+  std::size_t ops = 0;
+  double measured_seconds = 0.0;
+  double predicted_seconds = 0.0;
+  double wall_fraction = 0.0;
+};
+
+/// The joined report. `layers` is sorted by |residual| descending (the
+/// ranking both renderers show); `rollups` by measured time descending.
+struct ProfileReport {
+  std::string model;
+  std::string device;
+  std::int64_t image = 0;
+  std::int64_t batch = 0;
+  int repetitions = 0;
+  std::size_t threads = 1;
+  std::string predictor;     ///< registry name, "" when profiling bare
+  std::string attribution;   ///< "linear-dissection" | "roofline-split" |
+                             ///< "roofline-only"
+  double wall_seconds = 0.0;        ///< mean executor total
+  double layer_sum_seconds = 0.0;   ///< sum of per-layer measured means
+  double predicted_total_seconds = 0.0;
+  bool counters_supported = false;
+  std::string counters_note;        ///< why unsupported, "" otherwise
+  std::vector<LayerAttribution> layers;
+  std::vector<OpFamilyRollup> rollups;
+
+  /// Human-readable report in the style of the diagnostics engine.
+  std::string render_text(std::size_t top = 0) const;
+
+  /// Machine-readable twin:
+  ///   { "format": "convmeter-profile", "version": 1, ... }
+  std::string render_json() const;
+};
+
+/// Report JSON schema tags (shared with tests).
+inline constexpr const char* kProfileFormatName = "convmeter-profile";
+inline constexpr int kProfileFormatVersion = 1;
+
+/// Runs `graph` under the profiler and joins the three views.
+/// `predictor` may be null (roofline-only attribution) and must be fitted
+/// otherwise; observability is force-enabled for the duration.
+ProfileReport profile_model(const std::string& model_name, const Graph& graph,
+                            const ProfileOptions& options,
+                            const Predictor* predictor);
+
+}  // namespace convmeter::obs

@@ -1,0 +1,137 @@
+#include "obs/stats_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/exposition.hpp"
+
+namespace convmeter::obs {
+
+namespace {
+
+/// Reads until the end of the request headers (or 8 KiB, whichever comes
+/// first) and returns the request line's path, or "" on a malformed read.
+std::string read_request_path(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  // "GET /path HTTP/1.1" — take the second token.
+  const std::size_t sp1 = request.find(' ');
+  if (sp1 == std::string::npos) return "";
+  const std::size_t sp2 = request.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return "";
+  return request.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  return head + body;
+}
+
+}  // namespace
+
+StatsServer::StatsServer(const MetricsRegistry& registry,
+                         StatsServerOptions options)
+    : registry_(registry), options_(options) {}
+
+StatsServer::~StatsServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void StatsServer::bind() {
+  CM_CHECK(listen_fd_ < 0, "stats server is already bound");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CM_CHECK(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  listen_fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  CM_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0,
+           "bind(127.0.0.1:" + std::to_string(options_.port) +
+               "): " + std::strerror(errno));
+  CM_CHECK(::listen(fd, 16) == 0,
+           std::string("listen(): ") + std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  CM_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+           std::string("getsockname(): ") + std::strerror(errno));
+  bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+long StatsServer::serve() {
+  CM_CHECK(listen_fd_ >= 0, "stats server must bind() before serve()");
+  long served = 0;
+  while (options_.max_requests < 0 || served < options_.max_requests) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const std::string path = read_request_path(conn);
+    if (path == "/metrics" || path == "/stats" || path == "/") {
+      write_all(conn, http_response("200 OK", kOpenMetricsContentType,
+                                    openmetrics_text(registry_)));
+    } else if (path == "/stats.json") {
+      write_all(conn, http_response("200 OK", "application/json",
+                                    registry_.to_json() + "\n"));
+    } else if (path == "/healthz") {
+      write_all(conn, http_response("200 OK", "text/plain", "ok\n"));
+    } else {
+      write_all(conn, http_response("404 Not Found", "text/plain",
+                                    "not found\n"));
+    }
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+    ++served;
+  }
+  return served;
+}
+
+long serve_stats(const MetricsRegistry& registry,
+                 const StatsServerOptions& options, std::ostream& log) {
+  StatsServer server(registry, options);
+  server.bind();
+  log << "serving metrics on http://127.0.0.1:" << server.port()
+      << " (endpoints: /metrics /stats /stats.json /healthz";
+  if (options.max_requests >= 0) {
+    log << "; exits after " << options.max_requests << " request(s)";
+  }
+  log << ")\n" << std::flush;
+  return server.serve();
+}
+
+}  // namespace convmeter::obs

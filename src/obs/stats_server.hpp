@@ -1,0 +1,69 @@
+// Minimal blocking HTTP listener serving the metrics registry.
+//
+// The first wired slice of the ROADMAP item 1 daemon: `convmeter stats
+// --serve <port>` binds a loopback TCP socket and answers
+//
+//   GET /metrics     OpenMetrics text exposition (exposition.hpp)
+//   GET /stats       alias of /metrics
+//   GET /stats.json  the registry's JSON dump (MetricsRegistry::to_json)
+//   GET /healthz     "ok"
+//
+// one connection at a time on the calling thread. Single-threaded and
+// blocking is deliberate at this stage: a scrape is a read-mostly snapshot
+// of lock-protected metrics, and Prometheus polls at multi-second periods —
+// the event-loop daemon of ROADMAP item 1 will subsume this entry point,
+// not grow it concurrent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace convmeter::obs {
+
+/// Knobs of one serve_stats() call.
+struct StatsServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 lets the kernel pick an ephemeral
+  /// port (readable via StatsServer::port() after bind()).
+  int port = 9464;
+  /// Stop after this many served connections; < 0 serves until the process
+  /// is killed. Tests and one-shot scrapes set 1.
+  long max_requests = -1;
+};
+
+/// A bound listening socket plus its serve loop, split so callers (and
+/// tests) can learn the bound port before blocking in serve().
+class StatsServer {
+ public:
+  explicit StatsServer(const MetricsRegistry& registry,
+                       StatsServerOptions options = {});
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1; throws Error when the socket cannot
+  /// be created, bound, or listened on.
+  void bind();
+
+  /// The bound port; valid after bind() (resolves port 0 requests).
+  int port() const { return bound_port_; }
+
+  /// Accept loop: serves connections until max_requests is exhausted.
+  /// Returns the number of connections served.
+  long serve();
+
+ private:
+  const MetricsRegistry& registry_;
+  StatsServerOptions options_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+};
+
+/// Convenience: bind + log one line to `log` + serve.
+long serve_stats(const MetricsRegistry& registry,
+                 const StatsServerOptions& options, std::ostream& log);
+
+}  // namespace convmeter::obs

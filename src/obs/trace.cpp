@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace convmeter::obs {
 
@@ -31,30 +33,6 @@ std::atomic<bool> g_enabled{false};
   }
   return true;
 }();
-
-/// Escapes a string for embedding in a JSON string literal.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 thread_local std::uint32_t tl_depth = 0;
 
@@ -115,6 +93,7 @@ void Tracer::record(TraceEvent event) {
   ThreadBuffer& buf = local_buffer();
   const std::lock_guard<std::mutex> lock(buf.mutex);
   event.tid = buf.tid;
+  flight_recorder_note(event);
   if (buf.ring.size() < kRingCapacity) {
     buf.ring.push_back(std::move(event));
   } else {
@@ -169,8 +148,8 @@ std::string Tracer::chrome_trace_json() const {
   for (const TraceEvent& e : events) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << json_escape(e.name) << "\","
-       << "\"cat\":\"" << json_escape(e.category) << "\","
+    os << "{\"name\":\"" << json::escape(e.name) << "\","
+       << "\"cat\":\"" << json::escape(e.category) << "\","
        << "\"ph\":\"X\","
        << "\"ts\":" << static_cast<double>(e.ts_ns) / 1e3 << ","
        << "\"dur\":" << static_cast<double>(e.dur_ns) / 1e3 << ","

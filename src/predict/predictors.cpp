@@ -49,6 +49,11 @@ void PhaseLinearPredictor::do_fit(const std::vector<RuntimeSample>& samples) {
   model_ = LinearModel::fit(d.x, d.y);
 }
 
+const LinearModel& PhaseLinearPredictor::model() const {
+  CM_CHECK(model_.has_value(), "phase predictor has no fitted model");
+  return *model_;
+}
+
 double PhaseLinearPredictor::do_predict(const RuntimeSample& sample) const {
   CM_CHECK(model_.has_value(), "phase predictor has no fitted model");
   return model_->predict(phase_features(sample, phase_, fs_, multi_node_));

@@ -50,6 +50,10 @@ class PhaseLinearPredictor : public Predictor {
   Phase target() const override { return phase_; }
   FeatureSet feature_set() const { return fs_; }
 
+  /// The fitted linear form (the profiler dissects its coefficients into
+  /// per-layer estimates); requires a fitted or loaded model.
+  const LinearModel& model() const;
+
  protected:
   void do_fit(const std::vector<RuntimeSample>& samples) override;
   double do_predict(const RuntimeSample& sample) const override;

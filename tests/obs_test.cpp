@@ -1,9 +1,12 @@
 // Tests for the observability subsystem: span tracer (nesting,
 // multi-threaded recording, Chrome trace export), metrics registry
-// (counters, histogram percentile math), and prediction-residual telemetry
-// wired through the real executor + roofline cost model.
+// (counters, histogram percentile math), adversarial-name JSON escaping,
+// OpenMetrics exposition conformance, snapshot consistency under
+// concurrent writers (run under TSan in CI), and prediction-residual
+// telemetry wired through the real executor + roofline cost model.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -12,6 +15,7 @@
 #include "exec/thread_pool.hpp"
 #include "exec/trainer.hpp"
 #include "models/zoo.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/residuals.hpp"
 #include "obs/trace.hpp"
@@ -210,6 +214,137 @@ TEST_F(ObsTest, ChromeTraceOfExecutorAndTrainerIsValid) {
   // fwd/bwd phases nest inside the training step.
   EXPECT_GT(fwd_depth, step_depth);
   EXPECT_GE(step_depth, 0.0);
+}
+
+/// Span and metric names are user-controlled (model names flow into span
+/// labels), so both JSON exports must survive quotes, backslashes, and
+/// control characters — the exact bytes come back out of a strict parse.
+TEST_F(ObsTest, AdversarialNamesSurviveJsonExport) {
+  const std::string evil =
+      "quote\" backslash\\ newline\n tab\t bell\x07 del\x7f";
+  {
+    obs::TraceSpan span(evil, "cat\"egory\\\n");
+  }
+  const json::Value trace =
+      json::parse(obs::Tracer::instance().chrome_trace_json());
+  const auto& events = trace.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), evil);
+  EXPECT_EQ(events[0].at("cat").as_string(), "cat\"egory\\\n");
+
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter(evil).add(5);
+  registry.histogram(evil + ".hist").observe(0.25);
+  const json::Value doc = json::parse(registry.to_json());
+  EXPECT_EQ(doc.at("counters").at(evil).as_number(), 5.0);
+  EXPECT_EQ(doc.at("histograms").at(evil + ".hist").at("count").as_number(),
+            1.0);
+}
+
+TEST_F(ObsTest, OpenMetricsNameSanitization) {
+  EXPECT_EQ(obs::openmetrics_name("executor.run_seconds"),
+            "convmeter_executor_run_seconds");
+  EXPECT_EQ(obs::openmetrics_name("weird name/with:stuff"),
+            "convmeter_weird_name_with:stuff");
+}
+
+/// OpenMetrics conformance of the exposition: one `# TYPE` per family,
+/// `_total` counters, cumulative buckets ending in `+Inf`, explicit
+/// percentile gauges, and a terminating `# EOF`.
+TEST_F(ObsTest, OpenMetricsExpositionConformance) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("om.requests").add(7);
+  registry.gauge("om.temperature").set(21.5);
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("om.latency_seconds").observe(i * 1e-3);
+  }
+
+  const std::string text = obs::openmetrics_text(registry);
+  EXPECT_NE(text.find("# TYPE convmeter_om_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("convmeter_om_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE convmeter_om_temperature gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE convmeter_om_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("convmeter_om_latency_seconds_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("convmeter_om_latency_seconds_count 100"),
+            std::string::npos);
+  for (const char* pct : {"_p50", "_p95", "_p99"}) {
+    EXPECT_NE(text.find(std::string("convmeter_om_latency_seconds") + pct),
+              std::string::npos)
+        << pct;
+  }
+
+  // # EOF terminates the exposition and appears exactly once, at the end.
+  const std::size_t eof = text.rfind("# EOF\n");
+  ASSERT_NE(eof, std::string::npos);
+  EXPECT_EQ(eof + 6, text.size());
+  EXPECT_EQ(text.find("# EOF"), eof);
+
+  // No family is declared twice.
+  std::set<std::string> families;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+    const std::size_t name_begin = pos + 7;
+    const std::size_t name_end = text.find(' ', name_begin);
+    const std::string family = text.substr(name_begin, name_end - name_begin);
+    EXPECT_TRUE(families.insert(family).second)
+        << "duplicate family " << family;
+    pos = name_end;
+  }
+}
+
+/// Snapshot consistency under concurrent writers: counters read from
+/// interleaved snapshots are monotonic, quantiles stay inside the observed
+/// value range, and the final totals are exact. CI runs this under TSan.
+TEST_F(ObsTest, SnapshotsStayConsistentUnderConcurrentWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kAddsPerWriter = 2000;
+  auto& registry = obs::MetricsRegistry::instance();
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      for (int i = 0; i < kAddsPerWriter; ++i) {
+        registry.counter("tsan.adds").add();
+        registry.histogram("tsan.values").observe(1.0 + (w + i) % 10);
+      }
+    });
+  }
+
+  // Reader: interleaved full snapshots through both exporters while the
+  // writers hammer the registry.
+  std::uint64_t last_count = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const json::Value doc = json::parse(registry.to_json());
+    const auto& counters = doc.at("counters").as_object();
+    const auto it = counters.find("tsan.adds");
+    if (it != counters.end()) {
+      const auto count = static_cast<std::uint64_t>(it->second.as_number());
+      EXPECT_GE(count, last_count) << "counter went backwards";
+      last_count = count;
+    }
+    const std::string om = obs::openmetrics_text(registry);
+    EXPECT_NE(om.find("# EOF"), std::string::npos);
+    if (last_count ==
+        static_cast<std::uint64_t>(kWriters) * kAddsPerWriter) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(registry.counter("tsan.adds").value(),
+            static_cast<std::uint64_t>(kWriters) * kAddsPerWriter);
+  const obs::Histogram& h = registry.histogram("tsan.values");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kWriters) * kAddsPerWriter);
+  EXPECT_GE(h.percentile(50), h.min());
+  EXPECT_LE(h.percentile(99), h.max());
+  EXPECT_LE(h.percentile(50), h.percentile(95));
+  EXPECT_LE(h.percentile(95), h.percentile(99));
 }
 
 TEST_F(ObsTest, RelativeError) {

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Kernel throughput regression gate. Compares a freshly measured
+# BENCH_kernels.json against the committed baseline at the repo root and
+# fails if any tracked metric (packed-GEMM GFLOP/s single-thread and pool,
+# resnet18 forward images/sec) regresses by more than the tolerance.
+#
+# Usage: check_bench_regression.sh <fresh.json> [baseline.json] [tolerance]
+#
+# The tolerance (default 0.10 = 10%) is one-sided: improvements never fail,
+# and the committed baseline is only updated deliberately, so the gate
+# compares against the best recorded run rather than drifting with noise.
+set -u
+
+fresh="${1:-BENCH_kernels.json}"
+baseline="${2:-$(dirname "$0")/../BENCH_kernels.json}"
+tolerance="${3:-0.10}"
+
+if [ ! -f "$fresh" ]; then
+  echo "check_bench_regression: fresh report '$fresh' not found" >&2
+  exit 1
+fi
+if [ ! -f "$baseline" ]; then
+  echo "check_bench_regression: baseline '$baseline' not found" >&2
+  exit 1
+fi
+
+python3 - "$fresh" "$baseline" "$tolerance" <<'PY'
+import json
+import sys
+
+fresh_path, baseline_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+fresh = json.load(open(fresh_path))
+baseline = json.load(open(baseline_path))
+
+METRICS = [
+    ("gemm_512", "single_thread_gflops"),
+    ("gemm_512", "pool_gflops"),
+    ("conv_forward", "images_per_sec"),
+]
+
+failed = False
+for section, key in METRICS:
+    try:
+        base = float(baseline[section][key])
+        now = float(fresh[section][key])
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"check_bench_regression: missing/invalid {section}.{key}: {exc}",
+              file=sys.stderr)
+        failed = True
+        continue
+    floor = base * (1.0 - tolerance)
+    delta = (now - base) / base if base else 0.0
+    status = "OK" if now >= floor else "REGRESSION"
+    if now < floor:
+        failed = True
+    print(f"  {section}.{key}: baseline {base:.2f}, fresh {now:.2f} "
+          f"({delta:+.1%}, floor {floor:.2f}) {status}")
+
+if failed:
+    print(f"check_bench_regression: FAILED (>{tolerance:.0%} regression)",
+          file=sys.stderr)
+    sys.exit(1)
+print("check_bench_regression: OK")
+PY

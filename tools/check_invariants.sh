@@ -10,6 +10,12 @@
 #   3. Metrics/residual telemetry is guarded: any obs::MetricsRegistry /
 #      obs::record_prediction_residual call outside src/obs/ sits within a
 #      few lines of an obs::enabled() check, so disabled builds pay nothing.
+#   4. The flight recorder's crash-dump path (between the SIGNAL-SAFE DUMP
+#      PATH markers in src/obs/flight_recorder.cpp) stays async-signal-safe:
+#      no allocation, stdio, locks, exceptions, or std containers.
+#   5. perf_event_open has exactly one call site — the RAII-wrapped
+#      open_event() in src/obs/profile/perf_counters.cpp — so every counter
+#      fd is owned by a PerfFd and closed on scope exit.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -63,6 +69,48 @@ while IFS=: read -r file line _; do
   fi
 done < <(grep -rnE 'obs::MetricsRegistry::instance\(\)|obs::record_prediction_residual\(' \
          src --include='*.cpp' --include='*.hpp')
+
+# --- 4. flight-recorder dump path stays async-signal-safe -----------------
+# Extract the marked region and reject tokens that allocate, buffer, lock,
+# or throw. The markers themselves are load-bearing: if either disappears,
+# the extraction is empty/unbounded and we flag that too.
+fr=src/obs/flight_recorder.cpp
+if [ -f "$fr" ]; then
+  begin_count=$(grep -c 'SIGNAL-SAFE DUMP PATH BEGIN' "$fr")
+  end_count=$(grep -c 'SIGNAL-SAFE DUMP PATH END' "$fr")
+  if [ "$begin_count" -ne 1 ] || [ "$end_count" -ne 1 ]; then
+    note "$fr: expected exactly one SIGNAL-SAFE DUMP PATH BEGIN/END marker pair"
+  else
+    region=$(sed -n '/SIGNAL-SAFE DUMP PATH BEGIN/,/SIGNAL-SAFE DUMP PATH END/p' "$fr")
+    # Strip // comment tails so prose mentioning forbidden names is fine.
+    code=$(echo "$region" | sed 's,//.*$,,')
+    unsafe='malloc|calloc|realloc|free\(|fopen|fprintf|printf|snprintf|sprintf|fwrite|fputs|puts\(|std::string|std::vector|std::map|std::mutex|lock_guard|unique_lock|throw |iostream|std::cout|std::cerr|localtime|gmtime|strftime|getenv'
+    if echo "$code" | grep -nE "$unsafe" >/dev/null; then
+      echo "$code" | grep -nE "$unsafe" | while IFS= read -r hit; do
+        note "$fr (signal-safe dump path): forbidden call: $hit"
+      done
+      fail=1
+    fi
+  fi
+else
+  note "$fr missing (flight recorder removed without updating lints?)"
+fi
+
+# --- 5. perf_event_open only via the RAII wrapper -------------------------
+# All counter fds must be owned by PerfFd; one syscall site keeps that
+# auditable. Comments are stripped, so doc references elsewhere are fine.
+while IFS=: read -r file line text; do
+  code="${text%%//*}"
+  echo "$code" | grep -q 'perf_event_open' || continue
+  if [ "$file" != "src/obs/profile/perf_counters.cpp" ]; then
+    note "$file:$line: perf_event_open outside the PerfFd wrapper in perf_counters.cpp"
+  fi
+done < <(grep -rn 'perf_event_open' src tools bench tests \
+         --include='*.cpp' --include='*.hpp' 2>/dev/null)
+sites=$(grep -c 'SYS_perf_event_open' src/obs/profile/perf_counters.cpp 2>/dev/null || echo 0)
+if [ "$sites" -ne 1 ]; then
+  note "expected exactly one SYS_perf_event_open call site in perf_counters.cpp, found $sites"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_invariants: FAILED" >&2

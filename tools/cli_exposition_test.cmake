@@ -1,0 +1,50 @@
+# Serve-and-scrape test of `convmeter stats --serve`: run an instrumented
+# workload, serve exactly one request on ${PORT}, scrape /metrics with
+# file(DOWNLOAD), and check OpenMetrics conformance — TYPE declarations,
+# the executor latency histogram with its p50/p95/p99 gauges, cumulative
+# buckets ending in +Inf, and the terminating # EOF line.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# Background the server through sh (cmake cannot detach a process itself);
+# --max-requests 1 makes it exit right after the scrape below.
+execute_process(
+  COMMAND sh -c "${CONVMETER} stats --model squeezenet1_1 --image 32 --batch 1 --train 0 --serve ${PORT} --max-requests 1 > ${WORKDIR}/serve.log 2>&1 &"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch the stats server (${rc})")
+endif()
+
+set(scraped FALSE)
+foreach(attempt RANGE 1 50)
+  file(DOWNLOAD "http://127.0.0.1:${PORT}/metrics" ${WORKDIR}/scrape.txt
+       TIMEOUT 5 STATUS status)
+  list(GET status 0 code)
+  if(code EQUAL 0)
+    set(scraped TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+if(NOT scraped)
+  file(READ ${WORKDIR}/serve.log log)
+  message(FATAL_ERROR "could not scrape 127.0.0.1:${PORT}/metrics\n${log}")
+endif()
+
+file(READ ${WORKDIR}/scrape.txt body)
+foreach(needle
+        "# TYPE convmeter_executor_run_seconds histogram"
+        "convmeter_executor_run_seconds_bucket{le=\"+Inf\"}"
+        "convmeter_executor_run_seconds_sum"
+        "convmeter_executor_run_seconds_count"
+        "# TYPE convmeter_executor_run_seconds_p50 gauge"
+        "convmeter_executor_run_seconds_p95"
+        "convmeter_executor_run_seconds_p99"
+        "convmeter_executor_runs_total")
+  string(FIND "${body}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "scrape lacks '${needle}':\n${body}")
+  endif()
+endforeach()
+if(NOT body MATCHES "# EOF\n$")
+  message(FATAL_ERROR "scrape does not end with # EOF:\n${body}")
+endif()

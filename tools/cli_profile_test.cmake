@@ -1,0 +1,83 @@
+# End-to-end attribution-profiler workflow: campaign -> fit a forward model
+# file -> profile resnet18 against it -> validate the JSON report schema,
+# the measured-vs-wall accounting (within 5%), and that the text table's
+# ranked residuals match the JSON report bit for bit.
+file(MAKE_DIRECTORY ${WORKDIR})
+function(run out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run(out ${CONVMETER} campaign --out ${WORKDIR}/samples.csv
+    --models alexnet,resnet18,resnet50,vgg16 --images 64,128
+    --batches 1,16,64 --reps 2)
+run(out ${CONVMETER} fit --samples ${WORKDIR}/samples.csv
+    --predictor convmeter-fwd-only --out ${WORKDIR}/model.json)
+
+# One run produces both renderings of the same report: the text table on
+# stdout and the JSON twin at --out.
+run(text ${CONVMETER} profile --model resnet18 --image 64 --batch 1 --reps 2
+    --model-file ${WORKDIR}/model.json --top 5
+    --out ${WORKDIR}/profile.json)
+
+if(NOT text MATCHES "attribution: linear-dissection via predictor 'convmeter-fwd-only'")
+  message(FATAL_ERROR "profile did not dissect the fitted model:\n${text}")
+endif()
+
+# Measured column must account for the wall time to within 5% — the header
+# prints the ratio the acceptance gate cares about.
+if(NOT text MATCHES "\\(([0-9]+)\\.[0-9]+% of wall\\)")
+  message(FATAL_ERROR "profile header lacks the wall accounting:\n${text}")
+endif()
+set(pct ${CMAKE_MATCH_1})
+if(pct LESS 95 OR pct GREATER 105)
+  message(FATAL_ERROR
+          "per-layer measured sum is ${pct}% of wall (need 95..105):\n${text}")
+endif()
+
+if(NOT EXISTS ${WORKDIR}/profile.json)
+  message(FATAL_ERROR "profile did not write ${WORKDIR}/profile.json")
+endif()
+file(READ ${WORKDIR}/profile.json report)
+foreach(tag "\"format\":\"convmeter-profile\"" "\"version\":1"
+        "\"attribution\":\"linear-dissection\"" "\"layers\":" "\"families\":"
+        "\"counters\":" "\"wall_seconds\":" "\"layer_sum_seconds\":")
+  string(FIND "${report}" "${tag}" tag_pos)
+  if(tag_pos EQUAL -1)
+    message(FATAL_ERROR "profile JSON lacks ${tag}:\n${report}")
+  endif()
+endforeach()
+
+# The JSON layer array is the ranking; its leading residuals must appear in
+# the text table verbatim (both renderers use shortest round-trip
+# formatting) and in the same order.
+string(REGEX MATCHALL "\"residual_seconds\":[^,}]*" residuals "${report}")
+list(LENGTH residuals n_residuals)
+if(n_residuals LESS 5)
+  message(FATAL_ERROR "expected >= 5 layer rows, got ${n_residuals}")
+endif()
+set(prev_pos -1)
+foreach(i RANGE 0 2)
+  list(GET residuals ${i} entry)
+  string(REPLACE "\"residual_seconds\":" "" value "${entry}")
+  string(FIND "${text}" "${value}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "rank-${i} residual ${value} missing from the text table:\n${text}")
+  endif()
+  if(NOT pos GREATER prev_pos)
+    message(FATAL_ERROR
+            "text table ranks residual ${value} out of JSON order:\n${text}")
+  endif()
+  set(prev_pos ${pos})
+endforeach()
+
+# Bare profile (no model file) falls back to roofline estimates.
+run(text ${CONVMETER} profile --model squeezenet1_1 --image 32 --reps 1)
+if(NOT text MATCHES "attribution: roofline-only")
+  message(FATAL_ERROR "bare profile should use roofline-only:\n${text}")
+endif()

@@ -19,7 +19,9 @@
 //   convmeter trace     --model x --out trace.json [--batch 8] [--image N]
 //                       [--device D] [--train 0|1]
 //   convmeter stats     [--model x] [--batch N] [--image N] [--device D]
-//                       [--json 1] [--out FILE]
+//                       [--json 1] [--out FILE] [--serve PORT]
+//   convmeter profile   --model x [--model-file model.json] [--batch N]
+//                       [--image N] [--reps N] [--device D] [--json 1]
 //   convmeter lint      --model x | --graph FILE | --all 1 [--image N]
 //                       [--batch N] [--training 1] [--notes 1] [--json 1]
 //                       [--strict 1]
@@ -57,8 +59,11 @@
 #include "graph/serialize.hpp"
 #include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/session.hpp"
 #include "obs/residuals.hpp"
+#include "obs/stats_server.hpp"
 #include "obs/trace.hpp"
 #include "predict/evaluate.hpp"
 #include "predict/predictors.hpp"
@@ -193,6 +198,8 @@ int cmd_campaign(const Args& args) {
   CampaignOptions options;
   options.jobs = static_cast<int>(args.get_int("jobs", 1));
   options.verify = args.get_int("verify", 0) != 0;
+  options.profile = args.get_int("profile", 0) != 0;
+  if (options.profile) obs::set_enabled(true);
 
   std::vector<RuntimeSample> samples;
   if (training) {
@@ -433,8 +440,18 @@ int cmd_stats(const Args& args) {
 
   obs::set_enabled(true);
   run_instrumented_workload(name, image, batch, device, train);
+  obs::FlightRecorder::instance().refresh_metrics_snapshot();
 
   auto& registry = obs::MetricsRegistry::instance();
+  if (args.has("serve")) {
+    // Blocking OpenMetrics endpoint over the populated registry; scrape
+    // with e.g. `curl http://127.0.0.1:PORT/metrics`.
+    obs::StatsServerOptions options;
+    options.port = static_cast<int>(args.get_int("serve", 9464));
+    options.max_requests = args.get_int("max-requests", -1);
+    serve_stats(registry, options, std::cout);
+    return 0;
+  }
   if (args.has("out")) {
     std::ofstream f(args.require("out"));
     CM_CHECK(static_cast<bool>(f), "cannot write " + args.require("out"));
@@ -444,6 +461,43 @@ int cmd_stats(const Args& args) {
     std::cout << registry.to_json() << '\n';
   } else {
     registry.print_table(std::cout);
+  }
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const std::string name = args.require("model");
+  const Graph g = models::build(name);
+  obs::ProfileOptions options;
+  options.image = args.get_int("image", models::default_image_size(name));
+  options.batch = args.get_int("batch", 1);
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  options.repetitions = static_cast<int>(args.get_int("reps", 3));
+  options.device = args.get("device", "xeon_5318y");
+  options.counters = args.get_int("counters", 1) != 0;
+
+  // The per-layer "predicted" column dissects a fitted model file; without
+  // one the roofline simulator provides the estimates.
+  std::unique_ptr<Predictor> predictor;
+  if (args.has("model-file") || args.has("coeffs")) {
+    predictor = load_predictor_file(model_file_path(args));
+  } else if (args.has("predictor")) {
+    predictor = load_predictor_file(args.require("predictor"));
+  }
+
+  const obs::ProfileReport report =
+      obs::profile_model(name, g, options, predictor.get());
+  if (args.has("out")) {
+    std::ofstream f(args.require("out"));
+    CM_CHECK(static_cast<bool>(f), "cannot write " + args.require("out"));
+    f << report.render_json() << '\n';
+    std::cout << "wrote profile JSON to " << args.require("out") << '\n';
+  }
+  if (args.get_int("json", 0) != 0) {
+    std::cout << report.render_json() << '\n';
+  } else {
+    std::cout << report.render_text(
+        static_cast<std::size_t>(args.get_int("top", 15)));
   }
   return 0;
 }
@@ -516,6 +570,7 @@ int usage() {
       "              [--device a100|xeon_5318y|jetson_edge] [--jobs N]\n"
       "              [--models a,b,c] [--images 32,64] [--batches 1,16]\n"
       "              [--training --nodes 1,2,4] [--reps N] [--verify 1]\n"
+      "              [--profile 1]\n"
       "  list-predictors\n"
       "  fit         --samples FILE --out model.json [--predictor NAME]\n"
       "              [--training 1] [--phase NAME]\n"
@@ -528,7 +583,10 @@ int usage() {
       "  trace       --model NAME --out FILE [--batch N] [--image N]\n"
       "              [--device D] [--train 0|1]\n"
       "  stats       [--model NAME] [--batch N] [--image N] [--device D]\n"
-      "              [--json 1] [--out FILE]\n"
+      "              [--json 1] [--out FILE] [--serve PORT [--max-requests N]]\n"
+      "  profile     --model NAME [--model-file model.json] [--image N]\n"
+      "              [--batch N] [--reps N] [--threads N] [--device D]\n"
+      "              [--counters 0|1] [--json 1] [--out FILE] [--top N]\n"
       "  lint        --model NAME | --graph FILE | --all 1 [--image N]\n"
       "              [--batch N] [--training 1] [--notes 1] [--json 1]\n"
       "              [--strict 1] [--budget-mb N]\n";
@@ -542,6 +600,12 @@ int run(int argc, char** argv) {
   // first-violation throw from validate().
   if (std::getenv("CONVMETER_PREFLIGHT") != nullptr) {
     analysis::install_executor_preflight();
+  }
+  // Crash flight recorder: CONVMETER_FLIGHT_RECORDER=/path/to/dump.json
+  // arms the span ring and installs fatal-signal handlers that write a
+  // Chrome-trace postmortem there (see src/obs/flight_recorder.hpp).
+  if (const char* fr = std::getenv("CONVMETER_FLIGHT_RECORDER")) {
+    if (fr[0] != '\0') obs::install_flight_recorder(fr);
   }
   const std::string cmd = argv[1];
   const Args args(argc, argv, 2);
@@ -557,6 +621,7 @@ int run(int argc, char** argv) {
   if (cmd == "scalability") return cmd_scalability(args);
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "profile") return cmd_profile(args);
   if (cmd == "lint") return cmd_lint(args);
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();
