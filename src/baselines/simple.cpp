@@ -2,16 +2,22 @@
 
 #include <utility>
 
+#include "core/accumulate.hpp"
+
 namespace convmeter {
+
+SimpleBaseline SimpleBaseline::fit(SampleStream& samples, FeatureSet fs) {
+  PhaseAccumulator acc(Phase::kInference, fs);
+  RuntimeSample s;
+  samples.reset();
+  while (samples.next(s)) acc.observe(s);
+  return from_model(fs, acc.solve());
+}
 
 SimpleBaseline SimpleBaseline::fit(const std::vector<RuntimeSample>& samples,
                                    FeatureSet fs) {
-  const Design d = build_design(samples, Phase::kInference, fs);
-  SimpleBaseline b;
-  b.name_ = feature_set_name(fs);
-  b.fs_ = fs;
-  b.model_ = LinearModel::fit(d.x, d.y);
-  return b;
+  VectorSampleStream stream(samples);
+  return fit(stream, fs);
 }
 
 SimpleBaseline SimpleBaseline::from_model(FeatureSet fs, LinearModel model) {

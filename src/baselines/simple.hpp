@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "collect/sample.hpp"
+#include "collect/sample_stream.hpp"
 #include "core/features.hpp"
 #include "regress/linear_model.hpp"
 
@@ -17,7 +18,10 @@ namespace convmeter {
 /// A named single-feature-set inference predictor.
 class SimpleBaseline {
  public:
-  /// Fits on t_infer with the given feature set.
+  /// Fits on t_infer with the given feature set, in one streaming pass.
+  static SimpleBaseline fit(SampleStream& samples, FeatureSet fs);
+
+  /// In-memory adapter over the streaming fit.
   static SimpleBaseline fit(const std::vector<RuntimeSample>& samples,
                             FeatureSet fs);
 

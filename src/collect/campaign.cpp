@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <thread>
@@ -9,6 +11,7 @@
 
 #include "analysis/verifier.hpp"
 #include "collect/graph_cache.hpp"
+#include "collect/store/store.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "exec/thread_pool.hpp"
@@ -23,22 +26,23 @@ namespace convmeter {
 namespace {
 
 /// One enumerated sweep point: everything a worker needs to produce its
-/// repetitions without touching shared mutable state.
+/// repetitions without touching shared mutable state. The graph pointer is
+/// shared so a point survives the GraphCache evicting its entry mid-sweep.
 struct SweepPoint {
-  const Graph* graph = nullptr;
+  std::shared_ptr<const Graph> graph;
   RuntimeSample base;  ///< model/device/metrics/topology pre-filled
   Shape shape;         ///< per-device input shape, batch applied
   bool training = false;
-  TrainConfig config;  ///< training points only
+  TrainConfig config;        ///< training points only
+  std::uint64_t index = 0;   ///< global index in the enumerated work list
 };
 
 /// Independent per-point seed: a splitmix64-style mix of the sweep seed
-/// and the point's index in the enumerated work list. Every point owns its
-/// own RNG stream, which is what makes the parallel schedule irrelevant to
-/// the sampled values.
-std::uint64_t point_seed(std::uint64_t sweep_seed, std::size_t index) {
-  std::uint64_t z =
-      sweep_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+/// and the point's global index in the enumerated work list. Every point
+/// owns its own RNG stream, which is what makes both the parallel schedule
+/// and the shard assignment irrelevant to the sampled values.
+std::uint64_t point_seed(std::uint64_t sweep_seed, std::uint64_t index) {
+  std::uint64_t z = sweep_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
@@ -83,11 +87,11 @@ class PointProfileScope {
 
 /// Measures one point's repetitions into `out` (size `repetitions`).
 void run_point(MeasurementBackend& backend, const SweepPoint& point,
-               std::uint64_t sweep_seed, std::size_t index, int repetitions,
+               std::uint64_t sweep_seed, int repetitions,
                const CampaignOptions& options,
                std::vector<RuntimeSample>& out) {
   const PointProfileScope profile_scope(options.profile, point.base.model);
-  Rng rng(point_seed(sweep_seed, index));
+  Rng rng(point_seed(sweep_seed, point.index));
   out.reserve(static_cast<std::size_t>(repetitions));
   for (int rep = 0; rep < repetitions; ++rep) {
     RuntimeSample s = point.base;
@@ -118,15 +122,83 @@ void run_point(MeasurementBackend& backend, const SweepPoint& point,
   }
 }
 
-/// Dispatches the work list, serially or on a thread pool, and gathers the
-/// per-point results in deterministic point order.
+/// Dispatches the work list: assigns global point indices, restricts to
+/// this process's shard, restores a checkpoint journal, then measures the
+/// remaining points in checkpoint_interval-sized chunks (each chunk runs
+/// serially or on the pool, is emitted in deterministic point order, and
+/// becomes durable in the journal before the next chunk starts).
 std::vector<RuntimeSample> run_points(MeasurementBackend& backend,
-                                      const std::vector<SweepPoint>& points,
+                                      std::vector<SweepPoint>& points,
                                       int repetitions, std::uint64_t seed,
                                       const CampaignOptions& options,
                                       const char* samples_counter) {
   CM_CHECK(options.jobs >= 0, "campaign jobs must be >= 0");
+  CM_CHECK(options.shard_count >= 1, "campaign shard count must be >= 1");
+  CM_CHECK(options.shard_index >= 0 &&
+               options.shard_index < options.shard_count,
+           "campaign shard index must be in [0, shard_count)");
+  CM_CHECK(options.checkpoint_interval >= 1,
+           "campaign checkpoint interval must be >= 1");
+  CM_CHECK(!options.resume || !options.checkpoint.empty(),
+           "campaign resume requires a checkpoint path");
+  CM_CHECK(repetitions >= 1, "campaign repetitions must be >= 1");
   const TimePoint start = Clock::now();
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].index = static_cast<std::uint64_t>(i);
+  }
+  if (options.shard_count > 1) {
+    const auto mine = [&](const SweepPoint& p) {
+      return p.index % static_cast<std::uint64_t>(options.shard_count) ==
+             static_cast<std::uint64_t>(options.shard_index);
+    };
+    std::vector<SweepPoint> sharded;
+    for (SweepPoint& p : points) {
+      if (mine(p)) sharded.push_back(std::move(p));
+    }
+    points.swap(sharded);
+  }
+
+  std::vector<RuntimeSample> samples;
+  if (options.collect) {
+    samples.reserve(points.size() * static_cast<std::size_t>(repetitions));
+  }
+  std::uint64_t emitted = 0;
+  const auto emit = [&](const RuntimeSample& s, std::uint64_t point_index,
+                        std::uint32_t rep) {
+    if (options.sink != nullptr) options.sink->emit_indexed(s, point_index, rep);
+    if (options.collect) samples.push_back(s);
+    ++emitted;
+  };
+
+  // Checkpoint journal: restore completed points, re-emit their samples,
+  // then append new chunks, flushing the header after each one.
+  std::unique_ptr<ShardWriter> journal;
+  std::size_t completed = 0;
+  if (!options.checkpoint.empty()) {
+    const bool restore =
+        options.resume && std::filesystem::exists(options.checkpoint);
+    if (restore && shard_record_count(options.checkpoint) > 0) {
+      SampleReader reader(options.checkpoint);
+      CM_CHECK(reader.record_count() %
+                       static_cast<std::uint64_t>(repetitions) ==
+                   0,
+               "checkpoint journal '" + options.checkpoint +
+                   "' does not hold whole points for " +
+                   std::to_string(repetitions) + " repetitions");
+      completed = static_cast<std::size_t>(
+          reader.record_count() / static_cast<std::uint64_t>(repetitions));
+      CM_CHECK(completed <= points.size(),
+               "checkpoint journal '" + options.checkpoint +
+                   "' holds more points than this sweep enumerates");
+      store::SampleRecord record;
+      while (reader.next_record(record)) {
+        emit(record_to_sample(record), record.point_index, record.repetition);
+      }
+    }
+    journal = std::make_unique<ShardWriter>(options.checkpoint,
+                                            /*append=*/restore);
+  }
 
   std::size_t jobs =
       options.jobs == 0
@@ -136,37 +208,59 @@ std::vector<RuntimeSample> run_points(MeasurementBackend& backend,
   if (cap > 0) jobs = std::min(jobs, static_cast<std::size_t>(cap));
   jobs = std::min(jobs, std::max<std::size_t>(1, points.size()));
 
-  std::vector<std::vector<RuntimeSample>> results(points.size());
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      run_point(backend, points[i], seed, i, repetitions, options, results[i]);
-    }
-  } else {
-    ThreadPool pool(jobs);
-    pool.parallel_for(points.size(), [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        run_point(backend, points[i], seed, i, repetitions, options,
-                  results[i]);
-      }
-    });
-  }
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
 
-  std::vector<RuntimeSample> samples;
-  samples.reserve(points.size() * static_cast<std::size_t>(repetitions));
-  for (auto& point_samples : results) {
-    for (RuntimeSample& s : point_samples) {
-      if (options.sink != nullptr) options.sink->emit(s);
-      samples.push_back(std::move(s));
+  const std::size_t chunk_points =
+      static_cast<std::size_t>(options.checkpoint_interval);
+  int flushes = 0;
+  std::vector<std::vector<RuntimeSample>> results;
+  for (std::size_t begin = completed; begin < points.size();
+       begin += chunk_points) {
+    const std::size_t end = std::min(points.size(), begin + chunk_points);
+    results.assign(end - begin, {});
+    if (pool == nullptr) {
+      for (std::size_t i = begin; i < end; ++i) {
+        run_point(backend, points[i], seed, repetitions, options,
+                  results[i - begin]);
+      }
+    } else {
+      pool->parallel_for(end - begin,
+                         [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t i = lo; i < hi; ++i) {
+                             run_point(backend, points[begin + i], seed,
+                                       repetitions, options, results[i]);
+                           }
+                         });
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t index = points[i].index;
+      std::uint32_t rep = 0;
+      for (RuntimeSample& s : results[i - begin]) {
+        if (journal != nullptr) journal->append(s, index, rep);
+        emit(s, index, rep);
+        ++rep;
+      }
+    }
+    if (journal != nullptr) {
+      journal->flush();
+      ++flushes;
+      if (options.abort_after_flushes > 0 &&
+          flushes >= options.abort_after_flushes) {
+        throw CampaignAborted(
+            "campaign aborted after " + std::to_string(flushes) +
+            " checkpoint flushes (abort_after_flushes test hook)");
+      }
     }
   }
 
   if (obs::enabled()) {
     auto& registry = obs::MetricsRegistry::instance();
-    registry.counter(samples_counter).add(samples.size());
+    registry.counter(samples_counter).add(emitted);
     const double elapsed = elapsed_seconds(start);
     if (elapsed > 0.0) {
       registry.gauge("campaign.samples_per_sec")
-          .set(static_cast<double>(samples.size()) / elapsed);
+          .set(static_cast<double>(emitted) / elapsed);
     }
   }
   return samples;
@@ -198,6 +292,19 @@ CsvSampleSink::CsvSampleSink(std::ostream& os) : os_(os) {
 
 void CsvSampleSink::emit(const RuntimeSample& sample) {
   os_ << sample_to_csv_row(sample) << '\n';
+}
+
+void ShardSampleSink::emit(const RuntimeSample& sample) {
+  (void)sample;
+  throw InvalidArgument(
+      "ShardSampleSink needs the (point_index, repetition) merge key; "
+      "feed it through a campaign (emit_indexed), not emit()");
+}
+
+void ShardSampleSink::emit_indexed(const RuntimeSample& sample,
+                                   std::uint64_t point_index,
+                                   std::uint32_t repetition) {
+  writer_.append(sample, point_index, repetition);
 }
 
 InferenceSweep InferenceSweep::paper_default(std::vector<std::string> models) {
@@ -243,12 +350,12 @@ std::vector<RuntimeSample> run_inference_campaign(
 
   std::vector<SweepPoint> points;
   for (const std::string& name : sweep.models) {
-    const Graph& graph = cache.graph(name);
+    const std::shared_ptr<const Graph> graph = cache.graph(name);
     for (const std::int64_t image : sweep.image_sizes) {
-      const GraphMetrics* metrics = cache.metrics_b1(name, image);
-      if (metrics == nullptr) continue;  // resolution infeasible
-      const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
-      verify_point(options, graph, b1, /*training=*/false);
+      const std::optional<GraphMetrics> metrics = cache.metrics_b1(name, image);
+      if (!metrics.has_value()) continue;  // resolution infeasible
+      const Shape b1 = Shape::nchw(1, graph->input_channels(), image, image);
+      verify_point(options, *graph, b1, /*training=*/false);
 
       RuntimeSample base;
       base.model = name;
@@ -258,9 +365,9 @@ std::vector<RuntimeSample> run_inference_campaign(
 
       for (const std::int64_t batch : sweep.batch_sizes) {
         const Shape shape = b1.with_batch(batch);
-        if (!backend.fits(graph, shape, /*training=*/false)) continue;
+        if (!backend.fits(*graph, shape, /*training=*/false)) continue;
         SweepPoint p;
-        p.graph = &graph;
+        p.graph = graph;
         p.base = base;
         p.base.global_batch = batch;
         p.shape = shape;
@@ -283,12 +390,12 @@ std::vector<RuntimeSample> run_training_campaign(
 
   std::vector<SweepPoint> points;
   for (const std::string& name : sweep.models) {
-    const Graph& graph = cache.graph(name);
+    const std::shared_ptr<const Graph> graph = cache.graph(name);
     for (const std::int64_t image : sweep.image_sizes) {
-      const GraphMetrics* metrics = cache.metrics_b1(name, image);
-      if (metrics == nullptr) continue;  // resolution infeasible
-      const Shape b1 = Shape::nchw(1, graph.input_channels(), image, image);
-      verify_point(options, graph, b1, /*training=*/true);
+      const std::optional<GraphMetrics> metrics = cache.metrics_b1(name, image);
+      if (!metrics.has_value()) continue;  // resolution infeasible
+      const Shape b1 = Shape::nchw(1, graph->input_channels(), image, image);
+      verify_point(options, *graph, b1, /*training=*/true);
 
       RuntimeSample base;
       base.model = name;
@@ -298,10 +405,10 @@ std::vector<RuntimeSample> run_training_campaign(
 
       for (const std::int64_t batch : sweep.per_device_batch_sizes) {
         const Shape shape = b1.with_batch(batch);
-        if (!backend.fits(graph, shape, /*training=*/true)) continue;
+        if (!backend.fits(*graph, shape, /*training=*/true)) continue;
         for (const int nodes : sweep.node_counts) {
           SweepPoint p;
-          p.graph = &graph;
+          p.graph = graph;
           p.base = base;
           p.shape = shape;
           p.training = true;
@@ -349,7 +456,9 @@ std::vector<RuntimeSample> run_block_campaign(
       const Shape shape = b1.with_batch(batch);
       if (!backend.fits(block.graph, shape, /*training=*/false)) continue;
       SweepPoint p;
-      p.graph = &block.graph;
+      // Non-owning alias: the caller's BlockCase outlives the campaign.
+      p.graph = std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(),
+                                             &block.graph);
       p.base = base;
       p.base.global_batch = batch;
       p.shape = shape;

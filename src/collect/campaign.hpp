@@ -8,10 +8,19 @@
 // models are fitted on.
 //
 // The engine enumerates every sweep point up front, derives an independent
-// RNG per point (seed = mix(sweep.seed, point index)), and dispatches the
-// work list on a thread pool: the sample vector is bit-identical for any
-// `jobs` value, including the serial run. Zoo graphs and batch-1 metrics
-// come from the process-wide GraphCache instead of being rebuilt per sweep.
+// RNG per point (seed = mix(sweep.seed, global point index)), and
+// dispatches the work list on a thread pool: the sample sequence is
+// bit-identical for any `jobs` value, including the serial run.
+//
+// Million-sample campaigns split and survive:
+//   - `shard_index`/`shard_count` restrict a run to the points with
+//     index % shard_count == shard_index. Because seeds key off the global
+//     index, merging the shards' stores (merge_shards) reproduces the
+//     unsharded run byte for byte.
+//   - `checkpoint` journals completed points to a binary shard after every
+//     `checkpoint_interval` points; `resume` restores the journal, re-emits
+//     the restored samples, and continues bit-identically from the first
+//     unfinished point.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +30,13 @@
 
 #include "backend/backend.hpp"
 #include "collect/sample.hpp"
+#include "common/error.hpp"
 #include "graph/graph.hpp"
 #include "tensor/shape.hpp"
 
 namespace convmeter {
+
+class ShardWriter;
 
 /// Parameters of an inference campaign.
 struct InferenceSweep {
@@ -54,11 +66,20 @@ struct TrainingSweep {
 
 /// Receives every sample in deterministic point order as the campaign
 /// gathers its results — the streaming path for sweeps too large to hold
-/// comfortably next to their CSV encoding.
+/// in memory next to their encoding.
 class SampleSink {
  public:
   virtual ~SampleSink() = default;
   virtual void emit(const RuntimeSample& sample) = 0;
+  /// Campaigns call this richer hook (the global point index and repetition
+  /// are the binary store's merge key); the default forwards to emit().
+  virtual void emit_indexed(const RuntimeSample& sample,
+                            std::uint64_t point_index,
+                            std::uint32_t repetition) {
+    (void)point_index;
+    (void)repetition;
+    emit(sample);
+  }
 };
 
 /// Streams samples as CSV rows in the save_samples dialect (header written
@@ -72,15 +93,54 @@ class CsvSampleSink : public SampleSink {
   std::ostream& os_;
 };
 
+/// Streams samples into a binary store shard (campaign `--format bin`).
+class ShardSampleSink : public SampleSink {
+ public:
+  explicit ShardSampleSink(ShardWriter& writer) : writer_(writer) {}
+  void emit(const RuntimeSample& sample) override;
+  void emit_indexed(const RuntimeSample& sample, std::uint64_t point_index,
+                    std::uint32_t repetition) override;
+
+ private:
+  ShardWriter& writer_;
+};
+
+/// Thrown by the testing-only CampaignOptions::abort_after_flushes knob to
+/// simulate a mid-campaign crash after a known number of durable
+/// checkpoints.
+class CampaignAborted : public Error {
+ public:
+  explicit CampaignAborted(const std::string& what) : Error(what) {}
+};
+
 /// Execution knobs shared by every campaign entry point.
 struct CampaignOptions {
   /// Measurement worker threads; 0 selects hardware concurrency. Clamped
-  /// to the backend's max_concurrency(). The sample vector is bit-identical
-  /// for every value of `jobs`.
+  /// to the backend's max_concurrency(). The sample sequence is
+  /// bit-identical for every value of `jobs`.
   int jobs = 1;
-  /// Optional streaming consumer, fed in deterministic point order in
-  /// addition to the returned vector.
+  /// Optional streaming consumer, fed in deterministic point order.
   SampleSink* sink = nullptr;
+  /// Accumulate samples into the returned vector. Disable for
+  /// million-sample campaigns that stream into a sink/store: the campaign
+  /// then runs in O(checkpoint_interval) sample memory and returns empty.
+  bool collect = true;
+  /// This process measures only points with index % shard_count ==
+  /// shard_index (`campaign --shard i/N`).
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Journal shard path for checkpoint/resume; empty disables journaling.
+  std::string checkpoint;
+  /// Restore a previous journal before measuring (requires `checkpoint`).
+  /// Restored samples are re-emitted to the sink, so sink output matches an
+  /// uninterrupted run.
+  bool resume = false;
+  /// Points measured between durable checkpoint flushes (also the dispatch
+  /// chunk size, so peak in-flight memory is bounded by it).
+  int checkpoint_interval = 256;
+  /// Testing aid: throw CampaignAborted after this many checkpoint flushes
+  /// (0 disables), simulating a crash with a valid journal on disk.
+  int abort_after_flushes = 0;
   /// Pre-flight every (graph, image size) with the static verifier before
   /// measuring anything; throws InvalidArgument on any error-severity
   /// finding so a defective graph fails fast instead of mid-sweep.

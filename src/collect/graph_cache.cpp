@@ -25,44 +25,70 @@ GraphCache& GraphCache::instance() {
   return cache;
 }
 
-const Graph& GraphCache::graph(const std::string& model) {
+void GraphCache::count_evictions(std::size_t n) {
+  if (n == 0) return;
+  evictions_ += n;
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::instance()
+      .counter("campaign.graph_cache.evictions")
+      .add(static_cast<std::uint64_t>(n));
+}
+
+std::shared_ptr<const Graph> GraphCache::graph(const std::string& model) {
   std::lock_guard<std::mutex> lock(mutex_);
   return graph_locked(model);
 }
 
-const Graph& GraphCache::graph_locked(const std::string& model) {
-  auto& slot = graphs_[model];
-  if (slot) {
+std::shared_ptr<const Graph> GraphCache::graph_locked(
+    const std::string& model) {
+  if (auto* slot = graphs_.find(model)) {
     count_cache_access(/*hit=*/true);
-  } else {
-    count_cache_access(/*hit=*/false);
-    slot = std::make_unique<Graph>(models::build(model));
+    return *slot;
   }
-  return *slot;
+  count_cache_access(/*hit=*/false);
+  auto built = std::make_shared<const Graph>(models::build(model));
+  count_evictions(graphs_.insert(model, built));
+  return built;
 }
 
-const GraphMetrics* GraphCache::metrics_b1(const std::string& model,
-                                           std::int64_t image_size) {
+std::optional<GraphMetrics> GraphCache::metrics_b1(const std::string& model,
+                                                   std::int64_t image_size) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = metrics_[{model, image_size}];
-  if (!slot) {
-    count_cache_access(/*hit=*/false);
-    const Graph& g = graph_locked(model);
-    const Shape b1 = Shape::nchw(1, g.input_channels(), image_size,
-                                 image_size);
-    slot = std::make_unique<std::optional<GraphMetrics>>();
-    // Architectures have a minimum feasible resolution (AlexNet's strided
-    // stem collapses below ~63 px, Inception needs ~75 px); the failed
-    // shape inference is cached as "infeasible" exactly like a real
-    // benchmark run would fail once and be dropped.
-    try {
-      *slot = compute_metrics(g, b1);
-    } catch (const InvalidArgument&) {
-    }
-  } else {
+  const std::pair<std::string, std::int64_t> key{model, image_size};
+  if (auto* slot = metrics_.find(key)) {
     count_cache_access(/*hit=*/true);
+    return *slot;
   }
-  return slot->has_value() ? &slot->value() : nullptr;
+  count_cache_access(/*hit=*/false);
+  const std::shared_ptr<const Graph> g = graph_locked(model);
+  const Shape b1 =
+      Shape::nchw(1, g->input_channels(), image_size, image_size);
+  std::optional<GraphMetrics> metrics;
+  // Architectures have a minimum feasible resolution (AlexNet's strided
+  // stem collapses below ~63 px, Inception needs ~75 px); the failed
+  // shape inference is cached as "infeasible" exactly like a real
+  // benchmark run would fail once and be dropped.
+  try {
+    metrics = compute_metrics(*g, b1);
+  } catch (const InvalidArgument&) {
+  }
+  count_evictions(metrics_.insert(key, metrics));
+  return metrics;
+}
+
+void GraphCache::set_capacity(std::size_t graphs, std::size_t metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CM_CHECK(graphs > 0 && metrics > 0,
+           "graph cache capacities must be positive");
+  graphs_.capacity = graphs;
+  metrics_.capacity = metrics;
+  count_evictions(graphs_.shrink_to_capacity());
+  count_evictions(metrics_.shrink_to_capacity());
+}
+
+std::uint64_t GraphCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 void GraphCache::clear() {

@@ -5,11 +5,18 @@
 // same model set (CPU + GPU platforms, ablation variants). Building a zoo
 // graph and computing its metrics are pure functions of (name, image), so
 // both are memoized here; infeasible resolutions (architectures whose stem
-// collapses below a minimum image size) cache their failure too. Hit/miss
-// totals land in the metrics registry under "campaign.graph_cache.*".
+// collapses below a minimum image size) cache their failure too.
+//
+// Both caches are bounded with LRU eviction so a million-point campaign
+// over an open-ended model/resolution space cannot grow the process
+// without limit. Graphs hand out shared_ptr (an evicted graph stays alive
+// while any sweep point still references it); metrics are small and
+// returned by value. Hit/miss/eviction totals land in the metrics registry
+// under "campaign.graph_cache.*".
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,35 +29,94 @@
 
 namespace convmeter {
 
-/// Thread-safe memo of models::build results and batch-1 GraphMetrics.
-/// Returned references stay valid until clear().
+/// Thread-safe, LRU-bounded memo of models::build results and batch-1
+/// GraphMetrics.
 class GraphCache {
  public:
+  static constexpr std::size_t kDefaultGraphCapacity = 64;
+  static constexpr std::size_t kDefaultMetricsCapacity = 4096;
+
   static GraphCache& instance();
 
   GraphCache() = default;
   GraphCache(const GraphCache&) = delete;
   GraphCache& operator=(const GraphCache&) = delete;
 
-  /// The zoo graph for `model`, built on first use.
-  const Graph& graph(const std::string& model);
+  /// The zoo graph for `model`, built on first use. The returned pointer
+  /// keeps the graph alive independently of later evictions.
+  std::shared_ptr<const Graph> graph(const std::string& model);
 
   /// Metrics of `model` at batch 1 and the given square image size, or
-  /// nullptr when the resolution is infeasible for the architecture.
-  const GraphMetrics* metrics_b1(const std::string& model,
-                                 std::int64_t image_size);
+  /// nullopt when the resolution is infeasible for the architecture (the
+  /// infeasibility itself is cached).
+  std::optional<GraphMetrics> metrics_b1(const std::string& model,
+                                         std::int64_t image_size);
 
-  /// Drops every cached graph and metric (invalidates references).
+  /// Rebounds both caches (evicting down to the new limits immediately).
+  void set_capacity(std::size_t graphs, std::size_t metrics);
+
+  /// Lifetime evictions across both caches (also exported as the
+  /// "campaign.graph_cache.evictions" counter when obs is enabled).
+  std::uint64_t evictions() const;
+
+  /// Drops every cached graph and metric.
   void clear();
 
  private:
-  const Graph& graph_locked(const std::string& model);
+  /// One LRU cache: most-recently-used entries at the list front, eviction
+  /// from the back once size exceeds the capacity.
+  template <typename Key, typename Value>
+  struct LruCache {
+    using Entry = std::pair<Key, Value>;
+    std::list<Entry> order;
+    std::map<Key, typename std::list<Entry>::iterator> index;
+    std::size_t capacity = 0;
 
-  std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Graph>> graphs_;
-  std::map<std::pair<std::string, std::int64_t>,
-           std::unique_ptr<std::optional<GraphMetrics>>>
-      metrics_;
+    Value* find(const Key& key) {
+      const auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      order.splice(order.begin(), order, it->second);
+      return &it->second->second;
+    }
+
+    /// Inserts (key must be absent) and returns evicted-entry count.
+    std::size_t insert(const Key& key, Value value) {
+      order.emplace_front(key, std::move(value));
+      index[key] = order.begin();
+      std::size_t evicted = 0;
+      while (order.size() > capacity) {
+        index.erase(order.back().first);
+        order.pop_back();
+        ++evicted;
+      }
+      return evicted;
+    }
+
+    std::size_t shrink_to_capacity() {
+      std::size_t evicted = 0;
+      while (order.size() > capacity) {
+        index.erase(order.back().first);
+        order.pop_back();
+        ++evicted;
+      }
+      return evicted;
+    }
+
+    void clear() {
+      order.clear();
+      index.clear();
+    }
+  };
+
+  std::shared_ptr<const Graph> graph_locked(const std::string& model);
+  void count_evictions(std::size_t n);
+
+  mutable std::mutex mutex_;
+  LruCache<std::string, std::shared_ptr<const Graph>> graphs_{
+      {}, {}, kDefaultGraphCapacity};
+  LruCache<std::pair<std::string, std::int64_t>, std::optional<GraphMetrics>>
+      metrics_{{}, {}, kDefaultMetricsCapacity};
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace convmeter

@@ -1,17 +1,15 @@
 #include "collect/sample.hpp"
 
-#include <sstream>
+#include "common/json.hpp"
 
 namespace convmeter {
 
 namespace {
 
-std::string num(double v) {
-  std::ostringstream os;
-  os.precision(17);
-  os << v;
-  return os.str();
-}
+// Shortest-round-trip formatting (shared with the JSON writer): parsing the
+// cell back yields the identical double, so CSV → binary store → CSV round
+// trips are bit-identical.
+std::string num(double v) { return json::format_double(v); }
 
 const std::vector<std::string>& csv_header_fields() {
   static const std::vector<std::string> header = {

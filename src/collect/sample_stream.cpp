@@ -1,0 +1,13 @@
+#include "collect/sample_stream.hpp"
+
+namespace convmeter {
+
+std::vector<RuntimeSample> materialize(SampleStream& stream) {
+  std::vector<RuntimeSample> samples;
+  stream.reset();
+  RuntimeSample s;
+  while (stream.next(s)) samples.push_back(s);
+  return samples;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,54 @@
+// Multi-pass sample streams: the input seam of every fit in the repo.
+//
+// Fits and LOO evaluation consume a SampleStream instead of a materialized
+// std::vector<RuntimeSample>, so a million-sample campaign stored in binary
+// shards (collect/store) is fitted with O(1) resident samples. In-memory
+// vectors remain usable through VectorSampleStream — an adapter over the
+// same streaming fit path, not a second fit implementation.
+#pragma once
+
+#include <vector>
+
+#include "collect/sample.hpp"
+
+namespace convmeter {
+
+/// Sequential, rewindable source of RuntimeSamples. Fits make several
+/// passes (accumulate, then residual statistics), so reset() must restart
+/// the stream from its first sample.
+class SampleStream {
+ public:
+  virtual ~SampleStream() = default;
+
+  /// Fills `out` with the next sample; returns false at end of stream.
+  virtual bool next(RuntimeSample& out) = 0;
+
+  /// Rewinds to the first sample.
+  virtual void reset() = 0;
+};
+
+/// Streams an in-memory vector (not owned; must outlive the stream).
+class VectorSampleStream final : public SampleStream {
+ public:
+  explicit VectorSampleStream(const std::vector<RuntimeSample>& samples)
+      : samples_(&samples) {}
+
+  bool next(RuntimeSample& out) override {
+    if (pos_ >= samples_->size()) return false;
+    out = (*samples_)[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = 0; }
+
+ private:
+  const std::vector<RuntimeSample>* samples_;
+  std::size_t pos_ = 0;
+};
+
+/// Drains a stream into a vector (reset first) — the bridge for predictor
+/// families whose fit genuinely needs the full sample set (e.g. the MLP
+/// baselines).
+std::vector<RuntimeSample> materialize(SampleStream& stream);
+
+}  // namespace convmeter

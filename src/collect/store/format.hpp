@@ -1,0 +1,77 @@
+// On-disk layout of the binary sample store (DESIGN §13).
+//
+// A shard is one append-only file: a 64-byte versioned header followed by
+// fixed-size 192-byte records. Records are written in campaign point order
+// and carry their (point_index, repetition) merge key, so shards produced
+// by independent `campaign --shard i/N` processes merge deterministically
+// into the byte sequence the unsharded run would have written.
+//
+// Durability discipline: the header's record_count is the authoritative
+// length and is rewritten on every ShardWriter::flush(); bytes past
+// 64 + record_count * 192 are torn trailing writes from an interrupted
+// process and are ignored (truncated away on append/resume).
+//
+// Both structs are raw-byte I/O (single write()/read() per record, mmap-able
+// layout: 64-byte header, 8-byte-aligned records) and must stay trivially
+// copyable — enforced by the static_asserts below and by
+// tools/check_invariants.sh rule 6.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace convmeter::store {
+
+inline constexpr char kShardMagic[4] = {'C', 'M', 'S', 'S'};
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/// Written in host byte order; reads back as 0x01020304 only on a machine
+/// of the same endianness as the writer.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+/// Shard file header (the binary twin of the model-file JSON envelope:
+/// magic = format tag, version, plus layout self-description).
+struct ShardHeader {
+  char magic[4];               ///< "CMSS"
+  std::uint32_t version;       ///< kShardFormatVersion
+  std::uint32_t endian;        ///< kEndianTag in writer byte order
+  std::uint32_t record_size;   ///< sizeof(SampleRecord) of the writer
+  std::uint64_t record_count;  ///< authoritative record count (see above)
+  std::uint8_t reserved[40];   ///< zero
+};
+static_assert(sizeof(ShardHeader) == 64, "shard header layout drifted");
+static_assert(std::is_trivially_copyable_v<ShardHeader>,
+              "ShardHeader is raw-byte I/O");
+
+/// Maximum string field lengths (including the NUL terminator).
+inline constexpr std::size_t kModelFieldSize = 48;
+inline constexpr std::size_t kDeviceFieldSize = 24;
+
+/// One RuntimeSample plus its campaign merge key. Strings are NUL-padded;
+/// crc is the CRC-32 of every preceding byte of the record.
+struct SampleRecord {
+  char model[kModelFieldSize];
+  char device[kDeviceFieldSize];
+  std::int64_t image_size;
+  std::int64_t global_batch;
+  std::int32_t num_devices;
+  std::int32_t num_nodes;
+  double flops1;
+  double inputs1;
+  double outputs1;
+  double weights;
+  double layers;
+  double t_infer;
+  double t_fwd;
+  double t_bwd;
+  double t_grad;
+  double t_step;
+  std::uint64_t point_index;  ///< global sweep point index
+  std::uint32_t repetition;   ///< repetition within the point
+  std::uint32_t crc;
+};
+static_assert(sizeof(SampleRecord) == 192, "sample record layout drifted");
+static_assert(std::is_trivially_copyable_v<SampleRecord>,
+              "SampleRecord is raw-byte I/O");
+
+}  // namespace convmeter::store

@@ -1,0 +1,406 @@
+#include "collect/store/store.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace convmeter {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = sizeof(store::ShardHeader);
+constexpr std::size_t kRecordSize = sizeof(store::SampleRecord);
+constexpr std::size_t kCountOffset = offsetof(store::ShardHeader, record_count);
+
+[[noreturn]] void shard_error(const std::string& path, const std::string& msg) {
+  throw ParseError("shard '" + path + "': " + msg);
+}
+
+void copy_string_field(char* field, std::size_t field_size,
+                       const std::string& value, const char* what) {
+  CM_CHECK(value.size() < field_size,
+           std::string(what) + " name '" + value + "' exceeds the store's " +
+               std::to_string(field_size - 1) + "-character field");
+  std::memset(field, 0, field_size);
+  std::memcpy(field, value.data(), value.size());
+}
+
+std::string read_string_field(const char* field, std::size_t field_size,
+                              const std::string& path) {
+  if (std::memchr(field, '\0', field_size) == nullptr) {
+    shard_error(path, "unterminated string field in record");
+  }
+  return std::string(field);
+}
+
+/// Reads and fully validates a shard header; returns it.
+store::ShardHeader read_header(std::ifstream& file, const std::string& path) {
+  store::ShardHeader header{};
+  file.read(reinterpret_cast<char*>(&header), kHeaderSize);
+  if (file.gcount() != static_cast<std::streamsize>(kHeaderSize)) {
+    shard_error(path, "truncated header (file shorter than " +
+                          std::to_string(kHeaderSize) + " bytes)");
+  }
+  if (std::memcmp(header.magic, store::kShardMagic, sizeof(header.magic)) !=
+      0) {
+    shard_error(path, "not a ConvMeter sample shard (bad magic)");
+  }
+  if (header.endian != store::kEndianTag) {
+    shard_error(path,
+                "endianness mismatch — written on a machine of different "
+                "byte order");
+  }
+  if (header.version != store::kShardFormatVersion) {
+    shard_error(path, "unsupported shard version " +
+                          std::to_string(header.version) +
+                          " (this build reads version " +
+                          std::to_string(store::kShardFormatVersion) + ")");
+  }
+  if (header.record_size != kRecordSize) {
+    shard_error(path, "record size " + std::to_string(header.record_size) +
+                          " does not match this build's " +
+                          std::to_string(kRecordSize));
+  }
+  // The header count is authoritative; the file must be at least that long
+  // (longer is fine: torn trailing bytes from an interrupted writer).
+  file.seekg(0, std::ios::end);
+  const auto bytes = static_cast<std::uint64_t>(file.tellg());
+  const std::uint64_t need = kHeaderSize + header.record_count * kRecordSize;
+  if (bytes < need) {
+    shard_error(path, "truncated: header claims " +
+                          std::to_string(header.record_count) +
+                          " records (" + std::to_string(need) +
+                          " bytes) but the file holds " +
+                          std::to_string(bytes));
+  }
+  file.seekg(static_cast<std::streamoff>(kHeaderSize));
+  return header;
+}
+
+store::ShardHeader validate_existing(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) shard_error(path, "cannot open for reading");
+  return read_header(file, path);
+}
+
+}  // namespace
+
+store::SampleRecord sample_to_record(const RuntimeSample& s,
+                                     std::uint64_t point_index,
+                                     std::uint32_t repetition) {
+  store::SampleRecord r{};
+  copy_string_field(r.model, store::kModelFieldSize, s.model, "model");
+  copy_string_field(r.device, store::kDeviceFieldSize, s.device, "device");
+  r.image_size = s.image_size;
+  r.global_batch = s.global_batch;
+  r.num_devices = s.num_devices;
+  r.num_nodes = s.num_nodes;
+  r.flops1 = s.flops1;
+  r.inputs1 = s.inputs1;
+  r.outputs1 = s.outputs1;
+  r.weights = s.weights;
+  r.layers = s.layers;
+  r.t_infer = s.t_infer;
+  r.t_fwd = s.t_fwd;
+  r.t_bwd = s.t_bwd;
+  r.t_grad = s.t_grad;
+  r.t_step = s.t_step;
+  r.point_index = point_index;
+  r.repetition = repetition;
+  r.crc = crc32(&r, offsetof(store::SampleRecord, crc));
+  return r;
+}
+
+RuntimeSample record_to_sample(const store::SampleRecord& r) {
+  RuntimeSample s;
+  s.model = std::string(r.model);
+  s.device = std::string(r.device);
+  s.image_size = r.image_size;
+  s.global_batch = r.global_batch;
+  s.num_devices = r.num_devices;
+  s.num_nodes = r.num_nodes;
+  s.flops1 = r.flops1;
+  s.inputs1 = r.inputs1;
+  s.outputs1 = r.outputs1;
+  s.weights = r.weights;
+  s.layers = r.layers;
+  s.t_infer = r.t_infer;
+  s.t_fwd = r.t_fwd;
+  s.t_bwd = r.t_bwd;
+  s.t_grad = r.t_grad;
+  s.t_step = r.t_step;
+  return s;
+}
+
+std::uint64_t shard_record_count(const std::string& path) {
+  return validate_existing(path).record_count;
+}
+
+// ---- ShardWriter ----------------------------------------------------------
+
+ShardWriter::ShardWriter(const std::string& path, bool append) : path_(path) {
+  if (append) {
+    const store::ShardHeader header = validate_existing(path);
+    count_ = header.record_count;
+    flushed_count_ = count_;
+    // Drop torn trailing bytes from an interrupted writer before appending.
+    std::filesystem::resize_file(path,
+                                 kHeaderSize + count_ * kRecordSize);
+    file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    CM_CHECK(file_.good(), "cannot open shard '" + path + "' for appending");
+    file_.seekp(0, std::ios::end);
+  } else {
+    file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                         std::ios::trunc);
+    CM_CHECK(file_.good(), "cannot create shard '" + path + "'");
+    store::ShardHeader header{};
+    std::memcpy(header.magic, store::kShardMagic, sizeof(header.magic));
+    header.version = store::kShardFormatVersion;
+    header.endian = store::kEndianTag;
+    header.record_size = kRecordSize;
+    header.record_count = 0;
+    file_.write(reinterpret_cast<const char*>(&header), kHeaderSize);
+    CM_CHECK(file_.good(), "failed writing shard header to '" + path + "'");
+  }
+}
+
+ShardWriter::~ShardWriter() {
+  if (count_ != flushed_count_) {
+    try {
+      flush();
+    } catch (...) {
+      // Destructor must not throw; the shard keeps its last durable count.
+    }
+  }
+}
+
+void ShardWriter::append(const RuntimeSample& s, std::uint64_t point_index,
+                         std::uint32_t repetition) {
+  append_record(sample_to_record(s, point_index, repetition));
+}
+
+void ShardWriter::append_record(const store::SampleRecord& record) {
+  file_.write(reinterpret_cast<const char*>(&record), kRecordSize);
+  CM_CHECK(file_.good(), "failed appending record to shard '" + path_ + "'");
+  ++count_;
+}
+
+void ShardWriter::flush() {
+  file_.seekp(static_cast<std::streamoff>(kCountOffset));
+  file_.write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+  file_.seekp(
+      static_cast<std::streamoff>(kHeaderSize + count_ * kRecordSize));
+  file_.flush();
+  CM_CHECK(file_.good(), "failed flushing shard '" + path_ + "'");
+  flushed_count_ = count_;
+}
+
+// ---- SampleReader ---------------------------------------------------------
+
+SampleReader::SampleReader(const std::string& path) : path_(path) {
+  file_.open(path, std::ios::binary);
+  if (!file_.good()) shard_error(path, "cannot open for reading");
+  const store::ShardHeader header = read_header(file_, path);
+  if (header.record_count == 0) {
+    shard_error(path, "contains zero records");
+  }
+  count_ = header.record_count;
+}
+
+bool SampleReader::next_record(store::SampleRecord& out) {
+  if (read_ >= count_) return false;
+  file_.read(reinterpret_cast<char*>(&out), kRecordSize);
+  if (file_.gcount() != static_cast<std::streamsize>(kRecordSize)) {
+    shard_error(path_, "unexpected end of file at record " +
+                           std::to_string(read_));
+  }
+  const std::uint32_t expect = crc32(&out, offsetof(store::SampleRecord, crc));
+  if (expect != out.crc) {
+    shard_error(path_, "record " + std::to_string(read_) +
+                           " failed its CRC check (corrupt shard)");
+  }
+  ++read_;
+  return true;
+}
+
+bool SampleReader::next(RuntimeSample& out) {
+  store::SampleRecord record{};
+  if (!next_record(record)) return false;
+  // Validate string termination before constructing std::strings.
+  out.model = read_string_field(record.model, store::kModelFieldSize, path_);
+  out.device =
+      read_string_field(record.device, store::kDeviceFieldSize, path_);
+  const RuntimeSample rest = record_to_sample(record);
+  out.image_size = rest.image_size;
+  out.global_batch = rest.global_batch;
+  out.num_devices = rest.num_devices;
+  out.num_nodes = rest.num_nodes;
+  out.flops1 = rest.flops1;
+  out.inputs1 = rest.inputs1;
+  out.outputs1 = rest.outputs1;
+  out.weights = rest.weights;
+  out.layers = rest.layers;
+  out.t_infer = rest.t_infer;
+  out.t_fwd = rest.t_fwd;
+  out.t_bwd = rest.t_bwd;
+  out.t_grad = rest.t_grad;
+  out.t_step = rest.t_step;
+  return true;
+}
+
+void SampleReader::reset() {
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(kHeaderSize));
+  read_ = 0;
+  CM_CHECK(file_.good(), "failed rewinding shard '" + path_ + "'");
+}
+
+// ---- store-level helpers --------------------------------------------------
+
+std::vector<std::string> store_shards(const std::string& path) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(path)) {
+    throw InvalidArgument("store path '" + path + "' does not exist");
+  }
+  if (!fs::is_directory(path)) return {path};
+  std::vector<std::string> shards;
+  for (const auto& entry : fs::directory_iterator(path)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cms") {
+      shards.push_back(entry.path().string());
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+  CM_CHECK(!shards.empty(),
+           "store directory '" + path + "' contains no .cms shards");
+  return shards;
+}
+
+StoreSampleStream::StoreSampleStream(const std::string& path)
+    : shards_(store_shards(path)) {}
+
+bool StoreSampleStream::next(RuntimeSample& out) {
+  while (true) {
+    if (!reader_) {
+      if (shard_index_ >= shards_.size()) return false;
+      reader_ = std::make_unique<SampleReader>(shards_[shard_index_]);
+    }
+    if (reader_->next(out)) return true;
+    reader_.reset();
+    ++shard_index_;
+  }
+}
+
+void StoreSampleStream::reset() {
+  reader_.reset();
+  shard_index_ = 0;
+}
+
+std::uint64_t StoreSampleStream::record_count() const {
+  std::uint64_t total = 0;
+  for (const std::string& shard : shards_) {
+    total += shard_record_count(shard);
+  }
+  return total;
+}
+
+void merge_shards(const std::vector<std::string>& inputs,
+                  const std::string& out_path) {
+  CM_CHECK(!inputs.empty(), "merge_shards: no input shards");
+  struct Head {
+    store::SampleRecord record;
+    std::size_t source;
+  };
+  const auto key = [](const store::SampleRecord& r) {
+    return std::make_pair(r.point_index, r.repetition);
+  };
+  const auto later = [&](const Head& a, const Head& b) {
+    return key(a.record) > key(b.record);
+  };
+  std::vector<std::unique_ptr<SampleReader>> readers;
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    readers.push_back(std::make_unique<SampleReader>(inputs[i]));
+    Head head{{}, i};
+    if (readers.back()->next_record(head.record)) heap.push(head);
+  }
+
+  ShardWriter writer(out_path);
+  bool have_last = false;
+  std::pair<std::uint64_t, std::uint32_t> last{};
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    const auto k = key(head.record);
+    if (have_last && k == last) {
+      throw ParseError(
+          "merge_shards: duplicate sample for point " +
+          std::to_string(k.first) + " repetition " + std::to_string(k.second) +
+          " — the input shards overlap");
+    }
+    // Records from a validated reader are appended verbatim (CRC intact),
+    // which is what makes merge(shard 0/N..N-1/N) byte-identical to the
+    // unsharded campaign's shard.
+    writer.append_record(head.record);
+    have_last = true;
+    last = k;
+    Head next{{}, head.source};
+    if (readers[head.source]->next_record(next.record)) heap.push(next);
+  }
+  writer.flush();
+}
+
+StoreInfo store_info(const std::string& path) {
+  StoreInfo info;
+  std::set<std::string> models;
+  for (const std::string& shard : store_shards(path)) {
+    ++info.shards;
+    SampleReader reader(shard);
+    store::SampleRecord record{};
+    while (reader.next_record(record)) {
+      if (info.records == 0 || record.point_index < info.first_point) {
+        info.first_point = record.point_index;
+      }
+      if (info.records == 0 || record.point_index > info.last_point) {
+        info.last_point = record.point_index;
+      }
+      ++info.records;
+      models.insert(
+          read_string_field(record.model, store::kModelFieldSize, shard));
+    }
+  }
+  info.models.assign(models.begin(), models.end());
+  return info;
+}
+
+void import_csv_to_shard(const std::string& csv_path,
+                         const std::string& shard_path) {
+  const std::vector<RuntimeSample> samples = load_samples(csv_path);
+  CM_CHECK(!samples.empty(), "'" + csv_path + "' contains no samples");
+  ShardWriter writer(shard_path);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    writer.append(samples[i], i, 0);
+  }
+  writer.flush();
+}
+
+void export_store_to_csv(const std::string& store_path,
+                         const std::string& csv_path) {
+  std::ofstream out(csv_path);
+  CM_CHECK(out.good(), "cannot open '" + csv_path + "' for writing");
+  out << sample_csv_header() << '\n';
+  StoreSampleStream stream(store_path);
+  RuntimeSample s;
+  while (stream.next(s)) {
+    out << sample_to_csv_row(s) << '\n';
+  }
+  CM_CHECK(out.good(), "failed writing '" + csv_path + "'");
+}
+
+}  // namespace convmeter

@@ -1,0 +1,141 @@
+// Binary sample store: append-only shard files of RuntimeSamples with a
+// versioned header and CRC-guarded fixed-size records (format.hpp).
+//
+// ShardWriter appends records and makes them durable with flush() (records
+// are only visible to readers once the header's record_count covers them —
+// the checkpoint/resume discipline of the campaign engine). SampleReader
+// streams a shard sequentially with buffered reads, validating the header
+// and every record CRC; it fails loudly on truncated, corrupt, or
+// foreign-format files rather than skipping anything. StoreSampleStream
+// adapts one shard file — or a directory of them — to the SampleStream
+// interface every fit consumes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "collect/sample_stream.hpp"
+#include "collect/store/format.hpp"
+
+namespace convmeter {
+
+/// Conversions between the in-memory sample and the on-disk record. The
+/// sample → record direction computes the CRC and rejects model/device
+/// names longer than the fixed fields.
+store::SampleRecord sample_to_record(const RuntimeSample& s,
+                                     std::uint64_t point_index,
+                                     std::uint32_t repetition);
+RuntimeSample record_to_sample(const store::SampleRecord& r);
+
+/// Record count a shard's header claims, after full header validation.
+/// Unlike SampleReader, a zero-record shard is accepted (it is the state of
+/// a freshly created checkpoint journal).
+std::uint64_t shard_record_count(const std::string& path);
+
+/// Appends records to one shard file.
+class ShardWriter {
+ public:
+  /// `append == false` creates (or truncates) the shard; `append == true`
+  /// opens an existing shard, validates its header, and drops any torn
+  /// bytes past the durable record_count before continuing.
+  explicit ShardWriter(const std::string& path, bool append = false);
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  void append(const RuntimeSample& s, std::uint64_t point_index,
+              std::uint32_t repetition);
+
+  /// Appends an already-encoded record verbatim (CRC preserved), the
+  /// byte-identical path the shard merge uses.
+  void append_record(const store::SampleRecord& record);
+
+  /// Durable point: flushes buffered records and rewrites the header's
+  /// record_count to cover them.
+  void flush();
+
+  std::uint64_t record_count() const { return count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::fstream file_;
+  std::uint64_t count_ = 0;
+  std::uint64_t flushed_count_ = 0;
+};
+
+/// Sequential reader over one shard. The constructor validates the whole
+/// header (magic, version, endianness, record size, non-zero record count,
+/// no truncation); next() additionally validates each record's CRC.
+class SampleReader {
+ public:
+  explicit SampleReader(const std::string& path);
+
+  /// False once every durable record has been read.
+  bool next(RuntimeSample& out);
+  bool next_record(store::SampleRecord& out);
+
+  void reset();
+
+  std::uint64_t record_count() const { return count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// Shard files of a store path: the path itself when it is a file, or
+/// every `*.cms` inside it (sorted by name) when it is a directory.
+std::vector<std::string> store_shards(const std::string& path);
+
+/// Streams every shard of a store in shard order (multi-pass: reset()
+/// reopens from the first shard).
+class StoreSampleStream final : public SampleStream {
+ public:
+  explicit StoreSampleStream(const std::string& path);
+
+  bool next(RuntimeSample& out) override;
+  void reset() override;
+
+  std::uint64_t record_count() const;
+
+ private:
+  std::vector<std::string> shards_;
+  std::size_t shard_index_ = 0;
+  std::unique_ptr<SampleReader> reader_;
+};
+
+/// K-way merges shards into `out_path`, ordered by (point_index,
+/// repetition). Records are copied verbatim, so merging the shards of a
+/// split campaign reproduces the unsharded shard byte for byte. Duplicate
+/// (point_index, repetition) keys — overlapping shards — are an error.
+void merge_shards(const std::vector<std::string>& inputs,
+                  const std::string& out_path);
+
+/// Summary of a store (CLI `store info`).
+struct StoreInfo {
+  std::uint64_t shards = 0;
+  std::uint64_t records = 0;
+  std::uint64_t first_point = 0;
+  std::uint64_t last_point = 0;
+  std::vector<std::string> models;  ///< distinct, sorted
+};
+StoreInfo store_info(const std::string& path);
+
+/// CSV compatibility: import assigns point_index = row order; export
+/// streams records back out in the save_samples dialect (shortest
+/// round-trip doubles), so CSV → binary → CSV is bit-identical.
+void import_csv_to_shard(const std::string& csv_path,
+                         const std::string& shard_path);
+void export_store_to_csv(const std::string& store_path,
+                         const std::string& csv_path);
+
+}  // namespace convmeter

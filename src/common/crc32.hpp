@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the per-record
+// integrity check of the binary sample store (collect/store). Table-driven;
+// the table is built once on first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace convmeter {
+
+/// CRC-32 of `size` bytes at `data`. Pass a previous result as `seed` to
+/// continue a running checksum over several ranges.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace convmeter

@@ -339,4 +339,10 @@ std::string dump(const Value& value) {
   return out;
 }
 
+std::string format_double(double d) {
+  std::string out;
+  write_number(d, out);
+  return out;
+}
+
 }  // namespace convmeter::json

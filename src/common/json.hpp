@@ -67,4 +67,10 @@ std::string escape(std::string_view s);
 /// Non-finite numbers raise InvalidArgument (JSON cannot represent them).
 std::string dump(const Value& value);
 
+/// The shortest decimal string that strtod parses back to exactly `d`
+/// (std::to_chars) — the one double formatter shared by the JSON writer and
+/// the sample CSV dialect, so CSV→binary→CSV round trips are bit-identical.
+/// Non-finite numbers raise InvalidArgument.
+std::string format_double(double d);
+
 }  // namespace convmeter::json

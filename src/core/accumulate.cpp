@@ -1,0 +1,112 @@
+#include "core/accumulate.hpp"
+
+#include "common/error.hpp"
+#include "core/convmeter.hpp"
+
+namespace convmeter {
+
+PhaseAccumulator::PhaseAccumulator(Phase phase, FeatureSet fs)
+    : phase_(phase), fs_(fs) {}
+
+void PhaseAccumulator::observe(const RuntimeSample& s) {
+  if (s.num_devices > 1) multi_ = true;
+  const double y = target_value(s, phase_);
+  if (dual_width()) {
+    narrow_.observe(grad_features(s, /*multi_node=*/false), y);
+    main_.observe(grad_features(s, /*multi_node=*/true), y);
+  } else {
+    main_.observe(phase_features(s, phase_, fs_, multi_), y);
+  }
+  ++count_;
+}
+
+void PhaseAccumulator::merge(const PhaseAccumulator& other) {
+  CM_CHECK(phase_ == other.phase_ && fs_ == other.fs_,
+           "cannot merge phase accumulators of different models");
+  multi_ = multi_ || other.multi_;
+  count_ += other.count_;
+  main_.merge(other.main_);
+  if (dual_width()) narrow_.merge(other.narrow_);
+}
+
+void PhaseAccumulator::subtract(const PhaseAccumulator& other) {
+  CM_CHECK(phase_ == other.phase_ && fs_ == other.fs_,
+           "cannot subtract phase accumulators of different models");
+  CM_CHECK(count_ >= other.count_,
+           "cannot subtract a larger phase accumulator");
+  // multi_ stays: the complement keeps the union's width decision.
+  count_ -= other.count_;
+  main_.subtract(other.main_);
+  if (dual_width()) narrow_.subtract(other.narrow_);
+}
+
+LinearModel PhaseAccumulator::solve() const {
+  CM_CHECK(count_ > 0, "cannot solve an empty phase accumulator");
+  if (dual_width() && !multi_) {
+    return LinearModel::from_coefficients(narrow_.solve());
+  }
+  return LinearModel::from_coefficients(main_.solve());
+}
+
+bool PhaseAccumulator::operator==(const PhaseAccumulator& other) const {
+  return phase_ == other.phase_ && fs_ == other.fs_ &&
+         multi_ == other.multi_ && count_ == other.count_ &&
+         main_ == other.main_ &&
+         (!dual_width() || narrow_ == other.narrow_);
+}
+
+ConvMeterAccumulator::ConvMeterAccumulator(bool training, FeatureSet fs)
+    : fs_(fs),
+      fwd_(training ? Phase::kForward : Phase::kInference, fs) {
+  if (training) {
+    bwd_.emplace(Phase::kBackward, fs);
+    grad_.emplace(Phase::kGradUpdate, fs);
+    bwd_grad_.emplace(Phase::kBwdGrad, fs);
+  }
+}
+
+void ConvMeterAccumulator::observe(const RuntimeSample& s) {
+  fwd_.observe(s);
+  if (bwd_.has_value()) {
+    bwd_->observe(s);
+    grad_->observe(s);
+    bwd_grad_->observe(s);
+  }
+}
+
+void ConvMeterAccumulator::merge(const ConvMeterAccumulator& other) {
+  CM_CHECK(training() == other.training(),
+           "cannot merge inference and training accumulators");
+  fwd_.merge(other.fwd_);
+  if (bwd_.has_value()) {
+    bwd_->merge(*other.bwd_);
+    grad_->merge(*other.grad_);
+    bwd_grad_->merge(*other.bwd_grad_);
+  }
+}
+
+void ConvMeterAccumulator::subtract(const ConvMeterAccumulator& other) {
+  CM_CHECK(training() == other.training(),
+           "cannot subtract inference and training accumulators");
+  fwd_.subtract(other.fwd_);
+  if (bwd_.has_value()) {
+    bwd_->subtract(*other.bwd_);
+    grad_->subtract(*other.grad_);
+    bwd_grad_->subtract(*other.bwd_grad_);
+  }
+}
+
+ConvMeter ConvMeterAccumulator::solve() const {
+  ConvMeter m;
+  m.feature_set_ = fs_;
+  m.fwd_ = fwd_.solve();
+  if (bwd_.has_value()) {
+    m.multi_node_ = grad_->multi_node();
+    m.bwd_ = bwd_->solve();
+    m.grad_ = grad_->solve();
+    m.bwd_grad_ = bwd_grad_->solve();
+  }
+  return m;
+}
+
+}  // namespace convmeter

@@ -1,0 +1,95 @@
+// Streaming fit state for the ConvMeter phase models.
+//
+// A PhaseAccumulator folds samples one at a time into the exact
+// normal-equation state of `regress/incremental_ls.hpp` for one phase
+// model; a ConvMeterAccumulator bundles the accumulators of every phase a
+// ConvMeter fit needs. Because the underlying sums are exact (integer
+// superaccumulators), accumulators built over shards of a sample set and
+// merge()d — in any order — hold bit-identical state to one built over the
+// whole set, and subtract() yields the exact complement: the primitive the
+// streaming leave-one-out evaluation is built on.
+//
+// One width subtlety: the gradient-update model is {L} for single-device
+// sample sets and {L, W, N} for multi-device ones (Sec. 3.3), and whether
+// a set is multi-device is only known once every sample has been seen. The
+// accumulator therefore maintains both widths and picks at solve() time;
+// the multi-device flag is sticky under subtract() (a complement keeps the
+// union's width decision, see DESIGN §13).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "collect/sample.hpp"
+#include "collect/sample_stream.hpp"
+#include "core/features.hpp"
+#include "regress/incremental_ls.hpp"
+#include "regress/linear_model.hpp"
+
+namespace convmeter {
+
+class ConvMeter;
+
+/// Exact streaming state of one phase model's least-squares fit.
+class PhaseAccumulator {
+ public:
+  PhaseAccumulator(Phase phase, FeatureSet fs);
+
+  void observe(const RuntimeSample& s);
+  void merge(const PhaseAccumulator& other);
+  void subtract(const PhaseAccumulator& other);
+
+  std::uint64_t count() const { return count_; }
+  bool multi_node() const { return multi_; }
+  Phase phase() const { return phase_; }
+
+  /// Solves the accumulated normal equations (gradient-update picks the
+  /// {L} or {L, W, N} width by the multi-device flag).
+  LinearModel solve() const;
+
+  /// Bitwise state equality (canonicalized sums): holds between a merged
+  /// shard accumulator and its single-stream twin.
+  bool operator==(const PhaseAccumulator& other) const;
+  bool operator!=(const PhaseAccumulator& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  bool dual_width() const { return phase_ == Phase::kGradUpdate; }
+
+  Phase phase_;
+  FeatureSet fs_;
+  bool multi_ = false;
+  std::uint64_t count_ = 0;
+  IncrementalLS main_;    ///< phase features ({L, W, N} for grad-update)
+  IncrementalLS narrow_;  ///< grad-update only: the single-device {L} width
+};
+
+/// Streaming state of a whole ConvMeter fit (inference: the forward model;
+/// training: forward, backward, gradient-update and combined models).
+class ConvMeterAccumulator {
+ public:
+  explicit ConvMeterAccumulator(bool training,
+                                FeatureSet fs = FeatureSet::kCombined);
+
+  void observe(const RuntimeSample& s);
+  void merge(const ConvMeterAccumulator& other);
+  void subtract(const ConvMeterAccumulator& other);
+
+  std::uint64_t count() const { return fwd_.count(); }
+  bool training() const { return bwd_.has_value(); }
+
+  /// Solves every phase model into a ConvMeter. The forward residual sigma
+  /// needs a second pass over the samples and starts at zero; the
+  /// fit_inference/fit_training entry points fill it in.
+  ConvMeter solve() const;
+
+ private:
+  FeatureSet fs_;
+  PhaseAccumulator fwd_;
+  std::optional<PhaseAccumulator> bwd_;
+  std::optional<PhaseAccumulator> grad_;
+  std::optional<PhaseAccumulator> bwd_grad_;
+};
+
+}  // namespace convmeter

@@ -1,9 +1,10 @@
 #include "core/convmeter.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
-#include "linalg/stats.hpp"
+#include "core/accumulate.hpp"
 
 namespace convmeter {
 
@@ -38,53 +39,74 @@ QueryPoint QueryPoint::from_sample(const RuntimeSample& s) {
 
 namespace {
 
-/// Standard deviation of relative residuals of `model` on (x, y).
-double relative_residual_sigma(const LinearModel& model, const Matrix& x,
-                               const Vector& y) {
-  const Vector pred = model.predict_all(x);
-  std::vector<double> rel;
-  rel.reserve(y.size());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    if (pred[i] > 0.0) rel.push_back((y[i] - pred[i]) / pred[i]);
+/// Standard deviation of relative residuals of `model` over the stream's
+/// `phase` targets: two passes (mean, then centered second moment) whose
+/// loops mirror linalg/stats.cpp mean()/variance() term for term, so the
+/// streaming fit reproduces the materialized fit's sigma bit for bit.
+double relative_residual_sigma(const LinearModel& model, SampleStream& samples,
+                               Phase phase, FeatureSet fs) {
+  RuntimeSample s;
+  std::size_t n = 0;
+  double sum = 0.0;
+  samples.reset();
+  while (samples.next(s)) {
+    const double pred = model.predict(forward_features(s, fs));
+    if (pred > 0.0) {
+      sum += (target_value(s, phase) - pred) / pred;
+      ++n;
+    }
   }
-  return rel.size() >= 2 ? stddev(rel) : 0.0;
+  if (n < 2) return 0.0;
+  const double m = sum / static_cast<double>(n);
+  double ss = 0.0;
+  samples.reset();
+  while (samples.next(s)) {
+    const double pred = model.predict(forward_features(s, fs));
+    if (pred > 0.0) {
+      const double r = (target_value(s, phase) - pred) / pred;
+      ss += (r - m) * (r - m);
+    }
+  }
+  return std::sqrt(ss / static_cast<double>(n));
+}
+
+/// Folds the whole stream into `acc`, requiring a non-empty stream.
+void accumulate_all(ConvMeterAccumulator& acc, SampleStream& samples) {
+  RuntimeSample s;
+  samples.reset();
+  while (samples.next(s)) acc.observe(s);
+  CM_CHECK(acc.count() > 0, "fit: empty sample stream");
 }
 
 }  // namespace
 
-ConvMeter ConvMeter::fit_inference(const std::vector<RuntimeSample>& samples,
-                                   FeatureSet fs) {
-  const Design d = build_design(samples, Phase::kInference, fs);
-  ConvMeter m;
-  m.feature_set_ = fs;
-  m.fwd_ = LinearModel::fit(d.x, d.y);
-  m.fwd_rel_sigma_ = relative_residual_sigma(*m.fwd_, d.x, d.y);
+ConvMeter ConvMeter::fit_inference(SampleStream& samples, FeatureSet fs) {
+  ConvMeterAccumulator acc(/*training=*/false, fs);
+  accumulate_all(acc, samples);
+  ConvMeter m = acc.solve();
+  m.fwd_rel_sigma_ =
+      relative_residual_sigma(*m.fwd_, samples, Phase::kInference, fs);
   return m;
 }
 
-ConvMeter ConvMeter::fit_training(const std::vector<RuntimeSample>& samples) {
-  ConvMeter m;
-  m.feature_set_ = FeatureSet::kCombined;
-  m.multi_node_ = any_multi_device(samples);
-  {
-    const Design d = build_design(samples, Phase::kForward, m.feature_set_);
-    m.fwd_ = LinearModel::fit(d.x, d.y);
-    m.fwd_rel_sigma_ = relative_residual_sigma(*m.fwd_, d.x, d.y);
-  }
-  {
-    const Design d = build_design(samples, Phase::kBackward, m.feature_set_);
-    m.bwd_ = LinearModel::fit(d.x, d.y);
-  }
-  {
-    const Design d =
-        build_design(samples, Phase::kGradUpdate, m.feature_set_);
-    m.grad_ = LinearModel::fit(d.x, d.y);
-  }
-  {
-    const Design d = build_design(samples, Phase::kBwdGrad, m.feature_set_);
-    m.bwd_grad_ = LinearModel::fit(d.x, d.y);
-  }
+ConvMeter ConvMeter::fit_training(SampleStream& samples) {
+  ConvMeterAccumulator acc(/*training=*/true);
+  accumulate_all(acc, samples);
+  ConvMeter m = acc.solve();
+  m.fwd_rel_sigma_ = relative_residual_sigma(*m.fwd_, samples,
+                                             Phase::kForward, m.feature_set_);
   return m;
+}
+
+ConvMeter ConvMeter::fit_inference(const std::vector<RuntimeSample>& samples,
+                                   FeatureSet fs) {
+  VectorSampleStream stream(samples);
+  return fit_inference(stream, fs);
+}
+
+ConvMeter ConvMeter::fit_training(const std::vector<RuntimeSample>& samples) {
+  VectorSampleStream stream(samples);
+  return fit_training(stream);
 }
 
 double ConvMeter::predict_inference(const QueryPoint& q) const {

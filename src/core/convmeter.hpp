@@ -16,6 +16,7 @@
 
 #include "common/json.hpp"
 #include "collect/sample.hpp"
+#include "collect/sample_stream.hpp"
 #include "core/features.hpp"
 #include "metrics/metrics.hpp"
 #include "regress/linear_model.hpp"
@@ -64,12 +65,20 @@ struct PredictionInterval {
 /// The fitted performance model for one target platform.
 class ConvMeter {
  public:
-  /// Fits an inference predictor on samples carrying t_infer.
-  static ConvMeter fit_inference(const std::vector<RuntimeSample>& samples,
+  /// Fits an inference predictor on samples carrying t_infer. The stream is
+  /// traversed three times (normal equations, then the two residual-sigma
+  /// passes), never materialized: fitting from a million-sample shard store
+  /// runs in O(1) sample memory.
+  static ConvMeter fit_inference(SampleStream& samples,
                                  FeatureSet fs = FeatureSet::kCombined);
 
   /// Fits a training predictor (forward, backward, gradient-update and
   /// combined models) on samples carrying phase times.
+  static ConvMeter fit_training(SampleStream& samples);
+
+  /// In-memory convenience adapters over the streaming fits.
+  static ConvMeter fit_inference(const std::vector<RuntimeSample>& samples,
+                                 FeatureSet fs = FeatureSet::kCombined);
   static ConvMeter fit_training(const std::vector<RuntimeSample>& samples);
 
   bool has_training_model() const { return bwd_grad_.has_value(); }
@@ -108,6 +117,8 @@ class ConvMeter {
   static ConvMeter from_json(const json::Value& value);
 
  private:
+  friend class ConvMeterAccumulator;
+
   FeatureSet feature_set_ = FeatureSet::kCombined;
   bool multi_node_ = false;
   std::optional<LinearModel> fwd_;

@@ -7,6 +7,16 @@
 // then its predictions for the held-out samples are compared against the
 // family's target phase. Subsumes the old per-family loops
 // (evaluate_phase_loo / evaluate_train_step_loo).
+//
+// Execution is streaming and group-aware for StreamingFitCapable families:
+// pass one folds every sample into a global accumulator plus one
+// accumulator per ConvNet; each fold's model is then solved from the exact
+// complement (global minus group) — O(G) solves over one pass of I/O
+// instead of O(G) refits over G passes — and pass two scores every sample
+// against its group's fold model. Families without accumulator support
+// (mlp, dippm, paleo) fall back to materializing the stream and refitting
+// per fold. Either way the evaluation runs off a SampleStream, so a
+// million-sample shard store is evaluated without ever being resident.
 #pragma once
 
 #include <functional>
@@ -14,10 +24,19 @@
 #include <string>
 #include <vector>
 
+#include "collect/sample_stream.hpp"
 #include "predict/registry.hpp"
 #include "regress/loo.hpp"
 
 namespace convmeter {
+
+/// Knobs of the streaming LOO pass.
+struct LooOptions {
+  /// Record per-sample (predicted, measured) pairs in each GroupEvaluation.
+  /// Disable for very large sample sets: error reports are then built from
+  /// streaming ErrorAccumulators and the point vectors stay empty.
+  bool collect_points = true;
+};
 
 /// LOO evaluation with a caller-supplied factory (one fresh predictor per
 /// fold). Held-out samples the predictor rejects with InvalidArgument —
@@ -26,10 +45,19 @@ namespace convmeter {
 /// 2 scored samples contribute to the pooled errors only.
 LooResult evaluate_loo(
     const std::function<std::unique_ptr<Predictor>()>& factory,
+    SampleStream& samples, const LooOptions& loo_options = {});
+
+/// In-memory adapter over the streaming evaluation.
+LooResult evaluate_loo(
+    const std::function<std::unique_ptr<Predictor>()>& factory,
     const std::vector<RuntimeSample>& samples);
 
 /// LOO evaluation of the registry family `predictor_name` (constructed
 /// with `options` for every fold).
+LooResult evaluate_loo(const std::string& predictor_name,
+                       SampleStream& samples,
+                       const PredictorOptions& options = {},
+                       const LooOptions& loo_options = {});
 LooResult evaluate_loo(const std::string& predictor_name,
                        const std::vector<RuntimeSample>& samples,
                        const PredictorOptions& options = {});

@@ -9,7 +9,7 @@
 
 namespace convmeter {
 
-void Predictor::fit(const std::vector<RuntimeSample>& samples) {
+void Predictor::fit(SampleStream& samples) {
   CM_TRACE_SPAN("predict.fit/" + name_, "predict");
   const TimePoint start = Clock::now();
   do_fit(samples);
@@ -19,6 +19,11 @@ void Predictor::fit(const std::vector<RuntimeSample>& samples) {
     registry.counter("fit.calls").add();
     registry.histogram("fit.seconds").observe(elapsed_seconds(start));
   }
+}
+
+void Predictor::fit(const std::vector<RuntimeSample>& samples) {
+  VectorSampleStream stream(samples);
+  fit(stream);
 }
 
 double Predictor::predict(const RuntimeSample& sample) const {

@@ -3,12 +3,18 @@
 //
 // Every predictor family in the repo (ConvMeter, the single-metric
 // baselines, the learned MLP/DIPPM baselines, the analytical Paleo
-// baseline) plugs in behind one contract: fit on a vector of
-// RuntimeSamples, predict seconds for one sample, and persist/reload
+// baseline) plugs in behind one contract: fit on a SampleStream (an
+// in-memory vector or a binary shard store — million-sample campaigns
+// never materialize), predict seconds for one sample, and persist/reload
 // through a versioned JSON model file. That is the load-bearing seam for a
 // serving process — fit on a campaign once, ship the model file, predict
 // without refitting — and it lets one generic leave-one-ConvNet-out
 // harness (predict/evaluate.hpp) subsume the per-family evaluation loops.
+//
+// Families whose fit reduces to exact mergeable sufficient statistics
+// additionally implement StreamingFitCapable; the streaming LOO harness
+// uses it to fit every fold from one pass over the data (global sums minus
+// the held-out group's sums) instead of refitting per fold.
 //
 // Model-file envelope (schema version 1):
 //
@@ -23,10 +29,15 @@
 // dump), so a reloaded predictor reproduces its predictions bit-identically.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collect/sample.hpp"
+#include "collect/sample_stream.hpp"
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "core/features.hpp"
 
@@ -60,8 +71,12 @@ class Predictor {
   /// predictors (paleo) are born fitted.
   bool fitted() const { return fitted_; }
 
-  /// Fits the model on measured samples; throws InvalidArgument when the
-  /// sample set is unusable for this family.
+  /// Fits the model on a stream of measured samples (multi-pass: families
+  /// may reset() and re-traverse); throws InvalidArgument when the sample
+  /// set is unusable for this family.
+  void fit(SampleStream& samples);
+
+  /// In-memory adapter over the streaming fit.
   void fit(const std::vector<RuntimeSample>& samples);
 
   /// Predicted seconds (of `target()`) for one sample's operating point;
@@ -87,7 +102,7 @@ class Predictor {
   /// Marks the predictor usable without fit() (fitting-free families).
   void set_fitted() { fitted_ = true; }
 
-  virtual void do_fit(const std::vector<RuntimeSample>& samples) = 0;
+  virtual void do_fit(SampleStream& samples) = 0;
   virtual double do_predict(const RuntimeSample& sample) const = 0;
 
   /// Family-specific "model" payload of the envelope.
@@ -97,6 +112,66 @@ class Predictor {
  private:
   std::string name_;
   bool fitted_ = false;
+};
+
+/// Type-erased exact fit state: the sufficient statistics of one family's
+/// fit, observed sample by sample and combinable by exact merge/subtract
+/// (see regress/incremental_ls.hpp for why the combination is exact).
+class FitAccumulator {
+ public:
+  virtual ~FitAccumulator() = default;
+  virtual void observe(const RuntimeSample& s) = 0;
+  virtual void merge(const FitAccumulator& other) = 0;
+  virtual void subtract(const FitAccumulator& other) = 0;
+  virtual std::unique_ptr<FitAccumulator> clone() const = 0;
+  virtual std::uint64_t count() const = 0;
+};
+
+/// Wraps any state type with observe/merge/subtract/count (PhaseAccumulator,
+/// ConvMeterAccumulator) as a FitAccumulator.
+template <typename State>
+class TypedFitAccumulator final : public FitAccumulator {
+ public:
+  explicit TypedFitAccumulator(State state) : state_(std::move(state)) {}
+
+  void observe(const RuntimeSample& s) override { state_.observe(s); }
+  void merge(const FitAccumulator& other) override {
+    state_.merge(cast(other).state_);
+  }
+  void subtract(const FitAccumulator& other) override {
+    state_.subtract(cast(other).state_);
+  }
+  std::unique_ptr<FitAccumulator> clone() const override {
+    return std::make_unique<TypedFitAccumulator>(state_);
+  }
+  std::uint64_t count() const override { return state_.count(); }
+
+  const State& state() const { return state_; }
+
+ private:
+  static const TypedFitAccumulator& cast(const FitAccumulator& other) {
+    const auto* typed = dynamic_cast<const TypedFitAccumulator*>(&other);
+    CM_CHECK(typed != nullptr,
+             "fit accumulators of different predictor families cannot be "
+             "combined");
+    return *typed;
+  }
+
+  State state_;
+};
+
+/// Mixin for predictor families whose fit is a pure function of a
+/// FitAccumulator. The streaming LOO harness detects it by dynamic_cast.
+class StreamingFitCapable {
+ public:
+  virtual ~StreamingFitCapable() = default;
+
+  /// A fresh, empty accumulator of this family's state.
+  virtual std::unique_ptr<FitAccumulator> make_accumulator() const = 0;
+
+  /// Installs the model solved from `acc` and marks the predictor fitted.
+  /// Throws if `acc` came from a different family.
+  virtual void fit_from_accumulator(const FitAccumulator& acc) = 0;
 };
 
 /// Validates the envelope of a parsed model file and returns the registry

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/accumulate.hpp"
 
 namespace convmeter {
 
@@ -14,8 +15,24 @@ const ConvMeter& ConvMeterPredictor::model() const {
   return *model_;
 }
 
-void ConvMeterPredictor::do_fit(const std::vector<RuntimeSample>& samples) {
+void ConvMeterPredictor::do_fit(SampleStream& samples) {
   model_ = ConvMeter::fit_training(samples);
+}
+
+std::unique_ptr<FitAccumulator> ConvMeterPredictor::make_accumulator() const {
+  return std::make_unique<TypedFitAccumulator<ConvMeterAccumulator>>(
+      ConvMeterAccumulator(/*training=*/true));
+}
+
+void ConvMeterPredictor::fit_from_accumulator(const FitAccumulator& acc) {
+  const auto* typed =
+      dynamic_cast<const TypedFitAccumulator<ConvMeterAccumulator>*>(&acc);
+  CM_CHECK(typed != nullptr,
+           "convmeter predictor got a foreign fit accumulator");
+  // No residual-sigma pass here: accumulator fits serve point predictions
+  // (the LOO protocol), not uncertainty bands.
+  model_ = typed->state().solve();
+  set_fitted();
 }
 
 double ConvMeterPredictor::do_predict(const RuntimeSample& sample) const {
@@ -43,10 +60,29 @@ PhaseLinearPredictor::PhaseLinearPredictor(std::string name, Phase phase,
                                            FeatureSet fs)
     : Predictor(std::move(name)), phase_(phase), fs_(fs) {}
 
-void PhaseLinearPredictor::do_fit(const std::vector<RuntimeSample>& samples) {
-  multi_node_ = any_multi_device(samples);
-  const Design d = build_design(samples, phase_, fs_);
-  model_ = LinearModel::fit(d.x, d.y);
+void PhaseLinearPredictor::do_fit(SampleStream& samples) {
+  PhaseAccumulator acc(phase_, fs_);
+  RuntimeSample s;
+  samples.reset();
+  while (samples.next(s)) acc.observe(s);
+  multi_node_ = acc.multi_node();
+  model_ = acc.solve();
+}
+
+std::unique_ptr<FitAccumulator> PhaseLinearPredictor::make_accumulator()
+    const {
+  return std::make_unique<TypedFitAccumulator<PhaseAccumulator>>(
+      PhaseAccumulator(phase_, fs_));
+}
+
+void PhaseLinearPredictor::fit_from_accumulator(const FitAccumulator& acc) {
+  const auto* typed =
+      dynamic_cast<const TypedFitAccumulator<PhaseAccumulator>*>(&acc);
+  CM_CHECK(typed != nullptr && typed->state().phase() == phase_,
+           "phase predictor got a foreign fit accumulator");
+  multi_node_ = typed->state().multi_node();
+  model_ = typed->state().solve();
+  set_fitted();
 }
 
 const LinearModel& PhaseLinearPredictor::model() const {
@@ -81,8 +117,23 @@ void PhaseLinearPredictor::load_model_json(const json::Value& model) {
 SimpleBaselineAdapter::SimpleBaselineAdapter(std::string name, FeatureSet fs)
     : Predictor(std::move(name)), fs_(fs) {}
 
-void SimpleBaselineAdapter::do_fit(const std::vector<RuntimeSample>& samples) {
+void SimpleBaselineAdapter::do_fit(SampleStream& samples) {
   model_ = SimpleBaseline::fit(samples, fs_);
+}
+
+std::unique_ptr<FitAccumulator> SimpleBaselineAdapter::make_accumulator()
+    const {
+  return std::make_unique<TypedFitAccumulator<PhaseAccumulator>>(
+      PhaseAccumulator(Phase::kInference, fs_));
+}
+
+void SimpleBaselineAdapter::fit_from_accumulator(const FitAccumulator& acc) {
+  const auto* typed =
+      dynamic_cast<const TypedFitAccumulator<PhaseAccumulator>*>(&acc);
+  CM_CHECK(typed != nullptr && typed->state().phase() == Phase::kInference,
+           "baseline got a foreign fit accumulator");
+  model_ = SimpleBaseline::from_model(fs_, typed->state().solve());
+  set_fitted();
 }
 
 double SimpleBaselineAdapter::do_predict(const RuntimeSample& sample) const {
@@ -109,7 +160,10 @@ void SimpleBaselineAdapter::load_model_json(const json::Value& model) {
 MlpBaselineAdapter::MlpBaselineAdapter(MlpConfig config)
     : Predictor("mlp"), config_(config) {}
 
-void MlpBaselineAdapter::do_fit(const std::vector<RuntimeSample>& samples) {
+void MlpBaselineAdapter::do_fit(SampleStream& stream) {
+  // The MLP's iterative trainer needs the design matrix resident; this
+  // family materializes the stream (and the LOO harness refits it per fold).
+  const std::vector<RuntimeSample> samples = materialize(stream);
   std::vector<const RuntimeSample*> usable;
   for (const auto& s : samples) {
     if (s.t_infer > 0.0) usable.push_back(&s);
@@ -144,8 +198,8 @@ void MlpBaselineAdapter::load_model_json(const json::Value& model) {
 DippmAdapter::DippmAdapter(MlpConfig config)
     : Predictor("dippm"), config_(config) {}
 
-void DippmAdapter::do_fit(const std::vector<RuntimeSample>& samples) {
-  model_ = DippmLikePredictor::fit(samples, config_);
+void DippmAdapter::do_fit(SampleStream& stream) {
+  model_ = DippmLikePredictor::fit(materialize(stream), config_);
 }
 
 double DippmAdapter::do_predict(const RuntimeSample& sample) const {
@@ -173,7 +227,7 @@ PaleoAdapter::PaleoAdapter(PaleoDeviceSheet sheet)
   set_fitted();  // the model *is* the device datasheet
 }
 
-void PaleoAdapter::do_fit(const std::vector<RuntimeSample>& /*samples*/) {
+void PaleoAdapter::do_fit(SampleStream& /*samples*/) {
   // Fitting-free: the datasheet fully determines the prediction. Accepting
   // fit() keeps the adapter usable in the generic LOO harness.
 }

@@ -19,18 +19,21 @@ namespace convmeter {
 
 /// "convmeter": the paper's full training-step model (Eq. 1/3 + the
 /// 7-coefficient combined backward+gradient block). Predicts t_step.
-class ConvMeterPredictor : public Predictor {
+class ConvMeterPredictor : public Predictor, public StreamingFitCapable {
  public:
   ConvMeterPredictor() : Predictor("convmeter") {}
 
   Phase target() const override { return Phase::kTrainStep; }
+
+  std::unique_ptr<FitAccumulator> make_accumulator() const override;
+  void fit_from_accumulator(const FitAccumulator& acc) override;
 
   /// The wrapped model (e.g. for ScalabilityAnalyzer or phase breakdowns);
   /// requires a fitted or loaded model.
   const ConvMeter& model() const;
 
  protected:
-  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  void do_fit(SampleStream& samples) override;
   double do_predict(const RuntimeSample& sample) const override;
   json::Value model_json() const override;
   void load_model_json(const json::Value& model) override;
@@ -43,19 +46,22 @@ class ConvMeterPredictor : public Predictor {
 /// combined FLOPs+Inputs+Outputs features). A phase override retargets the
 /// same linear form at t_fwd, t_bwd, t_grad or t_bwd+t_grad, which is how
 /// the training benches evaluate the per-phase models.
-class PhaseLinearPredictor : public Predictor {
+class PhaseLinearPredictor : public Predictor, public StreamingFitCapable {
  public:
   PhaseLinearPredictor(std::string name, Phase phase, FeatureSet fs);
 
   Phase target() const override { return phase_; }
   FeatureSet feature_set() const { return fs_; }
 
+  std::unique_ptr<FitAccumulator> make_accumulator() const override;
+  void fit_from_accumulator(const FitAccumulator& acc) override;
+
   /// The fitted linear form (the profiler dissects its coefficients into
   /// per-layer estimates); requires a fitted or loaded model.
   const LinearModel& model() const;
 
  protected:
-  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  void do_fit(SampleStream& samples) override;
   double do_predict(const RuntimeSample& sample) const override;
   json::Value model_json() const override;
   void load_model_json(const json::Value& model) override;
@@ -69,14 +75,17 @@ class PhaseLinearPredictor : public Predictor {
 
 /// "flops-only" / "inputs-only" / "outputs-only": the paper's Fig. 2
 /// single-metric inference baselines (SimpleBaseline underneath).
-class SimpleBaselineAdapter : public Predictor {
+class SimpleBaselineAdapter : public Predictor, public StreamingFitCapable {
  public:
   SimpleBaselineAdapter(std::string name, FeatureSet fs);
 
   Phase target() const override { return Phase::kInference; }
 
+  std::unique_ptr<FitAccumulator> make_accumulator() const override;
+  void fit_from_accumulator(const FitAccumulator& acc) override;
+
  protected:
-  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  void do_fit(SampleStream& samples) override;
   double do_predict(const RuntimeSample& sample) const override;
   json::Value model_json() const override;
   void load_model_json(const json::Value& model) override;
@@ -95,7 +104,7 @@ class MlpBaselineAdapter : public Predictor {
   Phase target() const override { return Phase::kInference; }
 
  protected:
-  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  void do_fit(SampleStream& samples) override;
   double do_predict(const RuntimeSample& sample) const override;
   json::Value model_json() const override;
   void load_model_json(const json::Value& model) override;
@@ -115,7 +124,7 @@ class DippmAdapter : public Predictor {
   Phase target() const override { return Phase::kInference; }
 
  protected:
-  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  void do_fit(SampleStream& samples) override;
   double do_predict(const RuntimeSample& sample) const override;
   json::Value model_json() const override;
   void load_model_json(const json::Value& model) override;
@@ -141,7 +150,7 @@ class PaleoAdapter : public Predictor {
   Phase target() const override { return Phase::kInference; }
 
  protected:
-  void do_fit(const std::vector<RuntimeSample>& samples) override;
+  void do_fit(SampleStream& samples) override;
   double do_predict(const RuntimeSample& sample) const override;
   json::Value model_json() const override;
   void load_model_json(const json::Value& model) override;

@@ -1,5 +1,6 @@
 #include "regress/error_metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -45,6 +46,59 @@ ErrorReport compute_errors(const std::vector<double>& predicted,
   rep.nrmse = range > 0.0 ? rep.rmse / range : 0.0;
   rep.mape =
       pct_count > 0 ? abs_pct_sum / static_cast<double>(pct_count) : 0.0;
+  return rep;
+}
+
+void ErrorAccumulator::observe(double predicted, double measured) {
+  const double err = measured - predicted;
+  if (count_ == 0) {
+    min_y_ = measured;
+    max_y_ = measured;
+  } else {
+    min_y_ = std::min(min_y_, measured);
+    max_y_ = std::max(max_y_, measured);
+  }
+  ++count_;
+  sum_y_ += measured;
+  sum_y2_ += measured * measured;
+  sum_err2_ += err * err;
+  if (measured != 0.0) {
+    sum_abs_pct_ += std::fabs(err / measured);
+    ++pct_count_;
+  }
+}
+
+void ErrorAccumulator::merge(const ErrorAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_y_ = other.min_y_;
+    max_y_ = other.max_y_;
+  } else {
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+  count_ += other.count_;
+  pct_count_ += other.pct_count_;
+  sum_y_ += other.sum_y_;
+  sum_y2_ += other.sum_y2_;
+  sum_err2_ += other.sum_err2_;
+  sum_abs_pct_ += other.sum_abs_pct_;
+}
+
+ErrorReport ErrorAccumulator::report() const {
+  CM_CHECK(count_ >= 2, "ErrorAccumulator needs at least two observations");
+  const auto n = static_cast<double>(count_);
+  const double mean_y = sum_y_ / n;
+  const double ss_tot = std::max(0.0, sum_y2_ - n * mean_y * mean_y);
+  ErrorReport rep;
+  rep.count = count_;
+  rep.rmse = std::sqrt(sum_err2_ / n);
+  rep.r2 = ss_tot > 0.0 ? 1.0 - sum_err2_ / ss_tot : 0.0;
+  const double range = max_y_ - min_y_;
+  rep.nrmse = range > 0.0 ? rep.rmse / range : 0.0;
+  rep.mape = pct_count_ > 0
+                 ? sum_abs_pct_ / static_cast<double>(pct_count_)
+                 : 0.0;
   return rep;
 }
 

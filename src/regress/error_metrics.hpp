@@ -24,4 +24,31 @@ struct ErrorReport {
 ErrorReport compute_errors(const std::vector<double>& predicted,
                            const std::vector<double>& measured);
 
+/// Streaming builder of an ErrorReport: feed (predicted, measured) pairs
+/// one at a time and read the report at the end, without materializing the
+/// prediction vectors — the scoring half of the streaming LOO harness.
+/// Accumulators from independent shards merge(). R² uses the one-pass
+/// identity SS_tot = Σy² − n·ȳ² (clamped at 0), so reports can differ from
+/// compute_errors in the last few ulps.
+class ErrorAccumulator {
+ public:
+  void observe(double predicted, double measured);
+  void merge(const ErrorAccumulator& other);
+
+  std::size_t count() const { return count_; }
+
+  /// Requires at least two observations (same contract as compute_errors).
+  ErrorReport report() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t pct_count_ = 0;
+  double sum_y_ = 0.0;
+  double sum_y2_ = 0.0;
+  double sum_err2_ = 0.0;
+  double sum_abs_pct_ = 0.0;
+  double min_y_ = 0.0;
+  double max_y_ = 0.0;
+};
+
 }  // namespace convmeter

@@ -1,71 +1,43 @@
 #include "regress/linear_model.hpp"
 
-#include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
-#include "common/strings.hpp"
+#include "regress/incremental_ls.hpp"
 
 namespace convmeter {
 
-namespace {
-
-/// Column-scales `x` by max-abs value; returns the scale factors.
-/// All-zero columns get scale 1 so they stay harmless.
-Vector scale_columns(Matrix& x) {
-  Vector scales(x.cols(), 1.0);
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    double mx = 0.0;
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      mx = std::max(mx, std::fabs(x(r, c)));
-    }
-    if (mx > 0.0) scales[c] = mx;
-  }
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    for (std::size_t c = 0; c < x.cols(); ++c) {
-      x(r, c) /= scales[c];
-    }
-  }
-  return scales;
-}
-
-LinearModel finish(Vector scaled_coeffs, const Vector& scales) {
-  for (std::size_t c = 0; c < scaled_coeffs.size(); ++c) {
-    scaled_coeffs[c] /= scales[c];
-  }
+LinearModel LinearModel::from_coefficients(Vector coefficients) {
+  CM_CHECK(!coefficients.empty(), "linear model needs at least one coefficient");
   LinearModel m;
-  // Friend-free construction via from_text would be clumsy; rebuild through
-  // the serialization path instead of exposing a setter.
-  std::ostringstream os;
-  os << "linear_model " << scaled_coeffs.size();
-  os.precision(17);
-  for (const double c : scaled_coeffs) os << ' ' << c;
-  return LinearModel::from_text(os.str());
+  m.coefficients_ = std::move(coefficients);
+  return m;
 }
-
-}  // namespace
 
 LinearModel LinearModel::fit(const Matrix& x, const Vector& y) {
   CM_CHECK(x.rows() == y.size(), "fit: row count mismatch");
   CM_CHECK(x.rows() >= x.cols(),
            "fit: need at least as many samples as features");
-  Matrix scaled = x;
-  const Vector scales = scale_columns(scaled);
-  try {
-    return finish(solve_least_squares(scaled, y), scales);
-  } catch (const NumericalError&) {
-    // Rank-deficient design (e.g. a constant feature column): a light ridge
-    // penalty picks the minimum-norm-ish solution instead of failing.
-    return finish(solve_ridge(scaled, y, 1e-8), scales);
+  IncrementalLS ls(x.cols());
+  Vector row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    ls.observe(row, y[r]);
   }
+  return from_coefficients(ls.solve());
 }
 
 LinearModel LinearModel::fit_ridge(const Matrix& x, const Vector& y,
                                    double lambda) {
   CM_CHECK(x.rows() == y.size(), "fit_ridge: row count mismatch");
-  Matrix scaled = x;
-  const Vector scales = scale_columns(scaled);
-  return finish(solve_ridge(scaled, y, lambda), scales);
+  IncrementalLS ls(x.cols());
+  Vector row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    ls.observe(row, y[r]);
+  }
+  return from_coefficients(ls.solve_ridge(lambda));
 }
 
 double LinearModel::predict(const Vector& features) const {

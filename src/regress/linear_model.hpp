@@ -16,10 +16,15 @@ namespace convmeter {
 /// Feature scaling: columns are divided by their max absolute value before
 /// the solve and the coefficients rescaled back afterwards. ConvMeter's raw
 /// features span ~12 orders of magnitude (FLOPs vs a constant column), so
-/// without this the QR would be badly conditioned.
+/// without this the solve would be badly conditioned.
 class LinearModel {
  public:
-  /// Fits with plain OLS (Householder QR); falls back to a lightly
+  /// Wraps already-solved coefficients (the streaming accumulators in
+  /// core/accumulate solve through IncrementalLS and construct with this).
+  static LinearModel from_coefficients(Vector coefficients);
+
+  /// Fits with OLS via IncrementalLS (column-rescaled normal equations
+  /// with compensated iterative refinement); falls back to a lightly
   /// regularized ridge solve when the design is rank deficient (which
   /// happens when e.g. every sample has N = 1 and the N column is constant).
   static LinearModel fit(const Matrix& x, const Vector& y);

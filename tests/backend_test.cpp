@@ -261,17 +261,40 @@ TEST(CampaignTelemetryTest, RecordsThroughputAndCacheTraffic) {
 
 TEST(GraphCacheTest, CachesGraphsAndInfeasibleResolutions) {
   GraphCache& cache = GraphCache::instance();
-  const Graph& g1 = cache.graph("alexnet");
-  const Graph& g2 = cache.graph("alexnet");
-  EXPECT_EQ(&g1, &g2);  // memoized, stable address
+  cache.clear();
+  const auto g1 = cache.graph("alexnet");
+  const auto g2 = cache.graph("alexnet");
+  EXPECT_EQ(g1.get(), g2.get());  // memoized, same graph object
 
-  // AlexNet's stem collapses below ~63 px: infeasible, cached as null.
-  EXPECT_EQ(cache.metrics_b1("alexnet", 32), nullptr);
-  EXPECT_EQ(cache.metrics_b1("alexnet", 32), nullptr);
-  const GraphMetrics* m = cache.metrics_b1("alexnet", 224);
-  ASSERT_NE(m, nullptr);
+  // AlexNet's stem collapses below ~63 px: infeasible, cached as nullopt.
+  EXPECT_FALSE(cache.metrics_b1("alexnet", 32).has_value());
+  EXPECT_FALSE(cache.metrics_b1("alexnet", 32).has_value());
+  const std::optional<GraphMetrics> m = cache.metrics_b1("alexnet", 224);
+  ASSERT_TRUE(m.has_value());
   EXPECT_GT(m->flops, 0.0);
-  EXPECT_EQ(cache.metrics_b1("alexnet", 224), m);
+  EXPECT_DOUBLE_EQ(cache.metrics_b1("alexnet", 224)->flops, m->flops);
+}
+
+TEST(GraphCacheTest, EvictsLeastRecentlyUsedGraphs) {
+  GraphCache& cache = GraphCache::instance();
+  cache.clear();
+  cache.set_capacity(2, 4);
+  const std::uint64_t before = cache.evictions();
+
+  // An evicted graph's shared_ptr keeps the object alive for its holders.
+  const auto alex = cache.graph("alexnet");
+  cache.graph("squeezenet1_1");
+  cache.graph("resnet18");  // evicts alexnet (capacity 2, LRU)
+  EXPECT_EQ(cache.evictions(), before + 1);
+  EXPECT_GT(alex->size(), 0u);
+
+  // Re-requesting the evicted model rebuilds it: a distinct object.
+  const auto alex2 = cache.graph("alexnet");
+  EXPECT_NE(alex.get(), alex2.get());
+
+  cache.set_capacity(GraphCache::kDefaultGraphCapacity,
+                     GraphCache::kDefaultMetricsCapacity);
+  cache.clear();
 }
 
 }  // namespace

@@ -217,3 +217,186 @@ TEST(CsvFitRoundTripTest, FitFromCsvEqualsInMemoryFit) {
 
 }  // namespace
 }  // namespace convmeter
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+
+#include "collect/store/store.hpp"
+
+namespace convmeter {
+namespace {
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+InferenceSweep sharded_sweep() {
+  InferenceSweep sweep;
+  sweep.models = {"alexnet", "resnet18", "squeezenet1_1"};
+  sweep.image_sizes = {64};
+  sweep.batch_sizes = {1, 16};
+  sweep.repetitions = 2;
+  return sweep;
+}
+
+void run_to_shard(const std::string& path, int shard_index, int shard_count,
+                  int jobs = 1) {
+  SimInferenceBackend sim(a100_80gb());
+  ShardWriter writer(path);
+  ShardSampleSink sink(writer);
+  CampaignOptions options;
+  options.sink = &sink;
+  options.collect = false;
+  options.jobs = jobs;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
+  run_inference_campaign(sim, sharded_sweep(), options);
+  writer.flush();
+}
+
+TEST(ShardedCampaignTest, MergedShardsAreBitIdenticalToUnsharded) {
+  const std::string whole = ::testing::TempDir() + "/campaign_whole.cms";
+  const std::string s0 = ::testing::TempDir() + "/campaign_s0.cms";
+  const std::string s1 = ::testing::TempDir() + "/campaign_s1.cms";
+  const std::string s2 = ::testing::TempDir() + "/campaign_s2.cms";
+  const std::string merged = ::testing::TempDir() + "/campaign_merged.cms";
+  run_to_shard(whole, 0, 1);
+  run_to_shard(s0, 0, 3);
+  run_to_shard(s1, 1, 3);
+  run_to_shard(s2, 2, 3);
+  merge_shards({s2, s0, s1}, merged);
+  EXPECT_EQ(file_bytes(whole), file_bytes(merged))
+      << "independent --shard i/N runs must merge into the exact bytes of "
+         "the unsharded campaign";
+}
+
+TEST(ShardedCampaignTest, ParallelJobsDoNotChangeShardBytes) {
+  // Per-point seeding is derived from the global point index, so the
+  // parallel schedule cannot leak into the measurements.
+  const std::string serial = ::testing::TempDir() + "/campaign_serial.cms";
+  const std::string parallel = ::testing::TempDir() + "/campaign_par.cms";
+  run_to_shard(serial, 0, 1, /*jobs=*/1);
+  run_to_shard(parallel, 0, 1, /*jobs=*/4);
+  EXPECT_EQ(file_bytes(serial), file_bytes(parallel));
+}
+
+TEST(ShardedCampaignTest, ShardsPartitionThePointGrid) {
+  SimInferenceBackend sim(a100_80gb());
+  const auto whole = run_inference_campaign(sim, sharded_sweep());
+  std::vector<RuntimeSample> merged;
+  for (int i = 0; i < 2; ++i) {
+    CampaignOptions options;
+    options.shard_index = i;
+    options.shard_count = 2;
+    const auto part = run_inference_campaign(sim, sharded_sweep(), options);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(merged.size(), whole.size());
+  // Same multiset of measurements: compare per (model,batch,rep) tuples.
+  std::multiset<std::string> a;
+  std::multiset<std::string> b;
+  for (const auto& s : whole) {
+    a.insert(s.model + "/" + std::to_string(s.global_batch) + "/" +
+             std::to_string(s.t_infer));
+  }
+  for (const auto& s : merged) {
+    b.insert(s.model + "/" + std::to_string(s.global_batch) + "/" +
+             std::to_string(s.t_infer));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedCampaignTest, InvalidShardSpecRejected) {
+  SimInferenceBackend sim(a100_80gb());
+  CampaignOptions options;
+  options.shard_index = 2;
+  options.shard_count = 2;
+  EXPECT_THROW(run_inference_campaign(sim, sharded_sweep(), options),
+               InvalidArgument);
+  options.shard_index = 0;
+  options.shard_count = 0;
+  EXPECT_THROW(run_inference_campaign(sim, sharded_sweep(), options),
+               InvalidArgument);
+}
+
+TEST(ShardSampleSinkTest, PlainEmitRefusesToDropTheMergeKey) {
+  const std::string path = ::testing::TempDir() + "/sink_plain_emit.cms";
+  ShardWriter writer(path);
+  ShardSampleSink sink(writer);
+  EXPECT_THROW(sink.emit(RuntimeSample{}), InvalidArgument);
+}
+
+TEST(CheckpointTest, AbortedCampaignResumesBitIdentically) {
+  const std::string clean = ::testing::TempDir() + "/ck_clean.cms";
+  const std::string out = ::testing::TempDir() + "/ck_out.cms";
+  const std::string journal = ::testing::TempDir() + "/ck_journal.cms";
+  std::filesystem::remove(journal);
+  run_to_shard(clean, 0, 1);
+
+  SimInferenceBackend sim(a100_80gb());
+  {
+    // First attempt dies after one checkpoint flush (test hook).
+    ShardWriter writer(out);
+    ShardSampleSink sink(writer);
+    CampaignOptions options;
+    options.sink = &sink;
+    options.collect = false;
+    options.checkpoint = journal;
+    options.checkpoint_interval = 2;
+    options.abort_after_flushes = 1;
+    EXPECT_THROW(run_inference_campaign(sim, sharded_sweep(), options),
+                 CampaignAborted);
+  }
+  const std::uint64_t durable = shard_record_count(journal);
+  EXPECT_GT(durable, 0u);
+  EXPECT_LT(durable, shard_record_count(clean));
+  {
+    // Resume re-emits the journal's records and continues where it left
+    // off, so the sink output matches an uninterrupted run exactly.
+    ShardWriter writer(out);
+    ShardSampleSink sink(writer);
+    CampaignOptions options;
+    options.sink = &sink;
+    options.collect = false;
+    options.checkpoint = journal;
+    options.checkpoint_interval = 2;
+    options.resume = true;
+    run_inference_campaign(sim, sharded_sweep(), options);
+    writer.flush();
+  }
+  EXPECT_EQ(file_bytes(clean), file_bytes(out));
+  std::filesystem::remove(journal);
+}
+
+TEST(CheckpointTest, ResumeOfCompleteJournalEmitsEverything) {
+  const std::string clean = ::testing::TempDir() + "/ck2_clean.cms";
+  const std::string out = ::testing::TempDir() + "/ck2_out.cms";
+  const std::string journal = ::testing::TempDir() + "/ck2_journal.cms";
+  std::filesystem::remove(journal);
+  run_to_shard(clean, 0, 1);
+
+  SimInferenceBackend sim(a100_80gb());
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    // First pass completes and fills the journal; the second pass finds
+    // nothing left to measure and replays the journal into the sink.
+    ShardWriter writer(out);
+    ShardSampleSink sink(writer);
+    CampaignOptions options;
+    options.sink = &sink;
+    options.collect = false;
+    options.checkpoint = journal;
+    options.resume = attempt > 0;
+    run_inference_campaign(sim, sharded_sweep(), options);
+    writer.flush();
+    EXPECT_EQ(file_bytes(clean), file_bytes(out));
+  }
+  std::filesystem::remove(journal);
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerates the adversarial shard corpus in this directory.
+
+Each file is a ConvMeter binary sample shard (src/collect/store/format.hpp)
+broken in exactly one way; store_test.cpp asserts that SampleReader rejects
+every one with a clear ParseError instead of crashing or skipping records.
+
+Layout mirrored here (little-endian host):
+  header  64B: magic "CMSS", u32 version, u32 endian tag, u32 record_size,
+               u64 record_count, 40B reserved
+  record 192B: char model[48], char device[24], i64 image, i64 batch,
+               i32 devices, i32 nodes, 10 doubles, u64 point_index,
+               u32 repetition, u32 crc32(preceding bytes)
+"""
+import struct
+import zlib
+from pathlib import Path
+
+HERE = Path(__file__).parent
+HEADER = struct.Struct("<4sIII Q 40s")
+RECORD = struct.Struct("<48s 24s qq ii 10d QI")  # crc appended separately
+
+MAGIC = b"CMSS"
+VERSION = 1
+ENDIAN = 0x01020304
+RECORD_SIZE = 192
+
+
+def header(count, *, magic=MAGIC, version=VERSION, endian=ENDIAN,
+           record_size=RECORD_SIZE):
+    return HEADER.pack(magic, version, endian, record_size, count, b"\0" * 40)
+
+
+def record(point_index, repetition):
+    body = RECORD.pack(
+        b"alexnet", b"corpus-device", 64, 16, 1, 1,
+        1.0e9, 2.0e6, 3.0e6, 4.0e6, 8.0,
+        0.0125, 0.004, 0.008, 0.002, 0.015,
+        point_index, repetition)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def write(name, blob):
+    (HERE / name).write_bytes(blob)
+    print(f"wrote {name} ({len(blob)} bytes)")
+
+
+records = record(0, 0) + record(0, 1) + record(1, 0)
+
+# Reference shard every adversarial variant is derived from; store_test.cpp
+# reads it successfully as the corpus sanity check.
+write("valid.cms", header(3) + records)
+
+# Header claims 3 records but the file ends mid-record.
+write("truncated.cms", (header(3) + records)[: 64 + 2 * RECORD_SIZE + 17])
+
+# One payload byte of record 1 flipped; its stored CRC no longer matches.
+corrupt = bytearray(header(3) + records)
+corrupt[64 + RECORD_SIZE + 100] ^= 0x40
+write("bad_crc.cms", bytes(corrupt))
+
+write("bad_version.cms", header(3, version=99) + records)
+write("bad_endian.cms", header(3, endian=0x04030201) + records)
+write("bad_magic.cms", header(3, magic=b"CMXX") + records)
+write("bad_record_size.cms", header(3, record_size=100) + records)
+
+# Valid header, zero records: fine for shard_record_count (a fresh
+# checkpoint journal), rejected by SampleReader.
+write("zero_records.cms", header(0))
+
+# Record 2's model field has no NUL terminator anywhere in its 48 bytes
+# (CRC recomputed so only the string check can fire).
+unterminated_body = bytearray(record(1, 0)[:-4])
+unterminated_body[0:48] = b"x" * 48
+unterminated = unterminated_body + struct.pack(
+    "<I", zlib.crc32(bytes(unterminated_body)) & 0xFFFFFFFF)
+write("unterminated_string.cms",
+      header(3) + record(0, 0) + record(0, 1) + bytes(unterminated))

@@ -3,7 +3,10 @@
 // harness (predict/evaluate.hpp).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "predict/evaluate.hpp"
 
 namespace convmeter {
@@ -117,6 +120,103 @@ TEST(EvaluateTrainStepTest, RequiresTwoModels) {
 TEST(EvaluateTest, UnknownPredictorNameRejected) {
   EXPECT_THROW(evaluate_loo("no-such-predictor", lawful_samples(3)),
                InvalidArgument);
+}
+
+
+// ---------------------------------------------------------------------------
+// Streaming LOO: the group-aware accumulator path must agree with the
+// refit-per-fold protocol it replaced, and accumulator fits must agree
+// with vector fits.
+
+TEST(StreamingLooTest, MatchesRefitPerFoldWithinTolerance) {
+  // Planted lawful data plus noise, evaluated both ways: via the streaming
+  // accumulator path (convmeter-fwd-only is StreamingFitCapable) and via
+  // the explicit refit fallback driven through the factory overload with a
+  // predictor wrapper that hides the streaming capability.
+  auto samples = lawful_samples(5);
+  Rng rng(23);
+  for (auto& s : samples) s.t_infer *= 1.0 + rng.uniform(-0.05, 0.05);
+
+  const LooResult streamed = evaluate_loo("convmeter-fwd-only", samples);
+
+  // Hide StreamingFitCapable behind a plain Predictor wrapper, forcing the
+  // materialize-and-refit fallback on the same data.
+  class HideStreaming : public Predictor {
+   public:
+    HideStreaming()
+        : Predictor("convmeter-fwd-only"),
+          inner_(make_predictor("convmeter-fwd-only")) {}
+    Phase target() const override { return inner_->target(); }
+
+   protected:
+    void do_fit(SampleStream& stream) override { inner_->fit(stream); }
+    double do_predict(const RuntimeSample& s) const override {
+      return inner_->predict(s);
+    }
+    json::Value model_json() const override { return json::Value(); }
+    void load_model_json(const json::Value&) override {}
+
+   private:
+    std::unique_ptr<Predictor> inner_;
+  };
+  const LooResult refit = evaluate_loo(
+      [] { return std::unique_ptr<Predictor>(new HideStreaming()); }, samples);
+
+  ASSERT_EQ(streamed.per_group.size(), refit.per_group.size());
+  EXPECT_NEAR(streamed.pooled.r2, refit.pooled.r2, 1e-9);
+  EXPECT_NEAR(streamed.pooled.mape, refit.pooled.mape, 1e-9);
+  EXPECT_NEAR(streamed.pooled.nrmse, refit.pooled.nrmse, 1e-9);
+  for (std::size_t g = 0; g < streamed.per_group.size(); ++g) {
+    EXPECT_EQ(streamed.per_group[g].group, refit.per_group[g].group);
+    EXPECT_NEAR(streamed.per_group[g].errors.mape,
+                refit.per_group[g].errors.mape, 1e-9);
+  }
+}
+
+TEST(StreamingLooTest, CollectPointsOffKeepsReportsAndDropsVectors) {
+  const auto samples = lawful_samples(4);
+  VectorSampleStream stream(samples);
+  LooOptions loo;
+  loo.collect_points = false;
+  const LooResult lean =
+      evaluate_loo("convmeter-fwd-only", stream, PredictorOptions{}, loo);
+  const LooResult full = evaluate_loo("convmeter-fwd-only", samples);
+  ASSERT_EQ(lean.per_group.size(), full.per_group.size());
+  for (std::size_t g = 0; g < lean.per_group.size(); ++g) {
+    EXPECT_TRUE(lean.per_group[g].predicted.empty());
+    EXPECT_NEAR(lean.per_group[g].errors.mape, full.per_group[g].errors.mape,
+                1e-12);
+    EXPECT_NEAR(lean.per_group[g].errors.r2, full.per_group[g].errors.r2,
+                1e-9);
+  }
+  EXPECT_NEAR(lean.pooled.mape, full.pooled.mape, 1e-12);
+}
+
+TEST(StreamingLooTest, TrainingFamilyStreamsToo) {
+  const auto samples = lawful_samples(4);
+  PredictorOptions options;
+  const LooResult r = evaluate_loo("convmeter", samples, options);
+  EXPECT_EQ(r.per_group.size(), 4u);
+  EXPECT_GT(r.pooled.r2, 0.99);
+}
+
+TEST(StreamFitTest, StreamAndVectorFitsAreIdentical) {
+  auto samples = lawful_samples(3);
+  Rng rng(31);
+  for (auto& s : samples) s.t_infer *= 1.0 + rng.uniform(-0.02, 0.02);
+
+  for (const char* family :
+       {"convmeter-fwd-only", "convmeter", "flops-only", "inputs-only"}) {
+    const auto via_vector = make_predictor(family);
+    via_vector->fit(samples);
+    const auto via_stream = make_predictor(family);
+    VectorSampleStream stream(samples);
+    via_stream->fit(stream);
+    for (const auto& s : samples) {
+      EXPECT_DOUBLE_EQ(via_vector->predict(s), via_stream->predict(s))
+          << family;
+    }
+  }
 }
 
 }  // namespace

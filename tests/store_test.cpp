@@ -1,0 +1,319 @@
+// Binary sample store tests: record round trips, append/torn-write
+// recovery, deterministic shard merging, CSV import/export, and the
+// adversarial corpus in tests/data/store/ (every broken shard must fail
+// with a clear ParseError — never crash, never silently skip records).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "collect/sample.hpp"
+#include "collect/store/store.hpp"
+#include "common/error.hpp"
+
+namespace convmeter {
+namespace {
+
+std::string corpus(const std::string& name) {
+  return std::string(CM_STORE_CORPUS_DIR) + "/" + name;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+RuntimeSample make_sample(const std::string& model, std::int64_t batch) {
+  RuntimeSample s;
+  s.model = model;
+  s.device = "test-device";
+  s.image_size = 64;
+  s.global_batch = batch;
+  s.num_devices = 1;
+  s.num_nodes = 1;
+  s.flops1 = 1.25e9;
+  s.inputs1 = 2.5e6;
+  s.outputs1 = 3.5e6;
+  s.weights = 4.5e6;
+  s.layers = 8.0;
+  s.t_infer = 0.0125;
+  s.t_fwd = 0.004;
+  s.t_bwd = 0.008;
+  s.t_grad = 0.002;
+  s.t_step = 0.015;
+  return s;
+}
+
+void expect_samples_equal(const RuntimeSample& a, const RuntimeSample& b) {
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.device, b.device);
+  EXPECT_EQ(a.image_size, b.image_size);
+  EXPECT_EQ(a.global_batch, b.global_batch);
+  EXPECT_EQ(a.num_devices, b.num_devices);
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.flops1, b.flops1);
+  EXPECT_EQ(a.t_infer, b.t_infer);
+  EXPECT_EQ(a.t_step, b.t_step);
+}
+
+TEST(SampleRecordTest, RoundTripsThroughRecord) {
+  const RuntimeSample s = make_sample("resnet18", 16);
+  const store::SampleRecord r = sample_to_record(s, 42, 3);
+  EXPECT_EQ(r.point_index, 42u);
+  EXPECT_EQ(r.repetition, 3u);
+  expect_samples_equal(record_to_sample(r), s);
+}
+
+TEST(SampleRecordTest, RejectsOverlongStrings) {
+  RuntimeSample s = make_sample("x", 1);
+  s.model = std::string(store::kModelFieldSize, 'a');  // no room for NUL
+  EXPECT_THROW(sample_to_record(s, 0, 0), InvalidArgument);
+  s = make_sample("x", 1);
+  s.device = std::string(store::kDeviceFieldSize, 'd');
+  EXPECT_THROW(sample_to_record(s, 0, 0), InvalidArgument);
+}
+
+TEST(ShardWriterTest, WriteReadRoundTrip) {
+  const std::string path = temp_path("cm_store_roundtrip.cms");
+  {
+    ShardWriter writer(path);
+    writer.append(make_sample("alexnet", 1), 0, 0);
+    writer.append(make_sample("alexnet", 16), 1, 0);
+    writer.append(make_sample("vgg16", 16), 2, 0);
+    writer.flush();
+    EXPECT_EQ(writer.record_count(), 3u);
+  }
+  SampleReader reader(path);
+  EXPECT_EQ(reader.record_count(), 3u);
+  RuntimeSample s;
+  ASSERT_TRUE(reader.next(s));
+  expect_samples_equal(s, make_sample("alexnet", 1));
+  ASSERT_TRUE(reader.next(s));
+  ASSERT_TRUE(reader.next(s));
+  expect_samples_equal(s, make_sample("vgg16", 16));
+  EXPECT_FALSE(reader.next(s));
+  reader.reset();
+  ASSERT_TRUE(reader.next(s));
+  expect_samples_equal(s, make_sample("alexnet", 1));
+  std::filesystem::remove(path);
+}
+
+TEST(ShardWriterTest, AppendDropsTornTrailingBytes) {
+  const std::string path = temp_path("cm_store_torn.cms");
+  {
+    ShardWriter writer(path);
+    writer.append(make_sample("alexnet", 1), 0, 0);
+    writer.flush();
+  }
+  // An interrupted writer leaves bytes past the durable record_count.
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::app);
+    torn.write("torn partial record bytes", 25);
+  }
+  {
+    ShardWriter writer(path, /*append=*/true);
+    EXPECT_EQ(writer.record_count(), 1u);  // torn bytes are not records
+    writer.append(make_sample("alexnet", 16), 1, 0);
+    writer.flush();
+  }
+  SampleReader reader(path);
+  EXPECT_EQ(reader.record_count(), 2u);
+  RuntimeSample s;
+  ASSERT_TRUE(reader.next(s));
+  ASSERT_TRUE(reader.next(s));  // CRC of the post-resume record still valid
+  EXPECT_EQ(s.global_batch, 16);
+  EXPECT_FALSE(reader.next(s));
+  std::filesystem::remove(path);
+}
+
+TEST(ShardWriterTest, DestructorFlushesPendingRecords) {
+  const std::string path = temp_path("cm_store_dtor_flush.cms");
+  {
+    ShardWriter writer(path);
+    writer.append(make_sample("alexnet", 1), 0, 0);
+    writer.append(make_sample("alexnet", 16), 1, 0);
+    // No explicit flush: a clean close must still make both durable (only
+    // a crashed process leaves torn bytes behind).
+  }
+  EXPECT_EQ(shard_record_count(path), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(MergeShardsTest, MergesByPointIndexDeterministically) {
+  const std::string even = temp_path("cm_store_even.cms");
+  const std::string odd = temp_path("cm_store_odd.cms");
+  const std::string whole = temp_path("cm_store_whole.cms");
+  const std::string merged = temp_path("cm_store_merged.cms");
+  {
+    ShardWriter we(even);
+    ShardWriter wo(odd);
+    ShardWriter ww(whole);
+    for (std::uint64_t p = 0; p < 6; ++p) {
+      for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        const RuntimeSample s =
+            make_sample("m" + std::to_string(p), static_cast<std::int64_t>(p));
+        (p % 2 == 0 ? we : wo).append(s, p, rep);
+        ww.append(s, p, rep);
+      }
+    }
+    we.flush();
+    wo.flush();
+    ww.flush();
+  }
+  merge_shards({odd, even}, merged);  // input order must not matter
+
+  std::ifstream a(whole, std::ios::binary);
+  std::ifstream b(merged, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b) << "merged shards must be byte-identical to "
+                                 "the unsharded run";
+
+  // Overlapping shards (duplicate merge keys) are an error, not a dedup.
+  EXPECT_THROW(merge_shards({even, even}, temp_path("cm_store_dup.cms")),
+               ParseError);
+  for (const auto& p : {even, odd, whole, merged}) {
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(StoreSampleStreamTest, ReadsDirectoryOfShards) {
+  const auto dir = std::filesystem::temp_directory_path() / "cm_store_dir";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  {
+    ShardWriter a((dir / "a.cms").string());
+    a.append(make_sample("alexnet", 1), 0, 0);
+    a.flush();
+    ShardWriter b((dir / "b.cms").string());
+    b.append(make_sample("vgg16", 2), 1, 0);
+    b.append(make_sample("vgg16", 4), 2, 0);
+    b.flush();
+  }
+  StoreSampleStream stream(dir.string());
+  EXPECT_EQ(stream.record_count(), 3u);
+  RuntimeSample s;
+  std::vector<std::string> models;
+  while (stream.next(s)) models.push_back(s.model);
+  EXPECT_EQ(models, (std::vector<std::string>{"alexnet", "vgg16", "vgg16"}));
+  stream.reset();
+  std::size_t again = 0;
+  while (stream.next(s)) ++again;
+  EXPECT_EQ(again, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvBridgeTest, CsvToBinaryToCsvIsBitIdentical) {
+  // Satellite guarantee: the store's shortest-round-trip double formatting
+  // makes CSV → binary → CSV the identity on the text.
+  const std::string csv = temp_path("cm_store_in.csv");
+  const std::string shard = temp_path("cm_store_import.cms");
+  const std::string csv2 = temp_path("cm_store_out.csv");
+  std::vector<RuntimeSample> samples;
+  RuntimeSample s = make_sample("alexnet", 16);
+  s.t_infer = 0.1;  // not exactly representable: formatting must round-trip
+  s.flops1 = 1.0 / 3.0;
+  samples.push_back(s);
+  samples.push_back(make_sample("vgg16", 64));
+  save_samples(samples, csv);
+
+  import_csv_to_shard(csv, shard);
+  export_store_to_csv(shard, csv2);
+
+  std::ifstream a(csv);
+  std::ifstream b(csv2);
+  const std::string text_a((std::istreambuf_iterator<char>(a)),
+                           std::istreambuf_iterator<char>());
+  const std::string text_b((std::istreambuf_iterator<char>(b)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(text_a, text_b);
+  for (const auto& p : {csv, shard, csv2}) std::filesystem::remove(p);
+}
+
+TEST(StoreInfoTest, SummarizesShards) {
+  const std::string path = temp_path("cm_store_info.cms");
+  {
+    ShardWriter w(path);
+    w.append(make_sample("vgg16", 1), 3, 0);
+    w.append(make_sample("alexnet", 1), 4, 0);
+    w.append(make_sample("alexnet", 2), 5, 0);
+    w.flush();
+  }
+  const StoreInfo info = store_info(path);
+  EXPECT_EQ(info.shards, 1u);
+  EXPECT_EQ(info.records, 3u);
+  EXPECT_EQ(info.first_point, 3u);
+  EXPECT_EQ(info.last_point, 5u);
+  EXPECT_EQ(info.models, (std::vector<std::string>{"alexnet", "vgg16"}));
+  std::filesystem::remove(path);
+}
+
+// ---- Adversarial corpus ---------------------------------------------------
+// Files built by tests/data/store/make_corpus.py, each broken one way.
+
+TEST(StoreCorpusTest, ValidShardReads) {
+  SampleReader reader(corpus("valid.cms"));
+  EXPECT_EQ(reader.record_count(), 3u);
+  RuntimeSample s;
+  std::size_t n = 0;
+  while (reader.next(s)) {
+    EXPECT_EQ(s.model, "alexnet");
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(StoreCorpusTest, TruncatedShardFailsLoudly) {
+  EXPECT_THROW(SampleReader reader(corpus("truncated.cms")), ParseError);
+}
+
+TEST(StoreCorpusTest, CorruptRecordFailsItsCrc) {
+  SampleReader reader(corpus("bad_crc.cms"));  // header itself is fine
+  RuntimeSample s;
+  EXPECT_TRUE(reader.next(s));  // record 0 intact
+  EXPECT_THROW(reader.next(s), ParseError);
+}
+
+TEST(StoreCorpusTest, WrongVersionRejected) {
+  EXPECT_THROW(SampleReader reader(corpus("bad_version.cms")), ParseError);
+}
+
+TEST(StoreCorpusTest, ForeignEndiannessRejected) {
+  EXPECT_THROW(SampleReader reader(corpus("bad_endian.cms")), ParseError);
+}
+
+TEST(StoreCorpusTest, BadMagicRejected) {
+  EXPECT_THROW(SampleReader reader(corpus("bad_magic.cms")), ParseError);
+}
+
+TEST(StoreCorpusTest, ForeignRecordSizeRejected) {
+  EXPECT_THROW(SampleReader reader(corpus("bad_record_size.cms")), ParseError);
+}
+
+TEST(StoreCorpusTest, ZeroRecordShardRejectedByReaderOnly) {
+  // A freshly created checkpoint journal is a zero-record shard: the count
+  // probe accepts it, a sample reader refuses it.
+  EXPECT_EQ(shard_record_count(corpus("zero_records.cms")), 0u);
+  EXPECT_THROW(SampleReader reader(corpus("zero_records.cms")), ParseError);
+}
+
+TEST(StoreCorpusTest, UnterminatedStringFieldRejected) {
+  SampleReader reader(corpus("unterminated_string.cms"));
+  RuntimeSample s;
+  EXPECT_TRUE(reader.next(s));
+  EXPECT_TRUE(reader.next(s));
+  EXPECT_THROW(reader.next(s), ParseError);  // record 2's model lacks a NUL
+}
+
+TEST(StoreCorpusTest, MissingFileRejected) {
+  EXPECT_THROW(SampleReader reader(corpus("does_not_exist.cms")), ParseError);
+  EXPECT_THROW(StoreSampleStream stream(corpus("does_not_exist.cms")),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace convmeter

@@ -16,6 +16,11 @@
 #   5. perf_event_open has exactly one call site — the RAII-wrapped
 #      open_event() in src/obs/profile/perf_counters.cpp — so every counter
 #      fd is owned by a PerfFd and closed on scope exit.
+#   6. Every struct in the binary sample-store format header
+#      (src/collect/store/format.hpp) carries an is_trivially_copyable
+#      static_assert — the store does raw-byte I/O on these layouts, and a
+#      drifted struct (vtable, std::string member) would corrupt shards
+#      silently.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -110,6 +115,23 @@ done < <(grep -rn 'perf_event_open' src tools bench tests \
 sites=$(grep -c 'SYS_perf_event_open' src/obs/profile/perf_counters.cpp 2>/dev/null || echo 0)
 if [ "$sites" -ne 1 ]; then
   note "expected exactly one SYS_perf_event_open call site in perf_counters.cpp, found $sites"
+fi
+
+# --- 6. store format structs stay trivially copyable ----------------------
+# Raw-byte I/O structs must assert trivial copyability next to their
+# definition; count `struct X {` definitions and static_asserts in the
+# format header and require one assert per struct.
+fmt=src/collect/store/format.hpp
+if [ -f "$fmt" ]; then
+  structs=$(grep -cE '^struct [A-Za-z_]+ \{' "$fmt")
+  asserts=$(grep -c 'is_trivially_copyable' "$fmt")
+  if [ "$structs" -eq 0 ]; then
+    note "$fmt: no struct definitions found (format moved without updating lints?)"
+  elif [ "$asserts" -lt "$structs" ]; then
+    note "$fmt: $structs raw-I/O structs but only $asserts is_trivially_copyable static_asserts"
+  fi
+else
+  note "$fmt missing (sample store removed without updating lints?)"
 fi
 
 if [ "$fail" -ne 0 ]; then

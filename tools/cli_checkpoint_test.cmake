@@ -1,0 +1,43 @@
+# Checkpoint kill/resume workflow: a campaign killed after its first
+# checkpoint flush (--abort-after, the engine's crash-injection hook) must,
+# on --resume, finish with output byte-identical to an uninterrupted run.
+file(MAKE_DIRECTORY ${WORKDIR})
+function(run out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+set(SWEEP --models alexnet,resnet18,squeezenet1_1 --images 64
+    --batches 1,16 --reps 2)
+
+run(out ${CONVMETER} campaign --out ${WORKDIR}/clean.cms --format bin ${SWEEP})
+
+# First attempt dies after one checkpoint flush; the journal keeps the
+# durable prefix.
+execute_process(COMMAND ${CONVMETER} campaign --out ${WORKDIR}/resumed.cms
+                --format bin --checkpoint ${WORKDIR}/journal.cms
+                --interval 2 --abort-after 1 ${SWEEP}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--abort-after 1 did not abort the campaign")
+endif()
+if(NOT err MATCHES "aborted")
+  message(FATAL_ERROR "abort did not explain itself:\n${err}")
+endif()
+if(NOT EXISTS ${WORKDIR}/journal.cms)
+  message(FATAL_ERROR "aborted campaign left no checkpoint journal")
+endif()
+
+# Resume continues from the journal and rewrites the full output.
+run(out ${CONVMETER} campaign --out ${WORKDIR}/resumed.cms --format bin
+    --checkpoint ${WORKDIR}/journal.cms --interval 2 --resume 1 ${SWEEP})
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/clean.cms ${WORKDIR}/resumed.cms
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "resumed campaign differs from the uninterrupted run")
+endif()

@@ -1,0 +1,73 @@
+# Sharded-campaign workflow: the same sweep run whole and as two
+# independent --shard i/N processes must produce byte-identical stores
+# after `store merge`, and the CSV bridge must round-trip exactly.
+file(MAKE_DIRECTORY ${WORKDIR})
+function(run out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+set(SWEEP --models alexnet,resnet18,squeezenet1_1 --images 64
+    --batches 1,16 --reps 2)
+
+# Whole campaign vs two shards merged.
+run(out ${CONVMETER} campaign --out ${WORKDIR}/whole.cms --format bin ${SWEEP})
+run(out ${CONVMETER} campaign --out ${WORKDIR}/s0.cms --format bin
+    --shard 0/2 ${SWEEP})
+run(out ${CONVMETER} campaign --out ${WORKDIR}/s1.cms --format bin
+    --shard 1/2 ${SWEEP})
+run(out ${CONVMETER} store merge --inputs ${WORKDIR}/s1.cms,${WORKDIR}/s0.cms
+    --out ${WORKDIR}/merged.cms)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/whole.cms ${WORKDIR}/merged.cms
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "merged shards differ from the unsharded campaign")
+endif()
+
+run(out ${CONVMETER} store info --store ${WORKDIR}/merged.cms)
+if(NOT out MATCHES "records" OR NOT out MATCHES "12")
+  message(FATAL_ERROR "store info did not report 12 records:\n${out}")
+endif()
+
+# CSV bridge: campaign CSV == export(import(campaign CSV)), bit for bit.
+run(out ${CONVMETER} campaign --out ${WORKDIR}/direct.csv ${SWEEP})
+run(out ${CONVMETER} store import --csv ${WORKDIR}/direct.csv
+    --out ${WORKDIR}/imported.cms)
+run(out ${CONVMETER} store export --store ${WORKDIR}/imported.cms
+    --out ${WORKDIR}/roundtrip.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/direct.csv ${WORKDIR}/roundtrip.csv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "CSV -> binary -> CSV round trip is not bit-identical")
+endif()
+
+# The binary store feeds fit and eval exactly like the CSV does.
+run(out ${CONVMETER} fit --store ${WORKDIR}/merged.cms
+    --out ${WORKDIR}/model_store.json)
+run(out ${CONVMETER} fit --samples ${WORKDIR}/direct.csv
+    --out ${WORKDIR}/model_csv.json)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/model_store.json ${WORKDIR}/model_csv.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "store-backed fit differs from CSV-backed fit")
+endif()
+run(out ${CONVMETER} eval --store ${WORKDIR}/merged.cms)
+if(NOT out MATCHES "pooled")
+  message(FATAL_ERROR "store-backed eval did not print the pooled row:\n${out}")
+endif()
+
+# Overlapping shards must be refused, not deduplicated.
+execute_process(COMMAND ${CONVMETER} store merge
+                --inputs ${WORKDIR}/s0.cms,${WORKDIR}/s0.cms
+                --out ${WORKDIR}/dup.cms
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "store merge accepted overlapping shards")
+endif()

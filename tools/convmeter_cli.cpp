@@ -47,6 +47,8 @@
 #include "analysis/verifier.hpp"
 #include "backend/backend.hpp"
 #include "collect/campaign.hpp"
+#include "collect/sample_stream.hpp"
+#include "collect/store/store.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -186,6 +188,27 @@ std::vector<std::int64_t> parse_size_list(const Args& args,
   return sizes;
 }
 
+/// Pass-through sink that counts emissions. Campaigns stream straight into
+/// the output sink with collect=false, so the count is otherwise lost.
+class CountingSink : public SampleSink {
+ public:
+  explicit CountingSink(SampleSink& inner) : inner_(inner) {}
+  void emit(const RuntimeSample& s) override {
+    inner_.emit(s);
+    ++count_;
+  }
+  void emit_indexed(const RuntimeSample& s, std::uint64_t point_index,
+                    std::uint32_t repetition) override {
+    inner_.emit_indexed(s, point_index, repetition);
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  SampleSink& inner_;
+  std::uint64_t count_ = 0;
+};
+
 int cmd_campaign(const Args& args) {
   // --backend picks the measurement backend (sim-gpu, sim-cpu, sim-edge,
   // real); --device stays as the legacy spelling for simulated presets.
@@ -194,14 +217,45 @@ int cmd_campaign(const Args& args) {
   const std::unique_ptr<MeasurementBackend> backend =
       make_backend(spec, training);
   const std::string out = args.require("out");
+  const std::string format = args.get("format", "csv");
+  CM_CHECK(format == "csv" || format == "bin",
+           "campaign --format must be csv or bin");
 
   CampaignOptions options;
   options.jobs = static_cast<int>(args.get_int("jobs", 1));
   options.verify = args.get_int("verify", 0) != 0;
   options.profile = args.get_int("profile", 0) != 0;
   if (options.profile) obs::set_enabled(true);
+  if (args.has("shard")) {
+    const auto parts = split(args.require("shard"), '/');
+    CM_CHECK(parts.size() == 2, "--shard must be INDEX/COUNT, e.g. 0/4");
+    options.shard_index = static_cast<int>(parse_int(parts[0]));
+    options.shard_count = static_cast<int>(parse_int(parts[1]));
+  }
+  options.checkpoint = args.get("checkpoint", "");
+  options.resume = args.get_int("resume", 0) != 0;
+  options.checkpoint_interval =
+      static_cast<int>(args.get_int("interval", 256));
+  options.abort_after_flushes =
+      static_cast<int>(args.get_int("abort-after", 0));
+  // Samples stream straight into the output file; nothing is materialized,
+  // so a million-point campaign runs in constant sample memory.
+  options.collect = false;
 
-  std::vector<RuntimeSample> samples;
+  std::ofstream csv_file;
+  std::unique_ptr<ShardWriter> writer;
+  std::unique_ptr<SampleSink> sink;
+  if (format == "bin") {
+    writer = std::make_unique<ShardWriter>(out);
+    sink = std::make_unique<ShardSampleSink>(*writer);
+  } else {
+    csv_file.open(out);
+    CM_CHECK(csv_file.good(), "cannot open '" + out + "' for writing");
+    sink = std::make_unique<CsvSampleSink>(csv_file);
+  }
+  CountingSink counting(*sink);
+  options.sink = &counting;
+
   if (training) {
     TrainingSweep sweep;
     sweep.models = parse_model_list(args);
@@ -215,17 +269,44 @@ int cmd_campaign(const Args& args) {
     sweep.devices_per_node =
         static_cast<int>(args.get_int("gpus-per-node", 4));
     sweep.repetitions = static_cast<int>(args.get_int("reps", 3));
-    samples = run_training_campaign(*backend, sweep, options);
+    run_training_campaign(*backend, sweep, options);
   } else {
     InferenceSweep sweep = InferenceSweep::paper_default(parse_model_list(args));
     sweep.image_sizes = parse_size_list(args, "images", sweep.image_sizes);
     sweep.batch_sizes = parse_size_list(args, "batches", sweep.batch_sizes);
     sweep.repetitions = static_cast<int>(args.get_int("reps", 3));
-    samples = run_inference_campaign(*backend, sweep, options);
+    run_inference_campaign(*backend, sweep, options);
   }
-  save_samples(samples, out);
-  std::cout << "wrote " << samples.size() << " samples to " << out << '\n';
+  if (writer != nullptr) writer->flush();
+  std::cout << "wrote " << counting.count() << " samples to " << out;
+  if (options.shard_count > 1) {
+    std::cout << " (shard " << options.shard_index << "/"
+              << options.shard_count << ")";
+  }
+  std::cout << '\n';
   return 0;
+}
+
+/// Sample input for fit/eval: a binary shard store (--store, streamed) or
+/// a CSV file (--samples, materialized).
+struct SampleSource {
+  std::vector<RuntimeSample> owned;  ///< backing storage for the CSV path
+  std::unique_ptr<SampleStream> stream;
+  std::uint64_t count = 0;
+};
+
+SampleSource open_sample_source(const Args& args) {
+  SampleSource src;
+  if (args.has("store")) {
+    auto stream = std::make_unique<StoreSampleStream>(args.require("store"));
+    src.count = stream->record_count();
+    src.stream = std::move(stream);
+  } else {
+    src.owned = load_samples(args.require("samples"));
+    src.count = src.owned.size();
+    src.stream = std::make_unique<VectorSampleStream>(src.owned);
+  }
+  return src;
 }
 
 /// Predictor construction knobs shared by fit and eval.
@@ -245,13 +326,13 @@ std::string predictor_name(const Args& args) {
 }
 
 int cmd_fit(const Args& args) {
-  const auto samples = load_samples(args.require("samples"));
+  const SampleSource src = open_sample_source(args);
   const std::string name = predictor_name(args);
   const auto predictor = make_predictor(name, predictor_options(args));
-  predictor->fit(samples);
+  predictor->fit(*src.stream);
   const std::string out = args.require("out");
   save_predictor_file(*predictor, out);
-  std::cout << "fitted '" << name << "' on " << samples.size()
+  std::cout << "fitted '" << name << "' on " << src.count
             << " samples -> " << out << '\n';
   return 0;
 }
@@ -266,9 +347,15 @@ int cmd_list_predictors() {
 }
 
 int cmd_eval(const Args& args) {
-  const auto samples = load_samples(args.require("samples"));
+  const SampleSource src = open_sample_source(args);
   const std::string name = predictor_name(args);
-  const LooResult r = evaluate_loo(name, samples, predictor_options(args));
+  LooOptions loo;
+  // Store-backed evaluations default to streaming error accumulation (no
+  // per-sample point vectors); CSV inputs keep the exact vector reports.
+  loo.collect_points =
+      args.get_int("collect-points", args.has("store") ? 0 : 1) != 0;
+  const LooResult r =
+      evaluate_loo(name, *src.stream, predictor_options(args), loo);
   ConsoleTable t({"ConvNet", "Samples", "R^2", "NRMSE", "MAPE"},
                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
                   Align::kRight});
@@ -558,6 +645,46 @@ int cmd_lint(const Args& args) {
   return 0;
 }
 
+int cmd_store(const std::string& verb, const Args& args) {
+  if (verb == "info") {
+    const StoreInfo info = store_info(args.require("store"));
+    ConsoleTable table({"Field", "Value"});
+    table.add_row({"shards", std::to_string(info.shards)});
+    table.add_row({"records", std::to_string(info.records)});
+    if (info.records > 0) {
+      table.add_row({"points", std::to_string(info.first_point) + ".." +
+                                   std::to_string(info.last_point)});
+    }
+    table.add_row({"models", join(info.models, ",")});
+    table.print(std::cout);
+    return 0;
+  }
+  if (verb == "merge") {
+    const std::vector<std::string> inputs =
+        split(args.require("inputs"), ',');
+    const std::string out = args.require("out");
+    merge_shards(inputs, out);
+    const StoreInfo info = store_info(out);
+    std::cout << "merged " << inputs.size() << " shards (" << info.records
+              << " records) -> " << out << '\n';
+    return 0;
+  }
+  if (verb == "import") {
+    const std::string out = args.require("out");
+    import_csv_to_shard(args.require("csv"), out);
+    std::cout << "imported " << args.require("csv") << " -> " << out << '\n';
+    return 0;
+  }
+  if (verb == "export") {
+    const std::string out = args.require("out");
+    export_store_to_csv(args.require("store"), out);
+    std::cout << "exported " << args.require("store") << " -> " << out
+              << '\n';
+    return 0;
+  }
+  throw InvalidArgument("store verb must be info, merge, import, or export");
+}
+
 int usage() {
   std::cerr <<
       "usage: convmeter <command> [--option value ...]\n"
@@ -570,11 +697,18 @@ int usage() {
       "              [--device a100|xeon_5318y|jetson_edge] [--jobs N]\n"
       "              [--models a,b,c] [--images 32,64] [--batches 1,16]\n"
       "              [--training --nodes 1,2,4] [--reps N] [--verify 1]\n"
-      "              [--profile 1]\n"
+      "              [--profile 1] [--format csv|bin] [--shard I/N]\n"
+      "              [--checkpoint FILE [--resume 1] [--interval N]]\n"
+      "  store       info   --store PATH\n"
+      "  store       merge  --inputs a.cms,b.cms --out merged.cms\n"
+      "  store       import --csv FILE --out shard.cms\n"
+      "  store       export --store PATH --out FILE\n"
       "  list-predictors\n"
-      "  fit         --samples FILE --out model.json [--predictor NAME]\n"
+      "  fit         --samples FILE | --store PATH\n"
+      "              --out model.json [--predictor NAME]\n"
       "              [--training 1] [--phase NAME]\n"
-      "  eval        --samples FILE [--predictor NAME] [--phase NAME]\n"
+      "  eval        --samples FILE | --store PATH [--predictor NAME]\n"
+      "              [--phase NAME] [--collect-points 0|1]\n"
       "  predict     --model-file model.json --model NAME [--image N]\n"
       "              [--batch N] [--devices N --nodes M]\n"
       "              [--dataset D --epochs E]\n"
@@ -608,6 +742,10 @@ int run(int argc, char** argv) {
     if (fr[0] != '\0') obs::install_flight_recorder(fr);
   }
   const std::string cmd = argv[1];
+  if (cmd == "store") {
+    if (argc < 3) return usage();
+    return cmd_store(argv[2], Args(argc, argv, 3));
+  }
   const Args args(argc, argv, 2);
   if (cmd == "list-models") return cmd_list_models();
   if (cmd == "list-predictors") return cmd_list_predictors();
