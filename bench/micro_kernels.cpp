@@ -257,7 +257,8 @@ bool verify_disabled_instrumentation_overhead() {
 //
 // A fixed, CI-archivable measurement of the packed-GEMM kernel layer:
 // single-thread and full-pool GEMM GFLOP/s at 512^3 plus end-to-end forward
-// images/sec on resnet18, written as JSON (BENCH_kernels.json). These are
+// images/sec on resnet18 (conv-dominated) and vit_s_16
+// (attention-dominated), written as JSON (BENCH_kernels.json). These are
 // the before/after numbers quoted in README.md's performance table.
 
 double measure_gemm_gflops(std::size_t dim, std::size_t threads, int trials) {
@@ -300,6 +301,10 @@ int run_kernel_report(const char* path) {
   const double single = measure_gemm_gflops(512, 1, 5);
   const double pooled = measure_gemm_gflops(512, 0, 5);
   const double images = measure_forward_images_per_sec("resnet18", 8, 64, 5);
+  // Attention-dominated counterpart to the resnet18 row: exercises the
+  // to_tokens / layer_norm / self_attention kernels end to end.
+  const double vit_images =
+      measure_forward_images_per_sec("vit_s_16", 1, 224, 3);
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FAILED: cannot open %s for writing\n", path);
@@ -316,15 +321,22 @@ int run_kernel_report(const char* path) {
                "    \"batch\": 8,\n"
                "    \"image\": 64,\n"
                "    \"images_per_sec\": %.2f\n"
+               "  },\n"
+               "  \"vit_forward\": {\n"
+               "    \"model\": \"vit_s_16\",\n"
+               "    \"batch\": 1,\n"
+               "    \"image\": 224,\n"
+               "    \"images_per_sec\": %.2f\n"
                "  }\n"
                "}\n",
-               single, pooled, images);
+               single, pooled, images, vit_images);
   std::fclose(f);
   std::printf(
       "kernel report (%s):\n"
       "  gemm 512^3: %.2f GFLOP/s single-thread, %.2f GFLOP/s pool\n"
-      "  resnet18 fwd (batch 8 @ 64x64): %.2f images/sec\n",
-      path, single, pooled, images);
+      "  resnet18 fwd (batch 8 @ 64x64): %.2f images/sec\n"
+      "  vit_s_16 fwd (batch 1 @ 224x224): %.2f images/sec\n",
+      path, single, pooled, images, vit_images);
   return 0;
 }
 

@@ -30,9 +30,25 @@ std::size_t min_arity(OpKind kind) {
     case OpKind::kMultiply:
     case OpKind::kConcat:
       return 2;
-    default:
+    case OpKind::kConv2d:
+    case OpKind::kBatchNorm2d:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kLinear:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kLayerNorm:
+    case OpKind::kSelfAttention:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
       return 1;
   }
+  return 1;
 }
 
 std::size_t max_arity(OpKind kind) {
@@ -44,9 +60,25 @@ std::size_t max_arity(OpKind kind) {
       return 2;
     case OpKind::kConcat:
       return SIZE_MAX;
-    default:
+    case OpKind::kConv2d:
+    case OpKind::kBatchNorm2d:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kLinear:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kLayerNorm:
+    case OpKind::kSelfAttention:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
       return 1;
   }
+  return 1;
 }
 
 /// True when the node's attribute payload matches its operator kind.
@@ -85,6 +117,8 @@ bool attrs_match(const Node& n) {
       return std::holds_alternative<SelfAttentionAttrs>(n.attrs);
     case OpKind::kSelectToken:
       return std::holds_alternative<SelectTokenAttrs>(n.attrs);
+    case OpKind::kTransposeTokens:
+      return std::holds_alternative<TransposeTokensAttrs>(n.attrs);
     case OpKind::kSliceChannels:
       return std::holds_alternative<SliceChannelsAttrs>(n.attrs);
     case OpKind::kChannelShuffle:
@@ -356,7 +390,10 @@ class AttrsPass : public Pass {
                           n.name,
                           "num_heads=" + std::to_string(a->num_heads) +
                               " does not divide embed_dim=" +
-                              std::to_string(a->embed_dim));
+                              std::to_string(a->embed_dim),
+                          "multi-head attention splits embed_dim evenly "
+                          "across heads; pick num_heads that divides "
+                          "embed_dim");
             }
           }
           break;
@@ -387,8 +424,15 @@ class AttrsPass : public Pass {
             require(a->groups >= 1, n, "groups", a->groups, sink);
           }
           break;
-        default:
-          break;
+        case OpKind::kInput:
+        case OpKind::kActivation:
+        case OpKind::kFlatten:
+        case OpKind::kAdd:
+        case OpKind::kMultiply:
+        case OpKind::kConcat:
+        case OpKind::kToTokens:
+        case OpKind::kTransposeTokens:
+          break;  // no constrained attributes
       }
     }
   }
@@ -513,13 +557,18 @@ class ShapePass : public Pass {
 
 // ---- fusion --------------------------------------------------------------
 
-/// Fusion legality: re-derives the executor's conv+activation fusion rules
-/// (single consumer, conv not the graph output) from first principles,
-/// flags fusions that would move a not-yet-produced tensor, and
-/// cross-checks the derived plan against plan_fused_activations itself.
+/// Fusion legality: re-derives the executor's activation fusion rules
+/// (conv2d or linear producer, single consumer, producer not the graph
+/// output) from first principles, flags fusions that would move a
+/// not-yet-produced tensor, and cross-checks the derived plan against
+/// plan_fused_activations itself.
 class FusionPass : public Pass {
  public:
   std::string name() const override { return "fusion"; }
+
+  static bool fusable_producer(OpKind kind) {
+    return kind == OpKind::kConv2d || kind == OpKind::kLinear;
+  }
 
   void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
     const Graph& g = ctx.graph;
@@ -543,36 +592,38 @@ class FusionPass : public Pass {
       if (attrs == nullptr) continue;
       const NodeId src = n.inputs[0];
       const Node& producer = g.node(src);
-      if (producer.kind != OpKind::kConv2d) continue;
+      if (!fusable_producer(producer.kind)) continue;
       if (ctx.consumers[static_cast<std::size_t>(src)] != 1) continue;
       if (src == unique_sink) continue;
       derived[static_cast<std::size_t>(src)] = attrs->kind;
       if (n.id <= src) {
         sink.report(
             Severity::kError, "fusion.use_after_move", name(), n.id, n.name,
-            "activation would fuse into conv '" + producer.name + "' (#" +
-                std::to_string(src) +
+            "activation would fuse into " + op_kind_name(producer.kind) +
+                " '" + producer.name + "' (#" + std::to_string(src) +
                 ") but is scheduled before it; the executor would move a "
                 "tensor that has not been produced yet",
             "reorder the activation after its producer");
       } else if (ctx.options.include_notes) {
         sink.report(Severity::kNote, "fusion.fused", name(), n.id, n.name,
-                    "fuses into conv '" + producer.name +
-                        "' (#" + std::to_string(src) + ") GEMM epilogue");
+                    "fuses into " + op_kind_name(producer.kind) + " '" +
+                        producer.name + "' (#" + std::to_string(src) +
+                        ") GEMM epilogue");
       }
     }
 
-    // Missed fusions: a conv -> activation edge the executor cannot fold
-    // because the conv has other consumers.
+    // Missed fusions: a conv/linear -> activation edge the executor cannot
+    // fold because the producer has other consumers.
     if (ctx.options.include_notes) {
       for (const Node& n : g.nodes()) {
         if (n.kind != OpKind::kActivation || n.inputs.size() != 1) continue;
         const NodeId src = n.inputs[0];
-        if (g.node(src).kind != OpKind::kConv2d) continue;
+        if (!fusable_producer(g.node(src).kind)) continue;
         if (ctx.consumers[static_cast<std::size_t>(src)] > 1) {
           sink.report(Severity::kNote, "fusion.missed", name(), n.id, n.name,
-                      "cannot fuse into conv '" + g.node(src).name +
-                          "': the conv output has " +
+                      "cannot fuse into " + op_kind_name(g.node(src).kind) +
+                          " '" + g.node(src).name +
+                          "': the producer output has " +
                           std::to_string(
                               ctx.consumers[static_cast<std::size_t>(src)]) +
                           " consumers");
@@ -645,6 +696,21 @@ class WorkspacePass : public Pass {
         }
       } else if (n.kind == OpKind::kLinear) {
         floats = kernel_detail::gemm_workspace_floats();
+      } else if (n.kind == OpKind::kSelfAttention) {
+        const auto* a = std::get_if<SelfAttentionAttrs>(&n.attrs);
+        if (a == nullptr || n.inputs.empty()) continue;
+        const auto src = static_cast<std::size_t>(n.inputs[0]);
+        if (!ctx.shapes[src].has_value()) continue;
+        if (a->embed_dim <= 0 || a->num_heads <= 0 ||
+            a->embed_dim % a->num_heads != 0) {
+          continue;  // attrs pass owns this defect
+        }
+        try {
+          floats = kernel_detail::self_attention_workspace_floats(
+              *a, *ctx.shapes[src]);
+        } catch (const Error&) {
+          continue;  // shapes pass owns the contract violation
+        }
       } else {
         continue;
       }

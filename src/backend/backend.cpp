@@ -23,13 +23,18 @@ TrainMeasurement MeasurementBackend::measure_train_step(const Graph&,
 }
 
 const std::vector<std::string>& backend_specs() {
-  static const std::vector<std::string> specs = {"sim-gpu", "sim-cpu",
-                                                 "sim-edge", "real"};
+  static const std::vector<std::string> specs = {
+      "sim-gpu", "sim-cpu", "sim-edge", "real", "real-inference",
+      "real-training"};
   return specs;
 }
 
 std::unique_ptr<MeasurementBackend> make_backend(const std::string& spec,
                                                  bool training) {
+  // The explicit aliases pin the mode regardless of the --train flag, so
+  // campaign scripts can name the backend they mean.
+  if (spec == "real-inference") return std::make_unique<RealInferenceBackend>();
+  if (spec == "real-training") return std::make_unique<RealTrainingBackend>();
   if (spec == "real") {
     if (training) return std::make_unique<RealTrainingBackend>();
     return std::make_unique<RealInferenceBackend>();

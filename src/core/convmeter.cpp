@@ -12,6 +12,8 @@ RuntimeSample QueryPoint::as_sample() const {
   CM_CHECK(per_device_batch > 0.0, "per-device batch must be positive");
   CM_CHECK(num_devices >= 1 && num_nodes >= 1, "devices/nodes must be >= 1");
   RuntimeSample s;
+  s.model = model;
+  s.image_size = image_size;
   s.flops1 = metrics_b1.flops;
   s.inputs1 = metrics_b1.conv_inputs;
   s.outputs1 = metrics_b1.conv_outputs;
@@ -26,6 +28,8 @@ RuntimeSample QueryPoint::as_sample() const {
 
 QueryPoint QueryPoint::from_sample(const RuntimeSample& s) {
   QueryPoint q;
+  q.model = s.model;
+  q.image_size = s.image_size;
   q.metrics_b1.flops = s.flops1;
   q.metrics_b1.conv_inputs = s.inputs1;
   q.metrics_b1.conv_outputs = s.outputs1;

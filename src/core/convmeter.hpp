@@ -27,6 +27,8 @@ namespace convmeter {
 /// metrics — no execution involved.
 struct QueryPoint {
   GraphMetrics metrics_b1;       ///< metrics at batch size 1
+  std::string model;             ///< zoo model name, when known
+  std::int64_t image_size = 0;   ///< input resolution, when known
   double per_device_batch = 1.0; ///< b = B / N
   int num_devices = 1;           ///< N
   int num_nodes = 1;

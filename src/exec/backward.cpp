@@ -271,51 +271,367 @@ LinearGradients linear_backward(ThreadPool& pool, const Tensor& input,
                                 const Tensor& grad_output,
                                 const LinearAttrs& a) {
   const auto& in = input.shape();
-  CM_CHECK(in.rank() == 2 && in.dim(1) == a.in_features,
+  CM_CHECK((in.rank() == 2 || in.rank() == 3) &&
+               in.dim(in.rank() - 1) == a.in_features,
            "linear_backward: input shape mismatch");
-  CM_CHECK(grad_output.shape() == Shape({in.dim(0), a.out_features}),
+  const Shape out_shape = in.rank() == 2
+                              ? Shape{in.dim(0), a.out_features}
+                              : Shape{in.dim(0), in.dim(1), a.out_features};
+  CM_CHECK(grad_output.shape() == out_shape,
            "linear_backward: grad_output shape mismatch");
-  const auto batch = static_cast<std::size_t>(in.dim(0));
   const auto in_f = static_cast<std::size_t>(a.in_features);
   const auto out_f = static_cast<std::size_t>(a.out_features);
+  const std::size_t rows = static_cast<std::size_t>(in.numel()) / in_f;
 
   LinearGradients g;
-  g.grad_input = Tensor(in);
-  g.grad_weight = Tensor(weight.shape());
+  g.grad_input = Tensor(in, Tensor::kUninitialized);
+  g.grad_weight = Tensor(weight.shape(), Tensor::kUninitialized);
   if (a.bias) g.grad_bias = Tensor(Shape{a.out_features});
 
-  // grad_input = grad_output * W ; parallel over batch rows.
-  pool.parallel_for(batch, [&](std::size_t b0, std::size_t b1) {
-    for (std::size_t b = b0; b < b1; ++b) {
-      for (std::size_t o = 0; o < out_f; ++o) {
-        const float go = grad_output.at(b * out_f + o);
-        if (go == 0.0f) continue;
-        const auto w = weight.data().subspan(o * in_f, in_f);
-        for (std::size_t i = 0; i < in_f; ++i) {
-          g.grad_input.at(b * in_f + i) += go * w[i];
-        }
-      }
-    }
-  });
-  // grad_weight = grad_output^T * x ; parallel over output features.
-  pool.parallel_for(out_f, [&](std::size_t o0, std::size_t o1) {
-    for (std::size_t o = o0; o < o1; ++o) {
-      for (std::size_t b = 0; b < batch; ++b) {
-        const float go = grad_output.at(b * out_f + o);
-        if (go == 0.0f) continue;
-        const auto x = input.data().subspan(b * in_f, in_f);
-        for (std::size_t i = 0; i < in_f; ++i) {
-          g.grad_weight.at(o * in_f + i) += go * x[i];
-        }
-      }
-    }
-  });
+  // Both gradients are packed GEMMs over the folded (rows x features)
+  // views:
+  //   dX = dY * W          (rows x out)(out x in)
+  //   dW = dY^T * X        (out x rows)(rows x in)
+  GemmOpts dx_opts;
+  dx_opts.beta = 0.0f;
+  gemm(pool, grad_output.data(), weight.data(), g.grad_input.data(), rows,
+       out_f, in_f, dx_opts);
+  GemmOpts dw_opts;
+  dw_opts.trans_a = Trans::kYes;
+  dw_opts.beta = 0.0f;
+  gemm(pool, grad_output.data(), input.data(), g.grad_weight.data(), out_f,
+       rows, in_f, dw_opts);
   if (a.bias) {
-    for (std::size_t b = 0; b < batch; ++b) {
-      for (std::size_t o = 0; o < out_f; ++o) {
-        g.grad_bias.at(o) += grad_output.at(b * out_f + o);
-      }
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* go = grad_output.data().data() + r * out_f;
+      for (std::size_t o = 0; o < out_f; ++o) g.grad_bias.at(o) += go[o];
     }
+  }
+  return g;
+}
+
+LayerNormGradients layer_norm_backward(ThreadPool& pool, const Tensor& input,
+                                       const Tensor& gamma,
+                                       const Tensor& grad_output,
+                                       const LayerNormAttrs& a, double eps) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() >= 2 && s.dim(s.rank() - 1) == a.dim &&
+               grad_output.shape() == s,
+           "layer_norm_backward: shape mismatch");
+  const auto dim = static_cast<std::size_t>(a.dim);
+  const std::size_t rows = static_cast<std::size_t>(s.numel()) / dim;
+  LayerNormGradients g;
+  g.grad_input = Tensor(s, Tensor::kUninitialized);
+  g.grad_gamma = Tensor(Shape{a.dim});
+  g.grad_beta = Tensor(Shape{a.dim});
+  const float* x = input.data().data();
+  const float* gm = gamma.data().data();
+  const float* go = grad_output.data().data();
+  float* gi = g.grad_input.data().data();
+
+  // dx = inv * (g∘dy - mean(g∘dy) - x_hat * mean(g∘dy ∘ x_hat)); rows are
+  // independent, so the parallel partition cannot change results.
+  pool.parallel_for(
+      rows,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const float* xr = x + r * dim;
+          const float* gr = go + r * dim;
+          float* or_ = gi + r * dim;
+          double sum = 0.0;
+          for (std::size_t i = 0; i < dim; ++i) sum += xr[i];
+          const double mean = sum / static_cast<double>(dim);
+          double var = 0.0;
+          for (std::size_t i = 0; i < dim; ++i) {
+            const double d = xr[i] - mean;
+            var += d * d;
+          }
+          var /= static_cast<double>(dim);
+          const double inv = 1.0 / std::sqrt(var + eps);
+          double m1 = 0.0;  // mean of gamma*dy
+          double m2 = 0.0;  // mean of gamma*dy*x_hat
+          for (std::size_t i = 0; i < dim; ++i) {
+            const double gd = static_cast<double>(gm[i]) * gr[i];
+            const double xh = (xr[i] - mean) * inv;
+            m1 += gd;
+            m2 += gd * xh;
+          }
+          m1 /= static_cast<double>(dim);
+          m2 /= static_cast<double>(dim);
+          for (std::size_t i = 0; i < dim; ++i) {
+            const double gd = static_cast<double>(gm[i]) * gr[i];
+            const double xh = (xr[i] - mean) * inv;
+            or_[i] = static_cast<float>(inv * (gd - m1 - xh * m2));
+          }
+        }
+      },
+      std::max<std::size_t>(1, 4096 / std::max<std::size_t>(dim, 1)));
+
+  // Parameter gradients reduce over all rows; a single serial sweep keeps
+  // them deterministic without per-slot partial buffers.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    const float* gr = go + r * dim;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) sum += xr[i];
+    const double mean = sum / static_cast<double>(dim);
+    double var = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = xr[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim);
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (std::size_t i = 0; i < dim; ++i) {
+      g.grad_beta.at(i) += gr[i];
+      g.grad_gamma.at(i) +=
+          static_cast<float>(gr[i] * ((xr[i] - mean) * inv));
+    }
+  }
+  return g;
+}
+
+AttentionGradients self_attention_backward(
+    ThreadPool& pool, const Tensor& input, const Tensor& in_proj_w,
+    const Tensor& in_proj_b, const Tensor& out_proj_w,
+    const Tensor& /*out_proj_b*/, const Tensor& grad_output,
+    const SelfAttentionAttrs& a) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 3 && s.dim(2) == a.embed_dim &&
+               grad_output.shape() == s,
+           "self_attention_backward: shape mismatch");
+  CM_CHECK(a.num_heads > 0 && a.embed_dim % a.num_heads == 0,
+           "self_attention_backward: num_heads must divide embed_dim");
+  const auto B = static_cast<std::size_t>(s.dim(0));
+  const auto T = static_cast<std::size_t>(s.dim(1));
+  const auto D = static_cast<std::size_t>(a.embed_dim);
+  const auto H = static_cast<std::size_t>(a.num_heads);
+  const std::size_t Dh = D / H;
+  const auto scale =
+      static_cast<float>(1.0 / std::sqrt(static_cast<double>(Dh)));
+
+  // ---- forward recompute: QKV projection and per-head context ------------
+  Tensor qkv(Shape{s.dim(0), s.dim(1), 3 * a.embed_dim},
+             Tensor::kUninitialized);
+  {
+    GemmOpts opts;
+    opts.trans_b = Trans::kYes;
+    opts.beta = 0.0f;
+    opts.col_bias = in_proj_b.data().data();
+    gemm(pool, input.data(), in_proj_w.data(), qkv.data(), B * T, D, 3 * D,
+         opts);
+  }
+  Tensor ctx(s, Tensor::kUninitialized);
+  const float* qkv_p = qkv.data().data();
+  const std::size_t pack_floats =
+      kernel_detail::pack_a_floats() + kernel_detail::pack_b_floats();
+  {
+    float* ctx_p = ctx.data().data();
+    pool.parallel_for(
+        B * H,
+        [&](std::size_t t0, std::size_t t1) {
+          Workspace& ws = Workspace::tls();
+          ws.reserve(T * T + pack_floats);
+          float* p = ws.take(T * T);
+          float* ap = ws.take(kernel_detail::pack_a_floats());
+          float* bp = ws.take(kernel_detail::pack_b_floats());
+          for (std::size_t t = t0; t < t1; ++t) {
+            const std::size_t b = t / H;
+            const std::size_t h = t % H;
+            const float* base = qkv_p + b * T * 3 * D;
+            const float* q = base + h * Dh;
+            const float* k = base + D + h * Dh;
+            const float* v = base + 2 * D + h * Dh;
+            kernel_detail::gemm_block(q, 3 * D, false, k, 3 * D, true, p, T,
+                                      0, T, Dh, T, 0.0f, nullptr, nullptr,
+                                      std::nullopt, ap, bp);
+            for (std::size_t i = 0; i < T; ++i) {
+              float* row = p + i * T;
+              float mx = row[0] * scale;
+              for (std::size_t j = 1; j < T; ++j) {
+                mx = std::max(mx, row[j] * scale);
+              }
+              float denom = 0.0f;
+              for (std::size_t j = 0; j < T; ++j) {
+                row[j] = std::exp(row[j] * scale - mx);
+                denom += row[j];
+              }
+              const float inv = 1.0f / denom;
+              for (std::size_t j = 0; j < T; ++j) row[j] *= inv;
+            }
+            kernel_detail::gemm_block(p, T, false, v, 3 * D, false,
+                                      ctx_p + b * T * D + h * Dh, D, 0, T, T,
+                                      Dh, 0.0f, nullptr, nullptr,
+                                      std::nullopt, ap, bp);
+          }
+        },
+        1);
+  }
+
+  AttentionGradients g;
+  g.grad_out_proj_b = Tensor(Shape{a.embed_dim});
+  for (std::size_t r = 0; r < B * T; ++r) {
+    const float* go = grad_output.data().data() + r * D;
+    for (std::size_t j = 0; j < D; ++j) g.grad_out_proj_b.at(j) += go[j];
+  }
+  g.grad_out_proj_w = Tensor(out_proj_w.shape(), Tensor::kUninitialized);
+  {
+    GemmOpts opts;  // dWout = dY^T * ctx
+    opts.trans_a = Trans::kYes;
+    opts.beta = 0.0f;
+    gemm(pool, grad_output.data(), ctx.data(), g.grad_out_proj_w.data(), D,
+         B * T, D, opts);
+  }
+  Tensor dctx(s, Tensor::kUninitialized);
+  {
+    GemmOpts opts;  // dctx = dY * Wout
+    opts.beta = 0.0f;
+    gemm(pool, grad_output.data(), out_proj_w.data(), dctx.data(), B * T, D,
+         D, opts);
+  }
+
+  // ---- per-(batch, head) backward through softmax(Q K^T / sqrt(Dh)) V ----
+  Tensor dqkv(Shape{s.dim(0), s.dim(1), 3 * a.embed_dim},
+              Tensor::kUninitialized);
+  {
+    const float* dctx_p = dctx.data().data();
+    float* dqkv_p = dqkv.data().data();
+    pool.parallel_for(
+        B * H,
+        [&](std::size_t t0, std::size_t t1) {
+          Workspace& ws = Workspace::tls();
+          ws.reserve(2 * T * T + pack_floats);
+          float* p = ws.take(T * T);      // attention probabilities
+          float* dscore = ws.take(T * T); // dP, then dS in place
+          float* ap = ws.take(kernel_detail::pack_a_floats());
+          float* bp = ws.take(kernel_detail::pack_b_floats());
+          for (std::size_t t = t0; t < t1; ++t) {
+            const std::size_t b = t / H;
+            const std::size_t h = t % H;
+            const float* base = qkv_p + b * T * 3 * D;
+            const float* q = base + h * Dh;
+            const float* k = base + D + h * Dh;
+            const float* v = base + 2 * D + h * Dh;
+            const float* dc = dctx_p + b * T * D + h * Dh;
+            float* dbase = dqkv_p + b * T * 3 * D;
+            // Recompute P exactly as the forward pass did.
+            kernel_detail::gemm_block(q, 3 * D, false, k, 3 * D, true, p, T,
+                                      0, T, Dh, T, 0.0f, nullptr, nullptr,
+                                      std::nullopt, ap, bp);
+            for (std::size_t i = 0; i < T; ++i) {
+              float* row = p + i * T;
+              float mx = row[0] * scale;
+              for (std::size_t j = 1; j < T; ++j) {
+                mx = std::max(mx, row[j] * scale);
+              }
+              float denom = 0.0f;
+              for (std::size_t j = 0; j < T; ++j) {
+                row[j] = std::exp(row[j] * scale - mx);
+                denom += row[j];
+              }
+              const float inv = 1.0f / denom;
+              for (std::size_t j = 0; j < T; ++j) row[j] *= inv;
+            }
+            // dV = P^T * dC.
+            kernel_detail::gemm_block(p, T, true, dc, D, false,
+                                      dbase + 2 * D + h * Dh, 3 * D, 0, T, T,
+                                      Dh, 0.0f, nullptr, nullptr,
+                                      std::nullopt, ap, bp);
+            // dP = dC * V^T.
+            kernel_detail::gemm_block(dc, D, false, v, 3 * D, true, dscore, T,
+                                      0, T, Dh, T, 0.0f, nullptr, nullptr,
+                                      std::nullopt, ap, bp);
+            // Softmax backward, folding the 1/sqrt(Dh) score scaling:
+            // dS = P ∘ (dP - rowsum(dP ∘ P)) * scale.
+            for (std::size_t i = 0; i < T; ++i) {
+              const float* prow = p + i * T;
+              float* drow = dscore + i * T;
+              float dot = 0.0f;
+              for (std::size_t j = 0; j < T; ++j) dot += drow[j] * prow[j];
+              for (std::size_t j = 0; j < T; ++j) {
+                drow[j] = prow[j] * (drow[j] - dot) * scale;
+              }
+            }
+            // dQ = dS * K; dK = dS^T * Q.
+            kernel_detail::gemm_block(dscore, T, false, k, 3 * D, false,
+                                      dbase + h * Dh, 3 * D, 0, T, T, Dh,
+                                      0.0f, nullptr, nullptr, std::nullopt,
+                                      ap, bp);
+            kernel_detail::gemm_block(dscore, T, true, q, 3 * D, false,
+                                      dbase + D + h * Dh, 3 * D, 0, T, T, Dh,
+                                      0.0f, nullptr, nullptr, std::nullopt,
+                                      ap, bp);
+          }
+        },
+        1);
+  }
+
+  // ---- input projection gradients ----------------------------------------
+  g.grad_in_proj_b = Tensor(Shape{3 * a.embed_dim});
+  for (std::size_t r = 0; r < B * T; ++r) {
+    const float* row = dqkv.data().data() + r * 3 * D;
+    for (std::size_t j = 0; j < 3 * D; ++j) g.grad_in_proj_b.at(j) += row[j];
+  }
+  g.grad_in_proj_w = Tensor(in_proj_w.shape(), Tensor::kUninitialized);
+  {
+    GemmOpts opts;  // dWin = dQKV^T * X
+    opts.trans_a = Trans::kYes;
+    opts.beta = 0.0f;
+    gemm(pool, dqkv.data(), input.data(), g.grad_in_proj_w.data(), 3 * D,
+         B * T, D, opts);
+  }
+  g.grad_input = Tensor(s, Tensor::kUninitialized);
+  {
+    GemmOpts opts;  // dX = dQKV * Win
+    opts.beta = 0.0f;
+    gemm(pool, dqkv.data(), in_proj_w.data(), g.grad_input.data(), B * T,
+         3 * D, D, opts);
+  }
+  return g;
+}
+
+Tensor to_tokens_backward(const Shape& input_shape, const Tensor& grad_output,
+                          const ToTokensAttrs& a) {
+  CM_CHECK(input_shape.rank() == 4 && grad_output.shape().rank() == 3,
+           "to_tokens_backward: shape mismatch");
+  const auto C = static_cast<std::size_t>(input_shape.channels());
+  const auto patches = static_cast<std::size_t>(input_shape.height() *
+                                                input_shape.width());
+  const std::size_t t0 = a.cls_token ? 1 : 0;
+  const auto T = static_cast<std::size_t>(grad_output.shape().dim(1));
+  CM_CHECK(T == patches + t0 &&
+               static_cast<std::size_t>(grad_output.shape().dim(2)) == C,
+           "to_tokens_backward: token count mismatch");
+  Tensor g(input_shape, Tensor::kUninitialized);
+  const float* go = grad_output.data().data();
+  float* gi = g.data().data();
+  for (std::size_t b = 0; b < static_cast<std::size_t>(input_shape.batch());
+       ++b) {
+    const float* gb = go + b * T * C;
+    float* ob = gi + b * C * patches;
+    for (std::size_t c = 0; c < C; ++c) {
+      float* chan = ob + c * patches;
+      const float* col = gb + t0 * C + c;
+      for (std::size_t p = 0; p < patches; ++p) chan[p] = col[p * C];
+    }
+  }
+  return g;
+}
+
+Tensor select_token_backward(const Shape& input_shape,
+                             const Tensor& grad_output, std::int64_t index) {
+  CM_CHECK(input_shape.rank() == 3 && grad_output.shape().rank() == 2 &&
+               index >= 0 && index < input_shape.dim(1),
+           "select_token_backward: shape mismatch");
+  const auto T = static_cast<std::size_t>(input_shape.dim(1));
+  const auto D = static_cast<std::size_t>(input_shape.dim(2));
+  Tensor g(input_shape);
+  const float* go = grad_output.data().data();
+  float* gi = g.data().data();
+  for (std::size_t b = 0; b < static_cast<std::size_t>(input_shape.dim(0));
+       ++b) {
+    std::copy(go + b * D, go + (b + 1) * D,
+              gi + (b * T + static_cast<std::size_t>(index)) * D);
   }
   return g;
 }

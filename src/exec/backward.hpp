@@ -44,10 +44,54 @@ struct LinearGradients {
   Tensor grad_bias;  ///< empty when attrs.bias is false
 };
 
+/// Backward of the fully connected layer; accepts the same rank-2 or rank-3
+/// inputs as the forward kernel (rank-3 folds (batch, tokens) into rows).
 LinearGradients linear_backward(ThreadPool& pool, const Tensor& input,
                                 const Tensor& weight,
                                 const Tensor& grad_output,
                                 const LinearAttrs& attrs);
+
+/// Gradients of layer normalization.
+struct LayerNormGradients {
+  Tensor grad_input;
+  Tensor grad_gamma;
+  Tensor grad_beta;
+};
+
+LayerNormGradients layer_norm_backward(ThreadPool& pool, const Tensor& input,
+                                       const Tensor& gamma,
+                                       const Tensor& grad_output,
+                                       const LayerNormAttrs& attrs,
+                                       double eps = 1e-5);
+
+/// Gradients of multi-head self-attention. The forward intermediates (QKV
+/// projection, attention probabilities, per-head context) are recomputed
+/// internally, so callers only keep the layer input alive — the same memory
+/// discipline as the conv path's im2col recomputation.
+struct AttentionGradients {
+  Tensor grad_input;
+  Tensor grad_in_proj_w;
+  Tensor grad_in_proj_b;
+  Tensor grad_out_proj_w;
+  Tensor grad_out_proj_b;
+};
+
+AttentionGradients self_attention_backward(
+    ThreadPool& pool, const Tensor& input, const Tensor& in_proj_w,
+    const Tensor& in_proj_b, const Tensor& out_proj_w,
+    const Tensor& out_proj_b, const Tensor& grad_output,
+    const SelfAttentionAttrs& attrs);
+
+/// Backward of to_tokens: routes the (B, T, C) token gradient back to the
+/// NCHW input (the cls-token row, a non-learnable constant here, is
+/// dropped).
+Tensor to_tokens_backward(const Shape& input_shape, const Tensor& grad_output,
+                          const ToTokensAttrs& attrs);
+
+/// Backward of select_token: the gradient lands on the selected row, zeros
+/// elsewhere.
+Tensor select_token_backward(const Shape& input_shape,
+                             const Tensor& grad_output, std::int64_t index);
 
 /// Backward of an elementwise activation: dL/dx = dL/dy * f'(x).
 Tensor activation_backward(const Tensor& input, const Tensor& grad_output,

@@ -48,7 +48,12 @@ std::vector<std::optional<ActKind>> plan_fused_activations(const Graph& graph) {
   for (const auto& n : graph.nodes()) {
     if (n.kind != OpKind::kActivation || n.inputs.size() != 1) continue;
     const auto src = static_cast<std::size_t>(n.inputs[0]);
-    if (graph.nodes()[src].kind != OpKind::kConv2d) continue;
+    // Both GEMM-backed producers fold the activation into their writeback
+    // epilogue (conv via im2col, linear directly).
+    if (graph.nodes()[src].kind != OpKind::kConv2d &&
+        graph.nodes()[src].kind != OpKind::kLinear) {
+      continue;
+    }
     if (consumers[src] != 1) continue;
     if (n.inputs[0] == graph.output_id()) continue;
     fused[src] = n.as<ActivationAttrs>().kind;
@@ -122,7 +127,7 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
       case OpKind::kActivation: {
         const auto src = static_cast<std::size_t>(n.inputs.at(0));
         if (fused[src].has_value()) {
-          // The activation already ran inside the conv's GEMM epilogue;
+          // The activation already ran inside the producer's GEMM epilogue;
           // this node just takes ownership of the fused result.
           out = std::move(outputs[src]);
         } else {
@@ -150,7 +155,8 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
         const Tensor bias =
             a.bias ? make_weight(Shape{a.out_features}, seed + 1, scale)
                    : Tensor();
-        out = linear(pool_, in(0), weight, bias, a);
+        out = linear(pool_, in(0), weight, bias, a,
+                     fused[static_cast<std::size_t>(n.id)]);
         break;
       }
       case OpKind::kFlatten:
@@ -180,13 +186,47 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
       case OpKind::kChannelShuffle:
         out = channel_shuffle(in(0), n.as<ChannelShuffleAttrs>().groups);
         break;
-      case OpKind::kToTokens:
-      case OpKind::kLayerNorm:
-      case OpKind::kSelfAttention:
+      case OpKind::kToTokens: {
+        const auto& a = n.as<ToTokensAttrs>();
+        Tensor cls;
+        if (a.cls_token) {
+          const std::int64_t c = in(0).shape().channels();
+          const float scale = static_cast<float>(
+              1.0 / std::sqrt(static_cast<double>(c)));
+          cls = make_weight(Shape{c}, seed, scale);
+        }
+        out = to_tokens(pool_, in(0), cls, a);
+        break;
+      }
+      case OpKind::kLayerNorm: {
+        const auto d = n.as<LayerNormAttrs>().dim;
+        Tensor gamma(Shape{d}, 1.0f);
+        Tensor beta(Shape{d}, 0.0f);
+        out = layer_norm(pool_, in(0), gamma, beta, n.as<LayerNormAttrs>());
+        break;
+      }
+      case OpKind::kSelfAttention: {
+        const auto& a = n.as<SelfAttentionAttrs>();
+        const float scale = static_cast<float>(
+            1.0 / std::sqrt(static_cast<double>(a.embed_dim)));
+        const Tensor in_proj_w = make_weight(
+            Shape({3 * a.embed_dim, a.embed_dim}), seed, scale);
+        const Tensor in_proj_b =
+            make_weight(Shape{3 * a.embed_dim}, seed + 1, scale);
+        const Tensor out_proj_w =
+            make_weight(Shape({a.embed_dim, a.embed_dim}), seed + 2, scale);
+        const Tensor out_proj_b =
+            make_weight(Shape{a.embed_dim}, seed + 3, scale);
+        out = self_attention(pool_, in(0), in_proj_w, in_proj_b, out_proj_w,
+                             out_proj_b, a);
+        break;
+      }
       case OpKind::kSelectToken:
-        throw InvalidArgument(
-            "transformer ops are modeled for prediction but not implemented "
-            "by the CPU executor (node '" + n.name + "')");
+        out = select_token(in(0), n.as<SelectTokenAttrs>().index);
+        break;
+      case OpKind::kTransposeTokens:
+        out = transpose_tokens(pool_, in(0));
+        break;
     }
     const auto end = Clock::now();
     layer_span.reset();

@@ -500,6 +500,14 @@ std::size_t conv2d_workspace_floats(const Conv2dAttrs& a, const Shape& in) {
 
 std::size_t gemm_workspace_floats() { return kPackAFloats + kPackBFloats; }
 
+std::size_t self_attention_workspace_floats(const SelfAttentionAttrs& attrs,
+                                            const Shape& in) {
+  CM_CHECK(in.rank() == 3 && in.dim(2) == attrs.embed_dim,
+           "self_attention expects a (B, T, D) input shape");
+  const auto tokens = static_cast<std::size_t>(in.dim(1));
+  return tokens * tokens + kPackAFloats + kPackBFloats;
+}
+
 }  // namespace kernel_detail
 
 Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
@@ -746,36 +754,35 @@ Tensor adaptive_avg_pool2d(ThreadPool& pool, const Tensor& input,
 }
 
 Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
-              const Tensor& bias, const LinearAttrs& a) {
+              const Tensor& bias, const LinearAttrs& a,
+              std::optional<ActKind> fused_act) {
   CM_TRACE_SPAN("linear", "kernel");
   if (obs::enabled()) {
     obs::MetricsRegistry::instance().counter("kernel.linear.calls").add();
   }
   const auto& in = input.shape();
-  CM_CHECK(in.rank() == 2 && in.dim(1) == a.in_features,
+  CM_CHECK((in.rank() == 2 || in.rank() == 3) &&
+               in.dim(in.rank() - 1) == a.in_features,
            "linear input shape mismatch");
   CM_CHECK(weight.shape() == Shape({a.out_features, a.in_features}),
            "linear weight shape mismatch");
-  Tensor out(Shape{in.dim(0), a.out_features}, Tensor::kUninitialized);
-  const auto batch = static_cast<std::size_t>(in.dim(0));
-  const auto in_f = static_cast<std::size_t>(a.in_features);
-  const auto out_f = static_cast<std::size_t>(a.out_features);
-  // Collapsed (batch x out-feature) index space: batch is usually tiny on
-  // the inference path, so rows alone cannot feed the pool.
-  pool.parallel_for(
-      batch * out_f,
-      [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-          const std::size_t b = r / out_f;
-          const std::size_t o = r % out_f;
-          float acc = a.bias ? bias.at(o) : 0.0f;
-          const float* xr = input.data().data() + b * in_f;
-          const float* wr = weight.data().data() + o * in_f;
-          for (std::size_t i = 0; i < in_f; ++i) acc += xr[i] * wr[i];
-          out.at(b * out_f + o) = acc;
-        }
-      },
-      std::max<std::size_t>(1, 32768 / std::max<std::size_t>(in_f, 1)));
+  const Shape out_shape = in.rank() == 2
+                              ? Shape{in.dim(0), a.out_features}
+                              : Shape{in.dim(0), in.dim(1), a.out_features};
+  Tensor out(out_shape, Tensor::kUninitialized);
+  // Rank-3 inputs fold (batch, tokens) into the GEMM row dimension: the
+  // layer applies independently per leading position either way.
+  const std::size_t rows =
+      static_cast<std::size_t>(in.numel()) /
+      static_cast<std::size_t>(a.in_features);
+  GemmOpts opts;
+  opts.trans_b = Trans::kYes;  // weight is (out, in), we need x W^T
+  opts.beta = 0.0f;
+  opts.col_bias = a.bias ? bias.data().data() : nullptr;
+  opts.act = fused_act;
+  gemm(pool, input.data(), weight.data(), out.data(), rows,
+       static_cast<std::size_t>(a.in_features),
+       static_cast<std::size_t>(a.out_features), opts);
   return out;
 }
 
@@ -875,6 +882,229 @@ Tensor slice_channels(const Tensor& input, std::int64_t begin,
       }
     }
   }
+  return out;
+}
+
+Tensor to_tokens(ThreadPool& pool, const Tensor& input, const Tensor& cls,
+                 const ToTokensAttrs& attrs) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 4, "to_tokens expects a rank-4 input");
+  const auto C = static_cast<std::size_t>(s.channels());
+  const auto patches = static_cast<std::size_t>(s.height() * s.width());
+  const std::size_t t0 = attrs.cls_token ? 1 : 0;
+  const std::size_t T = patches + t0;
+  CM_CHECK(!attrs.cls_token || cls.data().size() == C,
+           "to_tokens cls token size mismatch");
+  Tensor out(Shape{s.batch(), static_cast<std::int64_t>(T),
+                   static_cast<std::int64_t>(C)},
+             Tensor::kUninitialized);
+  const float* x = input.data().data();
+  float* y = out.data().data();
+  const auto batch = static_cast<std::size_t>(s.batch());
+  pool.parallel_for(
+      batch,
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          float* yb = y + b * T * C;
+          if (attrs.cls_token) {
+            std::copy(cls.data().begin(), cls.data().end(), yb);
+          }
+          const float* xb = x + b * C * patches;
+          // NCHW plane-major -> token-major: token p gathers the strided
+          // channel column at spatial position p.
+          for (std::size_t c = 0; c < C; ++c) {
+            const float* chan = xb + c * patches;
+            float* col = yb + t0 * C + c;
+            for (std::size_t p = 0; p < patches; ++p) col[p * C] = chan[p];
+          }
+        }
+      },
+      1);
+  return out;
+}
+
+Tensor layer_norm(ThreadPool& pool, const Tensor& input, const Tensor& gamma,
+                  const Tensor& beta, const LayerNormAttrs& attrs,
+                  double eps) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() >= 2 && s.dim(s.rank() - 1) == attrs.dim,
+           "layer_norm input shape mismatch");
+  const auto dim = static_cast<std::size_t>(attrs.dim);
+  CM_CHECK(gamma.data().size() == dim && beta.data().size() == dim,
+           "layer_norm parameter size mismatch");
+  Tensor out(s, Tensor::kUninitialized);
+  const std::size_t rows = static_cast<std::size_t>(s.numel()) / dim;
+  const float* x = input.data().data();
+  const float* g = gamma.data().data();
+  const float* bt = beta.data().data();
+  float* y = out.data().data();
+  pool.parallel_for(
+      rows,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const float* xr = x + r * dim;
+          float* yr = y + r * dim;
+          // Two-pass mean/variance in double: each row is serial, so the
+          // result is independent of the worker partition.
+          double sum = 0.0;
+          for (std::size_t i = 0; i < dim; ++i) sum += xr[i];
+          const double mean = sum / static_cast<double>(dim);
+          double var = 0.0;
+          for (std::size_t i = 0; i < dim; ++i) {
+            const double d = xr[i] - mean;
+            var += d * d;
+          }
+          var /= static_cast<double>(dim);
+          const auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+          const auto mu = static_cast<float>(mean);
+          for (std::size_t i = 0; i < dim; ++i) {
+            yr[i] = (xr[i] - mu) * inv * g[i] + bt[i];
+          }
+        }
+      },
+      std::max<std::size_t>(1, 8192 / std::max<std::size_t>(dim, 1)));
+  return out;
+}
+
+Tensor self_attention(ThreadPool& pool, const Tensor& input,
+                      const Tensor& in_proj_w, const Tensor& in_proj_b,
+                      const Tensor& out_proj_w, const Tensor& out_proj_b,
+                      const SelfAttentionAttrs& a) {
+  CM_TRACE_SPAN("self_attention", "kernel");
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 3 && s.dim(2) == a.embed_dim,
+           "self_attention expects a (B, T, D) input");
+  CM_CHECK(a.num_heads > 0 && a.embed_dim % a.num_heads == 0,
+           "self_attention: num_heads must divide embed_dim");
+  const auto D = static_cast<std::size_t>(a.embed_dim);
+  CM_CHECK(in_proj_w.shape() == Shape({3 * a.embed_dim, a.embed_dim}) &&
+               in_proj_b.data().size() == 3 * D &&
+               out_proj_w.shape() == Shape({a.embed_dim, a.embed_dim}) &&
+               out_proj_b.data().size() == D,
+           "self_attention parameter shape mismatch");
+  const auto B = static_cast<std::size_t>(s.dim(0));
+  const auto T = static_cast<std::size_t>(s.dim(1));
+  const auto H = static_cast<std::size_t>(a.num_heads);
+  const std::size_t Dh = D / H;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.attention.calls").add();
+  }
+
+  // Fused QKV projection: (B*T, D) x (D, 3D) -> (B*T, 3D) row-major, so
+  // head h of Q/K/V lives at column offset {0, D, 2D} + h*Dh with row
+  // stride 3D.
+  Tensor qkv(Shape{s.dim(0), s.dim(1), 3 * a.embed_dim},
+             Tensor::kUninitialized);
+  {
+    GemmOpts opts;
+    opts.trans_b = Trans::kYes;
+    opts.beta = 0.0f;
+    opts.col_bias = in_proj_b.data().data();
+    gemm(pool, input.data(), in_proj_w.data(), qkv.data(), B * T, D, 3 * D,
+         opts);
+  }
+
+  // Per-(batch, head) scores + softmax + context, written into the
+  // concatenated context tensor. Tasks own disjoint (b, h) slices, so the
+  // output is bit-identical for any worker count.
+  Tensor ctx(Shape{s.dim(0), s.dim(1), a.embed_dim}, Tensor::kUninitialized);
+  const float* qkv_p = qkv.data().data();
+  float* ctx_p = ctx.data().data();
+  const auto scale = static_cast<float>(1.0 / std::sqrt(static_cast<double>(Dh)));
+  const std::size_t scores_floats = T * T;
+  pool.parallel_for(
+      B * H,
+      [&](std::size_t t0, std::size_t t1) {
+        Workspace& ws = Workspace::tls();
+        ws.reserve(scores_floats + kPackAFloats + kPackBFloats);
+        float* scores = ws.take(scores_floats);
+        float* ap = ws.take(kPackAFloats);
+        float* bp = ws.take(kPackBFloats);
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t b = t / H;
+          const std::size_t h = t % H;
+          const float* base = qkv_p + b * T * 3 * D;
+          const float* q = base + h * Dh;
+          const float* kk = base + D + h * Dh;
+          const float* v = base + 2 * D + h * Dh;
+          // scores(T x T) = Q (T x Dh, lda = 3D) * K^T.
+          kernel_detail::gemm_block(q, 3 * D, false, kk, 3 * D, true, scores,
+                                    T, 0, T, Dh, T, 0.0f, nullptr, nullptr,
+                                    std::nullopt, ap, bp);
+          // Row softmax of the scaled scores; serial per row.
+          for (std::size_t i = 0; i < T; ++i) {
+            float* row = scores + i * T;
+            float mx = row[0] * scale;
+            for (std::size_t j = 1; j < T; ++j) {
+              mx = std::max(mx, row[j] * scale);
+            }
+            float denom = 0.0f;
+            for (std::size_t j = 0; j < T; ++j) {
+              row[j] = std::exp(row[j] * scale - mx);
+              denom += row[j];
+            }
+            const float inv = 1.0f / denom;
+            for (std::size_t j = 0; j < T; ++j) row[j] *= inv;
+          }
+          // context (T x Dh) = P (T x T) * V (T x Dh, ldb = 3D).
+          kernel_detail::gemm_block(scores, T, false, v, 3 * D, false,
+                                    ctx_p + b * T * D + h * Dh, D, 0, T, T,
+                                    Dh, 0.0f, nullptr, nullptr, std::nullopt,
+                                    ap, bp);
+        }
+      },
+      1);
+
+  // Output projection: (B*T, D) x (D, D) -> (B, T, D).
+  Tensor out(s, Tensor::kUninitialized);
+  {
+    GemmOpts opts;
+    opts.trans_b = Trans::kYes;
+    opts.beta = 0.0f;
+    opts.col_bias = out_proj_b.data().data();
+    gemm(pool, ctx.data(), out_proj_w.data(), out.data(), B * T, D, D, opts);
+  }
+  return out;
+}
+
+Tensor select_token(const Tensor& input, std::int64_t index) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 3 && index >= 0 && index < s.dim(1),
+           "select_token: index out of range");
+  const auto T = static_cast<std::size_t>(s.dim(1));
+  const auto D = static_cast<std::size_t>(s.dim(2));
+  Tensor out(Shape{s.dim(0), s.dim(2)}, Tensor::kUninitialized);
+  const float* x = input.data().data();
+  float* y = out.data().data();
+  for (std::size_t b = 0; b < static_cast<std::size_t>(s.dim(0)); ++b) {
+    const float* row = x + (b * T + static_cast<std::size_t>(index)) * D;
+    std::copy(row, row + D, y + b * D);
+  }
+  return out;
+}
+
+Tensor transpose_tokens(ThreadPool& pool, const Tensor& input) {
+  const auto& s = input.shape();
+  CM_CHECK(s.rank() == 3, "transpose_tokens expects a rank-3 input");
+  const auto T = static_cast<std::size_t>(s.dim(1));
+  const auto C = static_cast<std::size_t>(s.dim(2));
+  Tensor out(Shape{s.dim(0), s.dim(2), s.dim(1)}, Tensor::kUninitialized);
+  const float* x = input.data().data();
+  float* y = out.data().data();
+  pool.parallel_for(
+      static_cast<std::size_t>(s.dim(0)),
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          const float* xb = x + b * T * C;
+          float* yb = y + b * C * T;
+          for (std::size_t t = 0; t < T; ++t) {
+            for (std::size_t c = 0; c < C; ++c) {
+              yb[c * T + t] = xb[t * C + c];
+            }
+          }
+        }
+      },
+      1);
   return out;
 }
 

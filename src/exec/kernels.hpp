@@ -85,8 +85,12 @@ Tensor adaptive_avg_pool2d(ThreadPool& pool, const Tensor& input,
                            std::int64_t out_h, std::int64_t out_w);
 
 /// Fully connected layer: y = x W^T + b. `weight` is (out, in) like PyTorch.
+/// Accepts rank-2 (batch, in) or rank-3 (batch, tokens, in) inputs; rank-3
+/// folds the leading dims into GEMM rows (transformer MLPs). `fused_act`
+/// applies an activation inside the GEMM writeback, mirroring the conv path.
 Tensor linear(ThreadPool& pool, const Tensor& input, const Tensor& weight,
-              const Tensor& bias, const LinearAttrs& attrs);
+              const Tensor& bias, const LinearAttrs& attrs,
+              std::optional<ActKind> fused_act = std::nullopt);
 
 Tensor flatten(const Tensor& input);
 Tensor add(const Tensor& a, const Tensor& b);
@@ -104,6 +108,37 @@ Tensor slice_channels(const Tensor& input, std::int64_t begin,
 /// ShuffleNet channel shuffle: with G groups and K = C/G channels per
 /// group, output channel k*G+g takes input channel g*K+k.
 Tensor channel_shuffle(const Tensor& input, std::int64_t groups);
+
+/// NCHW feature map -> (B, T, C) token sequence with T = H*W, optionally
+/// prepending the learnable classification token `cls` (a (C) tensor; may be
+/// empty when attrs.cls_token is false). Token t = h*W + w carries the
+/// channel vector at spatial position (h, w).
+Tensor to_tokens(ThreadPool& pool, const Tensor& input, const Tensor& cls,
+                 const ToTokensAttrs& attrs);
+
+/// Layer normalization over the last dimension:
+///   y = gamma * (x - mean) / sqrt(var + eps) + beta
+/// computed per leading position with double-precision accumulation.
+Tensor layer_norm(ThreadPool& pool, const Tensor& input, const Tensor& gamma,
+                  const Tensor& beta, const LayerNormAttrs& attrs,
+                  double eps = 1e-5);
+
+/// Multi-head self-attention over a (B, T, D) sequence. Parameters follow
+/// the fused PyTorch MultiheadAttention layout: `in_proj_w` is (3D, D)
+/// stacking the Q, K, V projections, `in_proj_b` is (3D); `out_proj_w` is
+/// (D, D), `out_proj_b` is (D). The QKV and output projections run on the
+/// packed GEMM; scores + softmax + context are partitioned disjointly over
+/// (batch x head), so results are bit-identical for any worker count.
+Tensor self_attention(ThreadPool& pool, const Tensor& input,
+                      const Tensor& in_proj_w, const Tensor& in_proj_b,
+                      const Tensor& out_proj_w, const Tensor& out_proj_b,
+                      const SelfAttentionAttrs& attrs);
+
+/// Extracts token `index` of a (B, T, D) sequence as a (B, D) tensor.
+Tensor select_token(const Tensor& input, std::int64_t index);
+
+/// (B, T, C) -> (B, C, T) permutation (MLP-Mixer token mixing).
+Tensor transpose_tokens(ThreadPool& pool, const Tensor& input);
 
 namespace kernel_detail {
 
@@ -131,6 +166,13 @@ std::size_t conv2d_workspace_floats(const Conv2dAttrs& attrs, const Shape& in);
 /// Per-thread Workspace floats gemm() (and thus the linear kernel)
 /// reserves: the two packing panels; independent of problem size.
 std::size_t gemm_workspace_floats();
+
+/// Per-thread Workspace floats self_attention reserves for `attrs` on a
+/// (B, T, D) input shape `in`: one (T x T) score matrix plus both GEMM
+/// packing panels. The analysis layer's workspace pass sizes attention
+/// nodes through this function so kernel and verifier cannot drift.
+std::size_t self_attention_workspace_floats(const SelfAttentionAttrs& attrs,
+                                            const Shape& in);
 
 /// Fills `col` (patch x (c1 - c0), row-major, leading dimension c1 - c0)
 /// with the unfolded input windows of flattened output positions [c0, c1)

@@ -98,7 +98,38 @@ Trainer::Trainer(Graph graph, TrainerConfig config)
         state.values.push_back(Tensor(Shape{c}, 0.0f));  // beta
         break;
       }
-      default:
+      case OpKind::kLayerNorm: {
+        const auto d = n.as<LayerNormAttrs>().dim;
+        state.values.push_back(Tensor(Shape{d}, 1.0f));  // gamma
+        state.values.push_back(Tensor(Shape{d}, 0.0f));  // beta
+        break;
+      }
+      case OpKind::kSelfAttention: {
+        const auto& a = n.as<SelfAttentionAttrs>();
+        const auto fan = static_cast<double>(a.embed_dim);
+        state.values.push_back(
+            he_uniform(Shape({3 * a.embed_dim, a.embed_dim}), fan, rng));
+        state.values.push_back(Tensor(Shape{3 * a.embed_dim}, 0.0f));
+        state.values.push_back(
+            he_uniform(Shape({a.embed_dim, a.embed_dim}), fan, rng));
+        state.values.push_back(Tensor(Shape{a.embed_dim}, 0.0f));
+        break;
+      }
+      case OpKind::kInput:
+      case OpKind::kActivation:
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+      case OpKind::kAdaptiveAvgPool2d:
+      case OpKind::kFlatten:
+      case OpKind::kAdd:
+      case OpKind::kMultiply:
+      case OpKind::kConcat:
+      case OpKind::kDropout:
+      case OpKind::kSliceChannels:
+      case OpKind::kChannelShuffle:
+      case OpKind::kToTokens:  // cls token is a non-learnable constant
+      case OpKind::kSelectToken:
+      case OpKind::kTransposeTokens:
         continue;
     }
     for (const Tensor& t : state.values) {
@@ -197,13 +228,48 @@ std::vector<Tensor> Trainer::forward(const Tensor& input) {
         outputs[static_cast<std::size_t>(n.id)] =
             channel_shuffle(in(0), n.as<ChannelShuffleAttrs>().groups);
         break;
-      case OpKind::kToTokens:
-      case OpKind::kLayerNorm:
-      case OpKind::kSelfAttention:
+      case OpKind::kToTokens: {
+        const auto& a = n.as<ToTokensAttrs>();
+        Tensor cls;
+        if (a.cls_token) {
+          // Non-learnable constant, regenerated deterministically from the
+          // weight seed (matching the executor); keeping it out of params_
+          // keeps parameter_count() and the trainable set consistent.
+          const std::int64_t c = in(0).shape().channels();
+          const std::uint64_t seed =
+              config_.weight_seed ^
+              (0x9e3779b97f4a7c15ULL *
+               (static_cast<std::uint64_t>(n.id) + 1));
+          cls = Tensor(Shape{c}, Tensor::kUninitialized);
+          cls.fill_random(seed);
+          const float scale =
+              static_cast<float>(1.0 / std::sqrt(static_cast<double>(c)));
+          for (float& v : cls.data()) v *= scale;
+        }
+        outputs[static_cast<std::size_t>(n.id)] =
+            to_tokens(pool_, in(0), cls, a);
+        break;
+      }
+      case OpKind::kLayerNorm: {
+        const auto& p = params_.at(n.id).values;
+        outputs[static_cast<std::size_t>(n.id)] =
+            layer_norm(pool_, in(0), p[0], p[1], n.as<LayerNormAttrs>());
+        break;
+      }
+      case OpKind::kSelfAttention: {
+        const auto& p = params_.at(n.id).values;
+        outputs[static_cast<std::size_t>(n.id)] = self_attention(
+            pool_, in(0), p[0], p[1], p[2], p[3], n.as<SelfAttentionAttrs>());
+        break;
+      }
       case OpKind::kSelectToken:
-        throw InvalidArgument(
-            "transformer ops are modeled for prediction but not implemented "
-            "by the CPU trainer (node '" + n.name + "')");
+        outputs[static_cast<std::size_t>(n.id)] =
+            select_token(in(0), n.as<SelectTokenAttrs>().index);
+        break;
+      case OpKind::kTransposeTokens:
+        outputs[static_cast<std::size_t>(n.id)] =
+            transpose_tokens(pool_, in(0));
+        break;
     }
   }
   return outputs;
@@ -435,11 +501,46 @@ RealStepResult Trainer::compute_gradients(const Tensor& input,
         break;
       }
       case OpKind::kToTokens:
-      case OpKind::kLayerNorm:
-      case OpKind::kSelfAttention:
+        // The cls-token row (if any) is a non-learnable constant; its
+        // gradient is dropped inside to_tokens_backward.
+        accumulate(n.inputs[0],
+                   to_tokens_backward(in_tensor(0).shape(), go,
+                                      n.as<ToTokensAttrs>()));
+        break;
+      case OpKind::kLayerNorm: {
+        const auto& p = params_.at(n.id).values;
+        LayerNormGradients g = layer_norm_backward(
+            pool_, in_tensor(0), p[0], go, n.as<LayerNormAttrs>());
+        param_grads.emplace(
+            n.id, std::vector<Tensor>{std::move(g.grad_gamma),
+                                      std::move(g.grad_beta)});
+        accumulate(n.inputs[0], std::move(g.grad_input));
+        break;
+      }
+      case OpKind::kSelfAttention: {
+        const auto& p = params_.at(n.id).values;
+        AttentionGradients g = self_attention_backward(
+            pool_, in_tensor(0), p[0], p[1], p[2], p[3], go,
+            n.as<SelfAttentionAttrs>());
+        std::vector<Tensor> pg;
+        pg.push_back(std::move(g.grad_in_proj_w));
+        pg.push_back(std::move(g.grad_in_proj_b));
+        pg.push_back(std::move(g.grad_out_proj_w));
+        pg.push_back(std::move(g.grad_out_proj_b));
+        param_grads.emplace(n.id, std::move(pg));
+        accumulate(n.inputs[0], std::move(g.grad_input));
+        break;
+      }
       case OpKind::kSelectToken:
-        throw InvalidArgument(
-            "transformer ops are not implemented by the CPU trainer");
+        accumulate(n.inputs[0],
+                   select_token_backward(in_tensor(0).shape(), go,
+                                         n.as<SelectTokenAttrs>().index));
+        break;
+      case OpKind::kTransposeTokens:
+        // The (B, T, C) <-> (B, C, T) swap is an involution, so the
+        // backward pass is the same transpose applied to the gradient.
+        accumulate(n.inputs[0], transpose_tokens(pool_, go));
+        break;
     }
   }
   phase_span.reset();

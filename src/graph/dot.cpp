@@ -40,7 +40,22 @@ std::string attr_summary(const Node& n) {
       os << "d" << a.embed_dim << " h" << a.num_heads;
       break;
     }
-    default:
+    case OpKind::kLayerNorm:
+      os << "d" << n.as<LayerNormAttrs>().dim;
+      break;
+    case OpKind::kInput:
+    case OpKind::kBatchNorm2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kFlatten:
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
       break;
   }
   return os.str();
@@ -56,8 +71,21 @@ const char* fill_color(OpKind kind) {
     case OpKind::kAdd:
     case OpKind::kMultiply:
     case OpKind::kConcat: return "#d4ecd0";
-    default: return "#eeeeee";
+    case OpKind::kBatchNorm2d:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kLayerNorm:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle: return "#eeeeee";
   }
+  return "#eeeeee";
 }
 
 }  // namespace

@@ -155,6 +155,11 @@ NodeId Graph::select_token(std::string name, NodeId in, std::int64_t index) {
               {in});
 }
 
+NodeId Graph::transpose_tokens(std::string name, NodeId in) {
+  return push(std::move(name), OpKind::kTransposeTokens,
+              TransposeTokensAttrs{}, {in});
+}
+
 NodeId Graph::slice_channels(std::string name, NodeId in, std::int64_t begin,
                              std::int64_t end) {
   CM_CHECK(begin >= 0 && end > begin, "slice_channels needs 0 <= begin < end");
@@ -198,8 +203,24 @@ std::size_t expected_min_arity(OpKind kind) {
     case OpKind::kAdd:
     case OpKind::kMultiply:
     case OpKind::kConcat: return 2;
-    default: return 1;
+    case OpKind::kConv2d:
+    case OpKind::kBatchNorm2d:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kLinear:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kLayerNorm:
+    case OpKind::kSelfAttention:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle: return 1;
   }
+  throw InvalidArgument("unknown OpKind in expected_min_arity");
 }
 
 std::size_t expected_max_arity(OpKind kind) {
@@ -208,8 +229,24 @@ std::size_t expected_max_arity(OpKind kind) {
     case OpKind::kAdd:
     case OpKind::kMultiply: return 2;
     case OpKind::kConcat: return SIZE_MAX;
-    default: return 1;
+    case OpKind::kConv2d:
+    case OpKind::kBatchNorm2d:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kLinear:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kLayerNorm:
+    case OpKind::kSelfAttention:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle: return 1;
   }
+  throw InvalidArgument("unknown OpKind in expected_max_arity");
 }
 
 }  // namespace
@@ -281,7 +318,24 @@ std::int64_t Graph::parameter_count() const {
       case OpKind::kSelfAttention:
         total += n.as<SelfAttentionAttrs>().parameter_count();
         break;
-      default:
+      case OpKind::kToTokens:
+        // The learnable cls token (dim floats) is excluded here to keep the
+        // historical counts (and the ViT goldens, which also skip the
+        // position embedding) stable.
+      case OpKind::kInput:
+      case OpKind::kActivation:
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+      case OpKind::kAdaptiveAvgPool2d:
+      case OpKind::kFlatten:
+      case OpKind::kAdd:
+      case OpKind::kMultiply:
+      case OpKind::kConcat:
+      case OpKind::kDropout:
+      case OpKind::kSelectToken:
+      case OpKind::kTransposeTokens:
+      case OpKind::kSliceChannels:
+      case OpKind::kChannelShuffle:
         break;
     }
   }

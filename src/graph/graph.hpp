@@ -94,6 +94,7 @@ class Graph {
   NodeId self_attention(std::string name, NodeId in, std::int64_t embed_dim,
                         std::int64_t num_heads);
   NodeId select_token(std::string name, NodeId in, std::int64_t index);
+  NodeId transpose_tokens(std::string name, NodeId in);
 
   // Channel-manipulation builders (ShuffleNet family).
   NodeId slice_channels(std::string name, NodeId in, std::int64_t begin,

@@ -50,7 +50,7 @@ std::int64_t SelfAttentionAttrs::parameter_count() const {
 
 namespace {
 
-constexpr std::array<std::pair<OpKind, const char*>, 19> kOpNames = {{
+constexpr std::array<std::pair<OpKind, const char*>, 20> kOpNames = {{
     {OpKind::kInput, "input"},
     {OpKind::kConv2d, "conv2d"},
     {OpKind::kBatchNorm2d, "batch_norm2d"},
@@ -68,6 +68,7 @@ constexpr std::array<std::pair<OpKind, const char*>, 19> kOpNames = {{
     {OpKind::kLayerNorm, "layer_norm"},
     {OpKind::kSelfAttention, "self_attention"},
     {OpKind::kSelectToken, "select_token"},
+    {OpKind::kTransposeTokens, "transpose_tokens"},
     {OpKind::kSliceChannels, "slice_channels"},
     {OpKind::kChannelShuffle, "channel_shuffle"},
 }};

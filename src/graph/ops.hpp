@@ -31,6 +31,7 @@ enum class OpKind {
   kLayerNorm,         ///< layer normalization over the embedding dim
   kSelfAttention,     ///< multi-head self-attention (fused qkv + out proj)
   kSelectToken,       ///< (B, T, D) -> (B, D), picks one token (cls head)
+  kTransposeTokens,   ///< (B, T, C) -> (B, C, T) (MLP-Mixer token mixing)
   // ---- channel-manipulation ops (ShuffleNet family) ----
   kSliceChannels,     ///< take channels [begin, end) of a rank-4 tensor
   kChannelShuffle,    ///< permute channels across groups (ShuffleNetV2)
@@ -156,6 +157,7 @@ struct ChannelShuffleAttrs {
 };
 
 /// Marker attribute types for operators without parameters.
+struct TransposeTokensAttrs {};
 struct FlattenAttrs {};
 struct AddAttrs {};
 struct MultiplyAttrs {};
@@ -168,8 +170,8 @@ using OpAttrs =
                  Pool2dAttrs, AdaptiveAvgPool2dAttrs, LinearAttrs,
                  FlattenAttrs, AddAttrs, MultiplyAttrs, ConcatAttrs,
                  DropoutAttrs, ToTokensAttrs, LayerNormAttrs,
-                 SelfAttentionAttrs, SelectTokenAttrs, SliceChannelsAttrs,
-                 ChannelShuffleAttrs>;
+                 SelfAttentionAttrs, SelectTokenAttrs, TransposeTokensAttrs,
+                 SliceChannelsAttrs, ChannelShuffleAttrs>;
 
 /// Stable textual name of an operator kind ("conv2d", "max_pool2d", ...).
 std::string op_kind_name(OpKind kind);

@@ -95,6 +95,7 @@ void emit_attrs(std::ostream& os, const Node& n) {
     case OpKind::kChannelShuffle:
       os << " groups=" << n.as<ChannelShuffleAttrs>().groups;
       break;
+    case OpKind::kTransposeTokens:
     case OpKind::kFlatten:
     case OpKind::kAdd:
     case OpKind::kMultiply:
@@ -162,6 +163,8 @@ OpAttrs parse_attrs(OpKind kind, const KvMap& m) {
       return SliceChannelsAttrs{kv_int(m, "begin"), kv_int(m, "end")};
     case OpKind::kChannelShuffle:
       return ChannelShuffleAttrs{kv_int(m, "groups")};
+    case OpKind::kTransposeTokens:
+      return TransposeTokensAttrs{};
     case OpKind::kFlatten:
       return FlattenAttrs{};
     case OpKind::kAdd:

@@ -148,6 +148,12 @@ Shape infer_node_shape(const Node& n, const std::vector<Shape>& inputs,
                "select_token index out of range at node '" + n.name + "'");
       return Shape{s.dim(0), s.dim(2)};
     }
+    case OpKind::kTransposeTokens: {
+      const auto& s = in_shape(0);
+      CM_CHECK(s.rank() == 3, "transpose_tokens expects (B, T, C) input at "
+                              "node '" + n.name + "', got " + s.to_string());
+      return Shape{s.dim(0), s.dim(2), s.dim(1)};
+    }
     case OpKind::kMaxPool2d:
     case OpKind::kAvgPool2d:
       return pool2d_output_shape(n.as<Pool2dAttrs>(), in_shape(0));

@@ -31,6 +31,48 @@ double act_flops_per_elem(ActKind kind) {
 
 }  // namespace
 
+OpFamily op_family(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d:
+      return OpFamily::kConv;
+    case OpKind::kLinear:
+      return OpFamily::kGemm;
+    case OpKind::kSelfAttention:
+      return OpFamily::kAttention;
+    case OpKind::kBatchNorm2d:
+    case OpKind::kLayerNorm:
+      return OpFamily::kNorm;
+    case OpKind::kInput:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kFlatten:
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
+      return OpFamily::kElementwise;
+  }
+  return OpFamily::kElementwise;
+}
+
+const char* op_family_name(OpFamily family) {
+  switch (family) {
+    case OpFamily::kConv: return "conv";
+    case OpFamily::kGemm: return "gemm";
+    case OpFamily::kAttention: return "attention";
+    case OpFamily::kNorm: return "norm";
+    case OpFamily::kElementwise: return "elementwise";
+  }
+  return "elementwise";
+}
+
 GraphMetrics GraphMetrics::scaled_by_batch(double factor) const {
   CM_CHECK(factor > 0.0, "batch scale factor must be positive");
   GraphMetrics out = *this;
@@ -39,6 +81,10 @@ GraphMetrics GraphMetrics::scaled_by_batch(double factor) const {
   out.conv_outputs *= factor;
   out.compute_inputs *= factor;
   out.compute_outputs *= factor;
+  for (FamilyMetrics& fam : out.families) {
+    fam.flops *= factor;
+    fam.io_elems *= factor;
+  }
   return out;
 }
 
@@ -52,6 +98,7 @@ double node_flops(const Node& node, const std::vector<Shape>& input_shapes,
     case OpKind::kConcat:
     case OpKind::kToTokens:
     case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
     case OpKind::kSliceChannels:
     case OpKind::kChannelShuffle:
       return 0.0;  // pure data movement; their cost is the byte traffic
@@ -154,7 +201,21 @@ std::vector<LayerWork> per_layer_work(const Graph& graph,
         w.param_elems =
             static_cast<double>(n.as<SelfAttentionAttrs>().parameter_count());
         break;
-      default:
+      case OpKind::kInput:
+      case OpKind::kActivation:
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+      case OpKind::kAdaptiveAvgPool2d:
+      case OpKind::kFlatten:
+      case OpKind::kAdd:
+      case OpKind::kMultiply:
+      case OpKind::kConcat:
+      case OpKind::kDropout:
+      case OpKind::kToTokens:
+      case OpKind::kSelectToken:
+      case OpKind::kTransposeTokens:
+      case OpKind::kSliceChannels:
+      case OpKind::kChannelShuffle:
         break;
     }
     work.push_back(w);
@@ -195,7 +256,13 @@ GraphMetrics compute_metrics(const Graph& graph, const Shape& input_shape) {
       m.compute_outputs +=
           static_cast<double>(shapes[static_cast<std::size_t>(n.id)].numel());
     }
-    if (n.kind != OpKind::kInput) m.all_nodes += 1.0;
+    if (n.kind != OpKind::kInput) {
+      m.all_nodes += 1.0;
+      FamilyMetrics& fam =
+          m.families[static_cast<std::size_t>(op_family(n.kind))];
+      fam.flops += w.flops;
+      fam.io_elems += w.input_elems + w.output_elems;
+    }
   }
   return m;
 }

@@ -14,6 +14,7 @@
 // evaluating the performance model (Eq. 3).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,31 @@
 #include "tensor/shape.hpp"
 
 namespace convmeter {
+
+/// Coarse kernel families the segmented predictor fits one coefficient
+/// block for (see predict/segmented.hpp): a node's runtime behaviour is
+/// governed by which kernel it dispatches to, not by the network it sits in.
+enum class OpFamily : std::uint8_t {
+  kConv = 0,    ///< conv2d (im2col + packed GEMM)
+  kGemm,        ///< linear / fully connected projections
+  kAttention,   ///< multi-head self-attention
+  kNorm,        ///< batch_norm2d, layer_norm
+  kElementwise, ///< activations, pooling, add/mul, data movement
+};
+
+inline constexpr std::size_t kNumOpFamilies = 5;
+
+/// Family of one operator kind (total: every OpKind maps somewhere).
+OpFamily op_family(OpKind kind);
+
+/// Stable short name ("conv", "gemm", "attention", "norm", "elementwise").
+const char* op_family_name(OpFamily family);
+
+/// Batch-linear per-family aggregates (FLOPs and element traffic).
+struct FamilyMetrics {
+  double flops = 0.0;
+  double io_elems = 0.0;  ///< input + output elements over the family's nodes
+};
 
 /// Work performed by one node, the unit the device simulator consumes.
 struct LayerWork {
@@ -45,6 +71,9 @@ struct GraphMetrics {
   // pair the transformer extension uses where conv-only I and O vanish.
   double compute_inputs = 0.0;
   double compute_outputs = 0.0;
+  /// Per-op-family FLOPs/IO dissection, indexed by OpFamily. Batch-linear
+  /// like F/I/O; the segmented predictor's feature source.
+  std::array<FamilyMetrics, kNumOpFamilies> families{};
 
   /// Scales the batch-linear components (F, I, O) by `factor`; W and L are
   /// batch-independent. Implements the Eq. 3 factorization.

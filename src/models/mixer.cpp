@@ -1,0 +1,74 @@
+// MLP-Mixer (Tolstikhin et al. 2021): all-MLP vision models. Exercises the
+// transformer operator set without attention — token mixing is a plain MLP
+// applied across the patch axis via the (B, T, C) <-> (B, C, T) transpose.
+//
+// The token-MLP widths pin the graph to the registry's 224x224 resolution
+// (T = (224 / patch)^2 is baked into the mixing layers' in_features), which
+// mirrors the reference architecture. The classifier pools tokens with a
+// learnable (T -> 1) projection — the same FLOP cost as the paper's global
+// average pooling, expressed in the existing operator vocabulary.
+#include "models/zoo.hpp"
+
+namespace convmeter::models {
+
+namespace {
+
+/// One Mixer block: token-mixing MLP across patches, then channel-mixing
+/// MLP across features, both pre-norm with residual connections.
+NodeId mixer_block(Graph& g, const std::string& p, NodeId x, std::int64_t dim,
+                   std::int64_t tokens, std::int64_t token_mlp,
+                   std::int64_t channel_mlp) {
+  NodeId y = g.layer_norm(p + ".ln1", x, dim);
+  y = g.transpose_tokens(p + ".t1", y);  // (B, T, C) -> (B, C, T)
+  y = g.linear(p + ".token.fc1", y, LinearAttrs{tokens, token_mlp, true});
+  y = g.activation(p + ".token.gelu", y, ActKind::kGELU);
+  y = g.linear(p + ".token.fc2", y, LinearAttrs{token_mlp, tokens, true});
+  y = g.transpose_tokens(p + ".t2", y);  // back to (B, T, C)
+  NodeId res = g.add(p + ".add1", x, y);
+
+  y = g.layer_norm(p + ".ln2", res, dim);
+  y = g.linear(p + ".chan.fc1", y, LinearAttrs{dim, channel_mlp, true});
+  y = g.activation(p + ".chan.gelu", y, ActKind::kGELU);
+  y = g.linear(p + ".chan.fc2", y, LinearAttrs{channel_mlp, dim, true});
+  return g.add(p + ".add2", res, y);
+}
+
+Graph mixer(const std::string& name, std::int64_t patch, std::int64_t dim,
+            std::int64_t depth, std::int64_t token_mlp,
+            std::int64_t channel_mlp) {
+  const std::int64_t side = 224 / patch;
+  const std::int64_t tokens = side * side;
+  Graph g(name);
+  NodeId x = g.input(3);
+  x = g.conv2d("patch_embed", x,
+               Conv2dAttrs::square(3, dim, patch, patch, 0, 1, true));
+  x = g.to_tokens("to_tokens", x, /*cls_token=*/false);
+
+  for (std::int64_t block = 0; block < depth; ++block) {
+    x = mixer_block(g, "mixer." + std::to_string(block), x, dim, tokens,
+                    token_mlp, channel_mlp);
+  }
+
+  x = g.layer_norm("ln_final", x, dim);
+  // Learnable token pooling: (B, T, C) -> (B, C, T) -> (B, C, 1) -> (B, 1, C)
+  // -> (B, C), then the classifier head.
+  x = g.transpose_tokens("pool.t", x);
+  x = g.linear("pool.fc", x, LinearAttrs{tokens, 1, false});
+  x = g.transpose_tokens("pool.back", x);
+  x = g.select_token("pool.squeeze", x, 0);
+  g.linear("head", x, LinearAttrs{dim, 1000, true});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+Graph mlp_mixer_s_16() {
+  return mixer("mlp_mixer_s_16", 16, 512, 8, 256, 2048);
+}
+Graph mlp_mixer_b_16() {
+  return mixer("mlp_mixer_b_16", 16, 768, 12, 384, 3072);
+}
+
+}  // namespace convmeter::models

@@ -16,8 +16,8 @@ struct ZooEntry {
   std::int64_t image_size;
 };
 
-const std::array<ZooEntry, 33>& registry() {
-  static const std::array<ZooEntry, 33> entries = {{
+const std::array<ZooEntry, 35>& registry() {
+  static const std::array<ZooEntry, 35> entries = {{
       {"alexnet", &alexnet, 224},
       {"vgg11", [] { return vgg(11); }, 224},
       {"vgg13", [] { return vgg(13); }, 224},
@@ -51,6 +51,8 @@ const std::array<ZooEntry, 33>& registry() {
       {"vit_b_16", &vit_b_16, 224},
       {"vit_b_32", &vit_b_32, 224},
       {"vit_l_16", &vit_l_16, 224},
+      {"mlp_mixer_s_16", &mlp_mixer_s_16, 224},
+      {"mlp_mixer_b_16", &mlp_mixer_b_16, 224},
   }};
   return entries;
 }

@@ -80,4 +80,9 @@ Graph vit_b_16();
 Graph vit_b_32();
 Graph vit_l_16();
 
+// MLP-Mixers: all-MLP models over the same token operator set (resolution
+// pinned to 224 by the token-mixing layer widths).
+Graph mlp_mixer_s_16();
+Graph mlp_mixer_b_16();
+
 }  // namespace convmeter::models

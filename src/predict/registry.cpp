@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "predict/predictors.hpp"
+#include "predict/segmented.hpp"
 
 namespace convmeter {
 
@@ -42,6 +43,12 @@ PredictorRegistry::PredictorRegistry() {
   add({"outputs-only",
        "single-metric linear baseline on conv outputs (Fig. 2)",
        simple("outputs-only", FeatureSet::kOutputsOnly)});
+  add({"segmented",
+       "per-op-family linear model (conv/gemm/attention/norm/elementwise "
+       "FLOPs+IO, zoo models only)",
+       [](const PredictorOptions&) {
+         return std::make_unique<SegmentedPredictor>();
+       }});
   add({"mlp", "learned MLP regressor on log-scaled graph features",
        [](const PredictorOptions& o) {
          return std::make_unique<MlpBaselineAdapter>(o.mlp);

@@ -1,0 +1,134 @@
+#include "predict/segmented.hpp"
+
+#include <utility>
+
+#include "collect/graph_cache.hpp"
+#include "common/error.hpp"
+#include "metrics/metrics.hpp"
+
+namespace convmeter {
+
+std::optional<Vector> segmented_features(const RuntimeSample& s) {
+  std::optional<GraphMetrics> m;
+  try {
+    m = GraphCache::instance().metrics_b1(s.model, s.image_size);
+  } catch (const InvalidArgument&) {
+    // Not a zoo model (e.g. a synthetic block label) — gate it out.
+  }
+  if (!m.has_value()) return std::nullopt;
+  const double b = s.mini_batch();
+  Vector x(kSegmentedFeatureCount);
+  for (std::size_t f = 0; f < kNumOpFamilies; ++f) {
+    x[2 * f] = b * m->families[f].flops;
+    x[2 * f + 1] = b * m->families[f].io_elems;
+  }
+  x[2 * kNumOpFamilies] = 1.0;  // intercept
+  return x;
+}
+
+void SegmentedAccumulator::observe(const RuntimeSample& s) {
+  if (s.t_infer <= 0.0) return;
+  const std::optional<Vector> x = segmented_features(s);
+  if (!x.has_value()) return;
+  ls_.observe(*x, s.t_infer);
+  ++count_;
+}
+
+void SegmentedAccumulator::merge(const SegmentedAccumulator& other) {
+  ls_.merge(other.ls_);
+  count_ += other.count_;
+}
+
+void SegmentedAccumulator::subtract(const SegmentedAccumulator& other) {
+  ls_.subtract(other.ls_);
+  count_ -= other.count_;
+}
+
+LinearModel SegmentedAccumulator::solve() const {
+  CM_CHECK(count_ >= kSegmentedFeatureCount,
+           "segmented predictor needs at least " +
+               std::to_string(kSegmentedFeatureCount) +
+               " zoo-model samples with measured inference time");
+  return LinearModel::from_coefficients(ls_.solve());
+}
+
+std::unique_ptr<FitAccumulator> SegmentedPredictor::make_accumulator() const {
+  return std::make_unique<TypedFitAccumulator<SegmentedAccumulator>>(
+      SegmentedAccumulator());
+}
+
+void SegmentedPredictor::fit_from_accumulator(const FitAccumulator& acc) {
+  const auto* typed =
+      dynamic_cast<const TypedFitAccumulator<SegmentedAccumulator>*>(&acc);
+  CM_CHECK(typed != nullptr,
+           "segmented predictor got a foreign fit accumulator");
+  model_ = typed->state().solve();
+  set_fitted();
+}
+
+const LinearModel& SegmentedPredictor::model() const {
+  CM_CHECK(model_.has_value(), "segmented predictor has no fitted model");
+  return *model_;
+}
+
+void SegmentedPredictor::do_fit(SampleStream& samples) {
+  SegmentedAccumulator acc;
+  RuntimeSample s;
+  samples.reset();
+  while (samples.next(s)) acc.observe(s);
+  model_ = acc.solve();
+}
+
+double SegmentedPredictor::do_predict(const RuntimeSample& sample) const {
+  CM_CHECK(model_.has_value(), "segmented predictor has no fitted model");
+  const std::optional<Vector> x = segmented_features(sample);
+  if (!x.has_value()) {
+    throw InvalidArgument("segmented predictor cannot featurize model '" +
+                          sample.model + "' at image size " +
+                          std::to_string(sample.image_size));
+  }
+  return model_->predict(*x);
+}
+
+json::Value SegmentedPredictor::model_json() const {
+  CM_CHECK(model_.has_value(), "segmented predictor has no fitted model");
+  json::Value::Object obj;
+  // Persist the family layout so a reader (or a future enum reordering)
+  // cannot silently misinterpret the coefficient vector.
+  json::Value::Array families;
+  for (std::size_t f = 0; f < kNumOpFamilies; ++f) {
+    families.emplace_back(
+        std::string(op_family_name(static_cast<OpFamily>(f))));
+  }
+  obj.emplace("families", json::Value(std::move(families)));
+  obj.emplace("model", model_->to_json());
+  return json::Value(std::move(obj));
+}
+
+void SegmentedPredictor::load_model_json(const json::Value& model) {
+  const auto& families = model.at("families").as_array();
+  if (families.size() != kNumOpFamilies) {
+    throw ParseError("'segmented' model file lists " +
+                     std::to_string(families.size()) +
+                     " op families; this build has " +
+                     std::to_string(kNumOpFamilies));
+  }
+  for (std::size_t f = 0; f < kNumOpFamilies; ++f) {
+    const std::string expected = op_family_name(static_cast<OpFamily>(f));
+    if (families[f].as_string() != expected) {
+      throw ParseError("'segmented' model file family order mismatch: got '" +
+                       families[f].as_string() + "' where this build has '" +
+                       expected + "'");
+    }
+  }
+  LinearModel loaded = LinearModel::from_json(model.at("model"));
+  if (loaded.coefficients().size() != kSegmentedFeatureCount) {
+    throw ParseError("'segmented' model file has " +
+                     std::to_string(loaded.coefficients().size()) +
+                     " coefficients; expected " +
+                     std::to_string(kSegmentedFeatureCount));
+  }
+  model_ = std::move(loaded);
+}
+
+}  // namespace convmeter

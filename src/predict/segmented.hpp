@@ -1,0 +1,95 @@
+// "segmented": a per-op-family linear inference model.
+//
+// The whole-net linear families (convmeter-fwd-only, the single-metric
+// baselines) price every FLOP identically, but a FLOP spent in an im2col
+// convolution, a packed-GEMM projection, a softmax-bound attention block
+// and a bandwidth-bound normalization do not cost the same. This family
+// dissects a sample's work into the five kernel families of
+// metrics/metrics.hpp (conv, gemm, attention, norm, elementwise) and fits
+// one (FLOPs, IO) coefficient pair per family plus a shared intercept —
+// eleven coefficients solved jointly from one least-squares system:
+//
+//   t_infer ≈ c0 + Σ_f ( a_f · b·FLOPs_f + d_f · b·IO_f )
+//
+// On a ConvNet-only corpus this collapses to roughly the whole-net model
+// (the non-conv columns carry little mass); on a mixed CNN + ViT corpus
+// the per-family split is what keeps one model accurate across both (see
+// EXPERIMENTS.md).
+//
+// The per-family features come from the GraphCache's batch-1 metrics, so
+// observing a sample costs one cache lookup amortized over the campaign.
+// Like dippm, the family is model-gated: samples whose model is not in the
+// zoo (or whose resolution is infeasible) are skipped during fit and
+// rejected with InvalidArgument at predict time, which the LOO harness
+// counts as skipped.
+//
+// Fit state is exact and mergeable (IncrementalLS superaccumulators), so
+// the family is StreamingFitCapable and participates in the one-pass
+// streaming leave-one-ConvNet-out protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "collect/sample.hpp"
+#include "predict/predictor.hpp"
+#include "regress/incremental_ls.hpp"
+#include "regress/linear_model.hpp"
+
+namespace convmeter {
+
+/// Feature width: (FLOPs, IO) per op family plus the intercept.
+inline constexpr std::size_t kSegmentedFeatureCount = 11;
+
+/// Per-family feature row for one sample (mini-batch-scaled), or nullopt
+/// when the sample's model is unknown to the zoo / infeasible at the
+/// sample's resolution.
+std::optional<Vector> segmented_features(const RuntimeSample& s);
+
+/// Exact streaming fit state of the segmented least-squares system.
+class SegmentedAccumulator {
+ public:
+  SegmentedAccumulator() : ls_(kSegmentedFeatureCount) {}
+
+  /// Folds one sample in; silently skips samples without a positive
+  /// t_infer or without zoo-derived features (the model gate).
+  void observe(const RuntimeSample& s);
+  void merge(const SegmentedAccumulator& other);
+  void subtract(const SegmentedAccumulator& other);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Solves the accumulated normal equations into the 11-coefficient
+  /// linear model; requires count() >= kSegmentedFeatureCount.
+  LinearModel solve() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  IncrementalLS ls_;
+};
+
+/// "segmented" registry family. Predicts t_infer.
+class SegmentedPredictor : public Predictor, public StreamingFitCapable {
+ public:
+  SegmentedPredictor() : Predictor("segmented") {}
+
+  Phase target() const override { return Phase::kInference; }
+
+  std::unique_ptr<FitAccumulator> make_accumulator() const override;
+  void fit_from_accumulator(const FitAccumulator& acc) override;
+
+  /// The fitted per-family coefficient vector (layout: [flops_f, io_f] for
+  /// each OpFamily in enum order, then the intercept).
+  const LinearModel& model() const;
+
+ protected:
+  void do_fit(SampleStream& samples) override;
+  double do_predict(const RuntimeSample& sample) const override;
+  json::Value model_json() const override;
+  void load_model_json(const json::Value& model) override;
+
+ private:
+  std::optional<LinearModel> model_;
+};
+
+}  // namespace convmeter

@@ -113,13 +113,29 @@ TEST(BackendContractTest, FitsRejectsOverMemoryShapes) {
 }
 
 TEST(BackendFactoryTest, EverySpecConstructsBothModes) {
+  // The mode-pinned aliases ignore the --train flag by design: campaign
+  // scripts name the measurement they mean.
   for (const std::string& spec : backend_specs()) {
+    if (spec == "real-inference" || spec == "real-training") continue;
     const auto inference = make_backend(spec, /*training=*/false);
     ASSERT_NE(inference, nullptr) << spec;
     EXPECT_TRUE(inference->supports_inference()) << spec;
     const auto training = make_backend(spec, /*training=*/true);
     ASSERT_NE(training, nullptr) << spec;
     EXPECT_TRUE(training->supports_training()) << spec;
+  }
+}
+
+TEST(BackendFactoryTest, ModePinnedAliasesIgnoreTrainingFlag) {
+  for (const bool training : {false, true}) {
+    const auto inference = make_backend("real-inference", training);
+    ASSERT_NE(inference, nullptr);
+    EXPECT_TRUE(inference->supports_inference());
+    EXPECT_FALSE(inference->supports_training());
+    const auto trainer = make_backend("real-training", training);
+    ASSERT_NE(trainer, nullptr);
+    EXPECT_TRUE(trainer->supports_training());
+    EXPECT_FALSE(trainer->supports_inference());
   }
 }
 

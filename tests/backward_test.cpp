@@ -301,6 +301,156 @@ TEST(BatchNormBackwardTest, AffineGradientsMatchFiniteDifferences) {
   check_against_fd(beta, loss, g.grad_beta);
 }
 
+TEST(LinearBackwardTest, Rank3InputFoldsTokensIntoRows) {
+  const LinearAttrs a{4, 3, true};
+  Tensor x(Shape{2, 3, 4});
+  Tensor w(Shape{3, 4});
+  Tensor b(Shape{3});
+  x.fill_random(40);
+  w.fill_random(41);
+  b.fill_random(42);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(Shape{2, 3, 3});
+  const LinearGradients g = linear_backward(pool, x, w, go, a);
+  const auto loss = [&] { return weighted_sum(linear(pool, x, w, b, a)); };
+  check_against_fd(x, loss, g.grad_input);
+  check_against_fd(w, loss, g.grad_weight);
+  check_against_fd(b, loss, g.grad_bias);
+}
+
+TEST(LayerNormBackwardTest, AllGradientsMatchFiniteDifferences) {
+  const LayerNormAttrs a{6};
+  Tensor x(Shape{2, 4, 6});
+  Tensor gamma(Shape{6});
+  Tensor beta(Shape{6});
+  x.fill_random(43);
+  gamma.fill_random(44);
+  beta.fill_random(45);
+  // Keep gamma away from zero so relative FD tolerances stay meaningful.
+  for (float& v : gamma.data()) v += (v >= 0.0f ? 0.5f : -0.5f);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(x.shape());
+  const LayerNormGradients g = layer_norm_backward(pool, x, gamma, go, a);
+  const auto loss = [&] {
+    return weighted_sum(layer_norm(pool, x, gamma, beta, a));
+  };
+  check_against_fd(x, loss, g.grad_input);
+  check_against_fd(gamma, loss, g.grad_gamma);
+  check_against_fd(beta, loss, g.grad_beta);
+}
+
+TEST(LayerNormBackwardTest, BitwiseStableAcrossThreadCounts) {
+  const LayerNormAttrs a{8};
+  Tensor x(Shape{4, 30, 8});
+  Tensor gamma(Shape{8});
+  x.fill_random(46);
+  gamma.fill_random(47);
+  const Tensor go = weighted_ones(x.shape());
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const LayerNormGradients g1 = layer_norm_backward(pool1, x, gamma, go, a);
+  const LayerNormGradients g4 = layer_norm_backward(pool4, x, gamma, go, a);
+  EXPECT_EQ(g1.grad_input.max_abs_diff(g4.grad_input), 0.0f);
+  EXPECT_EQ(g1.grad_gamma.max_abs_diff(g4.grad_gamma), 0.0f);
+  EXPECT_EQ(g1.grad_beta.max_abs_diff(g4.grad_beta), 0.0f);
+}
+
+TEST(SelfAttentionBackwardTest, AllGradientsMatchFiniteDifferences) {
+  const SelfAttentionAttrs a{4, 2};
+  Tensor x(Shape{2, 3, 4});
+  Tensor wi(Shape{12, 4});
+  Tensor bi(Shape{12});
+  Tensor wo(Shape{4, 4});
+  Tensor bo(Shape{4});
+  x.fill_random(50);
+  wi.fill_random(51);
+  bi.fill_random(52);
+  wo.fill_random(53);
+  bo.fill_random(54);
+  ThreadPool pool(1);
+
+  const Tensor go = weighted_ones(x.shape());
+  const AttentionGradients g =
+      self_attention_backward(pool, x, wi, bi, wo, bo, go, a);
+  const auto loss = [&] {
+    return weighted_sum(self_attention(pool, x, wi, bi, wo, bo, a));
+  };
+  check_against_fd(x, loss, g.grad_input);
+  check_against_fd(wi, loss, g.grad_in_proj_w);
+  check_against_fd(bi, loss, g.grad_in_proj_b);
+  check_against_fd(wo, loss, g.grad_out_proj_w);
+  check_against_fd(bo, loss, g.grad_out_proj_b);
+}
+
+TEST(SelfAttentionBackwardTest, BitwiseStableAcrossThreadCounts) {
+  const SelfAttentionAttrs a{8, 2};
+  Tensor x(Shape{2, 9, 8});
+  Tensor wi(Shape{24, 8});
+  Tensor bi(Shape{24});
+  Tensor wo(Shape{8, 8});
+  Tensor bo(Shape{8});
+  x.fill_random(55);
+  wi.fill_random(56);
+  bi.fill_random(57);
+  wo.fill_random(58);
+  bo.fill_random(59);
+  const Tensor go = weighted_ones(x.shape());
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const AttentionGradients g1 =
+      self_attention_backward(pool1, x, wi, bi, wo, bo, go, a);
+  const AttentionGradients g4 =
+      self_attention_backward(pool4, x, wi, bi, wo, bo, go, a);
+  EXPECT_EQ(g1.grad_input.max_abs_diff(g4.grad_input), 0.0f);
+  EXPECT_EQ(g1.grad_in_proj_w.max_abs_diff(g4.grad_in_proj_w), 0.0f);
+  EXPECT_EQ(g1.grad_in_proj_b.max_abs_diff(g4.grad_in_proj_b), 0.0f);
+  EXPECT_EQ(g1.grad_out_proj_w.max_abs_diff(g4.grad_out_proj_w), 0.0f);
+  EXPECT_EQ(g1.grad_out_proj_b.max_abs_diff(g4.grad_out_proj_b), 0.0f);
+}
+
+TEST(ToTokensBackwardTest, MatchesFiniteDifferences) {
+  ThreadPool pool(1);
+  Tensor cls(Shape{3});
+  cls.fill_random(60);
+  for (const bool with_cls : {false, true}) {
+    SCOPED_TRACE(with_cls ? "with cls" : "no cls");
+    const ToTokensAttrs a{with_cls};
+    Tensor x(Shape::nchw(2, 3, 2, 2));
+    x.fill_random(61);
+    const Tensor go = weighted_ones(Shape{2, with_cls ? 5 : 4, 3});
+    const Tensor g = to_tokens_backward(x.shape(), go, a);
+    check_against_fd(
+        x,
+        [&] {
+          return weighted_sum(
+              to_tokens(pool, x, with_cls ? cls : Tensor(), a));
+        },
+        g);
+  }
+}
+
+TEST(SelectTokenBackwardTest, MatchesFiniteDifferences) {
+  Tensor x(Shape{2, 4, 3});
+  x.fill_random(62);
+  const Tensor go = weighted_ones(Shape{2, 3});
+  const Tensor g = select_token_backward(x.shape(), go, 1);
+  check_against_fd(x, [&] { return weighted_sum(select_token(x, 1)); }, g);
+}
+
+TEST(TransposeTokensBackwardTest, TransposeOfGradientMatchesFiniteDifferences) {
+  // transpose_tokens is a fixed permutation, so its backward is the same
+  // kernel applied to the upstream gradient (an involution).
+  ThreadPool pool(1);
+  Tensor x(Shape{2, 3, 4});
+  x.fill_random(63);
+  const Tensor go = weighted_ones(Shape{2, 4, 3});
+  const Tensor g = transpose_tokens(pool, go);
+  check_against_fd(
+      x, [&] { return weighted_sum(transpose_tokens(pool, x)); }, g);
+}
+
 TEST(FlattenBackwardTest, ReshapesGradient) {
   const Shape in = Shape::nchw(2, 3, 2, 2);
   Tensor go(Shape{2, 12});

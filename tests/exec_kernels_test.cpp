@@ -587,5 +587,236 @@ TEST(ChannelShuffleTest, GroupsMustDivide) {
   EXPECT_THROW(channel_shuffle(in, 4), InvalidArgument);
 }
 
+// ---- transformer kernels ----------------------------------------------------
+
+TEST(ToTokensTest, GathersChannelVectorsPerPosition) {
+  ThreadPool pool(2);
+  const Tensor in = random_tensor(Shape::nchw(2, 3, 2, 2), 61);
+  Tensor cls(Shape{3});
+  cls.fill_random(62);
+  for (const bool with_cls : {false, true}) {
+    const Tensor out =
+        to_tokens(pool, in, with_cls ? cls : Tensor(), ToTokensAttrs{with_cls});
+    const std::int64_t t0 = with_cls ? 1 : 0;
+    ASSERT_EQ(out.shape(), (Shape{2, 4 + t0, 3}));
+    for (std::int64_t b = 0; b < 2; ++b) {
+      for (std::int64_t c = 0; c < 3; ++c) {
+        if (with_cls) {
+          EXPECT_EQ(out.data()[(b * (4 + t0)) * 3 + c], cls.data()[c]);
+        }
+        for (std::int64_t h = 0; h < 2; ++h) {
+          for (std::int64_t w = 0; w < 2; ++w) {
+            const std::int64_t t = t0 + h * 2 + w;
+            EXPECT_EQ(out.data()[(b * (4 + t0) + t) * 3 + c],
+                      in.at4(b, c, h, w))
+                << "b=" << b << " c=" << c << " h=" << h << " w=" << w;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Double-precision layer-norm reference.
+std::vector<float> naive_layer_norm(const std::vector<float>& x,
+                                    const std::vector<float>& gamma,
+                                    const std::vector<float>& beta,
+                                    std::size_t rows, std::size_t dim,
+                                    double eps) {
+  std::vector<float> y(rows * dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) mean += x[r * dim + i];
+    mean /= static_cast<double>(dim);
+    double var = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = x[r * dim + i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim);
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (std::size_t i = 0; i < dim; ++i) {
+      y[r * dim + i] = static_cast<float>((x[r * dim + i] - mean) * inv *
+                                              gamma[i] +
+                                          beta[i]);
+    }
+  }
+  return y;
+}
+
+TEST(LayerNormTest, MatchesDoubleReferenceAcrossShapes) {
+  ThreadPool pool(3);
+  const struct {
+    std::int64_t batch, tokens, dim;
+  } shapes[] = {{1, 1, 1}, {2, 5, 8}, {1, 197, 64}, {3, 7, 33}};
+  for (const auto& sh : shapes) {
+    SCOPED_TRACE(::testing::Message() << "B=" << sh.batch << " T=" << sh.tokens
+                                      << " D=" << sh.dim);
+    const Tensor in =
+        random_tensor(Shape{sh.batch, sh.tokens, sh.dim},
+                      static_cast<std::uint64_t>(71 + sh.dim));
+    const Tensor gamma = random_tensor(Shape{sh.dim}, 72);
+    const Tensor beta = random_tensor(Shape{sh.dim}, 73);
+    const Tensor out = layer_norm(pool, in, gamma, beta,
+                                  LayerNormAttrs{sh.dim});
+    const auto rows = static_cast<std::size_t>(sh.batch * sh.tokens);
+    const std::vector<float> want = naive_layer_norm(
+        {in.data().begin(), in.data().end()},
+        {gamma.data().begin(), gamma.data().end()},
+        {beta.data().begin(), beta.data().end()}, rows,
+        static_cast<std::size_t>(sh.dim), 1e-5);
+    expect_close_rel({out.data().begin(), out.data().end()}, want, 1e-4f);
+  }
+}
+
+TEST(LayerNormTest, BitIdenticalAcrossThreadCounts) {
+  const Tensor in = random_tensor(Shape{4, 50, 32}, 81);
+  const Tensor gamma = random_tensor(Shape{32}, 82);
+  const Tensor beta = random_tensor(Shape{32}, 83);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const Tensor a = layer_norm(pool1, in, gamma, beta, LayerNormAttrs{32});
+  const Tensor b = layer_norm(pool4, in, gamma, beta, LayerNormAttrs{32});
+  EXPECT_EQ(a.max_abs_diff(b), 0.0f);
+}
+
+/// Double-precision multi-head self-attention reference (fused PyTorch
+/// MultiheadAttention parameter layout, matching the production kernel).
+std::vector<float> naive_self_attention(
+    const std::vector<float>& x, const std::vector<float>& wi,
+    const std::vector<float>& bi, const std::vector<float>& wo,
+    const std::vector<float>& bo, std::size_t B, std::size_t T, std::size_t D,
+    std::size_t H) {
+  const std::size_t Dh = D / H;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(Dh));
+  std::vector<double> qkv(B * T * 3 * D);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t o = 0; o < 3 * D; ++o) {
+        double acc = bi[o];
+        for (std::size_t d = 0; d < D; ++d) {
+          acc += static_cast<double>(x[(b * T + t) * D + d]) * wi[o * D + d];
+        }
+        qkv[(b * T + t) * 3 * D + o] = acc;
+      }
+    }
+  }
+  std::vector<double> ctx(B * T * D);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t h = 0; h < H; ++h) {
+      for (std::size_t t = 0; t < T; ++t) {
+        const double* q = &qkv[(b * T + t) * 3 * D + h * Dh];
+        std::vector<double> p(T);
+        double row_max = -1e300;
+        for (std::size_t u = 0; u < T; ++u) {
+          const double* k = &qkv[(b * T + u) * 3 * D + D + h * Dh];
+          double s = 0.0;
+          for (std::size_t d = 0; d < Dh; ++d) s += q[d] * k[d];
+          p[u] = s * scale;
+          row_max = std::max(row_max, p[u]);
+        }
+        double denom = 0.0;
+        for (std::size_t u = 0; u < T; ++u) {
+          p[u] = std::exp(p[u] - row_max);
+          denom += p[u];
+        }
+        for (std::size_t d = 0; d < Dh; ++d) {
+          double acc = 0.0;
+          for (std::size_t u = 0; u < T; ++u) {
+            acc += p[u] / denom *
+                   qkv[(b * T + u) * 3 * D + 2 * D + h * Dh + d];
+          }
+          ctx[(b * T + t) * D + h * Dh + d] = acc;
+        }
+      }
+    }
+  }
+  std::vector<float> y(B * T * D);
+  for (std::size_t r = 0; r < B * T; ++r) {
+    for (std::size_t o = 0; o < D; ++o) {
+      double acc = bo[o];
+      for (std::size_t d = 0; d < D; ++d) acc += ctx[r * D + d] * wo[o * D + d];
+      y[r * D + o] = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+TEST(SelfAttentionTest, MatchesDoubleReferenceAcrossShapes) {
+  ThreadPool pool(3);
+  const struct {
+    std::int64_t batch, tokens, dim, heads;
+  } shapes[] = {{1, 1, 2, 1}, {1, 4, 8, 2}, {2, 7, 12, 3}, {2, 17, 16, 4}};
+  for (const auto& sh : shapes) {
+    SCOPED_TRACE(::testing::Message() << "B=" << sh.batch << " T=" << sh.tokens
+                                      << " D=" << sh.dim
+                                      << " H=" << sh.heads);
+    const Tensor in =
+        random_tensor(Shape{sh.batch, sh.tokens, sh.dim},
+                      static_cast<std::uint64_t>(90 + sh.tokens));
+    const Tensor wi = random_tensor(Shape{3 * sh.dim, sh.dim}, 91);
+    const Tensor bi = random_tensor(Shape{3 * sh.dim}, 92);
+    const Tensor wo = random_tensor(Shape{sh.dim, sh.dim}, 93);
+    const Tensor bo = random_tensor(Shape{sh.dim}, 94);
+    const SelfAttentionAttrs attrs{sh.dim, sh.heads};
+    const Tensor out = self_attention(pool, in, wi, bi, wo, bo, attrs);
+    const std::vector<float> want = naive_self_attention(
+        {in.data().begin(), in.data().end()},
+        {wi.data().begin(), wi.data().end()},
+        {bi.data().begin(), bi.data().end()},
+        {wo.data().begin(), wo.data().end()},
+        {bo.data().begin(), bo.data().end()},
+        static_cast<std::size_t>(sh.batch),
+        static_cast<std::size_t>(sh.tokens), static_cast<std::size_t>(sh.dim),
+        static_cast<std::size_t>(sh.heads));
+    expect_close_rel({out.data().begin(), out.data().end()}, want, 1e-4f);
+  }
+}
+
+TEST(SelfAttentionTest, BitIdenticalAcrossThreadCounts) {
+  // The (batch x head) partition uses grain 1 with fixed per-task serial
+  // math, so any worker count must produce the same bits — the campaign
+  // engine's determinism contract for --jobs.
+  const Tensor in = random_tensor(Shape{3, 19, 24}, 95);
+  const Tensor wi = random_tensor(Shape{72, 24}, 96);
+  const Tensor bi = random_tensor(Shape{72}, 97);
+  const Tensor wo = random_tensor(Shape{24, 24}, 98);
+  const Tensor bo = random_tensor(Shape{24}, 99);
+  const SelfAttentionAttrs attrs{24, 4};
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const Tensor a = self_attention(pool1, in, wi, bi, wo, bo, attrs);
+  const Tensor b = self_attention(pool4, in, wi, bi, wo, bo, attrs);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0f);
+}
+
+TEST(SelectTokenTest, ExtractsRequestedRow) {
+  const Tensor in = random_tensor(Shape{2, 5, 3}, 100);
+  const Tensor out = select_token(in, 2);
+  ASSERT_EQ(out.shape(), (Shape{2, 3}));
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(out.data()[b * 3 + d], in.data()[(b * 5 + 2) * 3 + d]);
+    }
+  }
+  EXPECT_THROW(select_token(in, 5), InvalidArgument);
+}
+
+TEST(TransposeTokensTest, SwapsLastTwoDimsAndIsInvolution) {
+  ThreadPool pool(2);
+  const Tensor in = random_tensor(Shape{2, 4, 6}, 101);
+  const Tensor t = transpose_tokens(pool, in);
+  ASSERT_EQ(t.shape(), (Shape{2, 6, 4}));
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      for (std::int64_t j = 0; j < 6; ++j) {
+        EXPECT_EQ(t.data()[(b * 6 + j) * 4 + i], in.data()[(b * 4 + i) * 6 + j]);
+      }
+    }
+  }
+  const Tensor back = transpose_tokens(pool, t);
+  EXPECT_EQ(back.max_abs_diff(in), 0.0f);
+}
+
 }  // namespace
 }  // namespace convmeter

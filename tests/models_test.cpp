@@ -85,8 +85,16 @@ TEST(ZooTest, UnknownModelThrows) {
   EXPECT_FALSE(models::is_available("nope"));
 }
 
-TEST(ZooTest, RegistryHas33Models) {
-  EXPECT_EQ(models::available_models().size(), 33u);
+TEST(ZooTest, RegistryHas35Models) {
+  EXPECT_EQ(models::available_models().size(), 35u);
+}
+
+TEST(ZooTest, MixerGraphsValidateAndClassify) {
+  for (const char* name : {"mlp_mixer_s_16", "mlp_mixer_b_16"}) {
+    const Graph g = models::build(name);
+    const ShapeMap shapes = infer_shapes(g, Shape::nchw(2, 3, 224, 224));
+    EXPECT_EQ(shapes.back(), Shape({2, 1000})) << name;
+  }
 }
 
 TEST(ZooTest, InceptionNeeds299) {

@@ -54,6 +54,28 @@ std::vector<RuntimeSample> planted_samples(bool multi_device) {
   return samples;
 }
 
+/// Samples over real zoo models, for the model-gated segmented family
+/// (which derives its features from the zoo graphs, so synthetic "netN"
+/// labels are rejected).
+std::vector<RuntimeSample> zoo_samples() {
+  std::vector<RuntimeSample> samples;
+  int mdl = 0;
+  for (const char* model :
+       {"alexnet", "resnet18", "squeezenet1_1", "vit_ti_16"}) {
+    ++mdl;
+    for (const double batch : {1.0, 2.0, 4.0, 8.0}) {
+      RuntimeSample s;
+      s.model = model;
+      s.device = "synthetic";
+      s.image_size = 224;
+      s.global_batch = static_cast<std::int64_t>(batch);
+      s.t_infer = 1e-3 * mdl * batch + 1e-4;
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
 /// Cheap MLP hyperparameters so the learned families fit in milliseconds.
 PredictorOptions fast_options() {
   PredictorOptions options;
@@ -68,7 +90,7 @@ TEST(RegistryTest, AllPaperFamiliesRegistered) {
   const auto names = predictor_names();
   for (const char* expected :
        {"convmeter", "convmeter-fwd-only", "flops-only", "inputs-only",
-        "outputs-only", "mlp", "paleo", "dippm"}) {
+        "outputs-only", "mlp", "paleo", "dippm", "segmented"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
         << expected;
   }
@@ -139,8 +161,9 @@ TEST(PredictorTest, DippmRejectsUnparsableModel) {
 // ---- versioned JSON model files --------------------------------------------
 
 TEST(ModelFileTest, EveryFamilyRoundTripsBitIdentically) {
-  const auto samples = planted_samples(false);
   for (const std::string& name : predictor_names()) {
+    const auto samples =
+        name == "segmented" ? zoo_samples() : planted_samples(false);
     const auto fitted = make_predictor(name, fast_options());
     fitted->fit(samples);
     const std::string text = fitted->save_json();

@@ -1,0 +1,204 @@
+// Segmented (per-op-family) predictor: feature derivation, model gating,
+// exact shard merge/subtract, and the headline property — on a mixed
+// CNN + ViT corpus whose per-family costs differ, the segmented model's
+// LOO error beats the whole-net linear baseline, which must average one
+// price over kernels with different costs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "collect/graph_cache.hpp"
+#include "metrics/metrics.hpp"
+#include "predict/evaluate.hpp"
+#include "predict/registry.hpp"
+#include "predict/segmented.hpp"
+
+namespace convmeter {
+namespace {
+
+/// Per-family prices (seconds per FLOP / per element): attention and norm
+/// work priced far off the conv/gemm rate, so no single whole-net
+/// coefficient can fit both ConvNets and ViTs.
+constexpr double kFlopPrice[kNumOpFamilies] = {1e-12, 1.5e-12, 8e-12, 2e-12,
+                                               0.5e-12};
+constexpr double kIoPrice[kNumOpFamilies] = {2e-10, 1e-10, 4e-10, 6e-10,
+                                             3e-10};
+constexpr double kIntercept = 5e-4;
+
+double planted_time(const std::string& model, std::int64_t image, double b) {
+  const auto m = GraphCache::instance().metrics_b1(model, image);
+  double t = kIntercept;
+  for (std::size_t f = 0; f < kNumOpFamilies; ++f) {
+    t += b * m->families[f].flops * kFlopPrice[f];
+    t += b * m->families[f].io_elems * kIoPrice[f];
+  }
+  return t;
+}
+
+/// Mixed corpus: ConvNets, ViTs and a Mixer over several image sizes and
+/// batch sizes, with t_infer planted from the per-family prices. The image
+/// sweep varies each model's family mix (attention work grows
+/// quadratically in the token count), so every LOO fold sees a full-rank
+/// design. The Mixer is resolution-pinned to 224; infeasible (model,
+/// image) pairs are simply not emitted.
+std::vector<RuntimeSample> mixed_corpus() {
+  std::vector<RuntimeSample> samples;
+  for (const char* model :
+       {"alexnet", "resnet18", "squeezenet1_1", "mobilenet_v2", "vit_ti_16",
+        "vit_s_16", "mlp_mixer_s_16"}) {
+    for (const std::int64_t image : {160, 192, 224}) {
+      const auto m = GraphCache::instance().metrics_b1(model, image);
+      if (!m.has_value()) continue;
+      for (const double batch : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        RuntimeSample s;
+        s.model = model;
+        s.device = "synthetic";
+        s.image_size = image;
+        s.global_batch = static_cast<std::int64_t>(batch);
+        s.flops1 = m->flops;
+        s.inputs1 = m->compute_inputs;
+        s.outputs1 = m->compute_outputs;
+        s.weights = m->weights;
+        s.layers = m->layers;
+        s.t_infer = planted_time(model, image, batch);
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(SegmentedFeaturesTest, ZooModelYieldsElevenBatchScaledColumns) {
+  RuntimeSample s;
+  s.model = "resnet18";
+  s.image_size = 224;
+  s.global_batch = 4;
+  const auto x1 = segmented_features(s);
+  ASSERT_TRUE(x1.has_value());
+  ASSERT_EQ(x1->size(), kSegmentedFeatureCount);
+  EXPECT_EQ((*x1)[kSegmentedFeatureCount - 1], 1.0);  // intercept
+  // Conv family dominates a ResNet; attention columns are zero.
+  EXPECT_GT((*x1)[2 * static_cast<std::size_t>(OpFamily::kConv)], 0.0);
+  EXPECT_EQ((*x1)[2 * static_cast<std::size_t>(OpFamily::kAttention)], 0.0);
+
+  s.global_batch = 8;
+  const auto x2 = segmented_features(s);
+  ASSERT_TRUE(x2.has_value());
+  for (std::size_t c = 0; c + 1 < kSegmentedFeatureCount; ++c) {
+    EXPECT_DOUBLE_EQ((*x2)[c], 2.0 * (*x1)[c]) << "column " << c;
+  }
+}
+
+TEST(SegmentedFeaturesTest, VitPopulatesAttentionAndNormColumns) {
+  RuntimeSample s;
+  s.model = "vit_ti_16";
+  s.image_size = 224;
+  s.global_batch = 1;
+  const auto x = segmented_features(s);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_GT((*x)[2 * static_cast<std::size_t>(OpFamily::kAttention)], 0.0);
+  EXPECT_GT((*x)[2 * static_cast<std::size_t>(OpFamily::kNorm)], 0.0);
+  EXPECT_GT((*x)[2 * static_cast<std::size_t>(OpFamily::kGemm)], 0.0);
+}
+
+TEST(SegmentedFeaturesTest, UnknownModelIsGatedOut) {
+  RuntimeSample s;
+  s.model = "not-a-zoo-model";
+  s.image_size = 224;
+  s.global_batch = 1;
+  EXPECT_FALSE(segmented_features(s).has_value());
+}
+
+TEST(SegmentedPredictorTest, RecoversPlantedPerFamilyPrices) {
+  const auto samples = mixed_corpus();
+  const auto p = make_predictor("segmented");
+  p->fit(samples);
+  for (const RuntimeSample& s : samples) {
+    EXPECT_NEAR(p->predict(s), s.t_infer, 1e-6 + 1e-4 * s.t_infer)
+        << s.model << " b=" << s.global_batch;
+  }
+}
+
+TEST(SegmentedPredictorTest, PredictRejectsNonZooModels) {
+  const auto p = make_predictor("segmented");
+  p->fit(mixed_corpus());
+  RuntimeSample s;
+  s.model = "mystery-net";
+  s.image_size = 224;
+  s.global_batch = 1;
+  s.t_infer = 1.0;
+  EXPECT_THROW(p->predict(s), InvalidArgument);
+}
+
+TEST(SegmentedPredictorTest, FitSkipsGatedSamplesInsteadOfAborting) {
+  auto samples = mixed_corpus();
+  RuntimeSample alien;
+  alien.model = "mystery-net";
+  alien.image_size = 224;
+  alien.global_batch = 4;
+  alien.t_infer = 123.0;  // would wreck the fit if it were folded in
+  samples.insert(samples.begin(), alien);
+  const auto gated = make_predictor("segmented");
+  gated->fit(samples);
+  const auto clean = make_predictor("segmented");
+  clean->fit(mixed_corpus());
+  EXPECT_DOUBLE_EQ(gated->predict(samples.back()),
+                   clean->predict(samples.back()));
+}
+
+TEST(SegmentedAccumulatorTest, ShardMergeMatchesSingleStream) {
+  const auto samples = mixed_corpus();
+  SegmentedAccumulator whole;
+  for (const auto& s : samples) whole.observe(s);
+
+  SegmentedAccumulator left;
+  SegmentedAccumulator right;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 2 == 0 ? left : right).observe(samples[i]);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.count(), whole.count());
+  const Vector a = left.solve().coefficients();
+  const Vector b = whole.solve().coefficients();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "coefficient " << i;
+  }
+
+  // Subtracting a shard back out reproduces the complement's sums exactly;
+  // the solve agrees to solver precision (subtract keeps the union's
+  // column scales, which affect conditioning but not the solution).
+  SegmentedAccumulator complement = whole;
+  complement.subtract(right);
+  SegmentedAccumulator direct;
+  for (std::size_t i = 0; i < samples.size(); i += 2) {
+    direct.observe(samples[i]);
+  }
+  ASSERT_EQ(complement.count(), direct.count());
+  const LinearModel mc = complement.solve();
+  const LinearModel md = direct.solve();
+  for (const auto& s : samples) {
+    const auto x = segmented_features(s);
+    ASSERT_TRUE(x.has_value());
+    const double pc = mc.predict(*x);
+    const double pd = md.predict(*x);
+    EXPECT_NEAR(pc, pd, 1e-4 * std::abs(pd)) << s.model;
+  }
+}
+
+TEST(SegmentedLooTest, BeatsWholeNetLinearOnMixedCorpus) {
+  const auto samples = mixed_corpus();
+  const LooResult seg = evaluate_loo("segmented", samples);
+  const LooResult lin = evaluate_loo("convmeter-fwd-only", samples);
+  ASSERT_GT(seg.pooled.count, 0u);
+  ASSERT_GT(lin.pooled.count, 0u);
+  EXPECT_EQ(seg.skipped, 0u);
+  // The planted corpus prices attention FLOPs ~8x conv FLOPs; a single
+  // whole-net coefficient cannot fit both populations.
+  EXPECT_LT(seg.pooled.mape, lin.pooled.mape);
+  EXPECT_LT(seg.pooled.mape, 0.05);
+}
+
+}  // namespace
+}  // namespace convmeter

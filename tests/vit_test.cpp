@@ -1,7 +1,9 @@
 // Transformer-extension tests: new operators' shape inference, ViT metric
-// goldens, serialization, and the executor's explicit unsupported-op
-// contract.
+// goldens, serialization, and end-to-end execution through the real CPU
+// backend.
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "common/error.hpp"
 #include "exec/executor.hpp"
@@ -136,10 +138,27 @@ TEST(TransformerSerializeTest, VitRoundTrips) {
   EXPECT_EQ(graph_to_text(back), graph_to_text(g));
 }
 
-TEST(TransformerExecutorTest, UnsupportedOpsThrowCleanly) {
-  Executor exec(1);
-  EXPECT_THROW(exec.run_random(tiny_vit(), Shape::nchw(1, 3, 16, 16)),
-               InvalidArgument);
+TEST(TransformerExecutorTest, VitGraphExecutesEndToEnd) {
+  Executor exec(2);
+  const ExecutionResult r =
+      exec.run_random(tiny_vit(), Shape::nchw(2, 3, 16, 16));
+  EXPECT_EQ(r.output.shape(), Shape({2, 10}));
+  for (const float v : r.output.data()) EXPECT_TRUE(std::isfinite(v));
+  // Every layer must have been timed, attention and norms included.
+  EXPECT_EQ(r.layers.size(), tiny_vit().size());
+}
+
+TEST(TransformerExecutorTest, ExecutionIsThreadCountInvariant) {
+  const Graph g = tiny_vit();
+  Executor serial(1);
+  Executor threaded(4);
+  const Tensor out1 = serial.run_random(g, Shape::nchw(2, 3, 16, 16)).output;
+  const Tensor out4 =
+      threaded.run_random(g, Shape::nchw(2, 3, 16, 16)).output;
+  ASSERT_EQ(out1.shape(), out4.shape());
+  for (std::size_t i = 0; i < out1.data().size(); ++i) {
+    EXPECT_EQ(out1.data()[i], out4.data()[i]) << "element " << i;
+  }
 }
 
 TEST(TransformerMetricsTest, VitBatchLinearity) {

@@ -2,7 +2,8 @@
 # Kernel throughput regression gate. Compares a freshly measured
 # BENCH_kernels.json against the committed baseline at the repo root and
 # fails if any tracked metric (packed-GEMM GFLOP/s single-thread and pool,
-# resnet18 forward images/sec) regresses by more than the tolerance.
+# resnet18 and vit_s_16 forward images/sec) regresses by more than the
+# tolerance.
 #
 # Usage: check_bench_regression.sh <fresh.json> [baseline.json] [tolerance]
 #
@@ -36,6 +37,7 @@ METRICS = [
     ("gemm_512", "single_thread_gflops"),
     ("gemm_512", "pool_gflops"),
     ("conv_forward", "images_per_sec"),
+    ("vit_forward", "images_per_sec"),
 ]
 
 failed = False

@@ -21,6 +21,9 @@
 #      static_assert — the store does raw-byte I/O on these layouts, and a
 #      drifted struct (vtable, std::string member) would corrupt shards
 #      silently.
+#   7. Every `switch` over OpKind in src/ is exhaustive (no `default:`), so
+#      -Wswitch flags every site that needs updating when a new op kind is
+#      added instead of a default silently swallowing it.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -133,6 +136,44 @@ if [ -f "$fmt" ]; then
 else
   note "$fmt missing (sample store removed without updating lints?)"
 fi
+
+# --- 7. OpKind switches must be exhaustive --------------------------------
+# Brace-match each switch body; a body that cases OpKind:: values and also
+# carries a `default:` label defeats -Wswitch for every future op kind.
+while IFS=: read -r file line; do
+  note "$file:$line: switch over OpKind has a default: (spell out every case so -Wswitch works)"
+done < <(find src \( -name '*.cpp' -o -name '*.hpp' \) -print0 \
+  | xargs -0 awk '
+    FNR == 1 { depth = 0; nsw = 0 }
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)
+      if (line ~ /switch[[:space:]]*\(/) {
+        nsw++
+        sw_depth[nsw] = depth
+        sw_line[nsw] = FNR
+        sw_file[nsw] = FILENAME
+        sw_opkind[nsw] = 0
+        sw_default[nsw] = 0
+      }
+      if (nsw > 0) {
+        if (line ~ /case OpKind::/) sw_opkind[nsw] = 1
+        if (line ~ /(^|[[:space:];{])default[[:space:]]*:/) sw_default[nsw] = 1
+      }
+      n = length(line)
+      for (i = 1; i <= n; i++) {
+        c = substr(line, i, 1)
+        if (c == "{") depth++
+        else if (c == "}") {
+          depth--
+          if (nsw > 0 && depth == sw_depth[nsw]) {
+            if (sw_opkind[nsw] && sw_default[nsw])
+              printf "%s:%d\n", sw_file[nsw], sw_line[nsw]
+            nsw--
+          }
+        }
+      }
+    }')
 
 if [ "$fail" -ne 0 ]; then
   echo "check_invariants: FAILED" >&2

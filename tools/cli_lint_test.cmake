@@ -9,7 +9,9 @@ set(CASES
   "workspace_bound.txt=workspace.over_budget"
   "duplicate_name.txt=structure.duplicate_name"
   "dead_op.txt=reachability.dead_op"
-  "bad_attrs.txt=attrs.groups")
+  "bad_attrs.txt=attrs.groups"
+  "attn_heads.txt=attrs.groups"
+  "attn_nonpositive.txt=attrs.domain")
 
 foreach(case ${CASES})
   string(REPLACE "=" ";" parts ${case})

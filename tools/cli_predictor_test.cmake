@@ -42,3 +42,45 @@ execute_process(COMMAND ${CONVMETER} predict --model-file ${WORKDIR}/bad.json
 if(rc EQUAL 0)
   message(FATAL_ERROR "predict accepted a malformed model file")
 endif()
+
+# Segmented (per-op-family) predictor round trip: fit streams from a mixed
+# ConvNet + ViT campaign, the saved model file reloads for predictions, and
+# refitting the same samples reproduces the model file byte for byte.
+run(out ${CONVMETER} campaign --out ${WORKDIR}/mixed.csv
+    --models alexnet,resnet18,resnet50,vgg16,vit_ti_16,vit_s_16
+    --images 64,128 --batches 1,16,64 --reps 2)
+run(out ${CONVMETER} fit --samples ${WORKDIR}/mixed.csv
+    --predictor segmented --out ${WORKDIR}/segmented_a.json)
+file(READ ${WORKDIR}/segmented_a.json seg_a)
+if(NOT seg_a MATCHES "\"format\":\"convmeter-predictor\"")
+  message(FATAL_ERROR "segmented model lacks the versioned envelope:\n"
+          "${seg_a}")
+endif()
+if(NOT seg_a MATCHES "\"predictor\":\"segmented\"")
+  message(FATAL_ERROR "segmented model file does not name its predictor:\n"
+          "${seg_a}")
+endif()
+run(out ${CONVMETER} fit --samples ${WORKDIR}/mixed.csv
+    --predictor segmented --out ${WORKDIR}/segmented_b.json)
+file(READ ${WORKDIR}/segmented_b.json seg_b)
+if(NOT seg_a STREQUAL seg_b)
+  message(FATAL_ERROR "segmented fit is not bit-stable across runs:\n"
+          "first:\n${seg_a}\nsecond:\n${seg_b}")
+endif()
+run(pred_1 ${CONVMETER} predict --model-file ${WORKDIR}/segmented_a.json
+    --model vit_s_16 --image 128 --batch 16)
+if(NOT pred_1 MATCHES "segmented")
+  message(FATAL_ERROR "predict did not report the loaded predictor:\n"
+          "${pred_1}")
+endif()
+run(pred_2 ${CONVMETER} predict --model-file ${WORKDIR}/segmented_b.json
+    --model vit_s_16 --image 128 --batch 16)
+if(NOT pred_1 STREQUAL pred_2)
+  message(FATAL_ERROR "loaded segmented models disagree:\n"
+          "${pred_1}\nvs\n${pred_2}")
+endif()
+run(out ${CONVMETER} eval --samples ${WORKDIR}/mixed.csv
+    --predictor segmented)
+if(NOT out MATCHES "pooled")
+  message(FATAL_ERROR "segmented eval did not print the pooled row:\n${out}")
+endif()

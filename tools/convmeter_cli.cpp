@@ -389,8 +389,9 @@ QueryPoint make_query(const Args& args) {
   const std::string name = args.require("model");
   const Graph g = models::build(name);
   QueryPoint q;
-  q.metrics_b1 = compute_metrics_b1(
-      g, args.get_int("image", models::default_image_size(name)));
+  q.model = name;
+  q.image_size = args.get_int("image", models::default_image_size(name));
+  q.metrics_b1 = compute_metrics_b1(g, q.image_size);
   q.per_device_batch = static_cast<double>(args.get_int("batch", 1));
   q.num_devices = static_cast<int>(args.get_int("devices", 1));
   q.num_nodes = static_cast<int>(args.get_int("nodes", 1));
@@ -478,21 +479,16 @@ void run_instrumented_workload(const std::string& name, std::int64_t image,
 
   if (!train) return;
   // One full training step adds the nested fwd/bwd/grad-update spans.
-  // Transformer graphs have no CPU backward; skip those quietly.
-  try {
-    TrainerConfig config;
-    Trainer trainer(g, config);
-    Tensor input(shape);
-    input.fill_random(1);
-    std::vector<int> labels(static_cast<std::size_t>(batch));
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      labels[i] = static_cast<int>(i % 10);
-    }
-    trainer.step(input, labels);
-  } catch (const InvalidArgument&) {
-    std::cerr << "note: model has no CPU training path; trace contains the "
-                 "forward pass only\n";
+  // All zoo architectures (ConvNets, ViTs, Mixers) have a CPU backward now.
+  TrainerConfig config;
+  Trainer trainer(g, config);
+  Tensor input(shape);
+  input.fill_random(1);
+  std::vector<int> labels(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 10);
   }
+  trainer.step(input, labels);
 }
 
 int cmd_trace(const Args& args) {
