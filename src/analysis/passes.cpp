@@ -672,26 +672,42 @@ class WorkspacePass : public Pass {
             a->in_channels % a->groups != 0) {
           continue;  // attrs pass owns this defect
         }
+        tuning::ConvAlgo algo = tuning::ConvAlgo::kIm2col;
         try {
-          floats = kernel_detail::conv2d_workspace_floats(*a, *ctx.shapes[src]);
+          algo = conv2d_forward_algo(*a, *ctx.shapes[src]);
+          floats = kernel_detail::conv2d_forward_workspace_floats(
+              *a, *ctx.shapes[src]);
         } catch (const Error&) {
           continue;  // shapes pass owns the contract violation
         }
-        // Independent lower bound: one minimum-width column tile plus both
-        // GEMM packing panels. conv2d_im2col can never legally reserve
-        // less; if it reports less the kernel formulas have drifted.
+        // Independent lower bound for whichever path conv2d_forward will
+        // dispatch. im2col: one minimum-width column tile plus both GEMM
+        // packing panels. Winograd: the 16-plane transformed filter bank
+        // plus one task's V/M scratch and both panels. Neither path can
+        // legally reserve less; if it reports less the kernel workspace
+        // formulas have drifted from the tile formulas.
         const auto patch = static_cast<std::size_t>(
             a->in_channels / a->groups * a->kernel_h * a->kernel_w);
-        const std::size_t floor_floats = patch * 16 +
-                                         kernel_detail::pack_a_floats() +
-                                         kernel_detail::pack_b_floats();
+        std::size_t floor_floats = patch * 16 +
+                                   kernel_detail::pack_a_floats() +
+                                   kernel_detail::pack_b_floats();
+        if (algo == tuning::ConvAlgo::kWinograd) {
+          const auto cin_g =
+              static_cast<std::size_t>(a->in_channels / a->groups);
+          const auto cout_g =
+              static_cast<std::size_t>(a->out_channels / a->groups);
+          const auto cout = static_cast<std::size_t>(a->out_channels);
+          floor_floats = 16 * cout * cin_g + 16 * (cin_g + cout_g) +
+                         kernel_detail::pack_a_floats() +
+                         kernel_detail::pack_b_floats();
+        }
         if (floats < floor_floats) {
           sink.report(Severity::kError, "workspace.insufficient", name(),
                       n.id, n.name,
                       "kernel reserves " + std::to_string(floats) +
                           " floats but the packed GEMM needs at least " +
                           std::to_string(floor_floats),
-                      "conv2d_workspace_floats has drifted from the "
+                      "conv2d_forward_workspace_floats has drifted from the "
                       "micro-kernel tile formulas");
         }
       } else if (n.kind == OpKind::kLinear) {

@@ -139,7 +139,7 @@ ConvGradients conv2d_backward(ThreadPool& pool, const Tensor& input,
         kernel_detail::im2col_range(x, in, a, out_shape.width(),
                                     static_cast<std::int64_t>(nn),
                                     static_cast<std::int64_t>(grp), c0, c1,
-                                    col);
+                                    col, c1 - c0);
         // dW_g += dY(cout_g x ncols) * col(patch x ncols)^T.
         kernel_detail::gemm_block(dy + c0, cols, false, col, c1 - c0, true,
                                   dw_base + grp * cog * patch, patch, 0, cog,

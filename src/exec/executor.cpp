@@ -111,8 +111,8 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
         const Tensor bias =
             a.bias ? make_weight(Shape{a.out_channels}, seed + 1, scale)
                    : Tensor();
-        out = conv2d_im2col(pool_, in(0), weight, bias, a,
-                            fused[static_cast<std::size_t>(n.id)]);
+        out = conv2d_forward(pool_, in(0), weight, bias, a,
+                             fused[static_cast<std::size_t>(n.id)]);
         break;
       }
       case OpKind::kBatchNorm2d: {

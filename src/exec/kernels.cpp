@@ -7,6 +7,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "exec/tuning/tuning.hpp"
 #include "exec/workspace.hpp"
 #include "graph/shape_inference.hpp"
 #include "obs/metrics_registry.hpp"
@@ -20,22 +21,16 @@ namespace {
 //
 // Register tile: each micro-kernel invocation produces an MR x NR block of C
 // held entirely in registers (6 x 16 floats = 12 YMM accumulators with AVX2).
-// Cache blocking: an (MC x KC) A panel stays L2-resident while a (KC x NC)
+// Cache blocking: an (mc x kc) A panel stays L2-resident while a (kc x nc)
 // B panel streams through; both are packed into micro-panel order so the
 // micro-kernel reads purely contiguous memory with no data-dependent
-// branches.
+// branches. The register tile is compile-time (the micro-kernel is unrolled
+// for it); the cache blocking comes from the active tuning table per shape
+// class, defaulting to the former constants MC=72, KC=256, NC=512.
 constexpr std::size_t kMR = 6;
 constexpr std::size_t kNR = 16;
-constexpr std::size_t kMC = 72;   // multiple of kMR
-constexpr std::size_t kKC = 256;
-constexpr std::size_t kNC = 512;  // multiple of kNR
-
-constexpr std::size_t kPackAFloats = kMC * kKC;
-constexpr std::size_t kPackBFloats = kKC * kNC;
-
-/// Below this many FLOPs a GEMM (or a conv's implicit GEMM) runs inline on
-/// the calling thread: the pool wakeup costs more than the math.
-constexpr std::uint64_t kSerialFlops = 1u << 18;
+static_assert(kMR == tuning::kRegisterRows && kNR == tuning::kRegisterCols,
+              "tuning-table validation must mirror the register tile");
 
 float act_apply(float x, ActKind kind) {
   switch (kind) {
@@ -219,25 +214,28 @@ void store_tile(float* c, std::size_t ldc, std::size_t mr, std::size_t nr,
 
 namespace kernel_detail {
 
-std::size_t pack_a_floats() { return kPackAFloats; }
-std::size_t pack_b_floats() { return kPackBFloats; }
+std::size_t pack_a_floats() { return tuning::max_pack_a_floats(); }
+std::size_t pack_b_floats() { return tuning::max_pack_b_floats(); }
 
-void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
-                std::size_t ldb, bool trans_b, float* c, std::size_t ldc,
-                std::size_t i_begin, std::size_t i_end, std::size_t k,
-                std::size_t n, float beta, const float* row_bias,
-                const float* col_bias, const std::optional<ActKind>& act,
-                float* ap_buf, float* bp_buf) {
+float apply_activation(float x, ActKind kind) { return act_apply(x, kind); }
+
+void gemm_block(const tuning::TuningParams& tp, const float* a,
+                std::size_t lda, bool trans_a, const float* b, std::size_t ldb,
+                bool trans_b, float* c, std::size_t ldc, std::size_t i_begin,
+                std::size_t i_end, std::size_t k, std::size_t n, float beta,
+                const float* row_bias, const float* col_bias,
+                const std::optional<ActKind>& act, float* ap_buf,
+                float* bp_buf) {
   float acc[kMR * kNR];
-  for (std::size_t jc = 0; jc < n; jc += kNC) {
-    const std::size_t nc = std::min(kNC, n - jc);
-    for (std::size_t kk0 = 0; kk0 < k; kk0 += kKC) {
-      const std::size_t kc = std::min(kKC, k - kk0);
+  for (std::size_t jc = 0; jc < n; jc += tp.nc) {
+    const std::size_t nc = std::min(tp.nc, n - jc);
+    for (std::size_t kk0 = 0; kk0 < k; kk0 += tp.kc) {
+      const std::size_t kc = std::min(tp.kc, k - kk0);
       const bool last_k = kk0 + kc == k;
       const float beta_eff = kk0 == 0 ? beta : 1.0f;
       pack_b(b, ldb, trans_b, kk0, kk0 + kc, jc, jc + nc, bp_buf);
-      for (std::size_t ic = i_begin; ic < i_end; ic += kMC) {
-        const std::size_t mc = std::min(kMC, i_end - ic);
+      for (std::size_t ic = i_begin; ic < i_end; ic += tp.mc) {
+        const std::size_t mc = std::min(tp.mc, i_end - ic);
         pack_a(a, lda, trans_a, ic, ic + mc, kk0, kk0 + kc, ap_buf);
         for (std::size_t jr = 0; jr < nc; jr += kNR) {
           const std::size_t nr = std::min(kNR, nc - jr);
@@ -256,13 +254,28 @@ void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
   }
 }
 
-/// Fills `col` (patch x (c1 - c0), row-major, leading dimension c1 - c0)
-/// with the unfolded input windows of output positions [c0, c1) of image n,
+void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
+                std::size_t ldb, bool trans_b, float* c, std::size_t ldc,
+                std::size_t i_begin, std::size_t i_end, std::size_t k,
+                std::size_t n, float beta, const float* row_bias,
+                const float* col_bias, const std::optional<ActKind>& act,
+                float* ap_buf, float* bp_buf) {
+  // Classification uses the block's own shape — fixed per task, never
+  // derived from the worker count, so results stay thread-count invariant.
+  const tuning::TuningParams& tp =
+      tuning::params(tuning::classify_gemm(i_end - i_begin, k, n));
+  gemm_block(tp, a, lda, trans_a, b, ldb, trans_b, c, ldc, i_begin, i_end, k,
+             n, beta, row_bias, col_bias, act, ap_buf, bp_buf);
+}
+
+/// Fills `col` (patch x (c1 - c0), row-major, leading dimension `ld`) with
+/// the unfolded input windows of output positions [c0, c1) of image n,
 /// group g. Out-of-bounds (padding) taps become zeros; in-bounds spans are
 /// copied branch-free with precomputed valid ranges.
 void im2col_range(const float* input, const Shape& in_shape,
                   const Conv2dAttrs& a, std::int64_t out_w, std::int64_t n,
-                  std::int64_t g, std::size_t c0, std::size_t c1, float* col) {
+                  std::int64_t g, std::size_t c0, std::size_t c1, float* col,
+                  std::size_t ld) {
   const std::int64_t H = in_shape.height();
   const std::int64_t W = in_shape.width();
   const std::int64_t cin_g = a.in_channels / a.groups;
@@ -275,7 +288,7 @@ void im2col_range(const float* input, const Shape& in_shape,
         input +
         static_cast<std::size_t>(n * a.in_channels + g * cin_g + ic) * plane;
     for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < a.kernel_w; ++kw, dst += ncols) {
+      for (std::int64_t kw = 0; kw < a.kernel_w; ++kw, dst += ld) {
         // Valid output-x range for this tap: 0 <= ox*sw + off_w < W.
         const std::int64_t off_w = kw * a.dilation_w - a.pad_w;
         std::int64_t lo =
@@ -397,24 +410,28 @@ void gemm(ThreadPool& pool, std::span<const float> a, std::span<const float> b,
   const bool tb = opts.trans_b == Trans::kYes;
   const std::size_t lda = ta ? m : k;
   const std::size_t ldb = tb ? k : n;
-  const std::size_t row_panels = (m + kMC - 1) / kMC;
+  const tuning::TuningParams& tp =
+      tuning::params(tuning::classify_gemm(m, k, n));
+  const std::size_t pack_a = tuning::max_pack_a_floats();
+  const std::size_t pack_b = tuning::max_pack_b_floats();
+  const std::size_t row_panels = (m + tp.mc - 1) / tp.mc;
   // Each executor packs its own panels from its thread-local arena; panel
-  // boundaries are fixed by kMC, so results are bit-identical for any
-  // thread count.
+  // boundaries are fixed by the tuned mc, so results are bit-identical for
+  // any thread count under a fixed tuning table.
   pool.parallel_for(
       row_panels,
       [&](std::size_t p0, std::size_t p1) {
         Workspace& ws = Workspace::tls();
-        ws.reserve(kPackAFloats + kPackBFloats);
-        float* ap = ws.take(kPackAFloats);
-        float* bp = ws.take(kPackBFloats);
-        kernel_detail::gemm_block(a.data(), lda, ta, b.data(), ldb, tb,
-                                  c.data(), n, p0 * kMC,
-                                  std::min(m, p1 * kMC), k, n, opts.beta,
+        ws.reserve(pack_a + pack_b);
+        float* ap = ws.take(pack_a);
+        float* bp = ws.take(pack_b);
+        kernel_detail::gemm_block(tp, a.data(), lda, ta, b.data(), ldb, tb,
+                                  c.data(), n, p0 * tp.mc,
+                                  std::min(m, p1 * tp.mc), k, n, opts.beta,
                                   opts.row_bias, opts.col_bias, opts.act, ap,
                                   bp);
       },
-      flops < kSerialFlops ? row_panels : 1);
+      flops < tp.serial_flops ? row_panels : 1);
   if (obs::enabled()) {
     const double secs = elapsed_seconds(t0);
     auto& registry = obs::MetricsRegistry::instance();
@@ -475,18 +492,37 @@ Tensor conv2d_direct(const Tensor& input, const Tensor& weight,
 namespace {
 
 /// Column-tile width for the conv GEMMs: a multiple of kNR sized so one
-/// (patch x tile) panel stays cache-resident. Independent of thread count,
-/// so conv results are bit-identical for any --jobs value.
-std::size_t conv_col_tile(std::size_t patch, std::size_t cols) {
-  constexpr std::size_t kTargetFloats = 64 * 1024;  // 256 KiB panel
-  std::size_t tile = kTargetFloats / std::max<std::size_t>(patch, 1);
+/// (patch x tile) panel stays cache-resident (the target float count comes
+/// from the tuning table). Independent of thread count, so conv results are
+/// bit-identical for any --jobs value.
+std::size_t conv_col_tile(std::size_t patch, std::size_t cols,
+                          std::size_t target_floats) {
+  std::size_t tile = target_floats / std::max<std::size_t>(patch, 1);
   tile = std::max<std::size_t>(tile / kNR * kNR, kNR);
   return std::min(tile, (cols + kNR - 1) / kNR * kNR);
+}
+
+/// True when conv2d_im2col should merge the batch into one GEMM per group:
+/// on small-spatial layers (ResNet's 512ch @ 2x2 tail at low resolution)
+/// the per-image GEMM is so skinny (n = oh*ow) that packing the
+/// (cout_g x patch) weight panel once per image dominates; merging the
+/// batch packs it once per group instead. Capped so the shared column
+/// buffer stays a few MB.
+bool conv_merge_batch(std::size_t batch, std::size_t cols) {
+  return batch > 1 && cols <= 2 * kNR && batch * cols <= 256;
 }
 
 }  // namespace
 
 namespace kernel_detail {
+
+tuning::ShapeClass conv_shape_class(const Conv2dAttrs& a) {
+  const bool is_3x3_s1 = a.kernel_h == 3 && a.kernel_w == 3 &&
+                         a.stride_h == 1 && a.stride_w == 1 &&
+                         a.dilation_h == 1 && a.dilation_w == 1;
+  return is_3x3_s1 ? tuning::ShapeClass::kConv3x3s1
+                   : tuning::ShapeClass::kConvOther;
+}
 
 std::size_t conv2d_workspace_floats(const Conv2dAttrs& a, const Shape& in) {
   const Shape out_shape = conv2d_output_shape(a, in);
@@ -495,17 +531,32 @@ std::size_t conv2d_workspace_floats(const Conv2dAttrs& a, const Shape& in) {
                             static_cast<std::size_t>(a.kernel_w);
   const std::size_t cols = static_cast<std::size_t>(out_shape.height()) *
                            static_cast<std::size_t>(out_shape.width());
-  return patch * conv_col_tile(patch, cols) + kPackAFloats + kPackBFloats;
+  const std::size_t batch = static_cast<std::size_t>(out_shape.batch());
+  const tuning::TuningParams& tp = tuning::params(conv_shape_class(a));
+  if (conv_merge_batch(batch, cols)) {
+    // Batch-merged path: the caller thread holds the shared (patch x
+    // batch*cols) column matrix and the (cout_g x batch*cols) GEMM result
+    // alongside its packing panels; workers reserve panels only.
+    const std::size_t bcols = batch * cols;
+    return patch * bcols +
+           static_cast<std::size_t>(a.out_channels / a.groups) * bcols +
+           tuning::max_pack_a_floats() + tuning::max_pack_b_floats();
+  }
+  return patch * conv_col_tile(patch, cols, tp.conv_col_tile_floats) +
+         tuning::max_pack_a_floats() + tuning::max_pack_b_floats();
 }
 
-std::size_t gemm_workspace_floats() { return kPackAFloats + kPackBFloats; }
+std::size_t gemm_workspace_floats() {
+  return tuning::max_pack_a_floats() + tuning::max_pack_b_floats();
+}
 
 std::size_t self_attention_workspace_floats(const SelfAttentionAttrs& attrs,
                                             const Shape& in) {
   CM_CHECK(in.rank() == 3 && in.dim(2) == attrs.embed_dim,
            "self_attention expects a (B, T, D) input shape");
   const auto tokens = static_cast<std::size_t>(in.dim(1));
-  return tokens * tokens + kPackAFloats + kPackBFloats;
+  return tokens * tokens + tuning::max_pack_a_floats() +
+         tuning::max_pack_b_floats();
 }
 
 }  // namespace kernel_detail
@@ -539,13 +590,90 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
   }
 
   Tensor out(out_shape, Tensor::kUninitialized);
-  const std::size_t tile = conv_col_tile(patch, cols);
-  const std::size_t tiles = (cols + tile - 1) / tile;
-  const std::size_t tasks = batch * groups * tiles;
+  const tuning::TuningParams& tp =
+      tuning::params(kernel_detail::conv_shape_class(a));
+  const std::size_t pack_a = tuning::max_pack_a_floats();
+  const std::size_t pack_b = tuning::max_pack_b_floats();
   const float* bias_data = a.bias ? bias.data().data() : nullptr;
   const float* w = weight.data().data();
   const float* x = input.data().data();
   float* y = out.data().data();
+  const bool serial = flops < tp.serial_flops;
+
+  if (conv_merge_batch(batch, cols)) {
+    // Batch-merged path for small-spatial layers: all images' column panels
+    // sit side by side in one shared (patch x batch*cols) matrix, so each
+    // group runs ONE row-parallel GEMM that packs the (cout_g x patch)
+    // weight panel once — instead of once per image for an n = cols sliver.
+    // The decomposition (images, then GEMM row blocks of tp.mc) never
+    // depends on the worker count, and each output row's summation order is
+    // partition-invariant, so results stay bit-identical for any --jobs.
+    const std::size_t bcols = batch * cols;
+    const std::size_t cout_gs = static_cast<std::size_t>(cout_g);
+    Workspace& caller_ws = Workspace::tls();
+    caller_ws.reserve(kernel_detail::conv2d_workspace_floats(a, in));
+    float* const col = caller_ws.take(patch * bcols);
+    float* const cbuf = caller_ws.take(cout_gs * bcols);
+    float* const caller_ap = caller_ws.take(pack_a);
+    float* const caller_bp = caller_ws.take(pack_b);
+    for (std::size_t g = 0; g < groups; ++g) {
+      pool.parallel_for(
+          batch,
+          [&](std::size_t n0, std::size_t n1) {
+            for (std::size_t nn = n0; nn < n1; ++nn) {
+              kernel_detail::im2col_range(x, in, a, ow,
+                                          static_cast<std::int64_t>(nn),
+                                          static_cast<std::int64_t>(g), 0,
+                                          cols, col + nn * cols, bcols);
+            }
+          },
+          serial ? batch : 1);
+      // Bias + activation run in the GEMM writeback exactly as on the
+      // per-image path; the scatter below is a pure copy.
+      pool.parallel_for(
+          cout_gs,
+          [&](std::size_t i0, std::size_t i1) {
+            Workspace& ws = Workspace::tls();
+            float* ap = caller_ap;
+            float* bp = caller_bp;
+            if (&ws != &caller_ws) {
+              ws.reserve(pack_a + pack_b);
+              ap = ws.take(pack_a);
+              bp = ws.take(pack_b);
+            }
+            kernel_detail::gemm_block(
+                tp, w + g * cout_gs * patch, patch, false, col, bcols, false,
+                cbuf, bcols, i0, i1, patch, bcols, 0.0f,
+                bias_data != nullptr ? bias_data + g * cout_gs : nullptr,
+                nullptr, fused_act, ap, bp);
+          },
+          serial ? cout_gs : tp.mc);
+      pool.parallel_for(
+          batch,
+          [&](std::size_t n0, std::size_t n1) {
+            for (std::size_t nn = n0; nn < n1; ++nn) {
+              for (std::size_t oc = 0; oc < cout_gs; ++oc) {
+                std::memcpy(
+                    y + (nn * static_cast<std::size_t>(a.out_channels) +
+                         g * cout_gs + oc) *
+                            cols,
+                    cbuf + oc * bcols + nn * cols, cols * sizeof(float));
+              }
+            }
+          },
+          serial ? batch : 1);
+    }
+    if (obs::enabled()) {
+      obs::MetricsRegistry::instance()
+          .gauge("kernel.workspace.bytes")
+          .set(static_cast<double>(Workspace::total_bytes()));
+    }
+    return out;
+  }
+
+  const std::size_t tile = conv_col_tile(patch, cols, tp.conv_col_tile_floats);
+  const std::size_t tiles = (cols + tile - 1) / tile;
+  const std::size_t tasks = batch * groups * tiles;
 
   // Joint (batch x group x column-tile) index space: small-spatial layers
   // still fan out across the pool through the batch/group dimensions.
@@ -555,8 +683,8 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
         Workspace& ws = Workspace::tls();
         ws.reserve(kernel_detail::conv2d_workspace_floats(a, in));
         float* col = ws.take(patch * tile);
-        float* ap = ws.take(kPackAFloats);
-        float* bp = ws.take(kPackBFloats);
+        float* ap = ws.take(pack_a);
+        float* bp = ws.take(pack_b);
         for (std::size_t t = t0; t < t1; ++t) {
           const std::size_t nn = t / (groups * tiles);
           const std::size_t rem = t % (groups * tiles);
@@ -566,13 +694,13 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
           kernel_detail::im2col_range(x, in, a, ow,
                                       static_cast<std::int64_t>(nn),
                                       static_cast<std::int64_t>(g), c0, c1,
-                                      col);
+                                      col, c1 - c0);
           // (cout_g x patch) * (patch x ncols) -> C columns [c0, c1) of the
           // (cout_g x cols) output block for (nn, g); bias + activation are
           // fused into the writeback.
           kernel_detail::gemm_block(
-              w + g * static_cast<std::size_t>(cout_g) * patch, patch, false,
-              col, c1 - c0, false,
+              tp, w + g * static_cast<std::size_t>(cout_g) * patch, patch,
+              false, col, c1 - c0, false,
               y + (nn * static_cast<std::size_t>(a.out_channels) +
                    g * static_cast<std::size_t>(cout_g)) *
                       cols +
@@ -584,7 +712,7 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
               nullptr, fused_act, ap, bp);
         }
       },
-      flops < kSerialFlops ? tasks : 1);
+      serial ? tasks : 1);
   if (obs::enabled()) {
     obs::MetricsRegistry::instance()
         .gauge("kernel.workspace.bytes")
@@ -636,7 +764,7 @@ Tensor activation(ThreadPool& pool, const Tensor& input, ActKind kind) {
       [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) o[i] = act_apply(in[i], kind);
       },
-      32768);
+      tuning::params(tuning::ShapeClass::kElementwise).elementwise_grain);
   return out;
 }
 
@@ -654,35 +782,45 @@ Tensor pool2d_impl(ThreadPool& pool, const Tensor& input, const Pool2dAttrs& a,
                                 static_cast<std::size_t>(out_shape.width());
   const std::size_t work_per_plane =
       out_plane * static_cast<std::size_t>(a.kernel_h * a.kernel_w);
+  const std::size_t in_plane = static_cast<std::size_t>(in.height()) *
+                               static_cast<std::size_t>(in.width());
+  const float* x = input.data().data();
+  float* y = out.data().data();
   pool.parallel_for(
       planes,
       [&](std::size_t p0, std::size_t p1) {
         for (std::size_t p = p0; p < p1; ++p) {
-          const auto nn = static_cast<std::int64_t>(
-              p / static_cast<std::size_t>(out_shape.channels()));
-          const auto cc = static_cast<std::int64_t>(
-              p % static_cast<std::size_t>(out_shape.channels()));
+          const float* xp = x + p * in_plane;
+          float* yp = y + p * out_plane;
           for (std::int64_t oh = 0; oh < out_shape.height(); ++oh) {
+            // Clip the window rows/cols once per position instead of
+            // bounds-checking every tap; the reduce order over the clipped
+            // window is unchanged, so results are bit-identical.
+            const std::int64_t ih0 = oh * a.stride_h - a.pad_h;
+            const std::int64_t kh0 = std::max<std::int64_t>(0, -ih0);
+            const std::int64_t kh1 =
+                std::min(a.kernel_h, in.height() - ih0);
             for (std::int64_t ow = 0; ow < out_shape.width(); ++ow) {
+              const std::int64_t iw0 = ow * a.stride_w - a.pad_w;
+              const std::int64_t kw0 = std::max<std::int64_t>(0, -iw0);
+              const std::int64_t kw1 =
+                  std::min(a.kernel_w, in.width() - iw0);
               float acc = init;
-              int count = 0;
-              for (std::int64_t kh = 0; kh < a.kernel_h; ++kh) {
-                const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
-                if (ih < 0 || ih >= in.height()) continue;
-                for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
-                  const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
-                  if (iw < 0 || iw >= in.width()) continue;
-                  acc = reduce(acc, input.at4(nn, cc, ih, iw));
-                  ++count;
+              for (std::int64_t kh = kh0; kh < kh1; ++kh) {
+                const float* row =
+                    xp + static_cast<std::size_t>(ih0 + kh) * in.width() + iw0;
+                for (std::int64_t kw = kw0; kw < kw1; ++kw) {
+                  acc = reduce(acc, row[kw]);
                 }
               }
               if (average) {
                 // PyTorch default (count_include_pad=true) divides by the
                 // full kernel area unless the window is clipped by ceil_mode.
+                const bool any = kh1 > kh0 && kw1 > kw0;
                 const int denom = static_cast<int>(a.kernel_h * a.kernel_w);
-                acc = count > 0 ? acc / static_cast<float>(denom) : 0.0f;
+                acc = any ? acc / static_cast<float>(denom) : 0.0f;
               }
-              out.at4(nn, cc, oh, ow) = acc;
+              yp[static_cast<std::size_t>(oh) * out_shape.width() + ow] = acc;
             }
           }
         }
@@ -1012,14 +1150,16 @@ Tensor self_attention(ThreadPool& pool, const Tensor& input,
   float* ctx_p = ctx.data().data();
   const auto scale = static_cast<float>(1.0 / std::sqrt(static_cast<double>(Dh)));
   const std::size_t scores_floats = T * T;
+  const std::size_t pack_a = tuning::max_pack_a_floats();
+  const std::size_t pack_b = tuning::max_pack_b_floats();
   pool.parallel_for(
       B * H,
       [&](std::size_t t0, std::size_t t1) {
         Workspace& ws = Workspace::tls();
-        ws.reserve(scores_floats + kPackAFloats + kPackBFloats);
+        ws.reserve(scores_floats + pack_a + pack_b);
         float* scores = ws.take(scores_floats);
-        float* ap = ws.take(kPackAFloats);
-        float* bp = ws.take(kPackBFloats);
+        float* ap = ws.take(pack_a);
+        float* bp = ws.take(pack_b);
         for (std::size_t t = t0; t < t1; ++t) {
           const std::size_t b = t / H;
           const std::size_t h = t % H;

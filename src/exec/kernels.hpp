@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "exec/thread_pool.hpp"
+#include "exec/tuning/tuning.hpp"
 #include "graph/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -68,6 +69,39 @@ Tensor conv2d_im2col(ThreadPool& pool, const Tensor& input,
                      const Tensor& weight, const Tensor& bias,
                      const Conv2dAttrs& attrs,
                      std::optional<ActKind> fused_act = std::nullopt);
+
+/// Winograd F(2x2,3x3) convolution for 3x3 / stride-1 / dilation-1 layers:
+/// 4x4 input tiles and 3x3 filters are transformed into 16 per-component
+/// matrices, multiplied with the packed GEMM, and inverse-transformed into
+/// 2x2 output tiles (bias + fused activation applied in the inverse
+/// transform). ~2.25x fewer multiplies than im2col on eligible layers; the
+/// transforms change the floating-point summation order, so results match
+/// im2col to ~1e-3 relative, not bitwise. Tiling is thread-count
+/// independent: bit-identical output at any jobs=N for a fixed tuning
+/// table. Callers must check conv2d_winograd_applicable first.
+Tensor conv2d_winograd(ThreadPool& pool, const Tensor& input,
+                       const Tensor& weight, const Tensor& bias,
+                       const Conv2dAttrs& attrs,
+                       std::optional<ActKind> fused_act = std::nullopt);
+
+/// True when `attrs` is a 3x3 / stride-1 / dilation-1 convolution (any
+/// padding, groups, or batch) with a valid output shape.
+bool conv2d_winograd_applicable(const Conv2dAttrs& attrs, const Shape& in);
+
+/// The algorithm conv2d_forward will run for `attrs` on `in`, resolved
+/// from the active tuning table (never ConvAlgo::kAuto): the tuned choice
+/// when the conv class has an entry, else a shape heuristic. Exposed so
+/// the analysis verifier sizes workspaces for the same path the executor
+/// dispatches — the two cannot drift.
+tuning::ConvAlgo conv2d_forward_algo(const Conv2dAttrs& attrs,
+                                     const Shape& in);
+
+/// Production forward convolution: dispatches to conv2d_winograd or
+/// conv2d_im2col per conv2d_forward_algo. The executor's kConv2d path.
+Tensor conv2d_forward(ThreadPool& pool, const Tensor& input,
+                      const Tensor& weight, const Tensor& bias,
+                      const Conv2dAttrs& attrs,
+                      std::optional<ActKind> fused_act = std::nullopt);
 
 /// Inference-time batch norm: y = gamma * (x - mean) / sqrt(var + eps) + beta.
 Tensor batch_norm2d(ThreadPool& pool, const Tensor& input, const Tensor& gamma,
@@ -142,10 +176,21 @@ Tensor transpose_tokens(ThreadPool& pool, const Tensor& input);
 
 namespace kernel_detail {
 
-/// Serial packed-GEMM core over C rows [i_begin, i_end): used directly by
-/// the convolution forward/backward paths so each (batch, group, tile) task
-/// runs one single-threaded GEMM with its own packing buffers. `ap_buf` and
-/// `bp_buf` must hold at least pack_a_floats() / pack_b_floats().
+/// Serial packed-GEMM core over C rows [i_begin, i_end) with explicit cache
+/// blocking `tp`: used directly by the convolution forward/backward paths so
+/// each (batch, group, tile) task runs one single-threaded GEMM with its own
+/// packing buffers. `ap_buf` and `bp_buf` must hold at least
+/// pack_a_floats() / pack_b_floats().
+void gemm_block(const tuning::TuningParams& tp, const float* a,
+                std::size_t lda, bool trans_a, const float* b, std::size_t ldb,
+                bool trans_b, float* c, std::size_t ldc, std::size_t i_begin,
+                std::size_t i_end, std::size_t k, std::size_t n, float beta,
+                const float* row_bias, const float* col_bias,
+                const std::optional<ActKind>& act, float* ap_buf,
+                float* bp_buf);
+
+/// Convenience form that resolves the blocking from the active tuning table
+/// by the block's own GEMM shape (deterministic per task).
 void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
                 std::size_t ldb, bool trans_b, float* c, std::size_t ldc,
                 std::size_t i_begin, std::size_t i_end, std::size_t k,
@@ -153,8 +198,19 @@ void gemm_block(const float* a, std::size_t lda, bool trans_a, const float* b,
                 const float* col_bias, const std::optional<ActKind>& act,
                 float* ap_buf, float* bp_buf);
 
+/// Packing-buffer sizes under the ACTIVE tuning table: the maximum mc*kc
+/// (resp. kc*nc) over every shape class, so one reservation covers
+/// whichever class a nested GEMM resolves to.
 std::size_t pack_a_floats();
 std::size_t pack_b_floats();
+
+/// Tuning shape class of a convolution (kConv3x3s1 for Winograd-eligible
+/// geometry, kConvOther otherwise). Shape-only; thread-count independent.
+tuning::ShapeClass conv_shape_class(const Conv2dAttrs& attrs);
+
+/// The fused-epilogue activation function, exposed so the Winograd output
+/// transform applies exactly the same nonlinearity as the GEMM writeback.
+float apply_activation(float x, ActKind kind);
 
 /// Exact per-thread Workspace floats conv2d_im2col reserves for `attrs` on
 /// input shape `in` (column tile + both packing panels). conv2d_im2col
@@ -162,6 +218,19 @@ std::size_t pack_b_floats();
 /// layer's workspace-bound pass cross-checks it against an independently
 /// computed lower bound — the two can't drift apart silently.
 std::size_t conv2d_workspace_floats(const Conv2dAttrs& attrs, const Shape& in);
+
+/// Worst-case per-thread Workspace floats conv2d_winograd reserves for
+/// `attrs` on input shape `in`: the transformed-filter bank U (caller
+/// thread) plus one task's V/M tile blocks and both packing panels. The
+/// kernel sizes its reserve() through this function and the analysis
+/// workspace pass cross-checks it, exactly like the im2col formula.
+std::size_t winograd_workspace_floats(const Conv2dAttrs& attrs,
+                                      const Shape& in);
+
+/// Workspace floats of whichever conv path conv2d_forward_algo selects for
+/// `attrs` on `in` — what the executor's kConv2d node actually needs.
+std::size_t conv2d_forward_workspace_floats(const Conv2dAttrs& attrs,
+                                            const Shape& in);
 
 /// Per-thread Workspace floats gemm() (and thus the linear kernel)
 /// reserves: the two packing panels; independent of problem size.
@@ -174,12 +243,15 @@ std::size_t gemm_workspace_floats();
 std::size_t self_attention_workspace_floats(const SelfAttentionAttrs& attrs,
                                             const Shape& in);
 
-/// Fills `col` (patch x (c1 - c0), row-major, leading dimension c1 - c0)
-/// with the unfolded input windows of flattened output positions [c0, c1)
-/// of image n, group g. Padding taps become zeros.
+/// Fills `col` (patch x (c1 - c0), row-major, leading dimension `ld`; pass
+/// ld = c1 - c0 for a dense panel) with the unfolded input windows of
+/// flattened output positions [c0, c1) of image n, group g. Padding taps
+/// become zeros. A wider `ld` lets several images' panels sit side by side
+/// in one (patch x batch*cols) matrix for the batch-merged conv GEMM.
 void im2col_range(const float* input, const Shape& in_shape,
                   const Conv2dAttrs& attrs, std::int64_t out_w, std::int64_t n,
-                  std::int64_t g, std::size_t c0, std::size_t c1, float* col);
+                  std::int64_t g, std::size_t c0, std::size_t c1, float* col,
+                  std::size_t ld);
 
 /// Adjoint of im2col_range: scatter-adds `col` back into `grad_input` for
 /// image n, group g (padding taps are dropped). Concurrent calls must not

@@ -1,0 +1,226 @@
+#include "exec/tuning/autotune.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "exec/kernels.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace convmeter::tuning {
+
+namespace {
+
+/// One timed run of a representative workload for a shape class. The
+/// candidate under test is the ACTIVE table while the workload runs, so
+/// workloads go through the normal dispatch paths (conv2d_forward picks the
+/// candidate's algorithm, gemm picks the candidate's blocking).
+using Workload = std::function<void()>;
+
+double median_seconds(const Workload& run, int trials) {
+  run();  // warm-up: workspace growth, page faults, branch training
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    const TimePoint t0 = Clock::now();
+    run();
+    times.push_back(elapsed_seconds(t0));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Times every candidate for `cls` with the winners-so-far installed for
+/// the other classes, records the fastest in `table`, and appends a report
+/// line. Candidate 0 must be the untuned default.
+void sweep_class(TuningTable& table, ShapeClass cls,
+                 const std::vector<TuningParams>& candidates,
+                 const Workload& run, int trials, std::ostringstream& report) {
+  CM_CHECK(!candidates.empty(), "autotune: empty candidate grid");
+  double best_time = 0.0;
+  double default_time = 0.0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    table.entries[static_cast<std::size_t>(cls)] = candidates[i];
+    set_active(table);
+    const double t = median_seconds(run, trials);
+    if (i == 0) default_time = t;
+    if (i == 0 || t < best_time) {
+      best_time = t;
+      best = i;
+    }
+  }
+  table.entries[static_cast<std::size_t>(cls)] = candidates[best];
+  set_active(table);
+  const TuningParams& p = candidates[best];
+  report << shape_class_name(cls) << ": mc=" << p.mc << " kc=" << p.kc
+         << " nc=" << p.nc << " col_tile=" << p.conv_col_tile_floats
+         << " wino_tb=" << p.winograd_tile_block
+         << " grain=" << p.elementwise_grain << " algo="
+         << conv_algo_name(p.conv_algo) << "  "
+         << best_time * 1e3 << " ms (default " << default_time * 1e3
+         << " ms)\n";
+}
+
+std::vector<TuningParams> gemm_candidates(bool small) {
+  std::vector<TuningParams> cands;
+  cands.push_back(TuningParams{});  // the untuned baseline, always first
+  const auto mcs = small ? std::vector<std::size_t>{24, 48, 72, 96}
+                         : std::vector<std::size_t>{48, 72, 96, 144};
+  const auto kcs = small ? std::vector<std::size_t>{64, 128, 256}
+                         : std::vector<std::size_t>{128, 256, 512};
+  const auto ncs = small ? std::vector<std::size_t>{128, 256, 512}
+                         : std::vector<std::size_t>{256, 512, 1024};
+  for (const std::size_t mc : mcs) {
+    for (const std::size_t kc : kcs) {
+      for (const std::size_t nc : ncs) {
+        TuningParams p;
+        p.mc = mc;
+        p.kc = kc;
+        p.nc = nc;
+        if (p == cands.front()) continue;
+        cands.push_back(p);
+      }
+    }
+  }
+  return cands;
+}
+
+/// Conv grids vary the parameters the conv paths actually consume (path
+/// choice, column tile, Winograd tile block) on top of `base` blocking —
+/// the GEMM winner when the GEMM classes were swept in the same run.
+std::vector<TuningParams> conv_candidates(const TuningParams& base,
+                                          bool winograd_eligible) {
+  std::vector<TuningParams> cands;
+  cands.push_back(TuningParams{});
+  for (const std::size_t ct : {32768u, 65536u, 131072u}) {
+    TuningParams p = base;
+    p.conv_algo = ConvAlgo::kIm2col;
+    p.conv_col_tile_floats = ct;
+    cands.push_back(p);
+  }
+  if (winograd_eligible) {
+    for (const std::size_t tb : {32u, 64u, 128u, 256u}) {
+      TuningParams p = base;
+      p.conv_algo = ConvAlgo::kWinograd;
+      p.winograd_tile_block = tb;
+      cands.push_back(p);
+    }
+  }
+  return cands;
+}
+
+std::vector<TuningParams> elementwise_candidates() {
+  std::vector<TuningParams> cands;
+  cands.push_back(TuningParams{});
+  for (const std::size_t grain : {8192u, 131072u, 524288u}) {
+    TuningParams p;
+    p.elementwise_grain = grain;
+    cands.push_back(p);
+  }
+  return cands;
+}
+
+Conv2dAttrs conv_attrs(std::int64_t cin, std::int64_t cout, std::int64_t k,
+                       std::int64_t pad) {
+  Conv2dAttrs a;
+  a.in_channels = cin;
+  a.out_channels = cout;
+  a.kernel_h = a.kernel_w = k;
+  a.stride_h = a.stride_w = 1;
+  a.pad_h = a.pad_w = pad;
+  a.bias = true;
+  return a;
+}
+
+}  // namespace
+
+TuningTable autotune(ThreadPool& pool, const AutotuneOptions& opts,
+                     std::string* report) {
+  CM_CHECK(opts.trials >= 1, "autotune: trials must be >= 1");
+  CM_CHECK(opts.shapes == "zoo" || opts.shapes == "gemm" ||
+               opts.shapes == "conv",
+           "autotune: --shapes must be zoo, gemm, or conv");
+  const bool do_gemm = opts.shapes != "conv";
+  const bool do_conv = opts.shapes != "gemm";
+  const bool do_elementwise = opts.shapes == "zoo";
+  std::ostringstream lines;
+
+  TuningTable table;
+  table.fingerprint = device_fingerprint();
+
+  if (do_gemm) {
+    // Large: the saturated cache-blocked regime (512^3, 268 MFLOP).
+    {
+      const std::size_t n = 512;
+      Tensor a(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)}, 0.5f);
+      Tensor b(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)}, 0.25f);
+      Tensor c(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)});
+      GemmOpts g;
+      g.beta = 0.0f;
+      sweep_class(table, ShapeClass::kGemmLarge,
+                  gemm_candidates(/*small=*/false),
+                  [&] { gemm(pool, a.data(), b.data(), c.data(), n, n, n, g); },
+                  opts.trials, lines);
+    }
+    // Small: the edge-layer regime (128^3, 4.2 MFLOP).
+    {
+      const std::size_t n = 128;
+      Tensor a(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)}, 0.5f);
+      Tensor b(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)}, 0.25f);
+      Tensor c(Shape{static_cast<std::int64_t>(n), static_cast<std::int64_t>(n)});
+      GemmOpts g;
+      g.beta = 0.0f;
+      sweep_class(table, ShapeClass::kGemmSmall,
+                  gemm_candidates(/*small=*/true),
+                  [&] { gemm(pool, a.data(), b.data(), c.data(), n, n, n, g); },
+                  opts.trials, lines);
+    }
+  }
+
+  if (do_conv) {
+    const TuningParams base =
+        table.entries[static_cast<std::size_t>(ShapeClass::kGemmLarge)]
+            .value_or(TuningParams{});
+    // 3x3/s1: a ResNet body layer (64 -> 64 at 56x56). conv2d_forward
+    // dispatches per the candidate's conv_algo, so this grid races im2col
+    // column tiles against Winograd tile blocks directly.
+    {
+      const Conv2dAttrs a = conv_attrs(64, 64, 3, 1);
+      Tensor x(Shape::nchw(2, 64, 56, 56), 0.5f);
+      Tensor w(Shape{64, 64, 3, 3}, 0.01f);
+      Tensor b(Shape{64}, 0.1f);
+      sweep_class(table, ShapeClass::kConv3x3s1,
+                  conv_candidates(base, /*winograd_eligible=*/true),
+                  [&] { conv2d_forward(pool, x, w, b, a); }, opts.trials,
+                  lines);
+    }
+    // Other convs: a pointwise bottleneck projection (256 -> 256 at 14x14).
+    {
+      const Conv2dAttrs a = conv_attrs(256, 256, 1, 0);
+      Tensor x(Shape::nchw(2, 256, 14, 14), 0.5f);
+      Tensor w(Shape{256, 256, 1, 1}, 0.01f);
+      Tensor b(Shape{256}, 0.1f);
+      sweep_class(table, ShapeClass::kConvOther,
+                  conv_candidates(base, /*winograd_eligible=*/false),
+                  [&] { conv2d_forward(pool, x, w, b, a); }, opts.trials,
+                  lines);
+    }
+  }
+
+  if (do_elementwise) {
+    Tensor x(Shape{4 * 1024 * 1024}, -0.5f);
+    sweep_class(table, ShapeClass::kElementwise, elementwise_candidates(),
+                [&] { activation(pool, x, ActKind::kReLU); }, opts.trials,
+                lines);
+  }
+
+  set_active(table);
+  if (report != nullptr) *report = lines.str();
+  return table;
+}
+
+}  // namespace convmeter::tuning

@@ -1,0 +1,37 @@
+// Parameter sweep for the kernel tuning table (`convmeter tune`).
+//
+// For each shape class the autotuner times a small grid of candidate
+// parameter sets on representative workloads — median of N runs after a
+// warm-up — and keeps the fastest. The untuned defaults are always part of
+// every grid, so at tune time a tuned class is never slower than the
+// untuned constants on this machine. The winning table is left active in
+// the process and returned for persisting with save_tuning_file.
+#pragma once
+
+#include <string>
+
+#include "exec/tuning/tuning.hpp"
+
+namespace convmeter {
+class ThreadPool;
+}
+
+namespace convmeter::tuning {
+
+struct AutotuneOptions {
+  /// Which classes to sweep: "zoo" (every class), "gemm" (the two GEMM
+  /// classes), or "conv" (the two convolution classes).
+  std::string shapes = "zoo";
+  /// Timed runs per candidate (after one untimed warm-up); the median is
+  /// the candidate's score.
+  int trials = 3;
+};
+
+/// Sweeps the candidate grids selected by `opts` and returns the winning
+/// table (fingerprinted for this device). Side effect: the returned table
+/// becomes the process-wide active table. `report`, when non-null, receives
+/// one human-readable line per tuned class.
+TuningTable autotune(ThreadPool& pool, const AutotuneOptions& opts,
+                     std::string* report = nullptr);
+
+}  // namespace convmeter::tuning

@@ -1,0 +1,336 @@
+#include "exec/tuning/tuning.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace convmeter::tuning {
+
+namespace {
+
+constexpr std::array<const char*, kNumShapeClasses> kClassNames = {
+    "gemm_small", "gemm_large", "conv_3x3_s1", "conv_other", "elementwise"};
+
+constexpr std::array<const char*, 3> kAlgoNames = {"auto", "im2col",
+                                                   "winograd"};
+
+/// GEMMs below this FLOP count (2*m*k*n) classify as kGemmSmall: a 128^3
+/// problem (4.2 MFLOP) is small, 256^3 (33.5 MFLOP) is already large.
+constexpr std::uint64_t kGemmSmallFlops = 1u << 24;
+
+std::string compute_fingerprint() {
+#if defined(__x86_64__) || defined(_M_X64)
+  std::string arch = "x86_64";
+#elif defined(__aarch64__)
+  std::string arch = "aarch64";
+#else
+  std::string arch = "unknown";
+#endif
+#if defined(__AVX512F__)
+  const char* simd = "avx512";
+#elif defined(__AVX2__)
+  const char* simd = "avx2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  const char* simd = "sse2";
+#else
+  const char* simd = "generic";
+#endif
+  std::string cpu = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  for (std::string line; std::getline(cpuinfo, line);) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t b = colon + 1;
+    while (b < line.size() && line[b] == ' ') ++b;
+    cpu = line.substr(b);
+    break;
+  }
+  return "arch=" + arch + ";simd=" + simd + ";threads=" +
+         std::to_string(std::thread::hardware_concurrency()) + ";cpu=" + cpu;
+}
+
+// ---- active-table state ----------------------------------------------------
+
+/// Fully resolved view of a table: one concrete parameter set per class
+/// plus the packing-buffer upper bounds kernels size their arenas with.
+struct Resolved {
+  std::array<TuningParams, kNumShapeClasses> params{};
+  std::size_t max_pack_a = 0;
+  std::size_t max_pack_b = 0;
+};
+
+Resolved resolve(const TuningTable* table) {
+  Resolved r;
+  for (std::size_t i = 0; i < kNumShapeClasses; ++i) {
+    if (table != nullptr && table->entries[i].has_value()) {
+      r.params[i] = *table->entries[i];
+    }
+    r.max_pack_a = std::max(r.max_pack_a, r.params[i].mc * r.params[i].kc);
+    r.max_pack_b = std::max(r.max_pack_b, r.params[i].kc * r.params[i].nc);
+  }
+  return r;
+}
+
+std::mutex g_mutex;
+Resolved g_resolved = resolve(nullptr);
+std::string g_source = "defaults";  // guarded by g_mutex
+bool g_env_checked = false;         // guarded by g_mutex
+std::atomic<std::uint64_t> g_generation{1};
+
+/// Loads CONVMETER_TUNING_FILE exactly once, the first time any kernel
+/// resolves parameters. Caller holds g_mutex.
+void ensure_env_loaded_locked() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  const char* path = std::getenv("CONVMETER_TUNING_FILE");
+  if (path == nullptr || *path == '\0') return;
+  const TuningTable table = load_tuning_file(path);
+  g_resolved = resolve(&table);
+  g_source = std::string("file:") + path;
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+/// Each thread keeps a private copy of the resolved table, refreshed when
+/// the generation counter moves: kernel-path reads are one relaxed atomic
+/// load + compare, never a lock.
+const Resolved& resolved() {
+  thread_local Resolved cache;
+  thread_local std::uint64_t cache_generation = 0;
+  const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (cache_generation != gen) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ensure_env_loaded_locked();
+    cache = g_resolved;
+    cache_generation = g_generation.load(std::memory_order_relaxed);
+  }
+  return cache;
+}
+
+// ---- JSON helpers ----------------------------------------------------------
+
+json::Value num(std::uint64_t v) {
+  return json::Value(static_cast<double>(v));
+}
+
+std::size_t require_index(const json::Value& entry, const char* key) {
+  if (!entry.has(key)) {
+    throw ParseError(std::string("tuning entry lacks required key '") + key +
+                     "'");
+  }
+  const double d = entry.at(key).as_number();
+  if (d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15) {
+    throw ParseError(std::string("tuning entry key '") + key +
+                     "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+TuningParams entry_from_json(const json::Value& v) {
+  if (!v.is_object()) {
+    throw ParseError("tuning entry must be a JSON object");
+  }
+  TuningParams p;
+  p.mc = require_index(v, "mc");
+  p.kc = require_index(v, "kc");
+  p.nc = require_index(v, "nc");
+  p.conv_col_tile_floats = require_index(v, "conv_col_tile_floats");
+  p.winograd_tile_block = require_index(v, "winograd_tile_block");
+  p.elementwise_grain = require_index(v, "elementwise_grain");
+  p.serial_flops = require_index(v, "serial_flops");
+  if (!v.has("conv_algo")) {
+    throw ParseError("tuning entry lacks required key 'conv_algo'");
+  }
+  const auto algo = conv_algo_by_name(v.at("conv_algo").as_string());
+  if (!algo.has_value()) {
+    throw ParseError("unknown conv_algo '" + v.at("conv_algo").as_string() +
+                     "'");
+  }
+  p.conv_algo = *algo;
+  if (v.as_object().size() != 8) {
+    throw ParseError("tuning entry has unknown keys");
+  }
+  return p;
+}
+
+json::Value entry_to_json(const TuningParams& p) {
+  json::Value::Object o;
+  o.emplace("mc", num(p.mc));
+  o.emplace("kc", num(p.kc));
+  o.emplace("nc", num(p.nc));
+  o.emplace("conv_col_tile_floats", num(p.conv_col_tile_floats));
+  o.emplace("winograd_tile_block", num(p.winograd_tile_block));
+  o.emplace("elementwise_grain", num(p.elementwise_grain));
+  o.emplace("serial_flops", num(p.serial_flops));
+  o.emplace("conv_algo",
+            json::Value(std::string(conv_algo_name(p.conv_algo))));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+const char* shape_class_name(ShapeClass c) {
+  return kClassNames[static_cast<std::size_t>(c)];
+}
+
+std::optional<ShapeClass> shape_class_by_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumShapeClasses; ++i) {
+    if (name == kClassNames[i]) return static_cast<ShapeClass>(i);
+  }
+  return std::nullopt;
+}
+
+ShapeClass classify_gemm(std::size_t m, std::size_t k, std::size_t n) {
+  const std::uint64_t flops = 2ull * m * k * n;
+  return flops < kGemmSmallFlops ? ShapeClass::kGemmSmall
+                                 : ShapeClass::kGemmLarge;
+}
+
+const char* conv_algo_name(ConvAlgo a) {
+  return kAlgoNames[static_cast<std::size_t>(a)];
+}
+
+std::optional<ConvAlgo> conv_algo_by_name(std::string_view name) {
+  for (std::size_t i = 0; i < kAlgoNames.size(); ++i) {
+    if (name == kAlgoNames[i]) return static_cast<ConvAlgo>(i);
+  }
+  return std::nullopt;
+}
+
+void validate_params(const TuningParams& p) {
+  CM_CHECK(p.mc > 0 && p.mc % kRegisterRows == 0 && p.mc <= 1152,
+           "tuning: mc must be a positive multiple of " +
+               std::to_string(kRegisterRows) + " and at most 1152");
+  CM_CHECK(p.kc > 0 && p.kc <= 8192, "tuning: kc must be in [1, 8192]");
+  CM_CHECK(p.nc > 0 && p.nc % kRegisterCols == 0 && p.nc <= 16384,
+           "tuning: nc must be a positive multiple of " +
+               std::to_string(kRegisterCols) + " and at most 16384");
+  CM_CHECK(p.mc * p.kc <= (1u << 22) && p.kc * p.nc <= (1u << 22),
+           "tuning: packing panels capped at 4M floats each");
+  CM_CHECK(p.conv_col_tile_floats >= 1024 &&
+               p.conv_col_tile_floats <= (1u << 22),
+           "tuning: conv_col_tile_floats must be in [1024, 4194304]");
+  CM_CHECK(p.winograd_tile_block >= 1 && p.winograd_tile_block <= 4096,
+           "tuning: winograd_tile_block must be in [1, 4096]");
+  CM_CHECK(p.elementwise_grain >= 1 && p.elementwise_grain <= (1u << 24),
+           "tuning: elementwise_grain must be in [1, 16777216]");
+}
+
+const std::string& device_fingerprint() {
+  static const std::string fp = compute_fingerprint();
+  return fp;
+}
+
+std::string tuning_to_json(const TuningTable& table) {
+  json::Value::Object device;
+  device.emplace("fingerprint", json::Value(table.fingerprint));
+  json::Value::Object entries;
+  for (std::size_t i = 0; i < kNumShapeClasses; ++i) {
+    if (!table.entries[i].has_value()) continue;
+    entries.emplace(kClassNames[i], entry_to_json(*table.entries[i]));
+  }
+  json::Value::Object root;
+  root.emplace("format", json::Value(std::string(kTuningFormatName)));
+  root.emplace("version", num(static_cast<std::uint64_t>(kTuningFormatVersion)));
+  root.emplace("device", json::Value(std::move(device)));
+  root.emplace("entries", json::Value(std::move(entries)));
+  return json::dump(json::Value(std::move(root)));
+}
+
+TuningTable tuning_from_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) {
+    throw ParseError("tuning file must be a JSON object");
+  }
+  if (!doc.has("format") || !doc.at("format").is_string() ||
+      doc.at("format").as_string() != kTuningFormatName) {
+    throw ParseError(std::string("tuning file lacks the '") +
+                     kTuningFormatName +
+                     "' format tag — not a tuning file");
+  }
+  if (!doc.has("version") || !doc.at("version").is_number()) {
+    throw ParseError("tuning file lacks a numeric 'version'");
+  }
+  const double version = doc.at("version").as_number();
+  if (version != static_cast<double>(kTuningFormatVersion)) {
+    throw ParseError("unsupported tuning file version " +
+                     std::to_string(static_cast<int>(version)) +
+                     " (this build reads version " +
+                     std::to_string(kTuningFormatVersion) + ")");
+  }
+  TuningTable table;
+  table.fingerprint = doc.at("device").at("fingerprint").as_string();
+  for (const auto& [key, value] : doc.at("entries").as_object()) {
+    const auto cls = shape_class_by_name(key);
+    if (!cls.has_value()) {
+      throw ParseError("unknown tuning shape class '" + key + "'");
+    }
+    TuningParams p = entry_from_json(value);
+    validate_params(p);
+    table.entries[static_cast<std::size_t>(*cls)] = p;
+  }
+  return table;
+}
+
+void save_tuning_file(const TuningTable& table, const std::string& path) {
+  std::ofstream out(path);
+  CM_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << tuning_to_json(table) << '\n';
+  out.close();
+  CM_CHECK(out.good(), "error writing '" + path + "'");
+}
+
+TuningTable load_tuning_file(const std::string& path) {
+  std::ifstream in(path);
+  CM_CHECK(in.good(), "cannot open tuning file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  TuningTable table = tuning_from_json(buf.str());
+  if (table.fingerprint != device_fingerprint()) {
+    throw InvalidArgument(
+        "tuning file '" + path + "' was measured on a different device\n  "
+        "file:   " + table.fingerprint + "\n  this:   " +
+        device_fingerprint() + "\nre-run `convmeter tune` on this machine");
+  }
+  return table;
+}
+
+const TuningParams& params(ShapeClass c) {
+  return resolved().params[static_cast<std::size_t>(c)];
+}
+
+std::size_t max_pack_a_floats() { return resolved().max_pack_a; }
+std::size_t max_pack_b_floats() { return resolved().max_pack_b; }
+
+void set_active(const std::optional<TuningTable>& table) {
+  if (table.has_value()) {
+    if (!table->fingerprint.empty() &&
+        table->fingerprint != device_fingerprint()) {
+      throw InvalidArgument(
+          "cannot activate a tuning table fingerprinted for a different "
+          "device: " + table->fingerprint);
+    }
+    for (const auto& entry : table->entries) {
+      if (entry.has_value()) validate_params(*entry);
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_env_checked = true;  // an explicit table overrides CONVMETER_TUNING_FILE
+  g_resolved = resolve(table.has_value() ? &*table : nullptr);
+  g_source = table.has_value() ? "set_active" : "defaults";
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+std::string active_source() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  ensure_env_loaded_locked();
+  return g_source;
+}
+
+}  // namespace convmeter::tuning

@@ -1,0 +1,163 @@
+// Per-device kernel tuning: shape classes, blocking parameters, and the
+// versioned tuning-file format.
+//
+// The packed GEMM and the convolution paths are governed by a handful of
+// tile/parallelism parameters (cache blocking MC/KC/NC, the conv column-tile
+// width, the Winograd tile block, elementwise grains, the serial cutoff).
+// PR 4 hardcoded them; this module makes them runtime values resolved per
+// (device, shape-class) from a process-wide tuning table. The table is
+// populated three ways, in precedence order:
+//
+//   1. `tuning::set_active(table)` — tests and `convmeter tune` install a
+//      table programmatically;
+//   2. `CONVMETER_TUNING_FILE=<path>` — loaded lazily on first kernel
+//      dispatch, so executor and bench paths pick it up with no plumbing;
+//   3. nothing — every class resolves to the PR 4 constants (`TuningParams{}`
+//      defaults), so an untuned build behaves exactly like before.
+//
+// Tuning files use the same envelope discipline as the predictor model files
+// (PR 3): `{"format":"convmeter-tuning","version":1,...}` with
+// shortest-round-trip doubles, so save -> load -> save is bit-identical. A
+// file records the fingerprint of the device it was tuned on and loading it
+// on any other device is an error — stale tunings silently shaping kernels
+// on foreign hardware is exactly the failure mode the fingerprint exists to
+// prevent.
+//
+// Determinism contract: for a FIXED active table, every kernel result is
+// bit-identical at any thread count (blocking is never derived from the
+// worker count). Changing KC does change the floating-point summation
+// order, so results are only comparable under the same tuning table.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace convmeter::tuning {
+
+/// Coarse problem classes that share one parameter set. Classification must
+/// depend only on the problem shape (never on thread count or data), so a
+/// given op resolves to the same parameters on every thread.
+enum class ShapeClass : std::uint8_t {
+  kGemmSmall = 0,  ///< GEMMs below ~16 MFLOP (edge layers, heads)
+  kGemmLarge,      ///< cache-blocked GEMMs in the saturated regime
+  kConv3x3s1,      ///< 3x3 / stride-1 / dilation-1 convs (Winograd-eligible)
+  kConvOther,      ///< every other convolution (im2col + packed GEMM)
+  kElementwise,    ///< activations and other bandwidth-bound sweeps
+};
+
+inline constexpr std::size_t kNumShapeClasses = 5;
+
+/// Stable identifier used as the JSON key ("gemm_small", "gemm_large",
+/// "conv_3x3_s1", "conv_other", "elementwise").
+const char* shape_class_name(ShapeClass c);
+
+/// Inverse of shape_class_name; nullopt for unknown names.
+std::optional<ShapeClass> shape_class_by_name(std::string_view name);
+
+/// Shape-only GEMM classification by FLOP count (2*m*k*n).
+ShapeClass classify_gemm(std::size_t m, std::size_t k, std::size_t n);
+
+/// Convolution-path selector stored in a conv class's parameters.
+enum class ConvAlgo : std::uint8_t {
+  kAuto = 0,   ///< dispatcher heuristic picks per layer
+  kIm2col,     ///< always im2col + packed GEMM
+  kWinograd,   ///< Winograd F(2x2,3x3) where applicable, else im2col
+};
+
+const char* conv_algo_name(ConvAlgo a);
+std::optional<ConvAlgo> conv_algo_by_name(std::string_view name);
+
+/// The packed GEMM's compile-time register tile (kernels.cpp static_asserts
+/// agreement). mc must be a multiple of kRegisterRows, nc of kRegisterCols.
+inline constexpr std::size_t kRegisterRows = 6;
+inline constexpr std::size_t kRegisterCols = 16;
+
+/// One parameter set. The defaults are exactly the PR 4 constants, so a
+/// missing table entry (or no table at all) reproduces untuned behaviour.
+struct TuningParams {
+  /// GEMM cache blocking: an (mc x kc) packed A panel and a (kc x nc)
+  /// packed B panel. mc must be a multiple of the 6-row register tile and
+  /// nc a multiple of the 16-column tile.
+  std::size_t mc = 72;
+  std::size_t kc = 256;
+  std::size_t nc = 512;
+  /// Target float count of one im2col column-tile panel (patch x tile).
+  std::size_t conv_col_tile_floats = 64 * 1024;
+  /// Output tiles per Winograd GEMM block (the N dimension of the 16
+  /// per-component GEMMs). Thread-count independent by construction.
+  std::size_t winograd_tile_block = 64;
+  /// parallel_for grain of the elementwise activation kernel.
+  std::size_t elementwise_grain = 32768;
+  /// Below this many FLOPs a kernel runs inline on the calling thread.
+  std::uint64_t serial_flops = 1u << 18;
+  /// Convolution path selection (meaningful for the conv classes).
+  ConvAlgo conv_algo = ConvAlgo::kAuto;
+
+  bool operator==(const TuningParams&) const = default;
+};
+
+/// Throws InvalidArgument unless the parameters satisfy the register-tile
+/// alignment contracts and stay within sane workspace bounds.
+void validate_params(const TuningParams& p);
+
+/// A tuning table: per-class parameter overrides plus the fingerprint of
+/// the device they were measured on. Classes without an entry resolve to
+/// the defaults.
+struct TuningTable {
+  std::string fingerprint;
+  std::array<std::optional<TuningParams>, kNumShapeClasses> entries{};
+};
+
+/// Identity of the machine + build this process runs on (ISA, SIMD level,
+/// hardware thread count, CPU model). Tuning files are only valid on the
+/// fingerprint they were measured on.
+const std::string& device_fingerprint();
+
+inline constexpr const char* kTuningFormatName = "convmeter-tuning";
+inline constexpr int kTuningFormatVersion = 1;
+
+/// Serializes to the versioned envelope. Key order and double formatting
+/// are deterministic: tuning_to_json(tuning_from_json(s)) == s for any s
+/// this function produced.
+std::string tuning_to_json(const TuningTable& table);
+
+/// Parses and validates an envelope + all parameter sets. Throws ParseError
+/// for a wrong format tag / version / malformed payload and InvalidArgument
+/// for out-of-contract parameters. Does NOT check the fingerprint — callers
+/// that apply the table do (load_tuning_file, set_active).
+TuningTable tuning_from_json(const std::string& text);
+
+void save_tuning_file(const TuningTable& table, const std::string& path);
+
+/// Loads and rejects (InvalidArgument) a file whose fingerprint does not
+/// match this device.
+TuningTable load_tuning_file(const std::string& path);
+
+// ---- process-wide active table --------------------------------------------
+
+/// Resolved parameters for one class from the active table; O(1), safe to
+/// call from any thread. First use lazily loads CONVMETER_TUNING_FILE if it
+/// is set (a broken or foreign file throws — loudly, not silently untuned).
+const TuningParams& params(ShapeClass c);
+
+/// Upper bound of mc*kc (resp. kc*nc) over every class of the active
+/// table: the packing-buffer sizes every kernel reserves, so one arena
+/// reservation covers whichever class a nested GEMM resolves to.
+std::size_t max_pack_a_floats();
+std::size_t max_pack_b_floats();
+
+/// Installs `table` as the process-wide active table (validates all
+/// entries, rejects a non-empty foreign fingerprint), or resets to the
+/// built-in defaults with nullopt. Not safe to call concurrently with
+/// in-flight kernels; intended for startup, tests, and the autotuner.
+void set_active(const std::optional<TuningTable>& table);
+
+/// Human-readable origin of the active table: "defaults",
+/// "file:<path>" (CONVMETER_TUNING_FILE), or "set_active".
+std::string active_source();
+
+}  // namespace convmeter::tuning

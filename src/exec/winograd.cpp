@@ -1,0 +1,629 @@
+// Winograd F(2x2,3x3) forward convolution (DESIGN.md §15).
+//
+// For a 3x3 / stride-1 / dilation-1 layer, each 2x2 output tile is computed
+// from a 4x4 input tile with 16 multiplies per (input channel, output
+// channel) pair instead of im2col's 36 — a 2.25x multiply reduction on the
+// layers that dominate ResNet-style networks:
+//
+//   Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//
+// with the classic F(2,3) transform matrices (all entries 0, ±1, ±0.5, so
+// the transforms are adds/subs and exact halvings). The elementwise product
+// over channels is re-associated into 16 small GEMMs — one per tile-matrix
+// component ξ — of shape (cout_g x cin_g) x (cin_g x tile_block), which run
+// on the same packed register-blocked GEMM core as everything else.
+//
+// Parallel structure mirrors conv2d_im2col: phase 1 fills the transformed
+// filter bank U (parallel over output channels, disjoint writes); phase 2
+// runs over a joint (batch x group x tile-block) index space where each task
+// transforms its input tiles into V, multiplies U·V into M, and inverse-
+// transforms M into the output with the bias + fused-activation epilogue.
+// The tile-block width comes from the tuning table — never from the worker
+// count — so output is bit-identical at any jobs=N for a fixed table.
+//
+// Workspace discipline: the calling thread's arena holds U (shared,
+// read-only during phase 2) plus its own task scratch from one reservation;
+// worker threads reserve only task scratch. Steady-state calls perform zero
+// heap allocations, the same contract the im2col path keeps.
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "exec/kernels.hpp"
+#include "exec/workspace.hpp"
+#include "graph/shape_inference.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace convmeter {
+
+namespace {
+
+/// Geometry of one Winograd launch, derived purely from shapes + tuning:
+/// every thread computes the same plan.
+struct WinogradPlan {
+  std::size_t cin_g = 0;
+  std::size_t cout_g = 0;
+  std::size_t tiles_h = 0;
+  std::size_t tiles_w = 0;
+  std::size_t tiles = 0;       ///< per (image, group)
+  std::size_t tile_block = 0;  ///< GEMM N dimension (capped at tiles)
+  std::size_t blocks = 0;      ///< ceil(tiles / tile_block)
+  std::size_t stage_w = 0;     ///< staged input row width: 2*tiles_w + 2
+  std::size_t stage_rows = 0;  ///< worst-case staged rows per tile block
+  std::size_t u_floats = 0;    ///< 16 * out_channels * cin_g
+  std::size_t v_floats = 0;    ///< 16 * cin_g * tile_block
+  std::size_t m_floats = 0;    ///< 16 * cout_g * tile_block
+  std::size_t s_floats = 0;    ///< stage_rows * stage_w
+  std::size_t task_floats = 0;
+};
+
+WinogradPlan make_plan(const Conv2dAttrs& a, const Shape& in) {
+  const Shape out = conv2d_output_shape(a, in);
+  WinogradPlan p;
+  p.cin_g = static_cast<std::size_t>(a.in_channels / a.groups);
+  p.cout_g = static_cast<std::size_t>(a.out_channels / a.groups);
+  p.tiles_h = (static_cast<std::size_t>(out.height()) + 1) / 2;
+  p.tiles_w = (static_cast<std::size_t>(out.width()) + 1) / 2;
+  p.tiles = p.tiles_h * p.tiles_w;
+  const std::size_t tb =
+      tuning::params(tuning::ShapeClass::kConv3x3s1).winograd_tile_block;
+  p.tile_block = std::min(std::max<std::size_t>(tb, 1), p.tiles);
+  p.blocks = (p.tiles + p.tile_block - 1) / p.tile_block;
+  // A staged row holds every column any tile of one tile row reads (the
+  // last tile of a row reads staged columns [2*(tiles_w-1), 2*tiles_w+2)).
+  // A block of tile_block consecutive tiles spans at most
+  // 1 + ceil((tile_block - 1) / tiles_w) tile rows, each needing two staged
+  // rows plus the shared 2-row tail.
+  p.stage_w = 2 * p.tiles_w + 2;
+  const std::size_t span = std::min(
+      p.tiles_h, 1 + (p.tile_block - 1 + p.tiles_w - 1) / p.tiles_w);
+  p.stage_rows = 2 * span + 2;
+  p.u_floats = 16 * static_cast<std::size_t>(a.out_channels) * p.cin_g;
+  p.v_floats = 16 * p.cin_g * p.tile_block;
+  p.m_floats = 16 * p.cout_g * p.tile_block;
+  p.s_floats = p.stage_rows * p.stage_w;
+  p.task_floats = p.v_floats + p.m_floats + p.s_floats +
+                  kernel_detail::pack_a_floats() +
+                  kernel_detail::pack_b_floats();
+  return p;
+}
+
+/// u = G g Gᵀ for one 3x3 filter; scatters the 4x4 result into the 16
+/// component planes of U at stride `plane_stride`.
+inline void filter_transform(const float* g, float* u,
+                             std::size_t plane_stride) {
+  // t = G g (4x3), G = [[1,0,0],[.5,.5,.5],[.5,-.5,.5],[0,0,1]].
+  float t[4][3];
+  for (int c = 0; c < 3; ++c) {
+    const float g0 = g[0 * 3 + c];
+    const float g1 = g[1 * 3 + c];
+    const float g2 = g[2 * 3 + c];
+    t[0][c] = g0;
+    t[1][c] = 0.5f * (g0 + g1 + g2);
+    t[2][c] = 0.5f * (g0 - g1 + g2);
+    t[3][c] = g2;
+  }
+  // u4 = t Gᵀ (4x4), then u4[r][c] lands in component plane ξ = 4r + c.
+  for (int r = 0; r < 4; ++r) {
+    const float t0 = t[r][0];
+    const float t1 = t[r][1];
+    const float t2 = t[r][2];
+    u[(4 * r + 0) * plane_stride] = t0;
+    u[(4 * r + 1) * plane_stride] = 0.5f * (t0 + t1 + t2);
+    u[(4 * r + 2) * plane_stride] = 0.5f * (t0 - t1 + t2);
+    u[(4 * r + 3) * plane_stride] = t2;
+  }
+}
+
+/// v = Bᵀ d B for one 4x4 input tile; scatters into the 16 component planes
+/// of V at stride `plane_stride`.
+inline void input_transform(const float d[4][4], float* v,
+                            std::size_t plane_stride) {
+  // t = Bᵀ d, Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]].
+  float t[4][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = d[0][c] - d[2][c];
+    t[1][c] = d[1][c] + d[2][c];
+    t[2][c] = d[2][c] - d[1][c];
+    t[3][c] = d[1][c] - d[3][c];
+  }
+  for (int r = 0; r < 4; ++r) {
+    v[(4 * r + 0) * plane_stride] = t[r][0] - t[r][2];
+    v[(4 * r + 1) * plane_stride] = t[r][1] + t[r][2];
+    v[(4 * r + 2) * plane_stride] = t[r][2] - t[r][1];
+    v[(4 * r + 3) * plane_stride] = t[r][1] - t[r][3];
+  }
+}
+
+inline float act_or_id(float x, const std::optional<ActKind>& act) {
+  return act.has_value() ? kernel_detail::apply_activation(x, *act) : x;
+}
+
+// ---- tile-vector fast paths -----------------------------------------------
+//
+// The scalar transforms cost more than the 16 GEMMs they feed on shallow
+// wide layers (64ch @ 56x56), so tiles run through GNU-vector transforms
+// with lane = tile: 8 (or, on row tails and narrow feature maps, 4)
+// horizontally consecutive tiles of one tile row are transformed at once.
+// The input transform reads from a zero-padded staged copy of the block's
+// input rows, so no lane ever needs a padding branch and the vector path
+// covers every tile, edges included. The output transform writes to the
+// true output tensor, so clipped edge tiles (odd output extents) and
+// non-ReLU fused activations fall back to the scalar path. Every path
+// computes the identical expression tree per lane, so results are bitwise
+// equal regardless of which one handled a tile.
+
+constexpr std::size_t kTileLanes = 8;
+typedef float TileVec
+    __attribute__((vector_size(kTileLanes * sizeof(float)), aligned(4)));
+typedef float TileVec4
+    __attribute__((vector_size(4 * sizeof(float)), aligned(4)));
+
+inline TileVec load8(const float* p) {
+  TileVec v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store8(float* p, TileVec v) { std::memcpy(&p[0], &v, sizeof(v)); }
+
+inline TileVec4 load4(const float* p) {
+  TileVec4 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store4(float* p, TileVec4 v) { std::memcpy(&p[0], &v, sizeof(v)); }
+
+/// Bᵀ d B for 8 consecutive tiles of one tile row. `q0` points at the first
+/// tile's top-left element in the staged plane (row stride `W`); lane l
+/// reads staged columns 2l..2l+3 (the last lane touches q0 + 3*W + 17,
+/// in-bounds because the staged row is 2*tiles_w + 2 wide).
+inline void input_transform_x8(const float* q0, std::size_t W, float* v,
+                               std::size_t plane_stride) {
+  TileVec d[4][4];
+  for (int r = 0; r < 4; ++r) {
+    const float* q = q0 + static_cast<std::size_t>(r) * W;
+    // Stride-2 gathers: evens/odds of [q, q+16) and [q+2, q+18).
+    const TileVec a0 = load8(q);
+    const TileVec a1 = load8(q + 8);
+    const TileVec b0 = load8(q + 2);
+    const TileVec b1 = load8(q + 10);
+    d[r][0] = __builtin_shufflevector(a0, a1, 0, 2, 4, 6, 8, 10, 12, 14);
+    d[r][1] = __builtin_shufflevector(a0, a1, 1, 3, 5, 7, 9, 11, 13, 15);
+    d[r][2] = __builtin_shufflevector(b0, b1, 0, 2, 4, 6, 8, 10, 12, 14);
+    d[r][3] = __builtin_shufflevector(b0, b1, 1, 3, 5, 7, 9, 11, 13, 15);
+  }
+  TileVec t[4][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = d[0][c] - d[2][c];
+    t[1][c] = d[1][c] + d[2][c];
+    t[2][c] = d[2][c] - d[1][c];
+    t[3][c] = d[1][c] - d[3][c];
+  }
+  for (int r = 0; r < 4; ++r) {
+    store8(v + static_cast<std::size_t>(4 * r + 0) * plane_stride,
+           t[r][0] - t[r][2]);
+    store8(v + static_cast<std::size_t>(4 * r + 1) * plane_stride,
+           t[r][1] + t[r][2]);
+    store8(v + static_cast<std::size_t>(4 * r + 2) * plane_stride,
+           t[r][2] - t[r][1]);
+    store8(v + static_cast<std::size_t>(4 * r + 3) * plane_stride,
+           t[r][1] - t[r][3]);
+  }
+}
+
+/// 4-lane clone of input_transform_x8 (the last lane touches q0 + 3*W + 9).
+inline void input_transform_x4(const float* q0, std::size_t W, float* v,
+                               std::size_t plane_stride) {
+  TileVec4 d[4][4];
+  for (int r = 0; r < 4; ++r) {
+    const float* q = q0 + static_cast<std::size_t>(r) * W;
+    const TileVec4 a0 = load4(q);
+    const TileVec4 a1 = load4(q + 4);
+    const TileVec4 b0 = load4(q + 2);
+    const TileVec4 b1 = load4(q + 6);
+    d[r][0] = __builtin_shufflevector(a0, a1, 0, 2, 4, 6);
+    d[r][1] = __builtin_shufflevector(a0, a1, 1, 3, 5, 7);
+    d[r][2] = __builtin_shufflevector(b0, b1, 0, 2, 4, 6);
+    d[r][3] = __builtin_shufflevector(b0, b1, 1, 3, 5, 7);
+  }
+  TileVec4 t[4][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = d[0][c] - d[2][c];
+    t[1][c] = d[1][c] + d[2][c];
+    t[2][c] = d[2][c] - d[1][c];
+    t[3][c] = d[1][c] - d[3][c];
+  }
+  for (int r = 0; r < 4; ++r) {
+    store4(v + static_cast<std::size_t>(4 * r + 0) * plane_stride,
+           t[r][0] - t[r][2]);
+    store4(v + static_cast<std::size_t>(4 * r + 1) * plane_stride,
+           t[r][1] + t[r][2]);
+    store4(v + static_cast<std::size_t>(4 * r + 2) * plane_stride,
+           t[r][2] - t[r][1]);
+    store4(v + static_cast<std::size_t>(4 * r + 3) * plane_stride,
+           t[r][1] - t[r][3]);
+  }
+}
+
+/// Aᵀ m A for 8 consecutive full (non-clipped) tiles of one output channel:
+/// writes two rows of 16 interleaved output floats with the bias epilogue.
+/// `act_relu` additionally clamps at zero (the only activation the vector
+/// path handles; others take the scalar path).
+inline void output_transform_x8(const float* mp, std::size_t plane_stride,
+                                float rb, float* orow0, float* orow1,
+                                bool act_relu) {
+  TileVec m[16];
+  for (int xi = 0; xi < 16; ++xi) {
+    m[xi] = load8(mp + static_cast<std::size_t>(xi) * plane_stride);
+  }
+  TileVec tr[2][4];
+  for (int c = 0; c < 4; ++c) {
+    tr[0][c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+    tr[1][c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+  }
+  const TileVec z{};
+  const TileVec rbv = z + rb;
+  float* const rows[2] = {orow0, orow1};
+  for (int r = 0; r < 2; ++r) {
+    TileVec y0 = tr[r][0] + tr[r][1] + tr[r][2] + rbv;
+    TileVec y1 = tr[r][1] - tr[r][2] - tr[r][3] + rbv;
+    if (act_relu) {
+      y0 = (y0 > z) ? y0 : z;
+      y1 = (y1 > z) ? y1 : z;
+    }
+    store8(rows[r], __builtin_shufflevector(y0, y1, 0, 8, 1, 9, 2, 10, 3, 11));
+    store8(rows[r] + 8,
+           __builtin_shufflevector(y0, y1, 4, 12, 5, 13, 6, 14, 7, 15));
+  }
+}
+
+/// 4-lane clone of output_transform_x8: two rows of 8 output floats each.
+inline void output_transform_x4(const float* mp, std::size_t plane_stride,
+                                float rb, float* orow0, float* orow1,
+                                bool act_relu) {
+  TileVec4 m[16];
+  for (int xi = 0; xi < 16; ++xi) {
+    m[xi] = load4(mp + static_cast<std::size_t>(xi) * plane_stride);
+  }
+  TileVec4 tr[2][4];
+  for (int c = 0; c < 4; ++c) {
+    tr[0][c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+    tr[1][c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+  }
+  const TileVec4 z{};
+  const TileVec4 rbv = z + rb;
+  float* const rows[2] = {orow0, orow1};
+  for (int r = 0; r < 2; ++r) {
+    TileVec4 y0 = tr[r][0] + tr[r][1] + tr[r][2] + rbv;
+    TileVec4 y1 = tr[r][1] - tr[r][2] - tr[r][3] + rbv;
+    if (act_relu) {
+      y0 = (y0 > z) ? y0 : z;
+      y1 = (y1 > z) ? y1 : z;
+    }
+    store4(rows[r], __builtin_shufflevector(y0, y1, 0, 4, 1, 5));
+    store4(rows[r] + 4, __builtin_shufflevector(y0, y1, 2, 6, 3, 7));
+  }
+}
+
+}  // namespace
+
+bool conv2d_winograd_applicable(const Conv2dAttrs& a, const Shape& in) {
+  if (a.kernel_h != 3 || a.kernel_w != 3 || a.stride_h != 1 ||
+      a.stride_w != 1 || a.dilation_h != 1 || a.dilation_w != 1) {
+    return false;
+  }
+  if (in.rank() != 4) return false;
+  const Shape out = conv2d_output_shape(a, in);
+  return out.height() >= 1 && out.width() >= 1;
+}
+
+tuning::ConvAlgo conv2d_forward_algo(const Conv2dAttrs& a, const Shape& in) {
+  const tuning::TuningParams& tp =
+      tuning::params(kernel_detail::conv_shape_class(a));
+  if (!conv2d_winograd_applicable(a, in)) return tuning::ConvAlgo::kIm2col;
+  if (tp.conv_algo != tuning::ConvAlgo::kAuto) return tp.conv_algo;
+  // Heuristic, calibrated against conv2d_im2col on the zoo's layer shapes:
+  //  - both channel dims moderately wide, so the per-tile transforms
+  //    amortize over the 16 GEMMs' K/M extents (depthwise layers, cin_g ==
+  //    1, are the canonical loser);
+  //  - at least 4 tiles per row, so the lane-per-tile vector transforms
+  //    engage (3x3 layers on <= 6-wide maps run scalar and lose);
+  //  - enough total tile columns (batch x tiles) to amortize the per-call
+  //    transformed-filter bank, which costs O(16 * cout * cin_g) writes
+  //    whether one tile uses it or a thousand (512ch @ 7x7 at batch 2 is
+  //    the canonical loser: a 16 MB bank feeding 32 tile columns).
+  const std::int64_t cin_g = a.in_channels / a.groups;
+  const std::int64_t cout_g = a.out_channels / a.groups;
+  const Shape out = conv2d_output_shape(a, in);
+  const std::int64_t tiles_h = (out.height() + 1) / 2;
+  const std::int64_t tiles_w = (out.width() + 1) / 2;
+  return cin_g >= 16 && cout_g >= 16 && tiles_w >= 4 &&
+                 out.batch() * tiles_h * tiles_w >= 64
+             ? tuning::ConvAlgo::kWinograd
+             : tuning::ConvAlgo::kIm2col;
+}
+
+namespace kernel_detail {
+
+std::size_t winograd_workspace_floats(const Conv2dAttrs& a, const Shape& in) {
+  CM_CHECK(conv2d_winograd_applicable(a, in),
+           "winograd_workspace_floats: layer is not Winograd-eligible");
+  const WinogradPlan p = make_plan(a, in);
+  // Worst case is the calling thread: the shared filter bank U plus one
+  // task's V/M tile blocks and packing panels from a single reservation.
+  return p.u_floats + p.task_floats;
+}
+
+std::size_t conv2d_forward_workspace_floats(const Conv2dAttrs& a,
+                                            const Shape& in) {
+  return conv2d_forward_algo(a, in) == tuning::ConvAlgo::kWinograd
+             ? winograd_workspace_floats(a, in)
+             : conv2d_workspace_floats(a, in);
+}
+
+}  // namespace kernel_detail
+
+Tensor conv2d_winograd(ThreadPool& pool, const Tensor& input,
+                       const Tensor& weight, const Tensor& bias,
+                       const Conv2dAttrs& a, std::optional<ActKind> fused_act) {
+  CM_TRACE_SPAN("conv2d_winograd", "kernel");
+  const auto& in = input.shape();
+  CM_CHECK(conv2d_winograd_applicable(a, in),
+           "conv2d_winograd: layer is not Winograd-eligible");
+  const Shape out_shape = conv2d_output_shape(a, in);
+  CM_CHECK(weight.shape() ==
+               Shape({a.out_channels, a.in_channels / a.groups, a.kernel_h,
+                      a.kernel_w}),
+           "conv2d weight shape mismatch");
+  const WinogradPlan p = make_plan(a, in);
+  const std::size_t batch = static_cast<std::size_t>(out_shape.batch());
+  const std::size_t groups = static_cast<std::size_t>(a.groups);
+  const std::size_t out_channels = static_cast<std::size_t>(a.out_channels);
+  const std::size_t in_channels = static_cast<std::size_t>(a.in_channels);
+  const auto H = static_cast<std::size_t>(in.height());
+  const auto W = static_cast<std::size_t>(in.width());
+  const auto out_h = static_cast<std::size_t>(out_shape.height());
+  const auto out_w = static_cast<std::size_t>(out_shape.width());
+  // GEMM work: 16 component multiplies per (tile, cin_g, cout_g) triple.
+  const std::uint64_t flops = 2ull * 16 * batch * groups * p.cout_g *
+                              p.cin_g * p.tiles;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter("kernel.conv2d.calls").add();
+    obs::MetricsRegistry::instance()
+        .counter("kernel.conv2d.winograd.calls")
+        .add();
+    obs::MetricsRegistry::instance().counter("kernel.gemm.flops").add(flops);
+  }
+
+  Tensor out(out_shape, Tensor::kUninitialized);
+  const tuning::TuningParams& tp =
+      tuning::params(tuning::ShapeClass::kConv3x3s1);
+  const float* w = weight.data().data();
+  const float* x = input.data().data();
+  const float* bias_data = a.bias ? bias.data().data() : nullptr;
+  float* y = out.data().data();
+  const bool serial = flops < tp.serial_flops;
+
+  // The caller's arena holds the shared transformed-filter bank U for the
+  // whole call plus the caller's own phase-2 scratch, taken up front so the
+  // workers' reservations never touch it.
+  Workspace& caller_ws = Workspace::tls();
+  caller_ws.reserve(p.u_floats + p.task_floats);
+  float* const u = caller_ws.take(p.u_floats);
+  float* const caller_scratch = caller_ws.take(p.task_floats);
+
+  // Phase 1: U[g][ξ][oc][ic] = (G g Gᵀ)[ξ] — disjoint writes per output
+  // channel, so any partition of the channel range is bit-identical.
+  const std::size_t cin_g = p.cin_g;
+  const std::size_t cout_g = p.cout_g;
+  pool.parallel_for(
+      out_channels,
+      [&](std::size_t o0, std::size_t o1) {
+        for (std::size_t oc = o0; oc < o1; ++oc) {
+          const std::size_t g = oc / cout_g;
+          const std::size_t oc_g = oc % cout_g;
+          for (std::size_t ic = 0; ic < cin_g; ++ic) {
+            // Component plane ξ of group g is a (cout_g x cin_g) matrix.
+            float* dst = u + (g * 16 * cout_g + oc_g) * cin_g + ic;
+            filter_transform(w + (oc * cin_g + ic) * 9, dst,
+                             cout_g * cin_g);
+          }
+        }
+      },
+      serial ? out_channels
+             : std::max<std::size_t>(1, 64 / std::max<std::size_t>(cin_g, 1)));
+
+  // Phase 2: joint (batch x group x tile-block) tasks. Tile-block geometry
+  // is fixed by the tuning table, so the work decomposition — and therefore
+  // every summation order — is independent of the worker count.
+  const std::size_t tasks = batch * groups * p.blocks;
+  pool.parallel_for(
+      tasks,
+      [&](std::size_t t0, std::size_t t1) {
+        Workspace& ws = Workspace::tls();
+        float* scratch = caller_scratch;
+        if (&ws != &caller_ws) {
+          ws.reserve(p.task_floats);
+          scratch = ws.take(p.task_floats);
+        }
+        float* const v = scratch;
+        float* const m = scratch + p.v_floats;
+        float* const s = scratch + p.v_floats + p.m_floats;
+        float* const ap = s + p.s_floats;
+        float* const bp = ap + kernel_detail::pack_a_floats();
+        const std::size_t tb_cap = p.tile_block;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t nn = t / (groups * p.blocks);
+          const std::size_t rem = t % (groups * p.blocks);
+          const std::size_t g = rem / p.blocks;
+          const std::size_t p0 = (rem % p.blocks) * tb_cap;
+          const std::size_t p1 = std::min(p.tiles, p0 + tb_cap);
+          const std::size_t tb = p1 - p0;
+          const std::size_t th0 = p0 / p.tiles_w;
+          const std::size_t th1 = (p1 - 1) / p.tiles_w;
+          const std::size_t s_rows = 2 * (th1 - th0) + 4;
+
+          // Input transform: stage the block's input rows of each channel
+          // into the zero-padded plane `s` (staged[r][c] = x[r - pad_h +
+          // 2*th0][c - pad_w], zero outside), then run the lane transforms
+          // over it with no padding branches: staged column 2*cc is tile
+          // cc's left edge by construction.
+          const auto iH = static_cast<std::int64_t>(H);
+          const std::size_t copy_w = std::min(W, p.stage_w - static_cast<std::size_t>(a.pad_w));
+          for (std::size_t ic = 0; ic < cin_g; ++ic) {
+            const float* chan =
+                x + (nn * in_channels + g * cin_g + ic) * H * W;
+            for (std::size_t sr = 0; sr < s_rows; ++sr) {
+              float* dst = s + sr * p.stage_w;
+              const std::int64_t ih = static_cast<std::int64_t>(2 * th0 + sr) -
+                                      a.pad_h;
+              if (ih < 0 || ih >= iH) {
+                std::memset(dst, 0, p.stage_w * sizeof(float));
+                continue;
+              }
+              std::memset(dst, 0, static_cast<std::size_t>(a.pad_w) * sizeof(float));
+              std::memcpy(dst + a.pad_w, chan + static_cast<std::size_t>(ih) * W,
+                          copy_w * sizeof(float));
+              std::memset(dst + a.pad_w + copy_w, 0,
+                          (p.stage_w - static_cast<std::size_t>(a.pad_w) - copy_w) *
+                              sizeof(float));
+            }
+            std::size_t pt = p0;
+            while (pt < p1) {
+              const std::size_t th = pt / p.tiles_w;
+              const std::size_t row_end = std::min(p1, (th + 1) * p.tiles_w);
+              const float* base = s + 2 * (th - th0) * p.stage_w;
+              std::size_t cc = pt % p.tiles_w;
+              const std::size_t c_end = cc + (row_end - pt);
+              while (cc + kTileLanes <= c_end) {
+                input_transform_x8(base + 2 * cc, p.stage_w,
+                                   v + ic * tb_cap + (pt - p0), cin_g * tb_cap);
+                cc += kTileLanes;
+                pt += kTileLanes;
+              }
+              while (cc + 4 <= c_end) {
+                input_transform_x4(base + 2 * cc, p.stage_w,
+                                   v + ic * tb_cap + (pt - p0), cin_g * tb_cap);
+                cc += 4;
+                pt += 4;
+              }
+              while (cc < c_end) {
+                float d[4][4];
+                for (int r = 0; r < 4; ++r) {
+                  const float* row = base + static_cast<std::size_t>(r) * p.stage_w + 2 * cc;
+                  for (int c = 0; c < 4; ++c) d[r][c] = row[c];
+                }
+                input_transform(d, v + ic * tb_cap + (pt - p0),
+                                cin_g * tb_cap);
+                ++cc;
+                ++pt;
+              }
+            }
+          }
+
+          // 16 component GEMMs: M_ξ (cout_g x tb) = U_ξ (cout_g x cin_g) ·
+          // V_ξ (cin_g x tb). ldb/ldc stay tb_cap so the plane layout is
+          // block-size independent.
+          const float* u_g = u + g * 16 * cout_g * cin_g;
+          for (std::size_t xi = 0; xi < 16; ++xi) {
+            kernel_detail::gemm_block(
+                tp, u_g + xi * cout_g * cin_g, cin_g, false,
+                v + xi * cin_g * tb_cap, tb_cap, false,
+                m + xi * cout_g * tb_cap, tb_cap, 0, cout_g, cin_g, tb, 0.0f,
+                nullptr, nullptr, std::nullopt, ap, bp);
+          }
+
+          // Output transform: Y = Aᵀ m A per (oc, tile), with the bias +
+          // activation epilogue fused into the 2x2 writeback and edge tiles
+          // clipped to the true output extent.
+          const bool vec_act =
+              !fused_act.has_value() || *fused_act == ActKind::kReLU;
+          for (std::size_t oc = 0; oc < cout_g; ++oc) {
+            const float rb =
+                bias_data != nullptr ? bias_data[g * cout_g + oc] : 0.0f;
+            float* ochan = y + ((nn * out_channels + g * cout_g + oc)) *
+                                   out_h * out_w;
+            const std::size_t stride = cout_g * tb_cap;
+            std::size_t pt = p0;
+            while (pt < p1) {
+              const std::size_t th = pt / p.tiles_w;
+              const std::size_t row_end = std::min(p1, (th + 1) * p.tiles_w);
+              const std::size_t oh0 = th * 2;
+              const bool full_rows = oh0 + 1 < out_h;
+              std::size_t cc = pt % p.tiles_w;
+              const std::size_t c_end = cc + (row_end - pt);
+              while (cc < c_end) {
+                if (vec_act && full_rows && cc + kTileLanes <= c_end &&
+                    2 * (cc + kTileLanes - 1) + 1 < out_w) {
+                  output_transform_x8(m + oc * tb_cap + (pt - p0), stride, rb,
+                                      ochan + oh0 * out_w + 2 * cc,
+                                      ochan + (oh0 + 1) * out_w + 2 * cc,
+                                      fused_act.has_value());
+                  cc += kTileLanes;
+                  pt += kTileLanes;
+                  continue;
+                }
+                if (vec_act && full_rows && cc + 4 <= c_end &&
+                    2 * (cc + 3) + 1 < out_w) {
+                  output_transform_x4(m + oc * tb_cap + (pt - p0), stride, rb,
+                                      ochan + oh0 * out_w + 2 * cc,
+                                      ochan + (oh0 + 1) * out_w + 2 * cc,
+                                      fused_act.has_value());
+                  cc += 4;
+                  pt += 4;
+                  continue;
+                }
+                const float* mp = m + oc * tb_cap + (pt - p0);
+                // t = Aᵀ m (2x4), Aᵀ = [[1,1,1,0],[0,1,-1,-1]].
+                float tr[2][4];
+                for (int c = 0; c < 4; ++c) {
+                  const float m0 = mp[(0 * 4 + c) * stride];
+                  const float m1 = mp[(1 * 4 + c) * stride];
+                  const float m2 = mp[(2 * 4 + c) * stride];
+                  const float m3 = mp[(3 * 4 + c) * stride];
+                  tr[0][c] = m0 + m1 + m2;
+                  tr[1][c] = m1 - m2 - m3;
+                }
+                const std::size_t ow0 = cc * 2;
+                for (int r = 0; r < 2; ++r) {
+                  if (oh0 + static_cast<std::size_t>(r) >= out_h) break;
+                  float yv[2];
+                  yv[0] = tr[r][0] + tr[r][1] + tr[r][2] + rb;
+                  yv[1] = tr[r][1] - tr[r][2] - tr[r][3] + rb;
+                  float* orow =
+                      ochan + (oh0 + static_cast<std::size_t>(r)) * out_w;
+                  for (int c = 0; c < 2; ++c) {
+                    if (ow0 + static_cast<std::size_t>(c) >= out_w) break;
+                    orow[ow0 + static_cast<std::size_t>(c)] =
+                        act_or_id(yv[c], fused_act);
+                  }
+                }
+                ++cc;
+                ++pt;
+              }
+            }
+          }
+        }
+      },
+      serial ? tasks : 1);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance()
+        .gauge("kernel.workspace.bytes")
+        .set(static_cast<double>(Workspace::total_bytes()));
+  }
+  return out;
+}
+
+Tensor conv2d_forward(ThreadPool& pool, const Tensor& input,
+                      const Tensor& weight, const Tensor& bias,
+                      const Conv2dAttrs& a, std::optional<ActKind> fused_act) {
+  return conv2d_forward_algo(a, input.shape()) == tuning::ConvAlgo::kWinograd
+             ? conv2d_winograd(pool, input, weight, bias, a, fused_act)
+             : conv2d_im2col(pool, input, weight, bias, a, fused_act);
+}
+
+}  // namespace convmeter

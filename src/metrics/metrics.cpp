@@ -171,6 +171,7 @@ std::vector<LayerWork> per_layer_work(const Graph& graph,
   for (const auto& n : graph.nodes()) {
     LayerWork w;
     w.node = n.id;
+    w.family = op_family(n.kind);
     std::vector<Shape> in_shapes;
     in_shapes.reserve(n.inputs.size());
     for (const NodeId in : n.inputs) {

@@ -52,6 +52,7 @@ struct FamilyMetrics {
 /// Work performed by one node, the unit the device simulator consumes.
 struct LayerWork {
   NodeId node = -1;
+  OpFamily family = OpFamily::kElementwise;  ///< kernel family dispatched
   double flops = 0.0;        ///< floating point operations
   double input_elems = 0.0;  ///< elements read (sum over node inputs)
   double output_elems = 0.0; ///< elements written

@@ -2,12 +2,16 @@
 // transformer operator set without attention — token mixing is a plain MLP
 // applied across the patch axis via the (B, T, C) <-> (B, C, T) transpose.
 //
-// The token-MLP widths pin the graph to the registry's 224x224 resolution
-// (T = (224 / patch)^2 is baked into the mixing layers' in_features), which
-// mirrors the reference architecture. The classifier pools tokens with a
-// learnable (T -> 1) projection — the same FLOP cost as the paper's global
-// average pooling, expressed in the existing operator vocabulary.
+// The token-MLP widths pin each graph to one resolution (T = (image /
+// patch)^2 is baked into the mixing layers' in_features), so a Mixer built
+// for 224 cannot run at another image size — the registry instead carries
+// explicit per-resolution variants built from the same recipe. The
+// classifier pools tokens with a learnable (T -> 1) projection — the same
+// FLOP cost as the paper's global average pooling, expressed in the
+// existing operator vocabulary.
 #include "models/zoo.hpp"
+
+#include "common/error.hpp"
 
 namespace convmeter::models {
 
@@ -33,10 +37,12 @@ NodeId mixer_block(Graph& g, const std::string& p, NodeId x, std::int64_t dim,
   return g.add(p + ".add2", res, y);
 }
 
-Graph mixer(const std::string& name, std::int64_t patch, std::int64_t dim,
-            std::int64_t depth, std::int64_t token_mlp,
+Graph mixer(const std::string& name, std::int64_t image, std::int64_t patch,
+            std::int64_t dim, std::int64_t depth, std::int64_t token_mlp,
             std::int64_t channel_mlp) {
-  const std::int64_t side = 224 / patch;
+  CM_CHECK(image > 0 && image % patch == 0,
+           "mixer: image size must be a positive multiple of the patch size");
+  const std::int64_t side = image / patch;
   const std::int64_t tokens = side * side;
   Graph g(name);
   NodeId x = g.input(3);
@@ -65,10 +71,16 @@ Graph mixer(const std::string& name, std::int64_t patch, std::int64_t dim,
 }  // namespace
 
 Graph mlp_mixer_s_16() {
-  return mixer("mlp_mixer_s_16", 16, 512, 8, 256, 2048);
+  return mixer("mlp_mixer_s_16", 224, 16, 512, 8, 256, 2048);
 }
 Graph mlp_mixer_b_16() {
-  return mixer("mlp_mixer_b_16", 16, 768, 12, 384, 3072);
+  return mixer("mlp_mixer_b_16", 224, 16, 768, 12, 384, 3072);
+}
+Graph mlp_mixer_s_16_160() {
+  return mixer("mlp_mixer_s_16_160", 160, 16, 512, 8, 256, 2048);
+}
+Graph mlp_mixer_b_16_160() {
+  return mixer("mlp_mixer_b_16_160", 160, 16, 768, 12, 384, 3072);
 }
 
 }  // namespace convmeter::models

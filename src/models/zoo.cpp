@@ -16,8 +16,8 @@ struct ZooEntry {
   std::int64_t image_size;
 };
 
-const std::array<ZooEntry, 35>& registry() {
-  static const std::array<ZooEntry, 35> entries = {{
+const std::array<ZooEntry, 37>& registry() {
+  static const std::array<ZooEntry, 37> entries = {{
       {"alexnet", &alexnet, 224},
       {"vgg11", [] { return vgg(11); }, 224},
       {"vgg13", [] { return vgg(13); }, 224},
@@ -53,6 +53,8 @@ const std::array<ZooEntry, 35>& registry() {
       {"vit_l_16", &vit_l_16, 224},
       {"mlp_mixer_s_16", &mlp_mixer_s_16, 224},
       {"mlp_mixer_b_16", &mlp_mixer_b_16, 224},
+      {"mlp_mixer_s_16_160", &mlp_mixer_s_16_160, 160},
+      {"mlp_mixer_b_16_160", &mlp_mixer_b_16_160, 160},
   }};
   return entries;
 }

@@ -80,9 +80,12 @@ Graph vit_b_16();
 Graph vit_b_32();
 Graph vit_l_16();
 
-// MLP-Mixers: all-MLP models over the same token operator set (resolution
-// pinned to 224 by the token-mixing layer widths).
+// MLP-Mixers: all-MLP models over the same token operator set. Each variant
+// is pinned to one resolution by its token-mixing layer widths, so other
+// resolutions are separate registry entries built from the same recipe.
 Graph mlp_mixer_s_16();
 Graph mlp_mixer_b_16();
+Graph mlp_mixer_s_16_160();
+Graph mlp_mixer_b_16_160();
 
 }  // namespace convmeter::models

@@ -19,7 +19,9 @@ double kernel_time(const DeviceSpec& device, const LayerWork& work) {
       (work.input_elems + work.output_elems + work.param_elems) *
       kBytesPerElem;
   const double compute_time =
-      work.flops > 0.0 ? work.flops / device.effective_flops(work.flops) : 0.0;
+      work.flops > 0.0
+          ? work.flops / device.effective_flops(work.flops, work.family)
+          : 0.0;
   const double memory_time =
       bytes > 0.0 ? bytes / device.effective_bandwidth(bytes) : 0.0;
   return std::max(compute_time, memory_time) + device.launch_overhead;

@@ -11,6 +11,12 @@ double DeviceSpec::effective_flops(double work) const {
   return peak_flops * eff;
 }
 
+double DeviceSpec::effective_flops(double work, OpFamily family) const {
+  const double factor = family_efficiency[static_cast<std::size_t>(family)];
+  CM_CHECK(factor > 0.0, "family_efficiency entries must be positive");
+  return effective_flops(work) * factor;
+}
+
 double DeviceSpec::effective_bandwidth(double bytes) const {
   CM_CHECK(bytes >= 0.0, "bytes must be non-negative");
   const double eff =
@@ -31,6 +37,14 @@ DeviceSpec xeon_gold_5318y_core() {
   d.launch_overhead = 8e-6;      // framework op dispatch
   d.memory_bytes = 256.0 * (1ull << 30);
   d.noise_sigma = 0.10;
+  // conv, gemm, attention, norm, elementwise — calibrated against this
+  // repo's real CPU executor on vit_s_16 (tests/sim_test.cpp pins the
+  // resulting per-family rank ordering). Linear layers pay their fused
+  // activation epilogue (GELU on transformer MLPs) inside the GEMM
+  // writeback, so the gemm family lands below conv; attention's big
+  // batched projections slightly beat im2col conv; norm kernels crawl at
+  // memory speed.
+  d.family_efficiency = {1.0, 0.70, 1.05, 0.35, 0.30};
   return d;
 }
 
@@ -46,6 +60,9 @@ DeviceSpec a100_80gb() {
   d.launch_overhead = 2.5e-6;    // kernel launch + framework dispatch
   d.memory_bytes = 80.0 * (1ull << 30);
   d.noise_sigma = 0.06;
+  // Tensor cores widen the gap: attention's non-GEMM work and the
+  // bandwidth-bound families run on the much slower CUDA-core/HBM path.
+  d.family_efficiency = {1.0, 1.1, 0.45, 0.25, 0.20};
   return d;
 }
 
@@ -61,6 +78,7 @@ DeviceSpec jetson_class_edge() {
   d.launch_overhead = 12e-6;     // weaker host CPU drives dispatch
   d.memory_bytes = 8.0 * (1ull << 30);
   d.noise_sigma = 0.12;          // DVFS/thermal jitter
+  d.family_efficiency = {1.0, 1.05, 0.50, 0.30, 0.25};
   return d;
 }
 

@@ -8,8 +8,11 @@
 // overhead, and poor utilization for small workloads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+
+#include "metrics/metrics.hpp"
 
 namespace convmeter {
 
@@ -31,9 +34,20 @@ struct DeviceSpec {
   double launch_overhead = 0.0;    ///< seconds per kernel launch / op dispatch
   double memory_bytes = 0.0;       ///< device memory capacity
   double noise_sigma = 0.0;        ///< lognormal sigma of run-to-run jitter
+  /// Per-op-family compute-efficiency multipliers on max_efficiency,
+  /// indexed by OpFamily with dense conv as the 1.0 reference. Attention
+  /// kernels (softmax, head transposes, short per-head GEMMs) and norm /
+  /// elementwise kernels (bandwidth-bound, near-zero arithmetic intensity)
+  /// reach a much smaller fraction of peak than blocked conv/GEMM — the
+  /// distinct cost curves the segmented predictor has to absorb.
+  std::array<double, kNumOpFamilies> family_efficiency{1.0, 1.0, 1.0, 1.0,
+                                                       1.0};
 
   /// Achieved FLOP/s for a kernel of the given size.
   double effective_flops(double work) const;
+
+  /// Achieved FLOP/s for a kernel of the given size and family.
+  double effective_flops(double work, OpFamily family) const;
 
   /// Achieved bytes/s for a kernel moving the given volume.
   double effective_bandwidth(double bytes) const;

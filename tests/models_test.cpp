@@ -85,14 +85,26 @@ TEST(ZooTest, UnknownModelThrows) {
   EXPECT_FALSE(models::is_available("nope"));
 }
 
-TEST(ZooTest, RegistryHas35Models) {
-  EXPECT_EQ(models::available_models().size(), 35u);
+TEST(ZooTest, RegistryHas37Models) {
+  EXPECT_EQ(models::available_models().size(), 37u);
 }
 
 TEST(ZooTest, MixerGraphsValidateAndClassify) {
   for (const char* name : {"mlp_mixer_s_16", "mlp_mixer_b_16"}) {
     const Graph g = models::build(name);
     const ShapeMap shapes = infer_shapes(g, Shape::nchw(2, 3, 224, 224));
+    EXPECT_EQ(shapes.back(), Shape({2, 1000})) << name;
+  }
+}
+
+TEST(ZooTest, MixerResolutionVariantsUseTheirOwnTokenWidths) {
+  for (const char* name : {"mlp_mixer_s_16_160", "mlp_mixer_b_16_160"}) {
+    EXPECT_EQ(models::default_image_size(name), 160) << name;
+    const Graph g = models::build(name);
+    // 160/16 = 10 patches per side -> 100 tokens in the token-mixing MLP.
+    const Node& fc1 = g.node(g.find("mixer.0.token.fc1"));
+    EXPECT_EQ(fc1.as<LinearAttrs>().in_features, 100) << name;
+    const ShapeMap shapes = infer_shapes(g, Shape::nchw(2, 3, 160, 160));
     EXPECT_EQ(shapes.back(), Shape({2, 1000})) << name;
   }
 }

@@ -2,8 +2,12 @@
 // accounting, ring-all-reduce cost model, and training-step invariants.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "exec/executor.hpp"
+#include "metrics/metrics.hpp"
 #include "models/zoo.hpp"
 #include "sim/comm.hpp"
 #include "sim/cost_model.hpp"
@@ -285,6 +289,62 @@ TEST(InferenceSimTest, CpuSlowerThanGpu) {
   InferenceSimulator cpu(xeon_gold_5318y_core());
   InferenceSimulator gpu(a100_80gb());
   EXPECT_GT(cpu.expected(g, shape), 10.0 * gpu.expected(g, shape));
+}
+
+// ---- per-family efficiency curves ---------------------------------------
+
+TEST(FamilyEfficiencyTest, DistinctCurvesPerFamily) {
+  const DeviceSpec cpu = xeon_gold_5318y_core();
+  const double work = 1e9;
+  // Attention, norm, and elementwise kernels sit on their own cost curves;
+  // the conv factor is the 1.0 reference.
+  EXPECT_NE(cpu.effective_flops(work, OpFamily::kAttention),
+            cpu.effective_flops(work, OpFamily::kConv));
+  EXPECT_LT(cpu.effective_flops(work, OpFamily::kNorm),
+            cpu.effective_flops(work, OpFamily::kConv));
+  EXPECT_LT(cpu.effective_flops(work, OpFamily::kElementwise),
+            cpu.effective_flops(work, OpFamily::kConv));
+  EXPECT_DOUBLE_EQ(cpu.effective_flops(work, OpFamily::kConv),
+                   cpu.effective_flops(work));
+}
+
+/// The xeon family factors are calibrated against this repo's real CPU
+/// executor: simulated and measured per-op-family time shares on vit_s_16
+/// must agree that gemm dominates, attention is second, and the remaining
+/// families are noise. (The small families are within measurement jitter of
+/// each other, so only the top of the ordering is pinned.)
+TEST(FamilyEfficiencyTest, SimMatchesRealFamilyRankOnViT) {
+  const Graph g = models::build("vit_s_16");
+  const Shape in = Shape::nchw(1, 3, 224, 224);
+  const DeviceSpec dev = xeon_gold_5318y_core();
+
+  std::array<double, kNumOpFamilies> sim{};
+  for (const LayerWork& w : per_layer_work(g, in)) {
+    sim[static_cast<std::size_t>(w.family)] += kernel_time(dev, w);
+  }
+
+  Executor ex(1);
+  ex.run_random(g, in, 1);  // warm-up: workspace growth, page faults
+  std::array<double, kNumOpFamilies> real{};
+  const ExecutionResult res = ex.run_random(g, in, 1);
+  for (const LayerTiming& lt : res.layers) {
+    real[static_cast<std::size_t>(op_family(g.node(lt.node).kind))] +=
+        lt.seconds;
+  }
+
+  for (const auto& shares : {sim, real}) {
+    const double gemm = shares[static_cast<std::size_t>(OpFamily::kGemm)];
+    const double att = shares[static_cast<std::size_t>(OpFamily::kAttention)];
+    double total = 0.0;
+    for (const double s : shares) total += s;
+    EXPECT_GT(gemm, att);  // rank 1 vs rank 2
+    for (const OpFamily tail :
+         {OpFamily::kConv, OpFamily::kNorm, OpFamily::kElementwise}) {
+      EXPECT_LT(shares[static_cast<std::size_t>(tail)], att);
+    }
+    // The two transformer families dominate the forward pass on both sides.
+    EXPECT_GT((gemm + att) / total, 0.8);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Tuning-file envelope and kernel-determinism tests (PR 9).
+//
+// Two contracts are pinned here. First, the tuning file format: versioned
+// envelope, foreign-device rejection, and bit-identical save -> load -> save
+// round trips (same discipline as the predictor model files). Second, the
+// determinism contract the tuning table enables: for a FIXED active table,
+// GEMM, im2col convolution, and Winograd convolution produce byte-identical
+// results at any thread count, and the Winograd path performs zero
+// steady-state workspace allocations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "exec/kernels.hpp"
+#include "exec/thread_pool.hpp"
+#include "exec/tuning/tuning.hpp"
+#include "exec/workspace.hpp"
+#include "graph/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter {
+namespace {
+
+using tuning::ConvAlgo;
+using tuning::ShapeClass;
+using tuning::TuningParams;
+using tuning::TuningTable;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  t.fill_random(seed);
+  return t;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+double max_rel_error(const Tensor& a, const Tensor& b) {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double x = a.data()[static_cast<std::size_t>(i)];
+    const double y = b.data()[static_cast<std::size_t>(i)];
+    const double denom = std::max({std::abs(x), std::abs(y), 1.0});
+    worst = std::max(worst, std::abs(x - y) / denom);
+  }
+  return worst;
+}
+
+/// A non-default table for this device: every class overridden, so a test
+/// exercising it cannot silently fall through to the built-in constants.
+TuningTable local_table() {
+  TuningTable t;
+  t.fingerprint = tuning::device_fingerprint();
+  TuningParams gemm_small;
+  gemm_small.mc = 48;
+  gemm_small.kc = 192;
+  gemm_small.nc = 256;
+  t.entries[static_cast<std::size_t>(ShapeClass::kGemmSmall)] = gemm_small;
+  TuningParams gemm_large;
+  gemm_large.mc = 96;
+  gemm_large.kc = 320;
+  gemm_large.nc = 768;
+  t.entries[static_cast<std::size_t>(ShapeClass::kGemmLarge)] = gemm_large;
+  TuningParams wino;
+  wino.winograd_tile_block = 48;
+  wino.conv_algo = ConvAlgo::kWinograd;
+  t.entries[static_cast<std::size_t>(ShapeClass::kConv3x3s1)] = wino;
+  TuningParams other;
+  other.conv_col_tile_floats = 32 * 1024;
+  other.conv_algo = ConvAlgo::kIm2col;
+  t.entries[static_cast<std::size_t>(ShapeClass::kConvOther)] = other;
+  TuningParams ew;
+  ew.elementwise_grain = 16384;
+  t.entries[static_cast<std::size_t>(ShapeClass::kElementwise)] = ew;
+  return t;
+}
+
+/// Installs a fixed table for the test body and always restores defaults.
+class FixedTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tuning::set_active(local_table()); }
+  void TearDown() override { tuning::set_active(std::nullopt); }
+};
+
+// ---- envelope ---------------------------------------------------------------
+
+TEST(TuningEnvelopeTest, ShapeClassNamesRoundTrip) {
+  for (std::size_t i = 0; i < tuning::kNumShapeClasses; ++i) {
+    const auto c = static_cast<ShapeClass>(i);
+    const auto back = tuning::shape_class_by_name(tuning::shape_class_name(c));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(tuning::shape_class_by_name("gemm_huge").has_value());
+  EXPECT_EQ(tuning::conv_algo_by_name("winograd"), ConvAlgo::kWinograd);
+  EXPECT_FALSE(tuning::conv_algo_by_name("fft").has_value());
+}
+
+TEST(TuningEnvelopeTest, JsonRoundTripIsBitIdentical) {
+  const TuningTable t = local_table();
+  const std::string first = tuning::tuning_to_json(t);
+  const TuningTable parsed = tuning::tuning_from_json(first);
+  EXPECT_EQ(parsed.fingerprint, t.fingerprint);
+  for (std::size_t i = 0; i < tuning::kNumShapeClasses; ++i) {
+    ASSERT_EQ(parsed.entries[i].has_value(), t.entries[i].has_value());
+    if (t.entries[i]) {
+      EXPECT_EQ(*parsed.entries[i], *t.entries[i]);
+    }
+  }
+  // Double round trip: serialize -> parse -> serialize is byte-identical.
+  EXPECT_EQ(tuning::tuning_to_json(parsed), first);
+  EXPECT_EQ(tuning::tuning_to_json(tuning::tuning_from_json(
+                tuning::tuning_to_json(parsed))),
+            first);
+}
+
+TEST(TuningEnvelopeTest, RejectsWrongFormatTag) {
+  std::string text = tuning::tuning_to_json(local_table());
+  const auto pos = text.find("convmeter-tuning");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::strlen("convmeter-tuning"), "convmeter-predictor");
+  EXPECT_THROW(tuning::tuning_from_json(text), ParseError);
+}
+
+TEST(TuningEnvelopeTest, RejectsUnknownVersion) {
+  std::string text = tuning::tuning_to_json(local_table());
+  const auto pos = text.find("\"version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::strlen("\"version\":1"), "\"version\":99");
+  EXPECT_THROW(tuning::tuning_from_json(text), ParseError);
+}
+
+TEST(TuningEnvelopeTest, RejectsMalformedPayload) {
+  EXPECT_THROW(tuning::tuning_from_json("not json at all"), ParseError);
+  EXPECT_THROW(tuning::tuning_from_json("{\"format\": 7}"), ParseError);
+  // Structurally valid envelope, out-of-contract parameters.
+  TuningTable bad = local_table();
+  std::string text = tuning::tuning_to_json(bad);
+  const auto pos = text.find("\"mc\":48");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::strlen("\"mc\":48"), "\"mc\":47");  // not 6-aligned
+  EXPECT_THROW(tuning::tuning_from_json(text), InvalidArgument);
+}
+
+TEST(TuningEnvelopeTest, ValidateRejectsOutOfContractParams) {
+  TuningParams p;
+  p.mc = 70;  // not a multiple of the 6-row register tile
+  EXPECT_THROW(tuning::validate_params(p), InvalidArgument);
+  p = TuningParams{};
+  p.nc = 520;  // not a multiple of the 16-column tile
+  EXPECT_THROW(tuning::validate_params(p), InvalidArgument);
+  p = TuningParams{};
+  p.winograd_tile_block = 0;
+  EXPECT_THROW(tuning::validate_params(p), InvalidArgument);
+  EXPECT_NO_THROW(tuning::validate_params(TuningParams{}));
+}
+
+TEST(TuningEnvelopeTest, FileRoundTripIsBitIdenticalAndForeignRejected) {
+  const std::string path_a = ::testing::TempDir() + "/tuning_rt_a.json";
+  const std::string path_b = ::testing::TempDir() + "/tuning_rt_b.json";
+  tuning::save_tuning_file(local_table(), path_a);
+  const TuningTable loaded = tuning::load_tuning_file(path_a);
+  tuning::save_tuning_file(loaded, path_b);
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  EXPECT_FALSE(slurp(path_a).empty());
+  EXPECT_EQ(slurp(path_a), slurp(path_b));
+
+  // A file tuned on another machine must be rejected on load ...
+  TuningTable foreign = local_table();
+  foreign.fingerprint = "arch=sparc;simd=none;threads=64;cpu=SomethingElse";
+  const std::string path_f = ::testing::TempDir() + "/tuning_foreign.json";
+  tuning::save_tuning_file(foreign, path_f);
+  EXPECT_THROW(tuning::load_tuning_file(path_f), InvalidArgument);
+  // ... and on programmatic installation.
+  EXPECT_THROW(tuning::set_active(foreign), InvalidArgument);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  std::remove(path_f.c_str());
+}
+
+TEST(TuningEnvelopeTest, ActiveTableResolvesAndResets) {
+  tuning::set_active(local_table());
+  EXPECT_EQ(tuning::active_source(), "set_active");
+  EXPECT_EQ(tuning::params(ShapeClass::kGemmLarge).mc, 96u);
+  EXPECT_EQ(tuning::params(ShapeClass::kConv3x3s1).conv_algo,
+            ConvAlgo::kWinograd);
+  // Pack bounds cover the largest class of the active table.
+  EXPECT_GE(tuning::max_pack_a_floats(), 96u * 320u);
+  EXPECT_GE(tuning::max_pack_b_floats(), 320u * 768u);
+  tuning::set_active(std::nullopt);
+  EXPECT_EQ(tuning::active_source(), "defaults");
+  EXPECT_EQ(tuning::params(ShapeClass::kGemmLarge), TuningParams{});
+}
+
+// ---- determinism under a fixed table ---------------------------------------
+
+TEST_F(FixedTableTest, GemmByteIdenticalAcrossThreadCounts) {
+  constexpr std::size_t m = 145;
+  constexpr std::size_t k = 203;
+  constexpr std::size_t n = 97;
+  const Tensor a = random_tensor(Shape{145, 203}, 11);
+  const Tensor b = random_tensor(Shape{203, 97}, 12);
+  std::vector<float> c1(m * n, 0.0f);
+  std::vector<float> c4(m * n, 0.0f);
+  ThreadPool one(1);
+  ThreadPool four(4);
+  gemm(one, a.data(), b.data(), c1, m, k, n);
+  gemm(four, a.data(), b.data(), c4, m, k, n);
+  EXPECT_EQ(std::memcmp(c1.data(), c4.data(), m * n * sizeof(float)), 0);
+}
+
+TEST_F(FixedTableTest, Im2colConvByteIdenticalAcrossThreadCounts) {
+  const auto attrs = Conv2dAttrs::square(32, 48, 3, /*stride=*/2);
+  const Tensor x = random_tensor(Shape::nchw(4, 32, 19, 19), 21);
+  const Tensor w = random_tensor(Shape{48, 32, 3, 3}, 22);
+  const Tensor bias = random_tensor(Shape{48}, 23);
+  Conv2dAttrs biased = attrs;
+  biased.bias = true;
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const Tensor y1 = conv2d_im2col(one, x, w, bias, biased, ActKind::kReLU);
+  const Tensor y4 = conv2d_im2col(four, x, w, bias, biased, ActKind::kReLU);
+  EXPECT_TRUE(bitwise_equal(y1, y4));
+}
+
+TEST_F(FixedTableTest, BatchMergedConvByteIdenticalAndCorrect) {
+  // Small output map (4x4 = 16 columns) with batch 8: 16 <= 2*16 and
+  // 8*16 <= 256, so conv2d_im2col takes the batch-merged branch that packs
+  // the weight panel once per group instead of once per image.
+  const auto attrs = Conv2dAttrs::square(64, 96, 3, /*stride=*/1,
+                                         /*padding=*/1);
+  const Tensor x = random_tensor(Shape::nchw(8, 64, 4, 4), 31);
+  const Tensor w = random_tensor(Shape{96, 64, 3, 3}, 32);
+  const Tensor bias = random_tensor(Shape{96}, 33);
+  Conv2dAttrs biased = attrs;
+  biased.bias = true;
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const Tensor y1 = conv2d_im2col(one, x, w, bias, biased, ActKind::kReLU);
+  const Tensor y4 = conv2d_im2col(four, x, w, bias, biased, ActKind::kReLU);
+  EXPECT_TRUE(bitwise_equal(y1, y4));
+  Tensor ref = conv2d_direct(x, w, bias, biased);
+  for (float& v : ref.data()) v = std::max(v, 0.0f);
+  EXPECT_LT(max_rel_error(y1, ref), 1e-4);
+}
+
+TEST_F(FixedTableTest, WinogradByteIdenticalAcrossThreadCounts) {
+  const auto attrs = Conv2dAttrs::square(32, 48, 3, /*stride=*/1,
+                                         /*padding=*/1);
+  const Tensor x = random_tensor(Shape::nchw(3, 32, 23, 23), 41);
+  const Tensor w = random_tensor(Shape{48, 32, 3, 3}, 42);
+  const Tensor bias = random_tensor(Shape{48}, 43);
+  Conv2dAttrs biased = attrs;
+  biased.bias = true;
+  ASSERT_TRUE(conv2d_winograd_applicable(biased, x.shape()));
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const Tensor y1 = conv2d_winograd(one, x, w, bias, biased, ActKind::kReLU);
+  const Tensor y4 = conv2d_winograd(four, x, w, bias, biased, ActKind::kReLU);
+  EXPECT_TRUE(bitwise_equal(y1, y4));
+}
+
+TEST_F(FixedTableTest, TunedConvClassesDriveDispatch) {
+  // The fixed table forces winograd on the 3x3/s1 class and im2col on the
+  // rest; the dispatcher must follow the table, not the heuristic.
+  const auto eligible = Conv2dAttrs::square(8, 8, 3, 1, 1);
+  const auto strided = Conv2dAttrs::square(8, 8, 3, 2, 1);
+  const Shape in = Shape::nchw(1, 8, 8, 8);
+  EXPECT_EQ(conv2d_forward_algo(eligible, in), ConvAlgo::kWinograd);
+  EXPECT_EQ(conv2d_forward_algo(strided, in), ConvAlgo::kIm2col);
+}
+
+// ---- Winograd numerics ------------------------------------------------------
+
+TEST(WinogradTest, MatchesIm2colAndDirectAcrossShapes) {
+  struct Case {
+    std::int64_t batch, cin, cout, hw, groups, pad;
+    std::optional<ActKind> act;
+  };
+  const Case cases[] = {
+      {1, 16, 16, 8, 1, 1, std::nullopt},
+      {2, 32, 48, 14, 1, 1, ActKind::kReLU},
+      {1, 3, 16, 23, 1, 1, std::nullopt},
+      {2, 32, 32, 9, 4, 1, ActKind::kReLU},
+      {1, 17, 19, 7, 1, 0, std::nullopt},
+      {3, 24, 24, 4, 2, 1, ActKind::kGELU},
+  };
+  for (const Case& c : cases) {
+    Conv2dAttrs attrs = Conv2dAttrs::square(c.cin, c.cout, 3, 1, c.pad);
+    attrs.groups = c.groups;
+    attrs.bias = true;
+    const Tensor x = random_tensor(Shape::nchw(c.batch, c.cin, c.hw, c.hw), 51);
+    const Tensor w =
+        random_tensor(Shape{c.cout, c.cin / c.groups, 3, 3}, 52);
+    const Tensor bias = random_tensor(Shape{c.cout}, 53);
+    ASSERT_TRUE(conv2d_winograd_applicable(attrs, x.shape()));
+    ThreadPool pool(2);
+    const Tensor wino = conv2d_winograd(pool, x, w, bias, attrs, c.act);
+    const Tensor i2c = conv2d_im2col(pool, x, w, bias, attrs, c.act);
+    EXPECT_LT(max_rel_error(wino, i2c), 1e-3)
+        << "cin=" << c.cin << " cout=" << c.cout << " hw=" << c.hw;
+    if (!c.act) {
+      const Tensor ref = conv2d_direct(x, w, bias, attrs);
+      EXPECT_LT(max_rel_error(wino, ref), 1e-3)
+          << "cin=" << c.cin << " cout=" << c.cout << " hw=" << c.hw;
+    }
+  }
+}
+
+// ---- zero steady-state allocation ------------------------------------------
+
+TEST(WinogradTest, SteadyStateDoesNotGrowWorkspace) {
+  const auto attrs = Conv2dAttrs::square(64, 64, 3, 1, 1);
+  const Tensor x = random_tensor(Shape::nchw(2, 64, 16, 16), 61);
+  const Tensor w = random_tensor(Shape{64, 64, 3, 3}, 62);
+  const Tensor bias;
+  ThreadPool pool(3);
+  // Warm every participating arena (pool workers + caller).
+  for (int i = 0; i < 2; ++i) {
+    (void)conv2d_winograd(pool, x, w, bias, attrs);
+  }
+  const std::uint64_t grows_before = Workspace::total_grows();
+  for (int i = 0; i < 8; ++i) {
+    (void)conv2d_winograd(pool, x, w, bias, attrs);
+  }
+  EXPECT_EQ(Workspace::total_grows(), grows_before)
+      << "Winograd path allocated in steady state";
+}
+
+}  // namespace
+}  // namespace convmeter

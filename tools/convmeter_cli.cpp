@@ -25,6 +25,8 @@
 //   convmeter lint      --model x | --graph FILE | --all 1 [--image N]
 //                       [--batch N] [--training 1] [--notes 1] [--json 1]
 //                       [--strict 1]
+//   convmeter tune      [--out tuning.json] [--shapes zoo|gemm|conv]
+//                       [--trials N] [--jobs N]
 //
 // The campaign runs against any MeasurementBackend — the simulated devices
 // or the real CPU executor (`--backend real`); fit, eval and predict work
@@ -56,7 +58,10 @@
 #include "core/convmeter.hpp"
 #include "core/scalability.hpp"
 #include "exec/executor.hpp"
+#include "exec/thread_pool.hpp"
 #include "exec/trainer.hpp"
+#include "exec/tuning/autotune.hpp"
+#include "exec/tuning/tuning.hpp"
 #include "graph/dot.hpp"
 #include "graph/serialize.hpp"
 #include "metrics/metrics.hpp"
@@ -681,6 +686,24 @@ int cmd_store(const std::string& verb, const Args& args) {
   throw InvalidArgument("store verb must be info, merge, import, or export");
 }
 
+int cmd_tune(const Args& args) {
+  tuning::AutotuneOptions opts;
+  opts.shapes = args.get("shapes", "zoo");
+  opts.trials = static_cast<int>(args.get_int("trials", 3));
+  ThreadPool pool(static_cast<std::size_t>(args.get_int("jobs", 0)));
+  std::cout << "device: " << tuning::device_fingerprint() << '\n'
+            << "sweeping " << opts.shapes << " shapes, median of "
+            << opts.trials << " runs per candidate...\n";
+  std::string report;
+  const tuning::TuningTable table = tuning::autotune(pool, opts, &report);
+  std::cout << report;
+  const std::string out = args.get("out", "tuning.json");
+  tuning::save_tuning_file(table, out);
+  std::cout << "wrote " << out
+            << " (point CONVMETER_TUNING_FILE at it to use it)\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: convmeter <command> [--option value ...]\n"
@@ -719,7 +742,9 @@ int usage() {
       "              [--counters 0|1] [--json 1] [--out FILE] [--top N]\n"
       "  lint        --model NAME | --graph FILE | --all 1 [--image N]\n"
       "              [--batch N] [--training 1] [--notes 1] [--json 1]\n"
-      "              [--strict 1] [--budget-mb N]\n";
+      "              [--strict 1] [--budget-mb N]\n"
+      "  tune        [--out tuning.json] [--shapes zoo|gemm|conv]\n"
+      "              [--trials N] [--jobs N]\n";
   return 2;
 }
 
@@ -757,6 +782,7 @@ int run(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "profile") return cmd_profile(args);
   if (cmd == "lint") return cmd_lint(args);
+  if (cmd == "tune") return cmd_tune(args);
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();
 }
