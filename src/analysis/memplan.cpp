@@ -1,0 +1,609 @@
+// Static liveness and memory-plan folding. The allocation model mirrors
+// Executor::run and Trainer::step exactly — see the header comment and
+// DESIGN.md section 16 for the accounting derivation; memplan_test.cpp pins
+// the mirror against measured allocation accounting for the whole zoo.
+#include "analysis/memplan.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "exec/kernels.hpp"
+#include "graph/ops.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace convmeter::analysis {
+
+namespace {
+
+std::uint64_t shape_bytes(const std::optional<Shape>& s) {
+  if (!s.has_value()) return 0;
+  return static_cast<std::uint64_t>(s->numel()) * sizeof(float);
+}
+
+/// Per-node consumer counts over in-range edges.
+std::vector<std::size_t> count_consumers(const Graph& g) {
+  std::vector<std::size_t> consumers(g.size(), 0);
+  for (const Node& n : g.nodes()) {
+    for (const NodeId in : n.inputs) {
+      ++consumers[static_cast<std::size_t>(in)];
+    }
+  }
+  return consumers;
+}
+
+/// The unique consumer-less node, or -1 when there are several (the
+/// executor would reject such a graph; the plan stays conservative).
+NodeId unique_sink(const Graph& g, const std::vector<std::size_t>& consumers) {
+  NodeId sink = -1;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (consumers[i] == 0) {
+      ++count;
+      sink = static_cast<NodeId>(i);
+    }
+  }
+  return count == 1 ? sink : -1;
+}
+
+/// One copy of the node's parameter tensors, in bytes. This is both the
+/// trainer's per-copy ParamState size (x3 with Adam moments) and the
+/// executor's per-node transient weight size for conv/linear/norm/attention.
+std::uint64_t param_bytes_one(const Node& n) {
+  switch (n.kind) {
+    case OpKind::kConv2d: {
+      const auto* a = std::get_if<Conv2dAttrs>(&n.attrs);
+      if (a == nullptr || a->groups <= 0) return 0;
+      const std::int64_t w =
+          a->out_channels * (a->in_channels / a->groups) * a->kernel_h *
+          a->kernel_w;
+      return static_cast<std::uint64_t>(w + (a->bias ? a->out_channels : 0)) *
+             sizeof(float);
+    }
+    case OpKind::kLinear: {
+      const auto* a = std::get_if<LinearAttrs>(&n.attrs);
+      if (a == nullptr) return 0;
+      const std::int64_t w = a->out_features * a->in_features;
+      return static_cast<std::uint64_t>(w + (a->bias ? a->out_features : 0)) *
+             sizeof(float);
+    }
+    case OpKind::kBatchNorm2d: {
+      const auto* a = std::get_if<BatchNorm2dAttrs>(&n.attrs);
+      return a == nullptr ? 0
+                          : static_cast<std::uint64_t>(2 * a->channels) *
+                                sizeof(float);
+    }
+    case OpKind::kLayerNorm: {
+      const auto* a = std::get_if<LayerNormAttrs>(&n.attrs);
+      return a == nullptr
+                 ? 0
+                 : static_cast<std::uint64_t>(2 * a->dim) * sizeof(float);
+    }
+    case OpKind::kSelfAttention: {
+      const auto* a = std::get_if<SelfAttentionAttrs>(&n.attrs);
+      if (a == nullptr) return 0;
+      const std::int64_t d = a->embed_dim;
+      return static_cast<std::uint64_t>(3 * d * d + 3 * d + d * d + d) *
+             sizeof(float);
+    }
+    case OpKind::kInput:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kFlatten:
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat:
+    case OpKind::kDropout:
+    case OpKind::kToTokens:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
+      return 0;
+  }
+  return 0;
+}
+
+/// Transient weight tensors Executor::run materializes while the node runs
+/// (regenerated per node, freed at the end of the switch case).
+std::uint64_t exec_weight_bytes(const Node& n,
+                                const std::vector<std::optional<Shape>>& shapes) {
+  switch (n.kind) {
+    case OpKind::kConv2d:
+    case OpKind::kLinear:
+    case OpKind::kSelfAttention:
+      return param_bytes_one(n);
+    case OpKind::kBatchNorm2d: {
+      // gamma/beta/mean/var: four length-C constants.
+      const auto* a = std::get_if<BatchNorm2dAttrs>(&n.attrs);
+      return a == nullptr ? 0
+                          : static_cast<std::uint64_t>(4 * a->channels) *
+                                sizeof(float);
+    }
+    case OpKind::kLayerNorm:
+      return param_bytes_one(n);  // gamma + beta
+    case OpKind::kToTokens: {
+      const auto* a = std::get_if<ToTokensAttrs>(&n.attrs);
+      if (a == nullptr || !a->cls_token || n.inputs.empty()) return 0;
+      const auto& in = shapes[static_cast<std::size_t>(n.inputs[0])];
+      if (!in.has_value() || in->rank() != 4) return 0;
+      return static_cast<std::uint64_t>(in->channels()) * sizeof(float);
+    }
+    case OpKind::kInput:
+    case OpKind::kActivation:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kFlatten:
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kConcat:
+    case OpKind::kDropout:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
+      return 0;
+  }
+  return 0;
+}
+
+/// Kernel-internal transient tensors during the forward computation:
+/// self_attention allocates a (B, T, 3D) QKV projection and a (B, T, D)
+/// context tensor before the output projection; concat copies each operand
+/// into a local vector.
+std::uint64_t forward_internal_bytes(
+    const Node& n, const std::vector<std::optional<Shape>>& shapes) {
+  if (n.kind == OpKind::kSelfAttention) {
+    // qkv (3u) + ctx (u) where u is the (B, T, D) output size.
+    return 4 * shape_bytes(shapes[static_cast<std::size_t>(n.id)]);
+  }
+  if (n.kind == OpKind::kConcat) {
+    std::uint64_t total = 0;
+    for (const NodeId in : n.inputs) {
+      total += shape_bytes(shapes[static_cast<std::size_t>(in)]);
+    }
+    return total;
+  }
+  return 0;
+}
+
+/// Per-thread workspace bytes the node's kernels reserve. `training` adds
+/// the backward-pass reserves on top of the forward formulas; the forward
+/// conv formula also differs (the trainer always runs im2col, the executor
+/// dispatches im2col or Winograd per the tuning file).
+std::uint64_t workspace_bytes_for(const Node& n,
+                                  const std::vector<std::optional<Shape>>& shapes,
+                                  bool training) {
+  std::size_t floats = 0;
+  if (n.kind == OpKind::kConv2d) {
+    const auto* a = std::get_if<Conv2dAttrs>(&n.attrs);
+    if (a == nullptr || n.inputs.empty()) return 0;
+    const auto& in = shapes[static_cast<std::size_t>(n.inputs[0])];
+    if (!in.has_value()) return 0;
+    if (a->groups <= 0 || a->in_channels <= 0 ||
+        a->in_channels % a->groups != 0) {
+      return 0;
+    }
+    try {
+      floats = training
+                   ? kernel_detail::conv2d_workspace_floats(*a, *in)
+                   : kernel_detail::conv2d_forward_workspace_floats(*a, *in);
+    } catch (const Error&) {
+      return 0;
+    }
+    if (training) {
+      // conv2d_backward: two (patch x col_tile) column tiles + packing
+      // panels, with the same col_tile formula the kernel uses.
+      const auto patch = static_cast<std::size_t>(
+          a->in_channels / a->groups * a->kernel_h * a->kernel_w);
+      const std::size_t col_tile = std::max<std::size_t>(
+          (64 * 1024) / std::max<std::size_t>(patch, 1), 16);
+      const std::size_t bwd = 2 * patch * col_tile +
+                              kernel_detail::pack_a_floats() +
+                              kernel_detail::pack_b_floats();
+      floats = std::max(floats, bwd);
+    }
+  } else if (n.kind == OpKind::kLinear) {
+    floats = kernel_detail::gemm_workspace_floats();
+  } else if (n.kind == OpKind::kSelfAttention) {
+    const auto* a = std::get_if<SelfAttentionAttrs>(&n.attrs);
+    if (a == nullptr || n.inputs.empty()) return 0;
+    const auto& in = shapes[static_cast<std::size_t>(n.inputs[0])];
+    if (!in.has_value()) return 0;
+    if (a->embed_dim <= 0 || a->num_heads <= 0 ||
+        a->embed_dim % a->num_heads != 0) {
+      return 0;
+    }
+    try {
+      floats = kernel_detail::self_attention_workspace_floats(*a, *in);
+    } catch (const Error&) {
+      return 0;
+    }
+    if (training && in->rank() == 3) {
+      // self_attention_backward: a (T x T) probability tile and its
+      // gradient + packing panels.
+      const auto tokens = static_cast<std::size_t>(in->dim(1));
+      floats = std::max(floats, 2 * tokens * tokens +
+                                    kernel_detail::pack_a_floats() +
+                                    kernel_detail::pack_b_floats());
+    }
+  } else {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(floats) * sizeof(float);
+}
+
+/// Pure-transient bytes of the node's backward step: allocations that are
+/// freed before the backward pass ends and therefore sit on top of the
+/// end-of-backward live set. self_attention_backward recomputes qkv/ctx and
+/// holds dctx/dqkv (8u total); accumulating a gradient into an
+/// already-filled slot (multi-consumer producer) briefly holds the old
+/// slot, the incoming gradient, and their sum at once.
+std::uint64_t backward_transient_bytes(
+    const Node& n, const std::vector<std::optional<Shape>>& shapes,
+    const std::vector<std::size_t>& consumers) {
+  std::uint64_t total = 0;
+  if (n.kind == OpKind::kSelfAttention) {
+    total += 8 * shape_bytes(shapes[static_cast<std::size_t>(n.id)]);
+  }
+  std::uint64_t collisions = 0;
+  for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+    const auto src = static_cast<std::size_t>(n.inputs[i]);
+    bool repeated = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (n.inputs[j] == n.inputs[i]) repeated = true;
+    }
+    if (repeated) continue;
+    if (consumers[src] > 1) collisions += 2 * shape_bytes(shapes[src]);
+  }
+  return total + collisions;
+}
+
+bool elementwise(OpKind kind) {
+  switch (kind) {
+    case OpKind::kActivation:
+    case OpKind::kDropout:
+    case OpKind::kAdd:
+    case OpKind::kMultiply:
+    case OpKind::kBatchNorm2d:
+    case OpKind::kLayerNorm:
+      return true;
+    case OpKind::kInput:
+    case OpKind::kConv2d:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+    case OpKind::kAdaptiveAvgPool2d:
+    case OpKind::kLinear:
+    case OpKind::kFlatten:
+    case OpKind::kConcat:
+    case OpKind::kToTokens:
+    case OpKind::kSelfAttention:
+    case OpKind::kSelectToken:
+    case OpKind::kTransposeTokens:
+    case OpKind::kSliceChannels:
+    case OpKind::kChannelShuffle:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<TensorLifetime> compute_lifetimes(
+    const Graph& g, const std::vector<std::optional<Shape>>& shapes,
+    bool training) {
+  const std::size_t size = g.size();
+  const std::vector<std::size_t> consumers = count_consumers(g);
+  const NodeId sink = unique_sink(g, consumers);
+
+  std::vector<TensorLifetime> lifetimes(size);
+  for (const Node& n : g.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    lifetimes[i].def = n.id;
+    lifetimes[i].bytes = shape_bytes(shapes[i]);
+    lifetimes[i].pinned = training;
+  }
+  for (const Node& n : g.nodes()) {
+    for (const NodeId in : n.inputs) {
+      auto& lt = lifetimes[static_cast<std::size_t>(in)];
+      lt.last_use = std::max(lt.last_use, n.id);
+    }
+  }
+  if (training) {
+    // Every activation is saved for the backward pass: held to the end.
+    for (auto& lt : lifetimes) lt.last_use = -1;
+    return lifetimes;
+  }
+
+  // Conv/linear -> activation fusion aliases the activation onto its
+  // producer's buffer: the activation allocates nothing, and the producer's
+  // buffer lives until the activation's own last consumer. Same rule as
+  // plan_fused_activations (cross-checked by the fusion pass).
+  for (const Node& n : g.nodes()) {
+    if (n.kind != OpKind::kActivation || n.inputs.size() != 1) continue;
+    const NodeId src = n.inputs[0];
+    const Node& producer = g.node(src);
+    if (producer.kind != OpKind::kConv2d && producer.kind != OpKind::kLinear) {
+      continue;
+    }
+    if (consumers[static_cast<std::size_t>(src)] != 1) continue;
+    if (src == sink) continue;
+    auto& act = lifetimes[static_cast<std::size_t>(n.id)];
+    auto& prod = lifetimes[static_cast<std::size_t>(src)];
+    act.alias = true;
+    act.bytes = 0;
+    prod.last_use = act.last_use;
+  }
+  return lifetimes;
+}
+
+MemPlan fold_memplan(const Graph& g, const Shape& input_shape,
+                     const std::vector<std::optional<Shape>>& shapes,
+                     const std::vector<TensorLifetime>& lifetimes,
+                     bool training) {
+  MemPlan plan;
+  plan.training = training;
+  plan.input_shape = input_shape;
+  plan.lifetimes = lifetimes;
+  plan.input_bytes =
+      static_cast<std::uint64_t>(input_shape.numel()) * sizeof(float);
+  plan.timeline.reserve(g.size());
+  const std::vector<std::size_t> consumers = count_consumers(g);
+
+  if (!training) {
+    // Inference mirrors Executor::run with free-after-last-consumer:
+    // live-before + output + transients peaks while the node runs, then
+    // every buffer whose lifetime ends here is released. Freeing must index
+    // by lifetime end rather than by the node's input list: a fused
+    // producer's buffer outlives its only direct consumer (the aliasing
+    // activation) and dies at the alias's last consumer, which does not
+    // list the producer among its inputs.
+    std::vector<std::uint64_t> dies_at(g.size(), 0);
+    for (const TensorLifetime& lt : lifetimes) {
+      if (lt.last_use >= 0) {
+        dies_at[static_cast<std::size_t>(lt.last_use)] += lt.bytes;
+      }
+    }
+    std::uint64_t live = plan.input_bytes;
+    for (const Node& n : g.nodes()) {
+      const auto i = static_cast<std::size_t>(n.id);
+      MemStep step;
+      step.node = n.id;
+      step.alloc_bytes = lifetimes[i].bytes;  // 0 for fused aliases
+      step.transient_bytes = exec_weight_bytes(n, shapes) +
+                             forward_internal_bytes(n, shapes);
+      step.workspace_bytes = workspace_bytes_for(n, shapes, false);
+      const std::uint64_t candidate =
+          live + step.alloc_bytes + step.transient_bytes;
+      if (candidate > plan.peak_bytes) {
+        plan.peak_bytes = candidate;
+        plan.peak_node = n.id;
+      }
+      step.freed_bytes = dies_at[i];
+      live += step.alloc_bytes;
+      live -= std::min(live, step.freed_bytes);
+      step.live_bytes = live;
+      if (step.workspace_bytes > plan.workspace_bytes) {
+        plan.workspace_bytes = step.workspace_bytes;
+        plan.workspace_peak_node = n.id;
+      }
+      plan.timeline.push_back(step);
+    }
+
+    // Reuse report: elementwise nodes whose (alias-resolved) input buffer
+    // dies exactly at them and matches the output size could run in place.
+    for (const Node& n : g.nodes()) {
+      const auto i = static_cast<std::size_t>(n.id);
+      if (!elementwise(n.kind) || lifetimes[i].alias || n.inputs.empty()) {
+        continue;
+      }
+      const std::uint64_t out_bytes = shape_bytes(shapes[i]);
+      if (out_bytes == 0) continue;
+      for (const NodeId in : n.inputs) {
+        NodeId buf = in;
+        while (lifetimes[static_cast<std::size_t>(buf)].alias &&
+               !g.node(buf).inputs.empty()) {
+          buf = g.node(buf).inputs[0];
+        }
+        const auto& lt = lifetimes[static_cast<std::size_t>(buf)];
+        if (lt.last_use == n.id && lt.bytes == out_bytes) {
+          plan.reuse.push_back({n.id, buf, out_bytes});
+          break;
+        }
+      }
+    }
+    return plan;
+  }
+
+  // Training mirrors Trainer::step. The live set only grows: every
+  // activation is pinned for the backward pass, every grad-reachable node
+  // gains an output gradient of its own size, parameters carry values +
+  // Adam m + Adam v, and parameter gradients persist until the update.
+  // The measured peak lands at the end of the backward pass; a node's
+  // backward transients (attention recompute, gradient-slot collisions)
+  // can momentarily sit on top, so the static peak adds the largest one.
+  std::uint64_t params_one = 0;
+  for (const Node& n : g.nodes()) params_one += param_bytes_one(n);
+  plan.param_bytes = 3 * params_one;
+
+  // Gradient flow: reverse reachability from the sink.
+  std::vector<bool> grad_reach(g.size(), false);
+  const NodeId sink = unique_sink(g, consumers);
+  const auto start = static_cast<std::size_t>(
+      sink >= 0 ? sink : static_cast<NodeId>(g.size()) - 1);
+  std::vector<std::size_t> stack{start};
+  grad_reach[start] = true;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (const NodeId in : g.nodes()[v].inputs) {
+      const auto w = static_cast<std::size_t>(in);
+      if (!grad_reach[w]) {
+        grad_reach[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  std::uint64_t live = plan.input_bytes + plan.param_bytes;
+  std::uint64_t max_transient = 0;
+  NodeId max_transient_node = sink >= 0 ? sink : -1;
+  for (const Node& n : g.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    MemStep step;
+    step.node = n.id;
+    const std::uint64_t out_bytes = shape_bytes(shapes[i]);
+    step.alloc_bytes = out_bytes;  // the pinned activation
+    if (grad_reach[i]) {
+      // Output gradient + parameter gradients, held through the update.
+      const std::uint64_t pg = param_bytes_one(n);
+      step.alloc_bytes += out_bytes + pg;
+      plan.grad_bytes += out_bytes + pg;
+    }
+    const std::uint64_t fwd_t =
+        forward_internal_bytes(n, shapes) +
+        (n.kind == OpKind::kBatchNorm2d || n.kind == OpKind::kToTokens
+             ? exec_weight_bytes(n, shapes) - param_bytes_one(n)
+             : 0);
+    const std::uint64_t bwd_t =
+        grad_reach[i] ? backward_transient_bytes(n, shapes, consumers) : 0;
+    step.transient_bytes = std::max(fwd_t, bwd_t);
+    step.workspace_bytes = workspace_bytes_for(n, shapes, true);
+    live += step.alloc_bytes;
+    step.live_bytes = live;
+    if (step.transient_bytes > max_transient) {
+      max_transient = step.transient_bytes;
+      max_transient_node = n.id;
+    }
+    if (step.workspace_bytes > plan.workspace_bytes) {
+      plan.workspace_bytes = step.workspace_bytes;
+      plan.workspace_peak_node = n.id;
+    }
+    plan.timeline.push_back(step);
+  }
+  plan.peak_bytes = live + max_transient;
+  plan.peak_node = max_transient_node;
+  return plan;
+}
+
+MemPlan plan_memory(const Graph& graph, const Shape& input_shape,
+                    bool training) {
+  const ShapeMap shape_map = infer_shapes(graph, input_shape);
+  std::vector<std::optional<Shape>> shapes(shape_map.begin(),
+                                           shape_map.end());
+  const std::vector<TensorLifetime> lifetimes =
+      compute_lifetimes(graph, shapes, training);
+  return fold_memplan(graph, input_shape, shapes, lifetimes, training);
+}
+
+std::string format_mib(std::uint64_t bytes) {
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f MiB", mib);
+  return buf;
+}
+
+std::string render_memplan_text(const Graph& graph, const MemPlan& plan) {
+  std::ostringstream out;
+  out << "memory plan for graph '" << graph.name() << "' ("
+      << (plan.training ? "training" : "inference") << ", input "
+      << plan.input_shape.to_string() << ")\n";
+  out << "  peak tensors:    " << format_mib(plan.peak_bytes);
+  if (plan.peak_node >= 0) {
+    out << "  at node " << plan.peak_node << " '"
+        << graph.node(plan.peak_node).name << "'";
+  }
+  out << "\n  peak workspace:  " << format_mib(plan.workspace_bytes);
+  if (plan.workspace_peak_node >= 0) {
+    out << "  at node " << plan.workspace_peak_node << " '"
+        << graph.node(plan.workspace_peak_node).name << "'";
+  }
+  out << "\n  total peak:      " << format_mib(plan.total_peak_bytes())
+      << "\n  input:           " << format_mib(plan.input_bytes) << "\n";
+  if (plan.training) {
+    out << "  parameter state: " << format_mib(plan.param_bytes)
+        << " (values + Adam moments)\n"
+        << "  gradients:       " << format_mib(plan.grad_bytes) << "\n";
+  }
+
+  ConsoleTable table({"Node", "Name", "Op", "Alloc", "Transient", "Freed",
+                      "Live", "Workspace"});
+  for (const MemStep& s : plan.timeline) {
+    const Node& n = graph.node(s.node);
+    table.add_row({std::to_string(s.node), n.name, op_kind_name(n.kind),
+                   format_mib(s.alloc_bytes), format_mib(s.transient_bytes),
+                   format_mib(s.freed_bytes), format_mib(s.live_bytes),
+                   format_mib(s.workspace_bytes)});
+  }
+  table.print(out);
+
+  if (!plan.reuse.empty()) {
+    out << "in-place reuse opportunities:\n";
+    for (const ReuseOpportunity& r : plan.reuse) {
+      out << "  node " << r.node << " '" << graph.node(r.node).name
+          << "' could reuse the buffer of node " << r.input << " (saves "
+          << format_mib(r.bytes) << ")\n";
+    }
+  } else {
+    out << "no in-place reuse opportunities\n";
+  }
+  return out.str();
+}
+
+std::string render_memplan_json(const Graph& graph, const MemPlan& plan) {
+  json::Value::Object root;
+  root["graph"] = json::Value(graph.name());
+  root["phase"] = json::Value(plan.training ? std::string("training")
+                                            : std::string("inference"));
+  root["input_shape"] = json::Value(plan.input_shape.to_string());
+  root["input_bytes"] = json::Value(static_cast<double>(plan.input_bytes));
+  root["param_bytes"] = json::Value(static_cast<double>(plan.param_bytes));
+  root["grad_bytes"] = json::Value(static_cast<double>(plan.grad_bytes));
+  root["peak_bytes"] = json::Value(static_cast<double>(plan.peak_bytes));
+  root["peak_node"] = json::Value(static_cast<double>(plan.peak_node));
+  root["workspace_bytes"] =
+      json::Value(static_cast<double>(plan.workspace_bytes));
+  root["workspace_peak_node"] =
+      json::Value(static_cast<double>(plan.workspace_peak_node));
+  root["total_peak_bytes"] =
+      json::Value(static_cast<double>(plan.total_peak_bytes()));
+
+  json::Value::Array timeline;
+  timeline.reserve(plan.timeline.size());
+  for (const MemStep& s : plan.timeline) {
+    json::Value::Object o;
+    o["node"] = json::Value(static_cast<double>(s.node));
+    o["name"] = json::Value(graph.node(s.node).name);
+    o["op"] = json::Value(op_kind_name(graph.node(s.node).kind));
+    o["alloc_bytes"] = json::Value(static_cast<double>(s.alloc_bytes));
+    o["transient_bytes"] =
+        json::Value(static_cast<double>(s.transient_bytes));
+    o["freed_bytes"] = json::Value(static_cast<double>(s.freed_bytes));
+    o["live_bytes"] = json::Value(static_cast<double>(s.live_bytes));
+    o["workspace_bytes"] =
+        json::Value(static_cast<double>(s.workspace_bytes));
+    timeline.emplace_back(std::move(o));
+  }
+  root["timeline"] = json::Value(std::move(timeline));
+
+  json::Value::Array reuse;
+  reuse.reserve(plan.reuse.size());
+  for (const ReuseOpportunity& r : plan.reuse) {
+    json::Value::Object o;
+    o["node"] = json::Value(static_cast<double>(r.node));
+    o["input"] = json::Value(static_cast<double>(r.input));
+    o["bytes"] = json::Value(static_cast<double>(r.bytes));
+    reuse.emplace_back(std::move(o));
+  }
+  root["reuse"] = json::Value(std::move(reuse));
+  return json::dump(json::Value(std::move(root)));
+}
+
+}  // namespace convmeter::analysis

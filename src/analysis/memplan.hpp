@@ -1,0 +1,113 @@
+// Whole-schedule static memory analysis: tensor liveness + a byte-accurate
+// memory timeline.
+//
+// compute_lifetimes derives, for every node's output buffer, the schedule
+// step after which the executor releases it (inference frees after the last
+// consumer; training pins every activation for the backward pass), honoring
+// the conv->activation fusion aliasing the executor applies. fold_memplan
+// folds those lifetimes into a memory plan: per-step alloc/free/live bytes,
+// the peak and its node, the per-thread workspace high-water mark, and an
+// in-place/reuse opportunity report.
+//
+// The model mirrors Executor::run (inference) and Trainer::step (training)
+// allocation by allocation — transient weight tensors, kernel-internal
+// scratch tensors (attention QKV/context, concat operand copies), gradient
+// and optimizer state, and the same workspace formulas the kernels reserve
+// with. memplan_test.cpp enforces the mirror: for every zoo model in both
+// phases, the static peak must be >= the measured allocation-accounting
+// peak and within a tightness bound of it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/shape.hpp"
+
+namespace convmeter::analysis {
+
+/// Static lifetime of one node's output buffer over the topological
+/// schedule.
+struct TensorLifetime {
+  NodeId def = -1;       ///< producing node
+  NodeId last_use = -1;  ///< freed after this node runs; -1 = held to the end
+  bool pinned = false;   ///< training: saved for the backward pass
+  bool alias = false;    ///< fused activation: takes over the producer's buffer
+  std::uint64_t bytes = 0;  ///< buffer size; 0 when the shape is unknown
+};
+
+/// One schedule step of the memory timeline.
+struct MemStep {
+  NodeId node = -1;
+  std::uint64_t alloc_bytes = 0;      ///< persistent allocations this step adds
+  std::uint64_t transient_bytes = 0;  ///< live only while the node runs
+  std::uint64_t freed_bytes = 0;      ///< buffers whose last use is this step
+  std::uint64_t live_bytes = 0;       ///< live after the step (excl. transients)
+  std::uint64_t workspace_bytes = 0;  ///< per-thread arena requirement
+};
+
+/// An elementwise node whose input buffer dies exactly at its output: the
+/// op could run in place, saving `bytes` of peak memory.
+struct ReuseOpportunity {
+  NodeId node = -1;
+  NodeId input = -1;
+  std::uint64_t bytes = 0;
+};
+
+/// The folded memory plan for one (graph, input shape, phase).
+struct MemPlan {
+  bool training = false;
+  Shape input_shape;
+  std::vector<TensorLifetime> lifetimes;
+  std::vector<MemStep> timeline;
+
+  std::uint64_t input_bytes = 0;  ///< the externally supplied input tensor
+  /// Training only: persistent parameter state (values + Adam m + Adam v).
+  std::uint64_t param_bytes = 0;
+  /// Training only: activation gradients + parameter gradients.
+  std::uint64_t grad_bytes = 0;
+
+  std::uint64_t peak_bytes = 0;  ///< tensor peak incl. input/params/transients
+  NodeId peak_node = -1;
+  std::uint64_t workspace_bytes = 0;  ///< per-thread arena high-water mark
+  NodeId workspace_peak_node = -1;
+
+  std::vector<ReuseOpportunity> reuse;
+
+  /// Tensor peak plus one thread's workspace arena: the static bound the
+  /// lint budget check and the campaign peak_mem_bytes column use.
+  std::uint64_t total_peak_bytes() const {
+    return peak_bytes + workspace_bytes;
+  }
+};
+
+/// Per-node output lifetimes over the schedule. Requires a graph whose
+/// edges are in range, ordered, and acyclic; `shapes` may hold nullopt for
+/// nodes whose shape could not be derived (their bytes stay 0).
+std::vector<TensorLifetime> compute_lifetimes(
+    const Graph& graph, const std::vector<std::optional<Shape>>& shapes,
+    bool training);
+
+/// Folds lifetimes into the full memory plan (same preconditions).
+MemPlan fold_memplan(const Graph& graph, const Shape& input_shape,
+                     const std::vector<std::optional<Shape>>& shapes,
+                     const std::vector<TensorLifetime>& lifetimes,
+                     bool training);
+
+/// Convenience for valid graphs: infers shapes, computes lifetimes, folds.
+/// Throws InvalidArgument when shape inference rejects the graph.
+MemPlan plan_memory(const Graph& graph, const Shape& input_shape,
+                    bool training);
+
+/// "12.34 MiB" with two decimals.
+std::string format_mib(std::uint64_t bytes);
+
+/// Human-readable plan: summary, per-step timeline table, reuse report.
+std::string render_memplan_text(const Graph& graph, const MemPlan& plan);
+
+/// Machine-readable plan mirroring the text renderer's content.
+std::string render_memplan_json(const Graph& graph, const MemPlan& plan);
+
+}  // namespace convmeter::analysis

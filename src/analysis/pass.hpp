@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/memplan.hpp"
 #include "graph/graph.hpp"
 #include "tensor/shape.hpp"
 
@@ -29,11 +30,26 @@ struct VerifyOptions {
   /// Audit the graph for training-time hazards (gradient-reduction
   /// determinism, stochastic ops) in addition to the forward-pass checks.
   bool training = false;
-  /// Budget for the static per-thread workspace bound; an op whose
-  /// worst-case arena requirement exceeds it is an error.
-  std::uint64_t workspace_budget_bytes = 1ull << 30;  // 1 GiB
+  /// Explicit budget for the static per-thread workspace bound; an op
+  /// whose worst-case arena requirement exceeds it is an error. When unset
+  /// the budget derives from `device_memory_bytes` (falling back to 1 GiB
+  /// when no device is in scope either).
+  std::optional<std::uint64_t> workspace_budget_bytes;
+  /// Memory capacity of the active device (DeviceSpec::memory_bytes), or 0
+  /// when none is in scope. Default source of the workspace budget.
+  std::uint64_t device_memory_bytes = 0;
+  /// Whole-model memory budget for the memplan pass: when nonzero, a model
+  /// whose static peak (tensors + workspace) exceeds it is an error.
+  std::uint64_t memory_budget_bytes = 0;
   /// Emit note-severity findings (missed fusions, workspace peak, ...).
   bool include_notes = true;
+
+  /// The workspace budget actually enforced: the explicit override if set,
+  /// else the active device's memory, else 1 GiB.
+  std::uint64_t effective_workspace_budget() const {
+    if (workspace_budget_bytes.has_value()) return *workspace_budget_bytes;
+    return device_memory_bytes != 0 ? device_memory_bytes : (1ull << 30);
+  }
 };
 
 /// Shared facts about one graph, computed once per verification run.
@@ -54,6 +70,10 @@ struct VerifyContext {
   /// Per node: the InvalidArgument message shape derivation raised, or ""
   /// when it succeeded or was skipped for lack of input shapes.
   std::vector<std::string> shape_errors = {};
+
+  /// Per node: static lifetime of its output buffer over the schedule
+  /// (analysis/memplan.hpp). Empty unless ids_ok && ordered && acyclic.
+  std::vector<TensorLifetime> lifetimes = {};
 
   bool ids_ok = true;   ///< no dangling edge anywhere
   bool ordered = true;  ///< every producer id precedes its consumer
@@ -76,7 +96,8 @@ class Pass {
 };
 
 /// The default verification pipeline in execution order: structure,
-/// dataflow, reachability, attrs, shapes, fusion, workspace, determinism.
+/// dataflow, reachability, attrs, shapes, fusion, workspace, liveness,
+/// memplan, determinism.
 std::vector<std::unique_ptr<Pass>> default_passes();
 
 }  // namespace convmeter::analysis

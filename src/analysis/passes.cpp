@@ -731,12 +731,18 @@ class WorkspacePass : public Pass {
         continue;
       }
       const std::size_t bytes = floats * sizeof(float);
-      if (bytes > ctx.options.workspace_budget_bytes) {
+      const std::uint64_t budget = ctx.options.effective_workspace_budget();
+      if (bytes > budget) {
         sink.report(Severity::kError, "workspace.over_budget", name(), n.id,
                     n.name,
                     "worst-case per-thread workspace is " +
                         std::to_string(bytes) + " bytes, budget is " +
-                        std::to_string(ctx.options.workspace_budget_bytes),
+                        std::to_string(budget) +
+                        (ctx.options.workspace_budget_bytes.has_value()
+                             ? ""
+                             : ctx.options.device_memory_bytes != 0
+                                   ? " (derived from the active device)"
+                                   : " (default)"),
                     "shrink the layer or raise "
                     "VerifyOptions::workspace_budget_bytes");
       }
@@ -750,6 +756,95 @@ class WorkspacePass : public Pass {
                   g.node(peak_node).name,
                   "worst-case per-thread workspace across the graph: " +
                       std::to_string(peak_bytes) + " bytes");
+    }
+  }
+};
+
+// ---- liveness ------------------------------------------------------------
+
+/// Liveness audit over the precomputed per-edge lifetimes: reports how much
+/// activation memory the training phase pins for the backward pass (the
+/// inference schedule would have freed it mid-run).
+class LivenessPass : public Pass {
+ public:
+  std::string name() const override { return "liveness"; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    if (ctx.lifetimes.empty() || !ctx.options.training ||
+        !ctx.options.include_notes) {
+      return;
+    }
+    // What inference liveness would free early vs. what training pins.
+    const std::vector<TensorLifetime> inference_lt =
+        compute_lifetimes(ctx.graph, ctx.shapes, /*training=*/false);
+    std::uint64_t pinned_bytes = 0;
+    std::size_t pinned_count = 0;
+    NodeId largest = -1;
+    std::uint64_t largest_bytes = 0;
+    for (std::size_t i = 0; i < ctx.lifetimes.size(); ++i) {
+      if (!ctx.lifetimes[i].pinned) continue;
+      if (inference_lt[i].last_use < 0 && !inference_lt[i].alias) {
+        continue;  // held to the end under inference too
+      }
+      const std::uint64_t bytes = ctx.lifetimes[i].bytes;
+      if (bytes == 0) continue;
+      pinned_bytes += bytes;
+      ++pinned_count;
+      if (bytes > largest_bytes) {
+        largest_bytes = bytes;
+        largest = static_cast<NodeId>(i);
+      }
+    }
+    if (pinned_count == 0) return;
+    sink.report(Severity::kNote, "liveness.pinned", name(), largest,
+                largest >= 0 ? ctx.graph.node(largest).name : "",
+                std::to_string(pinned_count) +
+                    " activation(s) totalling " + format_mib(pinned_bytes) +
+                    " are pinned for the backward pass; inference liveness "
+                    "would free them mid-run (largest shown)");
+  }
+};
+
+// ---- memplan -------------------------------------------------------------
+
+/// Folds the liveness lifetimes into the byte-accurate memory timeline and
+/// checks it against the configured whole-model budget.
+class MemPlanPass : public Pass {
+ public:
+  std::string name() const override { return "memplan"; }
+
+  void run(const VerifyContext& ctx, DiagnosticSink& sink) const override {
+    if (ctx.lifetimes.empty()) return;  // liveness unavailable
+    const MemPlan plan =
+        fold_memplan(ctx.graph, ctx.input_shape, ctx.shapes, ctx.lifetimes,
+                     ctx.options.training);
+    if (ctx.options.memory_budget_bytes != 0 &&
+        plan.total_peak_bytes() > ctx.options.memory_budget_bytes) {
+      sink.report(
+          Severity::kError, "memplan.over_budget", name(), plan.peak_node,
+          plan.peak_node >= 0 ? ctx.graph.node(plan.peak_node).name : "",
+          "static peak memory is " + format_mib(plan.total_peak_bytes()) +
+              " (" + std::to_string(plan.total_peak_bytes()) +
+              " bytes) but the budget is " +
+              format_mib(ctx.options.memory_budget_bytes),
+          ctx.options.training
+              ? "reduce the batch/resolution or train on a larger device"
+              : "reduce the batch/resolution or run on a larger device");
+    }
+    if (!ctx.options.include_notes) return;
+    if (plan.peak_node >= 0) {
+      sink.report(Severity::kNote, "memplan.peak", name(), plan.peak_node,
+                  ctx.graph.node(plan.peak_node).name,
+                  "static peak memory: " + format_mib(plan.peak_bytes) +
+                      " tensors + " + format_mib(plan.workspace_bytes) +
+                      " workspace = " + format_mib(plan.total_peak_bytes()));
+    }
+    for (const ReuseOpportunity& r : plan.reuse) {
+      sink.report(Severity::kNote, "memplan.reuse", name(), r.node,
+                  ctx.graph.node(r.node).name,
+                  "input buffer of node " + std::to_string(r.input) +
+                      " dies here and matches the output size; running in "
+                      "place would save " + format_mib(r.bytes));
     }
   }
 };
@@ -805,6 +900,8 @@ std::vector<std::unique_ptr<Pass>> default_passes() {
   passes.push_back(std::make_unique<ShapePass>());
   passes.push_back(std::make_unique<FusionPass>());
   passes.push_back(std::make_unique<WorkspacePass>());
+  passes.push_back(std::make_unique<LivenessPass>());
+  passes.push_back(std::make_unique<MemPlanPass>());
   passes.push_back(std::make_unique<DeterminismPass>());
   return passes;
 }

@@ -150,6 +150,12 @@ VerifyContext build_context(const Graph& graph, const VerifyOptions& options) {
       ctx.shape_errors[i] = e.what();
     }
   }
+
+  // Static liveness needs a well-formed schedule; the structure/dataflow
+  // passes own diagnosing graphs that lack one.
+  if (ctx.ids_ok && ctx.ordered && ctx.acyclic) {
+    ctx.lifetimes = compute_lifetimes(graph, ctx.shapes, options.training);
+  }
   return ctx;
 }
 

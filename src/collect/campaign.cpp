@@ -25,6 +25,20 @@ namespace convmeter {
 
 namespace {
 
+/// Static whole-model peak (tensors + one workspace arena) for the point's
+/// phase, computed at enumeration time so the column is identical across
+/// --jobs values and shards. Defensive 0 when the planner cannot derive a
+/// plan (enumeration already filtered infeasible points).
+double static_peak_mem_bytes(const Graph& graph, const Shape& shape,
+                             bool training) {
+  try {
+    return static_cast<double>(
+        analysis::plan_memory(graph, shape, training).total_peak_bytes());
+  } catch (const Error&) {
+    return 0.0;
+  }
+}
+
 /// One enumerated sweep point: everything a worker needs to produce its
 /// repetitions without touching shared mutable state. The graph pointer is
 /// shared so a point survives the GraphCache evicting its entry mid-sweep.
@@ -370,6 +384,8 @@ std::vector<RuntimeSample> run_inference_campaign(
         p.graph = graph;
         p.base = base;
         p.base.global_batch = batch;
+        p.base.peak_mem_bytes =
+            static_peak_mem_bytes(*graph, shape, /*training=*/false);
         p.shape = shape;
         points.push_back(std::move(p));
       }
@@ -406,6 +422,8 @@ std::vector<RuntimeSample> run_training_campaign(
       for (const std::int64_t batch : sweep.per_device_batch_sizes) {
         const Shape shape = b1.with_batch(batch);
         if (!backend.fits(*graph, shape, /*training=*/true)) continue;
+        const double peak_mem =
+            static_peak_mem_bytes(*graph, shape, /*training=*/true);
         for (const int nodes : sweep.node_counts) {
           SweepPoint p;
           p.graph = graph;
@@ -417,6 +435,7 @@ std::vector<RuntimeSample> run_training_campaign(
           p.base.global_batch = batch * p.config.num_devices;
           p.base.num_devices = p.config.num_devices;
           p.base.num_nodes = nodes;
+          p.base.peak_mem_bytes = peak_mem;
           points.push_back(std::move(p));
         }
       }
@@ -461,6 +480,8 @@ std::vector<RuntimeSample> run_block_campaign(
                                              &block.graph);
       p.base = base;
       p.base.global_batch = batch;
+      p.base.peak_mem_bytes =
+          static_peak_mem_bytes(block.graph, shape, /*training=*/false);
       p.shape = shape;
       points.push_back(std::move(p));
     }

@@ -1,5 +1,7 @@
 #include "collect/sample.hpp"
 
+#include <algorithm>
+
 #include "common/json.hpp"
 
 namespace convmeter {
@@ -16,7 +18,7 @@ const std::vector<std::string>& csv_header_fields() {
       "model",   "device",  "image_size", "global_batch",
       "num_devices", "num_nodes", "flops1", "inputs1",
       "outputs1", "weights", "layers", "t_infer",
-      "t_fwd",   "t_bwd",   "t_grad",  "t_step"};
+      "t_fwd",   "t_bwd",   "t_grad",  "t_step", "peak_mem_bytes"};
   return header;
 }
 
@@ -25,7 +27,8 @@ std::vector<std::string> csv_row_fields(const RuntimeSample& s) {
           std::to_string(s.global_batch), std::to_string(s.num_devices),
           std::to_string(s.num_nodes), num(s.flops1), num(s.inputs1),
           num(s.outputs1), num(s.weights), num(s.layers), num(s.t_infer),
-          num(s.t_fwd), num(s.t_bwd), num(s.t_grad), num(s.t_step)};
+          num(s.t_fwd), num(s.t_bwd), num(s.t_grad), num(s.t_step),
+          num(s.peak_mem_bytes)};
 }
 
 std::string join_csv(const std::vector<std::string>& fields) {
@@ -56,6 +59,11 @@ std::string sample_to_csv_row(const RuntimeSample& s) {
 std::vector<RuntimeSample> samples_from_csv(const CsvTable& t) {
   std::vector<RuntimeSample> samples;
   samples.reserve(t.num_rows());
+  // Tolerate CSVs written before the memory column existed.
+  const auto& header = t.header();
+  const bool has_peak_mem =
+      std::find(header.begin(), header.end(), "peak_mem_bytes") !=
+      header.end();
   for (std::size_t r = 0; r < t.num_rows(); ++r) {
     RuntimeSample s;
     s.model = t.cell(r, "model");
@@ -74,6 +82,7 @@ std::vector<RuntimeSample> samples_from_csv(const CsvTable& t) {
     s.t_bwd = t.cell_double(r, "t_bwd");
     s.t_grad = t.cell_double(r, "t_grad");
     s.t_step = t.cell_double(r, "t_step");
+    if (has_peak_mem) s.peak_mem_bytes = t.cell_double(r, "peak_mem_bytes");
     samples.push_back(std::move(s));
   }
   return samples;

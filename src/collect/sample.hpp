@@ -36,6 +36,12 @@ struct RuntimeSample {
   double t_grad = 0.0;
   double t_step = 0.0;
 
+  /// Static whole-model peak memory (tensors + one workspace arena) from
+  /// the analysis memory planner at this point's phase, in bytes. Computed
+  /// at campaign point-enumeration time, so it is deterministic across
+  /// --jobs and shards; 0 in samples predating the column.
+  double peak_mem_bytes = 0.0;
+
   /// Mini-batch per device, b = B / N (Eq. 3).
   double mini_batch() const {
     return static_cast<double>(global_batch) / num_devices;

@@ -1,14 +1,14 @@
 // On-disk layout of the binary sample store (DESIGN §13).
 //
 // A shard is one append-only file: a 64-byte versioned header followed by
-// fixed-size 192-byte records. Records are written in campaign point order
+// fixed-size 200-byte records. Records are written in campaign point order
 // and carry their (point_index, repetition) merge key, so shards produced
 // by independent `campaign --shard i/N` processes merge deterministically
 // into the byte sequence the unsharded run would have written.
 //
 // Durability discipline: the header's record_count is the authoritative
 // length and is rewritten on every ShardWriter::flush(); bytes past
-// 64 + record_count * 192 are torn trailing writes from an interrupted
+// 64 + record_count * 200 are torn trailing writes from an interrupted
 // process and are ignored (truncated away on append/resume).
 //
 // Both structs are raw-byte I/O (single write()/read() per record, mmap-able
@@ -23,7 +23,10 @@
 namespace convmeter::store {
 
 inline constexpr char kShardMagic[4] = {'C', 'M', 'S', 'S'};
-inline constexpr std::uint32_t kShardFormatVersion = 1;
+// v2 appended peak_mem_bytes to the metric block (record grew 192 -> 200
+// bytes). Readers reject other versions; `store import` re-encodes v1 data
+// from its CSV export.
+inline constexpr std::uint32_t kShardFormatVersion = 2;
 
 /// Written in host byte order; reads back as 0x01020304 only on a machine
 /// of the same endianness as the writer.
@@ -66,11 +69,12 @@ struct SampleRecord {
   double t_bwd;
   double t_grad;
   double t_step;
+  double peak_mem_bytes;      ///< static whole-model peak (tensors+workspace)
   std::uint64_t point_index;  ///< global sweep point index
   std::uint32_t repetition;   ///< repetition within the point
   std::uint32_t crc;
 };
-static_assert(sizeof(SampleRecord) == 192, "sample record layout drifted");
+static_assert(sizeof(SampleRecord) == 200, "sample record layout drifted");
 static_assert(std::is_trivially_copyable_v<SampleRecord>,
               "SampleRecord is raw-byte I/O");
 

@@ -11,6 +11,12 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 namespace convmeter {
 
 namespace {
@@ -112,6 +118,7 @@ store::SampleRecord sample_to_record(const RuntimeSample& s,
   r.t_bwd = s.t_bwd;
   r.t_grad = s.t_grad;
   r.t_step = s.t_step;
+  r.peak_mem_bytes = s.peak_mem_bytes;
   r.point_index = point_index;
   r.repetition = repetition;
   r.crc = crc32(&r, offsetof(store::SampleRecord, crc));
@@ -136,6 +143,7 @@ RuntimeSample record_to_sample(const store::SampleRecord& r) {
   s.t_bwd = r.t_bwd;
   s.t_grad = r.t_grad;
   s.t_step = r.t_step;
+  s.peak_mem_bytes = r.peak_mem_bytes;
   return s;
 }
 
@@ -202,9 +210,9 @@ void ShardWriter::flush() {
   flushed_count_ = count_;
 }
 
-// ---- SampleReader ---------------------------------------------------------
+// ---- ShardReader ----------------------------------------------------------
 
-SampleReader::SampleReader(const std::string& path) : path_(path) {
+SampleReader::SampleReader(const std::string& path) : ShardReader(path) {
   file_.open(path, std::ios::binary);
   if (!file_.good()) shard_error(path, "cannot open for reading");
   const store::ShardHeader header = read_header(file_, path);
@@ -230,7 +238,7 @@ bool SampleReader::next_record(store::SampleRecord& out) {
   return true;
 }
 
-bool SampleReader::next(RuntimeSample& out) {
+bool ShardReader::next(RuntimeSample& out) {
   store::SampleRecord record{};
   if (!next_record(record)) return false;
   // Validate string termination before constructing std::strings.
@@ -252,6 +260,7 @@ bool SampleReader::next(RuntimeSample& out) {
   out.t_bwd = rest.t_bwd;
   out.t_grad = rest.t_grad;
   out.t_step = rest.t_step;
+  out.peak_mem_bytes = rest.peak_mem_bytes;
   return true;
 }
 
@@ -260,6 +269,107 @@ void SampleReader::reset() {
   file_.seekg(static_cast<std::streamoff>(kHeaderSize));
   read_ = 0;
   CM_CHECK(file_.good(), "failed rewinding shard '" + path_ + "'");
+}
+
+// ---- MmapSampleReader -----------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool MmapSampleReader::supported() { return true; }
+
+MmapSampleReader::MmapSampleReader(const std::string& path)
+    : ShardReader(path) {
+  // Header validation first (and through the same code path as the
+  // streaming reader) so corrupt/foreign shards throw identical ParseErrors
+  // regardless of which reader the factory picked.
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe.good()) shard_error(path, "cannot open for reading");
+  const store::ShardHeader header = read_header(probe, path);
+  if (header.record_count == 0) {
+    shard_error(path, "contains zero records");
+  }
+  probe.close();
+  count_ = header.record_count;
+
+  // Map only the durable span: torn trailing bytes past record_count are
+  // invisible by construction, matching the streaming reader's discipline.
+  mapped_bytes_ = kHeaderSize + count_ * kRecordSize;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  CM_CHECK(fd >= 0, "mmap reader: cannot open shard '" + path + "'");
+  void* base = ::mmap(nullptr, mapped_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  CM_CHECK(base != MAP_FAILED, "mmap reader: mapping '" + path + "' failed");
+  data_ = static_cast<const unsigned char*>(base);
+#if defined(POSIX_MADV_SEQUENTIAL)
+  // Advisory only; campaign fits read shards front to back.
+  ::posix_madvise(base, mapped_bytes_, POSIX_MADV_SEQUENTIAL);
+#endif
+}
+
+MmapSampleReader::~MmapSampleReader() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), mapped_bytes_);
+  }
+}
+
+bool MmapSampleReader::next_record(store::SampleRecord& out) {
+  if (read_ >= count_) return false;
+  std::memcpy(&out, data_ + kHeaderSize + read_ * kRecordSize, kRecordSize);
+  const std::uint32_t expect = crc32(&out, offsetof(store::SampleRecord, crc));
+  if (expect != out.crc) {
+    shard_error(path_, "record " + std::to_string(read_) +
+                           " failed its CRC check (corrupt shard)");
+  }
+  ++read_;
+#if defined(__linux__)
+  // Bound residency: a sequential scan of a multi-GB shard must keep the
+  // flat RSS profile the streaming reader has, so fully-consumed pages are
+  // handed back every 8 MiB (a clean private file mapping simply refaults
+  // from page cache if reset() rewinds).
+  constexpr std::size_t kDropChunk = 8u << 20;
+  const std::size_t consumed = kHeaderSize + read_ * kRecordSize;
+  if (consumed - dropped_ >= kDropChunk) {
+    static const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t end = consumed & ~(page - 1);
+    if (end > dropped_) {
+      ::madvise(const_cast<unsigned char*>(data_) + dropped_, end - dropped_,
+                MADV_DONTNEED);
+      dropped_ = end;
+    }
+  }
+#endif
+  return true;
+}
+
+#else  // no POSIX mmap
+
+bool MmapSampleReader::supported() { return false; }
+
+MmapSampleReader::MmapSampleReader(const std::string& path)
+    : ShardReader(path) {
+  throw Error("mmap shard reader is not supported on this platform");
+}
+
+MmapSampleReader::~MmapSampleReader() = default;
+
+bool MmapSampleReader::next_record(store::SampleRecord&) { return false; }
+
+#endif
+
+std::unique_ptr<ShardReader> open_shard_reader(const std::string& path,
+                                               bool prefer_mmap) {
+  if (prefer_mmap && MmapSampleReader::supported()) {
+    try {
+      return std::make_unique<MmapSampleReader>(path);
+    } catch (const ParseError&) {
+      throw;  // corrupt/foreign shard: same verdict from any reader
+    } catch (const Error&) {
+      // Mapping machinery failed (exotic filesystem, resource limits):
+      // the streaming reader handles every platform.
+    }
+  }
+  return std::make_unique<SampleReader>(path);
 }
 
 // ---- store-level helpers --------------------------------------------------
@@ -289,7 +399,7 @@ bool StoreSampleStream::next(RuntimeSample& out) {
   while (true) {
     if (!reader_) {
       if (shard_index_ >= shards_.size()) return false;
-      reader_ = std::make_unique<SampleReader>(shards_[shard_index_]);
+      reader_ = open_shard_reader(shards_[shard_index_]);
     }
     if (reader_->next(out)) return true;
     reader_.reset();
@@ -323,10 +433,10 @@ void merge_shards(const std::vector<std::string>& inputs,
   const auto later = [&](const Head& a, const Head& b) {
     return key(a.record) > key(b.record);
   };
-  std::vector<std::unique_ptr<SampleReader>> readers;
+  std::vector<std::unique_ptr<ShardReader>> readers;
   std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    readers.push_back(std::make_unique<SampleReader>(inputs[i]));
+    readers.push_back(open_shard_reader(inputs[i]));
     Head head{{}, i};
     if (readers.back()->next_record(head.record)) heap.push(head);
   }
@@ -361,9 +471,9 @@ StoreInfo store_info(const std::string& path) {
   std::set<std::string> models;
   for (const std::string& shard : store_shards(path)) {
     ++info.shards;
-    SampleReader reader(shard);
+    const std::unique_ptr<ShardReader> reader = open_shard_reader(shard);
     store::SampleRecord record{};
-    while (reader.next_record(record)) {
+    while (reader->next_record(record)) {
       if (info.records == 0 || record.point_index < info.first_point) {
         info.first_point = record.point_index;
       }

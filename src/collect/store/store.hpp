@@ -3,12 +3,14 @@
 //
 // ShardWriter appends records and makes them durable with flush() (records
 // are only visible to readers once the header's record_count covers them —
-// the checkpoint/resume discipline of the campaign engine). SampleReader
-// streams a shard sequentially with buffered reads, validating the header
-// and every record CRC; it fails loudly on truncated, corrupt, or
-// foreign-format files rather than skipping anything. StoreSampleStream
-// adapts one shard file — or a directory of them — to the SampleStream
-// interface every fit consumes.
+// the checkpoint/resume discipline of the campaign engine). ShardReader is
+// the sequential read interface: SampleReader streams with buffered reads,
+// MmapSampleReader serves records out of a read-only mapping, and
+// open_shard_reader() picks the mmap path with a streaming fallback. Both
+// validate the header and every record CRC and fail loudly on truncated,
+// corrupt, or foreign-format files rather than skipping anything.
+// StoreSampleStream adapts one shard file — or a directory of them — to the
+// SampleStream interface every fit consumes.
 #pragma once
 
 #include <cstdint>
@@ -69,28 +71,83 @@ class ShardWriter {
   std::uint64_t flushed_count_ = 0;
 };
 
-/// Sequential reader over one shard. The constructor validates the whole
-/// header (magic, version, endianness, record size, non-zero record count,
-/// no truncation); next() additionally validates each record's CRC.
-class SampleReader {
+/// Sequential reader interface over one shard. Every implementation
+/// validates the whole header on open (magic, version, endianness, record
+/// size, non-zero record count, no truncation) and each record's CRC on
+/// next_record(); next() additionally validates string termination before
+/// constructing std::strings.
+class ShardReader {
  public:
-  explicit SampleReader(const std::string& path);
+  virtual ~ShardReader() = default;
+
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
 
   /// False once every durable record has been read.
+  virtual bool next_record(store::SampleRecord& out) = 0;
   bool next(RuntimeSample& out);
-  bool next_record(store::SampleRecord& out);
 
-  void reset();
+  virtual void reset() = 0;
 
   std::uint64_t record_count() const { return count_; }
   const std::string& path() const { return path_; }
 
- private:
+ protected:
+  explicit ShardReader(std::string path) : path_(std::move(path)) {}
+
   std::string path_;
-  std::ifstream file_;
   std::uint64_t count_ = 0;
+};
+
+/// Streaming reader: buffered sequential reads through an ifstream. Works
+/// everywhere, touches only the bytes it is asked for.
+class SampleReader final : public ShardReader {
+ public:
+  explicit SampleReader(const std::string& path);
+
+  bool next_record(store::SampleRecord& out) override;
+  void reset() override;
+
+ private:
+  std::ifstream file_;
   std::uint64_t read_ = 0;
 };
+
+/// Memory-mapped reader: maps the durable span of the shard read-only and
+/// serves records straight out of the mapping (the record layout is
+/// 8-byte-aligned raw bytes precisely so this is a memcpy per record, no
+/// decode pass). POSIX only; use open_shard_reader() to fall back to the
+/// streaming reader elsewhere or when mapping fails.
+class MmapSampleReader final : public ShardReader {
+ public:
+  /// Opens `path` via mmap. Header validation failures throw ParseError just
+  /// like SampleReader; an unsupported platform or a failed mapping throws
+  /// Error (open_shard_reader turns that case into a streaming fallback).
+  explicit MmapSampleReader(const std::string& path);
+  ~MmapSampleReader() override;
+
+  bool next_record(store::SampleRecord& out) override;
+  void reset() override {
+    read_ = 0;
+    dropped_ = 0;
+  }
+
+  /// True when this build can mmap shards at all (POSIX).
+  static bool supported();
+
+ private:
+  const unsigned char* data_ = nullptr;  ///< mapped base (header included)
+  std::size_t mapped_bytes_ = 0;
+  std::uint64_t read_ = 0;
+  std::size_t dropped_ = 0;  ///< consumed pages already returned to the OS
+};
+
+/// Opens the fastest available reader for a shard: the mmap reader when the
+/// platform supports it and the mapping succeeds, the streaming reader
+/// otherwise. Header validation errors (corrupt/foreign/truncated shards)
+/// propagate either way — only mapping-machinery failures fall back.
+std::unique_ptr<ShardReader> open_shard_reader(const std::string& path,
+                                               bool prefer_mmap = true);
 
 /// Shard files of a store path: the path itself when it is a file, or
 /// every `*.cms` inside it (sorted by name) when it is a directory.
@@ -110,7 +167,7 @@ class StoreSampleStream final : public SampleStream {
  private:
   std::vector<std::string> shards_;
   std::size_t shard_index_ = 0;
-  std::unique_ptr<SampleReader> reader_;
+  std::unique_ptr<ShardReader> reader_;
 };
 
 /// K-way merges shards into `out_path`, ordered by (point_index,

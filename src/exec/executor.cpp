@@ -7,6 +7,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "exec/kernels.hpp"
+#include "tensor/alloc_tracker.hpp"
 #include "graph/shape_inference.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile/counter_hook.hpp"
@@ -77,6 +78,18 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
   std::vector<Tensor> outputs(graph.size());
   ExecutionResult result;
   result.layers.reserve(graph.size());
+
+  // Free-after-last-consumer schedule: node `src`'s output buffer is
+  // released as soon as the last node consuming it has run, so forward
+  // peak memory follows the static liveness plan (analysis/memplan.hpp)
+  // instead of accumulating every activation. Nodes nobody consumes (the
+  // sink) keep last_use == -1 and are never freed.
+  std::vector<NodeId> last_use(graph.size(), -1);
+  for (const auto& n : graph.nodes()) {
+    for (const NodeId src : n.inputs) {
+      last_use[static_cast<std::size_t>(src)] = n.id;
+    }
+  }
 
   const auto start_all = Clock::now();
   for (const auto& n : graph.nodes()) {
@@ -233,7 +246,17 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
     CM_CHECK(out.shape() == shapes[static_cast<std::size_t>(n.id)],
              "executor produced an unexpected shape at node '" + n.name + "'");
     outputs[static_cast<std::size_t>(n.id)] = std::move(out);
-    result.layers.push_back({n.id, elapsed_seconds(start, end)});
+    for (const NodeId src : n.inputs) {
+      if (last_use[static_cast<std::size_t>(src)] == n.id) {
+        outputs[static_cast<std::size_t>(src)] = Tensor();
+      }
+    }
+    LayerTiming timing{n.id, elapsed_seconds(start, end)};
+    if (memtrack::enabled()) {
+      timing.mem_live_bytes = memtrack::current_bytes();
+      timing.mem_peak_bytes = memtrack::peak_bytes();
+    }
+    result.layers.push_back(timing);
   }
   const auto end_all = Clock::now();
 
@@ -248,7 +271,7 @@ ExecutionResult Executor::run(const Graph& graph, const Tensor& input,
       layer_hist.observe(layer.seconds);
     }
   }
-  result.output = outputs[static_cast<std::size_t>(graph.output_id())];
+  result.output = std::move(outputs[static_cast<std::size_t>(graph.output_id())]);
   return result;
 }
 

@@ -36,10 +36,15 @@ using ExecPreflightFn = void (*)(const Graph& graph, const Shape& input_shape);
 void set_exec_preflight(ExecPreflightFn fn);
 ExecPreflightFn exec_preflight();
 
-/// Wall-clock timing of one node during a forward pass.
+/// Wall-clock timing of one node during a forward pass. The memory fields
+/// are filled only while memtrack accounting is enabled (zero otherwise):
+/// `mem_live_bytes` is the tracked tensor bytes live after the node ran,
+/// `mem_peak_bytes` the process-wide tracked peak up to and including it.
 struct LayerTiming {
   NodeId node = -1;
   double seconds = 0.0;
+  std::uint64_t mem_live_bytes = 0;
+  std::uint64_t mem_peak_bytes = 0;
 };
 
 /// Result of Executor::run.

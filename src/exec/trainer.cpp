@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "exec/backward.hpp"
 #include "exec/kernels.hpp"
+#include "tensor/alloc_tracker.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
@@ -307,6 +308,10 @@ RealStepResult Trainer::step(const Tensor& input,
   const auto t0 = Clock::now();
   apply_gradients(grads);
   result.update_seconds = elapsed_seconds(t0);
+  if (memtrack::enabled()) {
+    result.mem_peak_bytes = memtrack::peak_bytes();
+    result.mem_workspace_bytes = memtrack::workspace_high_water_bytes();
+  }
   if (obs::enabled()) {
     auto& registry = obs::MetricsRegistry::instance();
     registry.counter("trainer.steps").add();

@@ -31,13 +31,18 @@ struct TrainerConfig {
   std::uint64_t weight_seed = 0xc0ffee;
 };
 
-/// Result of one real training step.
+/// Result of one real training step. The memory fields are filled only
+/// while memtrack accounting is enabled (zero otherwise): the tracked
+/// tensor-byte peak and the largest per-thread workspace reserve observed
+/// up to the end of the step.
 struct RealStepResult {
   double loss = 0.0;            ///< mean cross-entropy over the batch
   double accuracy = 0.0;        ///< batch top-1 accuracy
   double fwd_seconds = 0.0;     ///< wall-clock forward pass
   double bwd_seconds = 0.0;     ///< wall-clock backward pass
   double update_seconds = 0.0;  ///< wall-clock optimizer step
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint64_t mem_workspace_bytes = 0;
 };
 
 /// Trains a ConvNet graph with real computation.

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/error.hpp"
+#include "tensor/alloc_tracker.hpp"
 
 namespace convmeter {
 
@@ -25,6 +26,10 @@ Workspace& Workspace::tls() {
 }
 
 void Workspace::reserve(std::size_t nfloats) {
+  // Report the logical request (not the geometrically grown capacity):
+  // the static memory planner predicts per-call requirements, so the
+  // measured high-water must be the same quantity.
+  memtrack::on_workspace_reserve(nfloats * sizeof(float));
   if (nfloats > capacity_) {
     const std::size_t grown = std::max(nfloats, capacity_ + capacity_ / 2);
     data_ = std::make_unique<float[]>(grown);

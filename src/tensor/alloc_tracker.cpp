@@ -1,0 +1,40 @@
+#include "tensor/alloc_tracker.hpp"
+
+#include <algorithm>
+
+namespace convmeter::memtrack {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<std::int64_t> g_current{0};
+std::atomic<std::int64_t> g_peak{0};
+std::atomic<std::uint64_t> g_ws_high_water{0};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t current_bytes() {
+  return static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, detail::g_current.load(
+                                    std::memory_order_relaxed)));
+}
+
+std::uint64_t peak_bytes() {
+  return static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0,
+                             detail::g_peak.load(std::memory_order_relaxed)));
+}
+
+std::uint64_t workspace_high_water_bytes() {
+  return detail::g_ws_high_water.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::g_peak.store(detail::g_current.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  detail::g_ws_high_water.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace convmeter::memtrack

@@ -1,0 +1,82 @@
+// Process-wide tensor allocation accounting.
+//
+// Tensor buffers all flow through detail::DefaultInitAllocator, which calls
+// on_alloc/on_free below; Workspace::reserve reports each logical reserve
+// request through on_workspace_reserve. Everything is behind a single
+// relaxed atomic load (the same zero-cost-when-disabled discipline as
+// obs::enabled()), so production runs pay one predictable branch per
+// allocation and nothing else.
+//
+// The tracker exists to *verify* the static memory planner
+// (analysis/memplan.hpp): tests enable it, run the executor or trainer, and
+// assert the statically predicted peak is an upper bound on — and tight
+// against — the measured one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace convmeter::memtrack {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<std::int64_t> g_current;
+extern std::atomic<std::int64_t> g_peak;
+extern std::atomic<std::uint64_t> g_ws_high_water;
+}  // namespace detail
+
+/// True when allocation accounting is on. One relaxed load.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Records a tensor-buffer allocation of `bytes`.
+inline void on_alloc(std::uint64_t bytes) {
+  if (!enabled()) return;
+  const std::int64_t cur =
+      detail::g_current.fetch_add(static_cast<std::int64_t>(bytes),
+                                  std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  std::int64_t peak = detail::g_peak.load(std::memory_order_relaxed);
+  while (cur > peak && !detail::g_peak.compare_exchange_weak(
+                           peak, cur, std::memory_order_relaxed)) {
+  }
+}
+
+/// Records a tensor-buffer deallocation of `bytes`. Buffers allocated
+/// before the tracker was enabled may be freed while it is on; the current
+/// counter is signed and clamped at read time so that cannot corrupt it.
+inline void on_free(std::uint64_t bytes) {
+  if (!enabled()) return;
+  detail::g_current.fetch_sub(static_cast<std::int64_t>(bytes),
+                              std::memory_order_relaxed);
+}
+
+/// Records one Workspace::reserve request of `bytes` (the logical
+/// requirement, not the geometrically grown capacity). The high-water mark
+/// is the largest single per-thread request seen.
+inline void on_workspace_reserve(std::uint64_t bytes) {
+  if (!enabled()) return;
+  std::uint64_t hw = detail::g_ws_high_water.load(std::memory_order_relaxed);
+  while (bytes > hw && !detail::g_ws_high_water.compare_exchange_weak(
+                           hw, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+/// Turns accounting on or off process-wide.
+void set_enabled(bool on);
+
+/// Currently live tracked bytes (clamped at 0).
+std::uint64_t current_bytes();
+
+/// Largest value current_bytes() reached since the last reset.
+std::uint64_t peak_bytes();
+
+/// Largest single workspace reserve request since the last reset.
+std::uint64_t workspace_high_water_bytes();
+
+/// Resets peak to the current live total and the workspace high-water to 0;
+/// the live counter itself is never reset (buffers stay live).
+void reset();
+
+}  // namespace convmeter::memtrack

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/alloc_tracker.hpp"
 #include "tensor/shape.hpp"
 
 namespace convmeter {
@@ -31,6 +32,19 @@ class DefaultInitAllocator : public A {
   };
 
   using A::A;
+
+  /// All tensor buffers pass through here, making this the single choke
+  /// point for the memtrack allocation accounting (one relaxed load when
+  /// the tracker is off).
+  T* allocate(std::size_t n) {
+    T* ptr = Traits::allocate(static_cast<A&>(*this), n);
+    memtrack::on_alloc(n * sizeof(T));
+    return ptr;
+  }
+  void deallocate(T* ptr, std::size_t n) {
+    memtrack::on_free(n * sizeof(T));
+    Traits::deallocate(static_cast<A&>(*this), ptr, n);
+  }
 
   template <typename U>
   void construct(U* ptr) noexcept(

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,7 +91,7 @@ TEST(VerifierTest, CleanGraphHasNoErrorsOrWarnings) {
   const VerifyReport r = verify(Graph::unchecked("tiny", 3, tiny_nodes()));
   EXPECT_TRUE(r.ok());
   EXPECT_TRUE(r.clean());
-  EXPECT_EQ(r.passes.size(), 8u);
+  EXPECT_EQ(r.passes.size(), 10u);
   for (const PassStat& p : r.passes) EXPECT_FALSE(p.skipped);
 }
 
@@ -237,7 +238,7 @@ TEST(VerifierTest, CustomPassParticipates) {
   };
   Verifier verifier;
   verifier.add_pass(std::make_unique<AlwaysWarn>());
-  EXPECT_EQ(verifier.pass_count(), 9u);
+  EXPECT_EQ(verifier.pass_count(), 11u);
   VerifyOptions options;
   options.input_shape = Shape::nchw(1, 3, 32, 32);
   const VerifyReport r =
@@ -249,6 +250,12 @@ TEST(VerifierTest, CustomPassParticipates) {
 struct CorpusCase {
   const char* file;
   const char* expected_id;
+  bool training = false;
+  std::uint64_t memory_budget = 0;
+  // Error-severity cases must fail verification; note-severity cases (the
+  // memory planner's advisory diagnostics) must keep ok() while still
+  // reporting their id.
+  bool is_error = true;
 };
 
 class CorpusTest : public ::testing::TestWithParam<CorpusCase> {};
@@ -261,9 +268,15 @@ TEST_P(CorpusTest, ReportsExpectedDiagnostic) {
   const std::int64_t channels =
       g.input_channels() > 0 ? g.input_channels() : 3;
   options.input_shape = Shape::nchw(1, channels, 224, 224);
+  options.training = c.training;
+  options.memory_budget_bytes = c.memory_budget;
   const Verifier verifier;
   const VerifyReport r = verifier.verify(g, options);
-  EXPECT_FALSE(r.ok()) << r.render_text();
+  if (c.is_error) {
+    EXPECT_FALSE(r.ok()) << r.render_text();
+  } else {
+    EXPECT_TRUE(r.ok()) << r.render_text();
+  }
   EXPECT_TRUE(has_id(r, c.expected_id)) << r.render_text();
 }
 
@@ -279,7 +292,18 @@ INSTANTIATE_TEST_SUITE_P(
                       CorpusCase{"duplicate_name.txt",
                                  "structure.duplicate_name"},
                       CorpusCase{"dead_op.txt", "reachability.dead_op"},
-                      CorpusCase{"bad_attrs.txt", "attrs.groups"}),
+                      CorpusCase{"bad_attrs.txt", "attrs.groups"},
+                      // A 1 MiB budget a 224x224 conv net cannot fit in.
+                      CorpusCase{"over_budget.txt", "memplan.over_budget",
+                                 false, 1ull << 20},
+                      CorpusCase{"reuse.txt", "memplan.reuse", false, 0,
+                                 false},
+                      CorpusCase{"train_pinned.txt", "liveness.pinned", true,
+                                 0, false},
+                      // Warning-severity: training lint flags the dropout
+                      // as a stochastic op but stays ok().
+                      CorpusCase{"determinism.txt", "determinism.stochastic",
+                                 true, 0, false}),
     [](const ::testing::TestParamInfo<CorpusCase>& info) {
       std::string name = info.param.file;
       return name.substr(0, name.find('.'));

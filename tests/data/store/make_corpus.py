@@ -8,8 +8,8 @@ every one with a clear ParseError instead of crashing or skipping records.
 Layout mirrored here (little-endian host):
   header  64B: magic "CMSS", u32 version, u32 endian tag, u32 record_size,
                u64 record_count, 40B reserved
-  record 192B: char model[48], char device[24], i64 image, i64 batch,
-               i32 devices, i32 nodes, 10 doubles, u64 point_index,
+  record 200B: char model[48], char device[24], i64 image, i64 batch,
+               i32 devices, i32 nodes, 11 doubles, u64 point_index,
                u32 repetition, u32 crc32(preceding bytes)
 """
 import struct
@@ -18,12 +18,12 @@ from pathlib import Path
 
 HERE = Path(__file__).parent
 HEADER = struct.Struct("<4sIII Q 40s")
-RECORD = struct.Struct("<48s 24s qq ii 10d QI")  # crc appended separately
+RECORD = struct.Struct("<48s 24s qq ii 11d QI")  # crc appended separately
 
 MAGIC = b"CMSS"
-VERSION = 1
+VERSION = 2
 ENDIAN = 0x01020304
-RECORD_SIZE = 192
+RECORD_SIZE = 200
 
 
 def header(count, *, magic=MAGIC, version=VERSION, endian=ENDIAN,
@@ -35,7 +35,7 @@ def record(point_index, repetition):
     body = RECORD.pack(
         b"alexnet", b"corpus-device", 64, 16, 1, 1,
         1.0e9, 2.0e6, 3.0e6, 4.0e6, 8.0,
-        0.0125, 0.004, 0.008, 0.002, 0.015,
+        0.0125, 0.004, 0.008, 0.002, 0.015, 5.0e6,
         point_index, repetition)
     return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
 

@@ -1,0 +1,228 @@
+// Static memory-plan tests: liveness semantics (free-after-last-consumer,
+// fusion aliasing, training pinning), the reuse report, budget diagnostics,
+// and the zoo-wide static-vs-measured gate — for every built-in model in
+// both phases, the static peak must bound the measured allocation-
+// accounting peak from above and stay within a 1.25x tightness band.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/memplan.hpp"
+#include "analysis/verifier.hpp"
+#include "exec/executor.hpp"
+#include "exec/trainer.hpp"
+#include "models/zoo.hpp"
+#include "tensor/alloc_tracker.hpp"
+#include "tensor/tensor.hpp"
+
+namespace convmeter::analysis {
+namespace {
+
+bool has_id(const VerifyReport& report, const std::string& id) {
+  for (const Diagnostic& d : report.sink.diagnostics()) {
+    if (d.id == id) return true;
+  }
+  return false;
+}
+
+/// conv -> relu -> pool -> flatten -> fc
+Graph tiny_graph() {
+  Graph g("tiny");
+  NodeId x = g.input(3);
+  x = g.conv2d("c", x, Conv2dAttrs::square(3, 4, 3, 1, 1));
+  x = g.activation("r", x, ActKind::kReLU);
+  x = g.adaptive_avg_pool("p", x, 1, 1);
+  x = g.flatten("f", x);
+  g.linear("fc", x, LinearAttrs{4, 10, true});
+  return g;
+}
+
+TEST(LivenessTest, InferenceFreesAfterLastConsumer) {
+  const Graph g = tiny_graph();
+  const MemPlan plan =
+      plan_memory(g, Shape::nchw(1, 3, 8, 8), /*training=*/false);
+  ASSERT_EQ(plan.lifetimes.size(), g.size());
+  // The input node's copy is consumed only by the conv.
+  EXPECT_EQ(plan.lifetimes[0].last_use, 1);
+  EXPECT_FALSE(plan.lifetimes[0].pinned);
+  // The sink is never freed.
+  EXPECT_EQ(plan.lifetimes[g.size() - 1].last_use, -1);
+}
+
+TEST(LivenessTest, FusedActivationAliasesItsProducer) {
+  const Graph g = tiny_graph();
+  const MemPlan plan =
+      plan_memory(g, Shape::nchw(1, 3, 8, 8), /*training=*/false);
+  // relu (node 2) fuses into the conv (node 1): the relu allocates nothing
+  // and the conv's buffer lives until the relu's consumer (the pool).
+  EXPECT_TRUE(plan.lifetimes[2].alias);
+  EXPECT_EQ(plan.lifetimes[2].bytes, 0u);
+  EXPECT_EQ(plan.lifetimes[1].last_use, 3);
+}
+
+TEST(LivenessTest, TrainingPinsEveryActivation) {
+  const Graph g = tiny_graph();
+  const MemPlan plan =
+      plan_memory(g, Shape::nchw(1, 3, 8, 8), /*training=*/true);
+  for (const TensorLifetime& lt : plan.lifetimes) {
+    EXPECT_TRUE(lt.pinned);
+    EXPECT_EQ(lt.last_use, -1);
+    EXPECT_FALSE(lt.alias);  // the trainer never fuses
+  }
+  EXPECT_TRUE(plan.reuse.empty());
+}
+
+TEST(MemPlanTest, TimelineLiveBytesAreCumulative) {
+  const Graph g = tiny_graph();
+  const MemPlan plan =
+      plan_memory(g, Shape::nchw(1, 3, 8, 8), /*training=*/false);
+  ASSERT_EQ(plan.timeline.size(), g.size());
+  for (const MemStep& s : plan.timeline) {
+    EXPECT_LE(s.live_bytes, plan.peak_bytes);
+  }
+  EXPECT_GT(plan.peak_bytes, 0u);
+  EXPECT_GE(plan.peak_node, 0);
+  EXPECT_GT(plan.workspace_bytes, 0u);  // the conv and fc reserve packs
+}
+
+TEST(MemPlanTest, ReuseReportFindsDyingElementwiseInput) {
+  // pool -> standalone relu: the pool's buffer dies at the relu and the
+  // shapes match, so the relu could run in place. (A conv-fused relu must
+  // NOT be reported — it is already in place.)
+  Graph g("reuse");
+  NodeId x = g.input(3);
+  x = g.max_pool("p", x, Pool2dAttrs::square(2, 2, 0));
+  g.activation("r", x, ActKind::kReLU);
+  const MemPlan plan =
+      plan_memory(g, Shape::nchw(1, 3, 8, 8), /*training=*/false);
+  ASSERT_EQ(plan.reuse.size(), 1u);
+  EXPECT_EQ(plan.reuse[0].node, 2);
+  EXPECT_EQ(plan.reuse[0].input, 1);
+  EXPECT_GT(plan.reuse[0].bytes, 0u);
+}
+
+TEST(MemPlanTest, OverBudgetIsAnErrorOnlyWhenBudgetSet) {
+  const Graph g = tiny_graph();
+  VerifyOptions options;
+  options.input_shape = Shape::nchw(1, 3, 32, 32);
+  const Verifier verifier;
+  VerifyReport r = verifier.verify(g, options);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(has_id(r, "memplan.over_budget"));
+  EXPECT_TRUE(has_id(r, "memplan.peak"));
+
+  options.memory_budget_bytes = 1024;  // far below any real model
+  r = verifier.verify(g, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_id(r, "memplan.over_budget"));
+}
+
+TEST(MemPlanTest, WorkspaceBudgetDerivesFromDeviceMemory) {
+  const Graph g = tiny_graph();
+  VerifyOptions options;
+  options.input_shape = Shape::nchw(1, 3, 32, 32);
+  // Default: 1 GiB fallback, the tiny graph fits.
+  EXPECT_EQ(options.effective_workspace_budget(), 1ull << 30);
+  // A tiny device memory becomes the default workspace budget.
+  options.device_memory_bytes = 64;
+  EXPECT_EQ(options.effective_workspace_budget(), 64u);
+  const Verifier verifier;
+  EXPECT_TRUE(has_id(verifier.verify(g, options), "workspace.over_budget"));
+  // An explicit override still wins over the device-derived default.
+  options.workspace_budget_bytes = 1ull << 30;
+  EXPECT_EQ(options.effective_workspace_budget(), 1ull << 30);
+  EXPECT_FALSE(has_id(verifier.verify(g, options), "workspace.over_budget"));
+}
+
+TEST(MemPlanTest, TrainingNotesPinnedActivations) {
+  const Graph g = tiny_graph();
+  VerifyOptions options;
+  options.input_shape = Shape::nchw(1, 3, 32, 32);
+  options.training = true;
+  const Verifier verifier;
+  const VerifyReport r = verifier.verify(g, options);
+  EXPECT_TRUE(has_id(r, "liveness.pinned"));
+}
+
+// ---- zoo-wide static-vs-measured gate ------------------------------------
+
+/// Token-mixing MLPs bake the token count into their linear layers, so
+/// they only run at their build resolution; everything else shrinks to
+/// 64x64 to keep the measured runs fast.
+std::int64_t gate_image(const std::string& name) {
+  if (name.rfind("mlp_mixer", 0) == 0) {
+    return models::default_image_size(name);
+  }
+  return 64;
+}
+
+/// static must bound measured from above and stay within 1.25x of it.
+void expect_tight_bound(std::uint64_t static_bytes, std::uint64_t measured,
+                        const std::string& what) {
+  EXPECT_GE(static_bytes, measured) << what << ": static underestimates";
+  EXPECT_LE(static_bytes, measured + measured / 4)
+      << what << ": static exceeds the 1.25x tightness band (measured "
+      << measured << ")";
+}
+
+class ZooMemGate : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { memtrack::set_enabled(false); }
+};
+
+TEST_P(ZooMemGate, InferenceStaticPeakBoundsMeasured) {
+  const std::string name = GetParam();
+  const Graph g = models::build(name);
+  const std::int64_t image = gate_image(name);
+  const Shape input_shape = Shape::nchw(1, g.input_channels(), image, image);
+  const MemPlan plan = plan_memory(g, input_shape, /*training=*/false);
+
+  Executor exec(1);
+  memtrack::set_enabled(true);
+  Tensor input(input_shape);
+  input.fill_random(42);
+  memtrack::reset();  // peak starts at the live input tensor
+  const ExecutionResult result = exec.run(g, input);
+  const std::uint64_t measured = memtrack::peak_bytes();
+  const std::uint64_t measured_ws = memtrack::workspace_high_water_bytes();
+  ASSERT_GT(measured, 0u);
+
+  expect_tight_bound(plan.peak_bytes, measured, name + " tensors");
+  expect_tight_bound(plan.workspace_bytes, measured_ws, name + " workspace");
+  EXPECT_FALSE(result.layers.empty());
+  EXPECT_GT(result.layers.back().mem_peak_bytes, 0u);
+}
+
+TEST_P(ZooMemGate, TrainingStaticPeakBoundsMeasured) {
+  const std::string name = GetParam();
+  const Graph g = models::build(name);
+  const std::int64_t image = gate_image(name);
+  const Shape input_shape = Shape::nchw(1, g.input_channels(), image, image);
+  const MemPlan plan = plan_memory(g, input_shape, /*training=*/true);
+
+  memtrack::set_enabled(true);
+  TrainerConfig config;
+  config.num_threads = 1;
+  Trainer trainer(g, config);  // parameter state is tracked
+  Tensor input(input_shape);
+  input.fill_random(42);
+  memtrack::reset();  // peak starts at params + optimizer state + input
+  const RealStepResult result = trainer.step(input, {0});
+  ASSERT_GT(result.mem_peak_bytes, 0u);
+
+  expect_tight_bound(plan.peak_bytes, result.mem_peak_bytes,
+                     name + " tensors");
+  expect_tight_bound(plan.workspace_bytes, result.mem_workspace_bytes,
+                     name + " workspace");
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooMemGate,
+                         ::testing::ValuesIn(models::available_models()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace convmeter::analysis

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,7 @@ RuntimeSample make_sample(const std::string& model, std::int64_t batch) {
   s.t_bwd = 0.008;
   s.t_grad = 0.002;
   s.t_step = 0.015;
+  s.peak_mem_bytes = 6.5e6;
   return s;
 }
 
@@ -56,6 +59,7 @@ void expect_samples_equal(const RuntimeSample& a, const RuntimeSample& b) {
   EXPECT_EQ(a.flops1, b.flops1);
   EXPECT_EQ(a.t_infer, b.t_infer);
   EXPECT_EQ(a.t_step, b.t_step);
+  EXPECT_EQ(a.peak_mem_bytes, b.peak_mem_bytes);
 }
 
 TEST(SampleRecordTest, RoundTripsThroughRecord) {
@@ -205,6 +209,64 @@ TEST(StoreSampleStreamTest, ReadsDirectoryOfShards) {
   while (stream.next(s)) ++again;
   EXPECT_EQ(again, 3u);
   std::filesystem::remove_all(dir);
+}
+
+TEST(MmapReaderTest, ByteIdenticalToStreamingReader) {
+  // Satellite guarantee: the mmap fast path and the streaming fallback see
+  // the same record bytes and yield the same samples, in the same order.
+  const std::string path = temp_path("cm_store_mmap.cms");
+  {
+    ShardWriter writer(path);
+    for (int i = 0; i < 5; ++i) {
+      RuntimeSample s = make_sample("m" + std::to_string(i), 1 << i);
+      s.peak_mem_bytes = 1.0e6 * (i + 1);
+      writer.append(s, static_cast<std::uint64_t>(i), 0);
+    }
+    writer.flush();
+  }
+  const std::unique_ptr<ShardReader> fast = open_shard_reader(path, true);
+  const std::unique_ptr<ShardReader> slow = open_shard_reader(path, false);
+  if (MmapSampleReader::supported()) {
+    EXPECT_NE(dynamic_cast<MmapSampleReader*>(fast.get()), nullptr);
+  }
+  EXPECT_NE(dynamic_cast<SampleReader*>(slow.get()), nullptr);
+  ASSERT_EQ(fast->record_count(), slow->record_count());
+  store::SampleRecord a{};
+  store::SampleRecord b{};
+  std::size_t n = 0;
+  while (slow->next_record(b)) {
+    ASSERT_TRUE(fast->next_record(a));
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+        << "record " << n << " differs between readers";
+    ++n;
+  }
+  EXPECT_FALSE(fast->next_record(a));
+  EXPECT_EQ(n, 5u);
+  // reset() replays both readers from record 0.
+  fast->reset();
+  slow->reset();
+  RuntimeSample sf;
+  RuntimeSample ss;
+  ASSERT_TRUE(fast->next(sf));
+  ASSERT_TRUE(slow->next(ss));
+  expect_samples_equal(sf, ss);
+  EXPECT_EQ(sf.peak_mem_bytes, 1.0e6);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapReaderTest, RejectsBrokenShardsLikeStreaming) {
+  // Corrupt/foreign shards must get the same verdict from either reader;
+  // the factory propagates those instead of falling back.
+  if (!MmapSampleReader::supported()) GTEST_SKIP() << "no POSIX mmap";
+  EXPECT_THROW(MmapSampleReader r(corpus("truncated.cms")), ParseError);
+  EXPECT_THROW(MmapSampleReader r(corpus("bad_version.cms")), ParseError);
+  EXPECT_THROW(MmapSampleReader r(corpus("bad_record_size.cms")), ParseError);
+  EXPECT_THROW(MmapSampleReader r(corpus("zero_records.cms")), ParseError);
+  EXPECT_THROW(open_shard_reader(corpus("bad_magic.cms")), ParseError);
+  MmapSampleReader reader(corpus("bad_crc.cms"));  // header itself is fine
+  RuntimeSample s;
+  EXPECT_TRUE(reader.next(s));  // record 0 intact
+  EXPECT_THROW(reader.next(s), ParseError);
 }
 
 TEST(CsvBridgeTest, CsvToBinaryToCsvIsBitIdentical) {

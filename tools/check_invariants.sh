@@ -24,6 +24,11 @@
 #   7. Every `switch` over OpKind in src/ is exhaustive (no `default:`), so
 #      -Wswitch flags every site that needs updating when a new op kind is
 #      added instead of a default silently swallowing it.
+#   8. Every Pass subclass in src/analysis/passes.cpp is registered in
+#      default_passes() and has at least one adversarial corpus case (a
+#      CorpusTest entry whose diagnostic id carries the pass's category
+#      prefix) — an unregistered pass silently never runs, and an untested
+#      one has no regression tripwire.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -174,6 +179,28 @@ done < <(find src \( -name '*.cpp' -o -name '*.hpp' \) -print0 \
         }
       }
     }')
+
+# --- 8. every analysis pass is registered and corpus-covered --------------
+# Pass names are diagnostic-id category prefixes ("<pass>.<finding>"); the
+# corpus mapping is the CorpusTest instantiation in tests/analysis_test.cpp.
+passes_cpp=src/analysis/passes.cpp
+corpus_test=tests/analysis_test.cpp
+if [ -f "$passes_cpp" ] && [ -f "$corpus_test" ]; then
+  corpus_block=$(sed -n '/INSTANTIATE_TEST_SUITE_P(/,/^TEST/p' "$corpus_test")
+  while IFS= read -r cls; do
+    if ! grep -q "make_unique<${cls}>" "$passes_cpp"; then
+      note "$passes_cpp: ${cls} is not registered in default_passes()"
+    fi
+  done < <(grep -oE 'class [A-Za-z_]+Pass' "$passes_cpp" | awk '{print $2}')
+  while IFS= read -r pname; do
+    if ! echo "$corpus_block" | grep -q "\"${pname}\."; then
+      note "$corpus_test: no lint-corpus case exercises the '${pname}' pass (add a CorpusTest entry with a ${pname}.* id)"
+    fi
+  done < <(grep -oE 'name\(\) const override \{ return "[a-z_]+";' \
+           "$passes_cpp" | grep -oE '"[a-z_]+"' | tr -d '"')
+else
+  note "analysis pass sources missing (passes.cpp or analysis_test.cpp moved without updating lints?)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_invariants: FAILED" >&2

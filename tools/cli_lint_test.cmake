@@ -1,6 +1,8 @@
-# Adversarial lint corpus: each graph must fail `convmeter lint` with a
-# nonzero exit code AND report its expected diagnostic id; the clean graph
-# must pass strictly.
+# Adversarial lint corpus: each graph in CASES must fail `convmeter lint`
+# with a nonzero exit code AND report its expected diagnostic id; the clean
+# graph must pass strictly. The memory-planner cases below exercise
+# `lint --memory` budgets, note-severity planner diagnostics, and the
+# `memplan` subcommand end to end.
 set(CASES
   "cycle.txt=dataflow.cycle"
   "dangling.txt=dataflow.dangling_edge"
@@ -34,4 +36,105 @@ execute_process(
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "lint failed on clean.txt (${rc}):\n${out}\n${err}")
+endif()
+
+# ---- Memory-planner corpus ---------------------------------------------
+# over_budget.txt is only an error once a budget is in scope: 1 MiB cannot
+# hold a 224x224 conv net, 256 MiB holds it comfortably.
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/over_budget.txt
+          --memory 1 --budget-mb 1 --json 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lint --memory passed over_budget.txt at 1 MiB:\n${out}")
+endif()
+if(NOT out MATCHES "\"memplan.over_budget\"")
+  message(FATAL_ERROR
+    "lint on over_budget.txt did not report memplan.over_budget:\n${out}\n${err}")
+endif()
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/over_budget.txt
+          --memory 1 --budget-mb 256
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "lint --memory failed over_budget.txt at 256 MiB (${rc}):\n${out}\n${err}")
+endif()
+
+# Note-severity planner diagnostics: lint stays green (exit 0) but must
+# surface the id once notes are requested.
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/reuse.txt --notes 1 --json 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lint failed on reuse.txt (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"memplan.reuse\"")
+  message(FATAL_ERROR "lint on reuse.txt did not report memplan.reuse:\n${out}")
+endif()
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/train_pinned.txt
+          --training 1 --notes 1 --json 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "lint failed on train_pinned.txt (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"liveness.pinned\"")
+  message(FATAL_ERROR
+    "lint on train_pinned.txt did not report liveness.pinned:\n${out}")
+endif()
+
+# Warning-severity: training lint on a stochastic graph passes by default
+# but fails under --strict 1, reporting determinism.stochastic.
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/determinism.txt --training 1
+          --strict 1 --notes 1 --json 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "lint --strict passed the stochastic training graph:\n${out}")
+endif()
+if(NOT out MATCHES "\"determinism.stochastic\"")
+  message(FATAL_ERROR
+    "lint on determinism.txt did not report determinism.stochastic:\n${out}")
+endif()
+execute_process(
+  COMMAND ${CONVMETER} lint --graph ${CORPUS}/determinism.txt --training 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "non-strict lint failed on determinism.txt (${rc}):\n${out}\n${err}")
+endif()
+
+# ---- memplan subcommand -------------------------------------------------
+# Text and JSON renderers, the training plan, and the budget exit code.
+execute_process(
+  COMMAND ${CONVMETER} memplan --graph ${CORPUS}/clean.txt --image 64
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "peak")
+  message(FATAL_ERROR "memplan text render failed (${rc}):\n${out}\n${err}")
+endif()
+execute_process(
+  COMMAND ${CONVMETER} memplan --graph ${CORPUS}/clean.txt --image 64 --json 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"peak_bytes\"")
+  message(FATAL_ERROR "memplan JSON render failed (${rc}):\n${out}\n${err}")
+endif()
+execute_process(
+  COMMAND ${CONVMETER} memplan --graph ${CORPUS}/clean.txt --image 64
+          --training 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "memplan --training failed (${rc}):\n${out}\n${err}")
+endif()
+execute_process(
+  COMMAND ${CONVMETER} memplan --graph ${CORPUS}/over_budget.txt
+          --budget-mb 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "memplan passed an over-budget plan:\n${out}")
+endif()
+if(NOT err MATCHES "over budget")
+  message(FATAL_ERROR "memplan over-budget message missing:\n${out}\n${err}")
 endif()

@@ -24,7 +24,9 @@
 //                       [--image N] [--reps N] [--device D] [--json 1]
 //   convmeter lint      --model x | --graph FILE | --all 1 [--image N]
 //                       [--batch N] [--training 1] [--notes 1] [--json 1]
-//                       [--strict 1]
+//                       [--strict 1] [--budget-mb N] [--device D] [--memory 1]
+//   convmeter memplan   --model x | --graph FILE [--image N] [--batch N]
+//                       [--training 1] [--json 1] [--budget-mb N] [--device D]
 //   convmeter tune      [--out tuning.json] [--shapes zoo|gemm|conv]
 //                       [--trials N] [--jobs N]
 //
@@ -594,7 +596,25 @@ int cmd_lint(const Args& args) {
   analysis::VerifyOptions base;
   base.training = args.get_int("training", 0) != 0;
   base.include_notes = args.get_int("notes", 0) != 0;
-  if (args.has("budget-mb")) {
+  if (args.has("device")) {
+    base.device_memory_bytes = static_cast<std::uint64_t>(
+        device_by_name(args.require("device")).memory_bytes);
+  }
+  if (args.get_int("memory", 0) != 0) {
+    // Whole-model static peak check (memplan.over_budget): the budget is
+    // --budget-mb when given, otherwise the active device's memory.
+    if (args.has("budget-mb")) {
+      base.memory_budget_bytes =
+          static_cast<std::uint64_t>(args.get_int("budget-mb", 1024)) << 20;
+    } else if (base.device_memory_bytes != 0) {
+      base.memory_budget_bytes = base.device_memory_bytes;
+    } else {
+      throw InvalidArgument(
+          "lint --memory 1 needs --budget-mb N or --device NAME");
+    }
+  } else if (args.has("budget-mb")) {
+    // Without --memory, --budget-mb keeps its original meaning: an
+    // explicit per-thread workspace budget override.
     base.workspace_budget_bytes =
         static_cast<std::uint64_t>(args.get_int("budget-mb", 1024)) << 20;
   }
@@ -643,6 +663,54 @@ int cmd_lint(const Args& args) {
   }
   if (errors > 0) return 1;
   if (strict && warnings > 0) return 1;
+  return 0;
+}
+
+int cmd_memplan(const Args& args) {
+  Graph g = [&] {
+    if (args.has("model")) return models::build(args.require("model"));
+    if (args.has("graph")) return load_graph(args.require("graph"));
+    throw InvalidArgument("memplan needs --model NAME or --graph FILE");
+  }();
+  const std::int64_t image =
+      args.get_int("image", args.has("model")
+                                ? models::default_image_size(
+                                      args.require("model"))
+                                : 224);
+  const std::int64_t channels =
+      g.input_channels() > 0 ? g.input_channels() : 3;
+  const Shape input_shape =
+      Shape::nchw(args.get_int("batch", 1), channels, image, image);
+  const bool training = args.get_int("training", 0) != 0;
+
+  const analysis::MemPlan plan =
+      analysis::plan_memory(g, input_shape, training);
+  if (args.get_int("json", 0) != 0) {
+    std::cout << analysis::render_memplan_json(g, plan) << '\n';
+  } else {
+    std::cout << analysis::render_memplan_text(g, plan);
+  }
+
+  // With a budget in scope (explicit or device-derived), a plan that does
+  // not fit is a failure, mirroring `lint --memory`.
+  std::uint64_t budget = 0;
+  std::string budget_source;
+  if (args.has("budget-mb")) {
+    budget = static_cast<std::uint64_t>(args.get_int("budget-mb", 1024))
+             << 20;
+    budget_source = "--budget-mb";
+  } else if (args.has("device")) {
+    budget = static_cast<std::uint64_t>(
+        device_by_name(args.require("device")).memory_bytes);
+    budget_source = "device '" + args.require("device") + "'";
+  }
+  if (budget != 0 && plan.total_peak_bytes() > budget) {
+    std::cerr << "over budget: static peak "
+              << analysis::format_mib(plan.total_peak_bytes()) << " exceeds "
+              << analysis::format_mib(budget) << " (" << budget_source
+              << ")\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -742,7 +810,10 @@ int usage() {
       "              [--counters 0|1] [--json 1] [--out FILE] [--top N]\n"
       "  lint        --model NAME | --graph FILE | --all 1 [--image N]\n"
       "              [--batch N] [--training 1] [--notes 1] [--json 1]\n"
-      "              [--strict 1] [--budget-mb N]\n"
+      "              [--strict 1] [--budget-mb N] [--device D]\n"
+      "              [--memory 1]   (static peak vs --budget-mb/--device)\n"
+      "  memplan     --model NAME | --graph FILE [--image N] [--batch N]\n"
+      "              [--training 1] [--json 1] [--budget-mb N] [--device D]\n"
       "  tune        [--out tuning.json] [--shapes zoo|gemm|conv]\n"
       "              [--trials N] [--jobs N]\n";
   return 2;
@@ -782,6 +853,7 @@ int run(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "profile") return cmd_profile(args);
   if (cmd == "lint") return cmd_lint(args);
+  if (cmd == "memplan") return cmd_memplan(args);
   if (cmd == "tune") return cmd_tune(args);
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();
